@@ -1,0 +1,37 @@
+//! Comparator allocation policies for the Saba evaluation (§8).
+//!
+//! Each policy is a [`saba_sim::engine::FabricModel`]; swapping the
+//! model swaps the network's allocation discipline:
+//!
+//! - [`fecn::FecnBaseline`] — the paper's **baseline**: InfiniBand's
+//!   end-to-end congestion management via Forward Explicit Congestion
+//!   Notification, which *approximates* per-flow max-min fairness but
+//!   loses utilization under contention (§8.1). The imperfection model
+//!   and its calibration are documented on [`fecn::FecnConfig`].
+//! - [`ideal::IdealMaxMin`] — the **idealized max-min fairness** of
+//!   §8.4 study 4: every flow in its own queue, round-robin service —
+//!   "an upper bound on the performance achievable by any
+//!   congestion-control protocol targeting max-min fairness".
+//! - [`homa::HomaFabric`] — a flow-level approximation of **Homa**
+//!   (§8.4 study 5): SRPT-style priorities derived from remaining flow
+//!   size over 8 priority queues; every flow larger than 10 KB shares
+//!   the lowest priority class, the behaviour study 5 calls out.
+//! - [`sincronia::SincroniaFabric`] — the **Sincronia** clairvoyant
+//!   coflow scheduler (§8.4 study 6): BSSI bottleneck ordering of
+//!   coflows, order-derived priorities, strict-priority enforcement.
+//!
+//! None of these consult application-level sensitivity — that is the
+//! point of the comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fecn;
+pub mod homa;
+pub mod ideal;
+pub mod sincronia;
+
+pub use fecn::{FecnBaseline, FecnConfig};
+pub use homa::{HomaConfig, HomaFabric};
+pub use ideal::IdealMaxMin;
+pub use sincronia::SincroniaFabric;

@@ -1,0 +1,73 @@
+//! Criterion benchmarks of the controller's decision paths: the Eq. 2
+//! weight solve (the Fig. 12 overhead driver), connection-event
+//! handling, and the clustering steps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use saba_core::controller::central::CentralController;
+use saba_core::controller::weights::port_weights;
+use saba_core::controller::ControllerConfig;
+use saba_core::sensitivity::{SensitivityModel, SensitivityTable};
+use saba_sim::ids::AppId;
+use saba_sim::topology::Topology;
+
+fn models(n: usize, degree: usize) -> Vec<SensitivityModel> {
+    (0..n)
+        .map(|i| {
+            let steep = 0.3 + 3.0 * (i as f64 / n.max(1) as f64);
+            let samples: Vec<(f64, f64)> = [0.05f64, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0]
+                .iter()
+                .map(|&b| (b, 1.0 + steep * (1.0 / b.max(0.15) - 1.0) / 9.0))
+                .collect();
+            SensitivityModel::fit(&format!("wl{i}"), &samples, degree).expect("fit")
+        })
+        .collect()
+}
+
+fn bench_eq2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eq2_port_weights");
+    for &n in &[2usize, 8, 16, 32] {
+        for &k in &[1usize, 3] {
+            let ms = models(n, k);
+            let refs: Vec<&SensitivityModel> = ms.iter().collect();
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("n{n}_k{k}")),
+                &refs,
+                |b, refs| b.iter(|| port_weights(refs, 1.0, 0.035).expect("solves")),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_conn_events(c: &mut Criterion) {
+    let topo = Topology::single_switch(32, saba_sim::LINK_56G_BPS);
+    let mut table = SensitivityTable::new();
+    for m in models(16, 3) {
+        table.insert(m);
+    }
+    let mut base = CentralController::new(ControllerConfig::default(), table, &topo);
+    for i in 0..16 {
+        base.register(AppId(i), &format!("wl{i}"))
+            .expect("registers");
+    }
+    let servers = topo.servers().to_vec();
+
+    c.bench_function("conn_create_destroy_cycle", |b| {
+        let mut ctl = base.clone();
+        let mut tag = 0u64;
+        b.iter(|| {
+            tag += 1;
+            let app = AppId((tag % 16) as u32);
+            let src = servers[(tag as usize) % 32];
+            let dst = servers[(tag as usize * 7 + 1) % 32];
+            if src != dst {
+                let u1 = ctl.conn_create(app, src, dst, tag).expect("create");
+                let u2 = ctl.conn_destroy(app, tag).expect("destroy");
+                criterion::black_box((u1, u2));
+            }
+        });
+    });
+}
+
+criterion_group!(benches, bench_eq2, bench_conn_events);
+criterion_main!(benches);

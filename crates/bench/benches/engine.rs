@@ -1,0 +1,46 @@
+//! Criterion benchmark of the discrete-event engine end to end: a
+//! complete multi-job co-run on the testbed topology under the baseline
+//! and under Saba.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use saba_cluster::corun::{run_setup, CorunConfig};
+use saba_cluster::setup::{generate_setup, SetupConfig};
+use saba_cluster::Policy;
+use saba_core::profiler::{Profiler, ProfilerConfig};
+use saba_workload::catalog;
+
+fn bench_corun(c: &mut Criterion) {
+    let table = Profiler::new(ProfilerConfig {
+        noise_sigma: 0.0,
+        ..Default::default()
+    })
+    .profile_all(&catalog())
+    .expect("profiling succeeds");
+    let cat = catalog();
+    let cfg = CorunConfig {
+        compute_jitter: 0.0,
+        ..Default::default()
+    };
+    let setup_cfg = SetupConfig {
+        servers: 16,
+        jobs: 8,
+        node_choices: vec![4, 8, 16],
+        ..Default::default()
+    };
+    let setup = generate_setup(&cat, &setup_cfg, &mut StdRng::seed_from_u64(1));
+
+    let mut group = c.benchmark_group("corun_8jobs_16servers");
+    group.sample_size(10);
+    group.bench_function("baseline", |b| {
+        b.iter(|| run_setup(&setup, 16, &Policy::baseline(), &table, &cat, &cfg).expect("runs"))
+    });
+    group.bench_function("saba", |b| {
+        b.iter(|| run_setup(&setup, 16, &Policy::saba(), &table, &cat, &cfg).expect("runs"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_corun);
+criterion_main!(benches);

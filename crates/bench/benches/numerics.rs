@@ -1,0 +1,52 @@
+//! Criterion benchmarks of the numeric substrate: polynomial fitting
+//! (the profiler's hot step) and the clustering algorithms behind
+//! PL/queue mapping.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use saba_math::{kmeans, polyfit, Dendrogram, KMeansConfig};
+
+fn bench_polyfit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("polyfit");
+    let xs: Vec<f64> = vec![0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0];
+    let ys: Vec<f64> = xs.iter().map(|&b: &f64| 0.2 + 0.8 / b.max(0.16)).collect();
+    for k in [1usize, 2, 3] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| polyfit(&xs, &ys, k).expect("fits"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    let points: Vec<Vec<f64>> = (0..64)
+        .map(|i| vec![(i % 13) as f64 * 0.7, (i % 7) as f64 * 1.1, (i % 5) as f64])
+        .collect();
+
+    c.bench_function("kmeans_64pts_k16", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            kmeans(
+                &points,
+                &KMeansConfig {
+                    k: 16,
+                    ..Default::default()
+                },
+                &mut rng,
+            )
+        })
+    });
+
+    let pls: Vec<Vec<f64>> = points[..16].to_vec();
+    c.bench_function("dendrogram_16pls", |b| b.iter(|| Dendrogram::build(&pls)));
+
+    let d = Dendrogram::build(&pls);
+    let subset: Vec<usize> = (0..16).step_by(2).collect();
+    c.bench_function("dendrogram_map_port", |b| {
+        b.iter(|| d.group_subset(&subset, 8))
+    });
+}
+
+criterion_group!(benches, bench_polyfit, bench_clustering);
+criterion_main!(benches);

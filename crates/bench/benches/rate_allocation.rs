@@ -1,0 +1,55 @@
+//! Criterion benchmarks of the fluid rate allocator — the simulator's
+//! hot path, invoked at every allocation epoch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use saba_sim::ids::LinkId;
+use saba_sim::sharing::{compute_rates, SharingConfig, SharingFlow};
+
+/// Deterministic pseudo-random flow set over `links` links.
+fn make_flows(count: usize, links: usize) -> (Vec<f64>, Vec<SharingFlow>) {
+    let caps: Vec<f64> = (0..links).map(|i| 1e9 + (i as f64) * 1e7).collect();
+    let mut state = 0x5aba_u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    let flows = (0..count)
+        .map(|_| {
+            let len = 2 + next() % 4;
+            let mut path: Vec<LinkId> = Vec::with_capacity(len);
+            for _ in 0..len {
+                let l = LinkId((next() % links) as u32);
+                if !path.contains(&l) {
+                    path.push(l);
+                }
+            }
+            let weights = path.iter().map(|_| 0.5 + (next() % 8) as f64).collect();
+            SharingFlow {
+                path,
+                weights,
+                priority: (next() % 3) as u8,
+                rate_cap: f64::INFINITY,
+            }
+        })
+        .collect();
+    (caps, flows)
+}
+
+fn bench_compute_rates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compute_rates");
+    for &(flows, links) in &[(100usize, 64usize), (1_000, 512), (10_000, 4_096)] {
+        let (caps, fs) = make_flows(flows, links);
+        let cfg = SharingConfig::default();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{flows}flows_{links}links")),
+            &(caps, fs),
+            |b, (caps, fs)| b.iter(|| compute_rates(caps, fs, &cfg)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compute_rates);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Ablation study — not a paper figure, but the design-choice
+//! sensitivity DESIGN.md calls out: how much of Saba's benefit each
+//! mechanism contributes, on the §8.2 testbed mix.
+//!
+//! Dimensions ablated:
+//!  - `protect` — starvation-protection fraction of the fair share
+//!    (0 = pure Eq. 2, 0.9 ≈ fair sharing);
+//!  - `k` — polynomial degree of the sensitivity models;
+//!  - `queues` — per-port queue budget.
+//!
+//! Usage: `ablation [--setups N]` (default 20).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use saba_bench::{arg_usize, print_table, write_csv};
+use saba_cluster::corun::CorunConfig;
+use saba_cluster::metrics::{merge_reports, per_workload_speedups};
+use saba_cluster::runner::{default_threads, parallel_map};
+use saba_cluster::{generate_setup, run_setup, Policy, SetupConfig};
+use saba_core::controller::ControllerConfig;
+use saba_core::profiler::{Profiler, ProfilerConfig};
+use saba_core::sensitivity::SensitivityTable;
+use saba_workload::catalog;
+
+fn average_speedup(setups: usize, table: &SensitivityTable, policy: &Policy) -> f64 {
+    let cat = catalog();
+    let setup_cfg = SetupConfig::default();
+    let runs = parallel_map(setups, default_threads(), |i| {
+        let mut rng = StdRng::seed_from_u64(0xAB1A + i as u64);
+        let setup = generate_setup(&cat, &setup_cfg, &mut rng);
+        let cfg = CorunConfig {
+            seed: 0x5aba ^ i as u64,
+            ..Default::default()
+        };
+        let base =
+            run_setup(&setup, 32, &Policy::baseline(), table, &cat, &cfg).expect("baseline runs");
+        let saba = run_setup(&setup, 32, policy, table, &cat, &cfg).expect("policy runs");
+        let report = per_workload_speedups(&base, &saba);
+        let names: Vec<String> = setup.jobs.iter().map(|j| j.workload.clone()).collect();
+        (report, names)
+    });
+    let reports: Vec<_> = runs.iter().map(|(r, _)| r.clone()).collect();
+    let names: Vec<_> = runs.iter().map(|(_, n)| n.clone()).collect();
+    merge_reports(&reports, &names).average
+}
+
+fn main() {
+    let setups = arg_usize("--setups", 8);
+    println!("Ablation over {setups} testbed setups each");
+    let table3 = Profiler::new(ProfilerConfig::default())
+        .profile_all(&catalog())
+        .expect("profiling succeeds");
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    let mut record = |name: &str, value: &str, avg: f64| {
+        rows.push(vec![
+            name.to_string(),
+            value.to_string(),
+            format!("{avg:.2}"),
+        ]);
+        csv.push(format!("{name},{value},{avg:.4}"));
+    };
+
+    // Protection fraction.
+    for protect in [0.0, 0.3, 0.6, 0.9] {
+        let policy = Policy::Saba(ControllerConfig {
+            protect_fraction: protect,
+            ..Default::default()
+        });
+        record(
+            "protect_fraction",
+            &format!("{protect}"),
+            average_speedup(setups, &table3, &policy),
+        );
+    }
+
+    // Model degree.
+    for k in [1usize, 2, 3] {
+        let table = Profiler::new(ProfilerConfig {
+            degree: k,
+            ..Default::default()
+        })
+        .profile_all(&catalog())
+        .expect("profiling succeeds");
+        record(
+            "degree",
+            &format!("k={k}"),
+            average_speedup(setups, &table, &Policy::saba()),
+        );
+    }
+
+    // Queue budget.
+    for q in [2usize, 8, 16] {
+        let policy = Policy::Saba(ControllerConfig {
+            queues_per_port: q,
+            ..Default::default()
+        });
+        record(
+            "queues_per_port",
+            &format!("{q}"),
+            average_speedup(setups, &table3, &policy),
+        );
+    }
+
+    print_table(
+        "Ablation: average speedup over baseline",
+        &["dimension", "value", "speedup"],
+        &rows,
+    );
+    write_csv("ablation.csv", "dimension,value,avg_speedup", &csv);
+}

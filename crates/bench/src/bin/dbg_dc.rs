@@ -1,0 +1,68 @@
+//! Debug tool: Saba vs ideal max-min on a small spine-leaf fabric —
+//! per-job times and a work-conservation probe.
+
+use saba_bench::cached_table;
+use saba_cluster::datacenter::{run_datacenter, DatacenterConfig};
+use saba_cluster::Policy;
+use saba_core::profiler::{Profiler, ProfilerConfig};
+use saba_workload::synthetic::{synthetic_workloads, SyntheticConfig};
+
+fn main() {
+    let workloads = synthetic_workloads(&SyntheticConfig::default(), 0x5aba);
+    let table = cached_table("sensitivity_table_synthetic.json", || {
+        Profiler::new(ProfilerConfig::default())
+            .profile_all(&workloads)
+            .expect("profiles")
+    });
+    let cfg = DatacenterConfig::small(6, 6); // tiny(6): 24 servers; 20x6=120 > 24!
+    let cfg = DatacenterConfig {
+        topo: saba_sim::topology::SpineLeafConfig {
+            spines: 4,
+            leaves: 8,
+            tors: 8,
+            servers_per_tor: 18,
+            leaf_uplinks_per_tor: 6,
+            link_capacity: saba_sim::LINK_56G_BPS,
+        },
+        instances_per_workload: 7,
+        ..cfg
+    };
+    let base = run_datacenter(&workloads, &Policy::baseline(), &table, &cfg).unwrap();
+    let ideal = run_datacenter(&workloads, &Policy::IdealMaxMin, &table, &cfg).unwrap();
+    let saba = run_datacenter(
+        &workloads,
+        &Policy::Saba(saba_core::controller::ControllerConfig {
+            protect_fraction: 0.55,
+            ..Default::default()
+        }),
+        &table,
+        &cfg,
+    )
+    .unwrap();
+    println!(
+        "{:<7} {:>9} {:>9} {:>9} {:>8} {:>8}",
+        "wl", "base", "ideal", "saba", "b/ideal", "b/saba"
+    );
+    for i in 0..workloads.len() {
+        println!(
+            "{:<7} {:>9.1} {:>9.1} {:>9.1} {:>8.2} {:>8.2}",
+            workloads[i].name,
+            base[i].completion,
+            ideal[i].completion,
+            saba[i].completion,
+            base[i].completion / ideal[i].completion,
+            base[i].completion / saba[i].completion,
+        );
+    }
+    let g = |xs: &[f64]| {
+        let s: f64 = xs.iter().map(|x| x.ln()).sum();
+        (s / xs.len() as f64).exp()
+    };
+    let si: Vec<f64> = (0..20)
+        .map(|i| base[i].completion / ideal[i].completion)
+        .collect();
+    let ss: Vec<f64> = (0..20)
+        .map(|i| base[i].completion / saba[i].completion)
+        .collect();
+    println!("avg: ideal {:.3}  saba {:.3}", g(&si), g(&ss));
+}

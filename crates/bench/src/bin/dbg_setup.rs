@@ -1,0 +1,67 @@
+//! Debug tool: dissect one cluster setup — per-job completion under
+//! baseline / Saba / solo, to understand where speedups come from.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use saba_bench::catalog_table;
+use saba_cluster::corun::{execute, CorunConfig, PlannedJob};
+use saba_cluster::{generate_setup, run_setup, Policy, SetupConfig};
+use saba_sim::topology::Topology;
+use saba_workload::catalog;
+use std::collections::HashMap;
+
+fn main() {
+    let table = catalog_table();
+    let cat = catalog();
+    let cfg = CorunConfig {
+        compute_jitter: 0.0,
+        ..Default::default()
+    };
+    let setup_cfg = SetupConfig::default();
+    let mut rng = StdRng::seed_from_u64(0xF16_8 + 3);
+    let setup = generate_setup(&cat, &setup_cfg, &mut rng);
+
+    let base = run_setup(&setup, 32, &Policy::baseline(), &table, &cat, &cfg).unwrap();
+    let saba = run_setup(&setup, 32, &Policy::saba(), &table, &cat, &cfg).unwrap();
+    let ideal = run_setup(&setup, 32, &Policy::IdealMaxMin, &table, &cat, &cfg).unwrap();
+
+    let by_name: HashMap<&str, &saba_workload::WorkloadSpec> =
+        cat.iter().map(|w| (w.name.as_str(), w)).collect();
+
+    println!(
+        "{:<6} {:>4} {:>5} {:>9} {:>9} {:>9} {:>9} {:>7} {:>7}",
+        "wl", "n", "ds", "solo", "base", "ideal", "saba", "b/saba", "b-slow"
+    );
+    for (i, j) in setup.jobs.iter().enumerate() {
+        let spec = by_name[j.workload.as_str()];
+        let plan = spec.plan(j.dataset_scale, j.servers.len());
+        // Solo run on the same cluster.
+        let topo = Topology::single_switch(32, cfg.nic_rate);
+        let nodes: Vec<_> = j.servers.iter().map(|&s| topo.servers()[s]).collect();
+        let solo = execute(
+            topo,
+            vec![PlannedJob {
+                workload: j.workload.clone(),
+                dataset_scale: j.dataset_scale,
+                plan,
+                nodes,
+            }],
+            &Policy::IdealMaxMin,
+            &table,
+        )
+        .unwrap()[0]
+            .completion;
+        println!(
+            "{:<6} {:>4} {:>5} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>7.2} {:>7.2}",
+            j.workload,
+            j.servers.len(),
+            j.dataset_scale,
+            solo,
+            base[i].completion,
+            ideal[i].completion,
+            saba[i].completion,
+            base[i].completion / saba[i].completion,
+            base[i].completion / solo,
+        );
+    }
+}

@@ -1,0 +1,162 @@
+//! Figure 1 — the motivation experiments (§2.1, §2.2).
+//!
+//! (a) Slowdown of every workload when NIC bandwidth is throttled to
+//! 75 % and 25 % (profiled in isolation on 8 servers). Paper anchors:
+//! LR 1.3×/3.4×, Sort ≈1.0×/1.1×, average ≈2.1× at 25 %.
+//!
+//! (b) LR and PR co-running on the same 8 servers under (i) the
+//! max-min InfiniBand baseline and (ii) a static *skewed* 75/25 WFQ
+//! split. Paper anchors: max-min LR 2.26× / PR 1.21×; skewed LR 1.48×
+//! / PR 1.34×.
+
+use saba_bench::{print_table, write_csv};
+use saba_cluster::corun::{execute, PlannedJob};
+use saba_cluster::Policy;
+use saba_core::fabric::{PortQueueConfig, SabaFabric};
+use saba_core::sensitivity::SensitivityTable;
+use saba_sim::engine::Simulation;
+use saba_sim::ids::{AppId, LinkId, ServiceLevel};
+use saba_sim::topology::Topology;
+use saba_sim::LINK_56G_BPS;
+use saba_workload::runtime::{run_jobs, JobRuntime};
+use saba_workload::{catalog, workload_by_name};
+
+/// Isolated completion time at a NIC throttle (with the profiler's
+/// pipelining-floor semantics).
+fn isolated(name: &str, bw: f64) -> f64 {
+    let spec = workload_by_name(name).expect("catalog workload");
+    let mut topo = Topology::single_switch(spec.profile_nodes, LINK_56G_BPS);
+    topo.throttle_all_nics(bw);
+    let mut sim = Simulation::new(topo, saba_sim::engine::FairShareFabric::default());
+    let nodes = sim.topo().servers().to_vec();
+    let mut jobs = vec![JobRuntime::new(
+        AppId(0),
+        ServiceLevel(0),
+        nodes,
+        spec.profile_plan(),
+        0,
+    )];
+    run_jobs(&mut sim, &mut jobs, |_, _| {}).expect("isolated run completes")[0]
+}
+
+/// Co-runs LR and PR over all 8 servers under the given fabric weights
+/// (`None` = the FECN max-min baseline), returning their times.
+fn corun_lr_pr(skewed: Option<(f64, f64)>) -> (f64, f64) {
+    let topo = Topology::single_switch(8, LINK_56G_BPS);
+    let nodes = topo.servers().to_vec();
+    let mk_job = |name: &str| {
+        let spec = workload_by_name(name).unwrap();
+        PlannedJob {
+            workload: name.to_string(),
+            dataset_scale: 1.0,
+            plan: spec.profile_plan(),
+            nodes: nodes.clone(),
+        }
+    };
+    let jobs = vec![mk_job("LR"), mk_job("PR")];
+    let results = match skewed {
+        None => execute(topo, jobs, &Policy::baseline(), &SensitivityTable::new())
+            .expect("baseline co-run completes"),
+        Some((w_lr, w_pr)) => {
+            // Static skewed WFQ: LR's SL0 -> queue 0 (weight w_lr), PR's
+            // SL1 -> queue 1 (weight w_pr), on every port.
+            let mut fabric = SabaFabric::for_topology(&topo);
+            let mut map = [0u8; 16];
+            map[1] = 1;
+            let cfg = PortQueueConfig::new(map, vec![w_lr, w_pr]);
+            for l in 0..topo.num_links() {
+                fabric.set_port(LinkId(l as u32), cfg.clone());
+            }
+            let mut sim = Simulation::new(topo, fabric);
+            let mut runtimes: Vec<JobRuntime> = jobs
+                .iter()
+                .enumerate()
+                .map(|(i, j)| {
+                    let mut rt = JobRuntime::new(
+                        AppId(i as u32),
+                        ServiceLevel(i as u8),
+                        j.nodes.clone(),
+                        j.plan.clone(),
+                        (i as u64) << 32,
+                    );
+                    rt.set_pipeline_floor(false);
+                    rt
+                })
+                .collect();
+            let times =
+                run_jobs(&mut sim, &mut runtimes, |_, _| {}).expect("skewed co-run completes");
+            return (times[0], times[1]);
+        }
+    };
+    (results[0].completion, results[1].completion)
+}
+
+fn main() {
+    // Figure 1a.
+    let order = [
+        "LR", "RF", "GBT", "SVM", "NI", "NW", "PR", "SQL", "WC", "Sort",
+    ];
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    let mut sum25 = 0.0;
+    for name in order {
+        let t100 = isolated(name, 1.0);
+        let d75 = isolated(name, 0.75) / t100;
+        let d25 = isolated(name, 0.25) / t100;
+        sum25 += d25;
+        rows.push(vec![
+            name.to_string(),
+            format!("{d75:.2}"),
+            format!("{d25:.2}"),
+        ]);
+        csv.push(format!("{name},{d75:.4},{d25:.4}"));
+    }
+    rows.push(vec![
+        "Average".into(),
+        String::new(),
+        format!("{:.2}", sum25 / order.len() as f64),
+    ]);
+    print_table(
+        "Figure 1a: slowdown under reduced bandwidth (isolation)",
+        &["workload", "75% BW", "25% BW"],
+        &rows,
+    );
+    write_csv(
+        "fig1a_slowdown.csv",
+        "workload,slowdown_75,slowdown_25",
+        &csv,
+    );
+    println!("paper anchors: LR 1.3/3.4, Sort ~1.0/1.1, average at 25% = 2.1");
+
+    // Figure 1b.
+    let lr_alone = isolated("LR", 1.0);
+    let pr_alone = isolated("PR", 1.0);
+    let (lr_mm, pr_mm) = corun_lr_pr(None);
+    let (lr_sk, pr_sk) = corun_lr_pr(Some((0.75, 0.25)));
+    let rows = vec![
+        vec![
+            "Max-min".to_string(),
+            format!("{:.2}", lr_mm / lr_alone),
+            format!("{:.2}", pr_mm / pr_alone),
+        ],
+        vec![
+            "Skewed".to_string(),
+            format!("{:.2}", lr_sk / lr_alone),
+            format!("{:.2}", pr_sk / pr_alone),
+        ],
+    ];
+    print_table(
+        "Figure 1b: co-run slowdown vs stand-alone",
+        &["scheme", "LR", "PR"],
+        &rows,
+    );
+    write_csv(
+        "fig1b_corun.csv",
+        "scheme,lr_slowdown,pr_slowdown",
+        &[
+            format!("max-min,{:.4},{:.4}", lr_mm / lr_alone, pr_mm / pr_alone),
+            format!("skewed,{:.4},{:.4}", lr_sk / lr_alone, pr_sk / pr_alone),
+        ],
+    );
+    println!("paper anchors: max-min LR 2.26 / PR 1.21; skewed LR 1.48 / PR 1.34");
+}

@@ -1,0 +1,121 @@
+//! Figure 10 — the datacenter-scale comparison (§8.4 studies 4–6).
+//!
+//! 20 synthetic workloads, 97 instances each, on the 1,944-server
+//! spine-leaf fabric; Saba, ideal max-min, Homa, and Sincronia are all
+//! compared against the InfiniBand FECN baseline. Paper anchors:
+//! average speedups Saba 1.27×, ideal max-min 1.14×, Homa 1.12×,
+//! Sincronia 1.19×; Saba's best workload gains 1.79×, its worst loses
+//! 3 %.
+//!
+//! Usage: `fig10 [--quick]` — quick mode shrinks the fabric (432
+//! servers, 21 instances per workload) for smoke runs.
+
+use saba_bench::{cached_table, print_table, quick_mode, write_csv};
+use saba_cluster::datacenter::{run_datacenter, DatacenterConfig};
+use saba_cluster::metrics::per_workload_speedups;
+use saba_cluster::Policy;
+use saba_core::controller::ControllerConfig;
+use saba_core::profiler::{Profiler, ProfilerConfig};
+use saba_math::stats::geometric_mean;
+use saba_sim::topology::SpineLeafConfig;
+use saba_workload::synthetic::{synthetic_workloads, SyntheticConfig};
+
+fn main() {
+    let quick = quick_mode();
+    let syn_cfg = SyntheticConfig::default();
+    let workloads = synthetic_workloads(&syn_cfg, 0x5aba);
+
+    let table = cached_table("sensitivity_table_synthetic.json", || {
+        Profiler::new(ProfilerConfig::default())
+            .profile_all(&workloads)
+            .expect("synthetic profiling succeeds")
+    });
+
+    let dc_cfg = if quick {
+        DatacenterConfig {
+            topo: SpineLeafConfig {
+                spines: 12,
+                leaves: 24,
+                tors: 24,
+                servers_per_tor: 18,
+                leaf_uplinks_per_tor: 6,
+                link_capacity: saba_sim::LINK_56G_BPS,
+            },
+            instances_per_workload: 21,
+            placement_seed: 0x5aba,
+            compute_jitter: 0.02,
+        }
+    } else {
+        DatacenterConfig::paper()
+    };
+    println!(
+        "Figure 10: {} servers, {} workloads x {} instances",
+        dc_cfg.topo.tors * dc_cfg.topo.servers_per_tor,
+        workloads.len(),
+        dc_cfg.instances_per_workload
+    );
+
+    let base = run_datacenter(&workloads, &Policy::baseline(), &table, &dc_cfg)
+        .expect("baseline completes");
+    let policies = [
+        (
+            "Saba",
+            Policy::Saba(ControllerConfig {
+                protect_fraction: 0.55,
+                ..Default::default()
+            }),
+        ),
+        ("Ideal Max-Min", Policy::IdealMaxMin),
+        ("Homa", Policy::Homa(Default::default())),
+        ("Sincronia", Policy::Sincronia),
+    ];
+
+    let mut per_policy = Vec::new();
+    for (name, policy) in &policies {
+        let res = run_datacenter(&workloads, policy, &table, &dc_cfg)
+            .unwrap_or_else(|e| panic!("{name} run failed: {e}"));
+        let report = per_workload_speedups(&base, &res);
+        per_policy.push((name, report));
+    }
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for (i, w) in workloads.iter().enumerate() {
+        let mut cells = vec![w.name.clone()];
+        let mut line = w.name.clone();
+        for (_, report) in &per_policy {
+            let s = report.per_job[i];
+            cells.push(format!("{s:.2}"));
+            line.push_str(&format!(",{s:.4}"));
+        }
+        rows.push(cells);
+        csv.push(line);
+    }
+    let mut avg_cells = vec!["Average".to_string()];
+    for (_, report) in &per_policy {
+        avg_cells.push(format!(
+            "{:.2}",
+            geometric_mean(&report.per_job).expect("positive")
+        ));
+    }
+    rows.push(avg_cells);
+    print_table(
+        "Figure 10: speedup over the baseline",
+        &["workload", "Saba", "IdealMM", "Homa", "Sincronia"],
+        &rows,
+    );
+    write_csv(
+        "fig10_policies.csv",
+        "workload,saba,ideal_max_min,homa,sincronia",
+        &csv,
+    );
+
+    let saba = &per_policy[0].1;
+    let max = saba.per_job.iter().cloned().fold(f64::MIN, f64::max);
+    let min = saba.per_job.iter().cloned().fold(f64::MAX, f64::min);
+    println!("\nSaba per-workload range: {min:.2}x .. {max:.2}x");
+    println!(
+        "paper anchors: averages Saba 1.27, ideal 1.14, Homa 1.12, Sincronia 1.19; \
+         Saba range ~0.97x..1.79x"
+    );
+}

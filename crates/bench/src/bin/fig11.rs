@@ -1,0 +1,110 @@
+//! Figure 11 — controller design and queue-count studies (§8.4
+//! studies 7–8).
+//!
+//! (a) Centralized vs distributed controller on the Fig. 10 setup.
+//! Paper anchors: 1.27× vs 1.23× (the distributed design's offline
+//! PL mapping costs ≈4 %).
+//!
+//! (b) Speedup vs queues per port (2/4/8/16). Paper anchors: 1.12×
+//! with 2 queues, 1.27× with 8, approaching 1.33× with unlimited
+//! queues (16 queues = one per PL is this implementation's ceiling).
+//!
+//! Usage: `fig11 [--quick]`.
+
+use saba_bench::{cached_table, print_table, quick_mode, write_csv};
+use saba_cluster::datacenter::{run_datacenter, DatacenterConfig};
+use saba_cluster::metrics::per_workload_speedups;
+use saba_cluster::Policy;
+use saba_core::controller::ControllerConfig;
+use saba_core::profiler::{Profiler, ProfilerConfig};
+use saba_sim::topology::SpineLeafConfig;
+use saba_workload::synthetic::{synthetic_workloads, SyntheticConfig};
+
+fn main() {
+    let quick = quick_mode();
+    let workloads = synthetic_workloads(&SyntheticConfig::default(), 0x5aba);
+    let table = cached_table("sensitivity_table_synthetic.json", || {
+        Profiler::new(ProfilerConfig::default())
+            .profile_all(&workloads)
+            .expect("synthetic profiling succeeds")
+    });
+    let dc_cfg = if quick {
+        DatacenterConfig {
+            topo: SpineLeafConfig {
+                spines: 12,
+                leaves: 24,
+                tors: 24,
+                servers_per_tor: 18,
+                leaf_uplinks_per_tor: 6,
+                link_capacity: saba_sim::LINK_56G_BPS,
+            },
+            instances_per_workload: 21,
+            placement_seed: 0x5aba,
+            compute_jitter: 0.02,
+        }
+    } else {
+        DatacenterConfig::paper()
+    };
+
+    let base = run_datacenter(&workloads, &Policy::baseline(), &table, &dc_cfg)
+        .expect("baseline completes");
+    let avg_of = |policy: &Policy| {
+        let res = run_datacenter(&workloads, policy, &table, &dc_cfg)
+            .unwrap_or_else(|e| panic!("{} run failed: {e}", policy.name()));
+        per_workload_speedups(&base, &res).average
+    };
+
+    // (a) centralized vs distributed.
+    let central = avg_of(&Policy::Saba(ControllerConfig {
+        protect_fraction: 0.55,
+        ..Default::default()
+    }));
+    let distributed = avg_of(&Policy::SabaDistributed(
+        ControllerConfig {
+            protect_fraction: 0.55,
+            ..Default::default()
+        },
+        16,
+    ));
+    print_table(
+        "Figure 11a: centralized vs distributed controller",
+        &["controller", "avg speedup"],
+        &[
+            vec!["Centralized".into(), format!("{central:.2}")],
+            vec!["Distributed".into(), format!("{distributed:.2}")],
+        ],
+    );
+    write_csv(
+        "fig11a_controller.csv",
+        "controller,avg_speedup",
+        &[
+            format!("centralized,{central:.4}"),
+            format!("distributed,{distributed:.4}"),
+        ],
+    );
+    println!("paper anchors: centralized 1.27, distributed 1.23");
+
+    // (b) queue count.
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for q in [2usize, 4, 8, 16] {
+        let policy = Policy::Saba(ControllerConfig {
+            queues_per_port: q,
+            protect_fraction: 0.55,
+            ..Default::default()
+        });
+        let avg = avg_of(&policy);
+        rows.push(vec![format!("{q}"), format!("{avg:.2}")]);
+        csv.push(format!("{q},{avg:.4}"));
+    }
+    print_table(
+        "Figure 11b: speedup vs queues per port",
+        &["queues", "avg speedup"],
+        &rows,
+    );
+    write_csv("fig11b_queues.csv", "queues,avg_speedup", &csv);
+    println!(
+        "paper anchors: 1.12 (2 queues), 1.27 (8), 1.33 (unlimited); \
+         16 queues = one per PL is the ceiling here"
+    );
+}

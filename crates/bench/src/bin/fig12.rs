@@ -1,0 +1,117 @@
+//! Figure 12 — controller overhead (§8.5).
+//!
+//! Measures the wall-clock time the centralized controller takes to
+//! compute bandwidth shares *for all switches* of the 1,944-server
+//! fabric, across scenarios with 1–1,000 active applications and
+//! sensitivity models of degree k = 1, 2, 3 (32 instances of each
+//! application, placed at random). Reports the CDF and tail
+//! percentiles. Paper anchors (99th percentile): |A| ≤ 250 → 0.09 /
+//! 0.16 / 0.31 s; |A| ≤ 1000 → 0.43 / 0.72 / 1.13 s for k = 1 / 2 / 3.
+//!
+//! Usage: `fig12 [--scenarios N] [--quick]` (paper: 30,000 scenarios;
+//! default here: 600, which already resolves the tails).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use saba_bench::{arg_usize, print_table, quick_mode, write_csv};
+use saba_core::controller::central::CentralController;
+use saba_core::controller::ControllerConfig;
+use saba_core::sensitivity::{SensitivityModel, SensitivityTable};
+use saba_math::stats::percentile;
+use saba_sim::ids::AppId;
+use saba_sim::topology::{SpineLeafConfig, Topology};
+use std::time::Instant;
+
+/// Builds a synthetic sensitivity table of `count` degree-`k` models
+/// with varied steepness.
+fn synthetic_table(count: usize, k: usize, rng: &mut StdRng) -> SensitivityTable {
+    let mut table = SensitivityTable::new();
+    for i in 0..count {
+        let steep = rng.gen_range(0.2..4.0);
+        let floor = rng.gen_range(0.08..0.2);
+        let samples: Vec<(f64, f64)> = [0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0]
+            .iter()
+            .map(|&b: &f64| (b, 1.0 + steep * (1.0 / b.max(floor) - 1.0) / 9.0))
+            .collect();
+        table.insert(SensitivityModel::fit(&format!("wl{i}"), &samples, k).expect("fit"));
+    }
+    table
+}
+
+fn main() {
+    let scenarios = arg_usize("--scenarios", if quick_mode() { 30 } else { 600 });
+    let instances = 32;
+    let topo = Topology::spine_leaf(&SpineLeafConfig::paper());
+    println!(
+        "Figure 12: {} scenarios, |A| in 1..=1000, {} instances/app, {} servers",
+        scenarios,
+        instances,
+        topo.servers().len()
+    );
+
+    let mut rng = StdRng::seed_from_u64(0xF16_12);
+    // Measured calculation times, bucketed by (k, |A| <= 250).
+    let mut small: Vec<Vec<f64>> = vec![Vec::new(); 3];
+    let mut large: Vec<Vec<f64>> = vec![Vec::new(); 3];
+    let mut csv = Vec::new();
+
+    for s in 0..scenarios {
+        let num_apps = rng.gen_range(1..=1000usize);
+        let k = 1 + s % 3;
+        let table = synthetic_table(num_apps, k, &mut rng);
+        let mut controller = CentralController::new(ControllerConfig::default(), table, &topo);
+        let servers = topo.servers();
+        for a in 0..num_apps {
+            let app = AppId(a as u32);
+            controller
+                .register(app, &format!("wl{a}"))
+                .expect("registered");
+            // 32 instances talking pairwise (ring), placed at random.
+            let nodes: Vec<_> = (0..instances)
+                .map(|_| servers[rng.gen_range(0..servers.len())])
+                .collect();
+            for w in 0..instances {
+                let (src, dst) = (nodes[w], nodes[(w + 1) % instances]);
+                if src != dst {
+                    controller.preload_connection(app, src, dst, (a * 100 + w) as u64);
+                }
+            }
+        }
+        let start = Instant::now();
+        let updates = controller.recompute_all();
+        let secs = start.elapsed().as_secs_f64();
+        std::hint::black_box(updates);
+
+        let bucket = if num_apps <= 250 {
+            &mut small
+        } else {
+            &mut large
+        };
+        bucket[k - 1].push(secs);
+        csv.push(format!("{num_apps},{k},{secs:.6}"));
+    }
+    write_csv("fig12_overhead.csv", "num_apps,degree,calc_seconds", &csv);
+
+    let mut rows = Vec::new();
+    for (name, bucket) in [("|A| <= 250", &small), ("250 < |A| <= 1000", &large)] {
+        for k in 1..=3 {
+            let xs = &bucket[k - 1];
+            if xs.is_empty() {
+                continue;
+            }
+            rows.push(vec![
+                name.to_string(),
+                format!("k={k}"),
+                format!("{}", xs.len()),
+                format!("{:.3}", percentile(xs, 50.0).expect("samples")),
+                format!("{:.3}", percentile(xs, 99.0).expect("samples")),
+            ]);
+        }
+    }
+    print_table(
+        "Figure 12: controller calculation time (seconds)",
+        &["apps", "degree", "n", "p50", "p99"],
+        &rows,
+    );
+    println!("paper anchors (p99): |A|<=250: 0.09/0.16/0.31 s; |A|<=1000: 0.43/0.72/1.13 s");
+}

@@ -1,0 +1,78 @@
+//! Figure 2 — resource-utilization timelines (§2.3).
+//!
+//! For LR and PR, under 75 % and 25 % NIC throttles, plots normalized
+//! CPU and network utilization over time. Paper anchors: LR's
+//! computation phases stay constant while communication phases stretch
+//! (completion 172 s → 447 s, 2.59×); PR overlaps transmission with
+//! computation and only grows 310 s → 427 s (1.37×).
+
+use saba_bench::write_csv;
+use saba_sim::engine::{FairShareFabric, Simulation};
+use saba_sim::ids::{AppId, ServiceLevel};
+use saba_sim::topology::Topology;
+use saba_sim::LINK_56G_BPS;
+use saba_workload::runtime::{run_jobs, JobRuntime};
+use saba_workload::trace::{utilization_series, zip_trace};
+use saba_workload::workload_by_name;
+
+/// Runs `name` in isolation at `bw`, tracing CPU and NIC utilization.
+/// Returns `(completion, trace rows)`.
+fn trace(name: &str, bw: f64, bucket: f64) -> (f64, Vec<saba_workload::trace::TracePoint>) {
+    let spec = workload_by_name(name).expect("catalog workload");
+    let mut topo = Topology::single_switch(spec.profile_nodes, LINK_56G_BPS);
+    topo.throttle_all_nics(bw);
+    let nic_capacity = LINK_56G_BPS; // Normalize against the *unthrottled* NIC.
+    let mut sim = Simulation::new(topo, FairShareFabric::default());
+    let nodes = sim.topo().servers().to_vec();
+    let probe = {
+        let nic = sim.topo().nic_link(nodes[0]);
+        sim.add_probe(nic, bucket)
+    };
+    let mut job = JobRuntime::new(AppId(0), ServiceLevel(0), nodes, spec.profile_plan(), 0);
+    job.enable_cpu_trace();
+    let mut jobs = vec![job];
+    let times = run_jobs(&mut sim, &mut jobs, |_, _| {}).expect("isolated run completes");
+    let horizon = times[0];
+    let cpu = utilization_series(jobs[0].cpu_busy_intervals().unwrap(), bucket, horizon);
+    let net = sim.probe(probe).utilization_series(nic_capacity);
+    (horizon, zip_trace(&cpu, &net, bucket))
+}
+
+fn main() {
+    let bucket = 2.0;
+    for name in ["LR", "PR"] {
+        let mut completions = Vec::new();
+        for bw in [0.75, 0.25] {
+            let (t, rows) = trace(name, bw, bucket);
+            completions.push(t);
+            let csv: Vec<String> = rows
+                .iter()
+                .map(|p| format!("{:.1},{:.1},{:.1}", p.time, p.cpu_pct, p.net_pct))
+                .collect();
+            let file = format!(
+                "fig2_{}_{}pct.csv",
+                name.to_lowercase(),
+                (bw * 100.0) as u32
+            );
+            write_csv(&file, "time_s,cpu_pct,net_pct", &csv);
+
+            // Console sparkline: network utilization, 1 char per 4 buckets.
+            let glyphs = [' ', '.', ':', '-', '=', '+', '*', '#'];
+            let line: String = rows
+                .chunks(4)
+                .map(|c| {
+                    let avg = c.iter().map(|p| p.net_pct).sum::<f64>() / c.len() as f64;
+                    glyphs[((avg / 100.0 * 7.0).round() as usize).min(7)]
+                })
+                .collect();
+            println!("{name} @ {:>3.0}% BW  net |{line}|", bw * 100.0);
+        }
+        println!(
+            "{name}: completion {:.0} s @75% -> {:.0} s @25% ({:.2}x)\n",
+            completions[0],
+            completions[1],
+            completions[1] / completions[0]
+        );
+    }
+    println!("paper anchors: LR 172 s -> 447 s (2.59x); PR 310 s -> 427 s (1.37x)");
+}

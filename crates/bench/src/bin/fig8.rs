@@ -1,0 +1,99 @@
+//! Figure 8 — the main testbed result (§8.2).
+//!
+//! (a) Average speedup of Saba over the InfiniBand baseline, per
+//! workload, across randomized cluster setups (paper: 500 setups of 16
+//! jobs over 32 servers; average speedup 1.88×, RF 3.9×, LR 3.6×, Sort
+//! and PR mildly degraded).
+//!
+//! (b) CDF of the average speedup across setups (paper: 0.94×–2.92×,
+//! only 2 of 500 setups below 1×).
+//!
+//! Usage: `fig8 [--setups N] [--quick]`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use saba_bench::{arg_usize, catalog_table, print_table, quick_mode, write_csv};
+use saba_cluster::corun::CorunConfig;
+use saba_cluster::metrics::{merge_reports, per_workload_speedups};
+use saba_cluster::runner::{default_threads, parallel_map};
+use saba_cluster::{generate_setup, run_setup, Policy, SetupConfig};
+use saba_math::stats::Ecdf;
+use saba_workload::catalog;
+
+fn main() {
+    let setups = arg_usize("--setups", if quick_mode() { 20 } else { 500 });
+    let servers = 32;
+    println!("Figure 8: {setups} cluster setups, 16 jobs each, {servers} servers");
+
+    let table = catalog_table();
+    let cat = catalog();
+    let setup_cfg = SetupConfig::default();
+
+    let runs = parallel_map(setups, default_threads(), |i| {
+        let mut rng = StdRng::seed_from_u64(0xF16_8 + i as u64);
+        let setup = generate_setup(&cat, &setup_cfg, &mut rng);
+        let cfg = CorunConfig {
+            seed: 0x5aba ^ i as u64,
+            ..Default::default()
+        };
+        let base = run_setup(&setup, servers, &Policy::baseline(), &table, &cat, &cfg)
+            .expect("baseline run completes");
+        let saba = run_setup(&setup, servers, &Policy::saba(), &table, &cat, &cfg)
+            .expect("saba run completes");
+        let report = per_workload_speedups(&base, &saba);
+        let names: Vec<String> = setup.jobs.iter().map(|j| j.workload.clone()).collect();
+        (report, names)
+    });
+
+    let reports: Vec<_> = runs.iter().map(|(r, _)| r.clone()).collect();
+    let names: Vec<_> = runs.iter().map(|(_, n)| n.clone()).collect();
+    let merged = merge_reports(&reports, &names);
+
+    // Figure 8a: per-workload average speedup.
+    let order = [
+        "LR", "RF", "GBT", "SVM", "NI", "NW", "PR", "SQL", "WC", "Sort",
+    ];
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    let max = merged.per_workload.values().cloned().fold(1.0, f64::max);
+    for w in order {
+        if let Some(s) = merged.per_workload.get(w) {
+            rows.push(vec![
+                w.to_string(),
+                format!("{s:.2}"),
+                saba_bench::bar(*s, max, 24),
+            ]);
+            csv.push(format!("{w},{s:.4}"));
+        }
+    }
+    rows.push(vec![
+        "Average".into(),
+        format!("{:.2}", merged.average),
+        String::new(),
+    ]);
+    csv.push(format!("Average,{:.4}", merged.average));
+    print_table(
+        "Figure 8a: speedup of Saba over baseline",
+        &["workload", "speedup", ""],
+        &rows,
+    );
+    write_csv("fig8a_speedup.csv", "workload,speedup", &csv);
+
+    // Figure 8b: CDF of per-setup average speedup.
+    let per_setup: Vec<f64> = reports.iter().map(|r| r.average).collect();
+    let ecdf = Ecdf::new(&per_setup);
+    let cdf_rows: Vec<String> = ecdf
+        .points()
+        .iter()
+        .map(|(v, p)| format!("{v:.4},{p:.4}"))
+        .collect();
+    write_csv("fig8b_cdf.csv", "avg_speedup,cdf", &cdf_rows);
+    let slowdown_setups = per_setup.iter().filter(|&&s| s < 1.0).count();
+    println!(
+        "\nFigure 8b: per-setup average speedup ranges {:.2}x..{:.2}x; \
+         {slowdown_setups} of {setups} setups below 1.0x",
+        ecdf.min(),
+        ecdf.max()
+    );
+    println!("paper anchors: average 1.88x, range 0.94x..2.92x, 2/500 setups below 1.0x");
+}

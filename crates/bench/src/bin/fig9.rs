@@ -1,0 +1,181 @@
+//! Figure 9 — sensitivity studies (§8.3).
+//!
+//! Homogeneous setups: every workload runs one instance on every
+//! server, co-running with all others.
+//!
+//! (a) Speedup vs runtime dataset size (0.1×/1×/10×). Paper anchors:
+//! average 1.33× / 1.54× / 1.40×.
+//!
+//! (b) Speedup vs node count (0.5×–4× of the 8 profiled nodes). Paper
+//! anchors: 1.42× / 1.34× / 1.26× / 1.09× for 0.5×/2×/3×/4×; SQL, NW
+//! and NI lose 8 %, 6 % and 3 % at 4×.
+//!
+//! (c) Speedup vs polynomial degree (1–3). Paper anchors: 1.27× /
+//! 1.42× with k = 1 / 2; SQL gains 1.03× → 1.22× from k = 2 → 3.
+
+use saba_bench::{default_profiler, print_table, write_csv};
+use saba_cluster::corun::{run_setup, CorunConfig};
+use saba_cluster::metrics::per_workload_speedups;
+use saba_cluster::setup::{ClusterSetup, JobSpec};
+use saba_cluster::Policy;
+use saba_core::profiler::{Profiler, ProfilerConfig};
+use saba_core::sensitivity::SensitivityTable;
+use saba_workload::catalog;
+
+const ORDER: [&str; 10] = [
+    "LR", "RF", "GBT", "SVM", "NI", "NW", "PR", "SQL", "WC", "Sort",
+];
+
+/// A homogeneous setup: every workload spans all `servers` servers.
+fn homogeneous(servers: usize, dataset: f64) -> ClusterSetup {
+    ClusterSetup {
+        jobs: ORDER
+            .iter()
+            .map(|w| JobSpec {
+                workload: (*w).to_string(),
+                dataset_scale: dataset,
+                servers: (0..servers).collect(),
+            })
+            .collect(),
+    }
+}
+
+/// Runs one homogeneous configuration; returns per-workload speedups
+/// and the average.
+fn study(servers: usize, dataset: f64, table: &SensitivityTable) -> (Vec<(String, f64)>, f64) {
+    let cat = catalog();
+    let setup = homogeneous(servers, dataset);
+    let cfg = CorunConfig::default();
+    let base = run_setup(&setup, servers, &Policy::baseline(), table, &cat, &cfg)
+        .expect("baseline run completes");
+    let saba =
+        run_setup(&setup, servers, &Policy::saba(), table, &cat, &cfg).expect("saba run completes");
+    let report = per_workload_speedups(&base, &saba);
+    let per: Vec<(String, f64)> = ORDER
+        .iter()
+        .map(|w| ((*w).to_string(), report.per_workload[*w]))
+        .collect();
+    (per, report.average)
+}
+
+fn table_with_degree(degree: usize) -> SensitivityTable {
+    Profiler::new(ProfilerConfig {
+        degree,
+        ..Default::default()
+    })
+    .profile_all(&catalog())
+    .expect("profiling succeeds")
+}
+
+fn emit(title: &str, file: &str, cols: &[String], data: &[(String, Vec<f64>)], avgs: &[f64]) {
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for (w, vals) in data {
+        let mut cells = vec![w.clone()];
+        cells.extend(vals.iter().map(|v| format!("{v:.2}")));
+        rows.push(cells);
+        csv.push(format!(
+            "{w},{}",
+            vals.iter()
+                .map(|v| format!("{v:.4}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        ));
+    }
+    let mut avg_cells = vec!["Average".to_string()];
+    avg_cells.extend(avgs.iter().map(|v| format!("{v:.2}")));
+    rows.push(avg_cells);
+    csv.push(format!(
+        "Average,{}",
+        avgs.iter()
+            .map(|v| format!("{v:.4}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    ));
+    let header: Vec<&str> = std::iter::once("workload")
+        .chain(cols.iter().map(|s| s.as_str()))
+        .collect();
+    print_table(title, &header, &rows);
+    write_csv(file, &format!("workload,{}", cols.join(",")), &csv);
+}
+
+fn main() {
+    let table3 = default_profiler()
+        .profile_all(&catalog())
+        .expect("profiling succeeds");
+
+    // (a) dataset size at 8 servers.
+    let scales = [0.1, 1.0, 10.0];
+    let mut per: Vec<(String, Vec<f64>)> = ORDER
+        .iter()
+        .map(|w| ((*w).to_string(), Vec::new()))
+        .collect();
+    let mut avgs = Vec::new();
+    for &s in &scales {
+        let (p, avg) = study(8, s, &table3);
+        for ((_, col), (_, v)) in per.iter_mut().zip(&p) {
+            col.push(*v);
+        }
+        avgs.push(avg);
+    }
+    emit(
+        "Figure 9a: speedup vs dataset size",
+        "fig9a_dataset.csv",
+        &["0.1x".into(), "1x".into(), "10x".into()],
+        &per,
+        &avgs,
+    );
+    println!("paper anchors: averages 1.33 / 1.54 / 1.40");
+
+    // (b) node count.
+    let nodes = [4usize, 8, 16, 24, 32];
+    let mut per: Vec<(String, Vec<f64>)> = ORDER
+        .iter()
+        .map(|w| ((*w).to_string(), Vec::new()))
+        .collect();
+    let mut avgs = Vec::new();
+    for &n in &nodes {
+        let (p, avg) = study(n, 1.0, &table3);
+        for ((_, col), (_, v)) in per.iter_mut().zip(&p) {
+            col.push(*v);
+        }
+        avgs.push(avg);
+    }
+    emit(
+        "Figure 9b: speedup vs node count",
+        "fig9b_nodes.csv",
+        &[
+            "0.5x".into(),
+            "1x".into(),
+            "2x".into(),
+            "3x".into(),
+            "4x".into(),
+        ],
+        &per,
+        &avgs,
+    );
+    println!("paper anchors: averages 1.42 / 1.54 / 1.34 / 1.26 / 1.09");
+
+    // (c) polynomial degree.
+    let mut per: Vec<(String, Vec<f64>)> = ORDER
+        .iter()
+        .map(|w| ((*w).to_string(), Vec::new()))
+        .collect();
+    let mut avgs = Vec::new();
+    for k in 1..=3 {
+        let table = table_with_degree(k);
+        let (p, avg) = study(8, 1.0, &table);
+        for ((_, col), (_, v)) in per.iter_mut().zip(&p) {
+            col.push(*v);
+        }
+        avgs.push(avg);
+    }
+    emit(
+        "Figure 9c: speedup vs polynomial degree",
+        "fig9c_degree.csv",
+        &["k=1".into(), "k=2".into(), "k=3".into()],
+        &per,
+        &avgs,
+    );
+    println!("paper anchors: averages 1.27 / 1.42 / ~1.54");
+}

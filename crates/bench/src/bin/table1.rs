@@ -1,0 +1,64 @@
+//! Table 1 — the workload catalog: benchmark class and profiled
+//! dataset size per workload, plus the calibrated model parameters this
+//! reproduction derives them from.
+
+use saba_bench::{print_table, write_csv};
+use saba_workload::catalog;
+use saba_workload::spec::WorkloadClass;
+
+fn class_name(c: WorkloadClass) -> &'static str {
+    match c {
+        WorkloadClass::MachineLearning => "Machine Learning",
+        WorkloadClass::Graph => "Graph",
+        WorkloadClass::Websearch => "Websearch",
+        WorkloadClass::Sql => "SQL",
+        WorkloadClass::Micro => "Micro",
+        WorkloadClass::Synthetic => "Synthetic",
+    }
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for w in catalog() {
+        let plan = w.profile_plan();
+        let t0 = plan.analytic_completion(saba_sim::LINK_56G_BPS);
+        let comm_frac = {
+            let full = plan.analytic_completion(saba_sim::LINK_56G_BPS);
+            let compute = plan.total_compute_secs();
+            1.0 - compute / full
+        };
+        rows.push(vec![
+            w.name.clone(),
+            class_name(w.class).to_string(),
+            w.dataset_desc.clone(),
+            format!("{}", w.stages.len()),
+            format!("{t0:.0}"),
+            format!("{:.0}%", comm_frac * 100.0),
+        ]);
+        csv.push(format!(
+            "{},{},{:?},{},{t0:.1},{comm_frac:.3}",
+            w.name,
+            class_name(w.class),
+            w.dataset_desc,
+            w.stages.len()
+        ));
+    }
+    print_table(
+        "Table 1: workloads and dataset sizes",
+        &[
+            "workload",
+            "class",
+            "dataset",
+            "stages",
+            "T0 (s)",
+            "comm frac",
+        ],
+        &rows,
+    );
+    write_csv(
+        "table1_workloads.csv",
+        "workload,class,dataset,stages,t0_s,comm_frac",
+        &csv,
+    );
+}

@@ -1,0 +1,200 @@
+//! Shared infrastructure for the figure/table regeneration binaries.
+//!
+//! Every table and figure of the paper's evaluation has a binary in
+//! `src/bin/` (`table1`, `fig1`, `fig2`, `fig5`, `fig6`, `fig8`,
+//! `fig9`, `fig10`, `fig11`, `fig12`). Each prints the figure's
+//! rows/series to stdout and writes a CSV under `results/`. Binaries
+//! accept a `--quick` flag that shrinks sample counts for smoke runs;
+//! the defaults reproduce the paper's scale where tractable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use saba_core::profiler::{Profiler, ProfilerConfig};
+use saba_core::sensitivity::SensitivityTable;
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// The directory experiment CSVs are written to (`results/`, created on
+/// demand next to the workspace root).
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(env_or("SABA_RESULTS_DIR", "results"));
+    fs::create_dir_all(&dir).expect("results directory must be creatable");
+    dir
+}
+
+fn env_or(key: &str, default: &str) -> String {
+    std::env::var(key).unwrap_or_else(|_| default.to_string())
+}
+
+/// Whether `--quick` was passed (smoke-test scale).
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Reads `--flag value` style integer arguments.
+pub fn arg_usize(flag: &str, default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    for i in 0..args.len().saturating_sub(1) {
+        if args[i] == flag {
+            return args[i + 1]
+                .parse()
+                .unwrap_or_else(|_| panic!("{flag} expects an integer, got {:?}", args[i + 1]));
+        }
+    }
+    default
+}
+
+/// Writes a CSV file into [`results_dir`], returning its path.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) -> PathBuf {
+    let path = results_dir().join(name);
+    let mut f = fs::File::create(&path).expect("CSV file must be creatable");
+    writeln!(f, "{header}").expect("CSV write");
+    for r in rows {
+        writeln!(f, "{r}").expect("CSV write");
+    }
+    path
+}
+
+/// Prints a fixed-width table to stdout.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    // Width bookkeeping is in *characters*, not bytes (bar cells use
+    // multi-byte block glyphs).
+    let mut widths: Vec<usize> = header.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.chars().count());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| {
+                let pad = w.saturating_sub(c.chars().count());
+                format!("{}{}", " ".repeat(pad), c)
+            })
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!(
+        "{}",
+        fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
+    println!(
+        "{}",
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Renders a unicode bar of `value` against `max` (for quick visual
+/// scanning of figure outputs in the terminal).
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if !(max > 0.0) || !value.is_finite() {
+        return String::new();
+    }
+    let filled = ((value / max) * width as f64).round().clamp(0.0, width as f64) as usize;
+    let mut s = String::with_capacity(width);
+    for _ in 0..filled {
+        s.push('█');
+    }
+    // Pad to a fixed width so columns stay aligned in the table.
+    for _ in filled..width {
+        s.push(' ');
+    }
+    s
+}
+
+/// The default profiler used by all experiments (the §7.1 bandwidth
+/// points, degree-3 fits, light measurement noise).
+pub fn default_profiler() -> Profiler {
+    Profiler::new(ProfilerConfig::default())
+}
+
+/// Profiles the full Table-1 catalog, caching the table as JSON in
+/// [`results_dir`] so repeated figure runs skip re-profiling.
+pub fn catalog_table() -> SensitivityTable {
+    cached_table("sensitivity_table_catalog.json", || {
+        default_profiler()
+            .profile_all(&saba_workload::catalog())
+            .expect("catalog profiling succeeds")
+    })
+}
+
+/// Loads a cached sensitivity table or builds and caches it.
+pub fn cached_table(
+    cache_name: &str,
+    build: impl FnOnce() -> SensitivityTable,
+) -> SensitivityTable {
+    let path = results_dir().join(cache_name);
+    if let Ok(json) = fs::read_to_string(&path) {
+        if let Ok(table) = SensitivityTable::from_json(&json) {
+            if !table.is_empty() {
+                return table;
+            }
+        }
+    }
+    let table = build();
+    fs::write(&path, table.to_json()).expect("table cache must be writable");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_round_trip() {
+        let p = write_csv(
+            "test_out.csv",
+            "a,b",
+            &["1,2".to_string(), "3,4".to_string()],
+        );
+        let body = fs::read_to_string(p).unwrap();
+        assert_eq!(body, "a,b\n1,2\n3,4\n");
+    }
+
+    #[test]
+    fn bar_scales_and_clamps() {
+        assert_eq!(bar(2.0, 4.0, 8).chars().filter(|&c| c == '█').count(), 4);
+        assert_eq!(bar(99.0, 4.0, 8).chars().filter(|&c| c == '█').count(), 8);
+        assert_eq!(bar(2.0, 4.0, 8).chars().count(), 8);
+        assert_eq!(bar(1.0, 0.0, 8), "");
+    }
+
+    #[test]
+    fn arg_usize_default() {
+        assert_eq!(arg_usize("--no-such-flag", 7), 7);
+    }
+
+    #[test]
+    fn cached_table_builds_once() {
+        let _ = fs::remove_file(results_dir().join("test_cache.json"));
+        let mut calls = 0;
+        let t1 = cached_table("test_cache.json", || {
+            calls += 1;
+            let mut t = SensitivityTable::new();
+            t.insert(
+                saba_core::sensitivity::SensitivityModel::fit(
+                    "X",
+                    &[(0.25, 2.0), (0.5, 1.5), (1.0, 1.0)],
+                    1,
+                )
+                .unwrap(),
+            );
+            t
+        });
+        assert_eq!(calls, 1);
+        let t2 = cached_table("test_cache.json", || panic!("must hit the cache"));
+        assert_eq!(t1, t2);
+    }
+}

@@ -1,0 +1,161 @@
+//! The large-scale simulation experiment (§8.1, §8.4).
+//!
+//! "We simulate a representative network configuration with a
+//! Spine-Leaf topology and three levels of switches: 54 spine, 102
+//! leaf, and 108 top-of-rack switches. Each top-of-rack switch connects
+//! 18 servers, for a total of 1,944 servers. … In a topology with 1,944
+//! servers, each of the 20 workloads has 97 instances, which are
+//! randomly distributed across the network."
+
+use crate::corun::{execute, JobResult, PlannedJob};
+use crate::policy::Policy;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use saba_core::sensitivity::SensitivityTable;
+use saba_sim::topology::{SpineLeafConfig, Topology};
+use saba_workload::spec::WorkloadSpec;
+
+/// Parameters of the datacenter-scale experiment.
+#[derive(Debug, Clone)]
+pub struct DatacenterConfig {
+    /// The fabric (the paper uses [`SpineLeafConfig::paper`]).
+    pub topo: SpineLeafConfig,
+    /// Instances per workload (97 in §8.1).
+    pub instances_per_workload: usize,
+    /// Placement seed (instances are shuffled over all servers).
+    pub placement_seed: u64,
+    /// Per-stage compute jitter sigma.
+    pub compute_jitter: f64,
+}
+
+impl DatacenterConfig {
+    /// The §8.1 configuration: the full 1,944-server fabric with 97
+    /// instances of each of the 20 workloads.
+    pub fn paper() -> Self {
+        Self {
+            topo: SpineLeafConfig::paper(),
+            instances_per_workload: 97,
+            placement_seed: 0x5aba,
+            compute_jitter: 0.02,
+        }
+    }
+
+    /// A scaled-down configuration for tests and quick runs.
+    pub fn small(servers_per_tor: usize, instances: usize) -> Self {
+        Self {
+            topo: SpineLeafConfig::tiny(servers_per_tor),
+            instances_per_workload: instances,
+            placement_seed: 0x5aba,
+            compute_jitter: 0.0,
+        }
+    }
+}
+
+/// Runs all `workloads` together on the spine-leaf fabric under
+/// `policy`, one job per workload with `instances_per_workload` nodes
+/// placed at random.
+///
+/// Returns one [`JobResult`] per workload, in workload order.
+pub fn run_datacenter(
+    workloads: &[WorkloadSpec],
+    policy: &Policy,
+    table: &SensitivityTable,
+    cfg: &DatacenterConfig,
+) -> Result<Vec<JobResult>, String> {
+    let topo = Topology::spine_leaf(&cfg.topo);
+    let servers = topo.servers().to_vec();
+    let needed = workloads.len() * cfg.instances_per_workload;
+    if needed > servers.len() {
+        return Err(format!(
+            "{needed} instances do not fit {} servers",
+            servers.len()
+        ));
+    }
+
+    // Random placement: shuffle all servers, deal consecutive chunks —
+    // each server runs (at most) one workload instance, as in §8.1.
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.placement_seed);
+    let mut deck = servers;
+    deck.shuffle(&mut rng);
+
+    let mut jobs = Vec::with_capacity(workloads.len());
+    for (i, w) in workloads.iter().enumerate() {
+        let nodes =
+            deck[i * cfg.instances_per_workload..(i + 1) * cfg.instances_per_workload].to_vec();
+        let mut jrng = ChaCha8Rng::seed_from_u64(cfg.placement_seed ^ (i as u64) << 8);
+        let plan = w
+            .plan(1.0, cfg.instances_per_workload)
+            .with_compute_jitter(cfg.compute_jitter, &mut jrng);
+        jobs.push(PlannedJob {
+            workload: w.name.clone(),
+            dataset_scale: 1.0,
+            plan,
+            nodes,
+        });
+    }
+    execute(topo, jobs, policy, table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saba_core::profiler::{Profiler, ProfilerConfig};
+    use saba_workload::synthetic::{synthetic_workloads, SyntheticConfig};
+
+    fn small_world() -> (Vec<WorkloadSpec>, SensitivityTable, DatacenterConfig) {
+        let syn_cfg = SyntheticConfig {
+            count: 4,
+            profile_nodes: 4,
+            stages: (2, 3),
+            compute_secs: (2.0, 6.0),
+            ..Default::default()
+        };
+        let workloads = synthetic_workloads(&syn_cfg, 11);
+        let table = Profiler::new(ProfilerConfig {
+            noise_sigma: 0.0,
+            bw_points: vec![0.25, 0.5, 0.75, 1.0],
+            degree: 2,
+            ..Default::default()
+        })
+        .profile_all(&workloads)
+        .unwrap();
+        // tiny(2): 8 servers; 4 workloads × 2 instances = 8.
+        (workloads, table, DatacenterConfig::small(2, 2))
+    }
+
+    #[test]
+    fn all_policies_complete_at_small_scale() {
+        let (workloads, table, cfg) = small_world();
+        for policy in [
+            Policy::baseline(),
+            Policy::IdealMaxMin,
+            Policy::Homa(Default::default()),
+            Policy::Sincronia,
+            Policy::saba(),
+        ] {
+            let results = run_datacenter(&workloads, &policy, &table, &cfg).unwrap();
+            assert_eq!(results.len(), 4, "{}", policy.name());
+            for r in &results {
+                assert!(r.completion > 0.0);
+                assert_eq!(r.nodes, 2);
+            }
+        }
+    }
+
+    #[test]
+    fn overflowing_placement_is_an_error() {
+        let (workloads, table, mut cfg) = small_world();
+        cfg.instances_per_workload = 100;
+        let err = run_datacenter(&workloads, &Policy::baseline(), &table, &cfg).unwrap_err();
+        assert!(err.contains("do not fit"));
+    }
+
+    #[test]
+    fn placement_is_deterministic_per_seed() {
+        let (workloads, table, cfg) = small_world();
+        let a = run_datacenter(&workloads, &Policy::baseline(), &table, &cfg).unwrap();
+        let b = run_datacenter(&workloads, &Policy::baseline(), &table, &cfg).unwrap();
+        assert_eq!(a, b);
+    }
+}

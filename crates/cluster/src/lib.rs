@@ -1,0 +1,35 @@
+//! Cluster-scale experiment harness for the Saba evaluation (§8).
+//!
+//! This crate glues everything together: it generates randomized
+//! cluster setups (§8.2's 500 setups of 16 jobs over 32 servers),
+//! executes them under any allocation [`policy::Policy`] — the FECN
+//! baseline, ideal max-min, Homa, Sincronia, or Saba with a centralized
+//! or distributed controller — and aggregates the paper's speedup
+//! metrics.
+//!
+//! - [`policy`] — the policy enum and the [`policy::AnyFabric`]
+//!   dispatcher implementing [`saba_sim::engine::FabricModel`].
+//! - [`setup`] — random cluster-setup generation with the §8.2
+//!   placement constraints.
+//! - [`corun`] — the co-run engine: registration at launch, connection
+//!   events wired to the controller, switch updates applied to the
+//!   fabric (the full Fig. 7 loop).
+//! - [`datacenter`] — the 1,944-server spine-leaf experiment of §8.4.
+//! - [`metrics`] — per-workload speedups, geometric means, CDFs.
+//! - [`runner`] — a thread-parallel map over independent setups.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corun;
+pub mod datacenter;
+pub mod metrics;
+pub mod policy;
+pub mod runner;
+pub mod setup;
+
+pub use corun::{run_setup, JobResult};
+pub use datacenter::{run_datacenter, DatacenterConfig};
+pub use metrics::{per_workload_speedups, SpeedupReport};
+pub use policy::Policy;
+pub use setup::{generate_setup, ClusterSetup, JobSpec, SetupConfig};

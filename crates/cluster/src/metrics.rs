@@ -1,0 +1,144 @@
+//! Speedup metrics (§8.1).
+//!
+//! "Our metric of interest is speedup, defined as the ratio of the
+//! performance of a given workload on the Saba-enabled network to the
+//! performance of the workload on the baseline system. … the average
+//! speedup reports the geometric mean of the results."
+
+use crate::corun::JobResult;
+use saba_math::stats::geometric_mean;
+use std::collections::BTreeMap;
+
+/// Aggregated speedups of one policy against a baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeedupReport {
+    /// Geometric-mean speedup per workload name, sorted by name.
+    pub per_workload: BTreeMap<String, f64>,
+    /// Geometric mean across all job instances.
+    pub average: f64,
+    /// Per-job speedups, in job order.
+    pub per_job: Vec<f64>,
+}
+
+/// Computes speedups from paired runs of the *same* jobs (identical
+/// order) under a baseline and a candidate policy.
+///
+/// # Panics
+///
+/// Panics if the two result sets have different lengths or mismatched
+/// job identities, or any completion time is non-positive.
+pub fn per_workload_speedups(baseline: &[JobResult], candidate: &[JobResult]) -> SpeedupReport {
+    assert_eq!(
+        baseline.len(),
+        candidate.len(),
+        "paired runs must have equal job counts"
+    );
+    let mut per_job = Vec::with_capacity(baseline.len());
+    let mut groups: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    for (b, c) in baseline.iter().zip(candidate) {
+        assert_eq!(b.workload, c.workload, "job order must match between runs");
+        assert!(
+            b.completion > 0.0 && c.completion > 0.0,
+            "non-positive completion time"
+        );
+        let s = b.completion / c.completion;
+        per_job.push(s);
+        groups.entry(b.workload.clone()).or_default().push(s);
+    }
+    let per_workload = groups
+        .into_iter()
+        .map(|(w, ss)| {
+            let g = geometric_mean(&ss).expect("speedups are positive");
+            (w, g)
+        })
+        .collect();
+    let average = geometric_mean(&per_job).expect("speedups are positive");
+    SpeedupReport {
+        per_workload,
+        average,
+        per_job,
+    }
+}
+
+/// Merges per-job speedups from many setups into per-workload geomeans
+/// (the Fig. 8a aggregation across 500 setups).
+pub fn merge_reports(reports: &[SpeedupReport], jobs: &[Vec<String>]) -> SpeedupReport {
+    assert_eq!(reports.len(), jobs.len(), "one job-name list per report");
+    let mut groups: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    let mut all = Vec::new();
+    for (r, names) in reports.iter().zip(jobs) {
+        assert_eq!(r.per_job.len(), names.len());
+        for (s, w) in r.per_job.iter().zip(names) {
+            groups.entry(w.clone()).or_default().push(*s);
+            all.push(*s);
+        }
+    }
+    let per_workload = groups
+        .into_iter()
+        .map(|(w, ss)| (w, geometric_mean(&ss).expect("positive speedups")))
+        .collect();
+    SpeedupReport {
+        per_workload,
+        average: geometric_mean(&all).expect("positive speedups"),
+        per_job: all,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(w: &str, t: f64) -> JobResult {
+        JobResult {
+            workload: w.into(),
+            dataset_scale: 1.0,
+            nodes: 8,
+            completion: t,
+        }
+    }
+
+    #[test]
+    fn simple_pairing() {
+        let base = vec![job("LR", 200.0), job("PR", 100.0)];
+        let cand = vec![job("LR", 100.0), job("PR", 110.0)];
+        let r = per_workload_speedups(&base, &cand);
+        assert!((r.per_workload["LR"] - 2.0).abs() < 1e-12);
+        assert!((r.per_workload["PR"] - 100.0 / 110.0).abs() < 1e-12);
+        let expected_avg = (2.0f64 * (100.0 / 110.0)).sqrt();
+        assert!((r.average - expected_avg).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repeated_workloads_aggregate_geometrically() {
+        let base = vec![job("LR", 100.0), job("LR", 100.0)];
+        let cand = vec![job("LR", 50.0), job("LR", 200.0)];
+        let r = per_workload_speedups(&base, &cand);
+        // Speedups 2.0 and 0.5: geomean 1.0.
+        assert!((r.per_workload["LR"] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "job order must match")]
+    fn mismatched_jobs_rejected() {
+        let base = vec![job("LR", 100.0)];
+        let cand = vec![job("PR", 100.0)];
+        let _ = per_workload_speedups(&base, &cand);
+    }
+
+    #[test]
+    fn merge_combines_setups() {
+        let base1 = vec![job("LR", 100.0)];
+        let cand1 = vec![job("LR", 50.0)];
+        let base2 = vec![job("LR", 100.0), job("PR", 60.0)];
+        let cand2 = vec![job("LR", 200.0), job("PR", 60.0)];
+        let r1 = per_workload_speedups(&base1, &cand1);
+        let r2 = per_workload_speedups(&base2, &cand2);
+        let merged = merge_reports(
+            &[r1, r2],
+            &[vec!["LR".into()], vec!["LR".into(), "PR".into()]],
+        );
+        assert!((merged.per_workload["LR"] - 1.0).abs() < 1e-12);
+        assert!((merged.per_workload["PR"] - 1.0).abs() < 1e-12);
+        assert_eq!(merged.per_job.len(), 3);
+    }
+}

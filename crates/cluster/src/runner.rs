@@ -1,0 +1,103 @@
+//! Thread-parallel experiment execution.
+//!
+//! The §8.2 experiment runs 500 independent cluster setups twice each;
+//! setups share nothing, so they parallelize trivially across cores
+//! with `crossbeam` scoped threads.
+
+use crossbeam::thread;
+use parking_lot::Mutex;
+
+/// Runs `f(i)` for every `i` in `0..n` across up to `threads` worker
+/// threads, returning results in index order.
+///
+/// `f` must be `Sync` (it is shared by reference across workers).
+///
+/// # Panics
+///
+/// Propagates panics from worker closures.
+pub fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    assert!(threads >= 1, "need at least one thread");
+    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+
+    thread::scope(|s| {
+        for _ in 0..threads.min(n.max(1)) {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let value = f(i);
+                *results[i].lock() = Some(value);
+            });
+        }
+    })
+    .expect("worker threads must not panic");
+
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("every index was processed"))
+        .collect()
+}
+
+/// A sensible worker count: the available parallelism, capped.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_order() {
+        let out = parallel_map(100, 8, |i| i * i);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * i);
+        }
+    }
+
+    #[test]
+    fn single_thread_works() {
+        assert_eq!(parallel_map(5, 1, |i| i), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_tasks_is_empty() {
+        let out: Vec<usize> = parallel_map(0, 4, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_tasks() {
+        assert_eq!(parallel_map(2, 16, |i| i + 1), vec![1, 2]);
+    }
+
+    #[test]
+    fn heavy_closure_parallelizes_correctly() {
+        let out = parallel_map(50, default_threads(), |i| {
+            let mut acc = 0u64;
+            for k in 0..10_000 {
+                acc = acc.wrapping_add((i as u64).wrapping_mul(k));
+            }
+            acc
+        });
+        let serial: Vec<u64> = (0..50)
+            .map(|i| {
+                let mut acc = 0u64;
+                for k in 0..10_000 {
+                    acc = acc.wrapping_add((i as u64).wrapping_mul(k));
+                }
+                acc
+            })
+            .collect();
+        assert_eq!(out, serial);
+    }
+}

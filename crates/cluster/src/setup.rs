@@ -1,0 +1,204 @@
+//! Random cluster-setup generation (§8.2).
+//!
+//! "In each cluster setup, 16 jobs are randomly selected by drawing,
+//! with replacement, from the set of workloads listed in Table 1. …
+//! The dataset size of each job is randomly selected from 0.1×, 1×, and
+//! 10× of the dataset used by the profiler. The number of instances of
+//! a job is also randomly selected from 0.5× to 4× of the number of
+//! nodes used by the profiler (8 nodes). … Instances of jobs are
+//! randomly distributed among servers with two constraints: 1) at most
+//! one instance of a given job is assigned to a server, and 2) each
+//! server accommodates at most 16 jobs."
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use saba_workload::spec::WorkloadSpec;
+use serde::{Deserialize, Serialize};
+
+/// Parameters for setup generation.
+#[derive(Debug, Clone)]
+pub struct SetupConfig {
+    /// Servers in the cluster (32 on the testbed).
+    pub servers: usize,
+    /// Jobs per setup (16 in §8.2).
+    pub jobs: usize,
+    /// Dataset-scale choices (0.1×, 1×, 10×).
+    pub dataset_choices: Vec<f64>,
+    /// Instance-count (node-count) choices — 0.5× to 4× of the 8
+    /// profiling nodes.
+    pub node_choices: Vec<usize>,
+    /// Constraint 2: jobs per server cap (16 in §8.2).
+    pub max_jobs_per_server: usize,
+}
+
+impl Default for SetupConfig {
+    fn default() -> Self {
+        Self {
+            servers: 32,
+            jobs: 16,
+            dataset_choices: vec![0.1, 1.0, 10.0],
+            node_choices: vec![4, 8, 16, 24, 32],
+            max_jobs_per_server: 16,
+        }
+    }
+}
+
+/// One job of a cluster setup.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Workload name (catalog key).
+    pub workload: String,
+    /// Dataset scale relative to profiling.
+    pub dataset_scale: f64,
+    /// Server indices hosting the job's instances.
+    pub servers: Vec<usize>,
+}
+
+/// A complete randomized cluster setup.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSetup {
+    /// The jobs, in creation order (job `i` gets `AppId(i)`).
+    pub jobs: Vec<JobSpec>,
+}
+
+/// Generates one cluster setup under the §8.2 constraints.
+///
+/// # Panics
+///
+/// Panics if the workload list is empty, a node choice exceeds the
+/// server count, or the per-server cap makes placement impossible.
+pub fn generate_setup<R: Rng>(
+    workloads: &[WorkloadSpec],
+    cfg: &SetupConfig,
+    rng: &mut R,
+) -> ClusterSetup {
+    assert!(!workloads.is_empty(), "need at least one workload");
+    assert!(
+        cfg.node_choices.iter().all(|&n| n >= 1 && n <= cfg.servers),
+        "node choices must fit the cluster"
+    );
+    let total_slots = cfg.servers * cfg.max_jobs_per_server;
+    let max_instances: usize = cfg.node_choices.iter().copied().max().unwrap_or(0) * cfg.jobs;
+    assert!(
+        max_instances <= total_slots,
+        "placement can exceed server capacity"
+    );
+
+    let mut load = vec![0usize; cfg.servers];
+    let mut jobs = Vec::with_capacity(cfg.jobs);
+    for _ in 0..cfg.jobs {
+        let w = &workloads[rng.gen_range(0..workloads.len())];
+        let dataset = cfg.dataset_choices[rng.gen_range(0..cfg.dataset_choices.len())];
+        let nodes = cfg.node_choices[rng.gen_range(0..cfg.node_choices.len())];
+
+        // Constraint 1: distinct servers per job. Constraint 2: respect
+        // the per-server cap; choose among the least-loaded candidates.
+        let mut candidates: Vec<usize> = (0..cfg.servers)
+            .filter(|&s| load[s] < cfg.max_jobs_per_server)
+            .collect();
+        assert!(
+            candidates.len() >= nodes,
+            "cannot place {nodes} instances with per-server cap {}",
+            cfg.max_jobs_per_server
+        );
+        candidates.shuffle(rng);
+        let mut servers: Vec<usize> = candidates.into_iter().take(nodes).collect();
+        servers.sort_unstable();
+        for &s in &servers {
+            load[s] += 1;
+        }
+        jobs.push(JobSpec {
+            workload: w.name.clone(),
+            dataset_scale: dataset,
+            servers,
+        });
+    }
+    ClusterSetup { jobs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use saba_workload::catalog;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn generates_requested_job_count() {
+        let setup = generate_setup(&catalog(), &SetupConfig::default(), &mut rng(1));
+        assert_eq!(setup.jobs.len(), 16);
+    }
+
+    #[test]
+    fn constraint_one_instance_per_server_per_job() {
+        let setup = generate_setup(&catalog(), &SetupConfig::default(), &mut rng(2));
+        for job in &setup.jobs {
+            let mut servers = job.servers.clone();
+            servers.dedup();
+            assert_eq!(
+                servers.len(),
+                job.servers.len(),
+                "duplicate server in {job:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn constraint_jobs_per_server_cap() {
+        let cfg = SetupConfig::default();
+        for seed in 0..20 {
+            let setup = generate_setup(&catalog(), &cfg, &mut rng(seed));
+            let mut load = vec![0usize; cfg.servers];
+            for job in &setup.jobs {
+                for &s in &job.servers {
+                    load[s] += 1;
+                }
+            }
+            assert!(
+                load.iter().all(|&l| l <= cfg.max_jobs_per_server),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn choices_come_from_configured_sets() {
+        let cfg = SetupConfig::default();
+        let setup = generate_setup(&catalog(), &cfg, &mut rng(3));
+        for job in &setup.jobs {
+            assert!(cfg.dataset_choices.contains(&job.dataset_scale));
+            assert!(cfg.node_choices.contains(&job.servers.len()));
+            assert!(catalog().iter().any(|w| w.name == job.workload));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = SetupConfig::default();
+        let a = generate_setup(&catalog(), &cfg, &mut rng(9));
+        let b = generate_setup(&catalog(), &cfg, &mut rng(9));
+        assert_eq!(a, b);
+        let c = generate_setup(&catalog(), &cfg, &mut rng(10));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn draws_are_with_replacement() {
+        // Over a few seeds, some setup must repeat a workload (16 draws
+        // from 10 workloads).
+        let cfg = SetupConfig::default();
+        let setup = generate_setup(&catalog(), &cfg, &mut rng(4));
+        let mut names: Vec<&str> = setup.jobs.iter().map(|j| j.workload.as_str()).collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert!(
+            names.len() < before,
+            "16 draws from 10 workloads must repeat"
+        );
+    }
+}

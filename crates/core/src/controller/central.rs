@@ -1,0 +1,684 @@
+//! The centralized controller (§5, §5.4).
+//!
+//! Maintains global state: the application registry with PL
+//! assignments, every live connection with its detected path, and the
+//! set of applications crossing each output port. On every
+//! register / deregister / `conn_create` / `conn_destroy` it re-solves
+//! Eq. 2 for the affected ports and emits [`SwitchUpdate`]s (Fig. 7).
+//!
+//! Path detection mirrors §7.2: the controller holds its own copy of
+//! the fabric's forwarding tables (`Routes`, the stand-in for reading
+//! switch forwarding tables via `infiniband-diags`) and resolves each
+//! connection's path from them.
+
+use crate::controller::plmap::PlAssigner;
+use crate::controller::queuemap::QueueMapper;
+use crate::controller::weights::port_weights_protected;
+use crate::controller::{ControllerConfig, ControllerError, SwitchUpdate};
+use crate::fabric::PortQueueConfig;
+use crate::sensitivity::{SensitivityModel, SensitivityTable};
+use saba_sim::ids::{AppId, LinkId, NodeId, ServiceLevel};
+use saba_sim::routing::Routes;
+use saba_sim::topology::Topology;
+use std::collections::{BTreeMap, HashMap};
+
+/// Running counters, used by the Fig. 12 overhead study and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ControllerStats {
+    /// Applications registered over the lifetime.
+    pub registrations: u64,
+    /// Connections created.
+    pub conns_created: u64,
+    /// Connections destroyed.
+    pub conns_destroyed: u64,
+    /// Ports reprogrammed.
+    pub ports_reconfigured: u64,
+    /// Eq. 2 solves performed.
+    pub eq2_solves: u64,
+}
+
+#[derive(Debug, Clone)]
+struct AppEntry {
+    workload: String,
+    pl: usize,
+}
+
+#[derive(Debug, Clone)]
+struct ConnInfo {
+    app: AppId,
+    links: Vec<LinkId>,
+}
+
+/// The centralized Saba controller.
+#[derive(Debug, Clone)]
+pub struct CentralController {
+    cfg: ControllerConfig,
+    table: SensitivityTable,
+    topo: Topology,
+    routes: Routes,
+    apps: BTreeMap<AppId, AppEntry>,
+    assigner: PlAssigner,
+    mapper: Option<QueueMapper>,
+    conns: HashMap<(AppId, u64), ConnInfo>,
+    /// Per-link: app → live connection count.
+    link_apps: Vec<BTreeMap<AppId, u32>>,
+    /// Eq. 2 solutions memoized by the exact application set: many
+    /// ports see the same contender set, and weights depend only on the
+    /// apps' (immutable) models. Cleared on register/deregister, since
+    /// an app id could be rebound to a different workload.
+    weight_cache: HashMap<Vec<AppId>, Vec<f64>>,
+    /// Clustered-solve memo for large ports, keyed by the (PL, member
+    /// count) profile — many core ports share one profile.
+    cluster_cache: HashMap<Vec<(usize, u32)>, Vec<f64>>,
+    stats: ControllerStats,
+}
+
+impl CentralController {
+    /// Creates a controller for `topo` with the profiler-provided
+    /// sensitivity `table`.
+    ///
+    /// The topology is cloned and forwarding tables are computed here —
+    /// the §7.2 path-detection step.
+    pub fn new(cfg: ControllerConfig, table: SensitivityTable, topo: &Topology) -> Self {
+        cfg.validate();
+        let routes = Routes::compute(topo);
+        let dim = table.max_coeff_len().max(2);
+        let num_links = topo.num_links();
+        Self {
+            assigner: PlAssigner::new(cfg.num_pls, dim),
+            cfg,
+            table,
+            topo: topo.clone(),
+            routes,
+            apps: BTreeMap::new(),
+            mapper: None,
+            conns: HashMap::new(),
+            link_apps: vec![BTreeMap::new(); num_links],
+            weight_cache: HashMap::new(),
+            cluster_cache: HashMap::new(),
+            stats: ControllerStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ControllerConfig {
+        &self.cfg
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> ControllerStats {
+        self.stats
+    }
+
+    /// Number of registered applications.
+    pub fn num_apps(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// Number of live connections.
+    pub fn num_conns(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Registers an application (`app_register`, Fig. 7 ②): looks up its
+    /// profiled sensitivity model, assigns a PL, and returns the Service
+    /// Level its connections must carry (Fig. 7 ③).
+    pub fn register(
+        &mut self,
+        app: AppId,
+        workload: &str,
+    ) -> Result<ServiceLevel, ControllerError> {
+        if self.apps.contains_key(&app) {
+            return Err(ControllerError::AlreadyRegistered(app));
+        }
+        let model = self
+            .table
+            .get(workload)
+            .ok_or_else(|| ControllerError::UnknownWorkload(workload.to_string()))?;
+        let coeffs = model.coefficients().to_vec();
+        let pl = self.assigner.assign(app, &coeffs);
+        self.apps.insert(
+            app,
+            AppEntry {
+                workload: workload.to_string(),
+                pl,
+            },
+        );
+        self.weight_cache.clear();
+        self.cluster_cache.clear();
+        self.rebuild_mapper();
+        self.stats.registrations += 1;
+        Ok(ServiceLevel(pl as u8))
+    }
+
+    /// Deregisters an application (`app_deregister`, Fig. 7 ⑬),
+    /// dropping any connections it still holds and reprogramming the
+    /// ports they crossed.
+    pub fn deregister(&mut self, app: AppId) -> Result<Vec<SwitchUpdate>, ControllerError> {
+        if !self.apps.contains_key(&app) {
+            return Err(ControllerError::UnknownApp(app));
+        }
+        // Drop leftover connections first.
+        let leftover: Vec<(AppId, u64)> = self
+            .conns
+            .keys()
+            .filter(|(a, _)| *a == app)
+            .copied()
+            .collect();
+        let mut dirty = Vec::new();
+        for key in leftover {
+            let info = self.conns.remove(&key).expect("key just enumerated");
+            dirty.extend(self.release_links(app, &info.links));
+        }
+        self.apps.remove(&app);
+        self.assigner.remove(app);
+        self.weight_cache.clear();
+        self.cluster_cache.clear();
+        self.rebuild_mapper();
+        Ok(self.reprogram(dirty))
+    }
+
+    /// Registers a new connection (`conn_create`, Fig. 7 ⑤): detects its
+    /// path, performs a new allocation for the ports whose application
+    /// set changed (⑥), and returns the enforcement updates (⑦).
+    pub fn conn_create(
+        &mut self,
+        app: AppId,
+        src: NodeId,
+        dst: NodeId,
+        tag: u64,
+    ) -> Result<Vec<SwitchUpdate>, ControllerError> {
+        if !self.apps.contains_key(&app) {
+            return Err(ControllerError::UnknownApp(app));
+        }
+        let links = self.detect_path(src, dst, tag)?;
+        let mut dirty = Vec::new();
+        for &l in &links {
+            let count = self.link_apps[l.0 as usize].entry(app).or_insert(0);
+            *count += 1;
+            if *count == 1 {
+                dirty.push(l); // App set at this port changed.
+            }
+        }
+        self.conns.insert((app, tag), ConnInfo { app, links });
+        self.stats.conns_created += 1;
+        Ok(self.reprogram(dirty))
+    }
+
+    /// Removes a connection (`conn_destroy`, Fig. 7 ⑨), triggering a new
+    /// allocation (⑩/⑪) for ports whose application set changed.
+    pub fn conn_destroy(
+        &mut self,
+        app: AppId,
+        tag: u64,
+    ) -> Result<Vec<SwitchUpdate>, ControllerError> {
+        let info = self
+            .conns
+            .remove(&(app, tag))
+            .ok_or(ControllerError::UnknownConnection(tag))?;
+        self.stats.conns_destroyed += 1;
+        let dirty = self.release_links(info.app, &info.links);
+        Ok(self.reprogram(dirty))
+    }
+
+    /// Recomputes the configuration of *every* port that carries Saba
+    /// traffic — the whole-fabric calculation the Fig. 12 overhead study
+    /// times.
+    pub fn recompute_all(&mut self) -> Vec<SwitchUpdate> {
+        let all: Vec<LinkId> = (0..self.link_apps.len() as u32)
+            .map(LinkId)
+            .filter(|l| !self.link_apps[l.0 as usize].is_empty())
+            .collect();
+        self.reprogram(all)
+    }
+
+    /// Registers a connection *without* reprogramming any switch — bulk
+    /// state loading for warm starts and for the Fig. 12 overhead study,
+    /// which times one [`Self::recompute_all`] over a pre-built state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the app is unregistered or the route does not exist.
+    pub fn preload_connection(&mut self, app: AppId, src: NodeId, dst: NodeId, tag: u64) {
+        assert!(self.apps.contains_key(&app), "app {app} is not registered");
+        let links = self
+            .detect_path(src, dst, tag)
+            .unwrap_or_else(|e| panic!("path detection failed: {e}"));
+        for &l in &links {
+            *self.link_apps[l.0 as usize].entry(app).or_insert(0) += 1;
+        }
+        self.conns.insert((app, tag), ConnInfo { app, links });
+        self.stats.conns_created += 1;
+    }
+
+    /// Path detection (§7.2): the single static-ECMP path, or — with
+    /// multipath enabled — every link on any equal-cost shortest path.
+    fn detect_path(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        tag: u64,
+    ) -> Result<Vec<LinkId>, ControllerError> {
+        if self.cfg.multipath {
+            let links = self.routes.all_shortest_path_links(&self.topo, src, dst);
+            if links.is_empty() && src != dst {
+                return Err(ControllerError::Unreachable { src, dst });
+            }
+            Ok(links)
+        } else {
+            self.routes
+                .path(&self.topo, src, dst, tag)
+                .ok_or(ControllerError::Unreachable { src, dst })
+        }
+    }
+
+    fn release_links(&mut self, app: AppId, links: &[LinkId]) -> Vec<LinkId> {
+        let mut dirty = Vec::new();
+        for &l in links {
+            let map = &mut self.link_apps[l.0 as usize];
+            if let Some(count) = map.get_mut(&app) {
+                *count -= 1;
+                if *count == 0 {
+                    map.remove(&app);
+                    dirty.push(l);
+                }
+            }
+        }
+        dirty
+    }
+
+    fn rebuild_mapper(&mut self) {
+        self.mapper = QueueMapper::build(&self.assigner.centroids());
+    }
+
+    /// Computes fresh configurations for the given ports, skipping ports
+    /// with no Saba traffic (they fall back to the default single
+    /// queue).
+    fn reprogram(&mut self, links: Vec<LinkId>) -> Vec<SwitchUpdate> {
+        let mut updates = Vec::with_capacity(links.len());
+        for link in links {
+            let config = self.port_config(link);
+            self.stats.ports_reconfigured += 1;
+            updates.push(SwitchUpdate { link, config });
+        }
+        updates
+    }
+
+    /// Builds the queue configuration for one port from the applications
+    /// currently crossing it (§5.1 weight calculation + §5.3 mapping).
+    fn port_config(&mut self, link: LinkId) -> PortQueueConfig {
+        let apps: Vec<AppId> = self.link_apps[link.0 as usize].keys().copied().collect();
+        if apps.is_empty() {
+            return PortQueueConfig::default();
+        }
+        // Eq. 2 over the applications at this port (memoized by set).
+        // Beyond a size threshold, applications are aggregated by PL
+        // before solving: for `m` same-PL applications sharing cluster
+        // weight `W` equally, the summed slowdown is `m·D(W/m)` — still
+        // a polynomial — so the solve involves at most 16 variables.
+        // This is the same scalability argument that motivates PL
+        // grouping in §5.3.1.
+        let weights = if apps.len() <= 32 {
+            match self.weight_cache.get(&apps) {
+                Some(w) => w.clone(),
+                None => {
+                    self.stats.eq2_solves += 1;
+                    let models: Vec<&SensitivityModel> = apps
+                        .iter()
+                        .map(|&a| {
+                            let entry = &self.apps[&a];
+                            self.table
+                                .get(&entry.workload)
+                                .expect("registered app has a model")
+                        })
+                        .collect();
+                    let w = port_weights_protected(
+                        &models,
+                        self.cfg.c_saba,
+                        self.cfg.min_weight,
+                        self.cfg.protect_fraction,
+                    )
+                    .expect("non-empty feasible weight problem");
+                    self.weight_cache.insert(apps.clone(), w.clone());
+                    w
+                }
+            }
+        } else {
+            self.clustered_port_weights(&apps)
+        };
+
+        // PLs present at this port and the hierarchy level that fits the
+        // queue budget.
+        let mapper = self.mapper.as_ref().expect("apps exist, so mapper exists");
+        let mut present: Vec<usize> = apps.iter().map(|&a| self.apps[&a].pl).collect();
+        present.sort_unstable();
+        present.dedup();
+        let pm = mapper.map_port(&present, self.cfg.queues_per_port);
+
+        // Queue weight = sum of the weights of its applications (§5.3.2:
+        // "assigns the sum of the bandwidth allocated to applications
+        // associated with each queue as the weight of that queue").
+        let mut qweights = vec![0.0; pm.groups.len()];
+        for (&app, &w) in apps.iter().zip(&weights) {
+            let pl = self.apps[&app].pl;
+            let q = pm
+                .groups
+                .iter()
+                .position(|g| g.contains(&pl))
+                .expect("every present PL is in a group");
+            qweights[q] += w;
+        }
+        // Reserve the non-Saba share, if any, on a dedicated queue that
+        // unmapped SLs fall back to (§3 co-existence).
+        let mut sl_to_queue = pm.sl_to_queue;
+        if self.cfg.c_saba < 1.0 {
+            qweights.push(1.0 - self.cfg.c_saba);
+            let reserved_q = (qweights.len() - 1) as u8;
+            let active: Vec<usize> = mapper.pls().to_vec();
+            for sl in 0..ServiceLevel::COUNT {
+                if !active.contains(&sl) {
+                    sl_to_queue[sl] = reserved_q;
+                }
+            }
+        }
+        for w in &mut qweights {
+            *w = w.max(1e-6); // Guard against a zero queue weight.
+        }
+        PortQueueConfig::new(sl_to_queue, qweights)
+    }
+
+    /// Eq. 2 over PL clusters for ports with many applications: solve
+    /// at most `num_pls` variables, then split each cluster's share
+    /// equally among its members (the queue weight is the sum again, so
+    /// enforcement is unchanged).
+    fn clustered_port_weights(&mut self, apps: &[AppId]) -> Vec<f64> {
+        use saba_math::Polynomial;
+        // Group member indices by PL.
+        let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (i, &a) in apps.iter().enumerate() {
+            groups.entry(self.apps[&a].pl).or_default().push(i);
+        }
+        let profile: Vec<(usize, u32)> = groups
+            .iter()
+            .map(|(&pl, ms)| (pl, ms.len() as u32))
+            .collect();
+        let cluster_w = match self.cluster_cache.get(&profile) {
+            Some(w) => w.clone(),
+            None => {
+                // Cluster model: m·D_centroid(w/m) — a polynomial again,
+                // with coefficients m^(1-i)·c_i.
+                let cluster_models: Vec<Polynomial> = groups
+                    .iter()
+                    .map(|(&pl, members)| {
+                        let m = members.len() as f64;
+                        let centroid = self
+                            .assigner
+                            .centroid(pl)
+                            .expect("registered apps have active PLs");
+                        Polynomial::new(
+                            centroid
+                                .iter()
+                                .enumerate()
+                                .map(|(i, &c)| m.powi(1 - i as i32) * c)
+                                .collect(),
+                        )
+                    })
+                    .collect();
+                // Protective floor at app granularity: a cluster of m
+                // members is entitled to m floors.
+                let total_apps: usize = groups.values().map(Vec::len).sum();
+                let per_app_floor = {
+                    let fair = self.cfg.c_saba / total_apps as f64;
+                    (fair * self.cfg.protect_fraction).max(self.cfg.min_weight.min(0.9 * fair))
+                };
+                let smallest = groups.values().map(Vec::len).min().unwrap_or(1) as f64;
+                let floor = (per_app_floor * smallest)
+                    .min(self.cfg.c_saba / (2.0 * cluster_models.len() as f64));
+                let domain_floors = groups
+                    .values()
+                    .map(|ms| (0.05 * ms.len() as f64).min(self.cfg.c_saba))
+                    .collect();
+                let problem = saba_math::WeightProblem {
+                    models: cluster_models,
+                    domain_floors,
+                    capacity: self.cfg.c_saba,
+                    min_weight: floor,
+                    max_weight: self.cfg.c_saba,
+                    balance_reg: 1.5,
+                };
+                self.stats.eq2_solves += 1;
+                let w = saba_math::minimize_weights(&problem)
+                    .expect("feasible clustered weight problem")
+                    .weights;
+                self.cluster_cache.insert(profile, w.clone());
+                w
+            }
+        };
+        let mut out = vec![0.0; apps.len()];
+        for (members, w) in groups.values().zip(&cluster_w) {
+            let share = w / members.len() as f64;
+            for &i in members {
+                out[i] = share;
+            }
+        }
+        out
+    }
+
+    /// The PL / Service Level currently assigned to `app`.
+    pub fn sl_of(&self, app: AppId) -> Option<ServiceLevel> {
+        self.apps.get(&app).map(|e| ServiceLevel(e.pl as u8))
+    }
+
+    /// The applications currently crossing `link`.
+    pub fn apps_at(&self, link: LinkId) -> Vec<AppId> {
+        self.link_apps[link.0 as usize].keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiler::{Profiler, ProfilerConfig};
+    use saba_workload::catalog;
+
+    fn table() -> SensitivityTable {
+        let profiler = Profiler::new(ProfilerConfig {
+            noise_sigma: 0.0,
+            bw_points: vec![0.25, 0.5, 0.75, 1.0],
+            degree: 2,
+            ..Default::default()
+        });
+        let specs: Vec<_> = catalog()
+            .into_iter()
+            .filter(|w| ["LR", "PR", "Sort", "SQL"].contains(&w.name.as_str()))
+            .collect();
+        profiler.profile_all(&specs).unwrap()
+    }
+
+    fn controller() -> (CentralController, Topology) {
+        let topo = Topology::single_switch(8, saba_sim::LINK_56G_BPS);
+        let c = CentralController::new(ControllerConfig::default(), table(), &topo);
+        (c, topo)
+    }
+
+    #[test]
+    fn register_returns_distinct_pls_for_distinct_workloads() {
+        let (mut c, _) = controller();
+        let sl_lr = c.register(AppId(0), "LR").unwrap();
+        let sl_pr = c.register(AppId(1), "PR").unwrap();
+        assert_ne!(sl_lr, sl_pr);
+        assert_eq!(c.num_apps(), 2);
+    }
+
+    #[test]
+    fn unknown_workload_rejected() {
+        let (mut c, _) = controller();
+        assert_eq!(
+            c.register(AppId(0), "NOPE").unwrap_err(),
+            ControllerError::UnknownWorkload("NOPE".into())
+        );
+    }
+
+    #[test]
+    fn double_register_rejected() {
+        let (mut c, _) = controller();
+        c.register(AppId(0), "LR").unwrap();
+        assert_eq!(
+            c.register(AppId(0), "LR").unwrap_err(),
+            ControllerError::AlreadyRegistered(AppId(0))
+        );
+    }
+
+    #[test]
+    fn conn_create_programs_path_ports() {
+        let (mut c, topo) = controller();
+        c.register(AppId(0), "LR").unwrap();
+        let s = topo.servers();
+        let updates = c.conn_create(AppId(0), s[0], s[1], 1).unwrap();
+        // Single-switch path: NIC egress + switch downlink = 2 ports.
+        assert_eq!(updates.len(), 2);
+        assert_eq!(c.num_conns(), 1);
+    }
+
+    #[test]
+    fn sensitive_app_gets_heavier_queue() {
+        let (mut c, topo) = controller();
+        c.register(AppId(0), "LR").unwrap();
+        c.register(AppId(1), "PR").unwrap();
+        let s = topo.servers();
+        // Both apps send over the same path.
+        c.conn_create(AppId(0), s[0], s[1], 1).unwrap();
+        let updates = c.conn_create(AppId(1), s[0], s[1], 2).unwrap();
+        let cfg = &updates[0].config;
+        let q_lr = cfg.queue_of(c.sl_of(AppId(0)).unwrap());
+        let q_pr = cfg.queue_of(c.sl_of(AppId(1)).unwrap());
+        assert_ne!(q_lr, q_pr);
+        assert!(
+            cfg.weights[q_lr] > cfg.weights[q_pr] * 1.5,
+            "LR queue should dominate: {:?}",
+            cfg.weights
+        );
+        // The §2.2 skew: LR near 75 %, PR near 25 %.
+        let total: f64 = cfg.weights.iter().sum();
+        assert!((0.60..=0.95).contains(&(cfg.weights[q_lr] / total)));
+    }
+
+    #[test]
+    fn second_conn_of_same_app_does_not_reprogram() {
+        let (mut c, topo) = controller();
+        c.register(AppId(0), "LR").unwrap();
+        let s = topo.servers();
+        c.conn_create(AppId(0), s[0], s[1], 1).unwrap();
+        // Same app, same path: the app set at the ports is unchanged.
+        let updates = c.conn_create(AppId(0), s[0], s[1], 2).unwrap();
+        assert!(updates.is_empty());
+        assert_eq!(c.num_conns(), 2);
+    }
+
+    #[test]
+    fn conn_destroy_reverts_when_last_conn_leaves() {
+        let (mut c, topo) = controller();
+        c.register(AppId(0), "LR").unwrap();
+        c.register(AppId(1), "PR").unwrap();
+        let s = topo.servers();
+        c.conn_create(AppId(0), s[0], s[1], 1).unwrap();
+        c.conn_create(AppId(1), s[0], s[1], 2).unwrap();
+        let updates = c.conn_destroy(AppId(1), 2).unwrap();
+        assert!(!updates.is_empty());
+        // With only LR left, its queue takes all of C_saba.
+        let cfg = &updates[0].config;
+        let q_lr = cfg.queue_of(c.sl_of(AppId(0)).unwrap());
+        let total: f64 = cfg.weights.iter().sum();
+        assert!(cfg.weights[q_lr] / total > 0.99, "{:?}", cfg.weights);
+    }
+
+    #[test]
+    fn destroy_unknown_connection_fails() {
+        let (mut c, _) = controller();
+        c.register(AppId(0), "LR").unwrap();
+        assert_eq!(
+            c.conn_destroy(AppId(0), 99).unwrap_err(),
+            ControllerError::UnknownConnection(99)
+        );
+    }
+
+    #[test]
+    fn deregister_cleans_up_everything() {
+        let (mut c, topo) = controller();
+        c.register(AppId(0), "LR").unwrap();
+        let s = topo.servers();
+        c.conn_create(AppId(0), s[0], s[1], 1).unwrap();
+        let updates = c.deregister(AppId(0)).unwrap();
+        assert!(!updates.is_empty());
+        assert_eq!(c.num_apps(), 0);
+        assert_eq!(c.num_conns(), 0);
+        assert!(c.apps_at(topo.nic_link(s[0])).is_empty());
+    }
+
+    #[test]
+    fn c_saba_reserves_capacity_for_non_compliant_traffic() {
+        let topo = Topology::single_switch(4, saba_sim::LINK_56G_BPS);
+        let cfg = ControllerConfig {
+            c_saba: 0.8,
+            ..Default::default()
+        };
+        let mut c = CentralController::new(cfg, table(), &topo);
+        c.register(AppId(0), "LR").unwrap();
+        let s = topo.servers();
+        let updates = c.conn_create(AppId(0), s[0], s[1], 1).unwrap();
+        let pcfg = &updates[0].config;
+        // Last queue is the reserved one with weight 0.2.
+        let reserved = pcfg.weights.len() - 1;
+        assert!(
+            (pcfg.weights[reserved] - 0.2).abs() < 1e-9,
+            "{:?}",
+            pcfg.weights
+        );
+        // An unused SL (e.g. 15) routes to the reserved queue.
+        assert_eq!(pcfg.queue_of(ServiceLevel(15)), reserved);
+    }
+
+    #[test]
+    fn queue_budget_is_respected_with_many_workloads() {
+        let profiler = Profiler::new(ProfilerConfig {
+            noise_sigma: 0.0,
+            bw_points: vec![0.25, 0.5, 0.75, 1.0],
+            degree: 2,
+            ..Default::default()
+        });
+        let full_table = profiler.profile_all(&catalog()).unwrap();
+        let topo = Topology::single_switch(12, saba_sim::LINK_56G_BPS);
+        let cfg = ControllerConfig {
+            queues_per_port: 4,
+            ..Default::default()
+        };
+        let mut c = CentralController::new(cfg, full_table, &topo);
+        let names: Vec<String> = catalog().iter().map(|w| w.name.clone()).collect();
+        let s = topo.servers().to_vec();
+        for (i, name) in names.iter().enumerate() {
+            c.register(AppId(i as u32), name).unwrap();
+        }
+        let mut last = Vec::new();
+        for (i, _) in names.iter().enumerate() {
+            last = c
+                .conn_create(AppId(i as u32), s[0], s[1], i as u64)
+                .unwrap();
+        }
+        let pcfg = &last[0].config;
+        assert!(pcfg.num_queues() <= 4, "{} queues", pcfg.num_queues());
+        let total: f64 = pcfg.weights.iter().sum();
+        assert!((total - 1.0).abs() < 1e-6, "weights sum {total}");
+    }
+
+    #[test]
+    fn recompute_all_covers_active_ports() {
+        let (mut c, topo) = controller();
+        c.register(AppId(0), "LR").unwrap();
+        let s = topo.servers();
+        c.conn_create(AppId(0), s[0], s[1], 1).unwrap();
+        let updates = c.recompute_all();
+        // Only ports with Saba traffic are recomputed: the two on the
+        // connection's path.
+        assert_eq!(updates.len(), 2);
+    }
+}

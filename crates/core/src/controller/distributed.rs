@@ -1,0 +1,535 @@
+//! The distributed controller (§5.4).
+//!
+//! Eq. 2 is separable per output port, so the controller's logic can be
+//! sharded: each shard owns a group of switches and maintains only the
+//! state of flows crossing *its* links. Shards do not run clustering at
+//! runtime; the application-to-PL mapping and the PL hierarchy are
+//! computed **offline by the profiler** (batch K-means over the whole
+//! sensitivity table) and served from a shared, replicable
+//! [`MappingDb`]. Consequently shards see applications only at PL
+//! granularity and solve Eq. 2 over PL *centroids* — the
+//! accuracy-for-scalability trade the paper measures as a ≈4 % speedup
+//! loss versus the centralized design (§8.4 study 7).
+//!
+//! A connection create is sent to the shard owning the first switch on
+//! the path, which configures its own links and *forwards* the request
+//! to the shard owning the next hop, and so on (§5.4); the forward
+//! count is surfaced in [`DistStats`].
+
+use crate::controller::queuemap::QueueMapper;
+use crate::controller::weights::centroid_weights_protected;
+use crate::controller::{ControllerConfig, ControllerError, SwitchUpdate};
+use crate::fabric::PortQueueConfig;
+use crate::sensitivity::{padded_coeffs, SensitivityTable};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use saba_math::{kmeans, KMeansConfig};
+use saba_sim::ids::{AppId, LinkId, NodeId, ServiceLevel};
+use saba_sim::routing::Routes;
+use saba_sim::topology::Topology;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+
+/// The offline mapping database: workload → PL, PL centroids, and the
+/// PL hierarchy (§5.4: "the profiler updates the database after
+/// performing the application-to-PL and PL clustering operations
+/// whenever a new application is profiled").
+#[derive(Debug, Clone)]
+pub struct MappingDb {
+    pl_of_workload: BTreeMap<String, usize>,
+    centroids: Vec<(usize, Vec<f64>)>,
+    mapper: QueueMapper,
+}
+
+impl MappingDb {
+    /// Builds the database from a profiled sensitivity table with batch
+    /// K-means into at most `num_pls` groups.
+    ///
+    /// Deterministic given `seed`; the database can therefore be
+    /// "replicated" by rebuilding from the (JSON-serializable) table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is empty.
+    pub fn build(table: &SensitivityTable, num_pls: usize, seed: u64) -> Self {
+        assert!(
+            !table.is_empty(),
+            "cannot build a mapping DB from an empty table"
+        );
+        let dim = table.max_coeff_len();
+        let names: Vec<String> = table.iter().map(|m| m.workload.clone()).collect();
+        let points: Vec<Vec<f64>> = table
+            .iter()
+            .map(|m| padded_coeffs(m.coefficients(), dim))
+            .collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let res = kmeans(
+            &points,
+            &KMeansConfig {
+                k: num_pls,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let pl_of_workload: BTreeMap<String, usize> = names
+            .into_iter()
+            .zip(res.assignments.iter().copied())
+            .collect();
+        let centroids: Vec<(usize, Vec<f64>)> = res.centroids.iter().cloned().enumerate().collect();
+        let mapper = QueueMapper::build(&centroids).expect("non-empty centroids");
+        Self {
+            pl_of_workload,
+            centroids,
+            mapper,
+        }
+    }
+
+    /// The PL of a profiled workload.
+    pub fn pl_of(&self, workload: &str) -> Option<usize> {
+        self.pl_of_workload.get(workload).copied()
+    }
+
+    /// PL centroid coefficient vectors.
+    pub fn centroids(&self) -> &[(usize, Vec<f64>)] {
+        &self.centroids
+    }
+
+    /// The PL hierarchy.
+    pub fn mapper(&self) -> &QueueMapper {
+        &self.mapper
+    }
+
+    /// Number of PLs in use.
+    pub fn num_pls(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Serializes the database for replication (§5.4: "Existing
+    /// replication techniques can be used to replicate the database").
+    /// The PL hierarchy is not serialized — it is rebuilt
+    /// deterministically from the centroids on load.
+    pub fn to_json(&self) -> String {
+        let wire = MappingDbWire {
+            pl_of_workload: self.pl_of_workload.clone(),
+            centroids: self.centroids.clone(),
+        };
+        serde_json::to_string_pretty(&wire).expect("database serialization cannot fail")
+    }
+
+    /// Loads a replicated database.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        let wire: MappingDbWire = serde_json::from_str(json)?;
+        let mapper = QueueMapper::build(&wire.centroids)
+            .expect("a replicated database has at least one centroid");
+        Ok(Self {
+            pl_of_workload: wire.pl_of_workload,
+            centroids: wire.centroids,
+            mapper,
+        })
+    }
+}
+
+/// Wire representation of [`MappingDb`].
+#[derive(Serialize, Deserialize)]
+struct MappingDbWire {
+    pl_of_workload: BTreeMap<String, usize>,
+    centroids: Vec<(usize, Vec<f64>)>,
+}
+
+/// Distributed-controller counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DistStats {
+    /// Connection requests forwarded between shards (§5.4 "communicating
+    /// with the next controller on the path").
+    pub forwards: u64,
+    /// Ports reprogrammed.
+    pub ports_reconfigured: u64,
+    /// Eq. 2 solves performed (over PL centroids).
+    pub eq2_solves: u64,
+}
+
+/// Per-shard state: PL connection counts for owned links only.
+#[derive(Debug, Clone, Default)]
+struct Shard {
+    link_pls: HashMap<u32, BTreeMap<usize, u32>>,
+}
+
+/// The distributed Saba controller: a set of shards over a shared
+/// offline [`MappingDb`].
+#[derive(Debug, Clone)]
+pub struct DistributedController {
+    cfg: ControllerConfig,
+    db: MappingDb,
+    topo: Topology,
+    routes: Routes,
+    shards: Vec<Shard>,
+    /// Shard owning each link.
+    link_shard: Vec<usize>,
+    apps: BTreeMap<AppId, usize>,
+    conns: HashMap<(AppId, u64), Vec<LinkId>>,
+    /// Eq. 2 solutions memoized by the PL set (centroids are fixed by
+    /// the offline database, so the cache never goes stale).
+    weight_cache: HashMap<Vec<usize>, Vec<f64>>,
+    stats: DistStats,
+}
+
+impl DistributedController {
+    /// Creates `num_shards` shards over `topo`, each owning the output
+    /// ports of a contiguous group of nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_shards` is zero.
+    pub fn new(cfg: ControllerConfig, db: MappingDb, topo: &Topology, num_shards: usize) -> Self {
+        cfg.validate();
+        assert!(num_shards >= 1, "need at least one shard");
+        let routes = Routes::compute(topo);
+        let link_shard: Vec<usize> = (0..topo.num_links())
+            .map(|l| {
+                let from = topo.link(LinkId(l as u32)).from;
+                from.0 as usize % num_shards
+            })
+            .collect();
+        Self {
+            cfg,
+            db,
+            topo: topo.clone(),
+            routes,
+            shards: vec![Shard::default(); num_shards],
+            link_shard,
+            apps: BTreeMap::new(),
+            conns: HashMap::new(),
+            weight_cache: HashMap::new(),
+            stats: DistStats::default(),
+        }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> DistStats {
+        self.stats
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Registers an application: a pure database lookup, no clustering
+    /// (that happened offline).
+    pub fn register(
+        &mut self,
+        app: AppId,
+        workload: &str,
+    ) -> Result<ServiceLevel, ControllerError> {
+        if self.apps.contains_key(&app) {
+            return Err(ControllerError::AlreadyRegistered(app));
+        }
+        let pl = self
+            .db
+            .pl_of(workload)
+            .ok_or_else(|| ControllerError::UnknownWorkload(workload.to_string()))?;
+        self.apps.insert(app, pl);
+        Ok(ServiceLevel(pl as u8))
+    }
+
+    /// Deregisters an application and drops its remaining connections.
+    pub fn deregister(&mut self, app: AppId) -> Result<Vec<SwitchUpdate>, ControllerError> {
+        let pl = self
+            .apps
+            .remove(&app)
+            .ok_or(ControllerError::UnknownApp(app))?;
+        let leftover: Vec<(AppId, u64)> = self
+            .conns
+            .keys()
+            .filter(|(a, _)| *a == app)
+            .copied()
+            .collect();
+        let mut updates = Vec::new();
+        for key in leftover {
+            let links = self.conns.remove(&key).expect("key just enumerated");
+            updates.extend(self.release(pl, &links));
+        }
+        Ok(updates)
+    }
+
+    fn pl_of_app(&self, app: AppId) -> usize {
+        *self
+            .apps
+            .get(&app)
+            .expect("connection implies registration")
+    }
+
+    /// Creates a connection: the request travels shard to shard along
+    /// the path (§5.4), each shard configuring the links it owns.
+    pub fn conn_create(
+        &mut self,
+        app: AppId,
+        src: NodeId,
+        dst: NodeId,
+        tag: u64,
+    ) -> Result<Vec<SwitchUpdate>, ControllerError> {
+        let pl = *self
+            .apps
+            .get(&app)
+            .ok_or(ControllerError::UnknownApp(app))?;
+        let links = self
+            .routes
+            .path(&self.topo, src, dst, tag)
+            .ok_or(ControllerError::Unreachable { src, dst })?;
+        // Count inter-shard forwards: one per shard transition on the path.
+        let mut prev_shard: Option<usize> = None;
+        let mut dirty = Vec::new();
+        for &l in &links {
+            let shard_idx = self.link_shard[l.0 as usize];
+            if prev_shard.is_some_and(|p| p != shard_idx) {
+                self.stats.forwards += 1;
+            }
+            prev_shard = Some(shard_idx);
+            let counts = self.shards[shard_idx]
+                .link_pls
+                .entry(l.0)
+                .or_default()
+                .entry(pl)
+                .or_insert(0);
+            *counts += 1;
+            if *counts == 1 {
+                dirty.push(l);
+            }
+        }
+        self.conns.insert((app, tag), links);
+        Ok(self.reprogram(dirty))
+    }
+
+    /// Destroys a connection.
+    pub fn conn_destroy(
+        &mut self,
+        app: AppId,
+        tag: u64,
+    ) -> Result<Vec<SwitchUpdate>, ControllerError> {
+        let links = self
+            .conns
+            .remove(&(app, tag))
+            .ok_or(ControllerError::UnknownConnection(tag))?;
+        let pl = self.pl_of_app(app);
+        Ok(self.release(pl, &links))
+    }
+
+    fn release(&mut self, pl: usize, links: &[LinkId]) -> Vec<SwitchUpdate> {
+        let mut dirty = Vec::new();
+        for &l in links {
+            let shard_idx = self.link_shard[l.0 as usize];
+            if let Some(counts) = self.shards[shard_idx].link_pls.get_mut(&l.0) {
+                if let Some(c) = counts.get_mut(&pl) {
+                    *c -= 1;
+                    if *c == 0 {
+                        counts.remove(&pl);
+                        dirty.push(l);
+                    }
+                }
+            }
+        }
+        self.reprogram(dirty)
+    }
+
+    fn reprogram(&mut self, links: Vec<LinkId>) -> Vec<SwitchUpdate> {
+        let mut updates = Vec::with_capacity(links.len());
+        for link in links {
+            let config = self.port_config(link);
+            self.stats.ports_reconfigured += 1;
+            updates.push(SwitchUpdate { link, config });
+        }
+        updates
+    }
+
+    /// Port configuration from PL-granularity state: Eq. 2 over the
+    /// centroid model of each PL present (coarser than the centralized
+    /// per-application solve).
+    fn port_config(&mut self, link: LinkId) -> PortQueueConfig {
+        let shard_idx = self.link_shard[link.0 as usize];
+        let present: Vec<usize> = self.shards[shard_idx]
+            .link_pls
+            .get(&link.0)
+            .map(|m| m.keys().copied().collect())
+            .unwrap_or_default();
+        if present.is_empty() {
+            return PortQueueConfig::default();
+        }
+        let pl_weights = match self.weight_cache.get(&present) {
+            Some(w) => w.clone(),
+            None => {
+                let centroid_vecs: Vec<Vec<f64>> = present
+                    .iter()
+                    .map(|&pl| {
+                        self.db
+                            .centroids()
+                            .iter()
+                            .find(|(p, _)| *p == pl)
+                            .expect("present PL exists in the DB")
+                            .1
+                            .clone()
+                    })
+                    .collect();
+                self.stats.eq2_solves += 1;
+                let w = centroid_weights_protected(
+                    &centroid_vecs,
+                    self.cfg.c_saba,
+                    self.cfg.min_weight,
+                    self.cfg.protect_fraction,
+                )
+                .expect("non-empty feasible weight problem");
+                self.weight_cache.insert(present.clone(), w.clone());
+                w
+            }
+        };
+
+        let pm = self
+            .db
+            .mapper()
+            .map_port(&present, self.cfg.queues_per_port);
+        let mut qweights = vec![0.0; pm.groups.len()];
+        for (&pl, &w) in present.iter().zip(&pl_weights) {
+            let q = pm
+                .groups
+                .iter()
+                .position(|g| g.contains(&pl))
+                .expect("every present PL is in a group");
+            qweights[q] += w;
+        }
+        let mut sl_to_queue = pm.sl_to_queue;
+        if self.cfg.c_saba < 1.0 {
+            qweights.push(1.0 - self.cfg.c_saba);
+            let reserved_q = (qweights.len() - 1) as u8;
+            let active: Vec<usize> = self.db.mapper().pls().to_vec();
+            for sl in 0..ServiceLevel::COUNT {
+                if !active.contains(&sl) {
+                    sl_to_queue[sl] = reserved_q;
+                }
+            }
+        }
+        for w in &mut qweights {
+            *w = w.max(1e-6);
+        }
+        PortQueueConfig::new(sl_to_queue, qweights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiler::{Profiler, ProfilerConfig};
+    use saba_sim::topology::SpineLeafConfig;
+    use saba_workload::catalog;
+
+    fn table() -> SensitivityTable {
+        Profiler::new(ProfilerConfig {
+            noise_sigma: 0.0,
+            bw_points: vec![0.25, 0.5, 0.75, 1.0],
+            degree: 2,
+            ..Default::default()
+        })
+        .profile_all(&catalog())
+        .unwrap()
+    }
+
+    #[test]
+    fn db_groups_similar_workloads() {
+        let db = MappingDb::build(&table(), 4, 7);
+        assert!(db.num_pls() <= 4);
+        // Every workload has a PL.
+        for w in catalog() {
+            assert!(db.pl_of(&w.name).is_some(), "{}", w.name);
+        }
+        // LR and PR (opposite sensitivity extremes) should not share a
+        // PL when 4 PLs are available.
+        assert_ne!(db.pl_of("LR"), db.pl_of("PR"));
+    }
+
+    #[test]
+    fn db_is_deterministic() {
+        let t = table();
+        let a = MappingDb::build(&t, 8, 3);
+        let b = MappingDb::build(&t, 8, 3);
+        assert_eq!(a.pl_of_workload, b.pl_of_workload);
+    }
+
+    #[test]
+    fn db_replicates_through_json() {
+        let db = MappingDb::build(&table(), 8, 7);
+        let replica = MappingDb::from_json(&db.to_json()).expect("replica loads");
+        assert_eq!(db.num_pls(), replica.num_pls());
+        for w in catalog() {
+            assert_eq!(db.pl_of(&w.name), replica.pl_of(&w.name), "{}", w.name);
+        }
+        // The rebuilt hierarchy groups PLs identically.
+        let pls: Vec<usize> = db.mapper().pls().to_vec();
+        for q in 1..=4 {
+            assert_eq!(
+                db.mapper().map_port(&pls, q).groups,
+                replica.mapper().map_port(&pls, q).groups,
+                "q = {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn register_is_a_db_lookup() {
+        let t = table();
+        let db = MappingDb::build(&t, 16, 1);
+        let topo = Topology::single_switch(4, saba_sim::LINK_56G_BPS);
+        let mut c = DistributedController::new(ControllerConfig::default(), db, &topo, 2);
+        let sl1 = c.register(AppId(0), "LR").unwrap();
+        let sl2 = c.register(AppId(1), "LR").unwrap();
+        assert_eq!(sl1, sl2, "same workload, same offline PL");
+        assert!(c.register(AppId(2), "NOPE").is_err());
+    }
+
+    #[test]
+    fn conn_create_forwards_across_shards() {
+        let t = table();
+        let db = MappingDb::build(&t, 16, 1);
+        let topo = Topology::spine_leaf(&SpineLeafConfig::tiny(2));
+        let mut c = DistributedController::new(ControllerConfig::default(), db, &topo, 4);
+        c.register(AppId(0), "LR").unwrap();
+        let servers = topo.servers();
+        // Cross-pod connection: multiple switches, hence multiple shards.
+        let updates = c
+            .conn_create(AppId(0), servers[0], servers[servers.len() - 1], 5)
+            .unwrap();
+        assert!(!updates.is_empty());
+        assert!(c.stats().forwards > 0, "path should span shards");
+    }
+
+    #[test]
+    fn weights_favor_sensitive_pl() {
+        let t = table();
+        let db = MappingDb::build(&t, 16, 1);
+        let topo = Topology::single_switch(4, saba_sim::LINK_56G_BPS);
+        let mut c = DistributedController::new(ControllerConfig::default(), db, &topo, 1);
+        let sl_lr = c.register(AppId(0), "LR").unwrap();
+        let sl_sort = c.register(AppId(1), "Sort").unwrap();
+        let s = topo.servers();
+        c.conn_create(AppId(0), s[0], s[1], 1).unwrap();
+        let updates = c.conn_create(AppId(1), s[0], s[1], 2).unwrap();
+        let cfg = &updates[0].config;
+        let (q_lr, q_sort) = (cfg.queue_of(sl_lr), cfg.queue_of(sl_sort));
+        assert!(cfg.weights[q_lr] > cfg.weights[q_sort], "{:?}", cfg.weights);
+    }
+
+    #[test]
+    fn destroy_and_deregister_clean_up() {
+        let t = table();
+        let db = MappingDb::build(&t, 16, 1);
+        let topo = Topology::single_switch(4, saba_sim::LINK_56G_BPS);
+        let mut c = DistributedController::new(ControllerConfig::default(), db, &topo, 2);
+        c.register(AppId(0), "LR").unwrap();
+        let s = topo.servers();
+        c.conn_create(AppId(0), s[0], s[1], 1).unwrap();
+        c.conn_create(AppId(0), s[0], s[2], 2).unwrap();
+        let u1 = c.conn_destroy(AppId(0), 1).unwrap();
+        // Switch downlink to s[1] loses its only PL; NIC link keeps one.
+        assert!(!u1.is_empty());
+        let u2 = c.deregister(AppId(0)).unwrap();
+        assert!(!u2.is_empty());
+        assert!(c.conn_destroy(AppId(0), 2).is_err(), "already cleaned up");
+    }
+}

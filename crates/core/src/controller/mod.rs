@@ -1,0 +1,151 @@
+//! The Saba controller (§5): bandwidth calculation, application → PL →
+//! queue mapping, and switch orchestration.
+//!
+//! Two designs are provided, per §5.4:
+//!
+//! - [`central::CentralController`] — one controller with global state:
+//!   exact per-application Eq. 2 solves, online application-to-PL
+//!   clustering updated on every register/deregister, per-port
+//!   PL-to-queue mapping re-chosen on every connection event.
+//! - [`distributed::DistributedController`] — per-switch-group shards
+//!   that fetch a *profile-time* application-to-PL mapping and PL
+//!   hierarchy from a shared [`distributed::MappingDb`] and solve Eq. 2
+//!   over PL centroids rather than exact per-application models — the
+//!   accuracy/scalability trade-off §8.4 study 7 quantifies (≈4 %).
+
+pub mod central;
+pub mod distributed;
+pub mod plmap;
+pub mod queuemap;
+pub mod weights;
+
+use crate::fabric::PortQueueConfig;
+use saba_sim::ids::LinkId;
+use std::fmt;
+
+/// A switch (re)configuration emitted by a controller — the Fig. 7
+/// `enforcement` arrows (⑦, ⑪). Apply with
+/// [`crate::fabric::SabaFabric::apply`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwitchUpdate {
+    /// The output port to reprogram.
+    pub link: LinkId,
+    /// The new queue configuration.
+    pub config: PortQueueConfig,
+}
+
+/// Controller configuration shared by both designs.
+#[derive(Debug, Clone)]
+pub struct ControllerConfig {
+    /// Fraction of link capacity reserved for Saba-compliant traffic
+    /// (`C_saba`, Eq. 2). The evaluation uses 1.0 (§8.1); anything less
+    /// leaves a statically reserved share for non-compliant traffic
+    /// (§3).
+    pub c_saba: f64,
+    /// Number of priority levels (InfiniBand SLs: 16, §5.3).
+    pub num_pls: usize,
+    /// Queues per switch output port (8 on the testbed switch, §8.1).
+    pub queues_per_port: usize,
+    /// Minimum per-application weight floor — keeps every application
+    /// live (WFQ starvation freedom, §5.2).
+    pub min_weight: f64,
+    /// Fraction of the per-port fair share guaranteed to every
+    /// application (starvation protection). Skew buys average slowdown,
+    /// but an application pushed far below its fair share enters the
+    /// steep region of its own sensitivity curve; operators running
+    /// dense, long-lived mixes (the §8.4 datacenter) choose stronger
+    /// protection than a bursty analytics testbed (§8.2).
+    pub protect_fraction: f64,
+    /// Multipath path detection (paper §5, footnote 2): when enabled,
+    /// the controller charges each connection to *every* link on any
+    /// equal-cost shortest path and programs all of them, rather than
+    /// only the single path the fabric's static ECMP hash selects.
+    pub multipath: bool,
+    /// Seed for clustering determinism.
+    pub seed: u64,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        Self {
+            c_saba: 1.0,
+            num_pls: 16,
+            queues_per_port: 8,
+            min_weight: 0.035,
+            protect_fraction: 0.30,
+            multipath: false,
+            seed: 0x5aba,
+        }
+    }
+}
+
+impl ControllerConfig {
+    /// Validates invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c_saba` is outside `(0, 1]`, `num_pls` is 0 or above
+    /// 16, or `queues_per_port` is 0.
+    pub fn validate(&self) {
+        assert!(
+            self.c_saba > 0.0 && self.c_saba <= 1.0,
+            "C_saba must be in (0, 1]"
+        );
+        assert!(
+            self.num_pls >= 1 && self.num_pls <= saba_sim::ids::ServiceLevel::COUNT,
+            "InfiniBand supports at most 16 PLs"
+        );
+        assert!(self.queues_per_port >= 1, "a port needs at least one queue");
+        assert!(self.min_weight >= 0.0, "min weight must be non-negative");
+        assert!(
+            (0.0..1.0).contains(&self.protect_fraction),
+            "protect fraction must be in [0, 1)"
+        );
+    }
+}
+
+/// Controller errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControllerError {
+    /// The workload was never profiled: no sensitivity model exists.
+    UnknownWorkload(String),
+    /// The application id is not registered.
+    UnknownApp(saba_sim::ids::AppId),
+    /// The application id is already registered.
+    AlreadyRegistered(saba_sim::ids::AppId),
+    /// No route exists between the connection's endpoints.
+    Unreachable {
+        /// Source node.
+        src: saba_sim::ids::NodeId,
+        /// Destination node.
+        dst: saba_sim::ids::NodeId,
+    },
+    /// The connection id is unknown.
+    UnknownConnection(u64),
+    /// All priority levels are exhausted and no compatible one exists.
+    NoPlAvailable,
+}
+
+impl fmt::Display for ControllerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ControllerError::UnknownWorkload(w) => {
+                write!(
+                    f,
+                    "workload {w:?} has no sensitivity model (profile it first)"
+                )
+            }
+            ControllerError::UnknownApp(a) => write!(f, "application {a} is not registered"),
+            ControllerError::AlreadyRegistered(a) => {
+                write!(f, "application {a} is already registered")
+            }
+            ControllerError::Unreachable { src, dst } => {
+                write!(f, "no route from {src} to {dst}")
+            }
+            ControllerError::UnknownConnection(t) => write!(f, "unknown connection tag {t}"),
+            ControllerError::NoPlAvailable => write!(f, "no priority level available"),
+        }
+    }
+}
+
+impl std::error::Error for ControllerError {}

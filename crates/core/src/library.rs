@@ -1,0 +1,410 @@
+//! The Saba library (§6): the connection manager and software
+//! interface.
+//!
+//! Applications that wish to be Saba-compliant link this library and
+//! call its four functions (Fig. 7): [`SabaLib::saba_app_register`],
+//! [`SabaLib::saba_conn_create`], [`SabaLib::saba_conn_destroy`], and
+//! [`SabaLib::saba_app_deregister`]. The connection manager remembers
+//! the PL received at registration and stamps it on every connection,
+//! "so setting up the connection does not introduce any additional
+//! overhead" (§6). All control-plane calls travel over the [`crate::rpc`]
+//! wire protocol through a pluggable [`Transport`].
+
+use crate::controller::central::CentralController;
+use crate::controller::SwitchUpdate;
+use crate::rpc::{decode_request, encode_request, encode_response, Request, Response};
+use saba_sim::ids::{AppId, NodeId, ServiceLevel};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// A control-plane transport: sends one request, returns one response.
+pub trait Transport {
+    /// Performs a synchronous RPC.
+    fn call(&mut self, req: Request) -> Response;
+}
+
+/// Library-level errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LibError {
+    /// Calls other than register arrived before registration.
+    NotRegistered,
+    /// Register was called twice.
+    AlreadyRegistered,
+    /// The connection handle is unknown.
+    UnknownConnection(u64),
+    /// The controller rejected the request.
+    Rejected(String),
+    /// The controller answered with the wrong response kind.
+    ProtocolViolation,
+}
+
+impl fmt::Display for LibError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LibError::NotRegistered => write!(f, "application is not registered"),
+            LibError::AlreadyRegistered => write!(f, "application is already registered"),
+            LibError::UnknownConnection(t) => write!(f, "unknown connection {t}"),
+            LibError::Rejected(m) => write!(f, "controller rejected the request: {m}"),
+            LibError::ProtocolViolation => write!(f, "unexpected response kind"),
+        }
+    }
+}
+
+impl std::error::Error for LibError {}
+
+/// A connection handle returned by [`SabaLib::saba_conn_create`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Connection {
+    /// The connection's tag (unique within the application).
+    pub tag: u64,
+    /// Source server.
+    pub src: NodeId,
+    /// Destination server.
+    pub dst: NodeId,
+    /// The Service Level the connection's packets carry.
+    pub sl: ServiceLevel,
+}
+
+/// The per-application Saba library instance (connection manager +
+/// software interface).
+#[derive(Debug)]
+pub struct SabaLib<T: Transport> {
+    transport: T,
+    app: AppId,
+    sl: Option<ServiceLevel>,
+    conns: HashMap<u64, Connection>,
+    next_tag: u64,
+}
+
+impl<T: Transport> SabaLib<T> {
+    /// Creates a library instance for application `app` over `transport`.
+    pub fn new(app: AppId, transport: T) -> Self {
+        Self {
+            transport,
+            app,
+            sl: None,
+            conns: HashMap::new(),
+            next_tag: 0,
+        }
+    }
+
+    /// The application id.
+    pub fn app(&self) -> AppId {
+        self.app
+    }
+
+    /// The PL received at registration, if registered.
+    pub fn sl(&self) -> Option<ServiceLevel> {
+        self.sl
+    }
+
+    /// Live connections.
+    pub fn connections(&self) -> impl Iterator<Item = &Connection> {
+        self.conns.values()
+    }
+
+    /// Registers the application (Fig. 7 ①–③), returning the Service
+    /// Level for all future connections.
+    pub fn saba_app_register(&mut self, workload: &str) -> Result<ServiceLevel, LibError> {
+        if self.sl.is_some() {
+            return Err(LibError::AlreadyRegistered);
+        }
+        let resp = self.transport.call(Request::AppRegister {
+            app: self.app,
+            workload: workload.to_string(),
+        });
+        match resp {
+            Response::Registered { sl } => {
+                self.sl = Some(sl);
+                Ok(sl)
+            }
+            Response::Error { message } => Err(LibError::Rejected(message)),
+            Response::Ack => Err(LibError::ProtocolViolation),
+        }
+    }
+
+    /// Creates a connection (Fig. 7 ④–⑦): the connection manager uses
+    /// the PL acquired at registration — no extra round trip is needed
+    /// to obtain it.
+    pub fn saba_conn_create(&mut self, src: NodeId, dst: NodeId) -> Result<Connection, LibError> {
+        let sl = self.sl.ok_or(LibError::NotRegistered)?;
+        let tag = (u64::from(self.app.0) << 32) | self.next_tag;
+        self.next_tag += 1;
+        let resp = self.transport.call(Request::ConnCreate {
+            app: self.app,
+            src,
+            dst,
+            tag,
+        });
+        match resp {
+            Response::Ack => {
+                let conn = Connection { tag, src, dst, sl };
+                self.conns.insert(tag, conn);
+                Ok(conn)
+            }
+            Response::Error { message } => Err(LibError::Rejected(message)),
+            Response::Registered { .. } => Err(LibError::ProtocolViolation),
+        }
+    }
+
+    /// Destroys a connection (Fig. 7 ⑧–⑪).
+    pub fn saba_conn_destroy(&mut self, conn: Connection) -> Result<(), LibError> {
+        if self.sl.is_none() {
+            return Err(LibError::NotRegistered);
+        }
+        if self.conns.remove(&conn.tag).is_none() {
+            return Err(LibError::UnknownConnection(conn.tag));
+        }
+        let resp = self.transport.call(Request::ConnDestroy {
+            app: self.app,
+            tag: conn.tag,
+        });
+        match resp {
+            Response::Ack => Ok(()),
+            Response::Error { message } => Err(LibError::Rejected(message)),
+            Response::Registered { .. } => Err(LibError::ProtocolViolation),
+        }
+    }
+
+    /// Deregisters the application (Fig. 7 ⑫–⑬). Any remaining
+    /// connections are destroyed first.
+    pub fn saba_app_deregister(&mut self) -> Result<(), LibError> {
+        if self.sl.is_none() {
+            return Err(LibError::NotRegistered);
+        }
+        let leftover: Vec<Connection> = self.conns.values().copied().collect();
+        for conn in leftover {
+            self.saba_conn_destroy(conn)?;
+        }
+        let resp = self
+            .transport
+            .call(Request::AppDeregister { app: self.app });
+        match resp {
+            Response::Ack => {
+                self.sl = None;
+                Ok(())
+            }
+            Response::Error { message } => Err(LibError::Rejected(message)),
+            Response::Registered { .. } => Err(LibError::ProtocolViolation),
+        }
+    }
+}
+
+/// An in-process transport to a shared [`CentralController`].
+///
+/// Every call is **encoded to wire bytes and decoded back** before
+/// dispatch, so the RPC codec is exercised end-to-end. Switch updates
+/// the controller emits are queued in `updates` for the harness to apply
+/// to the fabric (in a real deployment the controller programs switches
+/// through the management plane, not through the application's RPC
+/// channel).
+#[derive(Debug, Clone)]
+pub struct InProcTransport {
+    controller: Rc<RefCell<CentralController>>,
+    updates: Rc<RefCell<Vec<SwitchUpdate>>>,
+}
+
+impl InProcTransport {
+    /// Wraps a shared controller.
+    pub fn new(controller: Rc<RefCell<CentralController>>) -> Self {
+        Self {
+            controller,
+            updates: Rc::new(RefCell::new(Vec::new())),
+        }
+    }
+
+    /// Drains switch updates produced since the last drain.
+    pub fn drain_updates(&self) -> Vec<SwitchUpdate> {
+        std::mem::take(&mut self.updates.borrow_mut())
+    }
+}
+
+impl Transport for InProcTransport {
+    fn call(&mut self, req: Request) -> Response {
+        // Round-trip through the wire format, as a socket transport would.
+        let wire = encode_request(&req);
+        let (req, rest) = decode_request(&wire).expect("self-encoded frame decodes");
+        assert!(rest.is_empty());
+        let mut ctrl = self.controller.borrow_mut();
+        let resp = match req {
+            Request::AppRegister { app, workload } => match ctrl.register(app, &workload) {
+                Ok(sl) => Response::Registered { sl },
+                Err(e) => Response::Error {
+                    message: e.to_string(),
+                },
+            },
+            Request::ConnCreate { app, src, dst, tag } => {
+                match ctrl.conn_create(app, src, dst, tag) {
+                    Ok(updates) => {
+                        self.updates.borrow_mut().extend(updates);
+                        Response::Ack
+                    }
+                    Err(e) => Response::Error {
+                        message: e.to_string(),
+                    },
+                }
+            }
+            Request::ConnDestroy { app, tag } => match ctrl.conn_destroy(app, tag) {
+                Ok(updates) => {
+                    self.updates.borrow_mut().extend(updates);
+                    Response::Ack
+                }
+                Err(e) => Response::Error {
+                    message: e.to_string(),
+                },
+            },
+            Request::AppDeregister { app } => match ctrl.deregister(app) {
+                Ok(updates) => {
+                    self.updates.borrow_mut().extend(updates);
+                    Response::Ack
+                }
+                Err(e) => Response::Error {
+                    message: e.to_string(),
+                },
+            },
+        };
+        // Wire round trip on the response too.
+        let wire = encode_response(&resp);
+        let (resp, _) = crate::rpc::decode_response(&wire).expect("self-encoded frame decodes");
+        resp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::ControllerConfig;
+    use crate::profiler::{Profiler, ProfilerConfig};
+    use saba_sim::topology::Topology;
+    use saba_workload::catalog;
+
+    fn setup() -> (Rc<RefCell<CentralController>>, InProcTransport, Topology) {
+        let profiler = Profiler::new(ProfilerConfig {
+            noise_sigma: 0.0,
+            bw_points: vec![0.25, 0.5, 0.75, 1.0],
+            degree: 2,
+            ..Default::default()
+        });
+        let specs: Vec<_> = catalog()
+            .into_iter()
+            .filter(|w| ["LR", "PR"].contains(&w.name.as_str()))
+            .collect();
+        let table = profiler.profile_all(&specs).unwrap();
+        let topo = Topology::single_switch(4, saba_sim::LINK_56G_BPS);
+        let ctrl = Rc::new(RefCell::new(CentralController::new(
+            ControllerConfig::default(),
+            table,
+            &topo,
+        )));
+        let transport = InProcTransport::new(ctrl.clone());
+        (ctrl, transport, topo)
+    }
+
+    #[test]
+    fn full_fig7_lifecycle() {
+        let (ctrl, transport, topo) = setup();
+        let mut lib = SabaLib::new(AppId(0), transport.clone());
+        let s = topo.servers();
+
+        let sl = lib.saba_app_register("LR").unwrap();
+        assert_eq!(lib.sl(), Some(sl));
+
+        let conn = lib.saba_conn_create(s[0], s[1]).unwrap();
+        assert_eq!(conn.sl, sl);
+        assert!(
+            !transport.drain_updates().is_empty(),
+            "conn_create must program switches"
+        );
+        assert_eq!(ctrl.borrow().num_conns(), 1);
+
+        lib.saba_conn_destroy(conn).unwrap();
+        assert_eq!(ctrl.borrow().num_conns(), 0);
+        assert!(
+            !transport.drain_updates().is_empty(),
+            "conn_destroy must reprogram"
+        );
+
+        lib.saba_app_deregister().unwrap();
+        assert_eq!(ctrl.borrow().num_apps(), 0);
+        assert_eq!(lib.sl(), None);
+    }
+
+    #[test]
+    fn register_before_create_is_required() {
+        let (_, transport, topo) = setup();
+        let mut lib = SabaLib::new(AppId(0), transport);
+        let s = topo.servers();
+        assert_eq!(
+            lib.saba_conn_create(s[0], s[1]).unwrap_err(),
+            LibError::NotRegistered
+        );
+    }
+
+    #[test]
+    fn unknown_workload_is_rejected_end_to_end() {
+        let (_, transport, _) = setup();
+        let mut lib = SabaLib::new(AppId(0), transport);
+        match lib.saba_app_register("Mystery") {
+            Err(LibError::Rejected(msg)) => assert!(msg.contains("Mystery")),
+            other => panic!("expected rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn double_register_is_rejected_locally() {
+        let (_, transport, _) = setup();
+        let mut lib = SabaLib::new(AppId(0), transport);
+        lib.saba_app_register("LR").unwrap();
+        assert_eq!(
+            lib.saba_app_register("LR").unwrap_err(),
+            LibError::AlreadyRegistered
+        );
+    }
+
+    #[test]
+    fn deregister_destroys_leftover_connections() {
+        let (ctrl, transport, topo) = setup();
+        let mut lib = SabaLib::new(AppId(0), transport);
+        let s = topo.servers();
+        lib.saba_app_register("LR").unwrap();
+        lib.saba_conn_create(s[0], s[1]).unwrap();
+        lib.saba_conn_create(s[0], s[2]).unwrap();
+        lib.saba_app_deregister().unwrap();
+        assert_eq!(ctrl.borrow().num_conns(), 0);
+        assert_eq!(ctrl.borrow().num_apps(), 0);
+    }
+
+    #[test]
+    fn two_apps_share_one_controller() {
+        let (ctrl, transport, topo) = setup();
+        let mut lr = SabaLib::new(AppId(0), transport.clone());
+        let mut pr = SabaLib::new(AppId(1), transport);
+        let s = topo.servers();
+        let sl_lr = lr.saba_app_register("LR").unwrap();
+        let sl_pr = pr.saba_app_register("PR").unwrap();
+        assert_ne!(sl_lr, sl_pr);
+        lr.saba_conn_create(s[0], s[1]).unwrap();
+        pr.saba_conn_create(s[0], s[1]).unwrap();
+        assert_eq!(ctrl.borrow().num_conns(), 2);
+    }
+
+    #[test]
+    fn destroy_unknown_connection_fails_locally() {
+        let (_, transport, topo) = setup();
+        let mut lib = SabaLib::new(AppId(0), transport);
+        let s = topo.servers();
+        lib.saba_app_register("LR").unwrap();
+        let bogus = Connection {
+            tag: 999,
+            src: s[0],
+            dst: s[1],
+            sl: ServiceLevel(0),
+        };
+        assert_eq!(
+            lib.saba_conn_destroy(bogus).unwrap_err(),
+            LibError::UnknownConnection(999)
+        );
+    }
+}

@@ -1,0 +1,277 @@
+//! The offline profiler (§4, §7.1, Fig. 4).
+//!
+//! The profiler deploys a workload on a dedicated set of nodes ①, runs
+//! it once per bandwidth point with every NIC token-bucket-throttled to
+//! that fraction of link capacity ②, converts completion times into
+//! slowdowns, and fits the polynomial sensitivity model ③. The paper's
+//! bandwidth points are 5, 10, 25, 50, 75, 90 and 100 % (§7.1).
+
+use crate::sensitivity::{SensitivityModel, SensitivityTable};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use saba_math::FitError;
+use saba_sim::engine::{FairShareFabric, Simulation};
+use saba_sim::ids::{AppId, ServiceLevel};
+use saba_sim::topology::Topology;
+use saba_workload::noise::noisy_duration;
+use saba_workload::runtime::{run_jobs, JobRuntime};
+use saba_workload::spec::{JobPlan, WorkloadSpec};
+
+/// Profiler configuration.
+#[derive(Debug, Clone)]
+pub struct ProfilerConfig {
+    /// Bandwidth fractions to profile at (§7.1's percentages).
+    pub bw_points: Vec<f64>,
+    /// Polynomial degree `k` of the fitted model (§4.2 studies 1–3).
+    pub degree: usize,
+    /// Lognormal measurement-noise sigma (0 = noiseless).
+    pub noise_sigma: f64,
+    /// Seed for the noise stream, so profiles are reproducible.
+    pub seed: u64,
+    /// NIC line rate in bytes/s.
+    pub nic_rate: f64,
+}
+
+impl Default for ProfilerConfig {
+    fn default() -> Self {
+        Self {
+            bw_points: vec![0.05, 0.10, 0.25, 0.50, 0.75, 0.90, 1.00],
+            degree: 3,
+            noise_sigma: 0.03,
+            seed: 0x5aba,
+            nic_rate: saba_sim::LINK_56G_BPS,
+        }
+    }
+}
+
+/// The offline profiler.
+#[derive(Debug, Clone)]
+pub struct Profiler {
+    cfg: ProfilerConfig,
+}
+
+/// The raw measurements behind one profile.
+#[derive(Debug, Clone)]
+pub struct ProfileOutcome {
+    /// The fitted sensitivity model.
+    pub model: SensitivityModel,
+    /// Measured completion time per bandwidth point (seconds).
+    pub completion_times: Vec<(f64, f64)>,
+}
+
+impl Profiler {
+    /// Creates a profiler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no bandwidth points are configured, any point is
+    /// outside `(0, 1]`, or 100 % is missing (slowdowns are relative to
+    /// the unthrottled run, §4.1).
+    pub fn new(cfg: ProfilerConfig) -> Self {
+        assert!(!cfg.bw_points.is_empty(), "profiler needs bandwidth points");
+        assert!(
+            cfg.bw_points.iter().all(|&b| b > 0.0 && b <= 1.0),
+            "bandwidth points must be in (0, 1]"
+        );
+        assert!(
+            cfg.bw_points.iter().any(|&b| (b - 1.0).abs() < 1e-12),
+            "profiling requires the unthrottled (100%) point"
+        );
+        Self { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ProfilerConfig {
+        &self.cfg
+    }
+
+    /// Profiles a workload at its own profiling scale (§4.1).
+    pub fn profile(&self, spec: &WorkloadSpec) -> Result<ProfileOutcome, FitError> {
+        self.profile_plan(&spec.name, &spec.profile_plan())
+    }
+
+    /// Profiles an arbitrary plan (used by the §4.2 accuracy studies to
+    /// measure *runtime-scale* sample sets).
+    pub fn profile_plan(&self, name: &str, plan: &JobPlan) -> Result<ProfileOutcome, FitError> {
+        let samples = self.measure_samples(name, plan);
+        let slowdowns = to_slowdowns(&samples);
+        let model = SensitivityModel::fit(name, &slowdowns, self.cfg.degree)?;
+        Ok(ProfileOutcome {
+            model,
+            completion_times: samples,
+        })
+    }
+
+    /// Measures raw `(bandwidth fraction, completion seconds)` samples
+    /// by running the plan in isolation at each throttle.
+    pub fn measure_samples(&self, name: &str, plan: &JobPlan) -> Vec<(f64, f64)> {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.cfg.seed ^ hash_name(name));
+        self.cfg
+            .bw_points
+            .iter()
+            .map(|&b| {
+                let t = run_isolated(plan, b, self.cfg.nic_rate);
+                (b, noisy_duration(t, self.cfg.noise_sigma, &mut rng))
+            })
+            .collect()
+    }
+
+    /// Profiles every workload in `specs`, producing the sensitivity
+    /// table consumed by the controller (Fig. 4 ③ → §5).
+    pub fn profile_all(&self, specs: &[WorkloadSpec]) -> Result<SensitivityTable, FitError> {
+        let mut table = SensitivityTable::new();
+        for spec in specs {
+            table.insert(self.profile(spec)?.model);
+        }
+        Ok(table)
+    }
+}
+
+/// Converts raw completion measurements into slowdown samples, dividing
+/// by the unthrottled (highest-bandwidth) measurement.
+pub fn to_slowdowns(samples: &[(f64, f64)]) -> Vec<(f64, f64)> {
+    let baseline = samples
+        .iter()
+        .cloned()
+        .max_by(|a, b| a.0.partial_cmp(&b.0).expect("finite bandwidth points"))
+        .map(|(_, t)| t)
+        .expect("at least one sample");
+    samples.iter().map(|&(b, t)| (b, t / baseline)).collect()
+}
+
+/// Runs `plan` alone on a single-switch cluster with all NICs throttled
+/// to `bw`, returning the completion time.
+fn run_isolated(plan: &JobPlan, bw: f64, nic_rate: f64) -> f64 {
+    let mut topo = Topology::single_switch(plan.nodes, nic_rate);
+    topo.throttle_all_nics(bw);
+    let mut sim = Simulation::new(topo, FairShareFabric::default());
+    let nodes = sim.topo().servers().to_vec();
+    let mut jobs = vec![JobRuntime::new(
+        AppId(0),
+        ServiceLevel(0),
+        nodes,
+        plan.clone(),
+        0,
+    )];
+    run_jobs(&mut sim, &mut jobs, |_, _| {}).expect("an isolated job cannot deadlock")[0]
+}
+
+fn hash_name(name: &str) -> u64 {
+    // FNV-1a, for a stable per-workload noise stream.
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saba_workload::workload_by_name;
+
+    fn quiet() -> Profiler {
+        Profiler::new(ProfilerConfig {
+            noise_sigma: 0.0,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn lr_profile_matches_fig1a() {
+        let spec = workload_by_name("LR").unwrap();
+        let out = quiet().profile(&spec).unwrap();
+        let d25 = out.model.predict(0.25);
+        let d75 = out.model.predict(0.75);
+        assert!((d25 - 3.4).abs() < 0.25, "D(0.25) = {d25}");
+        assert!((d75 - 1.3).abs() < 0.15, "D(0.75) = {d75}");
+        assert!(out.model.r_squared > 0.95);
+    }
+
+    #[test]
+    fn slowdowns_are_relative_to_unthrottled() {
+        let s = to_slowdowns(&[(0.25, 400.0), (1.0, 100.0), (0.5, 200.0)]);
+        assert!(s.contains(&(1.0, 1.0)));
+        assert!(s.contains(&(0.25, 4.0)));
+    }
+
+    #[test]
+    fn degree_increases_fit_quality_for_sql() {
+        // SQL's knee (Fig. 5) needs a cubic.
+        let spec = workload_by_name("SQL").unwrap();
+        let fit_at = |k: usize| {
+            let p = Profiler::new(ProfilerConfig {
+                degree: k,
+                noise_sigma: 0.0,
+                ..Default::default()
+            });
+            p.profile(&spec).unwrap().model.r_squared
+        };
+        let (r1, r3) = (fit_at(1), fit_at(3));
+        assert!(r3 > r1 + 0.1, "k=1: {r1}, k=3: {r3}");
+        assert!(r3 > 0.9, "k=3 should fit SQL well, got {r3}");
+    }
+
+    #[test]
+    fn noise_lowers_r_squared_but_not_fatally() {
+        let spec = workload_by_name("LR").unwrap();
+        let noisy = Profiler::new(ProfilerConfig {
+            noise_sigma: 0.05,
+            ..Default::default()
+        });
+        let out = noisy.profile(&spec).unwrap();
+        assert!(out.model.r_squared > 0.8, "r2 = {}", out.model.r_squared);
+        assert!(out.model.r_squared < 1.0);
+    }
+
+    #[test]
+    fn profiles_are_reproducible() {
+        let spec = workload_by_name("WC").unwrap();
+        let p = Profiler::new(ProfilerConfig::default());
+        let a = p.profile(&spec).unwrap();
+        let b = p.profile(&spec).unwrap();
+        assert_eq!(a.model, b.model);
+    }
+
+    #[test]
+    fn profile_all_builds_full_table() {
+        let table = quiet().profile_all(&saba_workload::catalog()).unwrap();
+        assert_eq!(table.len(), 10);
+        assert!(table.get("LR").is_some());
+        assert!(table.get("Sort").is_some());
+        // LR is more sensitive than Sort everywhere below full bandwidth.
+        let lr = table.get("LR").unwrap();
+        let sort = table.get("Sort").unwrap();
+        for b in [0.1, 0.25, 0.5, 0.75] {
+            assert!(lr.predict(b) > sort.predict(b), "b = {b}");
+        }
+    }
+
+    #[test]
+    fn runtime_scale_accuracy_drops_for_ni() {
+        // Fig. 6b: NI's model degrades most when the dataset scale
+        // changes by 10x.
+        let p = quiet();
+        let ni = workload_by_name("NI").unwrap();
+        let profiled = p.profile(&ni).unwrap().model;
+        let runtime_samples =
+            to_slowdowns(&p.measure_samples("NI", &ni.plan(10.0, ni.profile_nodes)));
+        let r2_runtime = profiled.accuracy_against(&runtime_samples);
+        assert!(
+            r2_runtime < profiled.r_squared - 0.05,
+            "NI accuracy should drop: {} -> {}",
+            profiled.r_squared,
+            r2_runtime
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unthrottled")]
+    fn missing_100pct_point_rejected() {
+        let _ = Profiler::new(ProfilerConfig {
+            bw_points: vec![0.25, 0.5],
+            ..Default::default()
+        });
+    }
+}

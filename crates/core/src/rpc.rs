@@ -1,0 +1,376 @@
+//! The controller RPC protocol (§6: "The connection manager … uses RPC
+//! operations for all control-plane activities").
+//!
+//! A tiny length-prefixed binary protocol carrying the four interface
+//! calls of Fig. 7 and their responses. Frames are:
+//!
+//! ```text
+//! u32  payload length (big-endian, excluding itself)
+//! u8   message type
+//! ...  fields (big-endian integers; strings are u16 length + UTF-8)
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use saba_sim::ids::{AppId, NodeId, ServiceLevel};
+use std::fmt;
+
+/// A control-plane request from the Saba library to the controller.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// `saba_app_register` (Fig. 7 ①②).
+    AppRegister {
+        /// The registering application.
+        app: AppId,
+        /// Its profiled workload name (sensitivity-table key).
+        workload: String,
+    },
+    /// `saba_conn_create` (Fig. 7 ④⑤).
+    ConnCreate {
+        /// Owning application.
+        app: AppId,
+        /// Source server.
+        src: NodeId,
+        /// Destination server.
+        dst: NodeId,
+        /// Connection tag (ECMP hash input / identity).
+        tag: u64,
+    },
+    /// `saba_conn_destroy` (Fig. 7 ⑧⑨).
+    ConnDestroy {
+        /// Owning application.
+        app: AppId,
+        /// The connection's tag.
+        tag: u64,
+    },
+    /// `saba_app_deregister` (Fig. 7 ⑫⑬).
+    AppDeregister {
+        /// The departing application.
+        app: AppId,
+    },
+}
+
+/// A controller response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Registration succeeded; connections must carry this SL (Fig. 7 ③).
+    Registered {
+        /// The assigned Service Level (priority level).
+        sl: ServiceLevel,
+    },
+    /// The operation succeeded.
+    Ack,
+    /// The operation failed.
+    Error {
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+/// Codec errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RpcError {
+    /// The buffer does not yet hold a complete frame.
+    Incomplete,
+    /// The frame is malformed (bad type byte, truncated fields, bad
+    /// UTF-8).
+    Malformed(&'static str),
+}
+
+impl fmt::Display for RpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RpcError::Incomplete => write!(f, "incomplete frame"),
+            RpcError::Malformed(what) => write!(f, "malformed frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+const T_APP_REGISTER: u8 = 1;
+const T_CONN_CREATE: u8 = 2;
+const T_CONN_DESTROY: u8 = 3;
+const T_APP_DEREGISTER: u8 = 4;
+const T_REGISTERED: u8 = 16;
+const T_ACK: u8 = 17;
+const T_ERROR: u8 = 18;
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    assert!(
+        s.len() <= u16::MAX as usize,
+        "string too long for the wire format"
+    );
+    buf.put_u16(s.len() as u16);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_string(buf: &mut &[u8]) -> Result<String, RpcError> {
+    if buf.remaining() < 2 {
+        return Err(RpcError::Malformed("truncated string length"));
+    }
+    let len = buf.get_u16() as usize;
+    if buf.remaining() < len {
+        return Err(RpcError::Malformed("truncated string body"));
+    }
+    let (head, rest) = buf.split_at(len);
+    let s = std::str::from_utf8(head)
+        .map_err(|_| RpcError::Malformed("invalid UTF-8"))?
+        .to_string();
+    *buf = rest;
+    Ok(s)
+}
+
+fn frame(body: BytesMut) -> Bytes {
+    let mut out = BytesMut::with_capacity(4 + body.len());
+    out.put_u32(body.len() as u32);
+    out.extend_from_slice(&body);
+    out.freeze()
+}
+
+/// Encodes a request into a wire frame.
+pub fn encode_request(req: &Request) -> Bytes {
+    let mut b = BytesMut::new();
+    match req {
+        Request::AppRegister { app, workload } => {
+            b.put_u8(T_APP_REGISTER);
+            b.put_u32(app.0);
+            put_string(&mut b, workload);
+        }
+        Request::ConnCreate { app, src, dst, tag } => {
+            b.put_u8(T_CONN_CREATE);
+            b.put_u32(app.0);
+            b.put_u32(src.0);
+            b.put_u32(dst.0);
+            b.put_u64(*tag);
+        }
+        Request::ConnDestroy { app, tag } => {
+            b.put_u8(T_CONN_DESTROY);
+            b.put_u32(app.0);
+            b.put_u64(*tag);
+        }
+        Request::AppDeregister { app } => {
+            b.put_u8(T_APP_DEREGISTER);
+            b.put_u32(app.0);
+        }
+    }
+    frame(b)
+}
+
+/// Encodes a response into a wire frame.
+pub fn encode_response(resp: &Response) -> Bytes {
+    let mut b = BytesMut::new();
+    match resp {
+        Response::Registered { sl } => {
+            b.put_u8(T_REGISTERED);
+            b.put_u8(sl.value());
+        }
+        Response::Ack => b.put_u8(T_ACK),
+        Response::Error { message } => {
+            b.put_u8(T_ERROR);
+            put_string(&mut b, message);
+        }
+    }
+    frame(b)
+}
+
+/// Splits one frame's payload off `data`, returning `(payload, rest)`.
+fn take_frame(data: &[u8]) -> Result<(&[u8], &[u8]), RpcError> {
+    if data.len() < 4 {
+        return Err(RpcError::Incomplete);
+    }
+    let len = u32::from_be_bytes([data[0], data[1], data[2], data[3]]) as usize;
+    if data.len() < 4 + len {
+        return Err(RpcError::Incomplete);
+    }
+    Ok((&data[4..4 + len], &data[4 + len..]))
+}
+
+/// Decodes one request frame, returning it and the unconsumed tail.
+pub fn decode_request(data: &[u8]) -> Result<(Request, &[u8]), RpcError> {
+    let (mut body, rest) = take_frame(data)?;
+    if body.remaining() < 1 {
+        return Err(RpcError::Malformed("empty frame"));
+    }
+    let ty = body.get_u8();
+    let req = match ty {
+        T_APP_REGISTER => {
+            if body.remaining() < 4 {
+                return Err(RpcError::Malformed("truncated AppRegister"));
+            }
+            let app = AppId(body.get_u32());
+            let workload = get_string(&mut body)?;
+            Request::AppRegister { app, workload }
+        }
+        T_CONN_CREATE => {
+            if body.remaining() < 4 + 4 + 4 + 8 {
+                return Err(RpcError::Malformed("truncated ConnCreate"));
+            }
+            Request::ConnCreate {
+                app: AppId(body.get_u32()),
+                src: NodeId(body.get_u32()),
+                dst: NodeId(body.get_u32()),
+                tag: body.get_u64(),
+            }
+        }
+        T_CONN_DESTROY => {
+            if body.remaining() < 4 + 8 {
+                return Err(RpcError::Malformed("truncated ConnDestroy"));
+            }
+            Request::ConnDestroy {
+                app: AppId(body.get_u32()),
+                tag: body.get_u64(),
+            }
+        }
+        T_APP_DEREGISTER => {
+            if body.remaining() < 4 {
+                return Err(RpcError::Malformed("truncated AppDeregister"));
+            }
+            Request::AppDeregister {
+                app: AppId(body.get_u32()),
+            }
+        }
+        _ => return Err(RpcError::Malformed("unknown request type")),
+    };
+    Ok((req, rest))
+}
+
+/// Decodes one response frame, returning it and the unconsumed tail.
+pub fn decode_response(data: &[u8]) -> Result<(Response, &[u8]), RpcError> {
+    let (mut body, rest) = take_frame(data)?;
+    if body.remaining() < 1 {
+        return Err(RpcError::Malformed("empty frame"));
+    }
+    let ty = body.get_u8();
+    let resp = match ty {
+        T_REGISTERED => {
+            if body.remaining() < 1 {
+                return Err(RpcError::Malformed("truncated Registered"));
+            }
+            let sl = body.get_u8();
+            if sl as usize >= ServiceLevel::COUNT {
+                return Err(RpcError::Malformed("SL out of range"));
+            }
+            Response::Registered {
+                sl: ServiceLevel(sl),
+            }
+        }
+        T_ACK => Response::Ack,
+        T_ERROR => Response::Error {
+            message: get_string(&mut body)?,
+        },
+        _ => return Err(RpcError::Malformed("unknown response type")),
+    };
+    Ok((resp, rest))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(req: Request) {
+        let wire = encode_request(&req);
+        let (back, rest) = decode_request(&wire).unwrap();
+        assert_eq!(back, req);
+        assert!(rest.is_empty());
+    }
+
+    fn round_trip_response(resp: Response) {
+        let wire = encode_response(&resp);
+        let (back, rest) = decode_response(&wire).unwrap();
+        assert_eq!(back, resp);
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn all_requests_round_trip() {
+        round_trip_request(Request::AppRegister {
+            app: AppId(7),
+            workload: "LR".into(),
+        });
+        round_trip_request(Request::ConnCreate {
+            app: AppId(1),
+            src: NodeId(2),
+            dst: NodeId(3),
+            tag: 0xDEAD_BEEF_CAFE,
+        });
+        round_trip_request(Request::ConnDestroy {
+            app: AppId(1),
+            tag: 42,
+        });
+        round_trip_request(Request::AppDeregister { app: AppId(9) });
+    }
+
+    #[test]
+    fn all_responses_round_trip() {
+        round_trip_response(Response::Registered {
+            sl: ServiceLevel(13),
+        });
+        round_trip_response(Response::Ack);
+        round_trip_response(Response::Error {
+            message: "unknown workload".into(),
+        });
+    }
+
+    #[test]
+    fn pipelined_frames_decode_in_order() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&encode_request(&Request::AppDeregister { app: AppId(1) }));
+        wire.extend_from_slice(&encode_request(&Request::ConnDestroy {
+            app: AppId(1),
+            tag: 5,
+        }));
+        let (r1, rest) = decode_request(&wire).unwrap();
+        assert_eq!(r1, Request::AppDeregister { app: AppId(1) });
+        let (r2, rest) = decode_request(rest).unwrap();
+        assert_eq!(
+            r2,
+            Request::ConnDestroy {
+                app: AppId(1),
+                tag: 5
+            }
+        );
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn partial_frame_is_incomplete() {
+        let wire = encode_request(&Request::AppDeregister { app: AppId(1) });
+        for cut in 0..wire.len() {
+            assert_eq!(
+                decode_request(&wire[..cut]).unwrap_err(),
+                RpcError::Incomplete
+            );
+        }
+    }
+
+    #[test]
+    fn garbage_type_is_malformed() {
+        let mut b = BytesMut::new();
+        b.put_u8(200);
+        let wire = frame(b);
+        assert!(matches!(
+            decode_request(&wire).unwrap_err(),
+            RpcError::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn out_of_range_sl_rejected() {
+        let mut b = BytesMut::new();
+        b.put_u8(T_REGISTERED);
+        b.put_u8(16);
+        let wire = frame(b);
+        assert!(matches!(
+            decode_response(&wire).unwrap_err(),
+            RpcError::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn unicode_workload_names_survive() {
+        round_trip_request(Request::AppRegister {
+            app: AppId(0),
+            workload: "Ωμέγα-analytics".into(),
+        });
+    }
+}

@@ -1,0 +1,240 @@
+//! Sensitivity models and the sensitivity table (paper §4, Fig. 4).
+//!
+//! A sensitivity model is the polynomial `D(b) = Σ cᵢ bⁱ` (Eq. 1)
+//! mapping available-bandwidth fraction `b ∈ (0, 1]` to slowdown
+//! relative to unthrottled execution. The profiler records one model
+//! per workload in the sensitivity table; the controller consumes the
+//! table for bandwidth allocation (§5).
+
+use saba_math::{polyfit, r_squared, FitError, Polynomial};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A fitted sensitivity model for one workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensitivityModel {
+    /// Workload name (the table key).
+    pub workload: String,
+    /// The fitted polynomial (coefficients `c₀ … c_k`, Eq. 1).
+    pub poly: Polynomial,
+    /// Degree `k` requested at fit time.
+    pub degree: usize,
+    /// Goodness-of-fit on the profiling samples (§4.2).
+    pub r_squared: f64,
+    /// The profiling samples `(bandwidth fraction, slowdown)`.
+    pub samples: Vec<(f64, f64)>,
+}
+
+impl SensitivityModel {
+    /// Fits a model of the given `degree` to profiling samples.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use saba_core::sensitivity::SensitivityModel;
+    ///
+    /// let samples = vec![(0.25, 3.4), (0.5, 2.0), (0.75, 1.3), (1.0, 1.0)];
+    /// let m = SensitivityModel::fit("LR", &samples, 2).unwrap();
+    /// assert!(m.r_squared > 0.9);
+    /// assert!(m.predict(0.25) > m.predict(0.75));
+    /// ```
+    pub fn fit(workload: &str, samples: &[(f64, f64)], degree: usize) -> Result<Self, FitError> {
+        let xs: Vec<f64> = samples.iter().map(|s| s.0).collect();
+        let ys: Vec<f64> = samples.iter().map(|s| s.1).collect();
+        let fit = polyfit(&xs, &ys, degree)?;
+        Ok(Self {
+            workload: workload.to_string(),
+            poly: fit.poly,
+            degree,
+            r_squared: fit.r_squared,
+            samples: samples.to_vec(),
+        })
+    }
+
+    /// Predicted slowdown at bandwidth fraction `b`.
+    ///
+    /// The input is clamped to the profiled range `[min sample b, 1]` —
+    /// polynomial extrapolation below the lowest profiled throttle is
+    /// meaningless and can even go negative.
+    pub fn predict(&self, b: f64) -> f64 {
+        let lo = self
+            .samples
+            .iter()
+            .map(|s| s.0)
+            .fold(f64::INFINITY, f64::min)
+            .min(1.0);
+        let lo = if lo.is_finite() { lo } else { 0.01 };
+        self.poly.eval(b.clamp(lo, 1.0)).max(0.0)
+    }
+
+    /// Re-evaluates this model's R² against *new* samples — how §4.2
+    /// measures accuracy when runtime dataset size or node count depart
+    /// from the profiled configuration (Fig. 6b, 6c).
+    pub fn accuracy_against(&self, samples: &[(f64, f64)]) -> f64 {
+        let xs: Vec<f64> = samples.iter().map(|s| s.0).collect();
+        let ys: Vec<f64> = samples.iter().map(|s| s.1).collect();
+        r_squared(&self.poly, &xs, &ys)
+    }
+
+    /// Model coefficients `c₀ … c_k` — the clustering feature vector
+    /// (§5.3.1 clusters applications by "the coefficients of their
+    /// sensitivity models").
+    pub fn coefficients(&self) -> &[f64] {
+        self.poly.coeffs()
+    }
+}
+
+/// The sensitivity table: workload name → fitted model (Fig. 4 ③).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SensitivityTable {
+    models: BTreeMap<String, SensitivityModel>,
+}
+
+impl SensitivityTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts (or replaces) a model, keyed by its workload name.
+    pub fn insert(&mut self, model: SensitivityModel) {
+        self.models.insert(model.workload.clone(), model);
+    }
+
+    /// Looks up a workload's model.
+    pub fn get(&self, workload: &str) -> Option<&SensitivityModel> {
+        self.models.get(workload)
+    }
+
+    /// Number of models in the table.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// Iterates models in workload-name order.
+    pub fn iter(&self) -> impl Iterator<Item = &SensitivityModel> {
+        self.models.values()
+    }
+
+    /// Serializes the table to JSON (the distributed controller's
+    /// database representation, §5.4).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("table serialization cannot fail")
+    }
+
+    /// Deserializes a table from JSON.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Maximum coefficient-vector length across models, for padding
+    /// clustering feature vectors to a common dimension.
+    pub fn max_coeff_len(&self) -> usize {
+        self.models
+            .values()
+            .map(|m| m.coefficients().len())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Pads a coefficient slice with zeros to `dim` entries (clustering
+/// feature vectors must share a dimension even when model degrees mix).
+pub fn padded_coeffs(coeffs: &[f64], dim: usize) -> Vec<f64> {
+    let mut v = coeffs.to_vec();
+    v.resize(dim.max(coeffs.len()), 0.0);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lr_like_samples() -> Vec<(f64, f64)> {
+        // 1/b-shaped with the saturating low-bandwidth floor real
+        // measurements show (Fig. 5): D(b) = 0.2 + 0.8/max(b, 0.18).
+        [0.05f64, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0]
+            .iter()
+            .map(|&b| (b, 0.2 + 0.8 / b.max(0.18)))
+            .collect()
+    }
+
+    #[test]
+    fn fit_and_predict_round_trip() {
+        let m = SensitivityModel::fit("LR", &lr_like_samples(), 3).unwrap();
+        assert!(m.r_squared > 0.95, "r2 = {}", m.r_squared);
+        assert!(m.predict(0.25) > 2.5);
+        assert!((m.predict(1.0) - 1.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn predict_clamps_below_profiled_range() {
+        let m = SensitivityModel::fit("X", &lr_like_samples(), 3).unwrap();
+        // Below the lowest profiled throttle, prediction freezes at the
+        // boundary value rather than extrapolating wildly.
+        assert_eq!(m.predict(0.001), m.predict(0.05));
+        assert_eq!(m.predict(2.0), m.predict(1.0));
+    }
+
+    #[test]
+    fn predict_never_negative() {
+        // A fit that dips negative outside its samples must be clamped.
+        let samples = vec![(0.25, 1.05), (0.5, 1.02), (0.75, 1.0), (1.0, 1.0)];
+        let m = SensitivityModel::fit("flat", &samples, 3).unwrap();
+        for b in [0.05, 0.25, 0.5, 1.0] {
+            assert!(m.predict(b) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn accuracy_against_own_samples_matches_r2() {
+        let m = SensitivityModel::fit("LR", &lr_like_samples(), 2).unwrap();
+        let r2 = m.accuracy_against(&lr_like_samples());
+        assert!((r2 - m.r_squared).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accuracy_drops_on_shifted_samples() {
+        let m = SensitivityModel::fit("LR", &lr_like_samples(), 3).unwrap();
+        // A much flatter runtime curve: the profiled model explains less.
+        let shifted: Vec<(f64, f64)> = lr_like_samples()
+            .iter()
+            .map(|&(b, d)| (b, 1.0 + (d - 1.0) * 0.2))
+            .collect();
+        assert!(m.accuracy_against(&shifted) < m.r_squared - 0.1);
+    }
+
+    #[test]
+    fn table_insert_get_iter() {
+        let mut t = SensitivityTable::new();
+        assert!(t.is_empty());
+        t.insert(SensitivityModel::fit("A", &lr_like_samples(), 2).unwrap());
+        t.insert(SensitivityModel::fit("B", &lr_like_samples(), 3).unwrap());
+        assert_eq!(t.len(), 2);
+        assert!(t.get("A").is_some());
+        assert!(t.get("C").is_none());
+        let names: Vec<&str> = t.iter().map(|m| m.workload.as_str()).collect();
+        assert_eq!(names, vec!["A", "B"]);
+        assert_eq!(t.max_coeff_len(), 4);
+    }
+
+    #[test]
+    fn table_json_round_trip() {
+        let mut t = SensitivityTable::new();
+        t.insert(SensitivityModel::fit("LR", &lr_like_samples(), 3).unwrap());
+        let json = t.to_json();
+        let back = SensitivityTable::from_json(&json).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn padded_coeffs_extends_with_zeros() {
+        assert_eq!(padded_coeffs(&[1.0, 2.0], 4), vec![1.0, 2.0, 0.0, 0.0]);
+        assert_eq!(padded_coeffs(&[1.0, 2.0, 3.0], 2), vec![1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,113 @@
+//! Failure injection: a centralized controller crash is survivable by
+//! replaying registrations and the connection log into a fresh
+//! controller (the state is fully reconstructible — the property a
+//! replicated database gives the distributed design in §5.4).
+
+use saba_core::controller::central::CentralController;
+use saba_core::controller::ControllerConfig;
+use saba_core::profiler::{Profiler, ProfilerConfig};
+use saba_core::sensitivity::SensitivityTable;
+use saba_sim::ids::AppId;
+use saba_sim::topology::Topology;
+use saba_workload::catalog;
+
+fn table() -> SensitivityTable {
+    Profiler::new(ProfilerConfig {
+        noise_sigma: 0.0,
+        bw_points: vec![0.1, 0.25, 0.5, 0.75, 1.0],
+        degree: 3,
+        ..Default::default()
+    })
+    .profile_all(&catalog())
+    .expect("profiling succeeds")
+}
+
+#[test]
+fn warm_restart_reproduces_switch_state() {
+    let topo = Topology::single_switch(8, saba_sim::LINK_56G_BPS);
+    let t = table();
+    let names = ["LR", "PR", "Sort", "SQL"];
+    let servers = topo.servers().to_vec();
+
+    // Original controller: register 4 apps, create a mesh of conns.
+    let mut ctl = CentralController::new(ControllerConfig::default(), t.clone(), &topo);
+    let mut log = Vec::new();
+    for (i, name) in names.iter().enumerate() {
+        ctl.register(AppId(i as u32), name).expect("registers");
+    }
+    let mut tag = 0u64;
+    for i in 0..4u32 {
+        for s in 0..4usize {
+            tag += 1;
+            let (src, dst) = (servers[s], servers[(s + 2) % 8]);
+            ctl.conn_create(AppId(i), src, dst, tag).expect("creates");
+            log.push((AppId(i), src, dst, tag));
+        }
+    }
+    let before = ctl.recompute_all();
+
+    // Crash. A replacement controller replays registrations in the same
+    // order and bulk-loads the connection log.
+    let mut replacement = CentralController::new(ControllerConfig::default(), t, &topo);
+    for (i, name) in names.iter().enumerate() {
+        replacement
+            .register(AppId(i as u32), name)
+            .expect("re-registers");
+    }
+    for (app, src, dst, tag) in log {
+        replacement.preload_connection(app, src, dst, tag);
+    }
+    let after = replacement.recompute_all();
+
+    assert_eq!(before.len(), after.len(), "same set of active ports");
+    for (a, b) in before.iter().zip(&after) {
+        assert_eq!(a.link, b.link);
+        assert_eq!(
+            a.config.sl_to_queue, b.config.sl_to_queue,
+            "port {}",
+            a.link
+        );
+        for (wa, wb) in a.config.weights.iter().zip(&b.config.weights) {
+            assert!((wa - wb).abs() < 1e-9, "port {} weights differ", a.link);
+        }
+    }
+    // SL assignments are also reproduced.
+    for i in 0..4u32 {
+        assert_eq!(ctl.sl_of(AppId(i)), replacement.sl_of(AppId(i)));
+    }
+}
+
+#[test]
+fn restart_after_partial_teardown_matches_live_controller() {
+    let topo = Topology::single_switch(6, saba_sim::LINK_56G_BPS);
+    let t = table();
+    let servers = topo.servers().to_vec();
+
+    let mut live = CentralController::new(ControllerConfig::default(), t.clone(), &topo);
+    live.register(AppId(0), "LR").unwrap();
+    live.register(AppId(1), "Sort").unwrap();
+    live.conn_create(AppId(0), servers[0], servers[1], 1)
+        .unwrap();
+    live.conn_create(AppId(1), servers[0], servers[2], 2)
+        .unwrap();
+    live.conn_create(AppId(1), servers[3], servers[4], 3)
+        .unwrap();
+    // Sort tears one connection down before the crash.
+    live.conn_destroy(AppId(1), 3).unwrap();
+
+    let mut fresh = CentralController::new(ControllerConfig::default(), t, &topo);
+    fresh.register(AppId(0), "LR").unwrap();
+    fresh.register(AppId(1), "Sort").unwrap();
+    fresh.preload_connection(AppId(0), servers[0], servers[1], 1);
+    fresh.preload_connection(AppId(1), servers[0], servers[2], 2);
+
+    let a = live.recompute_all();
+    let b = fresh.recompute_all();
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.link, y.link);
+        for (wa, wb) in x.config.weights.iter().zip(&y.config.weights) {
+            assert!((wa - wb).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Golden tests for the RPC wire format: the encoding is a protocol,
+//! so its bytes must stay stable across refactors (a controller and a
+//! library from different builds must interoperate).
+
+use saba_core::rpc::{
+    decode_request, decode_response, encode_request, encode_response, Request, Response,
+};
+use saba_sim::ids::{AppId, NodeId, ServiceLevel};
+
+#[test]
+fn request_wire_bytes_are_stable() {
+    let golden: &[(&str, Request, &[u8])] = &[
+        (
+            "app_register",
+            Request::AppRegister {
+                app: AppId(7),
+                workload: "LR".into(),
+            },
+            &[
+                0, 0, 0, 9, // length
+                1, // type
+                0, 0, 0, 7, // app id
+                0, 2, b'L', b'R', // workload
+            ],
+        ),
+        (
+            "conn_create",
+            Request::ConnCreate {
+                app: AppId(1),
+                src: NodeId(2),
+                dst: NodeId(3),
+                tag: 0x0102_0304_0506_0708,
+            },
+            &[
+                0, 0, 0, 21, // length
+                2, // type
+                0, 0, 0, 1, // app
+                0, 0, 0, 2, // src
+                0, 0, 0, 3, // dst
+                1, 2, 3, 4, 5, 6, 7, 8, // tag
+            ],
+        ),
+        (
+            "conn_destroy",
+            Request::ConnDestroy {
+                app: AppId(9),
+                tag: 42,
+            },
+            &[
+                0, 0, 0, 13, // length
+                3, // type
+                0, 0, 0, 9, // app
+                0, 0, 0, 0, 0, 0, 0, 42, // tag
+            ],
+        ),
+        (
+            "app_deregister",
+            Request::AppDeregister { app: AppId(255) },
+            &[
+                0, 0, 0, 5, // length
+                4, // type
+                0, 0, 0, 255, // app
+            ],
+        ),
+    ];
+    for (name, req, bytes) in golden {
+        let wire = encode_request(req);
+        assert_eq!(&wire[..], *bytes, "{name}: encoding changed");
+        let (back, rest) = decode_request(bytes).expect("golden bytes decode");
+        assert_eq!(&back, req, "{name}: decode mismatch");
+        assert!(rest.is_empty());
+    }
+}
+
+#[test]
+fn response_wire_bytes_are_stable() {
+    let golden: &[(&str, Response, &[u8])] = &[
+        (
+            "registered",
+            Response::Registered {
+                sl: ServiceLevel(13),
+            },
+            &[0, 0, 0, 2, 16, 13],
+        ),
+        ("ack", Response::Ack, &[0, 0, 0, 1, 17]),
+        (
+            "error",
+            Response::Error { message: "no".into() },
+            &[0, 0, 0, 5, 18, 0, 2, b'n', b'o'],
+        ),
+    ];
+    for (name, resp, bytes) in golden {
+        let wire = encode_response(resp);
+        assert_eq!(&wire[..], *bytes, "{name}: encoding changed");
+        let (back, rest) = decode_response(bytes).expect("golden bytes decode");
+        assert_eq!(&back, resp, "{name}: decode mismatch");
+        assert!(rest.is_empty());
+    }
+}
+
+#[test]
+fn truncated_golden_frames_are_incomplete_not_panics() {
+    let wire = encode_request(&Request::ConnCreate {
+        app: AppId(1),
+        src: NodeId(2),
+        dst: NodeId(3),
+        tag: 4,
+    });
+    for cut in 0..wire.len() {
+        // Every prefix must produce a clean Incomplete error.
+        assert!(decode_request(&wire[..cut]).is_err());
+    }
+}

@@ -1,0 +1,251 @@
+//! Polynomial least-squares regression and goodness-of-fit.
+//!
+//! This implements the profiler's model-fitting step (§4.1): given
+//! samples `{(b₁,d₁), …, (b_n,d_n)}` of bandwidth fraction → slowdown,
+//! fit `D(b) = Σ cᵢ bⁱ` of degree `k`, and compute the coefficient of
+//! determination R² used throughout §4.2 to assess model accuracy.
+
+use crate::linalg::{solve, Matrix, SolveError};
+use crate::poly::Polynomial;
+use std::fmt;
+
+/// Error produced when a polynomial fit cannot be computed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FitError {
+    /// Fewer samples than coefficients: the system is underdetermined.
+    TooFewSamples {
+        /// Number of samples provided.
+        samples: usize,
+        /// Number of coefficients requested (`degree + 1`).
+        coefficients: usize,
+    },
+    /// The normal equations were singular — typically duplicated or
+    /// degenerate abscissae.
+    Degenerate,
+    /// A sample contained a non-finite value.
+    NonFiniteSample,
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FitError::TooFewSamples {
+                samples,
+                coefficients,
+            } => write!(
+                f,
+                "need at least {coefficients} samples for degree {}, got {samples}",
+                coefficients - 1
+            ),
+            FitError::Degenerate => write!(f, "degenerate sample set (singular normal equations)"),
+            FitError::NonFiniteSample => write!(f, "samples contain NaN or infinite values"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+/// Result of a polynomial fit: the model plus its goodness-of-fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolyFit {
+    /// Fitted polynomial (the sensitivity model).
+    pub poly: Polynomial,
+    /// Coefficient of determination on the training samples.
+    pub r_squared: f64,
+}
+
+/// Fits a polynomial of the given `degree` to `(x, y)` samples by
+/// ordinary least squares.
+///
+/// Solves the normal equations `(VᵀV) c = Vᵀ y` where `V` is the
+/// Vandermonde matrix of the abscissae. For the tiny degrees Saba uses
+/// (k ≤ 3, §4.2) this is numerically unproblematic, particularly as the
+/// profiler's abscissae are bandwidth fractions in `(0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use saba_math::polyfit;
+///
+/// // y = 1 + 2x, fitted exactly.
+/// let xs = [0.0, 1.0, 2.0, 3.0];
+/// let ys = [1.0, 3.0, 5.0, 7.0];
+/// let fit = polyfit(&xs, &ys, 1).unwrap();
+/// assert!((fit.poly.coeffs()[0] - 1.0).abs() < 1e-9);
+/// assert!((fit.poly.coeffs()[1] - 2.0).abs() < 1e-9);
+/// assert!((fit.r_squared - 1.0).abs() < 1e-9);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `xs.len() != ys.len()`.
+pub fn polyfit(xs: &[f64], ys: &[f64], degree: usize) -> Result<PolyFit, FitError> {
+    assert_eq!(xs.len(), ys.len(), "xs and ys must have equal length");
+    let n = xs.len();
+    let m = degree + 1;
+    if n < m {
+        return Err(FitError::TooFewSamples {
+            samples: n,
+            coefficients: m,
+        });
+    }
+    if xs.iter().chain(ys).any(|v| !v.is_finite()) {
+        return Err(FitError::NonFiniteSample);
+    }
+
+    // Build the Vandermonde matrix V (n x m): V[i][j] = xs[i]^j.
+    let mut v = Matrix::zeros(n, m);
+    for i in 0..n {
+        let mut pow = 1.0;
+        for j in 0..m {
+            v[(i, j)] = pow;
+            pow *= xs[i];
+        }
+    }
+
+    let vt = v.transpose();
+    let vtv = vt.matmul(&v);
+    let vty = vt.matvec(ys);
+
+    let coeffs = match solve(&vtv, &vty) {
+        Ok(c) => c,
+        Err(SolveError::Singular) => return Err(FitError::Degenerate),
+    };
+    let poly = Polynomial::new(coeffs);
+    let r2 = r_squared(&poly, xs, ys);
+    Ok(PolyFit {
+        poly,
+        r_squared: r2,
+    })
+}
+
+/// Coefficient of determination R² of `model` against `(xs, ys)` samples.
+///
+/// `R² = 1 − SS_res / SS_tot` (§4.2, citing Lewis-Beck). R² is 1 for a
+/// perfect fit; it can be negative when the model is worse than always
+/// predicting the sample mean. If all `ys` are identical (`SS_tot = 0`),
+/// the convention used here returns 1.0 when the residuals are also
+/// (numerically) zero and 0.0 otherwise.
+///
+/// # Panics
+///
+/// Panics if `xs.len() != ys.len()` or the slices are empty.
+pub fn r_squared(model: &Polynomial, xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "xs and ys must have equal length");
+    assert!(!xs.is_empty(), "r_squared requires at least one sample");
+    let mean = ys.iter().sum::<f64>() / ys.len() as f64;
+    let ss_tot: f64 = ys.iter().map(|y| (y - mean) * (y - mean)).sum();
+    let ss_res: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(&x, &y)| {
+            let e = y - model.eval(x);
+            e * e
+        })
+        .sum();
+    if ss_tot <= f64::EPSILON * ys.len() as f64 {
+        return if ss_res <= 1e-12 { 1.0 } else { 0.0 };
+    }
+    1.0 - ss_res / ss_tot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, eps: f64) {
+        assert!((a - b).abs() < eps, "{a} vs {b}");
+    }
+
+    #[test]
+    fn fits_exact_quadratic() {
+        // y = 2 - 3x + x².
+        let truth = Polynomial::new(vec![2.0, -3.0, 1.0]);
+        let xs: Vec<f64> = (0..7).map(|i| 0.1 + 0.15 * i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| truth.eval(x)).collect();
+        let fit = polyfit(&xs, &ys, 2).unwrap();
+        for (a, b) in fit.poly.coeffs().iter().zip(truth.coeffs()) {
+            assert_close(*a, *b, 1e-8);
+        }
+        assert_close(fit.r_squared, 1.0, 1e-9);
+    }
+
+    #[test]
+    fn underdetermined_is_rejected() {
+        let err = polyfit(&[1.0, 2.0], &[1.0, 2.0], 3).unwrap_err();
+        assert!(matches!(
+            err,
+            FitError::TooFewSamples {
+                samples: 2,
+                coefficients: 4
+            }
+        ));
+    }
+
+    #[test]
+    fn duplicate_abscissae_degenerate_for_high_degree() {
+        // Only two distinct x values cannot determine a cubic.
+        let xs = [1.0, 1.0, 2.0, 2.0];
+        let ys = [1.0, 1.0, 2.0, 2.0];
+        assert_eq!(polyfit(&xs, &ys, 3).unwrap_err(), FitError::Degenerate);
+    }
+
+    #[test]
+    fn nan_samples_rejected() {
+        let err = polyfit(&[0.0, 1.0, f64::NAN], &[0.0, 1.0, 2.0], 1).unwrap_err();
+        assert_eq!(err, FitError::NonFiniteSample);
+    }
+
+    #[test]
+    fn higher_degree_never_fits_worse() {
+        // Noisy samples from a cubic: R² must be non-decreasing in k.
+        let xs: Vec<f64> = (1..=10).map(|i| i as f64 / 10.0).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| 5.0 - 6.0 * x + 2.0 * x.powi(3) + if i % 2 == 0 { 0.05 } else { -0.05 })
+            .collect();
+        let mut prev = f64::NEG_INFINITY;
+        for k in 1..=3 {
+            let fit = polyfit(&xs, &ys, k).unwrap();
+            assert!(fit.r_squared >= prev - 1e-9, "k={k}");
+            prev = fit.r_squared;
+        }
+    }
+
+    #[test]
+    fn r_squared_of_mean_model_is_zero() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [1.0, 3.0, 5.0, 7.0];
+        let mean = 4.0;
+        assert_close(r_squared(&Polynomial::constant(mean), &xs, &ys), 0.0, 1e-12);
+    }
+
+    #[test]
+    fn r_squared_can_be_negative() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [1.0, 2.0, 3.0];
+        let bad = Polynomial::constant(100.0);
+        assert!(r_squared(&bad, &xs, &ys) < 0.0);
+    }
+
+    #[test]
+    fn constant_targets_convention() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [5.0, 5.0, 5.0];
+        assert_eq!(r_squared(&Polynomial::constant(5.0), &xs, &ys), 1.0);
+        assert_eq!(r_squared(&Polynomial::constant(6.0), &xs, &ys), 0.0);
+    }
+
+    #[test]
+    fn profiler_shape_fit_matches_paper_example() {
+        // A SQL-like curve (paper Fig. 5): flat until low bandwidth, then a
+        // sharp knee. Degree 3 must fit much better than degree 1.
+        let xs = [0.05, 0.10, 0.25, 0.50, 0.75, 0.90, 1.00];
+        let ys = [3.6, 2.2, 1.2, 1.05, 1.02, 1.0, 1.0];
+        let k1 = polyfit(&xs, &ys, 1).unwrap().r_squared;
+        let k3 = polyfit(&xs, &ys, 3).unwrap().r_squared;
+        assert!(k3 > k1 + 0.15, "k3={k3} k1={k1}");
+        assert!(k3 > 0.9);
+    }
+}

@@ -1,0 +1,345 @@
+//! Agglomerative hierarchical clustering with a queryable dendrogram.
+//!
+//! This implements the PL-clustering scheme of §5.3.2: starting from one
+//! cluster per priority level, the controller repeatedly merges the two
+//! closest clusters; the merged cluster's coefficients are the Euclidean
+//! midpoint of its parents'. The full merge hierarchy is preserved so
+//! that, at runtime, each switch output port can pick the *first* level
+//! at which the PLs actually crossing that port collapse into at most
+//! `Q` clusters (`Q` = the port's queue count).
+
+use crate::linalg::{midpoint, sq_dist};
+
+/// One merge step in the dendrogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Merge {
+    /// Cluster id of the first parent (leaf ids are `0..n`; merged
+    /// clusters get ids `n`, `n+1`, … in merge order).
+    pub a: usize,
+    /// Cluster id of the second parent.
+    pub b: usize,
+    /// Euclidean distance between the parents' centroids at merge time.
+    pub distance: f64,
+    /// Centroid of the merged cluster (Euclidean midpoint of parents).
+    pub centroid: Vec<f64>,
+}
+
+/// A complete agglomerative clustering hierarchy over `n` leaves.
+///
+/// *Levels* follow the paper's numbering: level 1 has `n` clusters (one
+/// per leaf); each subsequent level merges the two closest clusters of
+/// the previous one, so level `L` has `n − (L − 1)` clusters; the last
+/// level, `n`, has a single cluster.
+///
+/// # Examples
+///
+/// ```
+/// use saba_math::Dendrogram;
+///
+/// // Three 1-D points; 0 and 1 are closest and merge first.
+/// let d = Dendrogram::build(&[vec![0.0], vec![0.1], vec![5.0]]);
+/// assert_eq!(d.num_leaves(), 3);
+/// assert_eq!(d.clusters_at_level(1).len(), 3);
+/// assert_eq!(d.clusters_at_level(2).len(), 2);
+/// // At level 2, leaves 0 and 1 share a cluster, 2 is alone.
+/// let two = d.clusters_at_level(2);
+/// assert!(two.iter().any(|c| c.leaves == vec![0, 1]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dendrogram {
+    n: usize,
+    merges: Vec<Merge>,
+    /// `membership[level - 1][leaf]` = cluster id of `leaf` at `level`.
+    membership: Vec<Vec<usize>>,
+    /// Centroid of every cluster id (leaves then merges).
+    centroids: Vec<Vec<f64>>,
+}
+
+/// A cluster at some level of the dendrogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelCluster {
+    /// Cluster id (stable across levels).
+    pub id: usize,
+    /// Leaf indices belonging to this cluster, sorted ascending.
+    pub leaves: Vec<usize>,
+    /// Cluster centroid.
+    pub centroid: Vec<f64>,
+}
+
+impl Dendrogram {
+    /// Builds the full hierarchy over `points` (one leaf per point).
+    ///
+    /// Uses O(n³) closest-pair search per level, which is ample for the
+    /// ≤ 16 priority levels Saba clusters (§5.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty or dimensionalities differ.
+    pub fn build(points: &[Vec<f64>]) -> Self {
+        assert!(!points.is_empty(), "dendrogram requires at least one point");
+        let dim = points[0].len();
+        assert!(
+            points.iter().all(|p| p.len() == dim),
+            "points must share dimensionality"
+        );
+        let n = points.len();
+
+        let mut centroids: Vec<Vec<f64>> = points.to_vec();
+        let mut merges = Vec::with_capacity(n.saturating_sub(1));
+        let mut membership = Vec::with_capacity(n);
+
+        // Active clusters as (id, centroid index == id).
+        let mut active: Vec<usize> = (0..n).collect();
+        membership.push((0..n).collect::<Vec<_>>());
+        // Leaf -> current cluster id, updated as merges happen.
+        let mut current: Vec<usize> = (0..n).collect();
+
+        while active.len() > 1 {
+            // Find the closest active pair.
+            let mut best = (0usize, 1usize);
+            let mut best_d = f64::INFINITY;
+            for i in 0..active.len() {
+                for j in (i + 1)..active.len() {
+                    let d = sq_dist(&centroids[active[i]], &centroids[active[j]]);
+                    if d < best_d {
+                        best_d = d;
+                        best = (i, j);
+                    }
+                }
+            }
+            let (i, j) = best;
+            let (ca, cb) = (active[i], active[j]);
+            let new_id = centroids.len();
+            let centroid = midpoint(&centroids[ca], &centroids[cb]);
+            centroids.push(centroid.clone());
+            merges.push(Merge {
+                a: ca,
+                b: cb,
+                distance: best_d.sqrt(),
+                centroid,
+            });
+
+            // Replace the pair with the merged cluster.
+            active.remove(j);
+            active.remove(i);
+            active.push(new_id);
+            for c in current.iter_mut() {
+                if *c == ca || *c == cb {
+                    *c = new_id;
+                }
+            }
+            membership.push(current.clone());
+        }
+
+        Self {
+            n,
+            merges,
+            membership,
+            centroids,
+        }
+    }
+
+    /// Number of leaves (points the hierarchy was built over).
+    pub fn num_leaves(&self) -> usize {
+        self.n
+    }
+
+    /// Number of levels (== number of leaves; level `n` is one cluster).
+    pub fn num_levels(&self) -> usize {
+        self.n
+    }
+
+    /// The merge sequence, in the order it was performed.
+    pub fn merges(&self) -> &[Merge] {
+        &self.merges
+    }
+
+    /// Cluster id of `leaf` at `level` (1-based, per the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is 0 or exceeds [`Self::num_levels`], or `leaf`
+    /// is out of range.
+    pub fn cluster_of(&self, level: usize, leaf: usize) -> usize {
+        assert!(level >= 1 && level <= self.n, "level out of range");
+        assert!(leaf < self.n, "leaf out of range");
+        self.membership[level - 1][leaf]
+    }
+
+    /// All clusters at `level` (1-based), each with its member leaves and
+    /// centroid. Clusters are ordered by their smallest leaf.
+    pub fn clusters_at_level(&self, level: usize) -> Vec<LevelCluster> {
+        assert!(level >= 1 && level <= self.n, "level out of range");
+        let members = &self.membership[level - 1];
+        let mut by_id: Vec<(usize, Vec<usize>)> = Vec::new();
+        for (leaf, &id) in members.iter().enumerate() {
+            match by_id.iter_mut().find(|(cid, _)| *cid == id) {
+                Some((_, leaves)) => leaves.push(leaf),
+                None => by_id.push((id, vec![leaf])),
+            }
+        }
+        by_id.sort_by_key(|(_, leaves)| leaves[0]);
+        by_id
+            .into_iter()
+            .map(|(id, leaves)| LevelCluster {
+                id,
+                leaves,
+                centroid: self.centroids[id].clone(),
+            })
+            .collect()
+    }
+
+    /// Finds the first (lowest) level at which the given `subset` of
+    /// leaves occupies at most `max_clusters` distinct clusters — the
+    /// §5.3.2 per-port search ("start from level 1; … if all PLs are
+    /// grouped into at most Q clusters, map each cluster to a queue").
+    ///
+    /// Returns the level (1-based). Always succeeds for
+    /// `max_clusters >= 1` because the top level is a single cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subset` is empty, contains an out-of-range leaf, or
+    /// `max_clusters == 0`.
+    pub fn best_level(&self, subset: &[usize], max_clusters: usize) -> usize {
+        assert!(!subset.is_empty(), "subset must be non-empty");
+        assert!(max_clusters >= 1, "need at least one cluster");
+        assert!(
+            subset.iter().all(|&l| l < self.n),
+            "subset leaf out of range"
+        );
+        for level in 1..=self.n {
+            let members = &self.membership[level - 1];
+            let mut seen: Vec<usize> = Vec::with_capacity(max_clusters + 1);
+            for &leaf in subset {
+                let id = members[leaf];
+                if !seen.contains(&id) {
+                    seen.push(id);
+                    if seen.len() > max_clusters {
+                        break;
+                    }
+                }
+            }
+            if seen.len() <= max_clusters {
+                return level;
+            }
+        }
+        self.n
+    }
+
+    /// Groups `subset` leaves at the [`Self::best_level`] for
+    /// `max_clusters`, returning per-group member leaves and the group's
+    /// centroid. This is the complete per-port PL→queue mapping step.
+    pub fn group_subset(&self, subset: &[usize], max_clusters: usize) -> Vec<LevelCluster> {
+        let level = self.best_level(subset, max_clusters);
+        let members = &self.membership[level - 1];
+        let mut by_id: Vec<(usize, Vec<usize>)> = Vec::new();
+        for &leaf in subset {
+            let id = members[leaf];
+            match by_id.iter_mut().find(|(cid, _)| *cid == id) {
+                Some((_, leaves)) => leaves.push(leaf),
+                None => by_id.push((id, vec![leaf])),
+            }
+        }
+        by_id.sort_by_key(|(_, leaves)| leaves[0]);
+        by_id
+            .into_iter()
+            .map(|(id, mut leaves)| {
+                leaves.sort_unstable();
+                LevelCluster {
+                    id,
+                    leaves,
+                    centroid: self.centroids[id].clone(),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_leaf_dendrogram() {
+        let d = Dendrogram::build(&[vec![1.0, 2.0]]);
+        assert_eq!(d.num_leaves(), 1);
+        assert_eq!(d.merges().len(), 0);
+        assert_eq!(d.best_level(&[0], 1), 1);
+    }
+
+    #[test]
+    fn merge_count_is_n_minus_one() {
+        let pts: Vec<Vec<f64>> = (0..9).map(|i| vec![i as f64]).collect();
+        let d = Dendrogram::build(&pts);
+        assert_eq!(d.merges().len(), 8);
+        assert_eq!(d.num_levels(), 9);
+        assert_eq!(d.clusters_at_level(9).len(), 1);
+    }
+
+    #[test]
+    fn closest_pair_merges_first() {
+        let d = Dendrogram::build(&[vec![0.0], vec![10.0], vec![0.2]]);
+        let first = &d.merges()[0];
+        // Leaves 0 and 2 are closest.
+        let mut parents = [first.a, first.b];
+        parents.sort_unstable();
+        assert_eq!(parents, [0, 2]);
+        assert!((first.centroid[0] - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merged_centroid_is_midpoint_of_parents() {
+        let d = Dendrogram::build(&[vec![0.0], vec![2.0], vec![100.0]]);
+        // First merge: 0 and 1 -> centroid 1.0. Second merge: that with 100 -> 50.5.
+        assert!((d.merges()[0].centroid[0] - 1.0).abs() < 1e-12);
+        assert!((d.merges()[1].centroid[0] - 50.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn best_level_respects_subset() {
+        // Two tight pairs far apart: {0,1} near 0, {2,3} near 10.
+        let d = Dendrogram::build(&[vec![0.0], vec![0.1], vec![10.0], vec![10.1]]);
+        // The full set needs level 3 to fit in 2 clusters.
+        assert_eq!(d.best_level(&[0, 1, 2, 3], 2), 3);
+        // But the subset {0, 1} fits in 1 cluster as soon as they merge.
+        let lvl = d.best_level(&[0, 1], 1);
+        assert!(lvl <= 3);
+        let groups = d.group_subset(&[0, 1], 1);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].leaves, vec![0, 1]);
+    }
+
+    #[test]
+    fn group_subset_never_exceeds_max() {
+        let pts: Vec<Vec<f64>> = (0..16).map(|i| vec![(i * i) as f64 * 0.3]).collect();
+        let d = Dendrogram::build(&pts);
+        for q in 1..=8 {
+            let subset: Vec<usize> = (0..16).step_by(2).collect();
+            let groups = d.group_subset(&subset, q);
+            assert!(groups.len() <= q, "q={q}, got {}", groups.len());
+            // Every subset leaf appears exactly once.
+            let mut all: Vec<usize> = groups.iter().flat_map(|g| g.leaves.clone()).collect();
+            all.sort_unstable();
+            assert_eq!(all, subset);
+        }
+    }
+
+    #[test]
+    fn level_one_is_identity_partition() {
+        let pts: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64, -(i as f64)]).collect();
+        let d = Dendrogram::build(&pts);
+        let clusters = d.clusters_at_level(1);
+        assert_eq!(clusters.len(), 5);
+        for (i, c) in clusters.iter().enumerate() {
+            assert_eq!(c.leaves, vec![i]);
+            assert_eq!(c.centroid, pts[i]);
+        }
+    }
+
+    #[test]
+    fn merge_distances_reported() {
+        let d = Dendrogram::build(&[vec![0.0], vec![3.0]]);
+        assert!((d.merges()[0].distance - 3.0).abs() < 1e-12);
+    }
+}

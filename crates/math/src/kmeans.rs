@@ -1,0 +1,288 @@
+//! K-means clustering (Lloyd's algorithm with k-means++ seeding).
+//!
+//! Saba's controller groups registered applications by the coefficients
+//! of their sensitivity models into `S` groups, one per priority level
+//! (§5.3.1, citing MacQueen). Points here are coefficient vectors.
+
+use crate::linalg::sq_dist;
+use rand::Rng;
+
+/// Configuration for [`kmeans`].
+#[derive(Debug, Clone)]
+pub struct KMeansConfig {
+    /// Number of clusters (`S` in the paper: the number of priority levels).
+    pub k: usize,
+    /// Maximum number of Lloyd iterations.
+    pub max_iters: usize,
+    /// Convergence threshold on total centroid movement (squared).
+    pub tolerance: f64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        Self {
+            k: 16,
+            max_iters: 100,
+            tolerance: 1e-9,
+        }
+    }
+}
+
+/// Output of [`kmeans`].
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// `assignments[i]` is the cluster index of point `i`, in `0..k_used`.
+    pub assignments: Vec<usize>,
+    /// Cluster centroids; `centroids.len() == k_used`.
+    pub centroids: Vec<Vec<f64>>,
+    /// Number of Lloyd iterations executed.
+    pub iterations: usize,
+    /// Sum of squared distances of points to their assigned centroid.
+    pub inertia: f64,
+}
+
+/// Clusters `points` into at most `config.k` groups.
+///
+/// Uses k-means++ seeding followed by Lloyd's algorithm. If there are
+/// fewer points than `k`, every point gets its own cluster. Empty
+/// clusters (possible when points coincide) are dropped from the output,
+/// so `centroids.len()` may be less than `k`; assignments are compacted
+/// accordingly.
+///
+/// # Panics
+///
+/// Panics if `points` is empty, `config.k == 0`, or points have
+/// inconsistent dimensionality.
+pub fn kmeans<R: Rng>(points: &[Vec<f64>], config: &KMeansConfig, rng: &mut R) -> KMeansResult {
+    assert!(!points.is_empty(), "kmeans requires at least one point");
+    assert!(config.k > 0, "kmeans requires k >= 1");
+    let dim = points[0].len();
+    assert!(
+        points.iter().all(|p| p.len() == dim),
+        "all points must share dimensionality"
+    );
+
+    let k = config.k.min(points.len());
+    let mut centroids = seed_plus_plus(points, k, rng);
+    let mut assignments = vec![0usize; points.len()];
+    let mut iterations = 0;
+
+    for _ in 0..config.max_iters {
+        iterations += 1;
+        // Assignment step.
+        for (i, p) in points.iter().enumerate() {
+            assignments[i] = nearest(p, &centroids).0;
+        }
+        // Update step.
+        let mut sums = vec![vec![0.0; dim]; centroids.len()];
+        let mut counts = vec![0usize; centroids.len()];
+        for (p, &a) in points.iter().zip(&assignments) {
+            counts[a] += 1;
+            for (s, &x) in sums[a].iter_mut().zip(p) {
+                *s += x;
+            }
+        }
+        let mut movement = 0.0;
+        for (c, (sum, &count)) in centroids.iter_mut().zip(sums.iter().zip(&counts)) {
+            if count == 0 {
+                continue; // Keep the old centroid; compaction happens at the end.
+            }
+            let new: Vec<f64> = sum.iter().map(|s| s / count as f64).collect();
+            movement += sq_dist(c, &new);
+            *c = new;
+        }
+        if movement <= config.tolerance {
+            break;
+        }
+    }
+
+    // Final assignment against the last centroids, then compact away any
+    // clusters that ended up empty.
+    for (i, p) in points.iter().enumerate() {
+        assignments[i] = nearest(p, &centroids).0;
+    }
+    let mut used = vec![false; centroids.len()];
+    for &a in &assignments {
+        used[a] = true;
+    }
+    let mut remap = vec![usize::MAX; centroids.len()];
+    let mut compacted = Vec::new();
+    for (old, (centroid, &u)) in centroids.into_iter().zip(&used).enumerate() {
+        if u {
+            remap[old] = compacted.len();
+            compacted.push(centroid);
+        }
+    }
+    for a in &mut assignments {
+        *a = remap[*a];
+    }
+
+    let inertia = points
+        .iter()
+        .zip(&assignments)
+        .map(|(p, &a)| sq_dist(p, &compacted[a]))
+        .sum();
+
+    KMeansResult {
+        assignments,
+        centroids: compacted,
+        iterations,
+        inertia,
+    }
+}
+
+/// Index and squared distance of the centroid nearest to `p`.
+fn nearest(p: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (i, c) in centroids.iter().enumerate() {
+        let d = sq_dist(p, c);
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    (best, best_d)
+}
+
+/// k-means++ seeding: first centroid uniform, subsequent centroids chosen
+/// with probability proportional to squared distance from the nearest
+/// centroid chosen so far.
+fn seed_plus_plus<R: Rng>(points: &[Vec<f64>], k: usize, rng: &mut R) -> Vec<Vec<f64>> {
+    let mut centroids = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..points.len())].clone());
+    let mut dists: Vec<f64> = points.iter().map(|p| sq_dist(p, &centroids[0])).collect();
+
+    while centroids.len() < k {
+        let total: f64 = dists.iter().sum();
+        let idx = if total <= 0.0 {
+            // All remaining points coincide with a centroid; pick uniformly.
+            rng.gen_range(0..points.len())
+        } else {
+            let mut target = rng.gen_range(0.0..total);
+            let mut chosen = points.len() - 1;
+            for (i, &d) in dists.iter().enumerate() {
+                if target < d {
+                    chosen = i;
+                    break;
+                }
+                target -= d;
+            }
+            chosen
+        };
+        centroids.push(points[idx].clone());
+        for (d, p) in dists.iter_mut().zip(points) {
+            let nd = sq_dist(p, centroids.last().expect("just pushed"));
+            if nd < *d {
+                *d = nd;
+            }
+        }
+    }
+    centroids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn separates_two_obvious_blobs() {
+        let mut points = Vec::new();
+        for i in 0..10 {
+            points.push(vec![0.0 + 0.01 * i as f64, 0.0]);
+            points.push(vec![10.0 + 0.01 * i as f64, 10.0]);
+        }
+        let res = kmeans(
+            &points,
+            &KMeansConfig {
+                k: 2,
+                ..Default::default()
+            },
+            &mut rng(),
+        );
+        assert_eq!(res.centroids.len(), 2);
+        // All even-index points (first blob) share a cluster distinct from odd-index points.
+        let first = res.assignments[0];
+        let second = res.assignments[1];
+        assert_ne!(first, second);
+        for i in 0..10 {
+            assert_eq!(res.assignments[2 * i], first);
+            assert_eq!(res.assignments[2 * i + 1], second);
+        }
+    }
+
+    #[test]
+    fn fewer_points_than_k_gives_one_cluster_each() {
+        let points = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let res = kmeans(
+            &points,
+            &KMeansConfig {
+                k: 16,
+                ..Default::default()
+            },
+            &mut rng(),
+        );
+        assert_eq!(res.centroids.len(), 3);
+        assert!(res.inertia < 1e-12);
+    }
+
+    #[test]
+    fn identical_points_collapse() {
+        let points = vec![vec![5.0, 5.0]; 8];
+        let res = kmeans(
+            &points,
+            &KMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+            &mut rng(),
+        );
+        // All assignments point at valid centroids and inertia is zero.
+        for &a in &res.assignments {
+            assert!(a < res.centroids.len());
+        }
+        assert!(res.inertia < 1e-12);
+    }
+
+    #[test]
+    fn single_cluster_centroid_is_mean() {
+        let points = vec![vec![0.0], vec![2.0], vec![4.0]];
+        let res = kmeans(
+            &points,
+            &KMeansConfig {
+                k: 1,
+                ..Default::default()
+            },
+            &mut rng(),
+        );
+        assert_eq!(res.centroids.len(), 1);
+        assert!((res.centroids[0][0] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn assignments_are_nearest_centroid() {
+        let points: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![(i % 7) as f64, (i % 5) as f64])
+            .collect();
+        let res = kmeans(
+            &points,
+            &KMeansConfig {
+                k: 4,
+                ..Default::default()
+            },
+            &mut rng(),
+        );
+        for (p, &a) in points.iter().zip(&res.assignments) {
+            let (nearest_idx, _) = nearest(p, &res.centroids);
+            let d_assigned = sq_dist(p, &res.centroids[a]);
+            let d_nearest = sq_dist(p, &res.centroids[nearest_idx]);
+            assert!(d_assigned <= d_nearest + 1e-12);
+        }
+    }
+}

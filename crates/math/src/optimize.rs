@@ -1,0 +1,573 @@
+//! Solvers for the controller's weight-calculation problem (paper Eq. 2):
+//!
+//! ```text
+//!   minimize   Σᵢ Dᵢ(wᵢ)
+//!   subject to Σᵢ wᵢ = C_saba,   lo ≤ wᵢ ≤ hi
+//! ```
+//!
+//! where `Dᵢ` is application *i*'s polynomial sensitivity model and `wᵢ`
+//! its bandwidth share at a switch output port. The paper uses NLopt's
+//! SLSQP; we implement the same class of method natively:
+//!
+//! 1. a **projected-Newton / SQP** iteration exploiting the separable
+//!    structure (diagonal Hessian + one linear constraint ⇒ closed-form
+//!    KKT step), with Armijo backtracking and bound clamping, and
+//! 2. a **projected-gradient** safeguard for iterations where the local
+//!    Hessian is not positive, so non-convex fitted polynomials are
+//!    handled too.
+//!
+//! The solution is polished by projecting onto the capped simplex, so the
+//! equality constraint holds to machine precision.
+
+use crate::poly::Polynomial;
+use std::fmt;
+
+/// The per-port weight allocation problem (Eq. 2).
+#[derive(Debug, Clone)]
+pub struct WeightProblem {
+    /// Sensitivity model `Dᵢ` per application contending at the port.
+    /// Models map bandwidth fraction (of full link capacity) → slowdown.
+    pub models: Vec<Polynomial>,
+    /// Per-model *domain floor*: the lowest bandwidth fraction the model
+    /// was fitted on. Below it the polynomial is pure extrapolation —
+    /// cubics routinely turn over there — so the objective switches to a
+    /// *linear extension* with the model's slope at the floor: monotone,
+    /// trap-free, and faithful to the fitted trend. Empty means no
+    /// floors.
+    pub domain_floors: Vec<f64>,
+    /// Total capacity fraction reserved for Saba (`C_saba`, §5.1).
+    pub capacity: f64,
+    /// Lower bound per weight. Must be ≥ 0; a small positive floor keeps
+    /// every application live (WFQ starvation freedom, §5.2).
+    pub min_weight: f64,
+    /// Upper bound per weight (usually `capacity`).
+    pub max_weight: f64,
+    /// Strictly-convex balance regularizer `ε·Σ(wᵢ − C/n)²` added to
+    /// the objective. In overloaded regimes (many contenders deep in
+    /// their steep regions) the total-slowdown objective has a near-flat
+    /// plateau of solutions; the regularizer breaks the tie toward the
+    /// least-disruptive allocation — the behaviour a local SQP solver
+    /// started at the equal split exhibits naturally. Zero disables it.
+    pub balance_reg: f64,
+}
+
+impl WeightProblem {
+    /// Convenience constructor with `lo = 0.01`, `hi = capacity`, and no
+    /// domain clamping.
+    pub fn new(models: Vec<Polynomial>, capacity: f64) -> Self {
+        let max_weight = capacity;
+        Self {
+            domain_floors: vec![0.0; models.len()],
+            models,
+            capacity,
+            min_weight: (0.01f64).min(capacity),
+            max_weight,
+            balance_reg: 0.0,
+        }
+    }
+
+    fn floor(&self, i: usize) -> f64 {
+        self.domain_floors.get(i).copied().unwrap_or(0.0)
+    }
+
+    /// Objective value `Σ Dᵢ(wᵢ)` (linear extension below each model's
+    /// domain floor) plus the balance regularizer.
+    pub fn objective(&self, w: &[f64]) -> f64 {
+        let mean = self.capacity / self.models.len() as f64;
+        let base: f64 = self
+            .models
+            .iter()
+            .enumerate()
+            .zip(w)
+            .map(|((i, m), &x)| {
+                let lo = self.floor(i);
+                if x < lo {
+                    m.eval(lo) + m.eval_derivative(lo) * (x - lo)
+                } else {
+                    m.eval(x)
+                }
+            })
+            .sum();
+        let reg: f64 = w.iter().map(|&x| (x - mean) * (x - mean)).sum();
+        base + self.balance_reg * reg
+    }
+
+    fn gradient(&self, w: &[f64], out: &mut [f64]) {
+        let mean = self.capacity / self.models.len() as f64;
+        for (i, (g, &x)) in out.iter_mut().zip(w).enumerate() {
+            *g = self.models[i].eval_derivative(x.max(self.floor(i)))
+                + 2.0 * self.balance_reg * (x - mean);
+        }
+    }
+
+    /// Value of model `i` at `x` (with the linear extension).
+    fn value(&self, i: usize, x: f64) -> f64 {
+        let lo = self.floor(i);
+        if x < lo {
+            self.models[i].eval(lo) + self.models[i].eval_derivative(lo) * (x - lo)
+        } else {
+            self.models[i].eval(x)
+        }
+    }
+}
+
+/// Error from [`minimize_weights`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptimizeError {
+    /// No applications to allocate for.
+    Empty,
+    /// The bounds make the equality constraint unsatisfiable
+    /// (`n·lo > C` or `n·hi < C`).
+    Infeasible,
+    /// A model produced a non-finite value during the solve.
+    NonFinite,
+}
+
+impl fmt::Display for OptimizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptimizeError::Empty => write!(f, "no applications in the weight problem"),
+            OptimizeError::Infeasible => write!(f, "bounds are infeasible for the capacity"),
+            OptimizeError::NonFinite => write!(f, "objective became non-finite"),
+        }
+    }
+}
+
+impl std::error::Error for OptimizeError {}
+
+/// Solution of a [`WeightProblem`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightSolution {
+    /// Optimal weights, summing to `capacity`.
+    pub weights: Vec<f64>,
+    /// Objective value at the solution.
+    pub objective: f64,
+    /// Iterations used by the solver.
+    pub iterations: usize,
+}
+
+const MAX_ITERS: usize = 100;
+const GRAD_TOL: f64 = 1e-9;
+
+/// Solves Eq. 2 for the given problem.
+///
+/// # Examples
+///
+/// ```
+/// use saba_math::{minimize_weights, Polynomial, WeightProblem};
+///
+/// // A bandwidth-sensitive app (steep slowdown) and an insensitive one.
+/// let sensitive = Polynomial::new(vec![5.0, -4.0]);    // D(b) = 5 − 4b
+/// let insensitive = Polynomial::new(vec![1.5, -0.5]);  // D(b) = 1.5 − 0.5b
+/// let sol = minimize_weights(&WeightProblem::new(vec![sensitive, insensitive], 1.0)).unwrap();
+/// // The sensitive application receives more bandwidth.
+/// assert!(sol.weights[0] > sol.weights[1]);
+/// let total: f64 = sol.weights.iter().sum();
+/// assert!((total - 1.0).abs() < 1e-9);
+/// ```
+pub fn minimize_weights(problem: &WeightProblem) -> Result<WeightSolution, OptimizeError> {
+    let n = problem.models.len();
+    if n == 0 {
+        return Err(OptimizeError::Empty);
+    }
+    let (lo, hi, cap) = (problem.min_weight, problem.max_weight, problem.capacity);
+    if !(lo.is_finite() && hi.is_finite() && cap.is_finite()) || lo < 0.0 || hi < lo {
+        return Err(OptimizeError::Infeasible);
+    }
+    if n as f64 * lo > cap + 1e-12 || (n as f64) * hi < cap - 1e-12 {
+        return Err(OptimizeError::Infeasible);
+    }
+
+    // Two starts, each polished by projected-Newton descent:
+    //
+    // 1. the equal split (max-min), and
+    // 2. a chunked-lookahead greedy water-fill — fitted sensitivity
+    //    polynomials can be locally flat (saturated low-bandwidth
+    //    regions) and yet steep further up, so greedy gains are
+    //    evaluated over geometrically growing chunks of capacity; the
+    //    lookahead sees across flat regions that defeat purely local
+    //    marginals.
+    let mut starts: Vec<Vec<f64>> = vec![vec![cap / n as f64; n]];
+    if n > 1 {
+        starts.push(greedy_waterfill(problem, lo, hi, cap));
+    }
+
+    let mut best: Option<WeightSolution> = None;
+    for mut start in starts {
+        project_capped_simplex(&mut start, cap, lo, hi);
+        let sol = descend(problem, start, lo, hi, cap)?;
+        if best.as_ref().is_none_or(|b| sol.objective < b.objective) {
+            best = Some(sol);
+        }
+    }
+    Ok(best.expect("at least one start"))
+}
+
+/// Greedy capacity assignment with chunked lookahead: starting from the
+/// weight floor, repeatedly hand the next chunk of capacity to the
+/// application with the best slowdown reduction *per unit*, considering
+/// chunk sizes 1, 2, 4, … units so that flat-then-steep curves compete
+/// fairly.
+fn greedy_waterfill(problem: &WeightProblem, lo: f64, hi: f64, cap: f64) -> Vec<f64> {
+    let n = problem.models.len();
+    let mut w = vec![lo; n];
+    let mut remaining = cap - lo * n as f64;
+    if remaining <= 0.0 {
+        return w;
+    }
+    const UNITS: usize = 96;
+    let unit = remaining / UNITS as f64;
+    let mut guard = 0;
+    while remaining > unit * 0.5 && guard < 4 * UNITS {
+        guard += 1;
+        let mut best: Option<(usize, usize, f64)> = None; // (app, chunk, rate)
+        for i in 0..n {
+            let headroom = ((hi - w[i]) / unit).floor() as usize;
+            let max_chunk = headroom.min((remaining / unit).ceil() as usize);
+            let cur = problem.value(i, w[i]);
+            let mut chunk = 1usize;
+            while chunk <= max_chunk {
+                let gain = cur - problem.value(i, w[i] + chunk as f64 * unit);
+                let rate = gain / chunk as f64;
+                if rate.is_finite() && best.as_ref().is_none_or(|&(_, _, r)| rate > r) {
+                    best = Some((i, chunk, rate));
+                }
+                chunk *= 2;
+            }
+        }
+        match best {
+            Some((i, chunk, rate)) if rate > 0.0 => {
+                let give = (chunk as f64 * unit).min(remaining).min(hi - w[i]);
+                w[i] += give;
+                remaining -= give;
+            }
+            _ => break, // No positive marginal anywhere: spread the rest.
+        }
+    }
+    if remaining > 0.0 {
+        // Distribute leftovers evenly within bounds; the descent polish
+        // and final projection absorb any residue.
+        let share = remaining / n as f64;
+        for x in w.iter_mut() {
+            *x = (*x + share).min(hi);
+        }
+    }
+    w
+}
+
+/// One projected-Newton descent from `w`.
+fn descend(
+    problem: &WeightProblem,
+    mut w: Vec<f64>,
+    lo: f64,
+    hi: f64,
+    cap: f64,
+) -> Result<WeightSolution, OptimizeError> {
+    let n = w.len();
+
+    let mut grad = vec![0.0; n];
+    let mut trial = vec![0.0; n];
+    let mut iterations = 0;
+    let mut f_cur = problem.objective(&w);
+    if !f_cur.is_finite() {
+        return Err(OptimizeError::NonFinite);
+    }
+
+    for _ in 0..MAX_ITERS {
+        iterations += 1;
+        problem.gradient(&w, &mut grad);
+        if grad.iter().any(|g| !g.is_finite()) {
+            return Err(OptimizeError::NonFinite);
+        }
+
+        // Newton-SQP direction on the equality constraint: for a separable
+        // objective the KKT system has a closed form. Fall back to the
+        // plain projected-gradient direction when curvature is unusable.
+        let mut dir =
+            newton_direction(problem, &w, &grad).unwrap_or_else(|| gradient_direction(&grad));
+
+        // Project the trial point, not the direction: step, project, test.
+        let accept_tol = 1e-10 * (1.0 + f_cur.abs());
+        let mut step = 1.0;
+        let mut improved = false;
+        for _ in 0..14 {
+            for ((t, &x), &d) in trial.iter_mut().zip(&w).zip(&dir) {
+                *t = x + step * d;
+            }
+            project_capped_simplex(&mut trial, cap, lo, hi);
+            let f_trial = problem.objective(&trial);
+            if !f_trial.is_finite() {
+                return Err(OptimizeError::NonFinite);
+            }
+            if f_trial < f_cur - accept_tol {
+                std::mem::swap(&mut w, &mut trial);
+                f_cur = f_trial;
+                improved = true;
+                break;
+            }
+            step *= 0.5;
+        }
+        if !improved {
+            // Try the pure gradient direction once before declaring
+            // convergence (the Newton step may point uphill near bounds).
+            dir = gradient_direction(&grad);
+            let mut step = 1.0;
+            for _ in 0..14 {
+                for ((t, &x), &d) in trial.iter_mut().zip(&w).zip(&dir) {
+                    *t = x + step * d;
+                }
+                project_capped_simplex(&mut trial, cap, lo, hi);
+                let f_trial = problem.objective(&trial);
+                if f_trial < f_cur - accept_tol {
+                    std::mem::swap(&mut w, &mut trial);
+                    f_cur = f_trial;
+                    improved = true;
+                    break;
+                }
+                step *= 0.5;
+            }
+        }
+        if !improved {
+            break;
+        }
+        // Projected-gradient optimality probe (amortized: the projection
+        // costs O(n) bisection steps, so only probe every few rounds).
+        if iterations % 4 == 0 {
+            for ((t, &x), &g) in trial.iter_mut().zip(&w).zip(&grad) {
+                *t = x - g;
+            }
+            project_capped_simplex(&mut trial, cap, lo, hi);
+            let pg: f64 = trial.iter().zip(&w).map(|(a, b)| (a - b).abs()).sum();
+            if pg < GRAD_TOL {
+                break;
+            }
+        }
+    }
+
+    Ok(WeightSolution {
+        weights: w,
+        objective: f_cur,
+        iterations,
+    })
+}
+
+/// Closed-form equality-constrained Newton step for a separable objective.
+///
+/// Solves `[H 1; 1ᵀ 0] [d; ν] = [−g; 0]` with diagonal `H`; returns
+/// `None` when any second derivative is non-positive (direction would not
+/// be a descent direction of a convex model).
+fn newton_direction(problem: &WeightProblem, w: &[f64], grad: &[f64]) -> Option<Vec<f64>> {
+    let n = w.len();
+    let mut h = vec![0.0; n];
+    for (i, (hv, &x)) in h.iter_mut().zip(w).enumerate() {
+        let floor = problem.domain_floors.get(i).copied().unwrap_or(0.0);
+        // Below the floor the extension is linear (zero curvature); use
+        // the curvature at the floor so the step still trades capacity
+        // smoothly.
+        let second = problem.models[i].derivative().eval_derivative(x.max(floor))
+            + 2.0 * problem.balance_reg;
+        if !(second.is_finite() && second > 1e-12) {
+            return None;
+        }
+        *hv = second;
+    }
+    let inv_sum: f64 = h.iter().map(|&v| 1.0 / v).sum();
+    let weighted: f64 = grad.iter().zip(&h).map(|(&g, &hv)| g / hv).sum();
+    let nu = -weighted / inv_sum;
+    Some(
+        grad.iter()
+            .zip(&h)
+            .map(|(&g, &hv)| (-g - nu) / hv)
+            .collect(),
+    )
+}
+
+/// Steepest-descent direction projected onto the constraint null space
+/// (`Σ dᵢ = 0`): subtract the mean gradient.
+fn gradient_direction(grad: &[f64]) -> Vec<f64> {
+    let mean = grad.iter().sum::<f64>() / grad.len() as f64;
+    grad.iter().map(|&g| mean - g).collect()
+}
+
+/// Euclidean projection of `v` onto `{w : Σw = cap, lo ≤ wᵢ ≤ hi}`.
+///
+/// Classic shift-and-clamp: find `τ` such that
+/// `Σ clamp(vᵢ − τ, lo, hi) = cap` by bisection (the sum is continuous
+/// and non-increasing in `τ`). Feasibility must hold
+/// (`n·lo ≤ cap ≤ n·hi`); the caller checks this.
+pub fn project_capped_simplex(v: &mut [f64], cap: f64, lo: f64, hi: f64) {
+    let n = v.len() as f64;
+    debug_assert!(n * lo <= cap + 1e-9 && cap <= n * hi + 1e-9);
+    let sum_at = |tau: f64, v: &[f64]| -> f64 { v.iter().map(|&x| (x - tau).clamp(lo, hi)).sum() };
+    // Bracket τ.
+    let vmax = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let vmin = v.iter().cloned().fold(f64::INFINITY, f64::min);
+    let mut t_lo = vmin - hi - 1.0; // sum = n*hi ≥ cap here
+    let mut t_hi = vmax - lo + 1.0; // sum = n*lo ≤ cap here
+    for _ in 0..45 {
+        let mid = 0.5 * (t_lo + t_hi);
+        if sum_at(mid, v) > cap {
+            t_lo = mid;
+        } else {
+            t_hi = mid;
+        }
+    }
+    let tau = 0.5 * (t_lo + t_hi);
+    for x in v.iter_mut() {
+        *x = (*x - tau).clamp(lo, hi);
+    }
+    // Polish any residual constraint error into unclamped coordinates.
+    let err = cap - v.iter().sum::<f64>();
+    if err.abs() > 0.0 {
+        let free: Vec<usize> = (0..v.len())
+            .filter(|&i| v[i] > lo + 1e-12 && v[i] < hi - 1e-12)
+            .collect();
+        if !free.is_empty() {
+            let share = err / free.len() as f64;
+            for i in free {
+                v[i] = (v[i] + share).clamp(lo, hi);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, eps: f64) -> bool {
+        (a - b).abs() < eps
+    }
+
+    #[test]
+    fn single_app_gets_everything() {
+        let p = WeightProblem::new(vec![Polynomial::new(vec![3.0, -2.0])], 1.0);
+        let sol = minimize_weights(&p).unwrap();
+        assert!(close(sol.weights[0], 1.0, 1e-9));
+    }
+
+    #[test]
+    fn identical_models_split_equally() {
+        let m = Polynomial::new(vec![4.0, -5.0, 2.0]); // Convex, decreasing on [0,1].
+        let p = WeightProblem::new(vec![m.clone(), m.clone(), m.clone(), m], 1.0);
+        let sol = minimize_weights(&p).unwrap();
+        for &w in &sol.weights {
+            assert!(close(w, 0.25, 1e-6), "weights {:?}", sol.weights);
+        }
+    }
+
+    #[test]
+    fn sensitive_app_receives_more() {
+        // Quadratic convex decreasing models with different steepness.
+        let steep = Polynomial::new(vec![6.0, -8.0, 3.0]);
+        let flat = Polynomial::new(vec![1.5, -0.8, 0.3]);
+        let p = WeightProblem::new(vec![steep, flat], 1.0);
+        let sol = minimize_weights(&p).unwrap();
+        assert!(sol.weights[0] > sol.weights[1] + 0.1, "{:?}", sol.weights);
+        assert!(close(sol.weights.iter().sum::<f64>(), 1.0, 1e-9));
+    }
+
+    #[test]
+    fn constraint_always_satisfied() {
+        let models: Vec<Polynomial> = (1..=8)
+            .map(|i| Polynomial::new(vec![2.0 + i as f64, -(i as f64), 0.5 * i as f64]))
+            .collect();
+        let p = WeightProblem::new(models, 0.8);
+        let sol = minimize_weights(&p).unwrap();
+        assert!(close(sol.weights.iter().sum::<f64>(), 0.8, 1e-9));
+        for &w in &sol.weights {
+            assert!(w >= p.min_weight - 1e-12 && w <= p.max_weight + 1e-12);
+        }
+    }
+
+    #[test]
+    fn kkt_equal_marginals_at_interior_optimum() {
+        // For convex models the interior optimum equalizes Dᵢ'(wᵢ).
+        let a = Polynomial::new(vec![5.0, -6.0, 2.5]);
+        let b = Polynomial::new(vec![3.0, -3.0, 1.5]);
+        let p = WeightProblem::new(vec![a.clone(), b.clone()], 1.0);
+        let sol = minimize_weights(&p).unwrap();
+        let ga = a.eval_derivative(sol.weights[0]);
+        let gb = b.eval_derivative(sol.weights[1]);
+        assert!(
+            close(ga, gb, 1e-4),
+            "marginals {ga} vs {gb}, w={:?}",
+            sol.weights
+        );
+    }
+
+    #[test]
+    fn beats_equal_split_on_skewed_mix() {
+        let steep = Polynomial::new(vec![7.0, -9.0, 3.5]);
+        let flat = Polynomial::new(vec![1.2, -0.3, 0.1]);
+        let p = WeightProblem::new(vec![steep, flat], 1.0);
+        let equal = p.objective(&[0.5, 0.5]);
+        let sol = minimize_weights(&p).unwrap();
+        assert!(
+            sol.objective < equal - 0.05,
+            "opt {} vs equal {}",
+            sol.objective,
+            equal
+        );
+    }
+
+    #[test]
+    fn empty_problem_rejected() {
+        let p = WeightProblem::new(vec![], 1.0);
+        assert_eq!(minimize_weights(&p).unwrap_err(), OptimizeError::Empty);
+    }
+
+    #[test]
+    fn infeasible_bounds_rejected() {
+        let mut p = WeightProblem::new(vec![Polynomial::constant(1.0); 4], 1.0);
+        p.min_weight = 0.5; // 4 × 0.5 > 1.0.
+        assert_eq!(minimize_weights(&p).unwrap_err(), OptimizeError::Infeasible);
+    }
+
+    #[test]
+    fn nonconvex_model_still_solved() {
+        // A wiggly (non-convex) fitted cubic plus a convex one.
+        let wiggly = Polynomial::new(vec![4.0, -10.0, 12.0, -5.0]);
+        let convex = Polynomial::new(vec![2.0, -1.5, 0.8]);
+        let p = WeightProblem::new(vec![wiggly, convex], 1.0);
+        let sol = minimize_weights(&p).unwrap();
+        assert!(close(sol.weights.iter().sum::<f64>(), 1.0, 1e-9));
+        // Solution is at least as good as the equal split.
+        assert!(sol.objective <= p.objective(&[0.5, 0.5]) + 1e-9);
+    }
+
+    #[test]
+    fn projection_respects_bounds_and_sum() {
+        let mut v = vec![0.9, 0.05, 0.3, -0.2];
+        project_capped_simplex(&mut v, 1.0, 0.01, 1.0);
+        assert!(close(v.iter().sum::<f64>(), 1.0, 1e-9), "{v:?}");
+        for &x in &v {
+            assert!(x >= 0.01 - 1e-12 && x <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn projection_of_feasible_point_is_identity() {
+        let mut v = vec![0.25, 0.25, 0.25, 0.25];
+        project_capped_simplex(&mut v, 1.0, 0.0, 1.0);
+        for &x in &v {
+            assert!(close(x, 0.25, 1e-9));
+        }
+    }
+
+    #[test]
+    fn many_apps_scales() {
+        let models: Vec<Polynomial> = (0..500)
+            .map(|i| {
+                let s = 1.0 + (i % 10) as f64;
+                Polynomial::new(vec![1.0 + s, -s, s * 0.45])
+            })
+            .collect();
+        let p = WeightProblem {
+            min_weight: 0.0001,
+            ..WeightProblem::new(models, 1.0)
+        };
+        let sol = minimize_weights(&p).unwrap();
+        assert!(close(sol.weights.iter().sum::<f64>(), 1.0, 1e-6));
+    }
+}

@@ -1,0 +1,182 @@
+//! Polynomials in one variable, the representation of Saba's sensitivity
+//! models (paper Eq. 1: `D(b) = c₀ + c₁b + … + c_k b^k`).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A polynomial `c₀ + c₁x + c₂x² + …` with `f64` coefficients.
+///
+/// The coefficient vector is stored lowest-degree first, matching the
+/// paper's `C = {c₀, …, c_k}` (Eq. 1). The vector is never empty: the
+/// zero polynomial is `[0.0]`.
+///
+/// # Examples
+///
+/// ```
+/// use saba_math::Polynomial;
+///
+/// let p = Polynomial::new(vec![1.0, 0.0, 2.0]); // 1 + 2x²
+/// assert_eq!(p.eval(3.0), 19.0);
+/// assert_eq!(p.degree(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Polynomial {
+    coeffs: Vec<f64>,
+}
+
+impl Polynomial {
+    /// Creates a polynomial from coefficients, lowest degree first.
+    ///
+    /// An empty vector yields the zero polynomial.
+    pub fn new(mut coeffs: Vec<f64>) -> Self {
+        if coeffs.is_empty() {
+            coeffs.push(0.0);
+        }
+        Self { coeffs }
+    }
+
+    /// The constant polynomial `c`.
+    pub fn constant(c: f64) -> Self {
+        Self { coeffs: vec![c] }
+    }
+
+    /// Coefficients, lowest degree first.
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Degree as stored (trailing zero coefficients included), i.e.
+    /// `coeffs.len() - 1`.
+    pub fn degree(&self) -> usize {
+        self.coeffs.len() - 1
+    }
+
+    /// Evaluates the polynomial at `x` using Horner's scheme.
+    pub fn eval(&self, x: f64) -> f64 {
+        let mut acc = 0.0;
+        for &c in self.coeffs.iter().rev() {
+            acc = acc * x + c;
+        }
+        acc
+    }
+
+    /// Returns the first derivative as a new polynomial.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use saba_math::Polynomial;
+    ///
+    /// let p = Polynomial::new(vec![1.0, 2.0, 3.0]); // 1 + 2x + 3x²
+    /// assert_eq!(p.derivative().coeffs(), &[2.0, 6.0]);
+    /// ```
+    pub fn derivative(&self) -> Polynomial {
+        if self.coeffs.len() <= 1 {
+            return Polynomial::constant(0.0);
+        }
+        let coeffs = self
+            .coeffs
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(i, &c)| c * i as f64)
+            .collect();
+        Polynomial::new(coeffs)
+    }
+
+    /// Evaluates the first derivative at `x` without allocating.
+    pub fn eval_derivative(&self, x: f64) -> f64 {
+        let mut result = 0.0;
+        let mut pow = 1.0;
+        for (i, &c) in self.coeffs.iter().enumerate().skip(1) {
+            result += c * i as f64 * pow;
+            pow *= x;
+        }
+        result
+    }
+
+    /// Returns `true` if every coefficient is finite.
+    pub fn is_finite(&self) -> bool {
+        self.coeffs.iter().all(|c| c.is_finite())
+    }
+}
+
+impl fmt::Display for Polynomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (i, &c) in self.coeffs.iter().enumerate() {
+            if c == 0.0 && self.coeffs.len() > 1 {
+                continue;
+            }
+            if !first {
+                write!(f, " {} ", if c < 0.0 { "-" } else { "+" })?;
+            } else if c < 0.0 {
+                write!(f, "-")?;
+            }
+            let a = c.abs();
+            match i {
+                0 => write!(f, "{a:.4}")?,
+                1 => write!(f, "{a:.4}·x")?,
+                _ => write!(f, "{a:.4}·x^{i}")?,
+            }
+            first = false;
+        }
+        if first {
+            write!(f, "0")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_matches_horner_expansion() {
+        let p = Polynomial::new(vec![2.0, -1.0, 0.5]); // 2 - x + 0.5x²
+        assert!((p.eval(0.0) - 2.0).abs() < 1e-12);
+        assert!((p.eval(2.0) - 2.0).abs() < 1e-12);
+        assert!((p.eval(4.0) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_coeffs_is_zero_polynomial() {
+        let p = Polynomial::new(vec![]);
+        assert_eq!(p.degree(), 0);
+        assert_eq!(p.eval(7.0), 0.0);
+    }
+
+    #[test]
+    fn derivative_of_constant_is_zero() {
+        assert_eq!(
+            Polynomial::constant(5.0).derivative(),
+            Polynomial::constant(0.0)
+        );
+    }
+
+    #[test]
+    fn derivative_of_cubic() {
+        // 1 + 2x + 3x² + 4x³ → 2 + 6x + 12x².
+        let p = Polynomial::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(p.derivative().coeffs(), &[2.0, 6.0, 12.0]);
+    }
+
+    #[test]
+    fn eval_derivative_matches_derivative_eval() {
+        let p = Polynomial::new(vec![1.0, -2.0, 3.0, 0.5]);
+        for &x in &[-2.0, -0.5, 0.0, 0.3, 1.0, 10.0] {
+            let a = p.eval_derivative(x);
+            let b = p.derivative().eval(x);
+            assert!((a - b).abs() < 1e-9, "x={x}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn display_renders_terms() {
+        let p = Polynomial::new(vec![1.0, 0.0, -2.0]);
+        let s = format!("{p}");
+        assert!(s.contains("1.0000"));
+        assert!(s.contains("2.0000·x^2"));
+    }
+}

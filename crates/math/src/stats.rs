@@ -1,0 +1,197 @@
+//! Statistics used by the evaluation (§8): geometric means for the
+//! "average speedup" metric, percentiles for controller-overhead tails
+//! (Fig. 12), and empirical CDFs (Fig. 8b, Fig. 12).
+
+/// Arithmetic mean. Returns `None` for an empty slice.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    Some(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Geometric mean, the paper's average-speedup aggregator (§8.1:
+/// "the average speedup reports the geometric mean of the results").
+///
+/// Returns `None` for an empty slice or any non-positive element.
+pub fn geometric_mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() || xs.iter().any(|&x| x <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = xs.iter().map(|x| x.ln()).sum();
+    Some((log_sum / xs.len() as f64).exp())
+}
+
+/// Population standard deviation. Returns `None` for an empty slice.
+pub fn std_dev(xs: &[f64]) -> Option<f64> {
+    let m = mean(xs)?;
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+    Some(var.sqrt())
+}
+
+/// The `p`-th percentile (0 ≤ p ≤ 100) using linear interpolation
+/// between closest ranks (the "exclusive" convention used by most
+/// plotting tools). Returns `None` for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// use saba_math::stats::percentile;
+///
+/// let xs = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(percentile(&xs, 0.0), Some(1.0));
+/// assert_eq!(percentile(&xs, 100.0), Some(4.0));
+/// assert_eq!(percentile(&xs, 50.0), Some(2.5));
+/// ```
+pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
+    if xs.is_empty() || !(0.0..=100.0).contains(&p) {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-finite sample"));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// An empirical CDF: sorted `(value, cumulative probability)` points.
+///
+/// The probability of point `i` (0-based, sorted ascending) is
+/// `(i + 1) / n`, so the last point always has probability 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    points: Vec<(f64, f64)>,
+}
+
+impl Ecdf {
+    /// Builds the ECDF of the samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty or contains non-finite samples.
+    pub fn new(xs: &[f64]) -> Self {
+        assert!(!xs.is_empty(), "ECDF of an empty sample set");
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-finite sample"));
+        let n = sorted.len() as f64;
+        let points = sorted
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| (v, (i + 1) as f64 / n))
+            .collect();
+        Self { points }
+    }
+
+    /// The `(value, probability)` points, ascending in value.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// `P(X ≤ x)` under the empirical distribution.
+    pub fn prob_at(&self, x: f64) -> f64 {
+        let n = self.points.len() as f64;
+        let count = self.points.iter().take_while(|(v, _)| *v <= x).count();
+        count as f64 / n
+    }
+
+    /// Smallest sample value.
+    pub fn min(&self) -> f64 {
+        self.points[0].0
+    }
+
+    /// Largest sample value.
+    pub fn max(&self) -> f64 {
+        self.points[self.points.len() - 1].0
+    }
+
+    /// Value at the given quantile `q ∈ [0, 1]` (step interpolation).
+    pub fn quantile(&self, q: f64) -> f64 {
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((q * self.points.len() as f64).ceil() as usize).saturating_sub(1);
+        self.points[idx.min(self.points.len() - 1)].0
+    }
+}
+
+/// Speedup of `baseline_time` over `system_time` (values > 1 mean the
+/// system is faster), the paper's §8.1 metric.
+///
+/// Returns `None` when either time is non-positive.
+pub fn speedup(baseline_time: f64, system_time: f64) -> Option<f64> {
+    if baseline_time <= 0.0 || system_time <= 0.0 {
+        return None;
+    }
+    Some(baseline_time / system_time)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_empty_is_none() {
+        assert_eq!(mean(&[]), None);
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert!((geometric_mean(&[1.0, 4.0]).unwrap() - 2.0).abs() < 1e-12);
+        assert!((geometric_mean(&[2.0, 2.0, 2.0]).unwrap() - 2.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(&[1.0, 0.0]), None);
+        assert_eq!(geometric_mean(&[]), None);
+    }
+
+    #[test]
+    fn geometric_mean_below_arithmetic() {
+        let xs = [1.0, 2.0, 3.0, 10.0];
+        assert!(geometric_mean(&xs).unwrap() < mean(&xs).unwrap());
+    }
+
+    #[test]
+    fn percentile_endpoints_and_median() {
+        let xs = [5.0, 1.0, 3.0]; // Unsorted on purpose.
+        assert_eq!(percentile(&xs, 0.0), Some(1.0));
+        assert_eq!(percentile(&xs, 50.0), Some(3.0));
+        assert_eq!(percentile(&xs, 100.0), Some(5.0));
+        assert_eq!(percentile(&xs, 150.0), None);
+    }
+
+    #[test]
+    fn p99_of_uniform_grid() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let p99 = percentile(&xs, 99.0).unwrap();
+        assert!((p99 - 99.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ecdf_probabilities() {
+        let e = Ecdf::new(&[3.0, 1.0, 2.0, 2.0]);
+        assert_eq!(e.prob_at(0.5), 0.0);
+        assert_eq!(e.prob_at(1.0), 0.25);
+        assert_eq!(e.prob_at(2.0), 0.75);
+        assert_eq!(e.prob_at(10.0), 1.0);
+        assert_eq!(e.min(), 1.0);
+        assert_eq!(e.max(), 3.0);
+    }
+
+    #[test]
+    fn ecdf_quantile_matches_samples() {
+        let e = Ecdf::new(&[10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(e.quantile(0.25), 10.0);
+        assert_eq!(e.quantile(0.5), 20.0);
+        assert_eq!(e.quantile(1.0), 40.0);
+    }
+
+    #[test]
+    fn speedup_definition() {
+        assert_eq!(speedup(200.0, 100.0), Some(2.0));
+        assert_eq!(speedup(100.0, 200.0), Some(0.5));
+        assert_eq!(speedup(0.0, 1.0), None);
+    }
+
+    #[test]
+    fn std_dev_of_constant_is_zero() {
+        assert!(std_dev(&[4.0, 4.0, 4.0]).unwrap() < 1e-12);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the Eq. 2 solver under its full option
+//! surface: domain floors, balance regularization, bounds.
+
+use proptest::prelude::*;
+use saba_math::{minimize_weights, Polynomial, WeightProblem};
+
+/// A convex decreasing quadratic `c0 − a·x + b·x²` with `a ≥ 2b` so it
+/// is decreasing on [0, 1].
+fn arb_convex_model() -> impl Strategy<Value = Polynomial> {
+    (0.5f64..8.0, 0.1f64..2.0).prop_map(|(a, b_frac)| {
+        let b = 0.5 * a * b_frac.min(0.99) / 2.0;
+        Polynomial::new(vec![1.0 + a, -a, b])
+    })
+}
+
+proptest! {
+    /// The constraint and bounds always hold, whatever the options.
+    #[test]
+    fn solution_always_feasible(
+        models in prop::collection::vec(arb_convex_model(), 1..24),
+        cap_pct in 50u32..=100,
+        reg in 0.0f64..2.0,
+        floors in prop::collection::vec(0.0f64..0.3, 1..24),
+    ) {
+        let n = models.len();
+        let cap = cap_pct as f64 / 100.0;
+        let lo = (0.02f64).min(cap / (2.0 * n as f64));
+        let problem = WeightProblem {
+            domain_floors: floors.iter().copied().cycle().take(n).collect(),
+            models,
+            capacity: cap,
+            min_weight: lo,
+            max_weight: cap,
+            balance_reg: reg,
+        };
+        let sol = minimize_weights(&problem).unwrap();
+        let total: f64 = sol.weights.iter().sum();
+        prop_assert!((total - cap).abs() < 1e-6, "sum {total} != cap {cap}");
+        for &w in &sol.weights {
+            prop_assert!(w >= lo - 1e-9 && w <= cap + 1e-9);
+        }
+        prop_assert!(sol.objective.is_finite());
+    }
+
+    /// With two models differing only in steepness, the steeper one
+    /// never receives less weight.
+    #[test]
+    fn steeper_model_never_disadvantaged(
+        a in 1.0f64..6.0,
+        extra in 0.5f64..4.0,
+        reg in 0.0f64..0.5,
+    ) {
+        let b = 0.3 * a;
+        let shallow = Polynomial::new(vec![1.0 + a, -a, b]);
+        let steep = Polynomial::new(vec![1.0 + a + extra, -(a + extra), b]);
+        let problem = WeightProblem {
+            balance_reg: reg,
+            ..WeightProblem::new(vec![steep, shallow], 1.0)
+        };
+        let sol = minimize_weights(&problem).unwrap();
+        prop_assert!(
+            sol.weights[0] >= sol.weights[1] - 1e-6,
+            "steep {} < shallow {}",
+            sol.weights[0],
+            sol.weights[1]
+        );
+    }
+
+    /// The solver's result is never worse than the equal split.
+    #[test]
+    fn at_least_as_good_as_equal_split(
+        models in prop::collection::vec(arb_convex_model(), 2..16),
+        reg in 0.0f64..1.0,
+    ) {
+        let n = models.len();
+        let problem = WeightProblem {
+            balance_reg: reg,
+            ..WeightProblem::new(models, 1.0)
+        };
+        let equal = vec![1.0 / n as f64; n];
+        let sol = minimize_weights(&problem).unwrap();
+        prop_assert!(sol.objective <= problem.objective(&equal) + 1e-9);
+    }
+
+    /// A very large balance regularizer pins the solution at the equal
+    /// split (the regularizer dominates).
+    #[test]
+    fn huge_regularizer_equalizes(models in prop::collection::vec(arb_convex_model(), 2..10)) {
+        let n = models.len();
+        let problem = WeightProblem {
+            balance_reg: 1e6,
+            ..WeightProblem::new(models, 1.0)
+        };
+        let sol = minimize_weights(&problem).unwrap();
+        for &w in &sol.weights {
+            prop_assert!((w - 1.0 / n as f64).abs() < 1e-3, "{:?}", sol.weights);
+        }
+    }
+
+    /// Domain floors never break determinism: same problem, same answer.
+    #[test]
+    fn solver_is_deterministic(
+        models in prop::collection::vec(arb_convex_model(), 1..12),
+        floor in 0.0f64..0.2,
+    ) {
+        let n = models.len();
+        let problem = WeightProblem {
+            domain_floors: vec![floor; n],
+            balance_reg: 0.1,
+            ..WeightProblem::new(models, 1.0)
+        };
+        let a = minimize_weights(&problem).unwrap();
+        let b = minimize_weights(&problem).unwrap();
+        prop_assert_eq!(a.weights, b.weights);
+    }
+}

@@ -1,0 +1,679 @@
+//! The discrete-event simulation engine.
+//!
+//! The engine advances between *allocation epochs*: whenever the active
+//! flow set (or the fabric configuration) changes, the installed
+//! [`FabricModel`] recomputes every flow's rate; between changes, flow
+//! progress is integrated analytically. Drivers pull [`Event`]s in a
+//! loop — there are no callbacks:
+//!
+//! ```
+//! use saba_sim::engine::{Event, FairShareFabric, FlowSpec, Simulation};
+//! use saba_sim::ids::{AppId, ServiceLevel};
+//! use saba_sim::topology::Topology;
+//!
+//! let topo = Topology::single_switch(2, 100.0);
+//! let mut sim = Simulation::new(topo, FairShareFabric::default());
+//! let servers: Vec<_> = sim.topo().servers().to_vec();
+//! sim.start_flow(FlowSpec {
+//!     src: servers[0],
+//!     dst: servers[1],
+//!     bytes: 1000.0,
+//!     sl: ServiceLevel(0),
+//!     app: AppId(0),
+//!     tag: 1,
+//!     rate_cap: f64::INFINITY,
+//!     min_rate: 0.0,
+//! });
+//! match sim.next_event() {
+//!     Event::FlowsCompleted { at, flows } => {
+//!         assert_eq!(flows.len(), 1);
+//!         assert!((at - 10.0).abs() < 1e-6); // 1000 B at 100 B/s.
+//!     }
+//!     other => panic!("unexpected event {other:?}"),
+//! }
+//! ```
+
+use crate::ids::{AppId, FlowId, LinkId, NodeId, ServiceLevel};
+use crate::probe::LinkProbe;
+use crate::routing::Routes;
+use crate::sharing::{compute_rates, SharingConfig, SharingFlow};
+use crate::topology::Topology;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Specification of a flow to start.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowSpec {
+    /// Source node (must be a server for NIC semantics to apply).
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Transfer size in bytes.
+    pub bytes: f64,
+    /// InfiniBand Service Level carried by the connection's packets.
+    pub sl: ServiceLevel,
+    /// Owning application, as registered with the controller.
+    pub app: AppId,
+    /// Caller-chosen tag: ECMP hash input and correlation id.
+    pub tag: u64,
+    /// Maximum delivery rate in bytes/s (`f64::INFINITY` for none).
+    /// Bulk frameworks *pace* transfers that overlap computation —
+    /// producers emit shuffle data as it is generated — so an
+    /// overlapped transfer occupies its whole window at moderate rate
+    /// rather than bursting at line rate (the continuously-busy network
+    /// of the paper's Fig. 2b). Fabric models must honour this cap.
+    pub rate_cap: f64,
+    /// Minimum delivery rate in bytes/s (0 for none). Models the
+    /// portion of a bulk transfer that bypasses the constrained NIC
+    /// path — framework-level pipelining through spill/local channels —
+    /// which keeps severely-throttled workloads from slowing without
+    /// bound (the saturating low-bandwidth behaviour of the paper's
+    /// Fig. 5 curves). The floor is applied *after* fair sharing and
+    /// does not consume fabric capacity.
+    pub min_rate: f64,
+}
+
+/// A flow currently in the fabric.
+#[derive(Debug, Clone)]
+pub struct ActiveFlow {
+    /// Engine-assigned id.
+    pub id: FlowId,
+    /// The originating spec.
+    pub spec: FlowSpec,
+    /// Links traversed (empty for same-host transfers).
+    pub path: Vec<LinkId>,
+    /// Bytes still to transfer.
+    pub remaining: f64,
+    /// Simulation time the flow started.
+    pub started: f64,
+}
+
+/// A completed flow, as reported by [`Event::FlowsCompleted`].
+#[derive(Debug, Clone)]
+pub struct CompletedFlow {
+    /// Engine-assigned id.
+    pub id: FlowId,
+    /// The originating spec.
+    pub spec: FlowSpec,
+    /// Start time.
+    pub started: f64,
+    /// Completion time.
+    pub finished: f64,
+}
+
+/// Events returned by [`Simulation::next_event`].
+#[derive(Debug)]
+pub enum Event {
+    /// A timer scheduled via [`Simulation::schedule`] fired.
+    Timer {
+        /// The caller-supplied key.
+        key: u64,
+        /// Firing time.
+        at: f64,
+    },
+    /// One or more flows completed (flows finishing within the
+    /// completion-slack window are batched into one event).
+    FlowsCompleted {
+        /// The completed flows.
+        flows: Vec<CompletedFlow>,
+        /// Completion time.
+        at: f64,
+    },
+    /// No timers pending and no active flows: the simulation is done.
+    Idle,
+}
+
+/// A fabric model computes per-flow rates whenever the epoch changes.
+///
+/// Implementations encode an allocation policy: plain per-flow max-min
+/// (this crate's [`FairShareFabric`]), Saba's WFQ weights, Homa's or
+/// Sincronia's priorities, or the FECN baseline's imperfect max-min.
+pub trait FabricModel {
+    /// Returns the rate (bytes/s) of each flow in `flows`, aligned by
+    /// index. Implementations must not return negative rates and must
+    /// not oversubscribe links.
+    fn allocate(&mut self, topo: &Topology, flows: &[ActiveFlow]) -> Vec<f64>;
+}
+
+/// Per-flow max-min fairness over the fabric — the idealized behaviour
+/// congestion control aims for (used as the engine's default model and
+/// refined by `saba-baselines`).
+#[derive(Debug, Clone, Default)]
+pub struct FairShareFabric {
+    /// Sharing configuration (refill passes etc.).
+    pub sharing: SharingConfig,
+}
+
+impl FabricModel for FairShareFabric {
+    fn allocate(&mut self, topo: &Topology, flows: &[ActiveFlow]) -> Vec<f64> {
+        let caps = topo.capacities();
+        let sharing_flows: Vec<SharingFlow> = flows
+            .iter()
+            .map(|f| SharingFlow {
+                rate_cap: f.spec.rate_cap,
+                ..SharingFlow::best_effort(f.path.clone())
+            })
+            .collect();
+        compute_rates(&caps, &sharing_flows, &self.sharing)
+    }
+}
+
+/// Aggregate statistics of an engine run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SimStats {
+    /// Flows started.
+    pub flows_started: u64,
+    /// Flows completed.
+    pub flows_completed: u64,
+    /// Rate allocations performed (epoch changes).
+    pub allocations: u64,
+}
+
+/// The discrete-event fluid simulator.
+#[derive(Debug)]
+pub struct Simulation<M> {
+    topo: Topology,
+    routes: Routes,
+    model: M,
+    now: f64,
+    next_flow_id: u64,
+    active: Vec<ActiveFlow>,
+    rates: Vec<f64>,
+    timers: BinaryHeap<Reverse<(TimeKey, u64, u64)>>,
+    timer_seq: u64,
+    dirty: bool,
+    completion_slack: f64,
+    probes: Vec<LinkProbe>,
+    stats: SimStats,
+}
+
+/// Total-order wrapper for finite times in the timer heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct TimeKey(f64);
+
+impl Eq for TimeKey {}
+
+impl PartialOrd for TimeKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TimeKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .partial_cmp(&other.0)
+            .expect("timer times must be finite")
+    }
+}
+
+impl<M: FabricModel> Simulation<M> {
+    /// Creates a simulation over `topo` driven by `model`.
+    ///
+    /// Routing tables are computed once here; topology link *capacities*
+    /// may change later (throttling), but the graph structure must not.
+    pub fn new(topo: Topology, model: M) -> Self {
+        let routes = Routes::compute(&topo);
+        Self {
+            topo,
+            routes,
+            model,
+            now: 0.0,
+            next_flow_id: 0,
+            active: Vec::new(),
+            rates: Vec::new(),
+            timers: BinaryHeap::new(),
+            timer_seq: 0,
+            dirty: false,
+            completion_slack: 1e-4,
+            probes: Vec::new(),
+            stats: SimStats::default(),
+        }
+    }
+
+    /// Current simulation time (seconds).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// The topology (read-only).
+    pub fn topo(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Mutable topology access (e.g. NIC throttling). Marks the epoch
+    /// dirty so rates are recomputed before the next event.
+    pub fn topo_mut(&mut self) -> &mut Topology {
+        self.dirty = true;
+        &mut self.topo
+    }
+
+    /// The routing tables.
+    pub fn routes(&self) -> &Routes {
+        &self.routes
+    }
+
+    /// The fabric model (read-only).
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Mutable fabric-model access (e.g. the controller reprogramming
+    /// switch queue weights). Marks the epoch dirty.
+    pub fn model_mut(&mut self) -> &mut M {
+        self.dirty = true;
+        &mut self.model
+    }
+
+    /// Run statistics so far.
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// Currently active flows.
+    pub fn active_flows(&self) -> &[ActiveFlow] {
+        &self.active
+    }
+
+    /// Sets the completion batching window: flows projected to finish
+    /// within `slack` seconds of the earliest completion are completed
+    /// together, in one event and one re-allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slack` is negative or not finite.
+    pub fn set_completion_slack(&mut self, slack: f64) {
+        assert!(
+            slack.is_finite() && slack >= 0.0,
+            "slack must be non-negative"
+        );
+        self.completion_slack = slack;
+    }
+
+    /// Installs a utilization probe on `link` with the given bucket
+    /// width (seconds). Returns the probe's index for retrieval.
+    pub fn add_probe(&mut self, link: LinkId, bucket_width: f64) -> usize {
+        self.probes.push(LinkProbe::new(link, bucket_width));
+        self.probes.len() - 1
+    }
+
+    /// Access a previously installed probe.
+    pub fn probe(&self, index: usize) -> &LinkProbe {
+        &self.probes[index]
+    }
+
+    /// Schedules a timer at absolute time `at` with a caller-chosen key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is before the current time or not finite.
+    pub fn schedule(&mut self, at: f64, key: u64) {
+        assert!(at.is_finite(), "timer time must be finite");
+        assert!(
+            at >= self.now - 1e-12,
+            "timer at {at} is in the past (now {})",
+            self.now
+        );
+        self.timer_seq += 1;
+        self.timers
+            .push(Reverse((TimeKey(at.max(self.now)), self.timer_seq, key)));
+    }
+
+    /// Starts a flow; its path is resolved via ECMP on `spec.tag`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the destination is unreachable from the source or
+    /// `bytes` is negative/non-finite.
+    pub fn start_flow(&mut self, spec: FlowSpec) -> FlowId {
+        assert!(
+            spec.bytes.is_finite() && spec.bytes >= 0.0,
+            "flow bytes must be non-negative"
+        );
+        let path = self
+            .routes
+            .path(&self.topo, spec.src, spec.dst, spec.tag)
+            .unwrap_or_else(|| panic!("no route from {} to {}", spec.src, spec.dst));
+        let id = FlowId(self.next_flow_id);
+        self.next_flow_id += 1;
+        self.active.push(ActiveFlow {
+            id,
+            remaining: spec.bytes,
+            path,
+            started: self.now,
+            spec,
+        });
+        self.stats.flows_started += 1;
+        self.dirty = true;
+        id
+    }
+
+    /// Returns the next event, advancing simulation time to it.
+    pub fn next_event(&mut self) -> Event {
+        self.refresh_rates();
+
+        let next_completion = self.earliest_completion();
+        let next_timer = self.timers.peek().map(|Reverse((t, _, _))| t.0);
+
+        match (next_completion, next_timer) {
+            (None, None) => Event::Idle,
+            (Some(tc), Some(tt)) if tt <= tc => self.fire_timer(tt),
+            (None, Some(tt)) => self.fire_timer(tt),
+            (Some(tc), _) => self.complete_batch(tc),
+        }
+    }
+
+    /// Drains events until [`Event::Idle`], returning all completions.
+    /// Convenience for tests and simple drivers with no timers.
+    pub fn run_to_idle(&mut self) -> Vec<CompletedFlow> {
+        let mut all = Vec::new();
+        loop {
+            match self.next_event() {
+                Event::FlowsCompleted { mut flows, .. } => all.append(&mut flows),
+                Event::Timer { .. } => {}
+                Event::Idle => return all,
+            }
+        }
+    }
+
+    fn refresh_rates(&mut self) {
+        if !self.dirty {
+            return;
+        }
+        self.rates = if self.active.is_empty() {
+            Vec::new()
+        } else {
+            self.model.allocate(&self.topo, &self.active)
+        };
+        debug_assert_eq!(self.rates.len(), self.active.len());
+        // Pipelining floors: bytes moving through the floor path do not
+        // traverse the constrained fabric, so raising the rate here does
+        // not oversubscribe links.
+        for (f, r) in self.active.iter().zip(self.rates.iter_mut()) {
+            if f.spec.min_rate > 0.0 && *r < f.spec.min_rate {
+                *r = f.spec.min_rate;
+            }
+        }
+        self.stats.allocations += 1;
+        self.dirty = false;
+    }
+
+    /// Earliest projected flow completion, if any flow can complete.
+    fn earliest_completion(&self) -> Option<f64> {
+        let mut best: Option<f64> = None;
+        for (f, &r) in self.active.iter().zip(&self.rates) {
+            let t = if f.remaining <= 0.0 || r.is_infinite() {
+                self.now
+            } else if r > 0.0 {
+                self.now + f.remaining / r
+            } else {
+                continue; // Starved flow: no projected completion.
+            };
+            best = Some(best.map_or(t, |b: f64| b.min(t)));
+        }
+        best
+    }
+
+    /// Integrates flow progress (and probes) from `now` to `t`.
+    fn advance_to(&mut self, t: f64) {
+        let dt = t - self.now;
+        if dt > 0.0 {
+            // Probes first: they need the rates over the elapsed epoch.
+            for probe in &mut self.probes {
+                let link = probe.link();
+                let rate: f64 = self
+                    .active
+                    .iter()
+                    .zip(&self.rates)
+                    .filter(|(f, _)| f.path.contains(&link))
+                    .map(|(_, &r)| if r.is_finite() { r } else { 0.0 })
+                    .sum();
+                probe.record(self.now, t, rate);
+            }
+            for (f, &r) in self.active.iter_mut().zip(&self.rates) {
+                if r.is_infinite() {
+                    f.remaining = 0.0;
+                } else if r > 0.0 {
+                    f.remaining = (f.remaining - r * dt).max(0.0);
+                }
+            }
+        }
+        self.now = t;
+    }
+
+    fn fire_timer(&mut self, at: f64) -> Event {
+        self.advance_to(at);
+        let Reverse((_, _, key)) = self.timers.pop().expect("peeked timer must exist");
+        Event::Timer { key, at }
+    }
+
+    fn complete_batch(&mut self, tc: f64) -> Event {
+        self.advance_to(tc);
+        // Complete every flow projected to finish within the slack window —
+        // one event, one re-allocation, instead of a cascade. The tiny
+        // epsilon absorbs floating-point residue left by `advance_to`.
+        let slack = self.completion_slack + 1e-9;
+        let mut done = Vec::new();
+        let mut i = 0;
+        while i < self.active.len() {
+            let r = self.rates[i];
+            let f = &self.active[i];
+            let finishes =
+                f.remaining <= 0.0 || r.is_infinite() || (r > 0.0 && f.remaining / r <= slack);
+            if finishes {
+                let f = self.active.swap_remove(i);
+                self.rates.swap_remove(i);
+                done.push(CompletedFlow {
+                    id: f.id,
+                    spec: f.spec,
+                    started: f.started,
+                    finished: tc,
+                });
+            } else {
+                i += 1;
+            }
+        }
+        debug_assert!(!done.is_empty(), "completion event with no completed flows");
+        self.stats.flows_completed += done.len() as u64;
+        self.dirty = true;
+        done.sort_by_key(|f| f.id);
+        Event::FlowsCompleted {
+            flows: done,
+            at: tc,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(src: NodeId, dst: NodeId, bytes: f64, tag: u64) -> FlowSpec {
+        FlowSpec {
+            src,
+            dst,
+            bytes,
+            sl: ServiceLevel(0),
+            app: AppId(0),
+            tag,
+            rate_cap: f64::INFINITY,
+            min_rate: 0.0,
+        }
+    }
+
+    fn two_server_sim() -> Simulation<FairShareFabric> {
+        Simulation::new(
+            Topology::single_switch(2, 100.0),
+            FairShareFabric::default(),
+        )
+    }
+
+    #[test]
+    fn single_flow_completion_time() {
+        let mut sim = two_server_sim();
+        let s = sim.topo().servers().to_vec();
+        sim.start_flow(spec(s[0], s[1], 500.0, 1));
+        let done = sim.run_to_idle();
+        assert_eq!(done.len(), 1);
+        assert!((done[0].finished - 5.0).abs() < 1e-6);
+        assert_eq!(sim.stats().flows_completed, 1);
+    }
+
+    #[test]
+    fn two_flows_share_the_nic() {
+        // Both flows leave server 0: the NIC link is the bottleneck.
+        let mut sim = Simulation::new(
+            Topology::single_switch(3, 100.0),
+            FairShareFabric::default(),
+        );
+        let s = sim.topo().servers().to_vec();
+        sim.start_flow(spec(s[0], s[1], 500.0, 1));
+        sim.start_flow(spec(s[0], s[2], 500.0, 2));
+        let done = sim.run_to_idle();
+        assert_eq!(done.len(), 2);
+        // 50 B/s each => 10 s (completions batch together).
+        for d in &done {
+            assert!((d.finished - 10.0).abs() < 1e-3, "{:?}", d.finished);
+        }
+    }
+
+    #[test]
+    fn second_flow_speeds_up_after_first_completes() {
+        let mut sim = two_server_sim();
+        let s = sim.topo().servers().to_vec();
+        // Same src and dst: share the 100 B/s NIC. Flow A 100 B, flow B 300 B.
+        sim.start_flow(spec(s[0], s[1], 100.0, 1));
+        sim.start_flow(spec(s[0], s[1], 300.0, 2));
+        let done = sim.run_to_idle();
+        // A completes at 2 s (50 B/s), B has 200 B left, then runs at 100 B/s: 2 + 2 = 4 s.
+        let a = done.iter().find(|d| d.spec.tag == 1).unwrap();
+        let b = done.iter().find(|d| d.spec.tag == 2).unwrap();
+        assert!((a.finished - 2.0).abs() < 1e-3, "a={}", a.finished);
+        assert!((b.finished - 4.0).abs() < 1e-3, "b={}", b.finished);
+    }
+
+    #[test]
+    fn timers_interleave_with_completions() {
+        let mut sim = two_server_sim();
+        let s = sim.topo().servers().to_vec();
+        sim.start_flow(spec(s[0], s[1], 1000.0, 1)); // Completes at 10 s.
+        sim.schedule(5.0, 77);
+        match sim.next_event() {
+            Event::Timer { key, at } => {
+                assert_eq!(key, 77);
+                assert!((at - 5.0).abs() < 1e-12);
+            }
+            other => panic!("expected timer, got {other:?}"),
+        }
+        match sim.next_event() {
+            Event::FlowsCompleted { at, .. } => assert!((at - 10.0).abs() < 1e-6),
+            other => panic!("expected completion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timer_ordering_is_stable_for_equal_times() {
+        let mut sim = two_server_sim();
+        sim.schedule(1.0, 1);
+        sim.schedule(1.0, 2);
+        sim.schedule(1.0, 3);
+        let mut keys = Vec::new();
+        for _ in 0..3 {
+            match sim.next_event() {
+                Event::Timer { key, .. } => keys.push(key),
+                other => panic!("expected timer, got {other:?}"),
+            }
+        }
+        assert_eq!(keys, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn zero_byte_flow_completes_immediately() {
+        let mut sim = two_server_sim();
+        let s = sim.topo().servers().to_vec();
+        sim.start_flow(spec(s[0], s[1], 0.0, 9));
+        match sim.next_event() {
+            Event::FlowsCompleted { at, flows } => {
+                assert_eq!(flows.len(), 1);
+                assert_eq!(at, 0.0);
+            }
+            other => panic!("expected completion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn same_host_flow_is_instant() {
+        let mut sim = two_server_sim();
+        let s = sim.topo().servers().to_vec();
+        sim.start_flow(spec(s[0], s[0], 1e9, 1));
+        let done = sim.run_to_idle();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].finished, 0.0);
+    }
+
+    #[test]
+    fn idle_when_nothing_scheduled() {
+        let mut sim = two_server_sim();
+        assert!(matches!(sim.next_event(), Event::Idle));
+    }
+
+    #[test]
+    fn throttling_mid_run_slows_flows() {
+        let mut sim = two_server_sim();
+        let s = sim.topo().servers().to_vec();
+        sim.start_flow(spec(s[0], s[1], 1000.0, 1));
+        sim.schedule(5.0, 0);
+        // Run to the timer: 500 B transferred.
+        assert!(matches!(sim.next_event(), Event::Timer { .. }));
+        // Throttle the NIC to 25%: remaining 500 B at 25 B/s = 20 s more.
+        let nic = sim.topo().nic_link(s[0]);
+        sim.topo_mut().throttle_link(nic, 0.25);
+        match sim.next_event() {
+            Event::FlowsCompleted { at, .. } => assert!((at - 25.0).abs() < 1e-6, "at={at}"),
+            other => panic!("expected completion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn probe_records_epoch_rates() {
+        let mut sim = two_server_sim();
+        let s = sim.topo().servers().to_vec();
+        let nic = sim.topo().nic_link(s[0]);
+        let p = sim.add_probe(nic, 1.0);
+        sim.start_flow(spec(s[0], s[1], 300.0, 1));
+        sim.run_to_idle();
+        let series = sim.probe(p).throughput_series();
+        assert_eq!(series.len(), 3);
+        for v in series {
+            assert!((v - 100.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn completion_slack_batches_near_simultaneous_finishes() {
+        let mut sim = Simulation::new(
+            Topology::single_switch(4, 100.0),
+            FairShareFabric::default(),
+        );
+        sim.set_completion_slack(0.01);
+        let s = sim.topo().servers().to_vec();
+        // Three independent pairs with nearly equal sizes.
+        sim.start_flow(spec(s[0], s[1], 100.0, 1));
+        sim.start_flow(spec(s[2], s[3], 100.05, 2));
+        match sim.next_event() {
+            Event::FlowsCompleted { flows, .. } => assert_eq!(flows.len(), 2),
+            other => panic!("expected batch, got {other:?}"),
+        }
+        assert_eq!(sim.stats().allocations, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn past_timer_rejected() {
+        let mut sim = two_server_sim();
+        let s = sim.topo().servers().to_vec();
+        sim.start_flow(spec(s[0], s[1], 100.0, 1));
+        sim.run_to_idle(); // now == 1 s.
+        sim.schedule(0.5, 0);
+    }
+}

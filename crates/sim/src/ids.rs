@@ -1,0 +1,109 @@
+//! Strongly-typed identifiers used across the simulator.
+//!
+//! All ids are thin wrappers over integer indices. Keeping them distinct
+//! types prevents the classic off-by-one-crate bug of indexing a link
+//! table with a node id.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A node in the topology: a server or a switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// A directed link; equivalently, an output *port* of its source node.
+///
+/// Every link models one output port with its own queues, matching the
+/// paper's per-port bandwidth enforcement (§5.1: weights are computed
+/// "at each switch output port").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LinkId(pub u32);
+
+/// A flow instance inside the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FlowId(pub u64);
+
+/// An application (job) identifier, as registered with the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AppId(pub u32);
+
+/// An InfiniBand Service Level (§7.2): a 4-bit priority carried in every
+/// packet header. InfiniBand supports 16 SLs; Saba uses them to
+/// differentiate applications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ServiceLevel(pub u8);
+
+impl ServiceLevel {
+    /// Number of Service Levels InfiniBand supports (§5.3: "InfiniBand
+    /// and Ethernet support 16 and 8 PLs, respectively").
+    pub const COUNT: usize = 16;
+
+    /// Creates a service level, panicking on out-of-range values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sl >= 16`.
+    pub fn new(sl: u8) -> Self {
+        assert!(
+            (sl as usize) < Self::COUNT,
+            "InfiniBand supports SLs 0..16, got {sl}"
+        );
+        Self(sl)
+    }
+
+    /// The raw SL value.
+    pub fn value(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+impl fmt::Display for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+impl fmt::Display for AppId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "app{}", self.0)
+    }
+}
+
+impl fmt::Display for ServiceLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sl{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn service_level_range_enforced() {
+        assert_eq!(ServiceLevel::new(15).value(), 15);
+        let r = std::panic::catch_unwind(|| ServiceLevel::new(16));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn ids_display_compactly() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(LinkId(4).to_string(), "l4");
+        assert_eq!(FlowId(5).to_string(), "f5");
+        assert_eq!(AppId(6).to_string(), "app6");
+        assert_eq!(ServiceLevel(7).to_string(), "sl7");
+    }
+}

@@ -1,0 +1,132 @@
+//! Utilization probes: per-link throughput time series.
+//!
+//! Figure 2 of the paper plots normalized network utilization of a
+//! workload over time under different NIC throttles. A [`LinkProbe`]
+//! accumulates transferred bytes into fixed-width time buckets while the
+//! engine advances, yielding exactly that series.
+
+use crate::ids::LinkId;
+
+/// Accumulates bytes carried by one link into fixed-width time buckets.
+#[derive(Debug, Clone)]
+pub struct LinkProbe {
+    link: LinkId,
+    bucket_width: f64,
+    buckets: Vec<f64>,
+}
+
+impl LinkProbe {
+    /// Creates a probe for `link` with buckets of `bucket_width` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width` is not positive and finite.
+    pub fn new(link: LinkId, bucket_width: f64) -> Self {
+        assert!(
+            bucket_width.is_finite() && bucket_width > 0.0,
+            "bucket width must be positive"
+        );
+        Self {
+            link,
+            bucket_width,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// The probed link.
+    pub fn link(&self) -> LinkId {
+        self.link
+    }
+
+    /// Records that the link carried `rate` bytes/s over `[t0, t1)`.
+    ///
+    /// Intervals may arrive in any order; bytes are spread across the
+    /// buckets the interval overlaps.
+    pub fn record(&mut self, t0: f64, t1: f64, rate: f64) {
+        if !(t1 > t0) || rate <= 0.0 || !rate.is_finite() {
+            return;
+        }
+        let last_bucket = (t1 / self.bucket_width).ceil() as usize;
+        if self.buckets.len() < last_bucket {
+            self.buckets.resize(last_bucket, 0.0);
+        }
+        let mut t = t0;
+        while t < t1 {
+            let idx = (t / self.bucket_width) as usize;
+            let bucket_end = (idx as f64 + 1.0) * self.bucket_width;
+            let seg_end = bucket_end.min(t1);
+            self.buckets[idx] += rate * (seg_end - t);
+            t = seg_end;
+        }
+    }
+
+    /// Average throughput (bytes/s) per bucket.
+    pub fn throughput_series(&self) -> Vec<f64> {
+        self.buckets.iter().map(|b| b / self.bucket_width).collect()
+    }
+
+    /// Utilization series normalized by `capacity` (values in `[0, 1]`
+    /// modulo accumulation error).
+    pub fn utilization_series(&self, capacity: f64) -> Vec<f64> {
+        assert!(capacity > 0.0, "capacity must be positive");
+        self.throughput_series()
+            .iter()
+            .map(|&r| r / capacity)
+            .collect()
+    }
+
+    /// Total bytes recorded.
+    pub fn total_bytes(&self) -> f64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Bucket width in seconds.
+    pub fn bucket_width(&self) -> f64 {
+        self.bucket_width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_interval_lands_in_right_buckets() {
+        let mut p = LinkProbe::new(LinkId(0), 1.0);
+        p.record(0.5, 2.5, 10.0); // 20 bytes across buckets 0, 1, 2.
+        let tp = p.throughput_series();
+        assert_eq!(tp.len(), 3);
+        assert!((tp[0] - 5.0).abs() < 1e-9);
+        assert!((tp[1] - 10.0).abs() < 1e-9);
+        assert!((tp[2] - 5.0).abs() < 1e-9);
+        assert!((p.total_bytes() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_or_negative_rate_ignored() {
+        let mut p = LinkProbe::new(LinkId(0), 1.0);
+        p.record(0.0, 1.0, 0.0);
+        p.record(1.0, 1.0, 5.0); // Zero-width interval.
+        assert_eq!(p.total_bytes(), 0.0);
+    }
+
+    #[test]
+    fn utilization_is_normalized() {
+        let mut p = LinkProbe::new(LinkId(3), 0.5);
+        p.record(0.0, 1.0, 50.0);
+        let u = p.utilization_series(100.0);
+        assert!((u[0] - 0.5).abs() < 1e-9);
+        assert!((u[1] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn out_of_order_intervals_accumulate() {
+        let mut p = LinkProbe::new(LinkId(0), 1.0);
+        p.record(3.0, 4.0, 2.0);
+        p.record(0.0, 1.0, 4.0);
+        let tp = p.throughput_series();
+        assert!((tp[0] - 4.0).abs() < 1e-9);
+        assert!((tp[3] - 2.0).abs() < 1e-9);
+        assert!((tp[1]).abs() < 1e-9);
+    }
+}

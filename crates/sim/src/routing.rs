@@ -1,0 +1,299 @@
+//! Destination-based shortest-path routing with deterministic ECMP.
+//!
+//! InfiniBand fabrics use destination-routed forwarding tables computed
+//! by the subnet manager; Saba's controller reads those tables to detect
+//! flow paths (§7.2, via `infiniband-diags`). We reproduce the same
+//! structure: per-destination BFS distance fields over the topology,
+//! next-hop sets derived from them, and a deterministic hash of the flow
+//! tag selecting among equal-cost next hops (so a given connection is
+//! always routed identically, as a subnet manager's static tables would).
+
+use crate::ids::{LinkId, NodeId};
+use crate::topology::Topology;
+
+/// Precomputed routing state: all-destinations BFS distance fields.
+#[derive(Debug, Clone)]
+pub struct Routes {
+    /// `dist[dst][node]` = hop count from `node` to `dst` (`u32::MAX` if
+    /// unreachable).
+    dist: Vec<Vec<u32>>,
+    num_nodes: usize,
+}
+
+impl Routes {
+    /// Computes routing tables for the topology (BFS per destination on
+    /// the reversed graph).
+    pub fn compute(topo: &Topology) -> Self {
+        let n = topo.num_nodes();
+        // Reverse adjacency: in_edges[node] = nodes with a link into `node`.
+        let mut in_edges: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for l in 0..topo.num_links() {
+            let link = topo.link(LinkId(l as u32));
+            in_edges[link.to.0 as usize].push(link.from.0);
+        }
+        let mut dist = vec![vec![u32::MAX; n]; n];
+        let mut queue = std::collections::VecDeque::new();
+        for dst in 0..n {
+            let d = &mut dist[dst];
+            d[dst] = 0;
+            queue.clear();
+            queue.push_back(dst as u32);
+            while let Some(u) = queue.pop_front() {
+                let du = d[u as usize];
+                for &v in &in_edges[u as usize] {
+                    if d[v as usize] == u32::MAX {
+                        d[v as usize] = du + 1;
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        Self { dist, num_nodes: n }
+    }
+
+    /// Hop distance from `from` to `to`, or `None` if unreachable.
+    pub fn distance(&self, from: NodeId, to: NodeId) -> Option<u32> {
+        let d = self.dist[to.0 as usize][from.0 as usize];
+        (d != u32::MAX).then_some(d)
+    }
+
+    /// All equal-cost next-hop links from `node` toward `dst`.
+    pub fn next_hops(&self, topo: &Topology, node: NodeId, dst: NodeId) -> Vec<LinkId> {
+        let d = &self.dist[dst.0 as usize];
+        let here = d[node.0 as usize];
+        if here == u32::MAX || here == 0 {
+            return Vec::new();
+        }
+        topo.out_links(node)
+            .iter()
+            .copied()
+            .filter(|&l| {
+                let to = topo.link(l).to;
+                d[to.0 as usize] != u32::MAX && d[to.0 as usize] + 1 == here
+            })
+            .collect()
+    }
+
+    /// The full path (sequence of links) from `src` to `dst`, selecting
+    /// among equal-cost hops with a deterministic hash of `tag` — the
+    /// fluid equivalent of static ECMP placement by the subnet manager.
+    ///
+    /// Returns `None` if `dst` is unreachable from `src`. An empty path
+    /// is returned when `src == dst`.
+    pub fn path(&self, topo: &Topology, src: NodeId, dst: NodeId, tag: u64) -> Option<Vec<LinkId>> {
+        if src == dst {
+            return Some(Vec::new());
+        }
+        self.distance(src, dst)?;
+        let mut path = Vec::with_capacity(6);
+        let mut here = src;
+        let mut hop = 0u64;
+        while here != dst {
+            let hops = self.next_hops(topo, here, dst);
+            if hops.is_empty() {
+                return None; // Disconnected mid-path: cannot happen if distances are consistent.
+            }
+            let pick = (splitmix64(tag.wrapping_add(hop.wrapping_mul(0x9E3779B97F4A7C15)))
+                % hops.len() as u64) as usize;
+            let link = hops[pick];
+            path.push(link);
+            here = topo.link(link).to;
+            hop += 1;
+        }
+        Some(path)
+    }
+
+    /// Every link lying on *any* shortest path from `src` to `dst` —
+    /// the multipath variant of path detection (paper §5, footnote 2:
+    /// "If the underlying network layer supports multipathing, the
+    /// controller determines switches along all paths between the
+    /// source and destination").
+    ///
+    /// A link `(u, v)` qualifies iff
+    /// `dist(src→u) + 1 + dist(v→dst) = dist(src→dst)`.
+    ///
+    /// Returns an empty vector when `dst` is unreachable or `src == dst`.
+    pub fn all_shortest_path_links(
+        &self,
+        topo: &Topology,
+        src: NodeId,
+        dst: NodeId,
+    ) -> Vec<LinkId> {
+        let Some(total) = self.distance(src, dst) else {
+            return Vec::new();
+        };
+        if total == 0 {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for l in 0..topo.num_links() {
+            let link = topo.link(LinkId(l as u32));
+            let (Some(to_u), Some(from_v)) =
+                (self.distance(src, link.from), self.distance(link.to, dst))
+            else {
+                continue;
+            };
+            if to_u + 1 + from_v == total {
+                out.push(LinkId(l as u32));
+            }
+        }
+        out
+    }
+
+    /// Number of nodes the table was computed for.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+}
+
+/// SplitMix64: a tiny, high-quality deterministic mixer for ECMP hashing.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{NodeKind, SpineLeafConfig};
+
+    #[test]
+    fn single_switch_paths_have_two_hops() {
+        let t = Topology::single_switch(4, 100.0);
+        let r = Routes::compute(&t);
+        let s = t.servers();
+        let p = r.path(&t, s[0], s[3], 7).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(t.link(p[0]).from, s[0]);
+        assert_eq!(t.link(p[1]).to, s[3]);
+    }
+
+    #[test]
+    fn path_to_self_is_empty() {
+        let t = Topology::single_switch(2, 100.0);
+        let r = Routes::compute(&t);
+        assert_eq!(r.path(&t, t.servers()[0], t.servers()[0], 0), Some(vec![]));
+    }
+
+    #[test]
+    fn unreachable_destination_is_none() {
+        let mut t = Topology::new();
+        let a = t.add_node(NodeKind::Server, "a");
+        let b = t.add_node(NodeKind::Server, "b");
+        let sw = t.add_node(NodeKind::Switch, "sw");
+        // Only a -> sw; b is isolated.
+        t.add_link(a, sw, 1.0);
+        let r = Routes::compute(&t);
+        assert_eq!(r.path(&t, a, b, 0), None);
+        assert_eq!(r.distance(a, b), None);
+    }
+
+    #[test]
+    fn spine_leaf_paths_are_valid_and_contiguous() {
+        let t = Topology::spine_leaf(&SpineLeafConfig::tiny(2));
+        let r = Routes::compute(&t);
+        let servers = t.servers();
+        for (i, &a) in servers.iter().enumerate() {
+            for &b in &servers[i + 1..] {
+                let p = r.path(&t, a, b, (i as u64) * 31 + 1).unwrap();
+                assert!(!p.is_empty());
+                // Contiguity: each link starts where the previous ended.
+                assert_eq!(t.link(p[0]).from, a);
+                for w in p.windows(2) {
+                    assert_eq!(t.link(w[0]).to, t.link(w[1]).from);
+                }
+                assert_eq!(t.link(*p.last().unwrap()).to, b);
+                // Max 6 hops: srv->tor->leaf->spine->leaf->tor->srv.
+                assert!(p.len() <= 6, "path length {}", p.len());
+            }
+        }
+    }
+
+    #[test]
+    fn same_rack_paths_avoid_the_core() {
+        let cfg = SpineLeafConfig::tiny(3);
+        let t = Topology::spine_leaf(&cfg);
+        let r = Routes::compute(&t);
+        // Servers 0,1,2 share ToR 0 (creation order groups by ToR).
+        let s = t.servers();
+        let p = r.path(&t, s[0], s[1], 5).unwrap();
+        assert_eq!(p.len(), 2, "same-rack should be srv->tor->srv");
+    }
+
+    #[test]
+    fn ecmp_is_deterministic_per_tag() {
+        let t = Topology::spine_leaf(&SpineLeafConfig::tiny(2));
+        let r = Routes::compute(&t);
+        let s = t.servers();
+        // Pick a cross-pod pair (first and last server).
+        let a = s[0];
+        let b = s[s.len() - 1];
+        let p1 = r.path(&t, a, b, 42).unwrap();
+        let p2 = r.path(&t, a, b, 42).unwrap();
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn ecmp_spreads_across_tags() {
+        let t = Topology::spine_leaf(&SpineLeafConfig::paper());
+        let r = Routes::compute(&t);
+        let s = t.servers();
+        let a = s[0];
+        let b = s[s.len() - 1];
+        let distinct: std::collections::HashSet<Vec<LinkId>> =
+            (0..64).map(|tag| r.path(&t, a, b, tag).unwrap()).collect();
+        assert!(
+            distinct.len() > 1,
+            "ECMP should use multiple equal-cost paths"
+        );
+    }
+
+    #[test]
+    fn multipath_links_superset_of_any_ecmp_path() {
+        let t = Topology::spine_leaf(&SpineLeafConfig::tiny(2));
+        let r = Routes::compute(&t);
+        let s = t.servers();
+        let (a, b) = (s[0], s[s.len() - 1]);
+        let all = r.all_shortest_path_links(&t, a, b);
+        for tag in 0..32 {
+            let p = r.path(&t, a, b, tag).unwrap();
+            for l in p {
+                assert!(
+                    all.contains(&l),
+                    "ECMP path link {l} missing from multipath set"
+                );
+            }
+        }
+        // Cross-pod in a 2-spine fabric: both spines are reachable, so
+        // the multipath set must exceed one single path (6 hops).
+        assert!(all.len() > 6, "only {} links", all.len());
+    }
+
+    #[test]
+    fn multipath_of_same_rack_pair_is_the_two_hop_path() {
+        let t = Topology::spine_leaf(&SpineLeafConfig::tiny(3));
+        let r = Routes::compute(&t);
+        let s = t.servers();
+        let all = r.all_shortest_path_links(&t, s[0], s[1]);
+        assert_eq!(all.len(), 2);
+    }
+
+    #[test]
+    fn multipath_to_self_is_empty() {
+        let t = Topology::single_switch(2, 100.0);
+        let r = Routes::compute(&t);
+        assert!(r
+            .all_shortest_path_links(&t, t.servers()[0], t.servers()[0])
+            .is_empty());
+    }
+
+    #[test]
+    fn next_hops_at_destination_are_empty() {
+        let t = Topology::single_switch(2, 100.0);
+        let r = Routes::compute(&t);
+        let s = t.servers()[0];
+        assert!(r.next_hops(&t, s, s).is_empty());
+    }
+}

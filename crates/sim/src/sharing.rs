@@ -1,0 +1,477 @@
+//! Weighted max-min rate allocation with strict-priority classes.
+//!
+//! This is the fluid model of the fabric's packet scheduling:
+//!
+//! - **WFQ queue weights** (§5.2) are flattened by the caller into a
+//!   per-flow, per-link weight `φ_f(l) = W_q / n_q(l)` (queue weight over
+//!   the queue's flow population on the link). With every competing flow
+//!   bottlenecked at the same port this flattening is *exact*; when some
+//!   flows bottleneck elsewhere, the work-conserving refill passes
+//!   redistribute the freed share, approximating WFQ's excess
+//!   redistribution.
+//! - **Strict priorities** (Homa's and Sincronia's enforcement) run the
+//!   filling per priority class over the remaining capacities, highest
+//!   class first.
+//! - **Per-flow rate caps** model congestion-control or token-bucket
+//!   throttling below the fair share.
+//!
+//! The core is weighted progressive filling: repeatedly pick the link
+//! with the lowest *fill level* (`residual capacity / Σ weights`) and
+//! freeze every still-unassigned flow crossing it at the minimum of its
+//! weighted share across its whole path. Frozen rates never oversubscribe
+//! any link; refill passes then hand unclaimed capacity back in weight
+//! proportion, so the allocation is work-conserving up to a configurable
+//! tolerance.
+
+use crate::ids::LinkId;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A flow as seen by the rate allocator.
+#[derive(Debug, Clone)]
+pub struct SharingFlow {
+    /// Links traversed, in order. An empty path (same-host transfer)
+    /// gets `rate_cap` (or effectively unbounded throughput).
+    pub path: Vec<LinkId>,
+    /// Allocation weight at each link of `path` (same length). Weights
+    /// must be positive and finite.
+    pub weights: Vec<f64>,
+    /// Strict-priority class; `0` is served first. Flows of class `p`
+    /// only see capacity left over by classes `< p`.
+    pub priority: u8,
+    /// Upper bound on this flow's rate (bytes/s); use `f64::INFINITY`
+    /// for no cap.
+    pub rate_cap: f64,
+}
+
+impl SharingFlow {
+    /// A best-effort flow with unit weights on every hop of `path`.
+    pub fn best_effort(path: Vec<LinkId>) -> Self {
+        let weights = vec![1.0; path.len()];
+        Self {
+            path,
+            weights,
+            priority: 0,
+            rate_cap: f64::INFINITY,
+        }
+    }
+}
+
+/// Tuning knobs for [`compute_rates`].
+#[derive(Debug, Clone)]
+pub struct SharingConfig {
+    /// Number of work-conservation refill passes after the base filling.
+    pub refill_passes: usize,
+    /// Stop refilling when a pass adds less than this fraction of total
+    /// link capacity.
+    pub refill_epsilon: f64,
+}
+
+impl Default for SharingConfig {
+    fn default() -> Self {
+        Self {
+            refill_passes: 3,
+            refill_epsilon: 1e-6,
+        }
+    }
+}
+
+/// Total-order wrapper for finite `f64` heap keys.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Level(f64);
+
+impl Eq for Level {}
+
+impl PartialOrd for Level {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Level {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("levels must be finite")
+    }
+}
+
+/// Computes per-flow rates (bytes/s), aligned with `flows`.
+///
+/// `capacities[l]` is the capacity of `LinkId(l)`. See the module docs
+/// for semantics.
+///
+/// # Panics
+///
+/// Panics if a flow references an out-of-range link, has mismatched
+/// `path`/`weights` lengths, or a non-positive/non-finite weight.
+///
+/// # Examples
+///
+/// ```
+/// use saba_sim::ids::LinkId;
+/// use saba_sim::sharing::{compute_rates, SharingConfig, SharingFlow};
+///
+/// // Two equal flows through one 100 B/s link split it evenly.
+/// let caps = [100.0];
+/// let f = SharingFlow::best_effort(vec![LinkId(0)]);
+/// let rates = compute_rates(&caps, &[f.clone(), f], &SharingConfig::default());
+/// assert!((rates[0] - 50.0).abs() < 1e-6);
+/// assert!((rates[1] - 50.0).abs() < 1e-6);
+/// ```
+pub fn compute_rates(capacities: &[f64], flows: &[SharingFlow], cfg: &SharingConfig) -> Vec<f64> {
+    validate(capacities, flows);
+    let mut rates = vec![0.0; flows.len()];
+    let mut residual: Vec<f64> = capacities.to_vec();
+
+    // Strict-priority classes, highest (numerically lowest) first.
+    let mut classes: Vec<u8> = flows.iter().map(|f| f.priority).collect();
+    classes.sort_unstable();
+    classes.dedup();
+
+    let total_capacity: f64 = capacities.iter().sum();
+    for class in classes {
+        let members: Vec<usize> = (0..flows.len())
+            .filter(|&i| flows[i].priority == class)
+            .collect();
+        fill_once(&mut residual, flows, &members, &mut rates);
+        for _ in 0..cfg.refill_passes {
+            let added = fill_once(&mut residual, flows, &members, &mut rates);
+            if added <= cfg.refill_epsilon * total_capacity.max(1.0) {
+                break;
+            }
+        }
+    }
+    rates
+}
+
+fn validate(capacities: &[f64], flows: &[SharingFlow]) {
+    for (i, f) in flows.iter().enumerate() {
+        assert_eq!(
+            f.path.len(),
+            f.weights.len(),
+            "flow {i}: path and weights must have equal length"
+        );
+        for (&l, &w) in f.path.iter().zip(&f.weights) {
+            assert!(
+                (l.0 as usize) < capacities.len(),
+                "flow {i}: link {l} out of range"
+            );
+            assert!(
+                w.is_finite() && w > 0.0,
+                "flow {i}: weight must be positive, got {w}"
+            );
+        }
+        assert!(f.rate_cap >= 0.0, "flow {i}: negative rate cap");
+    }
+}
+
+/// One progressive-filling pass over `members`, *adding* allocated rate
+/// to `rates` and subtracting it from `residual`. Returns the total rate
+/// added across flows.
+fn fill_once(
+    residual: &mut [f64],
+    flows: &[SharingFlow],
+    members: &[usize],
+    rates: &mut [f64],
+) -> f64 {
+    let nl = residual.len();
+    let mut sumw = vec![0.0f64; nl];
+    let mut version = vec![0u64; nl];
+    let mut on_link: Vec<Vec<u32>> = vec![Vec::new(); nl];
+    let mut assigned: Vec<bool> = vec![true; flows.len()];
+    let mut added = 0.0;
+
+    for &i in members {
+        let f = &flows[i];
+        let headroom = f.rate_cap - rates[i];
+        if f.path.is_empty() {
+            // Same-host transfer: not limited by the fabric.
+            if rates[i] == 0.0 {
+                let grant = if f.rate_cap.is_finite() {
+                    headroom.max(0.0)
+                } else {
+                    f64::INFINITY
+                };
+                rates[i] = if grant.is_finite() {
+                    grant
+                } else {
+                    f64::INFINITY
+                };
+            }
+            continue;
+        }
+        if headroom <= 0.0 {
+            continue;
+        }
+        assigned[i] = false;
+        for (&l, &w) in f.path.iter().zip(&f.weights) {
+            sumw[l.0 as usize] += w;
+            on_link[l.0 as usize].push(i as u32);
+        }
+    }
+
+    let mut heap: BinaryHeap<Reverse<(Level, u64, u32)>> = BinaryHeap::new();
+    for l in 0..nl {
+        if sumw[l] > 0.0 {
+            heap.push(Reverse((
+                Level(residual[l].max(0.0) / sumw[l]),
+                0,
+                l as u32,
+            )));
+        }
+    }
+
+    while let Some(Reverse((_, ver, l))) = heap.pop() {
+        let l = l as usize;
+        if ver != version[l] || sumw[l] <= 0.0 {
+            continue;
+        }
+        // Freeze every unassigned flow crossing this link at the minimum
+        // of its weighted share over its path (capped by its headroom).
+        let flow_ids: Vec<u32> = on_link[l].clone();
+        for fi in flow_ids {
+            let i = fi as usize;
+            if assigned[i] {
+                continue;
+            }
+            let f = &flows[i];
+            let mut share = f.rate_cap - rates[i];
+            for (&lk, &w) in f.path.iter().zip(&f.weights) {
+                let lk = lk.0 as usize;
+                debug_assert!(sumw[lk] > 0.0);
+                let level = residual[lk].max(0.0) / sumw[lk];
+                let s = w * level;
+                if s < share {
+                    share = s;
+                }
+            }
+            let share = share.max(0.0);
+            assigned[i] = true;
+            rates[i] += share;
+            added += share;
+            for (&lk, &w) in f.path.iter().zip(&f.weights) {
+                let lk = lk.0 as usize;
+                residual[lk] = (residual[lk] - share).max(0.0);
+                sumw[lk] -= w;
+                version[lk] += 1;
+                if sumw[lk] > 1e-12 {
+                    heap.push(Reverse((
+                        Level(residual[lk].max(0.0) / sumw[lk]),
+                        version[lk],
+                        lk as u32,
+                    )));
+                } else {
+                    sumw[lk] = 0.0;
+                }
+            }
+        }
+        on_link[l].clear();
+    }
+    added
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SharingConfig {
+        SharingConfig::default()
+    }
+
+    fn flow(path: &[u32], weights: &[f64]) -> SharingFlow {
+        SharingFlow {
+            path: path.iter().map(|&l| LinkId(l)).collect(),
+            weights: weights.to_vec(),
+            priority: 0,
+            rate_cap: f64::INFINITY,
+        }
+    }
+
+    #[test]
+    fn single_flow_takes_whole_link() {
+        let rates = compute_rates(&[100.0], &[flow(&[0], &[1.0])], &cfg());
+        assert!((rates[0] - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weights_split_proportionally() {
+        let flows = [flow(&[0], &[3.0]), flow(&[0], &[1.0])];
+        let rates = compute_rates(&[100.0], &flows, &cfg());
+        assert!((rates[0] - 75.0).abs() < 1e-6, "{rates:?}");
+        assert!((rates[1] - 25.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn multi_link_bottleneck_is_respected() {
+        // Flow A spans links 0 (cap 100) and 1 (cap 10): bottleneck 10.
+        // Flow B uses only link 0 and picks up the slack.
+        let flows = [flow(&[0, 1], &[1.0, 1.0]), flow(&[0], &[1.0])];
+        let rates = compute_rates(&[100.0, 10.0], &flows, &cfg());
+        assert!((rates[0] - 10.0).abs() < 1e-6, "{rates:?}");
+        assert!((rates[1] - 90.0).abs() < 1e-6, "{rates:?}");
+    }
+
+    #[test]
+    fn classic_parking_lot() {
+        // Three links in a row; one long flow plus one short flow per link.
+        // Max-min: long flow gets 50, each short flow gets 50.
+        let flows = [
+            flow(&[0, 1, 2], &[1.0, 1.0, 1.0]),
+            flow(&[0], &[1.0]),
+            flow(&[1], &[1.0]),
+            flow(&[2], &[1.0]),
+        ];
+        let rates = compute_rates(&[100.0, 100.0, 100.0], &flows, &cfg());
+        for (i, r) in rates.iter().enumerate() {
+            assert!((r - 50.0).abs() < 1e-6, "flow {i}: {rates:?}");
+        }
+    }
+
+    #[test]
+    fn unequal_parking_lot_is_max_min() {
+        // Link 0 has 3 flows (the long one + 2 locals), link 1 has 2.
+        // Max-min: long flow limited by link 0 => 100/3 each there; link 1
+        // local flow gets the remainder 100 - 100/3.
+        let flows = [
+            flow(&[0, 1], &[1.0, 1.0]),
+            flow(&[0], &[1.0]),
+            flow(&[0], &[1.0]),
+            flow(&[1], &[1.0]),
+        ];
+        let rates = compute_rates(&[100.0, 100.0], &flows, &cfg());
+        let third = 100.0 / 3.0;
+        assert!((rates[0] - third).abs() < 1e-6, "{rates:?}");
+        assert!((rates[1] - third).abs() < 1e-6);
+        assert!((rates[2] - third).abs() < 1e-6);
+        assert!((rates[3] - (100.0 - third)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rate_cap_is_honoured_and_slack_redistributed() {
+        let mut capped = flow(&[0], &[1.0]);
+        capped.rate_cap = 10.0;
+        let flows = [capped, flow(&[0], &[1.0])];
+        let rates = compute_rates(&[100.0], &flows, &cfg());
+        assert!((rates[0] - 10.0).abs() < 1e-6, "{rates:?}");
+        assert!((rates[1] - 90.0).abs() < 1e-6, "{rates:?}");
+    }
+
+    #[test]
+    fn strict_priority_starves_lower_class() {
+        let mut hi = flow(&[0], &[1.0]);
+        hi.priority = 0;
+        let mut lo = flow(&[0], &[1.0]);
+        lo.priority = 1;
+        let rates = compute_rates(&[100.0], &[lo.clone(), hi.clone()], &cfg());
+        assert!((rates[1] - 100.0).abs() < 1e-6, "{rates:?}");
+        assert!(rates[0].abs() < 1e-6);
+    }
+
+    #[test]
+    fn strict_priority_passes_down_leftovers() {
+        let mut hi = flow(&[0], &[1.0]);
+        hi.rate_cap = 30.0;
+        let mut lo = flow(&[0], &[1.0]);
+        lo.priority = 1;
+        let rates = compute_rates(&[100.0], &[hi, lo], &cfg());
+        assert!((rates[0] - 30.0).abs() < 1e-6, "{rates:?}");
+        assert!((rates[1] - 70.0).abs() < 1e-6, "{rates:?}");
+    }
+
+    #[test]
+    fn empty_path_flow_is_unbounded() {
+        let f = SharingFlow::best_effort(vec![]);
+        let rates = compute_rates(&[10.0], &[f], &cfg());
+        assert!(rates[0].is_infinite());
+    }
+
+    #[test]
+    fn empty_path_flow_respects_cap() {
+        let mut f = SharingFlow::best_effort(vec![]);
+        f.rate_cap = 5.0;
+        let rates = compute_rates(&[10.0], &[f], &cfg());
+        assert!((rates[0] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_link_oversubscription_on_random_mesh() {
+        // Deterministic pseudo-random flows over 10 links.
+        let caps: Vec<f64> = (0..10).map(|i| 50.0 + 10.0 * i as f64).collect();
+        let mut flows = Vec::new();
+        let mut state = 12345u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        for _ in 0..60 {
+            let len = 1 + next() % 4;
+            let mut path = Vec::new();
+            for _ in 0..len {
+                let l = next() % 10;
+                if !path.contains(&(l as u32)) {
+                    path.push(l as u32);
+                }
+            }
+            let w: Vec<f64> = path.iter().map(|_| 1.0 + (next() % 4) as f64).collect();
+            flows.push(flow(&path, &w));
+        }
+        let rates = compute_rates(&caps, &flows, &cfg());
+        let mut load = vec![0.0; 10];
+        for (f, &r) in flows.iter().zip(&rates) {
+            assert!(r >= 0.0);
+            for &l in &f.path {
+                load[l.0 as usize] += r;
+            }
+        }
+        for (l, (&used, &cap)) in load.iter().zip(&caps).enumerate() {
+            assert!(used <= cap + 1e-6, "link {l}: {used} > {cap}");
+        }
+    }
+
+    #[test]
+    fn work_conserving_on_shared_bottleneck() {
+        // All flows cross link 0: it must be fully used.
+        let flows = [
+            flow(&[0], &[1.0]),
+            flow(&[0], &[2.0]),
+            flow(&[0, 1], &[1.0, 1.0]),
+        ];
+        let rates = compute_rates(&[120.0, 1000.0], &flows, &cfg());
+        let total: f64 = rates.iter().sum();
+        assert!((total - 120.0).abs() < 1e-6, "{rates:?}");
+    }
+
+    #[test]
+    fn hierarchical_flattening_matches_wfq_single_port() {
+        // Queue A (weight 3) has 2 flows, queue B (weight 1) has 1 flow.
+        // Flattened: φ_A = 1.5 each, φ_B = 1. Shares: 45, 45, 30 on 120.
+        let flows = [flow(&[0], &[1.5]), flow(&[0], &[1.5]), flow(&[0], &[1.0])];
+        let rates = compute_rates(&[120.0], &flows, &cfg());
+        assert!((rates[0] - 45.0).abs() < 1e-6, "{rates:?}");
+        assert!((rates[1] - 45.0).abs() < 1e-6);
+        assert!((rates[2] - 30.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn refill_recovers_work_conservation() {
+        // Flow 0 is stuck at 1 B/s on link 1; flow 1 shares link 0 with it.
+        // Without refill flow 1 would be frozen at 50; refill tops it up to 99.
+        let flows = [flow(&[0, 1], &[1.0, 1.0]), flow(&[0], &[1.0])];
+        let rates = compute_rates(&[100.0, 1.0], &flows, &cfg());
+        assert!((rates[0] - 1.0).abs() < 1e-6, "{rates:?}");
+        assert!((rates[1] - 99.0).abs() < 1e-6, "{rates:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "weight must be positive")]
+    fn zero_weight_rejected() {
+        let _ = compute_rates(&[1.0], &[flow(&[0], &[0.0])], &cfg());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_link_rejected() {
+        let _ = compute_rates(&[1.0], &[flow(&[5], &[1.0])], &cfg());
+    }
+}

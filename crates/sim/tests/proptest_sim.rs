@@ -1,0 +1,325 @@
+//! Property-based tests for the network simulator: conservation laws,
+//! oversubscription safety, routing validity, and engine monotonicity.
+
+use proptest::prelude::*;
+use saba_sim::engine::{Event, FairShareFabric, FlowSpec, Simulation};
+use saba_sim::ids::{AppId, LinkId, ServiceLevel};
+use saba_sim::routing::Routes;
+use saba_sim::sharing::{compute_rates, SharingConfig, SharingFlow};
+use saba_sim::topology::{SpineLeafConfig, Topology};
+
+/// Strategy: a set of random flows over `n_links` links.
+fn arb_flows(n_links: usize, max_flows: usize) -> impl Strategy<Value = Vec<SharingFlow>> {
+    prop::collection::vec(
+        (
+            prop::collection::vec(0..n_links as u32, 1..4),
+            1.0f64..8.0,
+            0u8..3,
+            prop::option::of(10.0f64..500.0),
+        ),
+        1..max_flows,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .map(|(mut path, w, prio, cap)| {
+                path.sort_unstable();
+                path.dedup();
+                let weights = vec![w; path.len()];
+                SharingFlow {
+                    path: path.into_iter().map(LinkId).collect(),
+                    weights,
+                    priority: prio,
+                    rate_cap: cap.unwrap_or(f64::INFINITY),
+                }
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// No link is ever oversubscribed, and no rate is negative or above
+    /// its cap.
+    #[test]
+    fn sharing_never_oversubscribes(
+        flows in arb_flows(8, 40),
+        caps in prop::collection::vec(10.0f64..1000.0, 8),
+    ) {
+        let rates = compute_rates(&caps, &flows, &SharingConfig::default());
+        let mut load = vec![0.0; caps.len()];
+        for (f, &r) in flows.iter().zip(&rates) {
+            prop_assert!(r >= 0.0);
+            prop_assert!(r <= f.rate_cap + 1e-6 * f.rate_cap.min(1e12));
+            if !f.path.is_empty() {
+                prop_assert!(r.is_finite());
+                for &l in &f.path {
+                    load[l.0 as usize] += r;
+                }
+            }
+        }
+        for (l, (&used, &cap)) in load.iter().zip(&caps).enumerate() {
+            prop_assert!(used <= cap * (1.0 + 1e-9) + 1e-6, "link {l}: {used} > {cap}");
+        }
+    }
+
+    /// Single-link work conservation: with uncapped flows all crossing
+    /// one link, the link is fully utilized.
+    #[test]
+    fn sharing_single_link_work_conserving(
+        weights in prop::collection::vec(0.5f64..8.0, 1..20),
+        cap in 10.0f64..1000.0,
+    ) {
+        let flows: Vec<SharingFlow> = weights
+            .iter()
+            .map(|&w| SharingFlow {
+                path: vec![LinkId(0)],
+                weights: vec![w],
+                priority: 0,
+                rate_cap: f64::INFINITY,
+            })
+            .collect();
+        let rates = compute_rates(&[cap], &flows, &SharingConfig::default());
+        let total: f64 = rates.iter().sum();
+        prop_assert!((total - cap).abs() < 1e-6 * cap, "total {total} cap {cap}");
+        // Rates are weight-proportional.
+        let level = rates[0] / weights[0];
+        for (r, w) in rates.iter().zip(&weights) {
+            prop_assert!((r / w - level).abs() < 1e-6 * level.max(1.0));
+        }
+    }
+
+    /// Adding a flow to a single shared link never increases any existing
+    /// flow's rate (monotonicity of fair sharing under contention).
+    #[test]
+    fn sharing_monotone_under_contention(
+        weights in prop::collection::vec(1.0f64..4.0, 2..10),
+        cap in 100.0f64..500.0,
+    ) {
+        let make = |ws: &[f64]| -> Vec<SharingFlow> {
+            ws.iter()
+                .map(|&w| SharingFlow {
+                    path: vec![LinkId(0)],
+                    weights: vec![w],
+                    priority: 0,
+                    rate_cap: f64::INFINITY,
+                })
+                .collect()
+        };
+        let base = compute_rates(&[cap], &make(&weights[..weights.len() - 1]),
+            &SharingConfig::default());
+        let more = compute_rates(&[cap], &make(&weights), &SharingConfig::default());
+        for i in 0..weights.len() - 1 {
+            prop_assert!(more[i] <= base[i] + 1e-6, "flow {i}: {} -> {}", base[i], more[i]);
+        }
+    }
+
+    /// Higher strict-priority classes are never hurt by lower ones.
+    #[test]
+    fn strict_priority_isolation(
+        hi_weights in prop::collection::vec(1.0f64..4.0, 1..6),
+        lo_count in 1usize..6,
+        cap in 50.0f64..500.0,
+    ) {
+        let mk = |w: f64, p: u8| SharingFlow {
+            path: vec![LinkId(0)],
+            weights: vec![w],
+            priority: p,
+            rate_cap: f64::INFINITY,
+        };
+        let hi_only: Vec<SharingFlow> = hi_weights.iter().map(|&w| mk(w, 0)).collect();
+        let mut mixed = hi_only.clone();
+        for _ in 0..lo_count {
+            mixed.push(mk(1.0, 1));
+        }
+        let base = compute_rates(&[cap], &hi_only, &SharingConfig::default());
+        let with_lo = compute_rates(&[cap], &mixed, &SharingConfig::default());
+        for i in 0..hi_only.len() {
+            prop_assert!((with_lo[i] - base[i]).abs() < 1e-6,
+                "hi flow {i} changed: {} -> {}", base[i], with_lo[i]);
+        }
+    }
+
+    /// Every server pair in a spine-leaf fabric has a valid, contiguous,
+    /// loop-free path for any ECMP tag.
+    #[test]
+    fn routing_paths_always_valid(servers_per_tor in 1usize..4, tag in 0u64..1000) {
+        let topo = Topology::spine_leaf(&SpineLeafConfig::tiny(servers_per_tor));
+        let routes = Routes::compute(&topo);
+        let servers = topo.servers();
+        for &a in servers.iter().take(4) {
+            for &b in servers.iter().rev().take(4) {
+                if a == b {
+                    continue;
+                }
+                let p = routes.path(&topo, a, b, tag).unwrap();
+                prop_assert!(!p.is_empty());
+                prop_assert_eq!(topo.link(p[0]).from, a);
+                prop_assert_eq!(topo.link(*p.last().unwrap()).to, b);
+                for w in p.windows(2) {
+                    prop_assert_eq!(topo.link(w[0]).to, topo.link(w[1]).from);
+                }
+                // Loop-free: no node repeats.
+                let mut visited = vec![a];
+                for &l in &p {
+                    let to = topo.link(l).to;
+                    prop_assert!(!visited.contains(&to), "loop at {to}");
+                    visited.push(to);
+                }
+            }
+        }
+    }
+
+    /// Engine conservation: total bytes delivered equals total bytes
+    /// requested, and completions never precede starts.
+    #[test]
+    fn engine_conserves_bytes(
+        sizes in prop::collection::vec(1.0f64..10_000.0, 1..15),
+        seed in 0u64..500,
+    ) {
+        let topo = Topology::single_switch(6, 1000.0);
+        let mut sim = Simulation::new(topo, FairShareFabric::default());
+        sim.set_completion_slack(0.0);
+        let servers = sim.topo().servers().to_vec();
+        for (i, &bytes) in sizes.iter().enumerate() {
+            let src = servers[(seed as usize + i) % servers.len()];
+            let dst = servers[(seed as usize + i * 3 + 1) % servers.len()];
+            if src == dst {
+                continue;
+            }
+            sim.start_flow(FlowSpec {
+                src,
+                dst,
+                bytes,
+                sl: ServiceLevel(0),
+                app: AppId(i as u32),
+                tag: seed + i as u64,
+                rate_cap: f64::INFINITY,
+                min_rate: 0.0,
+            });
+        }
+        let started = sim.stats().flows_started;
+        let done = sim.run_to_idle();
+        prop_assert_eq!(done.len() as u64, started);
+        for d in &done {
+            prop_assert!(d.finished >= d.started);
+        }
+        prop_assert_eq!(sim.stats().flows_completed, started);
+    }
+
+    /// Time monotonicity: events come out in non-decreasing time order.
+    #[test]
+    fn engine_time_monotone(
+        sizes in prop::collection::vec(10.0f64..5000.0, 1..10),
+        timer_times in prop::collection::vec(0.1f64..20.0, 0..5),
+    ) {
+        let topo = Topology::single_switch(4, 100.0);
+        let mut sim = Simulation::new(topo, FairShareFabric::default());
+        let servers = sim.topo().servers().to_vec();
+        for (i, &bytes) in sizes.iter().enumerate() {
+            sim.start_flow(FlowSpec {
+                src: servers[i % 2],
+                dst: servers[2 + i % 2],
+                bytes,
+                sl: ServiceLevel(0),
+                app: AppId(0),
+                tag: i as u64,
+                rate_cap: f64::INFINITY,
+                min_rate: 0.0,
+            });
+        }
+        for &t in &timer_times {
+            sim.schedule(t, 0);
+        }
+        let mut last = 0.0f64;
+        loop {
+            let at = match sim.next_event() {
+                Event::Timer { at, .. } => at,
+                Event::FlowsCompleted { at, .. } => at,
+                Event::Idle => break,
+            };
+            prop_assert!(at >= last - 1e-12, "time went backwards: {last} -> {at}");
+            last = at;
+            prop_assert!((sim.now() - at).abs() < 1e-12);
+        }
+    }
+
+    /// Fat-tree routing: every server pair is reachable, paths are
+    /// loop-free, and same-pod traffic never crosses the core.
+    #[test]
+    fn fat_tree_routing_valid(k in prop::sample::select(vec![2usize, 4, 6]), tag in 0u64..200) {
+        let topo = Topology::fat_tree(k, 100.0);
+        let routes = Routes::compute(&topo);
+        let servers = topo.servers();
+        let a = servers[0];
+        for &b in servers.iter().rev().take(3) {
+            if a == b {
+                continue;
+            }
+            let p = routes.path(&topo, a, b, tag).unwrap();
+            prop_assert!(!p.is_empty() && p.len() <= 6);
+            let mut visited = vec![a];
+            for &l in &p {
+                let to = topo.link(l).to;
+                prop_assert!(!visited.contains(&to));
+                visited.push(to);
+            }
+            prop_assert_eq!(*visited.last().unwrap(), b);
+        }
+        // Same-edge pair: exactly two hops.
+        if k >= 4 {
+            let p = routes.path(&topo, servers[0], servers[1], tag).unwrap();
+            prop_assert_eq!(p.len(), 2);
+        }
+    }
+
+    /// A paced (rate-capped) flow finishes no earlier than its pacing
+    /// allows and no later than the uncapped run under no contention.
+    #[test]
+    fn rate_caps_bound_completion(bytes in 1_000.0f64..1e6, cap_frac in 0.1f64..1.0) {
+        let topo = Topology::single_switch(2, 1000.0);
+        let mut sim = Simulation::new(topo, FairShareFabric::default());
+        let s = sim.topo().servers().to_vec();
+        let cap = 1000.0 * cap_frac;
+        sim.start_flow(FlowSpec {
+            src: s[0],
+            dst: s[1],
+            bytes,
+            sl: ServiceLevel(0),
+            app: AppId(0),
+            tag: 0,
+            rate_cap: cap,
+            min_rate: 0.0,
+        });
+        let done = sim.run_to_idle();
+        let expected = bytes / cap;
+        prop_assert!((done[0].finished - expected).abs() < 1e-6 * expected + 1e-6,
+            "finished {} vs expected {}", done[0].finished, expected);
+    }
+
+    /// Throttling a NIC to a fraction scales a lone flow's completion
+    /// time by exactly the inverse fraction.
+    #[test]
+    fn throttle_scales_completion_linearly(frac_pct in 5u32..100) {
+        let frac = frac_pct as f64 / 100.0;
+        let mk = |f: f64| {
+            let mut topo = Topology::single_switch(2, 1000.0);
+            topo.throttle_all_nics(f);
+            let mut sim = Simulation::new(topo, FairShareFabric::default());
+            let s = sim.topo().servers().to_vec();
+            sim.start_flow(FlowSpec {
+                src: s[0],
+                dst: s[1],
+                bytes: 10_000.0,
+                sl: ServiceLevel(0),
+                app: AppId(0),
+                tag: 0,
+                rate_cap: f64::INFINITY,
+                min_rate: 0.0,
+            });
+            sim.run_to_idle()[0].finished
+        };
+        let full = mk(1.0);
+        let throttled = mk(frac);
+        prop_assert!((throttled * frac - full).abs() < 1e-6 * full,
+            "full {full}, throttled {throttled}, frac {frac}");
+    }
+}

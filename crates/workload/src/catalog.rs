@@ -1,0 +1,324 @@
+//! The workload catalog: the ten HiBench workloads of Table 1.
+//!
+//! Parameters are calibrated against every quantitative anchor the
+//! paper provides:
+//!
+//! - Fig. 1a: slowdown at 75 % and 25 % bandwidth (LR 1.3×/3.4×,
+//!   Sort ≈1.0×/1.1×, average ≈2.1× at 25 %).
+//! - §2.3: LR completion 172 s @75 % → 447 s @25 % (2.59×); PR 310 s
+//!   @75 % → 427 s @25 % (1.37×); PR overlaps communication with
+//!   computation, LR does not.
+//! - Fig. 5: SQL's sensitivity curve is flat until ~25 % and knees
+//!   sharply by 10 % (1.2× @25 %, 2.2× @10 %) — needs a cubic fit; LR's
+//!   curve is near-linear (1.3/3.4/4.5× at 75/25/10 %).
+//! - Fig. 6b/6c: model accuracy degrades as runtime dataset size and
+//!   node count depart from the profiled configuration, most for NI
+//!   (dataset) and NW (nodes), least for SVM (dataset) and LR/RF/Sort
+//!   (nodes) — encoded in each workload's [`ScalingLaw`].
+//!
+//! The stage-model identity used for calibration: with per-stage compute
+//! `C`, overlap `o` and full-bandwidth communication time `X`, the stage
+//! takes `C(1−o) + max(C·o, X/b)` at bandwidth fraction `b`, so the
+//! workload's slowdown is fixed by `(C, o, X)` alone. Byte volumes
+//! below are chosen so `X` matches at the profiled 8-node, 56 Gb/s
+//! configuration: `comm_bytes = X · nic_rate · nodes` (all-to-all/ring
+//! per-node egress is `comm_bytes / nodes`).
+
+use crate::pattern::ShufflePattern;
+use crate::spec::{ScalingLaw, StageSpec, WorkloadClass, WorkloadSpec};
+use saba_sim::LINK_56G_BPS;
+
+/// Nodes used by the paper's profiler (§4.2).
+pub const PROFILE_NODES: usize = 8;
+
+/// Builds `stages` heterogeneous stages averaging per-stage compute `c`
+/// seconds, full-bandwidth comm time `x` seconds, overlap `o`, and
+/// `pattern`.
+///
+/// Real jobs' stages differ in size, so their overlap knees and
+/// pipelining floors sit at different throttles; the aggregate
+/// sensitivity curve is smooth and monotone, as the paper's measured
+/// curves are (Fig. 5). Per-stage factors come from a deterministic
+/// low-discrepancy sequence and are normalized so totals match the
+/// calibration targets exactly.
+fn varied_stages(stages: usize, c: f64, x: f64, o: f64, pattern: ShufflePattern) -> Vec<StageSpec> {
+    const GOLDEN: f64 = 0.618_033_988_749_894_9;
+    // Raw multiplicative factors in [1-amp, 1+amp], mean-normalized.
+    let factors = |amp: f64, phase: f64| -> Vec<f64> {
+        let raw: Vec<f64> = (0..stages)
+            .map(|i| 1.0 + amp * (2.0 * std::f64::consts::PI * (GOLDEN * i as f64 + phase)).sin())
+            .collect();
+        let mean = raw.iter().sum::<f64>() / stages as f64;
+        raw.into_iter().map(|f| f / mean).collect()
+    };
+    let fc = factors(0.35, 0.0);
+    let fx = factors(0.45, 0.31);
+    let fo = factors(0.30, 0.62);
+    let ff = factors(0.30, 0.87);
+    (0..stages)
+        .map(|i| StageSpec {
+            compute_secs: c * fc[i],
+            comm_bytes: x * fx[i] * LINK_56G_BPS * PROFILE_NODES as f64,
+            pattern,
+            overlap: (o * fo[i]).clamp(0.0, 0.95),
+            floor_scale: ff[i],
+        })
+        .collect()
+}
+
+fn wl(
+    name: &str,
+    class: WorkloadClass,
+    dataset: &str,
+    stages: Vec<StageSpec>,
+    scaling: ScalingLaw,
+    pipeline_floor: f64,
+) -> WorkloadSpec {
+    WorkloadSpec {
+        name: name.into(),
+        class,
+        dataset_desc: dataset.into(),
+        stages,
+        scaling,
+        profile_nodes: PROFILE_NODES,
+        pipeline_floor,
+    }
+}
+
+fn law(cd: f64, xd: f64, ceff: f64, xn: f64, straggler: f64) -> ScalingLaw {
+    ScalingLaw {
+        compute_dataset_exp: cd,
+        comm_dataset_exp: xd,
+        compute_node_eff: ceff,
+        comm_node_exp: xn,
+        straggler_log: straggler,
+    }
+}
+
+/// The ten Table-1 workloads, in the paper's order.
+pub fn catalog() -> Vec<WorkloadSpec> {
+    use ShufflePattern::AllToAll;
+    let a2a = AllToAll { fanout: 4 };
+    vec![
+        // LR: 80 % communication, strictly serial phases (§2.3), near-
+        // linear sensitivity: D(0.25)=3.4, D(0.75)=1.27, T₀=132 s.
+        wl(
+            "LR",
+            WorkloadClass::MachineLearning,
+            "10k samples",
+            varied_stages(8, 3.3, 13.2, 0.0, a2a),
+            law(1.05, 0.95, 1.0, 0.05, 0.02),
+            0.155,
+        ),
+        // RF: slightly more communication-heavy than LR; robust to node
+        // scaling (Fig. 6c keeps RF above 0.5 at 4×).
+        wl(
+            "RF",
+            WorkloadClass::MachineLearning,
+            "20k samples",
+            varied_stages(10, 4.0, 14.0, 0.0, a2a),
+            law(1.05, 0.95, 1.0, 0.06, 0.02),
+            0.15,
+        ),
+        // GBT: balanced compute/comm (r = 0.5): D(0.25)=2.5.
+        wl(
+            "GBT",
+            WorkloadClass::MachineLearning,
+            "1k samples",
+            varied_stages(6, 10.0, 10.0, 0.0, a2a),
+            law(1.08, 0.93, 0.95, 0.60, 0.18),
+            0.15,
+        ),
+        // SVM: r = 0.65; its dataset exponents match, so its model keeps
+        // accuracy across dataset scales (Fig. 6b: best retention).
+        wl(
+            "SVM",
+            WorkloadClass::MachineLearning,
+            "150k samples",
+            varied_stages(9, 7.0, 13.0, 0.0, a2a),
+            law(1.0, 1.0, 0.95, 0.55, 0.15),
+            0.15,
+        ),
+        // NW: graph exchange with superlinear comm growth in node count
+        // — the workload whose model degrades most at 3-4× nodes
+        // (Fig. 6c).
+        wl(
+            "NW",
+            WorkloadClass::Graph,
+            "# of graph edges: 4250M",
+            varied_stages(5, 30.0, 20.0, 0.1, a2a),
+            law(1.06, 0.94, 0.95, 0.90, 0.30),
+            0.14,
+        ),
+        // NI: indexing; strongly divergent dataset exponents — the
+        // workload whose model degrades most at 0.1×/10× dataset
+        // (Fig. 6b).
+        wl(
+            "NI",
+            WorkloadClass::Websearch,
+            "100G samples",
+            varied_stages(4, 40.0, 22.0, 0.15, a2a),
+            law(1.14, 0.87, 0.95, 0.60, 0.20),
+            0.14,
+        ),
+        // PR: computation-dominated with substantially overlapped
+        // communication (§2.3): D(0.25)=1.4, D(0.75)≈1.0, T₀=300 s.
+        wl(
+            "PR",
+            WorkloadClass::Websearch,
+            "50M pages",
+            varied_stages(12, 25.0, 7.5, 0.9, a2a),
+            law(1.05, 0.95, 0.95, 0.35, 0.22),
+            0.145,
+        ),
+        // SQL join: flat sensitivity until ~25 % with a sharp knee by
+        // 10 % (Fig. 5) — produced by overlap hiding the shuffle until
+        // bandwidth gets scarce.
+        wl(
+            "SQL",
+            WorkloadClass::Sql,
+            "Two tables, # of records: 5G & 120M",
+            varied_stages(3, 50.0, 7.5, 0.35, a2a),
+            law(1.06, 0.94, 0.95, 0.40, 0.25),
+            0.04,
+        ),
+        // WC: compute-bound micro benchmark, negligible slowdown at 75 %.
+        wl(
+            "WC",
+            WorkloadClass::Micro,
+            "300GB",
+            varied_stages(2, 60.0, 7.2, 0.2, a2a),
+            law(1.05, 0.95, 0.95, 0.35, 0.22),
+            0.06,
+        ),
+        // Sort: least bandwidth-sensitive (1.1× at 25 %); robust to node
+        // scaling.
+        wl(
+            "Sort",
+            WorkloadClass::Micro,
+            "280GB",
+            varied_stages(2, 80.0, 8.0, 0.3, a2a),
+            law(1.04, 0.96, 1.0, 0.10, 0.04),
+            0.06,
+        ),
+    ]
+}
+
+/// Looks up a catalog workload by its short name.
+pub fn workload_by_name(name: &str) -> Option<WorkloadSpec> {
+    catalog().into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Analytic slowdown of a workload at bandwidth fraction `b`.
+    fn slowdown(name: &str, b: f64) -> f64 {
+        let w = workload_by_name(name).unwrap();
+        let plan = w.profile_plan();
+        plan.analytic_completion(b * LINK_56G_BPS) / plan.analytic_completion(LINK_56G_BPS)
+    }
+
+    #[test]
+    fn has_ten_workloads_with_unique_names() {
+        let c = catalog();
+        assert_eq!(c.len(), 10);
+        let mut names: Vec<&str> = c.iter().map(|w| w.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 10);
+    }
+
+    #[test]
+    fn lr_matches_fig1a_and_section_2_3() {
+        // Fig. 1a: 3.4× at 25 %, ~1.3× at 75 %.
+        assert!(
+            (slowdown("LR", 0.25) - 3.4).abs() < 0.1,
+            "{}",
+            slowdown("LR", 0.25)
+        );
+        assert!((slowdown("LR", 0.75) - 1.3).abs() < 0.1);
+        // §2.3: 172 s at 75 %, 447 s at 25 %.
+        let plan = workload_by_name("LR").unwrap().profile_plan();
+        let t75 = plan.analytic_completion(0.75 * LINK_56G_BPS);
+        let t25 = plan.analytic_completion(0.25 * LINK_56G_BPS);
+        assert!((t75 - 172.0).abs() < 10.0, "t75 = {t75}");
+        assert!((t25 - 447.0).abs() < 15.0, "t25 = {t25}");
+    }
+
+    #[test]
+    fn pr_matches_fig1a_and_section_2_3() {
+        assert!(
+            (slowdown("PR", 0.25) - 1.4).abs() < 0.1,
+            "{}",
+            slowdown("PR", 0.25)
+        );
+        assert!(slowdown("PR", 0.75) < 1.1);
+        let plan = workload_by_name("PR").unwrap().profile_plan();
+        let t75 = plan.analytic_completion(0.75 * LINK_56G_BPS);
+        let t25 = plan.analytic_completion(0.25 * LINK_56G_BPS);
+        assert!((t25 / t75 - 1.37).abs() < 0.1, "ratio {}", t25 / t75);
+    }
+
+    #[test]
+    fn sql_has_fig5_knee() {
+        // Flat-ish at 25 %, sharp by 10 %.
+        let d25 = slowdown("SQL", 0.25);
+        let d10 = slowdown("SQL", 0.10);
+        assert!((d25 - 1.2).abs() < 0.1, "d25 = {d25}");
+        assert!((d10 - 2.2).abs() < 0.2, "d10 = {d10}");
+        // The knee: the drop from 25 % to 10 % is much larger than from
+        // 100 % to 25 %.
+        assert!(d10 - d25 > (d25 - 1.0) * 2.0);
+    }
+
+    #[test]
+    fn sort_is_least_sensitive() {
+        let d = slowdown("Sort", 0.25);
+        assert!((d - 1.1).abs() < 0.05, "d = {d}");
+        for w in catalog() {
+            assert!(
+                slowdown(&w.name, 0.25) >= d - 1e-9,
+                "{} less sensitive than Sort",
+                w.name
+            );
+        }
+    }
+
+    #[test]
+    fn average_25pct_slowdown_matches_fig1a() {
+        // Paper: "the slowdown of applications varies from 1.1× (Sort)
+        // to 3.4× (LR), with an average of 2.1×".
+        let avg: f64 = catalog()
+            .iter()
+            .map(|w| slowdown(&w.name, 0.25))
+            .sum::<f64>()
+            / 10.0;
+        assert!((avg - 2.1).abs() < 0.15, "avg = {avg}");
+    }
+
+    #[test]
+    fn ml_workloads_are_most_sensitive() {
+        for name in ["LR", "RF", "SVM"] {
+            assert!(slowdown(name, 0.25) > 2.5, "{name}");
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(workload_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn base_completion_times_are_minutes_scale() {
+        for w in catalog() {
+            let t0 = w.profile_plan().analytic_completion(LINK_56G_BPS);
+            assert!(
+                (60.0..=600.0).contains(&t0),
+                "{}: T0 = {t0} out of the paper's minutes range",
+                w.name
+            );
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Stage-graph workload models for the Saba reproduction.
+//!
+//! The paper evaluates ten HiBench workloads on Spark/Flink (Table 1)
+//! plus twenty synthetic workloads in simulation (§8.1). Everything
+//! Saba's mechanism consumes is the relationship between available
+//! bandwidth and completion time, which for bulk-synchronous frameworks
+//! is set by the per-stage compute time, shuffle volume, and
+//! compute/communication overlap (§2.3). This crate models exactly
+//! that:
+//!
+//! - [`pattern`] — shuffle communication patterns (partitioned
+//!   all-to-all, ring, gather, broadcast).
+//! - [`spec`] — workload specifications: stages with compute seconds,
+//!   shuffle bytes and overlap, plus dataset-size and node-count
+//!   scaling laws; analytic completion-time prediction for calibration.
+//! - [`catalog`] — the ten Table-1 workloads, calibrated so their
+//!   measured sensitivity curves match the slowdowns the paper reports
+//!   (Fig. 1a, Fig. 5, §2.3).
+//! - [`synthetic`] — the 20-workload generator for the 1,944-server
+//!   simulation.
+//! - [`runtime`] — [`runtime::JobRuntime`], a per-job state machine
+//!   driving the simulator, and [`runtime::run_jobs`], the multi-job
+//!   event loop used by the profiler and the cluster harness.
+//! - [`noise`] — deterministic lognormal measurement noise.
+//! - [`trace`] — CPU-utilization traces (Fig. 2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod noise;
+pub mod pattern;
+pub mod runtime;
+pub mod spec;
+pub mod synthetic;
+pub mod trace;
+
+pub use catalog::{catalog, workload_by_name};
+pub use pattern::ShufflePattern;
+pub use runtime::{run_jobs, ConnEvent, JobRuntime, RunError};
+pub use spec::{JobPlan, ScalingLaw, StageSpec, WorkloadClass, WorkloadSpec};

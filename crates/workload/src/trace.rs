@@ -1,0 +1,117 @@
+//! Resource-utilization traces (Fig. 2).
+//!
+//! Figure 2 plots, for LR and PR, the timeline of normalized CPU and
+//! network utilization under 75 % and 25 % NIC throttles. The network
+//! side comes from the simulator's [`saba_sim::probe::LinkProbe`]; the
+//! CPU side comes from the busy intervals a [`crate::JobRuntime`]
+//! records. This module turns busy intervals into the same bucketized
+//! percentage series.
+
+/// Converts busy intervals into a utilization series with fixed-width
+/// buckets: each bucket holds the fraction of its width covered by any
+/// interval (values in `[0, 1]`, assuming intervals do not overlap).
+///
+/// # Panics
+///
+/// Panics if `bucket_width` is not positive or `horizon` is negative.
+pub fn utilization_series(busy: &[(f64, f64)], bucket_width: f64, horizon: f64) -> Vec<f64> {
+    assert!(
+        bucket_width > 0.0 && bucket_width.is_finite(),
+        "bucket width must be positive"
+    );
+    assert!(horizon >= 0.0, "horizon must be non-negative");
+    let n = (horizon / bucket_width).ceil() as usize;
+    let mut out = vec![0.0; n];
+    for &(t0, t1) in busy {
+        if !(t1 > t0) {
+            continue;
+        }
+        let mut t = t0.max(0.0);
+        let end = t1.min(horizon);
+        while t < end {
+            let idx = (t / bucket_width) as usize;
+            if idx >= n {
+                break;
+            }
+            let bucket_end = (idx as f64 + 1.0) * bucket_width;
+            let seg_end = bucket_end.min(end);
+            out[idx] += (seg_end - t) / bucket_width;
+            t = seg_end;
+        }
+    }
+    for v in &mut out {
+        *v = v.min(1.0);
+    }
+    out
+}
+
+/// A row of a Fig.-2-style trace: time, CPU %, network %.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TracePoint {
+    /// Bucket start time (seconds).
+    pub time: f64,
+    /// CPU utilization in percent.
+    pub cpu_pct: f64,
+    /// Network utilization in percent of NIC capacity.
+    pub net_pct: f64,
+}
+
+/// Zips CPU and network utilization series into trace points.
+///
+/// The shorter series is padded with zeros.
+pub fn zip_trace(cpu: &[f64], net: &[f64], bucket_width: f64) -> Vec<TracePoint> {
+    let n = cpu.len().max(net.len());
+    (0..n)
+        .map(|i| TracePoint {
+            time: i as f64 * bucket_width,
+            cpu_pct: cpu.get(i).copied().unwrap_or(0.0) * 100.0,
+            net_pct: net.get(i).copied().unwrap_or(0.0) * 100.0,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_coverage_is_one() {
+        let u = utilization_series(&[(0.0, 4.0)], 1.0, 4.0);
+        assert_eq!(u.len(), 4);
+        for v in u {
+            assert!((v - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn partial_coverage_is_fractional() {
+        let u = utilization_series(&[(0.5, 1.0)], 1.0, 2.0);
+        assert!((u[0] - 0.5).abs() < 1e-9);
+        assert!(u[1].abs() < 1e-9);
+    }
+
+    #[test]
+    fn intervals_beyond_horizon_are_clipped() {
+        let u = utilization_series(&[(1.0, 100.0)], 1.0, 3.0);
+        assert_eq!(u.len(), 3);
+        assert!(u[0].abs() < 1e-9);
+        assert!((u[1] - 1.0).abs() < 1e-9);
+        assert!((u[2] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_intervals_ignored() {
+        let u = utilization_series(&[(2.0, 2.0), (3.0, 1.0)], 1.0, 4.0);
+        assert!(u.iter().all(|v| v.abs() < 1e-9));
+    }
+
+    #[test]
+    fn zip_pads_shorter_series() {
+        let pts = zip_trace(&[1.0, 0.5], &[0.25], 2.0);
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].cpu_pct, 100.0);
+        assert_eq!(pts[0].net_pct, 25.0);
+        assert_eq!(pts[1].net_pct, 0.0);
+        assert_eq!(pts[1].time, 2.0);
+    }
+}

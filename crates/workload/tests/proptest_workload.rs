@@ -1,0 +1,115 @@
+//! Property-based tests for workload models.
+
+use proptest::prelude::*;
+use saba_workload::pattern::ShufflePattern;
+use saba_workload::spec::{ScalingLaw, StageSpec, WorkloadClass, WorkloadSpec};
+use saba_workload::{catalog, workload_by_name};
+
+fn arb_pattern() -> impl Strategy<Value = ShufflePattern> {
+    prop_oneof![
+        (1usize..8).prop_map(|fanout| ShufflePattern::AllToAll { fanout }),
+        Just(ShufflePattern::Ring),
+        Just(ShufflePattern::Gather),
+        Just(ShufflePattern::Broadcast),
+    ]
+}
+
+proptest! {
+    /// Patterns conserve bytes and never emit self-transfers.
+    #[test]
+    fn patterns_conserve_bytes(
+        pattern in arb_pattern(),
+        n in 2usize..40,
+        total in 1.0f64..1e12,
+    ) {
+        let transfers = pattern.transfers(n, total);
+        prop_assert!(!transfers.is_empty());
+        let sum: f64 = transfers.iter().map(|t| t.2).sum();
+        prop_assert!((sum - total).abs() < 1e-6 * total);
+        for &(s, d, b) in &transfers {
+            prop_assert!(s < n && d < n && s != d);
+            prop_assert!(b > 0.0);
+        }
+    }
+
+    /// `max_egress_bytes` equals the actual per-sender maximum.
+    #[test]
+    fn max_egress_is_tight(pattern in arb_pattern(), n in 2usize..30) {
+        let total = 9_000.0;
+        let mut egress = vec![0.0f64; n];
+        for (s, _, b) in pattern.transfers(n, total) {
+            egress[s] += b;
+        }
+        let actual = egress.iter().cloned().fold(0.0, f64::max);
+        prop_assert!((actual - pattern.max_egress_bytes(n, total)).abs() < 1e-9);
+    }
+
+    /// More bandwidth never slows a plan down; the unthrottled time is
+    /// bounded below by the compute total.
+    #[test]
+    fn analytic_completion_monotone_in_bandwidth(
+        wl_idx in 0usize..10,
+        scale in 0.1f64..10.0,
+        nodes in 2usize..32,
+    ) {
+        let spec = &catalog()[wl_idx];
+        let plan = spec.plan(scale, nodes);
+        let full = saba_sim::LINK_56G_BPS;
+        let mut prev = f64::INFINITY;
+        for pct in [5, 10, 25, 50, 75, 100] {
+            let t = plan.analytic_completion(full * pct as f64 / 100.0);
+            prop_assert!(t <= prev * (1.0 + 1e-12), "slower at more bandwidth");
+            prev = t;
+        }
+        prop_assert!(prev >= plan.total_compute_secs() - 1e-9);
+    }
+
+    /// Dataset scaling: strictly more data never makes a job faster.
+    #[test]
+    fn bigger_datasets_take_longer(wl_idx in 0usize..10, scale in 1.0f64..10.0) {
+        let spec = &catalog()[wl_idx];
+        let small = spec.plan(1.0, spec.profile_nodes);
+        let big = spec.plan(scale, spec.profile_nodes);
+        let full = saba_sim::LINK_56G_BPS;
+        prop_assert!(big.analytic_completion(full) >= small.analytic_completion(full) - 1e-9);
+    }
+
+    /// Straggler overhead only engages above the profiled node count.
+    #[test]
+    fn straggler_term_is_one_sided(nodes in 1usize..8) {
+        let spec = WorkloadSpec {
+            name: "strag".into(),
+            class: WorkloadClass::Synthetic,
+            dataset_desc: "x".into(),
+            stages: vec![StageSpec {
+                compute_secs: 10.0,
+                comm_bytes: 0.0,
+                pattern: ShufflePattern::Ring,
+                overlap: 0.0,
+                floor_scale: 1.0,
+            }],
+            scaling: ScalingLaw { straggler_log: 0.5, ..ScalingLaw::ideal() },
+            profile_nodes: 8,
+            pipeline_floor: 0.0,
+        };
+        // At or below the profiled count, compute follows ideal scaling
+        // exactly (no straggler discount for shrinking).
+        let plan = spec.plan(1.0, nodes);
+        let expected = 10.0 * 8.0 / nodes as f64;
+        prop_assert!((plan.stages[0].compute_secs - expected).abs() < 1e-9);
+        // Above it, the straggler term inflates compute.
+        let plan32 = spec.plan(1.0, 32);
+        prop_assert!(plan32.stages[0].compute_secs > 10.0 * 8.0 / 32.0);
+    }
+}
+
+#[test]
+fn catalog_profiles_are_calibration_stable() {
+    // Lock the headline calibration so refactors cannot silently drift:
+    // LR's analytic slowdown at 25 % stays within ±0.15 of the paper's
+    // 3.4 and Sort stays the least sensitive.
+    let lr = workload_by_name("LR").unwrap().profile_plan();
+    let full = saba_sim::LINK_56G_BPS;
+    let d25 = lr.analytic_completion(0.25 * full) / lr.analytic_completion(full);
+    assert!((d25 - 3.4).abs() < 0.15, "LR D(0.25) drifted to {d25}");
+}

@@ -1,0 +1,81 @@
+//! End-to-end check that the simulator reproduces the analytic stage
+//! model: running a catalog workload alone on a throttled single-switch
+//! cluster must yield the completion time the calibration math predicts
+//! (§2 anchors), and property tests over random throttles.
+
+use proptest::prelude::*;
+use saba_sim::engine::{FairShareFabric, Simulation};
+use saba_sim::ids::{AppId, ServiceLevel};
+use saba_sim::topology::Topology;
+use saba_sim::LINK_56G_BPS;
+use saba_workload::{catalog, run_jobs, workload_by_name, JobRuntime};
+
+/// Runs `name` alone on an 8-server single-switch cluster with NICs
+/// throttled to `bw`, returning the measured completion time.
+fn run_isolated(name: &str, bw: f64) -> f64 {
+    let spec = workload_by_name(name).unwrap();
+    let mut topo = Topology::single_switch(spec.profile_nodes, LINK_56G_BPS);
+    topo.throttle_all_nics(bw);
+    let mut sim = Simulation::new(topo, FairShareFabric::default());
+    let nodes = sim.topo().servers().to_vec();
+    let mut jobs = vec![JobRuntime::new(
+        AppId(0),
+        ServiceLevel(0),
+        nodes,
+        spec.profile_plan(),
+        0,
+    )];
+    run_jobs(&mut sim, &mut jobs, |_, _| {}).unwrap()[0]
+}
+
+#[test]
+fn all_catalog_workloads_match_analytic_at_key_throttles() {
+    for w in catalog() {
+        for bw in [0.25, 0.75, 1.0] {
+            let sim_t = run_isolated(&w.name, bw);
+            let analytic = w.profile_plan().analytic_completion(bw * LINK_56G_BPS);
+            let rel = (sim_t - analytic).abs() / analytic;
+            assert!(
+                rel < 0.02,
+                "{} @ {bw}: sim {sim_t} vs analytic {analytic}",
+                w.name
+            );
+        }
+    }
+}
+
+#[test]
+fn lr_sim_reproduces_section_2_3_timings() {
+    let t75 = run_isolated("LR", 0.75);
+    let t25 = run_isolated("LR", 0.25);
+    assert!((t75 - 172.0).abs() < 12.0, "t75 = {t75}");
+    assert!((t25 - 447.0).abs() < 20.0, "t25 = {t25}");
+}
+
+#[test]
+fn pr_sim_reproduces_section_2_3_timings() {
+    let t75 = run_isolated("PR", 0.75);
+    let t25 = run_isolated("PR", 0.25);
+    assert!((t25 / t75 - 1.37).abs() < 0.12, "ratio {}", t25 / t75);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Throttling never speeds a workload up, and the simulated time
+    /// tracks the analytic model within 3 % at any throttle.
+    #[test]
+    fn sim_matches_analytic_at_random_throttle(
+        bw_pct in 5u32..=100,
+        wl_idx in 0usize..10,
+    ) {
+        let bw = bw_pct as f64 / 100.0;
+        let w = &catalog()[wl_idx];
+        let sim_t = run_isolated(&w.name, bw);
+        let analytic = w.profile_plan().analytic_completion(bw * LINK_56G_BPS);
+        let full = w.profile_plan().analytic_completion(LINK_56G_BPS);
+        prop_assert!(sim_t >= full * 0.99, "faster than unthrottled");
+        let rel = (sim_t - analytic).abs() / analytic;
+        prop_assert!(rel < 0.03, "{} @ {bw}: sim {sim_t} vs analytic {analytic}", w.name);
+    }
+}

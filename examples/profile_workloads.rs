@@ -1,0 +1,50 @@
+//! The offline profiler in action (paper §4): profile the whole
+//! Table-1 catalog, print the sensitivity table, and save it as JSON —
+//! the artifact the controller (and the distributed controller's
+//! database) consumes.
+//!
+//! ```sh
+//! cargo run --release --example profile_workloads
+//! ```
+
+use saba::core::profiler::{Profiler, ProfilerConfig};
+use saba::workload::catalog;
+
+fn main() {
+    let profiler = Profiler::new(ProfilerConfig::default());
+    println!(
+        "profiling {} workloads at NIC throttles {:?} ...\n",
+        catalog().len(),
+        profiler.config().bw_points
+    );
+
+    let table = profiler
+        .profile_all(&catalog())
+        .expect("profiling succeeds");
+    println!(
+        "{:<6} {:>6} {:>28} {:>44}",
+        "name", "R²", "slowdown @ 75/50/25/10 %", "coefficients (c0..c3)"
+    );
+    for m in table.iter() {
+        let d: Vec<String> = [0.75, 0.5, 0.25, 0.1]
+            .iter()
+            .map(|&b| format!("{:.2}", m.predict(b)))
+            .collect();
+        let coeffs: Vec<String> = m
+            .coefficients()
+            .iter()
+            .map(|c| format!("{c:+.2}"))
+            .collect();
+        println!(
+            "{:<6} {:>6.3} {:>28} {:>44}",
+            m.workload,
+            m.r_squared,
+            d.join(" / "),
+            coeffs.join(" ")
+        );
+    }
+
+    let path = std::env::temp_dir().join("saba_sensitivity_table.json");
+    std::fs::write(&path, table.to_json()).expect("table written");
+    println!("\nsensitivity table saved to {}", path.display());
+}

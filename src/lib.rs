@@ -1,0 +1,27 @@
+//! # Saba — application-aware datacenter bandwidth allocation
+//!
+//! A full reproduction of *"Saba: Rethinking Datacenter Network
+//! Allocation from Application's Perspective"* (EuroSys 2023) in Rust:
+//! the offline profiler, controller, and Saba library, the fluid network
+//! simulator they are evaluated on, workload models, and the comparator
+//! policies (InfiniBand FECN baseline, ideal max-min fairness, Homa,
+//! Sincronia).
+//!
+//! This facade crate re-exports the workspace crates under stable paths:
+//!
+//! - [`math`] — regression, clustering, constrained optimization, stats.
+//! - [`sim`] — the fluid flow-level network simulator.
+//! - [`workload`] — stage-graph workload models and the workload catalog.
+//! - [`core`] — the Saba system proper: profiler, controller, library.
+//! - [`baselines`] — comparator allocation policies.
+//! - [`cluster`] — the cluster-scale experiment harness.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured results of every figure and table.
+
+pub use saba_baselines as baselines;
+pub use saba_cluster as cluster;
+pub use saba_core as core;
+pub use saba_math as math;
+pub use saba_sim as sim;
+pub use saba_workload as workload;

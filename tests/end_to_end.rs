@@ -1,0 +1,265 @@
+//! Cross-crate integration tests: the full profile → fit → register →
+//! allocate → enforce → run pipeline, and paper-shape assertions.
+
+use saba::baselines::FecnConfig;
+use saba::cluster::corun::{execute, run_setup, CorunConfig, PlannedJob};
+use saba::cluster::metrics::per_workload_speedups;
+use saba::cluster::setup::{generate_setup, ClusterSetup, JobSpec, SetupConfig};
+use saba::cluster::Policy;
+use saba::core::controller::ControllerConfig;
+use saba::core::profiler::{Profiler, ProfilerConfig};
+use saba::core::sensitivity::SensitivityTable;
+use saba::sim::topology::Topology;
+use saba::sim::LINK_56G_BPS;
+use saba::workload::{catalog, workload_by_name};
+
+fn quick_profiler() -> Profiler {
+    Profiler::new(ProfilerConfig {
+        noise_sigma: 0.0,
+        bw_points: vec![0.1, 0.25, 0.5, 0.75, 1.0],
+        degree: 3,
+        ..Default::default()
+    })
+}
+
+fn quick_table() -> SensitivityTable {
+    quick_profiler()
+        .profile_all(&catalog())
+        .expect("profiling succeeds")
+}
+
+/// Paper §2.1: the profiler's measured sensitivity matches Fig. 1a.
+#[test]
+fn profiling_reproduces_fig1a_anchors() {
+    let table = quick_table();
+    let lr = table.get("LR").unwrap();
+    let sort = table.get("Sort").unwrap();
+    assert!(
+        (lr.predict(0.25) - 3.4).abs() < 0.3,
+        "LR D(0.25) = {}",
+        lr.predict(0.25)
+    );
+    assert!(
+        sort.predict(0.25) < 1.35,
+        "Sort D(0.25) = {}",
+        sort.predict(0.25)
+    );
+    // Sensitivity ordering: every ML workload above every micro workload.
+    for ml in ["LR", "RF", "SVM"] {
+        for micro in ["WC", "Sort"] {
+            assert!(
+                table.get(ml).unwrap().predict(0.25) > table.get(micro).unwrap().predict(0.25),
+                "{ml} must be more sensitive than {micro}"
+            );
+        }
+    }
+}
+
+/// The full Fig. 1b experiment: Saba's controller-derived weights beat
+/// per-flow max-min for the LR+PR pair.
+#[test]
+fn saba_beats_baseline_on_the_motivation_pair() {
+    let table = quick_table();
+    let topo = Topology::single_switch(8, LINK_56G_BPS);
+    let nodes = topo.servers().to_vec();
+    let jobs = || {
+        ["LR", "PR"]
+            .iter()
+            .map(|name| {
+                let spec = workload_by_name(name).unwrap();
+                PlannedJob {
+                    workload: (*name).to_string(),
+                    dataset_scale: 1.0,
+                    plan: spec.profile_plan(),
+                    nodes: nodes.clone(),
+                }
+            })
+            .collect::<Vec<_>>()
+    };
+    let base = execute(topo.clone(), jobs(), &Policy::baseline(), &table).unwrap();
+    let saba = execute(topo, jobs(), &Policy::saba(), &table).unwrap();
+    let lr_speedup = base[0].completion / saba[0].completion;
+    let pr_speedup = base[1].completion / saba[1].completion;
+    assert!(lr_speedup > 1.2, "LR speedup {lr_speedup}");
+    assert!(pr_speedup > 0.8, "PR must not collapse: {pr_speedup}");
+    // Average application performance improves (the paper's core claim).
+    let avg = (lr_speedup * pr_speedup).sqrt();
+    assert!(avg > 1.05, "average speedup {avg}");
+}
+
+/// §8.2-style randomized setups: Saba's average speedup exceeds 1 and
+/// sensitive workloads gain more than insensitive ones.
+#[test]
+fn randomized_setup_shape_matches_fig8() {
+    use rand::SeedableRng;
+    let table = quick_table();
+    let cat = catalog();
+    let cfg = CorunConfig::default();
+    let setup_cfg = SetupConfig {
+        servers: 16,
+        jobs: 8,
+        node_choices: vec![4, 8, 16],
+        ..Default::default()
+    };
+    let mut lr_like = Vec::new();
+    let mut sort_like = Vec::new();
+    let mut all = Vec::new();
+    for seed in 0..5u64 {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let setup = generate_setup(&cat, &setup_cfg, &mut rng);
+        let base = run_setup(&setup, 16, &Policy::baseline(), &table, &cat, &cfg).unwrap();
+        let saba = run_setup(&setup, 16, &Policy::saba(), &table, &cat, &cfg).unwrap();
+        let report = per_workload_speedups(&base, &saba);
+        for (job, s) in setup.jobs.iter().zip(&report.per_job) {
+            all.push(*s);
+            match job.workload.as_str() {
+                "LR" | "RF" | "SVM" => lr_like.push(*s),
+                "Sort" | "WC" => sort_like.push(*s),
+                _ => {}
+            }
+        }
+    }
+    let avg = saba::math::stats::geometric_mean(&all).unwrap();
+    assert!(avg > 1.2, "overall average speedup {avg}");
+    if !lr_like.is_empty() && !sort_like.is_empty() {
+        let sensitive = saba::math::stats::geometric_mean(&lr_like).unwrap();
+        let insensitive = saba::math::stats::geometric_mean(&sort_like).unwrap();
+        assert!(
+            sensitive > insensitive,
+            "sensitive {sensitive} vs insensitive {insensitive}"
+        );
+    }
+}
+
+/// §8.4 study 7 shape: the distributed controller comes close to the
+/// centralized one.
+#[test]
+fn distributed_controller_close_to_centralized() {
+    use rand::SeedableRng;
+    let table = quick_table();
+    let cat = catalog();
+    let cfg = CorunConfig {
+        compute_jitter: 0.0,
+        ..Default::default()
+    };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let setup_cfg = SetupConfig {
+        servers: 12,
+        jobs: 6,
+        node_choices: vec![4, 8, 12],
+        ..Default::default()
+    };
+    let setup = generate_setup(&cat, &setup_cfg, &mut rng);
+    let base = run_setup(&setup, 12, &Policy::baseline(), &table, &cat, &cfg).unwrap();
+    let central = run_setup(&setup, 12, &Policy::saba(), &table, &cat, &cfg).unwrap();
+    let dist = run_setup(
+        &setup,
+        12,
+        &Policy::SabaDistributed(ControllerConfig::default(), 4),
+        &table,
+        &cat,
+        &cfg,
+    )
+    .unwrap();
+    let s_central = per_workload_speedups(&base, &central).average;
+    let s_dist = per_workload_speedups(&base, &dist).average;
+    assert!(
+        s_dist > 1.0,
+        "distributed still beats the baseline: {s_dist}"
+    );
+    assert!(
+        s_dist > s_central * 0.75,
+        "distributed ({s_dist}) within reach of centralized ({s_central})"
+    );
+}
+
+/// §8.4 study 8 shape: more queues help, and 8 queues get most of the
+/// benefit of 16.
+#[test]
+fn queue_count_study_shape() {
+    let table = quick_table();
+    let topo = Topology::single_switch(8, LINK_56G_BPS);
+    let nodes = topo.servers().to_vec();
+    let jobs = || {
+        catalog()
+            .iter()
+            .take(6)
+            .map(|w| PlannedJob {
+                workload: w.name.clone(),
+                dataset_scale: 1.0,
+                plan: w.profile_plan(),
+                nodes: nodes.clone(),
+            })
+            .collect::<Vec<_>>()
+    };
+    let base = execute(topo.clone(), jobs(), &Policy::baseline(), &table).unwrap();
+    let avg_with_queues = |q: usize| {
+        let policy = Policy::Saba(ControllerConfig {
+            queues_per_port: q,
+            ..Default::default()
+        });
+        let res = execute(topo.clone(), jobs(), &policy, &table).unwrap();
+        per_workload_speedups(&base, &res).average
+    };
+    let q2 = avg_with_queues(2);
+    let q8 = avg_with_queues(8);
+    assert!(q2 > 1.0, "even 2 queues beat the baseline: {q2}");
+    assert!(q8 >= q2 * 0.97, "8 queues at least match 2: {q2} -> {q8}");
+}
+
+/// The non-compliant reservation (§3): with C_saba < 1 the reserved
+/// queue keeps its share programmed on every port.
+#[test]
+fn c_saba_reservation_is_enforced() {
+    let table = quick_table();
+    let topo = Topology::single_switch(4, LINK_56G_BPS);
+    let nodes = topo.servers().to_vec();
+    let jobs = vec![PlannedJob {
+        workload: "LR".into(),
+        dataset_scale: 1.0,
+        plan: workload_by_name("LR").unwrap().plan(1.0, 4),
+        nodes,
+    }];
+    let policy = Policy::Saba(ControllerConfig {
+        c_saba: 0.7,
+        ..Default::default()
+    });
+    // Completes without error; the reserved 30% just caps Saba traffic.
+    let res = execute(topo, jobs, &policy, &table).unwrap();
+    assert!(res[0].completion > 0.0);
+}
+
+/// Failure injection: a workload whose model is missing cannot slip
+/// through registration.
+#[test]
+fn unprofiled_workload_is_rejected_at_registration() {
+    let table = quick_table();
+    let cat = catalog();
+    let setup = ClusterSetup {
+        jobs: vec![JobSpec {
+            workload: "GhostJob".into(),
+            dataset_scale: 1.0,
+            servers: vec![0, 1],
+        }],
+    };
+    let err = run_setup(
+        &setup,
+        4,
+        &Policy::saba(),
+        &table,
+        &cat,
+        &CorunConfig::default(),
+    );
+    assert!(err.is_err());
+}
+
+/// The baseline's congestion model: heavier contention means lower
+/// efficiency, bounded by the configured floor.
+#[test]
+fn fecn_efficiency_profile() {
+    let cfg = FecnConfig::default();
+    assert_eq!(cfg.efficiency(1), 1.0);
+    assert!(cfg.efficiency(8) > cfg.efficiency(16));
+    assert!(cfg.efficiency(16) > cfg.efficiency(64));
+    assert!(cfg.efficiency(100_000) >= cfg.eta_floor);
+}

@@ -1,0 +1,165 @@
+//! Cross-crate integration: the comparator policies on a shared
+//! scenario, checking the relationships the paper's §8.4 relies on.
+
+use saba::baselines::{HomaConfig, HomaFabric, IdealMaxMin, SincroniaFabric};
+use saba::cluster::corun::{execute, PlannedJob};
+use saba::cluster::Policy;
+use saba::core::profiler::{Profiler, ProfilerConfig};
+use saba::core::sensitivity::SensitivityTable;
+use saba::sim::engine::{FlowSpec, Simulation};
+use saba::sim::ids::{AppId, ServiceLevel};
+use saba::sim::topology::Topology;
+use saba::sim::LINK_56G_BPS;
+use saba::workload::{catalog, workload_by_name};
+
+fn table() -> SensitivityTable {
+    Profiler::new(ProfilerConfig {
+        noise_sigma: 0.0,
+        bw_points: vec![0.1, 0.25, 0.5, 0.75, 1.0],
+        degree: 3,
+        ..Default::default()
+    })
+    .profile_all(&catalog())
+    .expect("profiling succeeds")
+}
+
+/// Every policy completes the same job mix, and the baseline is the
+/// slowest in aggregate (it is the only one modeled with congestion
+/// inefficiency).
+#[test]
+fn baseline_is_never_best() {
+    let t = table();
+    let topo = Topology::single_switch(8, LINK_56G_BPS);
+    let nodes = topo.servers().to_vec();
+    let jobs = || {
+        ["LR", "PR", "Sort", "SQL"]
+            .iter()
+            .map(|name| {
+                let spec = workload_by_name(name).unwrap();
+                PlannedJob {
+                    workload: (*name).to_string(),
+                    dataset_scale: 1.0,
+                    plan: spec.profile_plan(),
+                    nodes: nodes.clone(),
+                }
+            })
+            .collect::<Vec<_>>()
+    };
+    let total = |policy: &Policy| -> f64 {
+        execute(topo.clone(), jobs(), policy, &t)
+            .expect("runs")
+            .iter()
+            .map(|r| r.completion)
+            .sum()
+    };
+    let baseline = total(&Policy::baseline());
+    for policy in [
+        Policy::IdealMaxMin,
+        Policy::Homa(HomaConfig::default()),
+        Policy::Sincronia,
+        Policy::saba(),
+    ] {
+        let x = total(&policy);
+        assert!(
+            x < baseline * 1.02,
+            "{} ({x:.1}s) should not lose to the baseline ({baseline:.1}s)",
+            policy.name()
+        );
+    }
+}
+
+/// §8.4 study 5's mechanism: Homa cannot tell a sensitive bulk workload
+/// from an insensitive one — all >10 KB flows share a class — so its
+/// allocation between two bulk flows matches ideal max-min.
+#[test]
+fn homa_is_application_blind_for_bulk_flows() {
+    let run = |homa: bool| -> Vec<f64> {
+        let topo = Topology::single_switch(3, 1000.0);
+        let s = topo.servers().to_vec();
+        let specs: Vec<FlowSpec> = [s[1], s[2]]
+            .iter()
+            .enumerate()
+            .map(|(i, &dst)| FlowSpec {
+                src: s[0],
+                dst,
+                bytes: 500_000.0,
+                sl: ServiceLevel(i as u8),
+                app: AppId(i as u32),
+                tag: i as u64,
+                rate_cap: f64::INFINITY,
+                min_rate: 0.0,
+            })
+            .collect();
+        if homa {
+            let mut sim = Simulation::new(
+                topo,
+                HomaFabric {
+                    config: HomaConfig {
+                        overcommit_gamma: 0.0,
+                        ..Default::default()
+                    },
+                },
+            );
+            for f in specs {
+                sim.start_flow(f);
+            }
+            sim.run_to_idle().iter().map(|d| d.finished).collect()
+        } else {
+            let mut sim = Simulation::new(topo, IdealMaxMin::default());
+            for f in specs {
+                sim.start_flow(f);
+            }
+            sim.run_to_idle().iter().map(|d| d.finished).collect()
+        }
+    };
+    let homa = run(true);
+    let ideal = run(false);
+    for (h, i) in homa.iter().zip(&ideal) {
+        assert!((h - i).abs() / i < 0.03, "homa {h} vs ideal {i}");
+    }
+}
+
+/// Sincronia improves *average* coflow completion over fair sharing by
+/// serializing, at the cost of the last coflow.
+#[test]
+fn sincronia_trades_tail_for_average() {
+    let run = |sincronia: bool| -> Vec<f64> {
+        let topo = Topology::single_switch(4, 1000.0);
+        let specs: Vec<FlowSpec> = (0..3u32)
+            .map(|i| FlowSpec {
+                src: topo.servers()[0],
+                dst: topo.servers()[1 + i as usize],
+                bytes: 300_000.0,
+                sl: ServiceLevel(0),
+                app: AppId(i),
+                tag: u64::from(i),
+                rate_cap: f64::INFINITY,
+                min_rate: 0.0,
+            })
+            .collect();
+        if sincronia {
+            let mut sim = Simulation::new(topo, SincroniaFabric::new());
+            for s in specs {
+                sim.start_flow(s);
+            }
+            sim.run_to_idle().iter().map(|d| d.finished).collect()
+        } else {
+            let mut sim = Simulation::new(topo, IdealMaxMin::default());
+            for s in specs {
+                sim.start_flow(s);
+            }
+            sim.run_to_idle().iter().map(|d| d.finished).collect()
+        }
+    };
+    let fair = run(false);
+    let sinc = run(true);
+    let avg = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+    let max = |xs: &[f64]| xs.iter().cloned().fold(f64::MIN, f64::max);
+    assert!(
+        avg(&sinc) < avg(&fair),
+        "sincronia avg {} vs fair {}",
+        avg(&sinc),
+        avg(&fair)
+    );
+    assert!(max(&sinc) >= max(&fair) * 0.99, "the last coflow pays");
+}
