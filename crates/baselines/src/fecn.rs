@@ -22,8 +22,8 @@
 //! are calibrated so ideal max-min beats this baseline by ≈1.14× on the
 //! §8.4 workload mix; both knobs live in [`FecnConfig`].
 
-use saba_sim::engine::{ActiveFlow, FabricModel};
-use saba_sim::sharing::{compute_rates, SharingConfig, SharingFlow};
+use saba_sim::engine::{ActiveFlow, ActiveFlowViews, FabricModel};
+use saba_sim::sharing::{compute_rates_into, SharingConfig, SharingScratch};
 use saba_sim::topology::Topology;
 
 /// Calibration of the FECN imperfection model.
@@ -82,26 +82,32 @@ impl FecnConfig {
 pub struct FecnBaseline {
     /// Imperfection calibration.
     pub config: FecnConfig,
+    scratch: SharingScratch,
+    caps: Vec<f64>,
+    link_flows: Vec<usize>,
+    trunk_flows: Vec<usize>,
 }
 
 impl FecnBaseline {
     /// Creates a baseline with the given calibration.
     pub fn new(config: FecnConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            ..Self::default()
+        }
     }
 }
 
 impl FabricModel for FecnBaseline {
-    fn allocate(&mut self, topo: &Topology, flows: &[ActiveFlow]) -> Vec<f64> {
-        let caps = topo.capacities();
-        let sharing_flows: Vec<SharingFlow> = flows
-            .iter()
-            .map(|f| SharingFlow {
-                rate_cap: f.spec.rate_cap,
-                ..SharingFlow::best_effort(f.path.clone())
-            })
-            .collect();
-        let mut rates = compute_rates(&caps, &sharing_flows, &self.config.sharing);
+    fn allocate(&mut self, topo: &Topology, flows: &[ActiveFlow], rates: &mut Vec<f64>) {
+        topo.capacities_into(&mut self.caps);
+        compute_rates_into(
+            &self.caps,
+            &ActiveFlowViews::uniform(flows),
+            &self.config.sharing,
+            &mut self.scratch,
+            rates,
+        );
 
         // Contention at the flow's *edge* links (source NIC egress and
         // destination downlink). InfiniBand's congestion spreading is an
@@ -110,7 +116,9 @@ impl FabricModel for FecnBaseline {
         // penalty on edge fan-in reproduces both the testbed regime
         // (dozens of flows per NIC) and the datacenter regime (few flows
         // per NIC, §8.4's milder 1.14x ideal-vs-baseline gap).
-        let mut link_flows = vec![0usize; caps.len()];
+        let link_flows = &mut self.link_flows;
+        link_flows.clear();
+        link_flows.resize(self.caps.len(), 0);
         for f in flows {
             if let (Some(&first), Some(&last)) = (f.path.first(), f.path.last()) {
                 link_flows[first.0 as usize] += 1;
@@ -120,7 +128,9 @@ impl FabricModel for FecnBaseline {
             }
         }
         // Trunk contention: the busiest non-edge link on the path.
-        let mut trunk_flows = vec![0usize; caps.len()];
+        let trunk_flows = &mut self.trunk_flows;
+        trunk_flows.clear();
+        trunk_flows.resize(self.caps.len(), 0);
         for f in flows {
             if f.path.len() > 2 {
                 for &l in &f.path[1..f.path.len() - 1] {
@@ -146,7 +156,6 @@ impl FabricModel for FecnBaseline {
             };
             *r *= self.config.efficiency(n_edge) * self.config.trunk_efficiency(n_trunk);
         }
-        rates
     }
 }
 

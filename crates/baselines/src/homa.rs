@@ -19,9 +19,9 @@
 //!   slightly *below* ideal max-min on bulk workloads (1.12× vs 1.14×
 //!   in Fig. 10).
 
-use saba_sim::engine::{ActiveFlow, FabricModel};
+use saba_sim::engine::{ActiveFlow, ActiveFlowViews, FabricModel};
 use saba_sim::ids::NodeId;
-use saba_sim::sharing::{compute_rates, SharingConfig, SharingFlow};
+use saba_sim::sharing::{compute_rates_into, SharingConfig, SharingScratch};
 use saba_sim::topology::Topology;
 use std::collections::HashMap;
 
@@ -69,24 +69,42 @@ impl HomaConfig {
 pub struct HomaFabric {
     /// Model configuration.
     pub config: HomaConfig,
+    scratch: SharingScratch,
+    caps: Vec<f64>,
+    priorities: Vec<u8>,
+    senders_at: HashMap<NodeId, usize>,
+}
+
+impl HomaFabric {
+    /// Creates a fabric with the given configuration.
+    pub fn new(config: HomaConfig) -> Self {
+        Self {
+            config,
+            ..Self::default()
+        }
+    }
 }
 
 impl FabricModel for HomaFabric {
-    fn allocate(&mut self, topo: &Topology, flows: &[ActiveFlow]) -> Vec<f64> {
-        let sharing_flows: Vec<SharingFlow> = flows
-            .iter()
-            .map(|f| SharingFlow {
-                path: f.path.clone(),
-                weights: vec![1.0; f.path.len()],
-                priority: self.config.class_of(f.remaining),
-                rate_cap: f.spec.rate_cap,
-            })
-            .collect();
-        let mut rates = compute_rates(&topo.capacities(), &sharing_flows, &self.config.sharing);
+    fn allocate(&mut self, topo: &Topology, flows: &[ActiveFlow], rates: &mut Vec<f64>) {
+        topo.capacities_into(&mut self.caps);
+        // SRPT-style classes depend on remaining bytes, so they are
+        // recomputed (into a reused buffer) every epoch.
+        self.priorities.clear();
+        self.priorities
+            .extend(flows.iter().map(|f| self.config.class_of(f.remaining)));
+        compute_rates_into(
+            &self.caps,
+            &ActiveFlowViews::with_priorities(flows, &self.priorities),
+            &self.config.sharing,
+            &mut self.scratch,
+            rates,
+        );
 
         // Overcommitment waste at receivers with many concurrent senders.
         if self.config.overcommit_gamma > 0.0 {
-            let mut senders_at: HashMap<NodeId, usize> = HashMap::new();
+            let senders_at = &mut self.senders_at;
+            senders_at.clear();
             for f in flows {
                 if !f.path.is_empty() {
                     *senders_at.entry(f.spec.dst).or_insert(0) += 1;
@@ -102,7 +120,6 @@ impl FabricModel for HomaFabric {
                 }
             }
         }
-        rates
     }
 }
 
@@ -155,12 +172,10 @@ mod tests {
         let topo = Topology::single_switch(3, 100.0);
         let mut sim = Simulation::new(
             topo,
-            HomaFabric {
-                config: HomaConfig {
-                    overcommit_gamma: 0.0,
-                    ..Default::default()
-                },
-            },
+            HomaFabric::new(HomaConfig {
+                overcommit_gamma: 0.0,
+                ..Default::default()
+            }),
         );
         let s = sim.topo().servers().to_vec();
         sim.start_flow(spec(s[0], s[1], 100_000.0, 1));
@@ -180,12 +195,10 @@ mod tests {
             let topo = Topology::single_switch(5, 100.0);
             let mut sim = Simulation::new(
                 topo,
-                HomaFabric {
-                    config: HomaConfig {
-                        overcommit_gamma: gamma,
-                        ..Default::default()
-                    },
-                },
+                HomaFabric::new(HomaConfig {
+                    overcommit_gamma: gamma,
+                    ..Default::default()
+                }),
             );
             let s = sim.topo().servers().to_vec();
             // 4-to-1 incast.

@@ -7,8 +7,8 @@
 //! per-flow queues with equal packet sizes *is* equal-weight
 //! progressive filling, so this policy is exact.
 
-use saba_sim::engine::{ActiveFlow, FabricModel};
-use saba_sim::sharing::{compute_rates, SharingConfig, SharingFlow};
+use saba_sim::engine::{ActiveFlow, ActiveFlowViews, FabricModel};
+use saba_sim::sharing::{compute_rates_into, SharingConfig, SharingScratch};
 use saba_sim::topology::Topology;
 
 /// The idealized max-min fairness comparator.
@@ -16,18 +16,20 @@ use saba_sim::topology::Topology;
 pub struct IdealMaxMin {
     /// Fluid-sharing tuning knobs.
     pub sharing: SharingConfig,
+    scratch: SharingScratch,
+    caps: Vec<f64>,
 }
 
 impl FabricModel for IdealMaxMin {
-    fn allocate(&mut self, topo: &Topology, flows: &[ActiveFlow]) -> Vec<f64> {
-        let sharing_flows: Vec<SharingFlow> = flows
-            .iter()
-            .map(|f| SharingFlow {
-                rate_cap: f.spec.rate_cap,
-                ..SharingFlow::best_effort(f.path.clone())
-            })
-            .collect();
-        compute_rates(&topo.capacities(), &sharing_flows, &self.sharing)
+    fn allocate(&mut self, topo: &Topology, flows: &[ActiveFlow], rates: &mut Vec<f64>) {
+        topo.capacities_into(&mut self.caps);
+        compute_rates_into(
+            &self.caps,
+            &ActiveFlowViews::uniform(flows),
+            &self.sharing,
+            &mut self.scratch,
+            rates,
+        );
     }
 }
 

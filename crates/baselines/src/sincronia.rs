@@ -13,9 +13,9 @@
 //! bulk-synchronous stage at a time, so an application's concurrently
 //! active flows form exactly one coflow.
 
-use saba_sim::engine::{ActiveFlow, FabricModel};
+use saba_sim::engine::{ActiveFlow, ActiveFlowViews, FabricModel};
 use saba_sim::ids::AppId;
-use saba_sim::sharing::{compute_rates, SharingConfig, SharingFlow};
+use saba_sim::sharing::{compute_rates_into, SharingConfig, SharingScratch};
 use saba_sim::topology::Topology;
 use std::collections::HashMap;
 
@@ -28,14 +28,17 @@ pub struct SincroniaFabric {
     /// datacenter switches; 0 disables capping). Coflow ranks beyond
     /// this share the lowest class.
     pub priority_classes: u8,
+    scratch: SharingScratch,
+    caps: Vec<f64>,
+    priorities: Vec<u8>,
 }
 
 impl SincroniaFabric {
     /// Creates a Sincronia fabric with 8 priority classes.
     pub fn new() -> Self {
         Self {
-            sharing: SharingConfig::default(),
             priority_classes: 8,
+            ..Self::default()
         }
     }
 
@@ -98,23 +101,24 @@ impl SincroniaFabric {
 }
 
 impl FabricModel for SincroniaFabric {
-    fn allocate(&mut self, topo: &Topology, flows: &[ActiveFlow]) -> Vec<f64> {
+    fn allocate(&mut self, topo: &Topology, flows: &[ActiveFlow], rates: &mut Vec<f64>) {
         let rank = Self::bssi_order(topo, flows);
         let cap = if self.priority_classes == 0 {
             u8::MAX
         } else {
             self.priority_classes - 1
         };
-        let sharing_flows: Vec<SharingFlow> = flows
-            .iter()
-            .map(|f| SharingFlow {
-                path: f.path.clone(),
-                weights: vec![1.0; f.path.len()],
-                priority: (rank[&f.spec.app] as u8).min(cap),
-                rate_cap: f.spec.rate_cap,
-            })
-            .collect();
-        compute_rates(&topo.capacities(), &sharing_flows, &self.sharing)
+        self.priorities.clear();
+        self.priorities
+            .extend(flows.iter().map(|f| (rank[&f.spec.app] as u8).min(cap)));
+        topo.capacities_into(&mut self.caps);
+        compute_rates_into(
+            &self.caps,
+            &ActiveFlowViews::with_priorities(flows, &self.priorities),
+            &self.sharing,
+            &mut self.scratch,
+            rates,
+        );
     }
 }
 

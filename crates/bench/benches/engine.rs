@@ -1,14 +1,20 @@
 //! Criterion benchmark of the discrete-event engine end to end: a
 //! complete multi-job co-run on the testbed topology under the baseline
-//! and under Saba.
+//! and under Saba, plus the per-epoch `FabricModel::allocate` path in
+//! isolation (the buffer-filling API the engine drives every epoch).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use saba_cluster::corun::{run_setup, CorunConfig};
 use saba_cluster::setup::{generate_setup, SetupConfig};
 use saba_cluster::Policy;
 use saba_core::profiler::{Profiler, ProfilerConfig};
+use saba_sim::engine::{ActiveFlow, FabricModel, FairShareFabric, FlowSpec};
+use saba_sim::ids::{AppId, FlowId, ServiceLevel};
+use saba_sim::routing::Routes;
+use saba_sim::topology::Topology;
+use saba_sim::LINK_56G_BPS;
 use saba_workload::catalog;
 
 fn bench_corun(c: &mut Criterion) {
@@ -42,5 +48,65 @@ fn bench_corun(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_corun);
+/// `n` active flows between random server pairs on a single-switch
+/// topology, with routed (not cloned) paths — the engine's steady-state
+/// allocation input.
+fn make_active_flows(topo: &Topology, n: usize) -> Vec<ActiveFlow> {
+    let routes = Routes::compute(topo);
+    let servers = topo.servers();
+    let mut state = 0x5aba_u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    (0..n)
+        .map(|i| {
+            let src = servers[next() % servers.len()];
+            let dst = loop {
+                let d = servers[next() % servers.len()];
+                if d != src {
+                    break d;
+                }
+            };
+            let spec = FlowSpec {
+                src,
+                dst,
+                bytes: 1e9,
+                sl: ServiceLevel(0),
+                app: AppId(i as u32),
+                tag: i as u64,
+                rate_cap: f64::INFINITY,
+                min_rate: 0.0,
+            };
+            ActiveFlow {
+                id: FlowId(i as u64),
+                path: routes.path(topo, src, dst, spec.tag).expect("reachable"),
+                spec,
+                remaining: 1e9,
+                started: 0.0,
+            }
+        })
+        .collect()
+}
+
+fn bench_allocate_epoch(c: &mut Criterion) {
+    let topo = Topology::single_switch(64, LINK_56G_BPS);
+    let mut group = c.benchmark_group("allocate_epoch");
+    for &n in &[64usize, 512, 4096] {
+        let flows = make_active_flows(&topo, n);
+        let mut model = FairShareFabric::default();
+        let mut rates = Vec::new();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(), |b, ()| {
+            b.iter(|| {
+                model.allocate(&topo, &flows, &mut rates);
+                rates.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_corun, bench_allocate_epoch);
 criterion_main!(benches);

@@ -1,9 +1,21 @@
 //! Criterion benchmarks of the fluid rate allocator — the simulator's
 //! hot path, invoked at every allocation epoch.
+//!
+//! Each scenario is benchmarked twice: through the allocating
+//! convenience wrapper `compute_rates` (fresh buffers every call, the
+//! pre-optimisation behaviour) and through `compute_rates_into` with a
+//! reused [`SharingScratch`] (the steady-state engine path: zero
+//! allocations per epoch, flow bundling on). The all-to-all group is
+//! the acceptance scenario for the bundling optimisation — duplicate
+//! (path, priority, weight, cap) flows collapse into one bundle each.
+//! Measured deltas are recorded in `BENCH_allocation.json` at the repo
+//! root.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use saba_sim::ids::LinkId;
-use saba_sim::sharing::{compute_rates, SharingConfig, SharingFlow};
+use saba_sim::sharing::{
+    compute_rates, compute_rates_into, SharingConfig, SharingFlow, SharingScratch,
+};
 
 /// Deterministic pseudo-random flow set over `links` links.
 fn make_flows(count: usize, links: usize) -> (Vec<f64>, Vec<SharingFlow>) {
@@ -37,19 +49,76 @@ fn make_flows(count: usize, links: usize) -> (Vec<f64>, Vec<SharingFlow>) {
     (caps, flows)
 }
 
-fn bench_compute_rates(c: &mut Criterion) {
-    let mut group = c.benchmark_group("compute_rates");
-    for &(flows, links) in &[(100usize, 64usize), (1_000, 512), (10_000, 4_096)] {
-        let (caps, fs) = make_flows(flows, links);
-        let cfg = SharingConfig::default();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{flows}flows_{links}links")),
-            &(caps, fs),
-            |b, (caps, fs)| b.iter(|| compute_rates(caps, fs, &cfg)),
-        );
+/// All-to-all shuffle: every host sends to every other host, `dup`
+/// identical flows per pair, each a 2-hop path (src uplink, dst
+/// downlink). With `dup > 1` the bundler collapses each pair's flows
+/// into a single bundle.
+fn make_all_to_all(hosts: usize, dup: usize) -> (Vec<f64>, Vec<SharingFlow>) {
+    let caps = vec![56.0e9_f64; 2 * hosts];
+    let mut flows = Vec::with_capacity(hosts * (hosts - 1) * dup);
+    for s in 0..hosts {
+        for d in 0..hosts {
+            if s == d {
+                continue;
+            }
+            for _ in 0..dup {
+                flows.push(SharingFlow {
+                    path: vec![LinkId(s as u32), LinkId((hosts + d) as u32)],
+                    weights: vec![1.0, 1.0],
+                    priority: 0,
+                    rate_cap: f64::INFINITY,
+                });
+            }
+        }
     }
-    group.finish();
+    (caps, flows)
 }
 
-criterion_group!(benches, bench_compute_rates);
+fn bench_pair(c: &mut Criterion, group: &str, id: String, caps: &[f64], flows: &[SharingFlow]) {
+    let cfg = SharingConfig::default();
+    let mut g = c.benchmark_group(group);
+    g.bench_function(BenchmarkId::new("old_api", id.clone()), |b| {
+        b.iter(|| compute_rates(caps, flows, &cfg))
+    });
+    let mut scratch = SharingScratch::default();
+    let mut rates = Vec::new();
+    g.bench_function(BenchmarkId::new("reused_scratch", id), |b| {
+        b.iter(|| {
+            compute_rates_into(caps, flows, &cfg, &mut scratch, &mut rates);
+            rates.len()
+        })
+    });
+    g.finish();
+}
+
+fn bench_random(c: &mut Criterion) {
+    for &(flows, links) in &[(64usize, 64usize), (512, 512), (4096, 4096)] {
+        let (caps, fs) = make_flows(flows, links);
+        bench_pair(
+            c,
+            "alloc_random",
+            format!("{flows}flows_{links}links"),
+            &caps,
+            &fs,
+        );
+    }
+}
+
+fn bench_all_to_all(c: &mut Criterion) {
+    // (hosts, dup): 8x8 = 448 flows, 23x8 = 4048 flows (the ≥2×
+    // acceptance scenario), 32x4 = 3968 flows, 64x1 = 4032 distinct
+    // flows (bundling finds nothing to merge — guards the worst case).
+    for &(hosts, dup) in &[(8usize, 8usize), (23, 8), (32, 4), (64, 1)] {
+        let (caps, fs) = make_all_to_all(hosts, dup);
+        bench_pair(
+            c,
+            "alloc_all_to_all",
+            format!("{}flows_{hosts}hosts_x{dup}", fs.len()),
+            &caps,
+            &fs,
+        );
+    }
+}
+
+criterion_group!(benches, bench_random, bench_all_to_all);
 criterion_main!(benches);

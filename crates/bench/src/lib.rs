@@ -152,8 +152,19 @@ pub fn cached_table(
 mod tests {
     use super::*;
 
+    /// Points `SABA_RESULTS_DIR` at a per-process temp directory so test
+    /// scratch files never land in the repo's `results/` tree.
+    fn use_temp_results() {
+        static INIT: std::sync::Once = std::sync::Once::new();
+        INIT.call_once(|| {
+            let dir = std::env::temp_dir().join(format!("saba-bench-test-{}", std::process::id()));
+            std::env::set_var("SABA_RESULTS_DIR", &dir);
+        });
+    }
+
     #[test]
     fn csv_round_trip() {
+        use_temp_results();
         let p = write_csv(
             "test_out.csv",
             "a,b",
@@ -178,6 +189,7 @@ mod tests {
 
     #[test]
     fn cached_table_builds_once() {
+        use_temp_results();
         let _ = fs::remove_file(results_dir().join("test_cache.json"));
         let mut calls = 0;
         let t1 = cached_table("test_cache.json", || {

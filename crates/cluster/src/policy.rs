@@ -59,9 +59,7 @@ impl Policy {
         match self {
             Policy::Baseline(cfg) => AnyFabric::Fecn(FecnBaseline::new(cfg.clone())),
             Policy::IdealMaxMin => AnyFabric::Ideal(IdealMaxMin::default()),
-            Policy::Homa(cfg) => AnyFabric::Homa(HomaFabric {
-                config: cfg.clone(),
-            }),
+            Policy::Homa(cfg) => AnyFabric::Homa(HomaFabric::new(cfg.clone())),
             Policy::Sincronia => AnyFabric::Sincronia(SincroniaFabric::new()),
             Policy::Saba(_) | Policy::SabaDistributed(..) => {
                 AnyFabric::Saba(SabaFabric::for_topology(topo))
@@ -100,13 +98,13 @@ impl AnyFabric {
 }
 
 impl FabricModel for AnyFabric {
-    fn allocate(&mut self, topo: &Topology, flows: &[ActiveFlow]) -> Vec<f64> {
+    fn allocate(&mut self, topo: &Topology, flows: &[ActiveFlow], rates: &mut Vec<f64>) {
         match self {
-            AnyFabric::Fecn(m) => m.allocate(topo, flows),
-            AnyFabric::Ideal(m) => m.allocate(topo, flows),
-            AnyFabric::Homa(m) => m.allocate(topo, flows),
-            AnyFabric::Sincronia(m) => m.allocate(topo, flows),
-            AnyFabric::Saba(m) => m.allocate(topo, flows),
+            AnyFabric::Fecn(m) => m.allocate(topo, flows, rates),
+            AnyFabric::Ideal(m) => m.allocate(topo, flows, rates),
+            AnyFabric::Homa(m) => m.allocate(topo, flows, rates),
+            AnyFabric::Sincronia(m) => m.allocate(topo, flows, rates),
+            AnyFabric::Saba(m) => m.allocate(topo, flows, rates),
         }
     }
 }

@@ -2,10 +2,11 @@
 //!
 //! The §8.2 experiment runs 500 independent cluster setups twice each;
 //! setups share nothing, so they parallelize trivially across cores
-//! with `crossbeam` scoped threads.
+//! with scoped threads. Each worker collects its `(index, value)` pairs
+//! locally and the results are merged once at join — no per-task
+//! mutexes, no per-item lock traffic.
 
-use crossbeam::thread;
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Runs `f(i)` for every `i` in `0..n` across up to `threads` worker
 /// threads, returning results in index order.
@@ -21,26 +22,42 @@ where
     F: Fn(usize) -> T + Sync,
 {
     assert!(threads >= 1, "need at least one thread");
-    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
+    let workers = threads.min(n.max(1));
+    let next = AtomicUsize::new(0);
 
-    thread::scope(|s| {
-        for _ in 0..threads.min(n.max(1)) {
-            s.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let value = f(i);
-                *results[i].lock() = Some(value);
-            });
-        }
-    })
-    .expect("worker threads must not panic");
+    let mut collected: Vec<Vec<(usize, T)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    // Work-stealing over a shared counter: workers pull the
+                    // next index until the range is drained, accumulating
+                    // results locally.
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            return local;
+                        }
+                        local.push((i, f(i)));
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker threads must not panic"))
+            .collect()
+    });
 
-    results
+    // Merge: move every value into its slot, in index order.
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    for (i, value) in collected.drain(..).flatten() {
+        slots[i] = Some(value);
+    }
+    slots
         .into_iter()
-        .map(|m| m.into_inner().expect("every index was processed"))
+        .map(|v| v.expect("every index was processed"))
         .collect()
 }
 
@@ -99,5 +116,27 @@ mod tests {
             })
             .collect();
         assert_eq!(out, serial);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let caught = std::panic::catch_unwind(|| {
+            parallel_map(8, 4, |i| {
+                if i == 3 {
+                    panic!("boom");
+                }
+                i
+            })
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn non_clone_values_are_returned() {
+        // T only needs Send: values are moved, never cloned or locked.
+        let out = parallel_map(10, 4, |i| Box::new(i));
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(**v, i);
+        }
     }
 }

@@ -12,7 +12,9 @@
 
 use saba_sim::engine::{ActiveFlow, FabricModel};
 use saba_sim::ids::{LinkId, ServiceLevel};
-use saba_sim::sharing::{compute_rates, SharingConfig, SharingFlow};
+use saba_sim::sharing::{
+    compute_rates_into, FlowSource, FlowView, FlowWeights, SharingConfig, SharingScratch,
+};
 use saba_sim::topology::Topology;
 use serde::{Deserialize, Serialize};
 
@@ -84,6 +86,11 @@ pub struct SabaFabric {
     ports: Vec<PortQueueConfig>,
     /// Fluid-sharing tuning knobs.
     pub sharing: SharingConfig,
+    scratch: SharingScratch,
+    caps: Vec<f64>,
+    counts: Vec<[u32; ServiceLevel::COUNT]>,
+    flat_weights: Vec<f64>,
+    offsets: Vec<u32>,
 }
 
 impl SabaFabric {
@@ -92,6 +99,11 @@ impl SabaFabric {
         Self {
             ports: vec![PortQueueConfig::default(); num_links],
             sharing: SharingConfig::default(),
+            scratch: SharingScratch::default(),
+            caps: Vec::new(),
+            counts: Vec::new(),
+            flat_weights: Vec::new(),
+            offsets: Vec::new(),
         }
     }
 
@@ -131,38 +143,69 @@ impl SabaFabric {
     }
 }
 
+/// Zero-copy [`FlowSource`] over active flows with flattened WFQ
+/// weights: per-flow per-hop weights live in one flat buffer sliced by
+/// `offsets` (length `flows.len() + 1`).
+struct SabaFlowViews<'a> {
+    flows: &'a [ActiveFlow],
+    flat_weights: &'a [f64],
+    offsets: &'a [u32],
+}
+
+impl FlowSource for SabaFlowViews<'_> {
+    fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    fn flow_view(&self, i: usize) -> FlowView<'_> {
+        let f = &self.flows[i];
+        let span = self.offsets[i] as usize..self.offsets[i + 1] as usize;
+        FlowView {
+            path: &f.path,
+            weights: FlowWeights::PerLink(&self.flat_weights[span]),
+            priority: 0,
+            rate_cap: f.spec.rate_cap,
+        }
+    }
+}
+
 impl FabricModel for SabaFabric {
-    fn allocate(&mut self, topo: &Topology, flows: &[ActiveFlow]) -> Vec<f64> {
+    fn allocate(&mut self, topo: &Topology, flows: &[ActiveFlow], rates: &mut Vec<f64>) {
         // Count flows per (link, queue) to flatten WFQ weights.
-        let mut counts: Vec<[u32; ServiceLevel::COUNT]> =
-            vec![[0; ServiceLevel::COUNT]; self.ports.len()];
+        self.counts.clear();
+        self.counts
+            .resize(self.ports.len(), [0; ServiceLevel::COUNT]);
         for f in flows {
             for &l in &f.path {
                 let q = self.ports[l.0 as usize].queue_of(f.spec.sl);
-                counts[l.0 as usize][q] += 1;
+                self.counts[l.0 as usize][q] += 1;
             }
         }
-        let sharing_flows: Vec<SharingFlow> = flows
-            .iter()
-            .map(|f| {
-                let weights = f
-                    .path
-                    .iter()
-                    .map(|&l| {
-                        let port = &self.ports[l.0 as usize];
-                        let q = port.queue_of(f.spec.sl);
-                        port.weights[q] / f64::from(counts[l.0 as usize][q])
-                    })
-                    .collect();
-                SharingFlow {
-                    path: f.path.clone(),
-                    weights,
-                    priority: 0,
-                    rate_cap: f.spec.rate_cap,
-                }
-            })
-            .collect();
-        compute_rates(&topo.capacities(), &sharing_flows, &self.sharing)
+        // Flatten `W_q / n_q` per hop into one reused buffer.
+        self.flat_weights.clear();
+        self.offsets.clear();
+        self.offsets.push(0);
+        for f in flows {
+            for &l in &f.path {
+                let port = &self.ports[l.0 as usize];
+                let q = port.queue_of(f.spec.sl);
+                self.flat_weights
+                    .push(port.weights[q] / f64::from(self.counts[l.0 as usize][q]));
+            }
+            self.offsets.push(self.flat_weights.len() as u32);
+        }
+        topo.capacities_into(&mut self.caps);
+        compute_rates_into(
+            &self.caps,
+            &SabaFlowViews {
+                flows,
+                flat_weights: &self.flat_weights,
+                offsets: &self.offsets,
+            },
+            &self.sharing,
+            &mut self.scratch,
+            rates,
+        );
     }
 }
 

@@ -36,7 +36,7 @@
 use crate::ids::{AppId, FlowId, LinkId, NodeId, ServiceLevel};
 use crate::probe::LinkProbe;
 use crate::routing::Routes;
-use crate::sharing::{compute_rates, SharingConfig, SharingFlow};
+use crate::sharing::{compute_rates_into, FlowSource, FlowView, FlowWeights, SharingConfig, SharingScratch};
 use crate::topology::Topology;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -129,10 +129,63 @@ pub enum Event {
 /// (this crate's [`FairShareFabric`]), Saba's WFQ weights, Homa's or
 /// Sincronia's priorities, or the FECN baseline's imperfect max-min.
 pub trait FabricModel {
-    /// Returns the rate (bytes/s) of each flow in `flows`, aligned by
-    /// index. Implementations must not return negative rates and must
-    /// not oversubscribe links.
-    fn allocate(&mut self, topo: &Topology, flows: &[ActiveFlow]) -> Vec<f64>;
+    /// Writes the rate (bytes/s) of each flow in `flows` into `rates`
+    /// (cleared and refilled, aligned by index). Implementations must
+    /// not produce negative rates and must not oversubscribe links.
+    ///
+    /// The engine calls this once per allocation epoch with a reused
+    /// buffer; implementations should likewise keep their working state
+    /// (sharing scratch, capacity and weight buffers) across calls so
+    /// steady-state epochs perform no heap allocations.
+    fn allocate(&mut self, topo: &Topology, flows: &[ActiveFlow], rates: &mut Vec<f64>);
+}
+
+/// Zero-copy [`FlowSource`] over the engine's active flows.
+///
+/// Flows get uniform unit weights and their spec's rate cap; an
+/// optional `priorities` slice (aligned with `flows`) supplies per-flow
+/// strict-priority classes for policies like Homa or Sincronia. Paths
+/// are borrowed, never cloned.
+#[derive(Debug, Clone, Copy)]
+pub struct ActiveFlowViews<'a> {
+    flows: &'a [ActiveFlow],
+    priorities: Option<&'a [u8]>,
+}
+
+impl<'a> ActiveFlowViews<'a> {
+    /// Views with a single priority class (0) for every flow.
+    pub fn uniform(flows: &'a [ActiveFlow]) -> Self {
+        Self {
+            flows,
+            priorities: None,
+        }
+    }
+
+    /// Views with per-flow priorities; `priorities` must be aligned
+    /// with `flows`.
+    pub fn with_priorities(flows: &'a [ActiveFlow], priorities: &'a [u8]) -> Self {
+        assert_eq!(flows.len(), priorities.len());
+        Self {
+            flows,
+            priorities: Some(priorities),
+        }
+    }
+}
+
+impl FlowSource for ActiveFlowViews<'_> {
+    fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    fn flow_view(&self, i: usize) -> FlowView<'_> {
+        let f = &self.flows[i];
+        FlowView {
+            path: &f.path,
+            weights: FlowWeights::Uniform(1.0),
+            priority: self.priorities.map_or(0, |p| p[i]),
+            rate_cap: f.spec.rate_cap,
+        }
+    }
 }
 
 /// Per-flow max-min fairness over the fabric — the idealized behaviour
@@ -142,19 +195,20 @@ pub trait FabricModel {
 pub struct FairShareFabric {
     /// Sharing configuration (refill passes etc.).
     pub sharing: SharingConfig,
+    scratch: SharingScratch,
+    caps: Vec<f64>,
 }
 
 impl FabricModel for FairShareFabric {
-    fn allocate(&mut self, topo: &Topology, flows: &[ActiveFlow]) -> Vec<f64> {
-        let caps = topo.capacities();
-        let sharing_flows: Vec<SharingFlow> = flows
-            .iter()
-            .map(|f| SharingFlow {
-                rate_cap: f.spec.rate_cap,
-                ..SharingFlow::best_effort(f.path.clone())
-            })
-            .collect();
-        compute_rates(&caps, &sharing_flows, &self.sharing)
+    fn allocate(&mut self, topo: &Topology, flows: &[ActiveFlow], rates: &mut Vec<f64>) {
+        topo.capacities_into(&mut self.caps);
+        compute_rates_into(
+            &self.caps,
+            &ActiveFlowViews::uniform(flows),
+            &self.sharing,
+            &mut self.scratch,
+            rates,
+        );
     }
 }
 
@@ -380,11 +434,12 @@ impl<M: FabricModel> Simulation<M> {
         if !self.dirty {
             return;
         }
-        self.rates = if self.active.is_empty() {
-            Vec::new()
+        if self.active.is_empty() {
+            self.rates.clear();
         } else {
-            self.model.allocate(&self.topo, &self.active)
-        };
+            self.model
+                .allocate(&self.topo, &self.active, &mut self.rates);
+        }
         debug_assert_eq!(self.rates.len(), self.active.len());
         // Pipelining floors: bytes moving through the floor path do not
         // traverse the constrained fabric, so raising the rate here does

@@ -40,10 +40,13 @@ pub mod routing;
 pub mod sharing;
 pub mod topology;
 
-pub use engine::{Event, FabricModel, FlowSpec, Simulation};
+pub use engine::{ActiveFlowViews, Event, FabricModel, FlowSpec, Simulation};
 pub use ids::{AppId, FlowId, LinkId, NodeId, ServiceLevel};
 pub use routing::Routes;
-pub use sharing::{compute_rates, SharingFlow};
+pub use sharing::{
+    compute_rates, compute_rates_into, FlowSource, FlowView, FlowWeights, SharingFlow,
+    SharingScratch,
+};
 pub use topology::{NodeKind, SpineLeafConfig, Topology};
 
 /// Link capacity of the paper's testbed and simulation: 56 Gb/s

@@ -22,10 +22,35 @@
 //! any link; refill passes then hand unclaimed capacity back in weight
 //! proportion, so the allocation is work-conserving up to a configurable
 //! tolerance.
+//!
+//! # The epoch fast path
+//!
+//! The allocator runs at every allocation epoch — each flow arrival,
+//! completion, or queue reprogramming — so the entry point used by the
+//! engine is allocation-free in steady state:
+//!
+//! - [`compute_rates_into`] writes into a caller-owned rates buffer and
+//!   keeps all working state in a reusable [`SharingScratch`];
+//! - flows are consumed through the borrowed, zero-copy [`FlowView`]
+//!   (via the [`FlowSource`] trait), so callers never clone paths;
+//! - flows with identical (path, per-link weights, priority, rate cap)
+//!   are aggregated into *bundles* carrying a multiplicity before
+//!   filling, and the bundle's rate is divided back over its members
+//!   afterwards. With `m` members per bundle this turns an epoch from
+//!   `O(flows·pathlen)` into `O(bundles·pathlen)` heap work — the §5.1
+//!   scalability device for the 1,944-server runs, where all-to-all
+//!   shuffles produce many identical (path, SL, app) flows. Bundling is
+//!   exact: identical flows receive identical rates under progressive
+//!   filling, and an aggregate of weight `m·w` and cap `m·c` freezes at
+//!   exactly `m` times the member share at every fill level.
+//!
+//! [`compute_rates`] remains as a thin convenience wrapper that
+//! allocates fresh buffers on every call.
 
 use crate::ids::LinkId;
-use std::cmp::Reverse;
+use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
+use std::ops::Range;
 
 /// A flow as seen by the rate allocator.
 #[derive(Debug, Clone)]
@@ -57,7 +82,82 @@ impl SharingFlow {
     }
 }
 
-/// Tuning knobs for [`compute_rates`].
+/// Per-hop allocation weights of a [`FlowView`].
+///
+/// Most fabric models use the same weight at every hop (best-effort
+/// flows, priority-only policies); `Uniform` lets them avoid
+/// materializing a weights vector per flow.
+#[derive(Debug, Clone, Copy)]
+pub enum FlowWeights<'a> {
+    /// The same weight at every hop of the path.
+    Uniform(f64),
+    /// One weight per hop (same length as the path).
+    PerLink(&'a [f64]),
+}
+
+impl FlowWeights<'_> {
+    /// The weight at hop `hop` of the path.
+    #[inline]
+    pub fn at(&self, hop: usize) -> f64 {
+        match self {
+            FlowWeights::Uniform(w) => *w,
+            FlowWeights::PerLink(ws) => ws[hop],
+        }
+    }
+}
+
+/// A borrowed, zero-copy view of one flow, as consumed by
+/// [`compute_rates_into`]. Fabric models construct views directly over
+/// their flow storage instead of cloning paths into [`SharingFlow`]s.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowView<'a> {
+    /// Links traversed, in order (borrowed from the owner).
+    pub path: &'a [LinkId],
+    /// Per-hop allocation weights.
+    pub weights: FlowWeights<'a>,
+    /// Strict-priority class; `0` is served first.
+    pub priority: u8,
+    /// Upper bound on the flow's rate (`f64::INFINITY` for none).
+    pub rate_cap: f64,
+}
+
+/// A source of [`FlowView`]s: anything the allocator can iterate flows
+/// from without copying. Implemented for `[SharingFlow]`, `[FlowView]`,
+/// and the engine's active-flow adapters.
+pub trait FlowSource {
+    /// Number of flows.
+    fn flow_count(&self) -> usize;
+    /// A borrowed view of flow `i` (`i < flow_count()`).
+    fn flow_view(&self, i: usize) -> FlowView<'_>;
+}
+
+impl FlowSource for [SharingFlow] {
+    fn flow_count(&self) -> usize {
+        self.len()
+    }
+
+    fn flow_view(&self, i: usize) -> FlowView<'_> {
+        let f = &self[i];
+        FlowView {
+            path: &f.path,
+            weights: FlowWeights::PerLink(&f.weights),
+            priority: f.priority,
+            rate_cap: f.rate_cap,
+        }
+    }
+}
+
+impl FlowSource for [FlowView<'_>] {
+    fn flow_count(&self) -> usize {
+        self.len()
+    }
+
+    fn flow_view(&self, i: usize) -> FlowView<'_> {
+        self[i]
+    }
+}
+
+/// Tuning knobs for [`compute_rates`] / [`compute_rates_into`].
 #[derive(Debug, Clone)]
 pub struct SharingConfig {
     /// Number of work-conservation refill passes after the base filling.
@@ -65,6 +165,10 @@ pub struct SharingConfig {
     /// Stop refilling when a pass adds less than this fraction of total
     /// link capacity.
     pub refill_epsilon: f64,
+    /// Aggregate flows with identical (path, weights, priority, cap)
+    /// into bundles before filling (exact; see the module docs). Only
+    /// disabled by equivalence tests.
+    pub bundling: bool,
 }
 
 impl Default for SharingConfig {
@@ -72,6 +176,7 @@ impl Default for SharingConfig {
         Self {
             refill_passes: 3,
             refill_epsilon: 1e-6,
+            bundling: true,
         }
     }
 }
@@ -83,26 +188,72 @@ struct Level(f64);
 impl Eq for Level {}
 
 impl PartialOrd for Level {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
 impl Ord for Level {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+    fn cmp(&self, other: &Self) -> Ordering {
         self.0.partial_cmp(&other.0).expect("levels must be finite")
     }
+}
+
+/// An aggregate of `mult` identical flows, represented by one of them.
+#[derive(Debug, Clone, Copy)]
+struct Bundle {
+    /// Index of the representative flow in the source.
+    rep: u32,
+    /// Number of member flows.
+    mult: u32,
+    /// The members' (shared) priority class.
+    priority: u8,
+}
+
+/// Reusable working state for [`compute_rates_into`].
+///
+/// Holds every buffer the progressive filling needs — per-link weight
+/// sums, versions, flow lists, the fill heap, and the bundling tables —
+/// so that repeated allocation epochs perform no heap allocations once
+/// the buffers have grown to the topology's and flow set's sizes.
+#[derive(Debug, Clone, Default)]
+pub struct SharingScratch {
+    /// Residual capacity per link across priority classes.
+    residual: Vec<f64>,
+    /// Per-link sum of unassigned-bundle weights (one fill pass).
+    sumw: Vec<f64>,
+    /// Per-link heap-entry version counters (lazy invalidation).
+    version: Vec<u64>,
+    /// Per-link list of bundles crossing the link (one fill pass).
+    on_link: Vec<Vec<u32>>,
+    /// Per-bundle "frozen" flag (one fill pass).
+    assigned: Vec<bool>,
+    /// The fill heap, keyed by link fill level.
+    heap: BinaryHeap<Reverse<(Level, u64, u32)>>,
+    /// (priority, bundle-key hash, flow index) triples sorted by bundle
+    /// key. The hash is a cheap sort prefix; ties are broken by the full
+    /// key comparison, so collisions cost time, never correctness.
+    order: Vec<(u8, u64, u32)>,
+    /// The bundles, sorted by (priority, key).
+    bundles: Vec<Bundle>,
+    /// Flow index → bundle index.
+    bundle_of: Vec<u32>,
+    /// Accumulated rate per bundle.
+    rates: Vec<f64>,
 }
 
 /// Computes per-flow rates (bytes/s), aligned with `flows`.
 ///
 /// `capacities[l]` is the capacity of `LinkId(l)`. See the module docs
-/// for semantics.
+/// for semantics. This is a convenience wrapper over
+/// [`compute_rates_into`] that allocates fresh buffers; epoch-driven
+/// callers should hold a [`SharingScratch`] and call the `_into` form.
 ///
 /// # Panics
 ///
-/// Panics if a flow references an out-of-range link, has mismatched
-/// `path`/`weights` lengths, or a non-positive/non-finite weight.
+/// Panics if a capacity is negative or not finite, or if a flow
+/// references an out-of-range link, has mismatched `path`/`weights`
+/// lengths, or a non-positive/non-finite weight.
 ///
 /// # Examples
 ///
@@ -118,39 +269,112 @@ impl Ord for Level {
 /// assert!((rates[1] - 50.0).abs() < 1e-6);
 /// ```
 pub fn compute_rates(capacities: &[f64], flows: &[SharingFlow], cfg: &SharingConfig) -> Vec<f64> {
+    let mut scratch = SharingScratch::default();
+    let mut out = Vec::new();
+    compute_rates_into(capacities, flows, cfg, &mut scratch, &mut out);
+    out
+}
+
+/// Computes per-flow rates into `out` (cleared and refilled, aligned
+/// with the source), reusing `scratch` across calls.
+///
+/// This is the engine's epoch fast path: after warm-up it performs no
+/// heap allocations. Flows are read through [`FlowView`]s, so `flows`
+/// may be a `[SharingFlow]` slice, a `[FlowView]` slice, or any
+/// zero-copy adapter over a fabric model's own storage.
+///
+/// # Panics
+///
+/// As [`compute_rates`].
+pub fn compute_rates_into<F: FlowSource + ?Sized>(
+    capacities: &[f64],
+    flows: &F,
+    cfg: &SharingConfig,
+    scratch: &mut SharingScratch,
+    out: &mut Vec<f64>,
+) {
     validate(capacities, flows);
-    let mut rates = vec![0.0; flows.len()];
-    let mut residual: Vec<f64> = capacities.to_vec();
+    let n = flows.flow_count();
+    out.clear();
+    out.resize(n, 0.0);
+    if n == 0 {
+        return;
+    }
 
-    // Strict-priority classes, highest (numerically lowest) first.
-    let mut classes: Vec<u8> = flows.iter().map(|f| f.priority).collect();
-    classes.sort_unstable();
-    classes.dedup();
+    bundle_flows(flows, cfg.bundling, scratch);
 
+    let nl = capacities.len();
+    scratch.residual.clear();
+    scratch.residual.extend_from_slice(capacities);
+    scratch.sumw.clear();
+    scratch.sumw.resize(nl, 0.0);
+    scratch.version.clear();
+    scratch.version.resize(nl, 0);
+    if scratch.on_link.len() < nl {
+        scratch.on_link.resize_with(nl, Vec::new);
+    }
+    for list in &mut scratch.on_link[..nl] {
+        list.clear();
+    }
+    let nb = scratch.bundles.len();
+    scratch.assigned.clear();
+    scratch.assigned.resize(nb, false);
+    scratch.rates.clear();
+    scratch.rates.resize(nb, 0.0);
+    scratch.heap.clear();
+
+    // Strict-priority classes, highest (numerically lowest) first. The
+    // bundle sort key starts with the priority, so classes are
+    // contiguous ranges of `scratch.bundles`.
     let total_capacity: f64 = capacities.iter().sum();
-    for class in classes {
-        let members: Vec<usize> = (0..flows.len())
-            .filter(|&i| flows[i].priority == class)
-            .collect();
-        fill_once(&mut residual, flows, &members, &mut rates);
+    let mut start = 0;
+    while start < nb {
+        let class = scratch.bundles[start].priority;
+        let mut end = start;
+        while end < nb && scratch.bundles[end].priority == class {
+            end += 1;
+        }
+        fill_once(flows, start..end, scratch);
         for _ in 0..cfg.refill_passes {
-            let added = fill_once(&mut residual, flows, &members, &mut rates);
+            let added = fill_once(flows, start..end, scratch);
             if added <= cfg.refill_epsilon * total_capacity.max(1.0) {
                 break;
             }
         }
+        start = end;
     }
-    rates
+
+    // Divide each bundle's rate back over its members. Members are
+    // identical, so each gets exactly a `1/mult` share.
+    for (i, r) in out.iter_mut().enumerate() {
+        let b = scratch.bundle_of[i] as usize;
+        let rate = scratch.rates[b];
+        *r = if rate.is_infinite() {
+            f64::INFINITY
+        } else {
+            rate / f64::from(scratch.bundles[b].mult)
+        };
+    }
 }
 
-fn validate(capacities: &[f64], flows: &[SharingFlow]) {
-    for (i, f) in flows.iter().enumerate() {
-        assert_eq!(
-            f.path.len(),
-            f.weights.len(),
-            "flow {i}: path and weights must have equal length"
+fn validate<F: FlowSource + ?Sized>(capacities: &[f64], flows: &F) {
+    for (l, &c) in capacities.iter().enumerate() {
+        assert!(
+            c.is_finite() && c >= 0.0,
+            "link l{l}: capacity must be finite and non-negative, got {c}"
         );
-        for (&l, &w) in f.path.iter().zip(&f.weights) {
+    }
+    for i in 0..flows.flow_count() {
+        let f = flows.flow_view(i);
+        if let FlowWeights::PerLink(ws) = f.weights {
+            assert_eq!(
+                f.path.len(),
+                ws.len(),
+                "flow {i}: path and weights must have equal length"
+            );
+        }
+        for (hop, &l) in f.path.iter().enumerate() {
+            let w = f.weights.at(hop);
             assert!(
                 (l.0 as usize) < capacities.len(),
                 "flow {i}: link {l} out of range"
@@ -164,35 +388,136 @@ fn validate(capacities: &[f64], flows: &[SharingFlow]) {
     }
 }
 
-/// One progressive-filling pass over `members`, *adding* allocated rate
-/// to `rates` and subtracting it from `residual`. Returns the total rate
-/// added across flows.
-fn fill_once(
-    residual: &mut [f64],
-    flows: &[SharingFlow],
-    members: &[usize],
-    rates: &mut [f64],
+/// FNV-1a hash of a flow's bundle key (path, per-hop weights, cap).
+/// Uniform and per-link weights hash identically, so equal flows always
+/// share a hash regardless of representation.
+fn hash_bundle_key(v: &FlowView<'_>) -> u64 {
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut mix = |x: u64| {
+        h ^= x;
+        h = h.wrapping_mul(FNV_PRIME);
+    };
+    mix(v.path.len() as u64);
+    for (hop, &l) in v.path.iter().enumerate() {
+        mix(u64::from(l.0));
+        mix(v.weights.at(hop).to_bits());
+    }
+    mix(v.rate_cap.to_bits());
+    h
+}
+
+/// Total order over bundle keys: (priority, path, per-hop weights,
+/// rate cap). Flows comparing equal are aggregated into one bundle;
+/// leading with the priority keeps each strict-priority class a
+/// contiguous range of the sorted bundle list.
+fn cmp_bundle_key(a: &FlowView<'_>, b: &FlowView<'_>) -> Ordering {
+    a.priority
+        .cmp(&b.priority)
+        .then_with(|| a.path.len().cmp(&b.path.len()))
+        .then_with(|| a.path.cmp(b.path))
+        .then_with(|| {
+            for hop in 0..a.path.len() {
+                let ord = a.weights.at(hop).total_cmp(&b.weights.at(hop));
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            Ordering::Equal
+        })
+        .then_with(|| a.rate_cap.total_cmp(&b.rate_cap))
+}
+
+/// Groups flows into bundles (`scratch.bundles`, sorted by priority)
+/// and fills the flow → bundle map. With `bundling == false` every flow
+/// is its own bundle (still sorted by priority so classes stay
+/// contiguous).
+fn bundle_flows<F: FlowSource + ?Sized>(flows: &F, bundling: bool, scratch: &mut SharingScratch) {
+    let n = flows.flow_count();
+    scratch.order.clear();
+    scratch.order.extend((0..n).map(|i| {
+        let v = flows.flow_view(i);
+        (v.priority, hash_bundle_key(&v), i as u32)
+    }));
+    // Both modes process flows in the same canonical order; `bundling`
+    // only controls whether adjacent identical flows are merged. This
+    // keeps bundled and unbundled allocation bit-comparable (freezing
+    // order within a heap pop affects cap-bound allocations beyond the
+    // refill tolerance). The (priority, hash) prefix keeps the common
+    // comparison to two integers in contiguous memory; the full key
+    // comparison breaks hash ties (and the index makes the unstable
+    // sort deterministic).
+    scratch.order.sort_unstable_by(|a, b| {
+        a.0.cmp(&b.0)
+            .then_with(|| a.1.cmp(&b.1))
+            .then_with(|| {
+                cmp_bundle_key(&flows.flow_view(a.2 as usize), &flows.flow_view(b.2 as usize))
+            })
+            .then_with(|| a.2.cmp(&b.2))
+    });
+    scratch.bundles.clear();
+    scratch.bundle_of.clear();
+    scratch.bundle_of.resize(n, 0);
+    for k in 0..n {
+        let (priority, hash, i) = scratch.order[k];
+        let v = flows.flow_view(i as usize);
+        if bundling && k > 0 {
+            let (prev_priority, prev_hash, _) = scratch.order[k - 1];
+            if (prev_priority, prev_hash) == (priority, hash) {
+                let last = scratch.bundles.last_mut().expect("bundle exists for k > 0");
+                if cmp_bundle_key(&flows.flow_view(last.rep as usize), &v) == Ordering::Equal {
+                    last.mult += 1;
+                    scratch.bundle_of[i as usize] = (scratch.bundles.len() - 1) as u32;
+                    continue;
+                }
+            }
+        }
+        scratch.bundle_of[i as usize] = scratch.bundles.len() as u32;
+        scratch.bundles.push(Bundle {
+            rep: i,
+            mult: 1,
+            priority,
+        });
+    }
+}
+
+/// One progressive-filling pass over the bundles in `range`, *adding*
+/// allocated rate to `scratch.rates` and subtracting it from
+/// `scratch.residual`. Returns the total rate added.
+fn fill_once<F: FlowSource + ?Sized>(
+    flows: &F,
+    range: Range<usize>,
+    scratch: &mut SharingScratch,
 ) -> f64 {
+    let SharingScratch {
+        residual,
+        sumw,
+        version,
+        on_link,
+        assigned,
+        heap,
+        bundles,
+        rates,
+        ..
+    } = scratch;
     let nl = residual.len();
-    let mut sumw = vec![0.0f64; nl];
-    let mut version = vec![0u64; nl];
-    let mut on_link: Vec<Vec<u32>> = vec![Vec::new(); nl];
-    let mut assigned: Vec<bool> = vec![true; flows.len()];
+    sumw[..nl].fill(0.0);
+    version[..nl].fill(0);
+    heap.clear();
     let mut added = 0.0;
 
-    for &i in members {
-        let f = &flows[i];
-        let headroom = f.rate_cap - rates[i];
+    for b in range.clone() {
+        let bundle = bundles[b];
+        let mult = f64::from(bundle.mult);
+        let f = flows.flow_view(bundle.rep as usize);
+        let cap = f.rate_cap * mult;
+        let headroom = cap - rates[b];
+        assigned[b] = true;
         if f.path.is_empty() {
             // Same-host transfer: not limited by the fabric.
-            if rates[i] == 0.0 {
-                let grant = if f.rate_cap.is_finite() {
+            if rates[b] == 0.0 {
+                rates[b] = if cap.is_finite() {
                     headroom.max(0.0)
-                } else {
-                    f64::INFINITY
-                };
-                rates[i] = if grant.is_finite() {
-                    grant
                 } else {
                     f64::INFINITY
                 };
@@ -202,14 +527,13 @@ fn fill_once(
         if headroom <= 0.0 {
             continue;
         }
-        assigned[i] = false;
-        for (&l, &w) in f.path.iter().zip(&f.weights) {
-            sumw[l.0 as usize] += w;
-            on_link[l.0 as usize].push(i as u32);
+        assigned[b] = false;
+        for (hop, &l) in f.path.iter().enumerate() {
+            sumw[l.0 as usize] += f.weights.at(hop) * mult;
+            on_link[l.0 as usize].push(b as u32);
         }
     }
 
-    let mut heap: BinaryHeap<Reverse<(Level, u64, u32)>> = BinaryHeap::new();
     for l in 0..nl {
         if sumw[l] > 0.0 {
             heap.push(Reverse((
@@ -225,33 +549,35 @@ fn fill_once(
         if ver != version[l] || sumw[l] <= 0.0 {
             continue;
         }
-        // Freeze every unassigned flow crossing this link at the minimum
-        // of its weighted share over its path (capped by its headroom).
-        let flow_ids: Vec<u32> = on_link[l].clone();
-        for fi in flow_ids {
-            let i = fi as usize;
-            if assigned[i] {
+        // Freeze every unassigned bundle crossing this link at the
+        // minimum of its weighted share over its path (capped by its
+        // headroom).
+        for &frozen in on_link[l].iter() {
+            let b = frozen as usize;
+            if assigned[b] {
                 continue;
             }
-            let f = &flows[i];
-            let mut share = f.rate_cap - rates[i];
-            for (&lk, &w) in f.path.iter().zip(&f.weights) {
+            let bundle = bundles[b];
+            let mult = f64::from(bundle.mult);
+            let f = flows.flow_view(bundle.rep as usize);
+            let mut share = f.rate_cap * mult - rates[b];
+            for (hop, &lk) in f.path.iter().enumerate() {
                 let lk = lk.0 as usize;
                 debug_assert!(sumw[lk] > 0.0);
                 let level = residual[lk].max(0.0) / sumw[lk];
-                let s = w * level;
+                let s = f.weights.at(hop) * mult * level;
                 if s < share {
                     share = s;
                 }
             }
             let share = share.max(0.0);
-            assigned[i] = true;
-            rates[i] += share;
+            assigned[b] = true;
+            rates[b] += share;
             added += share;
-            for (&lk, &w) in f.path.iter().zip(&f.weights) {
+            for (hop, &lk) in f.path.iter().enumerate() {
                 let lk = lk.0 as usize;
                 residual[lk] = (residual[lk] - share).max(0.0);
-                sumw[lk] -= w;
+                sumw[lk] -= f.weights.at(hop) * mult;
                 version[lk] += 1;
                 if sumw[lk] > 1e-12 {
                     heap.push(Reverse((
@@ -265,6 +591,11 @@ fn fill_once(
             }
         }
         on_link[l].clear();
+    }
+    // Stale entries may remain on links whose bundles were all frozen
+    // via other links; clear them for the next pass.
+    for list in &mut on_link[..nl] {
+        list.clear();
     }
     added
 }
@@ -473,5 +804,220 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn bad_link_rejected() {
         let _ = compute_rates(&[1.0], &[flow(&[5], &[1.0])], &cfg());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be finite and non-negative")]
+    fn negative_capacity_rejected() {
+        let _ = compute_rates(&[100.0, -1.0], &[flow(&[0], &[1.0])], &cfg());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be finite and non-negative")]
+    fn nan_capacity_rejected() {
+        let _ = compute_rates(&[f64::NAN], &[flow(&[0], &[1.0])], &cfg());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be finite and non-negative")]
+    fn infinite_capacity_rejected() {
+        let _ = compute_rates(&[f64::INFINITY], &[flow(&[0], &[1.0])], &cfg());
+    }
+
+    #[test]
+    fn zero_capacity_is_allowed_and_starves() {
+        // A throttled-to-zero link is valid; flows crossing it starve.
+        let rates = compute_rates(&[0.0], &[flow(&[0], &[1.0])], &cfg());
+        assert_eq!(rates[0], 0.0);
+    }
+
+    // --- scratch / view / bundling tests ---
+
+    fn rand_flows(count: usize, links: usize, distinct_paths: usize, seed: u64) -> Vec<SharingFlow> {
+        let mut state = seed;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        // A pool of distinct paths; flows draw from it so bundles form.
+        let paths: Vec<Vec<u32>> = (0..distinct_paths)
+            .map(|_| {
+                let len = 1 + next() % 3;
+                let mut p = Vec::new();
+                for _ in 0..len {
+                    let l = (next() % links) as u32;
+                    if !p.contains(&l) {
+                        p.push(l);
+                    }
+                }
+                p
+            })
+            .collect();
+        (0..count)
+            .map(|_| {
+                let p = &paths[next() % paths.len()];
+                let w = 1.0 + (next() % 4) as f64;
+                let mut f = flow(p, &vec![w; p.len()]);
+                f.priority = (next() % 3) as u8;
+                if next() % 4 == 0 {
+                    f.rate_cap = 10.0 + (next() % 5) as f64 * 25.0;
+                }
+                f
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bundled_matches_unbundled_on_shared_paths() {
+        let caps: Vec<f64> = (0..12).map(|i| 100.0 + 10.0 * i as f64).collect();
+        for seed in 0..20 {
+            let flows = rand_flows(200, 12, 6, 0x5aba + seed);
+            let bundled = compute_rates(&caps, &flows, &cfg());
+            let unbundled = compute_rates(
+                &caps,
+                &flows,
+                &SharingConfig {
+                    bundling: false,
+                    ..cfg()
+                },
+            );
+            for (i, (a, b)) in bundled.iter().zip(&unbundled).enumerate() {
+                let tol = 1e-9 * a.abs().max(b.abs()).max(1.0);
+                assert!((a - b).abs() <= tol, "seed {seed} flow {i}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_stable() {
+        // Re-running with a reused scratch must give identical rates,
+        // including after interleaving a differently-shaped problem.
+        let caps: Vec<f64> = (0..8).map(|i| 100.0 + i as f64).collect();
+        let flows = rand_flows(64, 8, 4, 7);
+        let small = rand_flows(3, 8, 2, 9);
+        let mut scratch = SharingScratch::default();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        let mut c = Vec::new();
+        compute_rates_into(&caps, flows.as_slice(), &cfg(), &mut scratch, &mut a);
+        compute_rates_into(&caps, small.as_slice(), &cfg(), &mut scratch, &mut b);
+        compute_rates_into(&caps, flows.as_slice(), &cfg(), &mut scratch, &mut c);
+        assert_eq!(a, c);
+        assert_eq!(b.len(), small.len());
+        assert_eq!(a, compute_rates(&caps, &flows, &cfg()));
+    }
+
+    #[test]
+    fn views_match_owned_flows() {
+        let caps = [120.0, 80.0];
+        let flows = [
+            flow(&[0, 1], &[2.0, 2.0]),
+            flow(&[0], &[1.0]),
+            flow(&[1], &[3.0]),
+        ];
+        let views: Vec<FlowView<'_>> = (0..flows.len())
+            .map(|i| flows.as_slice().flow_view(i))
+            .collect();
+        let from_owned = compute_rates(&caps, &flows, &cfg());
+        let mut scratch = SharingScratch::default();
+        let mut from_views = Vec::new();
+        compute_rates_into(&caps, views.as_slice(), &cfg(), &mut scratch, &mut from_views);
+        assert_eq!(from_owned, from_views);
+    }
+
+    #[test]
+    fn uniform_weights_bundle_with_per_link_weights() {
+        // A Uniform(1.0) view and a PerLink[1.0] flow on the same path
+        // must land in the same bundle and split the link evenly.
+        let caps = [100.0];
+        let path = [LinkId(0)];
+        let views = [
+            FlowView {
+                path: &path,
+                weights: FlowWeights::Uniform(1.0),
+                priority: 0,
+                rate_cap: f64::INFINITY,
+            },
+            FlowView {
+                path: &path,
+                weights: FlowWeights::PerLink(&[1.0]),
+                priority: 0,
+                rate_cap: f64::INFINITY,
+            },
+        ];
+        let mut scratch = SharingScratch::default();
+        let mut rates = Vec::new();
+        compute_rates_into(&caps, views.as_slice(), &cfg(), &mut scratch, &mut rates);
+        assert!((rates[0] - 50.0).abs() < 1e-9, "{rates:?}");
+        assert!((rates[1] - 50.0).abs() < 1e-9, "{rates:?}");
+    }
+
+    #[test]
+    fn bundles_preserve_caps_and_priorities() {
+        // 10 identical capped flows + 1 uncapped low-priority flow.
+        let mut flows: Vec<SharingFlow> = (0..10)
+            .map(|_| {
+                let mut f = flow(&[0], &[1.0]);
+                f.rate_cap = 5.0;
+                f
+            })
+            .collect();
+        let mut lo = flow(&[0], &[1.0]);
+        lo.priority = 1;
+        flows.push(lo);
+        let rates = compute_rates(&[100.0], &flows, &cfg());
+        for r in &rates[..10] {
+            assert!((r - 5.0).abs() < 1e-9, "{rates:?}");
+        }
+        // Leftover 50 goes to the low-priority flow.
+        assert!((rates[10] - 50.0).abs() < 1e-6, "{rates:?}");
+    }
+
+    #[test]
+    fn empty_path_flows_bundle_correctly() {
+        let mut capped = SharingFlow::best_effort(vec![]);
+        capped.rate_cap = 5.0;
+        let flows = [
+            capped.clone(),
+            capped,
+            SharingFlow::best_effort(vec![]),
+            SharingFlow::best_effort(vec![]),
+        ];
+        let rates = compute_rates(&[10.0], &flows, &cfg());
+        assert!((rates[0] - 5.0).abs() < 1e-9);
+        assert!((rates[1] - 5.0).abs() < 1e-9);
+        assert!(rates[2].is_infinite());
+        assert!(rates[3].is_infinite());
+    }
+
+    #[test]
+    fn all_to_all_duplicate_flows_bundle_exactly() {
+        // 16 hosts, 8 identical flows per (src, dst) pair: 2048 flows in
+        // 240 bundles. Every flow must get cap / (flows per NIC) as if
+        // unbundled.
+        let hosts = 16usize;
+        let dup = 8usize;
+        let caps = vec![1000.0; hosts];
+        let mut flows = Vec::new();
+        for s in 0..hosts {
+            for d in 0..hosts {
+                if s == d {
+                    continue;
+                }
+                for _ in 0..dup {
+                    flows.push(flow(&[s as u32], &[1.0]));
+                }
+            }
+        }
+        let rates = compute_rates(&caps, &flows, &cfg());
+        let per_flow = 1000.0 / ((hosts - 1) * dup) as f64;
+        for (i, r) in rates.iter().enumerate() {
+            assert!(
+                (r - per_flow).abs() < 1e-9 * per_flow.max(1.0),
+                "flow {i}: {r} vs {per_flow}"
+            );
+        }
     }
 }

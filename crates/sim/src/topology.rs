@@ -197,6 +197,13 @@ impl Topology {
         self.links.iter().map(|l| l.capacity).collect()
     }
 
+    /// Writes all link capacities into `out` (cleared and refilled),
+    /// indexed by `LinkId`. Allocation-free once `out` has capacity.
+    pub fn capacities_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.links.iter().map(|l| l.capacity));
+    }
+
     /// The egress (NIC) link of a server: its unique outgoing link.
     ///
     /// # Panics

@@ -5,7 +5,9 @@ use proptest::prelude::*;
 use saba_sim::engine::{Event, FairShareFabric, FlowSpec, Simulation};
 use saba_sim::ids::{AppId, LinkId, ServiceLevel};
 use saba_sim::routing::Routes;
-use saba_sim::sharing::{compute_rates, SharingConfig, SharingFlow};
+use saba_sim::sharing::{
+    compute_rates, compute_rates_into, SharingConfig, SharingFlow, SharingScratch,
+};
 use saba_sim::topology::{SpineLeafConfig, Topology};
 
 /// Strategy: a set of random flows over `n_links` links.
@@ -58,6 +60,31 @@ proptest! {
         }
         for (l, (&used, &cap)) in load.iter().zip(&caps).enumerate() {
             prop_assert!(used <= cap * (1.0 + 1e-9) + 1e-6, "link {l}: {used} > {cap}");
+        }
+    }
+
+    /// Flow bundling is exact: allocation with bundling enabled matches
+    /// the unbundled allocator within 1e-9 relative on arbitrary flow
+    /// sets (both modes process flows in the same canonical order, so
+    /// merging identical flows must not change any rate).
+    #[test]
+    fn bundling_is_exact(
+        flows in arb_flows(8, 60),
+        caps in prop::collection::vec(10.0f64..1000.0, 8),
+    ) {
+        let mut scratch = SharingScratch::default();
+        let mut bundled = Vec::new();
+        let mut unbundled = Vec::new();
+        let on = SharingConfig { bundling: true, ..Default::default() };
+        let off = SharingConfig { bundling: false, ..Default::default() };
+        compute_rates_into(&caps, flows.as_slice(), &on, &mut scratch, &mut bundled);
+        compute_rates_into(&caps, flows.as_slice(), &off, &mut scratch, &mut unbundled);
+        for (i, (a, b)) in bundled.iter().zip(&unbundled).enumerate() {
+            if a.is_infinite() && b.is_infinite() {
+                continue;
+            }
+            let tol = 1e-9 * a.abs().max(b.abs()).max(1.0);
+            prop_assert!((a - b).abs() <= tol, "flow {i}: bundled {a} vs unbundled {b}");
         }
     }
 
@@ -321,5 +348,44 @@ proptest! {
         let throttled = mk(frac);
         prop_assert!((throttled * frac - full).abs() < 1e-6 * full,
             "full {full}, throttled {throttled}, frac {frac}");
+    }
+}
+
+/// A ~4096-flow all-to-all epoch (23 hosts, 8 duplicate flows per pair
+/// = 4048 flows) produces bit-identical rates through the allocating
+/// wrapper and through `compute_rates_into` with a scratch reused
+/// across epochs — the engine's steady-state calling pattern.
+#[test]
+fn all_to_all_epoch_matches_with_reused_scratch() {
+    let hosts = 23usize;
+    let dup = 8usize;
+    let caps = vec![56.0e9_f64; 2 * hosts];
+    let mut flows = Vec::with_capacity(hosts * (hosts - 1) * dup);
+    for s in 0..hosts {
+        for d in 0..hosts {
+            if s == d {
+                continue;
+            }
+            for _ in 0..dup {
+                flows.push(SharingFlow {
+                    path: vec![LinkId(s as u32), LinkId((hosts + d) as u32)],
+                    weights: vec![1.0, 1.0],
+                    priority: 0,
+                    rate_cap: f64::INFINITY,
+                });
+            }
+        }
+    }
+    assert_eq!(flows.len(), 4048);
+    let cfg = SharingConfig::default();
+    let reference = compute_rates(&caps, &flows, &cfg);
+    let mut scratch = SharingScratch::default();
+    let mut rates = Vec::new();
+    for epoch in 0..3 {
+        compute_rates_into(&caps, flows.as_slice(), &cfg, &mut scratch, &mut rates);
+        assert_eq!(rates.len(), reference.len());
+        for (i, (&r, &want)) in rates.iter().zip(&reference).enumerate() {
+            assert_eq!(r, want, "epoch {epoch}, flow {i}: {r} != {want}");
+        }
     }
 }

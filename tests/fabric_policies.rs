@@ -93,12 +93,10 @@ fn homa_is_application_blind_for_bulk_flows() {
         if homa {
             let mut sim = Simulation::new(
                 topo,
-                HomaFabric {
-                    config: HomaConfig {
-                        overcommit_gamma: 0.0,
-                        ..Default::default()
-                    },
-                },
+                HomaFabric::new(HomaConfig {
+                    overcommit_gamma: 0.0,
+                    ..Default::default()
+                }),
             );
             for f in specs {
                 sim.start_flow(f);
