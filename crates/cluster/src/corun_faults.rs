@@ -1,0 +1,351 @@
+//! The co-run engine under a fault schedule.
+//!
+//! Same Fig. 7 loop as [`crate::corun::execute`], with two additions:
+//! a [`FaultInjector`] armed in the simulation's timer queue (network
+//! faults hit the fabric directly; control-plane faults come back as
+//! [`ControlAction`]s), and a [`ResilientController`] in place of the
+//! bare controller so crashes degrade to stale weights instead of
+//! aborting the run.
+//!
+//! Baseline policies run with no controller: network faults still hit
+//! their traffic, but control-plane faults are no-ops for them — which
+//! is exactly the asymmetry the resilience experiment measures (Saba
+//! has a control plane to lose; FECN does not).
+
+use crate::corun::{JobResult, PlannedJob};
+use crate::policy::Policy;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use saba_core::controller::distributed::MappingDb;
+use saba_core::sensitivity::SensitivityTable;
+use saba_faults::control::{ResilienceStats, ResilientController};
+use saba_faults::injector::FaultInjector;
+use saba_faults::schedule::FaultSchedule;
+use saba_faults::InjectorStats;
+use saba_sim::engine::{SimStats, Simulation};
+use saba_sim::ids::{AppId, NodeId, ServiceLevel};
+use saba_sim::topology::Topology;
+use saba_workload::runtime::{run_jobs_with, JobRuntime};
+use saba_workload::spec::WorkloadSpec;
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Everything a faulted co-run produces.
+#[derive(Debug, Clone)]
+pub struct FaultRunOutcome {
+    /// Per-job results, aligned with the input job order.
+    pub results: Vec<JobResult>,
+    /// Simulation counters (reroutes, parks, resumes, recomputes).
+    pub sim_stats: SimStats,
+    /// Injector counters (events applied, flow impact).
+    pub injector_stats: InjectorStats,
+    /// Controller resilience counters (Saba policies only).
+    pub resilience: Option<ResilienceStats>,
+}
+
+/// Plans `(workload, dataset_scale, server_indices)` specs into
+/// [`PlannedJob`]s over `topo`, with the same deterministic per-job
+/// jitter seeding as [`crate::corun::run_setup`].
+pub fn plan_jobs(
+    topo: &Topology,
+    specs: &[(String, f64, Vec<usize>)],
+    catalog: &[WorkloadSpec],
+    compute_jitter: f64,
+    seed: u64,
+) -> Result<Vec<PlannedJob>, String> {
+    let by_name: HashMap<&str, &WorkloadSpec> =
+        catalog.iter().map(|w| (w.name.as_str(), w)).collect();
+    let mut jobs = Vec::with_capacity(specs.len());
+    for (i, (workload, scale, servers)) in specs.iter().enumerate() {
+        let spec = by_name
+            .get(workload.as_str())
+            .ok_or_else(|| format!("workload {workload:?} not in catalog"))?;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37));
+        let plan = spec
+            .plan(*scale, servers.len())
+            .with_compute_jitter(compute_jitter, &mut rng);
+        let nodes: Vec<NodeId> = servers.iter().map(|&s| topo.servers()[s]).collect();
+        jobs.push(PlannedJob {
+            workload: workload.clone(),
+            dataset_scale: *scale,
+            plan,
+            nodes,
+        });
+    }
+    Ok(jobs)
+}
+
+/// Executes `jobs` over `topo` under `policy` while `schedule` replays.
+///
+/// Guarantees of the fault model:
+/// * flows crossing a failed element are rerouted when a path survives
+///   and parked (resumed at repair) otherwise, so jobs always finish;
+/// * a crashed controller stops emitting switch updates (the fabric
+///   runs on stale weights) but the run continues, and recovery
+///   replays state and reprograms every port;
+/// * the same `(jobs, policy, schedule)` triple reproduces the same
+///   results bit-for-bit.
+pub fn execute_with_faults(
+    topo: Topology,
+    jobs: Vec<PlannedJob>,
+    policy: &Policy,
+    table: &SensitivityTable,
+    schedule: &FaultSchedule,
+) -> Result<FaultRunOutcome, String> {
+    let fabric = policy.build_fabric(&topo);
+    let controller: Option<RefCell<ResilientController>> = match policy {
+        Policy::Saba(ctl_cfg) => Some(RefCell::new(ResilientController::central(
+            ctl_cfg.clone(),
+            table.clone(),
+            &topo,
+        ))),
+        Policy::SabaDistributed(ctl_cfg, shards) => {
+            let db = MappingDb::build(table, ctl_cfg.num_pls, ctl_cfg.seed);
+            Some(RefCell::new(ResilientController::distributed(
+                ctl_cfg.clone(),
+                db,
+                &topo,
+                *shards,
+            )))
+        }
+        _ => None,
+    };
+
+    // Registration at launch (Fig. 7 ①–③), before any fault can fire.
+    let mut runtimes = Vec::with_capacity(jobs.len());
+    for (i, job) in jobs.iter().enumerate() {
+        let app = AppId(i as u32);
+        let sl = match &controller {
+            Some(c) => c.borrow_mut().register(app, &job.workload)?,
+            None => ServiceLevel(0),
+        };
+        runtimes.push(JobRuntime::new(
+            app,
+            sl,
+            job.nodes.clone(),
+            job.plan.clone(),
+            (i as u64) << 32,
+        ));
+    }
+
+    let mut sim = Simulation::new(topo, fabric);
+    let injector = RefCell::new(FaultInjector::new(schedule.clone()));
+    injector.borrow().arm(&mut sim);
+
+    let times = run_jobs_with(
+        &mut sim,
+        &mut runtimes,
+        |sim, ev| {
+            if let Some(c) = &controller {
+                let updates = c.borrow_mut().on_event(ev);
+                if !updates.is_empty() {
+                    sim.model_mut().saba_mut().apply(updates);
+                }
+            }
+        },
+        |sim, key, _at| {
+            assert!(
+                FaultInjector::owns_key(key),
+                "timer key {key:#x} belongs to no job and no fault"
+            );
+            let action = injector.borrow_mut().on_timer(sim, key);
+            if let (Some(action), Some(c)) = (action, &controller) {
+                let updates = c.borrow_mut().apply(&action);
+                if !updates.is_empty() {
+                    sim.model_mut().saba_mut().apply(updates);
+                }
+            }
+        },
+    )
+    .map_err(|e| e.to_string())?;
+
+    let results = jobs
+        .iter()
+        .zip(times)
+        .map(|(j, completion)| JobResult {
+            workload: j.workload.clone(),
+            dataset_scale: j.dataset_scale,
+            nodes: j.nodes.len(),
+            completion,
+        })
+        .collect();
+    Ok(FaultRunOutcome {
+        results,
+        sim_stats: sim.stats(),
+        injector_stats: injector.borrow().stats(),
+        resilience: controller.map(|c| c.into_inner().stats()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corun::execute;
+    use saba_core::profiler::{Profiler, ProfilerConfig};
+    use saba_faults::schedule::{FaultKind, FaultSpec, ScheduleConfig};
+    use saba_sim::topology::SpineLeafConfig;
+    use saba_workload::catalog;
+
+    fn quick_table() -> SensitivityTable {
+        Profiler::new(ProfilerConfig {
+            noise_sigma: 0.0,
+            bw_points: vec![0.25, 0.5, 0.75, 1.0],
+            degree: 2,
+            ..Default::default()
+        })
+        .profile_all(&catalog())
+        .unwrap()
+    }
+
+    /// Two cross-rack jobs on the tiny spine-leaf (8 servers).
+    fn cross_rack_jobs(topo: &Topology, table_catalog: &[WorkloadSpec]) -> Vec<PlannedJob> {
+        plan_jobs(
+            topo,
+            &[
+                ("LR".to_string(), 1.0, vec![0, 2, 4, 6]),
+                ("Sort".to_string(), 1.0, vec![1, 3, 5, 7]),
+            ],
+            table_catalog,
+            0.0,
+            0x5aba,
+        )
+        .unwrap()
+    }
+
+    fn max_completion(results: &[JobResult]) -> f64 {
+        results.iter().map(|r| r.completion).fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn empty_schedule_matches_plain_corun() {
+        let table = quick_table();
+        let cat = catalog();
+        for policy in [Policy::baseline(), Policy::saba()] {
+            let topo = Topology::spine_leaf(&SpineLeafConfig::tiny(2));
+            let jobs = cross_rack_jobs(&topo, &cat);
+            let plain = execute(topo.clone(), jobs.clone(), &policy, &table).unwrap();
+            let faulted = execute_with_faults(
+                topo,
+                jobs,
+                &policy,
+                &table,
+                &FaultSchedule::default(),
+            )
+            .unwrap();
+            assert_eq!(plain, faulted.results, "{}", policy.name());
+            assert_eq!(faulted.injector_stats, InjectorStats::default());
+        }
+    }
+
+    #[test]
+    fn generated_network_faults_complete_every_job() {
+        let table = quick_table();
+        let cat = catalog();
+        let topo = Topology::spine_leaf(&SpineLeafConfig::tiny(2));
+        let jobs = cross_rack_jobs(&topo, &cat);
+        let clean = execute(topo.clone(), jobs.clone(), &Policy::saba(), &table).unwrap();
+        let horizon = max_completion(&clean);
+        assert!(horizon > 0.0);
+        let schedule = FaultSchedule::generate(
+            &topo,
+            &ScheduleConfig {
+                severity: 3,
+                horizon,
+                num_shards: 0,
+            },
+            0xFA17,
+        );
+        let out =
+            execute_with_faults(topo, jobs, &Policy::saba(), &table, &schedule).unwrap();
+        assert_eq!(out.results.len(), 2);
+        for r in &out.results {
+            assert!(r.completion > 0.0, "{r:?}");
+        }
+        assert!(out.injector_stats.network_events > 0);
+        assert!(out.sim_stats.route_recomputes > 0);
+    }
+
+    #[test]
+    fn controller_crash_window_completes_with_stale_weights() {
+        let table = quick_table();
+        let cat = catalog();
+        let topo = Topology::spine_leaf(&SpineLeafConfig::tiny(2));
+        let jobs = cross_rack_jobs(&topo, &cat);
+        let clean = execute(topo.clone(), jobs.clone(), &Policy::saba(), &table).unwrap();
+        let t = max_completion(&clean);
+        let schedule = FaultSchedule {
+            seed: 0,
+            faults: vec![FaultSpec {
+                kind: FaultKind::CrashController,
+                start: 0.2 * t,
+                duration: 0.5 * t,
+            }],
+        };
+        let out =
+            execute_with_faults(topo, jobs, &Policy::saba(), &table, &schedule).unwrap();
+        let res = out.resilience.expect("saba policy has a controller");
+        assert_eq!(res.crashes, 1);
+        assert_eq!(res.recoveries, 1);
+        for r in &out.results {
+            assert!(r.completion > 0.0, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn shard_crash_window_completes_for_distributed() {
+        let table = quick_table();
+        let cat = catalog();
+        let topo = Topology::spine_leaf(&SpineLeafConfig::tiny(2));
+        let jobs = cross_rack_jobs(&topo, &cat);
+        let policy =
+            Policy::SabaDistributed(saba_core::controller::ControllerConfig::default(), 3);
+        let clean = execute(topo.clone(), jobs.clone(), &policy, &table).unwrap();
+        let t = max_completion(&clean);
+        let schedule = FaultSchedule {
+            seed: 0,
+            faults: vec![FaultSpec {
+                kind: FaultKind::CrashShard { shard: 1 },
+                start: 0.1 * t,
+                duration: 0.6 * t,
+            }],
+        };
+        let out = execute_with_faults(topo, jobs, &policy, &table, &schedule).unwrap();
+        let res = out.resilience.unwrap();
+        assert_eq!(res.shard_crashes, 1);
+        assert_eq!(res.recoveries, 1);
+        for r in &out.results {
+            assert!(r.completion > 0.0, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        let table = quick_table();
+        let cat = catalog();
+        let run = || {
+            let topo = Topology::spine_leaf(&SpineLeafConfig::tiny(2));
+            let jobs = cross_rack_jobs(&topo, &cat);
+            let schedule = FaultSchedule::generate(
+                &topo,
+                &ScheduleConfig {
+                    severity: 2,
+                    horizon: 10.0,
+                    num_shards: 0,
+                },
+                7,
+            );
+            execute_with_faults(topo, jobs, &Policy::saba(), &table, &schedule).unwrap()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.results, b.results);
+        assert_eq!(a.sim_stats, b.sim_stats);
+        assert_eq!(a.injector_stats, b.injector_stats);
+        // Resilience counters are deterministic except the wall-clock
+        // recovery latency, which is diagnostics-only by design.
+        let scrub = |mut s: ResilienceStats| {
+            s.last_recovery_micros = 0;
+            s
+        };
+        assert_eq!(scrub(a.resilience.unwrap()), scrub(b.resilience.unwrap()));
+    }
+}

@@ -14,6 +14,9 @@
 //! - [`corun`] — the co-run engine: registration at launch, connection
 //!   events wired to the controller, switch updates applied to the
 //!   fabric (the full Fig. 7 loop).
+//! - [`corun_faults`] — the same loop under a deterministic fault
+//!   schedule (`saba-faults`): link/switch failures hit the fabric,
+//!   controller crashes degrade to stale weights and recover by replay.
 //! - [`datacenter`] — the 1,944-server spine-leaf experiment of §8.4.
 //! - [`metrics`] — per-workload speedups, geometric means, CDFs.
 //! - [`runner`] — a thread-parallel map over independent setups.
@@ -22,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod corun;
+pub mod corun_faults;
 pub mod datacenter;
 pub mod metrics;
 pub mod policy;
@@ -29,6 +33,7 @@ pub mod runner;
 pub mod setup;
 
 pub use corun::{run_setup, JobResult};
+pub use corun_faults::{execute_with_faults, plan_jobs, FaultRunOutcome};
 pub use datacenter::{run_datacenter, DatacenterConfig};
 pub use metrics::{per_workload_speedups, SpeedupReport};
 pub use policy::Policy;

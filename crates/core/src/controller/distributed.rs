@@ -341,6 +341,41 @@ impl DistributedController {
         updates
     }
 
+    /// The shard owning `link`.
+    pub fn shard_of_link(&self, link: LinkId) -> usize {
+        self.link_shard[link.0 as usize]
+    }
+
+    /// Recomputes the configuration of every Saba-carrying port owned
+    /// by `shard` — a recovered shard re-deriving its switch state from
+    /// its connection counts (its peers kept serving; only its links
+    /// went stale).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn recompute_shard(&mut self, shard: usize) -> Vec<SwitchUpdate> {
+        assert!(shard < self.shards.len(), "shard {shard} out of range");
+        let mut links: Vec<LinkId> = self.shards[shard]
+            .link_pls
+            .iter()
+            .filter(|(_, pls)| !pls.is_empty())
+            .map(|(&l, _)| LinkId(l))
+            .collect();
+        links.sort_unstable_by_key(|l| l.0);
+        self.reprogram(links)
+    }
+
+    /// Recomputes every Saba-carrying port across all shards (full
+    /// fabric re-derivation after a total outage).
+    pub fn recompute_all(&mut self) -> Vec<SwitchUpdate> {
+        let mut all = Vec::new();
+        for s in 0..self.shards.len() {
+            all.extend(self.recompute_shard(s));
+        }
+        all
+    }
+
     /// Port configuration from PL-granularity state: Eq. 2 over the
     /// centroid model of each PL present (coarser than the centralized
     /// per-application solve).
@@ -513,6 +548,40 @@ mod tests {
         let cfg = &updates[0].config;
         let (q_lr, q_sort) = (cfg.queue_of(sl_lr), cfg.queue_of(sl_sort));
         assert!(cfg.weights[q_lr] > cfg.weights[q_sort], "{:?}", cfg.weights);
+    }
+
+    #[test]
+    fn recompute_shard_reproduces_live_state() {
+        let t = table();
+        let db = MappingDb::build(&t, 16, 1);
+        let topo = Topology::single_switch(4, saba_sim::LINK_56G_BPS);
+        let mut c = DistributedController::new(ControllerConfig::default(), db, &topo, 2);
+        c.register(AppId(0), "LR").unwrap();
+        c.register(AppId(1), "PR").unwrap();
+        let s = topo.servers();
+        let mut live: HashMap<u32, PortQueueConfig> = HashMap::new();
+        let first = c.conn_create(AppId(0), s[0], s[1], 1).unwrap();
+        let second = c.conn_create(AppId(1), s[0], s[2], 2).unwrap();
+        for u in first.into_iter().chain(second) {
+            live.insert(u.link.0, u.config);
+        }
+        // A recovered shard recomputes exactly the configs its links had.
+        for shard in 0..c.num_shards() {
+            for u in c.recompute_shard(shard) {
+                assert_eq!(c.shard_of_link(u.link), shard);
+                if let Some(prev) = live.get(&u.link.0) {
+                    assert_eq!(prev, &u.config, "link {}", u.link.0);
+                }
+            }
+        }
+        // recompute_all covers every Saba-carrying port exactly once.
+        let all = c.recompute_all();
+        let mut seen: Vec<u32> = all.iter().map(|u| u.link.0).collect();
+        seen.sort_unstable();
+        let before = seen.len();
+        seen.dedup();
+        assert_eq!(before, seen.len(), "no port recomputed twice");
+        assert_eq!(seen.len(), live.len());
     }
 
     #[test]

@@ -105,6 +105,28 @@ impl<T: Transport> SabaLib<T> {
         self.conns.values()
     }
 
+    /// The underlying transport (e.g. to read loss/retry statistics).
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+
+    /// The underlying transport, mutably (e.g. to drain switch updates
+    /// or open/close a fault window mid-run).
+    pub fn transport_mut(&mut self) -> &mut T {
+        &mut self.transport
+    }
+
+    /// Notifies the library that the controller lost its state (crash
+    /// and cold restart): the registration and every connection handle
+    /// are void, and the application must re-register before creating
+    /// connections. Tag allocation continues monotonically, so
+    /// connections created after re-registration never reuse a
+    /// pre-crash tag.
+    pub fn handle_controller_restart(&mut self) {
+        self.sl = None;
+        self.conns.clear();
+    }
+
     /// Registers the application (Fig. 7 ①–③), returning the Service
     /// Level for all future connections.
     pub fn saba_app_register(&mut self, workload: &str) -> Result<ServiceLevel, LibError> {

@@ -49,6 +49,20 @@ pub enum Request {
     },
 }
 
+/// A request wrapped with a client-chosen idempotency id.
+///
+/// Lossy transports may retry or duplicate a request; the id lets the
+/// controller recognise a replay of an operation it has already applied
+/// and return the cached response instead of applying it twice (e.g. a
+/// duplicated `ConnCreate` must not double-count link references).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Client-unique request id (monotonic per client).
+    pub request_id: u64,
+    /// The wrapped request.
+    pub request: Request,
+}
+
 /// A controller response.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
@@ -91,9 +105,17 @@ const T_APP_REGISTER: u8 = 1;
 const T_CONN_CREATE: u8 = 2;
 const T_CONN_DESTROY: u8 = 3;
 const T_APP_DEREGISTER: u8 = 4;
+const T_ENVELOPE: u8 = 5;
 const T_REGISTERED: u8 = 16;
 const T_ACK: u8 = 17;
 const T_ERROR: u8 = 18;
+
+/// Upper bound on a frame's payload length. The largest legitimate
+/// message is a few dozen bytes (an `AppRegister` with a 64 KiB
+/// workload name is the worst case), so anything bigger is garbage —
+/// rejecting it here keeps a malformed length prefix from asking the
+/// decoder to wait for gigabytes that will never arrive.
+pub const MAX_FRAME_LEN: usize = 1 << 17;
 
 fn put_string(buf: &mut BytesMut, s: &str) {
     assert!(
@@ -127,14 +149,13 @@ fn frame(body: BytesMut) -> Bytes {
     out.freeze()
 }
 
-/// Encodes a request into a wire frame.
-pub fn encode_request(req: &Request) -> Bytes {
-    let mut b = BytesMut::new();
+/// Writes a request's body (type byte + fields, no length prefix).
+fn encode_request_body(req: &Request, b: &mut BytesMut) {
     match req {
         Request::AppRegister { app, workload } => {
             b.put_u8(T_APP_REGISTER);
             b.put_u32(app.0);
-            put_string(&mut b, workload);
+            put_string(b, workload);
         }
         Request::ConnCreate { app, src, dst, tag } => {
             b.put_u8(T_CONN_CREATE);
@@ -153,6 +174,24 @@ pub fn encode_request(req: &Request) -> Bytes {
             b.put_u32(app.0);
         }
     }
+}
+
+/// Encodes a request into a wire frame.
+pub fn encode_request(req: &Request) -> Bytes {
+    let mut b = BytesMut::new();
+    encode_request_body(req, &mut b);
+    frame(b)
+}
+
+/// Encodes an id-wrapped request into a wire frame.
+///
+/// Layout: `u8 type (5) · u64 request id · request body` — the inner
+/// request is embedded without its own length prefix.
+pub fn encode_envelope(env: &Envelope) -> Bytes {
+    let mut b = BytesMut::new();
+    b.put_u8(T_ENVELOPE);
+    b.put_u64(env.request_id);
+    encode_request_body(&env.request, &mut b);
     frame(b)
 }
 
@@ -174,67 +213,115 @@ pub fn encode_response(resp: &Response) -> Bytes {
 }
 
 /// Splits one frame's payload off `data`, returning `(payload, rest)`.
+///
+/// Rejects frames whose declared length exceeds [`MAX_FRAME_LEN`] — an
+/// attacker-controlled (or corrupted) length prefix must not stall the
+/// decoder forever waiting for data that will never come.
 fn take_frame(data: &[u8]) -> Result<(&[u8], &[u8]), RpcError> {
     if data.len() < 4 {
         return Err(RpcError::Incomplete);
     }
     let len = u32::from_be_bytes([data[0], data[1], data[2], data[3]]) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(RpcError::Malformed("oversized frame"));
+    }
     if data.len() < 4 + len {
         return Err(RpcError::Incomplete);
     }
     Ok((&data[4..4 + len], &data[4 + len..]))
 }
 
-/// Decodes one request frame, returning it and the unconsumed tail.
-pub fn decode_request(data: &[u8]) -> Result<(Request, &[u8]), RpcError> {
-    let (mut body, rest) = take_frame(data)?;
+/// Reads a request body (type byte + fields) from `body`, advancing it.
+fn decode_request_body(body: &mut &[u8]) -> Result<Request, RpcError> {
     if body.remaining() < 1 {
         return Err(RpcError::Malformed("empty frame"));
     }
     let ty = body.get_u8();
-    let req = match ty {
+    match ty {
         T_APP_REGISTER => {
             if body.remaining() < 4 {
                 return Err(RpcError::Malformed("truncated AppRegister"));
             }
             let app = AppId(body.get_u32());
-            let workload = get_string(&mut body)?;
-            Request::AppRegister { app, workload }
+            let workload = get_string(body)?;
+            Ok(Request::AppRegister { app, workload })
         }
         T_CONN_CREATE => {
             if body.remaining() < 4 + 4 + 4 + 8 {
                 return Err(RpcError::Malformed("truncated ConnCreate"));
             }
-            Request::ConnCreate {
+            Ok(Request::ConnCreate {
                 app: AppId(body.get_u32()),
                 src: NodeId(body.get_u32()),
                 dst: NodeId(body.get_u32()),
                 tag: body.get_u64(),
-            }
+            })
         }
         T_CONN_DESTROY => {
             if body.remaining() < 4 + 8 {
                 return Err(RpcError::Malformed("truncated ConnDestroy"));
             }
-            Request::ConnDestroy {
+            Ok(Request::ConnDestroy {
                 app: AppId(body.get_u32()),
                 tag: body.get_u64(),
-            }
+            })
         }
         T_APP_DEREGISTER => {
             if body.remaining() < 4 {
                 return Err(RpcError::Malformed("truncated AppDeregister"));
             }
-            Request::AppDeregister {
+            Ok(Request::AppDeregister {
                 app: AppId(body.get_u32()),
-            }
+            })
         }
-        _ => return Err(RpcError::Malformed("unknown request type")),
-    };
+        _ => Err(RpcError::Malformed("unknown request type")),
+    }
+}
+
+/// Decodes one request frame, returning it and the unconsumed tail.
+///
+/// Strict: bytes left over *inside* the frame after the message are
+/// rejected (a length/body mismatch is corruption, not padding).
+pub fn decode_request(data: &[u8]) -> Result<(Request, &[u8]), RpcError> {
+    let (mut body, rest) = take_frame(data)?;
+    let req = decode_request_body(&mut body)?;
+    if !body.is_empty() {
+        return Err(RpcError::Malformed("trailing bytes in frame"));
+    }
     Ok((req, rest))
 }
 
+/// Decodes one id-wrapped request frame, returning it and the
+/// unconsumed tail. Strict about trailing bytes, like
+/// [`decode_request`].
+pub fn decode_envelope(data: &[u8]) -> Result<(Envelope, &[u8]), RpcError> {
+    let (mut body, rest) = take_frame(data)?;
+    if body.remaining() < 1 {
+        return Err(RpcError::Malformed("empty frame"));
+    }
+    if body.get_u8() != T_ENVELOPE {
+        return Err(RpcError::Malformed("not an envelope"));
+    }
+    if body.remaining() < 8 {
+        return Err(RpcError::Malformed("truncated envelope id"));
+    }
+    let request_id = body.get_u64();
+    let request = decode_request_body(&mut body)?;
+    if !body.is_empty() {
+        return Err(RpcError::Malformed("trailing bytes in frame"));
+    }
+    Ok((
+        Envelope {
+            request_id,
+            request,
+        },
+        rest,
+    ))
+}
+
 /// Decodes one response frame, returning it and the unconsumed tail.
+///
+/// Strict: bytes left over inside the frame are rejected.
 pub fn decode_response(data: &[u8]) -> Result<(Response, &[u8]), RpcError> {
     let (mut body, rest) = take_frame(data)?;
     if body.remaining() < 1 {
@@ -260,6 +347,9 @@ pub fn decode_response(data: &[u8]) -> Result<(Response, &[u8]), RpcError> {
         },
         _ => return Err(RpcError::Malformed("unknown response type")),
     };
+    if !body.is_empty() {
+        return Err(RpcError::Malformed("trailing bytes in frame"));
+    }
     Ok((resp, rest))
 }
 
@@ -364,6 +454,96 @@ mod tests {
             decode_response(&wire).unwrap_err(),
             RpcError::Malformed(_)
         ));
+    }
+
+    #[test]
+    fn envelope_round_trips() {
+        let env = Envelope {
+            request_id: 0x0123_4567_89AB_CDEF,
+            request: Request::ConnCreate {
+                app: AppId(3),
+                src: NodeId(1),
+                dst: NodeId(2),
+                tag: 99,
+            },
+        };
+        let wire = encode_envelope(&env);
+        let (back, rest) = decode_envelope(&wire).unwrap();
+        assert_eq!(back, env);
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn envelope_is_not_a_plain_request() {
+        let wire = encode_envelope(&Envelope {
+            request_id: 1,
+            request: Request::AppDeregister { app: AppId(1) },
+        });
+        assert!(matches!(
+            decode_request(&wire).unwrap_err(),
+            RpcError::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn plain_request_is_not_an_envelope() {
+        let wire = encode_request(&Request::AppDeregister { app: AppId(1) });
+        assert_eq!(
+            decode_envelope(&wire).unwrap_err(),
+            RpcError::Malformed("not an envelope")
+        );
+    }
+
+    #[test]
+    fn truncated_envelope_is_rejected_not_panicking() {
+        let wire = encode_envelope(&Envelope {
+            request_id: 7,
+            request: Request::ConnDestroy {
+                app: AppId(1),
+                tag: 2,
+            },
+        });
+        for cut in 0..wire.len() {
+            assert!(decode_envelope(&wire[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_malformed_not_incomplete() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&u32::to_be_bytes((MAX_FRAME_LEN + 1) as u32));
+        wire.push(T_ACK);
+        assert_eq!(
+            decode_response(&wire).unwrap_err(),
+            RpcError::Malformed("oversized frame")
+        );
+        assert_eq!(
+            decode_request(&wire).unwrap_err(),
+            RpcError::Malformed("oversized frame")
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_inside_frame_are_rejected() {
+        // An Ack frame padded with one junk byte: the length prefix
+        // says 2 bytes but Ack is 1.
+        let mut b = BytesMut::new();
+        b.put_u8(T_ACK);
+        b.put_u8(0xAA);
+        let wire = frame(b);
+        assert_eq!(
+            decode_response(&wire).unwrap_err(),
+            RpcError::Malformed("trailing bytes in frame")
+        );
+        let mut b = BytesMut::new();
+        b.put_u8(T_APP_DEREGISTER);
+        b.put_u32(1);
+        b.put_u8(0xAA);
+        let wire = frame(b);
+        assert_eq!(
+            decode_request(&wire).unwrap_err(),
+            RpcError::Malformed("trailing bytes in frame")
+        );
     }
 
     #[test]

@@ -1,0 +1,144 @@
+//! SabaLib error paths: misuse of the Fig. 7 lifecycle and recovery
+//! from a controller cold restart, exercised end-to-end through the
+//! wire codec (`InProcTransport` round-trips every frame).
+
+use saba_core::controller::central::CentralController;
+use saba_core::controller::ControllerConfig;
+use saba_core::library::{InProcTransport, LibError, SabaLib};
+use saba_core::profiler::{Profiler, ProfilerConfig};
+use saba_core::sensitivity::SensitivityTable;
+use saba_sim::ids::{AppId, NodeId};
+use saba_sim::topology::Topology;
+use saba_workload::catalog;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn table() -> SensitivityTable {
+    Profiler::new(ProfilerConfig {
+        noise_sigma: 0.0,
+        bw_points: vec![0.25, 0.5, 0.75, 1.0],
+        degree: 2,
+        ..Default::default()
+    })
+    .profile_all(&catalog())
+    .expect("profiling succeeds")
+}
+
+fn setup() -> (
+    Rc<RefCell<CentralController>>,
+    SabaLib<InProcTransport>,
+    Vec<NodeId>,
+) {
+    let topo = Topology::single_switch(4, saba_sim::LINK_56G_BPS);
+    let servers = topo.servers().to_vec();
+    let ctl = Rc::new(RefCell::new(CentralController::new(
+        ControllerConfig::default(),
+        table(),
+        &topo,
+    )));
+    let lib = SabaLib::new(AppId(0), InProcTransport::new(Rc::clone(&ctl)));
+    (ctl, lib, servers)
+}
+
+#[test]
+fn double_register_is_rejected_locally_and_remotely() {
+    let (ctl, mut lib, _servers) = setup();
+    lib.saba_app_register("LR").unwrap();
+    // The library short-circuits a second register...
+    assert_eq!(
+        lib.saba_app_register("LR").unwrap_err(),
+        LibError::AlreadyRegistered
+    );
+    // ...and the controller rejects a duplicate from another library
+    // instance claiming the same app id.
+    let mut imposter = SabaLib::new(AppId(0), InProcTransport::new(Rc::clone(&ctl)));
+    let err = imposter.saba_app_register("LR").unwrap_err();
+    assert!(matches!(err, LibError::Rejected(_)), "{err:?}");
+    assert_eq!(ctl.borrow().num_apps(), 1);
+}
+
+#[test]
+fn register_unknown_workload_is_rejected() {
+    let (ctl, mut lib, _servers) = setup();
+    let err = lib.saba_app_register("Mystery").unwrap_err();
+    assert!(matches!(err, LibError::Rejected(_)), "{err:?}");
+    assert_eq!(ctl.borrow().num_apps(), 0);
+    assert_eq!(lib.sl(), None, "failed registration must not stick");
+}
+
+#[test]
+fn operations_before_register_are_rejected() {
+    let (_ctl, mut lib, servers) = setup();
+    assert_eq!(
+        lib.saba_conn_create(servers[0], servers[1]).unwrap_err(),
+        LibError::NotRegistered
+    );
+    assert_eq!(lib.saba_app_deregister().unwrap_err(), LibError::NotRegistered);
+}
+
+#[test]
+fn destroying_an_unknown_connection_is_rejected() {
+    let (ctl, mut lib, servers) = setup();
+    lib.saba_app_register("LR").unwrap();
+    let conn = lib.saba_conn_create(servers[0], servers[1]).unwrap();
+    // A handle the library never issued (wrong tag).
+    let forged = saba_core::library::Connection { tag: conn.tag + 99, ..conn };
+    assert_eq!(
+        lib.saba_conn_destroy(forged).unwrap_err(),
+        LibError::UnknownConnection(conn.tag + 99)
+    );
+    // The real connection is untouched by the failed destroy.
+    assert_eq!(ctl.borrow().num_conns(), 1);
+    lib.saba_conn_destroy(conn).unwrap();
+    assert_eq!(ctl.borrow().num_conns(), 0);
+}
+
+#[test]
+fn deregister_with_live_connections_cleans_up_everything() {
+    let (ctl, mut lib, servers) = setup();
+    lib.saba_app_register("PR").unwrap();
+    lib.saba_conn_create(servers[0], servers[1]).unwrap();
+    lib.saba_conn_create(servers[1], servers[2]).unwrap();
+    lib.saba_conn_create(servers[2], servers[3]).unwrap();
+    assert_eq!(ctl.borrow().num_conns(), 3);
+    // Deregister implicitly destroys the remaining connections first.
+    lib.saba_app_deregister().unwrap();
+    assert_eq!(ctl.borrow().num_conns(), 0, "no leaked connections");
+    assert_eq!(ctl.borrow().num_apps(), 0);
+    assert_eq!(lib.connections().count(), 0);
+    assert_eq!(lib.sl(), None);
+}
+
+#[test]
+fn register_after_controller_restart_recovers_the_application() {
+    let (ctl, mut lib, servers) = setup();
+    let sl_before = lib.saba_app_register("LR").unwrap();
+    let pre_crash = lib.saba_conn_create(servers[0], servers[1]).unwrap();
+
+    // Cold restart: the controller process is replaced by a fresh one
+    // with no memory of the application.
+    let topo = Topology::single_switch(4, saba_sim::LINK_56G_BPS);
+    *ctl.borrow_mut() = CentralController::new(ControllerConfig::default(), table(), &topo);
+    lib.handle_controller_restart();
+
+    // Pre-crash handles are void...
+    assert_eq!(lib.sl(), None);
+    assert_eq!(lib.connections().count(), 0);
+    assert_eq!(
+        lib.saba_conn_create(servers[0], servers[2]).unwrap_err(),
+        LibError::NotRegistered
+    );
+    // ...but re-registering brings the app back and new connections
+    // work, with tags that never collide with pre-crash ones.
+    let sl_after = lib.saba_app_register("LR").unwrap();
+    assert_eq!(sl_before, sl_after, "sole app gets the same PL back");
+    let post_crash = lib.saba_conn_create(servers[0], servers[2]).unwrap();
+    assert_ne!(
+        pre_crash.tag, post_crash.tag,
+        "tag allocation must stay monotonic across restarts"
+    );
+    assert_eq!(ctl.borrow().num_conns(), 1);
+    lib.saba_conn_destroy(post_crash).unwrap();
+    lib.saba_app_deregister().unwrap();
+    assert_eq!(ctl.borrow().num_apps(), 0);
+}

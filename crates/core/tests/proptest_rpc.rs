@@ -1,0 +1,125 @@
+//! Property-based tests of the RPC codec: arbitrary bytes must never
+//! panic the decoders, and every encodable value must round-trip
+//! exactly — including through the id-carrying envelope and through
+//! truncation/corruption of otherwise-valid frames.
+
+use proptest::prelude::*;
+use saba_core::rpc::{
+    decode_envelope, decode_request, decode_response, encode_envelope, encode_request,
+    encode_response, Envelope, Request, Response, RpcError,
+};
+use saba_sim::ids::{AppId, NodeId, ServiceLevel};
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        (any::<u32>(), "[a-zA-Z0-9 _-]{0,40}").prop_map(|(app, workload)| {
+            Request::AppRegister {
+                app: AppId(app),
+                workload,
+            }
+        }),
+        (any::<u32>(), any::<u32>(), any::<u32>(), any::<u64>()).prop_map(
+            |(app, src, dst, tag)| Request::ConnCreate {
+                app: AppId(app),
+                src: NodeId(src),
+                dst: NodeId(dst),
+                tag,
+            }
+        ),
+        (any::<u32>(), any::<u64>()).prop_map(|(app, tag)| Request::ConnDestroy {
+            app: AppId(app),
+            tag,
+        }),
+        any::<u32>().prop_map(|app| Request::AppDeregister { app: AppId(app) }),
+    ]
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        (0u8..ServiceLevel::COUNT as u8).prop_map(|sl| Response::Registered {
+            sl: ServiceLevel(sl),
+        }),
+        Just(Response::Ack),
+        "[ -~]{0,60}".prop_map(|message| Response::Error { message }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes never panic any decoder; they either parse or
+    /// return a structured error.
+    #[test]
+    fn arbitrary_bytes_never_panic(data in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode_request(&data);
+        let _ = decode_response(&data);
+        let _ = decode_envelope(&data);
+    }
+
+    /// Requests round-trip exactly, leaving no unconsumed tail.
+    #[test]
+    fn request_round_trip_is_exact(req in arb_request()) {
+        let wire = encode_request(&req);
+        let (back, rest) = decode_request(&wire).unwrap();
+        prop_assert_eq!(back, req);
+        prop_assert!(rest.is_empty());
+    }
+
+    /// Responses round-trip exactly.
+    #[test]
+    fn response_round_trip_is_exact(resp in arb_response()) {
+        let wire = encode_response(&resp);
+        let (back, rest) = decode_response(&wire).unwrap();
+        prop_assert_eq!(back, resp);
+        prop_assert!(rest.is_empty());
+    }
+
+    /// Envelopes round-trip exactly, preserving the request id.
+    #[test]
+    fn envelope_round_trip_is_exact(id in any::<u64>(), req in arb_request()) {
+        let env = Envelope { request_id: id, request: req };
+        let wire = encode_envelope(&env);
+        let (back, rest) = decode_envelope(&wire).unwrap();
+        prop_assert_eq!(back, env);
+        prop_assert!(rest.is_empty());
+    }
+
+    /// Every strict prefix of a valid request frame is an error (and
+    /// specifically `Incomplete` — the resumable kind — so a streaming
+    /// reader knows to wait for more bytes).
+    #[test]
+    fn truncated_request_is_incomplete(req in arb_request(), keep in 0.0f64..1.0) {
+        let wire = encode_request(&req);
+        let cut = ((wire.len() as f64) * keep) as usize; // always < len
+        prop_assert_eq!(decode_request(&wire[..cut]).unwrap_err(), RpcError::Incomplete);
+    }
+
+    /// Corrupting a single byte never panics; the result either fails
+    /// or parses (a flipped bit inside e.g. a tag field still yields a
+    /// structurally valid message).
+    #[test]
+    fn single_byte_corruption_never_panics(
+        req in arb_request(),
+        pos_frac in 0.0f64..1.0,
+        xor in 1u8..=255,
+    ) {
+        let wire = encode_request(&req).to_vec();
+        let mut bad = wire.clone();
+        let pos = ((bad.len() as f64) * pos_frac) as usize % bad.len();
+        bad[pos] ^= xor;
+        let _ = decode_request(&bad);
+        let _ = decode_envelope(&bad);
+    }
+
+    /// Pipelined frames with trailing garbage: the first frame decodes,
+    /// and decoding the garbage tail errors rather than panicking.
+    #[test]
+    fn pipelined_then_garbage(req in arb_request(), junk in prop::collection::vec(any::<u8>(), 0..32)) {
+        let mut wire = encode_request(&req).to_vec();
+        wire.extend_from_slice(&junk);
+        let (back, rest) = decode_request(&wire).unwrap();
+        prop_assert_eq!(back, req);
+        prop_assert_eq!(rest, &junk[..]);
+        let _ = decode_request(rest);
+    }
+}

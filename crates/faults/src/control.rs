@@ -1,0 +1,467 @@
+//! Controller crash, stale-weight degradation, and replay recovery.
+//!
+//! [`ResilientController`] wraps either controller flavour and models
+//! what the paper's §6 deployment would survive:
+//!
+//! * **Centralized crash** — the controller process dies and loses all
+//!   in-memory state. Switches keep forwarding on their last-programmed
+//!   (now *stale*) WFQ weights, applications keep running, and
+//!   connection churn simply goes unanswered. On restart the controller
+//!   replays the applications' re-registrations in their original
+//!   order (the PL assigner is deterministic, so surviving apps get
+//!   their PLs back), preloads the connections that are still alive,
+//!   and reprograms every port from scratch.
+//! * **Distributed shard crash** — only the crashed shard's links stop
+//!   receiving weight updates; every other shard keeps allocating.
+//!   Because the workload→PL mapping database is offline-replicated,
+//!   recovery is just re-deriving the shard's port programs
+//!   ([`DistributedController::recompute_shard`]) — no replay needed.
+//!
+//! Recovery wall-clock latency is measured and reported through
+//! [`ResilienceStats`] for humans; it must never enter experiment CSVs
+//! (it is nondeterministic).
+
+use crate::injector::ControlAction;
+use saba_core::controller::central::CentralController;
+use saba_core::controller::distributed::{DistributedController, MappingDb};
+use saba_core::controller::{ControllerConfig, SwitchUpdate};
+use saba_core::sensitivity::SensitivityTable;
+use saba_sim::ids::{AppId, NodeId, ServiceLevel};
+use saba_sim::topology::Topology;
+use saba_workload::runtime::ConnEvent;
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Instant;
+
+/// Counters describing how a run degraded and recovered.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResilienceStats {
+    /// Full controller crashes.
+    pub crashes: u64,
+    /// Distributed shard crashes.
+    pub shard_crashes: u64,
+    /// Recoveries completed (controller or shard).
+    pub recoveries: u64,
+    /// Connection events that arrived while the controller was down
+    /// (absorbed by stale weights, replayed logically at recovery).
+    pub stale_events: u64,
+    /// Switch updates suppressed because their link's shard was down.
+    pub updates_suppressed: u64,
+    /// Registrations replayed during controller recoveries.
+    pub replayed_registrations: u64,
+    /// Live connections replayed during controller recoveries.
+    pub replayed_connections: u64,
+    /// Wall-clock duration of the most recent recovery, in
+    /// microseconds. Diagnostics only — nondeterministic, never to be
+    /// written into experiment CSVs.
+    pub last_recovery_micros: u64,
+}
+
+enum Inner {
+    Central(Box<CentralController>),
+    Distributed(Box<DistributedController>),
+}
+
+/// A crash-survivable facade over either controller flavour.
+///
+/// Drives the inner controller exactly like the plain co-run loop
+/// does, but additionally tracks the ground truth needed for recovery:
+/// the ordered registration log and the set of live connections.
+pub struct ResilientController {
+    inner: Inner,
+    cfg: ControllerConfig,
+    table: Option<SensitivityTable>,
+    topo: Topology,
+    down: bool,
+    down_shards: BTreeSet<usize>,
+    /// Registration log in arrival order — replay order must match the
+    /// original order for the deterministic PL assigner to reproduce
+    /// the same PLs.
+    registrations: Vec<(AppId, String)>,
+    live_conns: BTreeMap<(AppId, u64), (NodeId, NodeId)>,
+    sls: BTreeMap<AppId, ServiceLevel>,
+    stats: ResilienceStats,
+}
+
+impl ResilientController {
+    /// Wraps a fresh centralized controller.
+    pub fn central(cfg: ControllerConfig, table: SensitivityTable, topo: &Topology) -> Self {
+        let inner = CentralController::new(cfg.clone(), table.clone(), topo);
+        Self {
+            inner: Inner::Central(Box::new(inner)),
+            cfg,
+            table: Some(table),
+            topo: topo.clone(),
+            down: false,
+            down_shards: BTreeSet::new(),
+            registrations: Vec::new(),
+            live_conns: BTreeMap::new(),
+            sls: BTreeMap::new(),
+            stats: ResilienceStats::default(),
+        }
+    }
+
+    /// Wraps a fresh distributed controller with `num_shards` shards.
+    pub fn distributed(
+        cfg: ControllerConfig,
+        db: MappingDb,
+        topo: &Topology,
+        num_shards: usize,
+    ) -> Self {
+        let inner = DistributedController::new(cfg.clone(), db, topo, num_shards);
+        Self {
+            inner: Inner::Distributed(Box::new(inner)),
+            cfg,
+            table: None,
+            topo: topo.clone(),
+            down: false,
+            down_shards: BTreeSet::new(),
+            registrations: Vec::new(),
+            live_conns: BTreeMap::new(),
+            sls: BTreeMap::new(),
+            stats: ResilienceStats::default(),
+        }
+    }
+
+    /// True while the whole controller is crashed.
+    pub fn is_down(&self) -> bool {
+        self.down
+    }
+
+    /// Shard count (0 for the centralized flavour).
+    pub fn num_shards(&self) -> usize {
+        match &self.inner {
+            Inner::Central(_) => 0,
+            Inner::Distributed(c) => c.num_shards(),
+        }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> ResilienceStats {
+        self.stats
+    }
+
+    /// The SL assigned to `app`, if it is registered.
+    pub fn sl_of(&self, app: AppId) -> Option<ServiceLevel> {
+        self.sls.get(&app).copied()
+    }
+
+    /// Registers an application. Fails while the controller is down —
+    /// callers are expected to retry after recovery (register-at-launch
+    /// co-runs never hit this; it exists for completeness and tests).
+    pub fn register(&mut self, app: AppId, workload: &str) -> Result<ServiceLevel, String> {
+        if self.down {
+            return Err("controller is down".into());
+        }
+        let sl = match &mut self.inner {
+            Inner::Central(c) => c.register(app, workload).map_err(|e| e.to_string())?,
+            Inner::Distributed(c) => c.register(app, workload).map_err(|e| e.to_string())?,
+        };
+        self.registrations.push((app, workload.to_string()));
+        self.sls.insert(app, sl);
+        Ok(sl)
+    }
+
+    /// Feeds one connection event through the controller.
+    ///
+    /// While crashed, the event is only logged (the returned update set
+    /// is empty — switches stay on stale weights); the log keeps the
+    /// recovery ground truth current. While a shard is crashed, updates
+    /// for its links are suppressed.
+    pub fn on_event(&mut self, ev: &ConnEvent) -> Vec<SwitchUpdate> {
+        if self.down {
+            self.stats.stale_events += 1;
+            self.log_event(ev);
+            return Vec::new();
+        }
+        let result = match (&mut self.inner, ev) {
+            (Inner::Central(c), ConnEvent::Created { app, src, dst, tag }) => {
+                c.conn_create(*app, *src, *dst, *tag)
+            }
+            (Inner::Central(c), ConnEvent::Destroyed { app, tag, .. }) => c.conn_destroy(*app, *tag),
+            (Inner::Central(c), ConnEvent::JobCompleted { app, .. }) => c.deregister(*app),
+            (Inner::Distributed(c), ConnEvent::Created { app, src, dst, tag }) => {
+                c.conn_create(*app, *src, *dst, *tag)
+            }
+            (Inner::Distributed(c), ConnEvent::Destroyed { app, tag, .. }) => {
+                c.conn_destroy(*app, *tag)
+            }
+            (Inner::Distributed(c), ConnEvent::JobCompleted { app, .. }) => c.deregister(*app),
+        };
+        let updates = result.expect("controller accepts events for registered jobs");
+        self.log_event(ev);
+        self.filter_updates(updates)
+    }
+
+    /// Mirrors `ev` into the registration log and live-connection set.
+    fn log_event(&mut self, ev: &ConnEvent) {
+        match ev {
+            ConnEvent::Created { app, src, dst, tag } => {
+                self.live_conns.insert((*app, *tag), (*src, *dst));
+            }
+            ConnEvent::Destroyed { app, tag, .. } => {
+                self.live_conns.remove(&(*app, *tag));
+            }
+            ConnEvent::JobCompleted { app, .. } => {
+                self.registrations.retain(|(a, _)| a != app);
+                self.live_conns.retain(|(a, _), _| a != app);
+                self.sls.remove(app);
+            }
+        }
+    }
+
+    /// Drops updates addressed to links owned by a crashed shard.
+    fn filter_updates(&mut self, updates: Vec<SwitchUpdate>) -> Vec<SwitchUpdate> {
+        if self.down_shards.is_empty() {
+            return updates;
+        }
+        let Inner::Distributed(c) = &self.inner else {
+            return updates;
+        };
+        let before = updates.len();
+        let kept: Vec<SwitchUpdate> = updates
+            .into_iter()
+            .filter(|u| !self.down_shards.contains(&c.shard_of_link(u.link)))
+            .collect();
+        self.stats.updates_suppressed += (before - kept.len()) as u64;
+        kept
+    }
+
+    /// Crashes the whole controller: in-memory state is lost, switches
+    /// keep their current (soon stale) weights.
+    pub fn crash(&mut self) {
+        if !self.down {
+            self.down = true;
+            self.stats.crashes += 1;
+        }
+    }
+
+    /// Restarts the controller and returns the updates that re-program
+    /// the fabric from the recovered state.
+    ///
+    /// The centralized flavour is rebuilt cold and replays the ordered
+    /// registration log plus the still-live connections. The
+    /// distributed flavour's state is replicated (offline mapping DB +
+    /// per-shard logs), so recovery only re-derives port programs.
+    pub fn recover(&mut self) -> Vec<SwitchUpdate> {
+        if !self.down {
+            return Vec::new();
+        }
+        let started = Instant::now();
+        self.down = false;
+        let updates = if matches!(self.inner, Inner::Central(_)) {
+            let table = self.table.clone().expect("central flavour keeps its table");
+            let mut fresh = CentralController::new(self.cfg.clone(), table, &self.topo);
+            for (app, workload) in &self.registrations {
+                let sl = fresh
+                    .register(*app, workload)
+                    .expect("replay of a previously accepted registration");
+                self.sls.insert(*app, sl);
+                self.stats.replayed_registrations += 1;
+            }
+            for (&(app, tag), &(src, dst)) in &self.live_conns {
+                fresh.preload_connection(app, src, dst, tag);
+                self.stats.replayed_connections += 1;
+            }
+            let updates = fresh.recompute_all();
+            self.inner = Inner::Central(Box::new(fresh));
+            updates
+        } else {
+            match &mut self.inner {
+                Inner::Distributed(c) => c.recompute_all(),
+                Inner::Central(_) => unreachable!(),
+            }
+        };
+        self.stats.recoveries += 1;
+        self.stats.last_recovery_micros = started.elapsed().as_micros() as u64;
+        self.filter_updates(updates)
+    }
+
+    /// Crashes one shard of the distributed flavour (no-op for the
+    /// centralized flavour, which has no shards).
+    pub fn crash_shard(&mut self, shard: usize) {
+        if matches!(self.inner, Inner::Distributed(_)) && self.down_shards.insert(shard) {
+            self.stats.shard_crashes += 1;
+        }
+    }
+
+    /// Restarts a crashed shard, re-deriving its port programs.
+    pub fn recover_shard(&mut self, shard: usize) -> Vec<SwitchUpdate> {
+        if !self.down_shards.remove(&shard) {
+            return Vec::new();
+        }
+        let started = Instant::now();
+        let updates = match &mut self.inner {
+            Inner::Distributed(c) => c.recompute_shard(shard),
+            Inner::Central(_) => unreachable!("central flavour never records down shards"),
+        };
+        self.stats.recoveries += 1;
+        self.stats.last_recovery_micros = started.elapsed().as_micros() as u64;
+        self.filter_updates(updates)
+    }
+
+    /// Applies one control-plane fault action, returning any updates
+    /// recovery produced. RPC-window actions are not the controller's
+    /// concern and return nothing.
+    pub fn apply(&mut self, action: &ControlAction) -> Vec<SwitchUpdate> {
+        match action {
+            ControlAction::CrashController => {
+                self.crash();
+                Vec::new()
+            }
+            ControlAction::RecoverController => self.recover(),
+            ControlAction::CrashShard(s) => {
+                self.crash_shard(*s);
+                Vec::new()
+            }
+            ControlAction::RecoverShard(s) => self.recover_shard(*s),
+            ControlAction::RpcDegradeStart { .. } | ControlAction::RpcDegradeEnd => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saba_core::profiler::{Profiler, ProfilerConfig};
+    use saba_workload::catalog;
+
+    fn table() -> SensitivityTable {
+        Profiler::new(ProfilerConfig {
+            noise_sigma: 0.0,
+            bw_points: vec![0.25, 0.5, 0.75, 1.0],
+            degree: 2,
+            ..Default::default()
+        })
+        .profile_all(&catalog())
+        .unwrap()
+    }
+
+    fn created(app: u32, src: NodeId, dst: NodeId, tag: u64) -> ConnEvent {
+        ConnEvent::Created {
+            app: AppId(app),
+            src,
+            dst,
+            tag,
+        }
+    }
+
+    #[test]
+    fn central_crash_recovery_replays_registrations_and_connections() {
+        let topo = Topology::single_switch(4, 100.0);
+        let servers = topo.servers().to_vec();
+        let mut c = ResilientController::central(ControllerConfig::default(), table(), &topo);
+        let sl_lr = c.register(AppId(0), "LR").unwrap();
+        let sl_sort = c.register(AppId(1), "Sort").unwrap();
+        let before = c.on_event(&created(0, servers[0], servers[1], 1));
+        assert!(!before.is_empty());
+        c.on_event(&created(1, servers[2], servers[3], (1 << 32) | 1));
+
+        c.crash();
+        assert!(c.is_down());
+        // Churn during the outage: one new connection, one teardown.
+        assert!(c
+            .on_event(&created(0, servers[1], servers[2], 2))
+            .is_empty());
+        assert!(c
+            .on_event(&ConnEvent::Destroyed {
+                app: AppId(1),
+                src: servers[2],
+                dst: servers[3],
+                tag: (1 << 32) | 1,
+            })
+            .is_empty());
+        assert!(c.register(AppId(2), "PR").is_err(), "down controller rejects");
+
+        let updates = c.recover();
+        assert!(!updates.is_empty(), "recovery reprograms the fabric");
+        let s = c.stats();
+        assert_eq!(s.crashes, 1);
+        assert_eq!(s.recoveries, 1);
+        assert_eq!(s.stale_events, 2);
+        assert_eq!(s.replayed_registrations, 2);
+        assert_eq!(s.replayed_connections, 2, "conns 0/1 and 0/2 are live");
+        // Same apps, same order, deterministic assigner: same SLs.
+        assert_eq!(c.sl_of(AppId(0)), Some(sl_lr));
+        assert_eq!(c.sl_of(AppId(1)), Some(sl_sort));
+        // The recovered controller accepts post-recovery churn for
+        // connections created before *and during* the outage.
+        assert!(!c
+            .on_event(&ConnEvent::Destroyed {
+                app: AppId(0),
+                src: servers[0],
+                dst: servers[1],
+                tag: 1,
+            })
+            .is_empty());
+        c.on_event(&ConnEvent::Destroyed {
+            app: AppId(0),
+            src: servers[1],
+            dst: servers[2],
+            tag: 2,
+        });
+    }
+
+    #[test]
+    fn crash_while_idle_recovers_to_empty_state() {
+        let topo = Topology::single_switch(2, 100.0);
+        let mut c = ResilientController::central(ControllerConfig::default(), table(), &topo);
+        c.crash();
+        let updates = c.recover();
+        assert!(updates.is_empty(), "nothing to reprogram");
+        assert_eq!(c.stats().recoveries, 1);
+    }
+
+    #[test]
+    fn shard_crash_suppresses_only_its_links() {
+        let topo = Topology::single_switch(4, 100.0);
+        let servers = topo.servers().to_vec();
+        let db = MappingDb::build(&table(), ControllerConfig::default().num_pls, 1);
+        let mut c =
+            ResilientController::distributed(ControllerConfig::default(), db, &topo, 2);
+        c.register(AppId(0), "LR").unwrap();
+        c.register(AppId(1), "Sort").unwrap();
+        let full = c.on_event(&created(0, servers[0], servers[1], 1));
+        assert!(!full.is_empty());
+
+        fn shard_of(c: &ResilientController, u: &SwitchUpdate) -> usize {
+            match &c.inner {
+                Inner::Distributed(d) => d.shard_of_link(u.link),
+                Inner::Central(_) => unreachable!(),
+            }
+        }
+
+        c.crash_shard(0);
+        let filtered = c.on_event(&created(1, servers[1], servers[2], (1 << 32) | 1));
+        for u in &filtered {
+            assert_eq!(shard_of(&c, u), 1, "shard-0 updates must be suppressed");
+        }
+        assert!(c.stats().updates_suppressed > 0);
+
+        let recovered = c.recover_shard(0);
+        assert!(!recovered.is_empty(), "shard 0 owns programmed links");
+        for u in &recovered {
+            assert_eq!(shard_of(&c, u), 0);
+        }
+        assert_eq!(c.stats().shard_crashes, 1);
+        assert_eq!(c.stats().recoveries, 1);
+    }
+
+    #[test]
+    fn apply_maps_actions_to_transitions() {
+        let topo = Topology::single_switch(2, 100.0);
+        let mut c = ResilientController::central(ControllerConfig::default(), table(), &topo);
+        assert!(c.apply(&ControlAction::CrashController).is_empty());
+        assert!(c.is_down());
+        c.apply(&ControlAction::RecoverController);
+        assert!(!c.is_down());
+        // RPC windows and shard actions are no-ops for central.
+        assert!(c
+            .apply(&ControlAction::RpcDegradeStart {
+                drop: 0.5,
+                duplicate: 0.1
+            })
+            .is_empty());
+        c.apply(&ControlAction::CrashShard(0));
+        assert_eq!(c.stats().shard_crashes, 0);
+    }
+}

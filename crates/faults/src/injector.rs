@@ -1,0 +1,348 @@
+//! Drives a [`FaultSchedule`] through a running simulation.
+//!
+//! The injector arms two timers per fault (injection and repair) in the
+//! simulation's own event queue, so faults interleave deterministically
+//! with flow completions and job timers. Network faults are applied to
+//! the [`Simulation`] directly (topology mutation + route re-convergence
+//! + flow reroute/park/resume); control-plane and RPC faults are
+//! returned to the caller as [`ControlAction`]s, because the controller
+//! and transport live outside the simulation core.
+
+use crate::schedule::{FaultKind, FaultSchedule, FaultSpec};
+use saba_sim::engine::{FabricModel, FaultImpact, Simulation};
+
+/// Timer-key namespace for fault events: the top 32 bits all set.
+///
+/// Job runtimes use `key_base = job_index << 32` with job indices far
+/// below `u32::MAX`, so fault keys can never collide with job keys.
+pub const FAULT_KEY_BASE: u64 = 0xFFFF_FFFFu64 << 32;
+
+/// A control-plane or RPC fault event the caller must apply, since the
+/// controller and transport are not owned by the simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ControlAction {
+    /// The controller crashes (loses in-memory state, stops answering).
+    CrashController,
+    /// The controller restarts and must replay/recover state.
+    RecoverController,
+    /// One distributed-controller shard crashes.
+    CrashShard(usize),
+    /// The crashed shard restarts and re-derives its port state.
+    RecoverShard(usize),
+    /// The RPC channel becomes lossy with these probabilities.
+    RpcDegradeStart {
+        /// Per-message drop probability.
+        drop: f64,
+        /// Per-request duplication probability.
+        duplicate: f64,
+    },
+    /// The RPC channel becomes reliable again.
+    RpcDegradeEnd,
+}
+
+/// Counters accumulated while replaying a schedule.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InjectorStats {
+    /// Network fault/repair events applied to the simulation.
+    pub network_events: u64,
+    /// Control-plane/RPC events handed back to the caller.
+    pub control_events: u64,
+    /// Flows moved to an alternate path across all events.
+    pub rerouted: u64,
+    /// Flows parked (no surviving route) across all events.
+    pub parked: u64,
+    /// Parked flows resumed after repairs.
+    pub resumed: u64,
+}
+
+/// Replays one [`FaultSchedule`] against one simulation run.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    schedule: FaultSchedule,
+    stats: InjectorStats,
+}
+
+impl FaultInjector {
+    /// Creates an injector for `schedule`.
+    pub fn new(schedule: FaultSchedule) -> Self {
+        assert!(
+            schedule.faults.len() < (1 << 31),
+            "schedule too large for the key encoding"
+        );
+        Self {
+            schedule,
+            stats: InjectorStats::default(),
+        }
+    }
+
+    /// The schedule being replayed.
+    pub fn schedule(&self) -> &FaultSchedule {
+        &self.schedule
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> InjectorStats {
+        self.stats
+    }
+
+    /// True when `key` belongs to this injector's timer namespace.
+    pub fn owns_key(key: u64) -> bool {
+        key & FAULT_KEY_BASE == FAULT_KEY_BASE
+    }
+
+    /// Schedules the injection and repair timers for every fault.
+    /// Call once, before the event loop starts.
+    pub fn arm<M: FabricModel>(&self, sim: &mut Simulation<M>) {
+        for (i, f) in self.schedule.faults.iter().enumerate() {
+            let key = FAULT_KEY_BASE | ((i as u64) << 1);
+            sim.schedule(f.start, key);
+            sim.schedule(f.start + f.duration, key | 1);
+        }
+    }
+
+    fn absorb(&mut self, impact: FaultImpact) {
+        self.stats.rerouted += impact.rerouted.len() as u64;
+        self.stats.parked += impact.parked.len() as u64;
+        self.stats.resumed += impact.resumed.len() as u64;
+    }
+
+    /// Handles one fired fault timer: applies network faults to `sim`
+    /// and returns control-plane faults for the caller to apply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is not an armed fault key of this injector.
+    pub fn on_timer<M: FabricModel>(
+        &mut self,
+        sim: &mut Simulation<M>,
+        key: u64,
+    ) -> Option<ControlAction> {
+        assert!(Self::owns_key(key), "key {key:#x} is not a fault key");
+        let idx = ((key & 0xFFFF_FFFF) >> 1) as usize;
+        let repairing = key & 1 == 1;
+        let FaultSpec { kind, .. } = self.schedule.faults[idx];
+        match kind {
+            FaultKind::DegradeLink { link, fraction } => {
+                self.stats.network_events += 1;
+                sim.degrade_link(link, if repairing { 1.0 } else { fraction });
+                None
+            }
+            FaultKind::FailCable { link } => {
+                self.stats.network_events += 1;
+                let rev = sim.topo().reverse_of(link);
+                let impact = if repairing {
+                    sim.restore_link(link)
+                } else {
+                    sim.fail_link(link)
+                };
+                self.absorb(impact);
+                if let Some(rev) = rev {
+                    let impact = if repairing {
+                        sim.restore_link(rev)
+                    } else {
+                        sim.fail_link(rev)
+                    };
+                    self.absorb(impact);
+                }
+                None
+            }
+            FaultKind::FailSwitch { node } => {
+                self.stats.network_events += 1;
+                let impact = if repairing {
+                    sim.restore_node(node)
+                } else {
+                    sim.fail_node(node)
+                };
+                self.absorb(impact);
+                None
+            }
+            FaultKind::CrashController => {
+                self.stats.control_events += 1;
+                Some(if repairing {
+                    ControlAction::RecoverController
+                } else {
+                    ControlAction::CrashController
+                })
+            }
+            FaultKind::CrashShard { shard } => {
+                self.stats.control_events += 1;
+                Some(if repairing {
+                    ControlAction::RecoverShard(shard)
+                } else {
+                    ControlAction::CrashShard(shard)
+                })
+            }
+            FaultKind::RpcDegrade { drop, duplicate } => {
+                self.stats.control_events += 1;
+                Some(if repairing {
+                    ControlAction::RpcDegradeEnd
+                } else {
+                    ControlAction::RpcDegradeStart { drop, duplicate }
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saba_sim::engine::{Event, FairShareFabric, FlowSpec, Simulation};
+    use saba_sim::ids::{AppId, ServiceLevel};
+    use saba_sim::topology::{SpineLeafConfig, Topology};
+
+    fn spec(src: saba_sim::ids::NodeId, dst: saba_sim::ids::NodeId, bytes: f64) -> FlowSpec {
+        FlowSpec {
+            src,
+            dst,
+            bytes,
+            sl: ServiceLevel(0),
+            app: AppId(0),
+            tag: 1,
+            rate_cap: f64::INFINITY,
+            min_rate: 0.0,
+        }
+    }
+
+    /// Runs the sim to completion, dispatching fault timers, and
+    /// returns (completion time of the last flow, control actions).
+    fn drain<M: FabricModel>(
+        sim: &mut Simulation<M>,
+        inj: &mut FaultInjector,
+    ) -> (f64, Vec<ControlAction>) {
+        let mut last = 0.0;
+        let mut actions = Vec::new();
+        loop {
+            match sim.next_event() {
+                Event::Timer { key, .. } => {
+                    if let Some(a) = inj.on_timer(sim, key) {
+                        actions.push(a);
+                    }
+                }
+                Event::FlowsCompleted { at, .. } => last = at,
+                Event::Idle => return (last, actions),
+            }
+        }
+    }
+
+    #[test]
+    fn fault_keys_never_collide_with_job_keys() {
+        for job in 0..1000u64 {
+            for seq in 0..10u64 {
+                assert!(!FaultInjector::owns_key((job << 32) | seq));
+            }
+        }
+        assert!(FaultInjector::owns_key(FAULT_KEY_BASE));
+        assert!(FaultInjector::owns_key(FAULT_KEY_BASE | 7));
+    }
+
+    #[test]
+    fn degrade_window_slows_then_restores() {
+        // 1000 B at 100 B/s; NIC at 50% during [2, 4): 200 B by t=2,
+        // 100 B more by t=4, remaining 700 B at full rate -> t=11.
+        let topo = Topology::single_switch(2, 100.0);
+        let servers = topo.servers().to_vec();
+        let nic = topo.nic_link(servers[0]);
+        let mut sim = Simulation::new(topo, FairShareFabric::default());
+        sim.start_flow(spec(servers[0], servers[1], 1000.0));
+        let schedule = FaultSchedule {
+            seed: 0,
+            faults: vec![FaultSpec {
+                kind: FaultKind::DegradeLink {
+                    link: nic,
+                    fraction: 0.5,
+                },
+                start: 2.0,
+                duration: 2.0,
+            }],
+        };
+        let mut inj = FaultInjector::new(schedule);
+        inj.arm(&mut sim);
+        let (done, actions) = drain(&mut sim, &mut inj);
+        assert!((done - 11.0).abs() < 1e-6, "finished at {done}");
+        assert!(actions.is_empty());
+        assert_eq!(inj.stats().network_events, 2);
+    }
+
+    #[test]
+    fn cable_failure_reroutes_and_repair_is_observed() {
+        // Cross-pod flow; fail the spine on its path mid-transfer so it
+        // must re-converge through the surviving spine.
+        let topo = Topology::spine_leaf(&SpineLeafConfig::tiny(2));
+        let servers = topo.servers().to_vec();
+        let mut sim = Simulation::new(topo, FairShareFabric::default());
+        sim.start_flow(spec(servers[0], servers[7], 1000.0));
+        let spine = sim.active_flows()[0]
+            .path
+            .iter()
+            .map(|&l| sim.topo().link(l).from)
+            .find(|&n| sim.topo().node(n).name.starts_with("spine"))
+            .expect("cross-pod path crosses a spine");
+        let schedule = FaultSchedule {
+            seed: 0,
+            faults: vec![FaultSpec {
+                kind: FaultKind::FailSwitch { node: spine },
+                start: 1.0,
+                duration: 3.0,
+            }],
+        };
+        let mut inj = FaultInjector::new(schedule);
+        inj.arm(&mut sim);
+        let (_, actions) = drain(&mut sim, &mut inj);
+        assert!(actions.is_empty());
+        assert_eq!(inj.stats().network_events, 2);
+        assert!(
+            inj.stats().rerouted >= 1,
+            "failing the on-path spine must reroute the flow"
+        );
+        assert_eq!(sim.stats().flows_completed, 1);
+        assert!(sim.stats().route_recomputes >= 2);
+    }
+
+    #[test]
+    fn control_actions_fire_in_schedule_order() {
+        let topo = Topology::single_switch(2, 100.0);
+        let mut sim = Simulation::new(topo, FairShareFabric::default());
+        let schedule = FaultSchedule {
+            seed: 0,
+            faults: vec![
+                FaultSpec {
+                    kind: FaultKind::RpcDegrade {
+                        drop: 0.2,
+                        duplicate: 0.1,
+                    },
+                    start: 1.0,
+                    duration: 1.0,
+                },
+                FaultSpec {
+                    kind: FaultKind::CrashController,
+                    start: 3.0,
+                    duration: 1.0,
+                },
+                FaultSpec {
+                    kind: FaultKind::CrashShard { shard: 2 },
+                    start: 5.0,
+                    duration: 1.0,
+                },
+            ],
+        };
+        let mut inj = FaultInjector::new(schedule);
+        inj.arm(&mut sim);
+        let (_, actions) = drain(&mut sim, &mut inj);
+        assert_eq!(
+            actions,
+            vec![
+                ControlAction::RpcDegradeStart {
+                    drop: 0.2,
+                    duplicate: 0.1
+                },
+                ControlAction::RpcDegradeEnd,
+                ControlAction::CrashController,
+                ControlAction::RecoverController,
+                ControlAction::CrashShard(2),
+                ControlAction::RecoverShard(2),
+            ]
+        );
+        assert_eq!(inj.stats().control_events, 6);
+    }
+}

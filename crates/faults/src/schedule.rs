@@ -1,0 +1,376 @@
+//! Serializable, seeded fault schedules.
+//!
+//! A [`FaultSchedule`] is a plain list of timed events — *what* breaks,
+//! *when*, and *for how long* — generated deterministically from a seed
+//! by [`FaultSchedule::generate`]. Every fault repairs itself at
+//! `start + duration`, so a schedule never leaves the system degraded
+//! forever; the interesting question an experiment answers is how much
+//! performance is lost while it is.
+//!
+//! Schedules serialize to JSON ([`FaultSchedule::to_json`]) so a run
+//! can be archived and replayed bit-identically on another machine.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use saba_sim::ids::{LinkId, NodeId};
+use saba_sim::routing::Routes;
+use saba_sim::topology::{NodeKind, Topology};
+use serde::{Deserialize, Serialize};
+
+/// What breaks.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// A link runs at `fraction` of nominal capacity (flaky optics,
+    /// FEC retransmits). Routing is unaffected.
+    DegradeLink {
+        /// The degraded link.
+        link: LinkId,
+        /// Remaining capacity fraction, in `(0, 1)`.
+        fraction: f64,
+    },
+    /// A cable fails: `link` *and* its reverse direction go down and
+    /// traffic must re-converge around them.
+    FailCable {
+        /// One direction of the cable (the reverse is looked up from
+        /// the topology at injection time).
+        link: LinkId,
+    },
+    /// A switch fails, taking every incident link down with it.
+    FailSwitch {
+        /// The failed switch.
+        node: NodeId,
+    },
+    /// The (centralized) controller crashes and loses its in-memory
+    /// state. Switches keep forwarding on their last-programmed weights
+    /// until recovery replays registrations and connections.
+    CrashController,
+    /// One shard of the distributed controller crashes. Its links stop
+    /// receiving weight updates (stale weights) until the shard
+    /// recovers and re-derives its port state.
+    CrashShard {
+        /// The crashed shard index.
+        shard: usize,
+    },
+    /// The control-plane RPC channel becomes lossy: requests and
+    /// responses are dropped or duplicated with the given
+    /// probabilities. Countered by retry + idempotent request ids.
+    RpcDegrade {
+        /// Per-message drop probability.
+        drop: f64,
+        /// Per-request duplication probability.
+        duplicate: f64,
+    },
+}
+
+/// One timed fault: `kind` applies at `start` and is repaired at
+/// `start + duration` (simulation seconds).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// What breaks.
+    pub kind: FaultKind,
+    /// Injection time (simulation seconds).
+    pub start: f64,
+    /// Time until repair (simulation seconds, must be positive).
+    pub duration: f64,
+}
+
+/// Generation parameters for [`FaultSchedule::generate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduleConfig {
+    /// Severity ladder rung, `0..=3`. 0 is fault-free; each rung adds
+    /// fault classes on top of the previous one (degradation → cable
+    /// failure and controller crash → switch failure and shard crash).
+    pub severity: u32,
+    /// Approximate run length the schedule should span (simulation
+    /// seconds); fault windows are placed inside `[0.1, 0.9] × horizon`.
+    pub horizon: f64,
+    /// Shard count of the controller under test (0 or 1 disables
+    /// `CrashShard` faults).
+    pub num_shards: usize,
+}
+
+/// A deterministic, replayable fault schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct FaultSchedule {
+    /// The seed the schedule was generated from (provenance).
+    pub seed: u64,
+    /// The timed faults, in injection order.
+    pub faults: Vec<FaultSpec>,
+}
+
+/// True when every server can still reach (and be reached from) every
+/// other server — checked via reachability to a hub server, which is
+/// equivalent by transitivity.
+fn servers_connected(topo: &Topology) -> bool {
+    let servers = topo.servers();
+    let Some(&hub) = servers.first() else {
+        return true;
+    };
+    let routes = Routes::compute(topo);
+    servers.iter().all(|&s| {
+        s == hub
+            || (routes.path(topo, hub, s, 0).is_some() && routes.path(topo, s, hub, 0).is_some())
+    })
+}
+
+/// Switch-to-switch cables (one representative direction each) whose
+/// failure keeps every server pair connected.
+fn survivable_cables(topo: &Topology) -> Vec<LinkId> {
+    let mut out = Vec::new();
+    for l in 0..topo.num_links() as u32 {
+        let id = LinkId(l);
+        let link = topo.link(id);
+        if topo.node(link.from).kind != NodeKind::Switch
+            || topo.node(link.to).kind != NodeKind::Switch
+        {
+            continue;
+        }
+        // One entry per cable: keep the direction with the smaller id.
+        let Some(rev) = topo.reverse_of(id) else {
+            continue;
+        };
+        if rev.0 < id.0 {
+            continue;
+        }
+        let mut trial = topo.clone();
+        trial.set_link_up(id, false);
+        trial.set_link_up(rev, false);
+        if servers_connected(&trial) {
+            out.push(id);
+        }
+    }
+    out
+}
+
+/// Switches whose failure keeps every server pair connected.
+fn survivable_switches(topo: &Topology) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    for n in 0..topo.num_nodes() as u32 {
+        let id = NodeId(n);
+        if topo.node(id).kind != NodeKind::Switch {
+            continue;
+        }
+        let mut trial = topo.clone();
+        trial.set_node_up(id, false);
+        if servers_connected(&trial) {
+            out.push(id);
+        }
+    }
+    out
+}
+
+impl FaultSchedule {
+    /// Generates a schedule over `topo` at the configured severity,
+    /// deterministically from `seed`.
+    ///
+    /// Network faults only target links/switches whose loss keeps all
+    /// servers mutually reachable (flows *reroute* rather than park),
+    /// picked from the redundancy the topology actually has; a topology
+    /// with no survivable cable or switch simply gets none of that
+    /// fault class. Fault windows are sequential and non-overlapping,
+    /// and every fault repairs before the next begins.
+    pub fn generate(topo: &Topology, cfg: &ScheduleConfig, seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut schedule = FaultSchedule {
+            seed,
+            faults: Vec::new(),
+        };
+        if cfg.severity == 0 {
+            return schedule;
+        }
+        assert!(
+            cfg.horizon.is_finite() && cfg.horizon > 0.0,
+            "horizon must be positive"
+        );
+        let h = cfg.horizon;
+        let cables = survivable_cables(topo);
+        let switches = survivable_switches(topo);
+        let num_links = topo.num_links();
+        assert!(num_links > 0, "topology has no links to degrade");
+
+        let mut clock = 0.1 * h;
+        let mut push = |rng: &mut ChaCha8Rng, faults: &mut Vec<FaultSpec>, kind: FaultKind| {
+            let duration = h * rng.gen_range(0.05..0.12);
+            faults.push(FaultSpec {
+                kind,
+                start: clock,
+                duration,
+            });
+            clock += duration + h * rng.gen_range(0.03..0.08);
+        };
+
+        // Severity 1: soft degradation only.
+        let link = LinkId(rng.gen_range(0..num_links) as u32);
+        let fraction = rng.gen_range(0.25..0.6);
+        push(
+            &mut rng,
+            &mut schedule.faults,
+            FaultKind::DegradeLink { link, fraction },
+        );
+        push(
+            &mut rng,
+            &mut schedule.faults,
+            FaultKind::RpcDegrade {
+                drop: 0.2,
+                duplicate: 0.1,
+            },
+        );
+
+        // Severity 2: hard network failure + total controller crash.
+        if cfg.severity >= 2 {
+            if !cables.is_empty() {
+                let link = cables[rng.gen_range(0..cables.len())];
+                push(&mut rng, &mut schedule.faults, FaultKind::FailCable { link });
+            }
+            push(&mut rng, &mut schedule.faults, FaultKind::CrashController);
+        }
+
+        // Severity 3: switch failure, shard crash, and a second round of
+        // degradation while the system is already stressed.
+        if cfg.severity >= 3 {
+            if !switches.is_empty() {
+                let node = switches[rng.gen_range(0..switches.len())];
+                push(&mut rng, &mut schedule.faults, FaultKind::FailSwitch { node });
+            }
+            if cfg.num_shards > 1 {
+                let shard = rng.gen_range(0..cfg.num_shards);
+                push(&mut rng, &mut schedule.faults, FaultKind::CrashShard { shard });
+            }
+            if !cables.is_empty() {
+                let link = cables[rng.gen_range(0..cables.len())];
+                push(&mut rng, &mut schedule.faults, FaultKind::FailCable { link });
+            }
+            let link = LinkId(rng.gen_range(0..num_links) as u32);
+            let fraction = rng.gen_range(0.25..0.6);
+            push(
+                &mut rng,
+                &mut schedule.faults,
+                FaultKind::DegradeLink { link, fraction },
+            );
+        }
+        schedule
+    }
+
+    /// Serializes the schedule for archival/replay.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("schedule serialization cannot fail")
+    }
+
+    /// Loads an archived schedule.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saba_sim::topology::SpineLeafConfig;
+
+    fn cfg(severity: u32) -> ScheduleConfig {
+        ScheduleConfig {
+            severity,
+            horizon: 20.0,
+            num_shards: 4,
+        }
+    }
+
+    #[test]
+    fn severity_zero_is_fault_free() {
+        let topo = Topology::spine_leaf(&SpineLeafConfig::tiny(2));
+        let s = FaultSchedule::generate(&topo, &cfg(0), 1);
+        assert!(s.faults.is_empty());
+    }
+
+    #[test]
+    fn severity_grows_the_schedule() {
+        let topo = Topology::spine_leaf(&SpineLeafConfig::tiny(2));
+        let counts: Vec<usize> = (0..4)
+            .map(|sev| FaultSchedule::generate(&topo, &cfg(sev), 1).faults.len())
+            .collect();
+        for w in counts.windows(2) {
+            assert!(w[0] < w[1], "severity must add faults: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn same_seed_is_bit_identical() {
+        let topo = Topology::spine_leaf(&SpineLeafConfig::tiny(2));
+        let a = FaultSchedule::generate(&topo, &cfg(3), 99);
+        let b = FaultSchedule::generate(&topo, &cfg(3), 99);
+        assert_eq!(a, b);
+        assert_eq!(a.to_json(), b.to_json());
+        let c = FaultSchedule::generate(&topo, &cfg(3), 100);
+        assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    fn schedule_round_trips_through_json() {
+        let topo = Topology::spine_leaf(&SpineLeafConfig::tiny(2));
+        let s = FaultSchedule::generate(&topo, &cfg(3), 7);
+        let back = FaultSchedule::from_json(&s.to_json()).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn every_fault_repairs_and_windows_do_not_overlap() {
+        let topo = Topology::spine_leaf(&SpineLeafConfig::tiny(2));
+        let s = FaultSchedule::generate(&topo, &cfg(3), 5);
+        assert!(!s.faults.is_empty());
+        let mut prev_end = 0.0;
+        for f in &s.faults {
+            assert!(f.duration > 0.0, "{f:?}");
+            assert!(f.start >= prev_end, "overlapping window: {f:?}");
+            prev_end = f.start + f.duration;
+        }
+    }
+
+    #[test]
+    fn network_faults_keep_servers_connected() {
+        let topo = Topology::spine_leaf(&SpineLeafConfig::tiny(2));
+        let s = FaultSchedule::generate(&topo, &cfg(3), 11);
+        let mut saw_cable = false;
+        let mut saw_switch = false;
+        for f in &s.faults {
+            let mut trial = topo.clone();
+            match f.kind {
+                FaultKind::FailCable { link } => {
+                    saw_cable = true;
+                    let rev = trial.reverse_of(link).unwrap();
+                    trial.set_link_up(link, false);
+                    trial.set_link_up(rev, false);
+                    assert!(servers_connected(&trial), "{f:?}");
+                }
+                FaultKind::FailSwitch { node } => {
+                    saw_switch = true;
+                    trial.set_node_up(node, false);
+                    assert!(servers_connected(&trial), "{f:?}");
+                }
+                _ => {}
+            }
+        }
+        assert!(
+            saw_cable && saw_switch,
+            "tiny spine-leaf has survivable cables and switches"
+        );
+    }
+
+    #[test]
+    fn single_switch_topology_gets_no_disconnecting_faults() {
+        // A single switch has zero redundancy: no cable or switch can
+        // fail without stranding servers, so those classes are skipped.
+        let topo = Topology::single_switch(4, 100.0);
+        let s = FaultSchedule::generate(&topo, &cfg(3), 3);
+        for f in &s.faults {
+            assert!(
+                !matches!(f.kind, FaultKind::FailSwitch { .. }),
+                "{f:?} would disconnect all servers"
+            );
+            assert!(
+                !matches!(f.kind, FaultKind::FailCable { .. }),
+                "single-switch has no switch-to-switch cable"
+            );
+        }
+    }
+}

@@ -1,0 +1,455 @@
+//! Lossy control-plane RPC, and the machinery that makes it reliable.
+//!
+//! Three layers compose here, mirroring a real deployment:
+//!
+//! 1. [`DedupServer`] — the controller side. Decodes wire-encoded
+//!    [`Envelope`]s and caches the response per request id, so a
+//!    retried or duplicated request returns the cached answer instead
+//!    of being applied twice (a duplicated `ConnCreate` must not
+//!    double-count link references).
+//! 2. The fault model ([`RpcFaultConfig`]) — drops requests, drops
+//!    responses, and duplicates deliveries with seeded, reproducible
+//!    coin flips.
+//! 3. [`ReliableTransport`] — the client side. Stamps each logical
+//!    call with a monotonic request id and retries through the lossy
+//!    channel with capped exponential backoff (accounted in simulated
+//!    seconds, never wall clock), surfacing a timeout error only after
+//!    exhausting its attempts.
+//!
+//! `ReliableTransport` implements [`Transport`], so a [`SabaLib`]
+//! (see `saba_core::library`) runs its Fig. 7 lifecycle over a lossy
+//! channel unchanged.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use saba_core::library::Transport;
+use saba_core::rpc::{decode_envelope, encode_envelope, Envelope, Request, Response};
+use std::collections::HashMap;
+
+/// Loss/duplication probabilities for the RPC channel, plus the seed
+/// that makes the coin flips reproducible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RpcFaultConfig {
+    /// Probability a request is lost before reaching the controller.
+    pub drop_request: f64,
+    /// Probability a response is lost on the way back.
+    pub drop_response: f64,
+    /// Probability the network delivers the request twice.
+    pub duplicate: f64,
+}
+
+impl Default for RpcFaultConfig {
+    /// A perfectly reliable channel.
+    fn default() -> Self {
+        Self {
+            drop_request: 0.0,
+            drop_response: 0.0,
+            duplicate: 0.0,
+        }
+    }
+}
+
+impl RpcFaultConfig {
+    /// A symmetric lossy channel: both directions drop with `drop`,
+    /// and requests duplicate with `duplicate`.
+    pub fn lossy(drop: f64, duplicate: f64) -> Self {
+        Self {
+            drop_request: drop,
+            drop_response: drop,
+            duplicate,
+        }
+    }
+}
+
+/// Retry policy: capped exponential backoff in *simulated* seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Attempts per logical call before giving up (>= 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry (simulated seconds).
+    pub base_delay: f64,
+    /// Backoff cap (simulated seconds).
+    pub max_delay: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 16,
+            base_delay: 1e-3,
+            max_delay: 5e-2,
+        }
+    }
+}
+
+/// Counters kept by [`ReliableTransport`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RpcStats {
+    /// Logical calls issued by the application.
+    pub calls: u64,
+    /// Wire attempts (>= calls under loss).
+    pub attempts: u64,
+    /// Requests lost before reaching the controller.
+    pub requests_dropped: u64,
+    /// Responses lost on the way back.
+    pub responses_dropped: u64,
+    /// Requests the network delivered twice.
+    pub duplicates: u64,
+    /// Retries performed after a lost request or response.
+    pub retries: u64,
+    /// Calls that exhausted every attempt and returned a timeout error.
+    pub exhausted: u64,
+    /// Replays absorbed by the server-side request-id cache.
+    pub dedup_hits: u64,
+}
+
+/// Controller-side envelope endpoint with idempotent replay handling.
+///
+/// Wraps any inner [`Transport`] (typically `InProcTransport` to a
+/// `CentralController`) behind the wire codec: each call decodes an
+/// encoded [`Envelope`] frame, consults the request-id cache, and only
+/// forwards first-seen requests to the inner transport.
+#[derive(Debug)]
+pub struct DedupServer<T: Transport> {
+    inner: T,
+    seen: HashMap<u64, Response>,
+    hits: u64,
+}
+
+impl<T: Transport> DedupServer<T> {
+    /// Wraps `inner` with a request-id cache.
+    pub fn new(inner: T) -> Self {
+        Self {
+            inner,
+            seen: HashMap::new(),
+            hits: 0,
+        }
+    }
+
+    /// Handles one wire-encoded envelope frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed frame or trailing bytes — the client side
+    /// of this pair always sends exactly one well-formed envelope.
+    pub fn handle(&mut self, wire: &[u8]) -> Response {
+        let (env, rest) = decode_envelope(wire).expect("client sends well-formed envelopes");
+        assert!(rest.is_empty(), "client sends one frame per call");
+        if let Some(cached) = self.seen.get(&env.request_id) {
+            self.hits += 1;
+            return cached.clone();
+        }
+        let resp = self.inner.call(env.request);
+        self.seen.insert(env.request_id, resp.clone());
+        resp
+    }
+
+    /// Replays absorbed by the cache so far.
+    pub fn dedup_hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// The wrapped transport.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// The wrapped transport, mutably.
+    pub fn inner_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+/// Client-side reliable RPC over a lossy channel.
+///
+/// Owns the [`DedupServer`] it talks to (the "network" between them is
+/// the seeded fault model), stamps every logical call with a fresh
+/// request id, and retries with capped exponential backoff. Crucially,
+/// retries of one logical call reuse the *same* request id, so a retry
+/// after a lost **response** is recognised by the server cache and the
+/// operation is applied exactly once.
+#[derive(Debug)]
+pub struct ReliableTransport<T: Transport> {
+    server: DedupServer<T>,
+    faults: RpcFaultConfig,
+    retry: RetryPolicy,
+    rng: ChaCha8Rng,
+    next_id: u64,
+    stats: RpcStats,
+    simulated_delay: f64,
+}
+
+impl<T: Transport> ReliableTransport<T> {
+    /// Builds the client over `inner`, with loss from `faults` (seeded
+    /// by `seed`) and the given retry policy.
+    pub fn new(inner: T, faults: RpcFaultConfig, retry: RetryPolicy, seed: u64) -> Self {
+        assert!(retry.max_attempts >= 1, "need at least one attempt");
+        Self {
+            server: DedupServer::new(inner),
+            faults,
+            retry,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            next_id: 0,
+            stats: RpcStats::default(),
+            simulated_delay: 0.0,
+        }
+    }
+
+    /// Counters so far (client-side, plus the server's dedup hits).
+    pub fn stats(&self) -> RpcStats {
+        RpcStats {
+            dedup_hits: self.server.dedup_hits(),
+            ..self.stats
+        }
+    }
+
+    /// Total backoff incurred, in simulated seconds.
+    pub fn simulated_delay(&self) -> f64 {
+        self.simulated_delay
+    }
+
+    /// Swaps the channel's loss profile (fault windows opening and
+    /// closing). The random stream continues uninterrupted.
+    pub fn set_faults(&mut self, faults: RpcFaultConfig) {
+        self.faults = faults;
+    }
+
+    /// The current loss profile.
+    pub fn faults(&self) -> RpcFaultConfig {
+        self.faults
+    }
+
+    /// The server endpoint.
+    pub fn server(&self) -> &DedupServer<T> {
+        &self.server
+    }
+
+    /// The server endpoint, mutably.
+    pub fn server_mut(&mut self) -> &mut DedupServer<T> {
+        &mut self.server
+    }
+}
+
+impl<T: Transport> Transport for ReliableTransport<T> {
+    fn call(&mut self, req: Request) -> Response {
+        self.stats.calls += 1;
+        let env = Envelope {
+            request_id: self.next_id,
+            request: req,
+        };
+        self.next_id += 1;
+        let wire = encode_envelope(&env);
+        let mut backoff = self.retry.base_delay;
+        for attempt in 0..self.retry.max_attempts {
+            if attempt > 0 {
+                self.stats.retries += 1;
+                self.simulated_delay += backoff;
+                backoff = (backoff * 2.0).min(self.retry.max_delay);
+            }
+            self.stats.attempts += 1;
+            if self.rng.gen::<f64>() < self.faults.drop_request {
+                self.stats.requests_dropped += 1;
+                continue;
+            }
+            let resp = self.server.handle(&wire);
+            if self.rng.gen::<f64>() < self.faults.duplicate {
+                self.stats.duplicates += 1;
+                let _ = self.server.handle(&wire);
+            }
+            if self.rng.gen::<f64>() < self.faults.drop_response {
+                self.stats.responses_dropped += 1;
+                continue;
+            }
+            return resp;
+        }
+        self.stats.exhausted += 1;
+        Response::Error {
+            message: format!(
+                "rpc timed out after {} attempts",
+                self.retry.max_attempts
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saba_core::controller::central::CentralController;
+    use saba_core::controller::ControllerConfig;
+    use saba_core::library::{InProcTransport, LibError, SabaLib};
+    use saba_core::profiler::{Profiler, ProfilerConfig};
+    use saba_core::sensitivity::SensitivityTable;
+    use saba_sim::ids::AppId;
+    use saba_sim::topology::Topology;
+    use saba_workload::catalog;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn table() -> SensitivityTable {
+        let profiler = Profiler::new(ProfilerConfig {
+            noise_sigma: 0.0,
+            bw_points: vec![0.25, 0.5, 0.75, 1.0],
+            degree: 2,
+            ..Default::default()
+        });
+        let specs: Vec<_> = catalog()
+            .into_iter()
+            .filter(|w| ["LR", "PR"].contains(&w.name.as_str()))
+            .collect();
+        profiler.profile_all(&specs).unwrap()
+    }
+
+    fn controller() -> Rc<RefCell<CentralController>> {
+        let topo = Topology::single_switch(4, 100.0);
+        Rc::new(RefCell::new(CentralController::new(
+            ControllerConfig::default(),
+            table(),
+            &topo,
+        )))
+    }
+
+    /// A transport that counts how many requests actually reach it.
+    struct CountingAck {
+        calls: u64,
+    }
+
+    impl Transport for CountingAck {
+        fn call(&mut self, _req: Request) -> Response {
+            self.calls += 1;
+            Response::Ack
+        }
+    }
+
+    #[test]
+    fn dedup_server_applies_each_request_id_once() {
+        let mut srv = DedupServer::new(CountingAck { calls: 0 });
+        let env = Envelope {
+            request_id: 7,
+            request: Request::AppDeregister { app: AppId(0) },
+        };
+        let wire = encode_envelope(&env);
+        assert_eq!(srv.handle(&wire), Response::Ack);
+        assert_eq!(srv.handle(&wire), Response::Ack);
+        assert_eq!(srv.inner().calls, 1, "replay must not re-apply");
+        assert_eq!(srv.dedup_hits(), 1);
+        let other = encode_envelope(&Envelope {
+            request_id: 8,
+            request: Request::AppDeregister { app: AppId(0) },
+        });
+        srv.handle(&other);
+        assert_eq!(srv.inner().calls, 2, "fresh id must apply");
+    }
+
+    #[test]
+    fn lossy_lifecycle_applies_exactly_once() {
+        let ctl = controller();
+        let transport = ReliableTransport::new(
+            InProcTransport::new(Rc::clone(&ctl)),
+            RpcFaultConfig::lossy(0.25, 0.25),
+            RetryPolicy::default(),
+            0xBAD_C0DE,
+        );
+        let mut lib = SabaLib::new(AppId(0), transport);
+        let topo = Topology::single_switch(4, 100.0);
+        let servers = topo.servers().to_vec();
+
+        lib.saba_app_register("LR").expect("register survives loss");
+        let a = lib.saba_conn_create(servers[0], servers[1]).unwrap();
+        let b = lib.saba_conn_create(servers[1], servers[2]).unwrap();
+        assert_ne!(a.tag, b.tag);
+        assert_eq!(ctl.borrow().num_conns(), 2, "no duplicated connections");
+        lib.saba_conn_destroy(a).unwrap();
+        lib.saba_conn_destroy(b).unwrap();
+        lib.saba_app_deregister().unwrap();
+        assert_eq!(ctl.borrow().num_apps(), 0);
+        assert_eq!(ctl.borrow().num_conns(), 0);
+
+        let stats = lib.transport().stats();
+        assert_eq!(stats.calls, 6);
+        assert!(stats.retries > 0, "a lossy channel must force retries");
+        assert!(
+            stats.attempts > stats.calls,
+            "retries imply extra attempts"
+        );
+        assert_eq!(stats.exhausted, 0);
+    }
+
+    #[test]
+    fn always_duplicating_channel_never_double_applies() {
+        let ctl = controller();
+        let transport = ReliableTransport::new(
+            InProcTransport::new(Rc::clone(&ctl)),
+            RpcFaultConfig {
+                drop_request: 0.0,
+                drop_response: 0.0,
+                duplicate: 1.0,
+            },
+            RetryPolicy::default(),
+            1,
+        );
+        let mut lib = SabaLib::new(AppId(0), transport);
+        let topo = Topology::single_switch(4, 100.0);
+        let servers = topo.servers().to_vec();
+        lib.saba_app_register("PR").unwrap();
+        let c = lib.saba_conn_create(servers[0], servers[1]).unwrap();
+        assert_eq!(ctl.borrow().num_conns(), 1);
+        lib.saba_conn_destroy(c).unwrap();
+        assert_eq!(ctl.borrow().num_conns(), 0);
+        lib.saba_app_deregister().unwrap();
+        assert_eq!(ctl.borrow().num_apps(), 0);
+        let stats = lib.transport().stats();
+        assert_eq!(stats.duplicates, stats.calls);
+        assert_eq!(stats.dedup_hits, stats.calls);
+    }
+
+    #[test]
+    fn black_hole_exhausts_and_errors_without_panicking() {
+        let ctl = controller();
+        let transport = ReliableTransport::new(
+            InProcTransport::new(ctl),
+            RpcFaultConfig {
+                drop_request: 1.0,
+                drop_response: 0.0,
+                duplicate: 0.0,
+            },
+            RetryPolicy {
+                max_attempts: 4,
+                base_delay: 0.01,
+                max_delay: 0.02,
+            },
+            2,
+        );
+        let mut lib = SabaLib::new(AppId(0), transport);
+        let err = lib.saba_app_register("LR").unwrap_err();
+        assert!(matches!(err, LibError::Rejected(_)), "{err:?}");
+        let stats = lib.transport().stats();
+        assert_eq!(stats.exhausted, 1);
+        assert_eq!(stats.attempts, 4);
+        // Backoff: retries wait 0.01, then capped 0.02, 0.02.
+        assert!((lib.transport().simulated_delay() - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn same_seed_same_loss_pattern() {
+        let run = |seed: u64| {
+            let ctl = controller();
+            let transport = ReliableTransport::new(
+                InProcTransport::new(Rc::clone(&ctl)),
+                RpcFaultConfig::lossy(0.3, 0.2),
+                RetryPolicy::default(),
+                seed,
+            );
+            let mut lib = SabaLib::new(AppId(0), transport);
+            let topo = Topology::single_switch(4, 100.0);
+            let servers = topo.servers().to_vec();
+            lib.saba_app_register("LR").unwrap();
+            let c = lib.saba_conn_create(servers[0], servers[1]).unwrap();
+            lib.saba_conn_destroy(c).unwrap();
+            lib.saba_app_deregister().unwrap();
+            lib.transport().stats()
+        };
+        assert_eq!(run(42), run(42));
+    }
+}

@@ -221,6 +221,37 @@ pub struct SimStats {
     pub flows_completed: u64,
     /// Rate allocations performed (epoch changes).
     pub allocations: u64,
+    /// Routing re-convergences triggered by faults or repairs.
+    pub route_recomputes: u64,
+    /// Flows moved to an alternate path after a fault.
+    pub flows_rerouted: u64,
+    /// Flows parked (no surviving route) by a fault.
+    pub flows_parked: u64,
+    /// Parked flows resumed after a repair restored a route.
+    pub flows_resumed: u64,
+}
+
+/// What a fault (or repair) did to the active flow set.
+///
+/// Returned by the [`Simulation`] fault hooks so drivers can account
+/// for disruption: `rerouted` flows continue on a new path, `parked`
+/// flows lost every route and wait (with their remaining bytes intact)
+/// until a repair resumes them, `resumed` flows just came back.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultImpact {
+    /// Flows whose path was re-resolved around the fault.
+    pub rerouted: Vec<FlowId>,
+    /// Flows with no surviving route, now parked.
+    pub parked: Vec<FlowId>,
+    /// Previously parked flows that found a route again.
+    pub resumed: Vec<FlowId>,
+}
+
+impl FaultImpact {
+    /// True when the event disturbed no flow.
+    pub fn is_empty(&self) -> bool {
+        self.rerouted.is_empty() && self.parked.is_empty() && self.resumed.is_empty()
+    }
 }
 
 /// The discrete-event fluid simulator.
@@ -232,6 +263,9 @@ pub struct Simulation<M> {
     now: f64,
     next_flow_id: u64,
     active: Vec<ActiveFlow>,
+    /// Flows with no currently-live route: they hold their remaining
+    /// bytes at zero rate until a repair resumes them.
+    parked: Vec<ActiveFlow>,
     rates: Vec<f64>,
     timers: BinaryHeap<Reverse<(TimeKey, u64, u64)>>,
     timer_seq: u64,
@@ -275,6 +309,7 @@ impl<M: FabricModel> Simulation<M> {
             now: 0.0,
             next_flow_id: 0,
             active: Vec::new(),
+            parked: Vec::new(),
             rates: Vec::new(),
             timers: BinaryHeap::new(),
             timer_seq: 0,
@@ -375,31 +410,150 @@ impl<M: FabricModel> Simulation<M> {
 
     /// Starts a flow; its path is resolved via ECMP on `spec.tag`.
     ///
+    /// If the destination is temporarily unreachable because of an
+    /// injected fault, the flow is *parked* (it waits, whole, until a
+    /// repair restores a route) rather than rejected — transports retry
+    /// through outages.
+    ///
     /// # Panics
     ///
-    /// Panics if the destination is unreachable from the source or
-    /// `bytes` is negative/non-finite.
+    /// Panics if the destination is unreachable on a healthy topology
+    /// (a wiring error, not a fault) or `bytes` is negative/non-finite.
     pub fn start_flow(&mut self, spec: FlowSpec) -> FlowId {
         assert!(
             spec.bytes.is_finite() && spec.bytes >= 0.0,
             "flow bytes must be non-negative"
         );
-        let path = self
-            .routes
-            .path(&self.topo, spec.src, spec.dst, spec.tag)
-            .unwrap_or_else(|| panic!("no route from {} to {}", spec.src, spec.dst));
         let id = FlowId(self.next_flow_id);
         self.next_flow_id += 1;
-        self.active.push(ActiveFlow {
-            id,
-            remaining: spec.bytes,
-            path,
-            started: self.now,
-            spec,
-        });
         self.stats.flows_started += 1;
-        self.dirty = true;
+        match self.routes.path(&self.topo, spec.src, spec.dst, spec.tag) {
+            Some(path) => {
+                self.active.push(ActiveFlow {
+                    id,
+                    remaining: spec.bytes,
+                    path,
+                    started: self.now,
+                    spec,
+                });
+                self.dirty = true;
+            }
+            None => {
+                assert!(
+                    self.topo.has_failures(),
+                    "no route from {} to {}",
+                    spec.src,
+                    spec.dst
+                );
+                self.stats.flows_parked += 1;
+                self.parked.push(ActiveFlow {
+                    id,
+                    remaining: spec.bytes,
+                    path: Vec::new(),
+                    started: self.now,
+                    spec,
+                });
+            }
+        }
         id
+    }
+
+    /// Flows currently parked by faults (no live route).
+    pub fn parked_flows(&self) -> &[ActiveFlow] {
+        &self.parked
+    }
+
+    /// Fails a directed link and re-converges. Flows crossing it are
+    /// rerouted where a path survives and parked otherwise.
+    pub fn fail_link(&mut self, link: LinkId) -> FaultImpact {
+        self.topo.set_link_up(link, false);
+        self.reconverge()
+    }
+
+    /// Restores a previously failed link and re-converges; parked flows
+    /// whose endpoints are reachable again resume.
+    pub fn restore_link(&mut self, link: LinkId) -> FaultImpact {
+        self.topo.set_link_up(link, true);
+        self.reconverge()
+    }
+
+    /// Fails a node (switch): every incident link goes down with it.
+    pub fn fail_node(&mut self, node: NodeId) -> FaultImpact {
+        self.topo.set_node_up(node, false);
+        self.reconverge()
+    }
+
+    /// Restores a previously failed node and re-converges.
+    pub fn restore_node(&mut self, node: NodeId) -> FaultImpact {
+        self.topo.set_node_up(node, true);
+        self.reconverge()
+    }
+
+    /// Degrades a link to `fraction` of nominal capacity (1.0 restores
+    /// it). Routing is unaffected; rates are recomputed.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < fraction <= 1`.
+    pub fn degrade_link(&mut self, link: LinkId, fraction: f64) {
+        self.topo.throttle_link(link, fraction);
+        self.dirty = true;
+    }
+
+    /// Re-converges routing after a topology change and repairs the
+    /// active flow set: reroute where possible, park otherwise, resume
+    /// parked flows that have a route again.
+    fn reconverge(&mut self) -> FaultImpact {
+        self.routes.recompute(&self.topo);
+        self.stats.route_recomputes += 1;
+        let mut impact = FaultImpact::default();
+        let mut i = 0;
+        while i < self.active.len() {
+            let broken = self.active[i]
+                .path
+                .iter()
+                .any(|&l| !self.topo.link_is_up(l));
+            if !broken {
+                i += 1;
+                continue;
+            }
+            let f = &self.active[i];
+            match self.routes.path(&self.topo, f.spec.src, f.spec.dst, f.spec.tag) {
+                Some(path) => {
+                    impact.rerouted.push(f.id);
+                    self.stats.flows_rerouted += 1;
+                    self.active[i].path = path;
+                    i += 1;
+                }
+                None => {
+                    let mut f = self.active.swap_remove(i);
+                    f.path.clear();
+                    impact.parked.push(f.id);
+                    self.stats.flows_parked += 1;
+                    self.parked.push(f);
+                }
+            }
+        }
+        let mut j = 0;
+        while j < self.parked.len() {
+            let f = &self.parked[j];
+            match self.routes.path(&self.topo, f.spec.src, f.spec.dst, f.spec.tag) {
+                Some(path) => {
+                    let mut f = self.parked.swap_remove(j);
+                    f.path = path;
+                    impact.resumed.push(f.id);
+                    self.stats.flows_resumed += 1;
+                    self.active.push(f);
+                }
+                None => j += 1,
+            }
+        }
+        // Rates are stale against the rebuilt active set; drop them and
+        // let the next refresh recompute from scratch.
+        self.rates.clear();
+        self.rates.resize(self.active.len(), 0.0);
+        self.dirty = true;
+        impact
     }
 
     /// Returns the next event, advancing simulation time to it.
@@ -720,6 +874,118 @@ mod tests {
             other => panic!("expected batch, got {other:?}"),
         }
         assert_eq!(sim.stats().allocations, 1);
+    }
+
+    #[test]
+    fn link_failure_parks_and_repair_resumes() {
+        let mut sim = two_server_sim();
+        let s = sim.topo().servers().to_vec();
+        let id = sim.start_flow(spec(s[0], s[1], 1000.0, 1));
+        sim.schedule(5.0, 0);
+        assert!(matches!(sim.next_event(), Event::Timer { .. }));
+        // At t=5 the flow has 500 B left; the NIC fails — no alternate
+        // path on a single switch, so the flow parks whole.
+        let nic = sim.topo().nic_link(s[0]);
+        let impact = sim.fail_link(nic);
+        assert_eq!(impact.parked, vec![id]);
+        assert!(sim.active_flows().is_empty());
+        assert_eq!(sim.parked_flows().len(), 1);
+        assert!((sim.parked_flows()[0].remaining - 500.0).abs() < 1e-9);
+        // Repair at t=10: the flow resumes and finishes its 500 B by 15.
+        sim.schedule(10.0, 1);
+        assert!(matches!(sim.next_event(), Event::Timer { .. }));
+        let impact = sim.restore_link(nic);
+        assert_eq!(impact.resumed, vec![id]);
+        let done = sim.run_to_idle();
+        assert_eq!(done.len(), 1);
+        assert!((done[0].finished - 15.0).abs() < 1e-6, "{}", done[0].finished);
+        assert_eq!(sim.stats().flows_parked, 1);
+        assert_eq!(sim.stats().flows_resumed, 1);
+    }
+
+    #[test]
+    fn redundant_fabric_reroutes_around_failed_uplink() {
+        use crate::topology::SpineLeafConfig;
+        let topo = Topology::spine_leaf(&SpineLeafConfig::tiny(2));
+        let mut sim = Simulation::new(topo, FairShareFabric::default());
+        let s = sim.topo().servers().to_vec();
+        let (a, b) = (s[0], s[s.len() - 1]);
+        let id = sim.start_flow(spec(a, b, 1e6, 42));
+        // Fail the first hop past the NIC (a ToR uplink) in both
+        // directions; the second uplink keeps the pair connected.
+        let uplink = sim.active_flows()[0].path[1];
+        let reverse = sim.topo().reverse_of(uplink).unwrap();
+        let impact = sim.fail_link(uplink);
+        let _ = sim.fail_link(reverse);
+        assert_eq!(impact.rerouted, vec![id]);
+        assert!(impact.parked.is_empty());
+        let new_path = sim.active_flows()[0].path.clone();
+        assert!(!new_path.contains(&uplink) && !new_path.contains(&reverse));
+        let done = sim.run_to_idle();
+        assert_eq!(done.len(), 1);
+        assert_eq!(sim.stats().flows_rerouted, 1);
+        assert!(sim.stats().route_recomputes >= 2);
+    }
+
+    #[test]
+    fn flow_started_during_outage_parks_then_runs() {
+        let mut sim = two_server_sim();
+        let s = sim.topo().servers().to_vec();
+        let nic = sim.topo().nic_link(s[0]);
+        sim.fail_link(nic);
+        let id = sim.start_flow(spec(s[0], s[1], 200.0, 3));
+        assert_eq!(sim.parked_flows().len(), 1);
+        sim.schedule(4.0, 0);
+        assert!(matches!(sim.next_event(), Event::Timer { .. }));
+        let impact = sim.restore_link(nic);
+        assert_eq!(impact.resumed, vec![id]);
+        let done = sim.run_to_idle();
+        assert!((done[0].finished - 6.0).abs() < 1e-6, "{}", done[0].finished);
+    }
+
+    #[test]
+    fn switch_failure_parks_everything_until_repair() {
+        let mut sim = Simulation::new(
+            Topology::single_switch(4, 100.0),
+            FairShareFabric::default(),
+        );
+        let s = sim.topo().servers().to_vec();
+        sim.start_flow(spec(s[0], s[1], 100.0, 1));
+        sim.start_flow(spec(s[2], s[3], 100.0, 2));
+        let sw = NodeId(0);
+        let impact = sim.fail_node(sw);
+        assert_eq!(impact.parked.len(), 2);
+        // Parked flows produce no events: the sim is idle (drivers see
+        // this as "stuck" if no repair is scheduled).
+        assert!(matches!(sim.next_event(), Event::Idle));
+        let impact = sim.restore_node(sw);
+        assert_eq!(impact.resumed.len(), 2);
+        let done = sim.run_to_idle();
+        assert_eq!(done.len(), 2);
+    }
+
+    #[test]
+    fn degrade_link_slows_flows_without_rerouting() {
+        let mut sim = two_server_sim();
+        let s = sim.topo().servers().to_vec();
+        sim.start_flow(spec(s[0], s[1], 1000.0, 1));
+        let nic = sim.topo().nic_link(s[0]);
+        sim.degrade_link(nic, 0.5);
+        let done = sim.run_to_idle();
+        assert!((done[0].finished - 20.0).abs() < 1e-6);
+        assert_eq!(sim.stats().route_recomputes, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no route")]
+    fn unreachable_on_healthy_topology_still_panics() {
+        let mut topo = Topology::new();
+        let a = topo.add_node(crate::topology::NodeKind::Server, "a");
+        let b = topo.add_node(crate::topology::NodeKind::Server, "b");
+        let sw = topo.add_node(crate::topology::NodeKind::Switch, "sw");
+        topo.add_link(a, sw, 1.0);
+        let mut sim = Simulation::new(topo, FairShareFabric::default());
+        sim.start_flow(spec(a, b, 1.0, 1));
     }
 
     #[test]

@@ -22,19 +22,43 @@ pub struct Routes {
 
 impl Routes {
     /// Computes routing tables for the topology (BFS per destination on
-    /// the reversed graph).
+    /// the reversed graph). Links that are effectively down (failed
+    /// link or failed endpoint) are excluded, so routes never traverse
+    /// them.
     pub fn compute(topo: &Topology) -> Self {
+        let mut routes = Self {
+            dist: Vec::new(),
+            num_nodes: 0,
+        };
+        routes.recompute(topo);
+        routes
+    }
+
+    /// Recomputes routing tables in place — the subnet manager's
+    /// re-convergence sweep after a fault or repair. Reuses the existing
+    /// distance-field allocations; after this call every route provably
+    /// avoids links that are down in `topo`.
+    pub fn recompute(&mut self, topo: &Topology) {
         let n = topo.num_nodes();
-        // Reverse adjacency: in_edges[node] = nodes with a link into `node`.
+        self.num_nodes = n;
+        // Reverse adjacency: in_edges[node] = nodes with a *live* link
+        // into `node`.
         let mut in_edges: Vec<Vec<u32>> = vec![Vec::new(); n];
         for l in 0..topo.num_links() {
-            let link = topo.link(LinkId(l as u32));
+            let id = LinkId(l as u32);
+            if !topo.link_is_up(id) {
+                continue;
+            }
+            let link = topo.link(id);
             in_edges[link.to.0 as usize].push(link.from.0);
         }
-        let mut dist = vec![vec![u32::MAX; n]; n];
+        self.dist.truncate(n);
+        self.dist.resize_with(n, Vec::new);
         let mut queue = std::collections::VecDeque::new();
         for dst in 0..n {
-            let d = &mut dist[dst];
+            let d = &mut self.dist[dst];
+            d.clear();
+            d.resize(n, u32::MAX);
             d[dst] = 0;
             queue.clear();
             queue.push_back(dst as u32);
@@ -48,7 +72,6 @@ impl Routes {
                 }
             }
         }
-        Self { dist, num_nodes: n }
     }
 
     /// Hop distance from `from` to `to`, or `None` if unreachable.
@@ -68,6 +91,9 @@ impl Routes {
             .iter()
             .copied()
             .filter(|&l| {
+                if !topo.link_is_up(l) {
+                    return false;
+                }
                 let to = topo.link(l).to;
                 d[to.0 as usize] != u32::MAX && d[to.0 as usize] + 1 == here
             })
@@ -127,14 +153,18 @@ impl Routes {
         }
         let mut out = Vec::new();
         for l in 0..topo.num_links() {
-            let link = topo.link(LinkId(l as u32));
+            let id = LinkId(l as u32);
+            if !topo.link_is_up(id) {
+                continue;
+            }
+            let link = topo.link(id);
             let (Some(to_u), Some(from_v)) =
                 (self.distance(src, link.from), self.distance(link.to, dst))
             else {
                 continue;
             };
             if to_u + 1 + from_v == total {
-                out.push(LinkId(l as u32));
+                out.push(id);
             }
         }
         out
@@ -287,6 +317,89 @@ mod tests {
         assert!(r
             .all_shortest_path_links(&t, t.servers()[0], t.servers()[0])
             .is_empty());
+    }
+
+    #[test]
+    fn recompute_after_link_failure_never_routes_through_it() {
+        // Regression: after a link fails and routes re-converge, path()
+        // must never return a route containing the failed link — for any
+        // tag and any server pair.
+        let mut t = Topology::spine_leaf(&SpineLeafConfig::tiny(2));
+        let mut r = Routes::compute(&t);
+        let s = t.servers().to_vec();
+        // Fail one ToR→leaf uplink cable (both directions); ToRs have
+        // two uplinks, so everything stays reachable.
+        let tor0 = t
+            .link(t.nic_link(s[0]))
+            .to;
+        let uplink = *t
+            .out_links(tor0)
+            .iter()
+            .find(|&&l| t.link(l).to != s[0] && t.link(l).to != s[1])
+            .expect("tor has a leaf uplink");
+        let reverse = t.reverse_of(uplink).expect("cables are bidirectional");
+        t.set_link_up(uplink, false);
+        t.set_link_up(reverse, false);
+        r.recompute(&t);
+        for (i, &a) in s.iter().enumerate() {
+            for &b in &s[i + 1..] {
+                for tag in 0..16u64 {
+                    let p = r
+                        .path(&t, a, b, tag)
+                        .expect("redundant fabric stays connected");
+                    assert!(
+                        !p.contains(&uplink) && !p.contains(&reverse),
+                        "path {a}->{b} tag {tag} crosses the failed link"
+                    );
+                }
+            }
+        }
+        // Repair re-admits the link into the shortest-path set.
+        t.set_link_up(uplink, true);
+        t.set_link_up(reverse, true);
+        r.recompute(&t);
+        let far = *s.last().unwrap();
+        let all = r.all_shortest_path_links(&t, s[0], far);
+        assert!(
+            all.contains(&uplink),
+            "repaired uplink should rejoin the multipath set"
+        );
+    }
+
+    #[test]
+    fn switch_failure_disconnects_when_no_redundancy() {
+        let mut t = Topology::single_switch(3, 100.0);
+        let mut r = Routes::compute(&t);
+        let s = t.servers().to_vec();
+        t.set_node_up(crate::ids::NodeId(0), false);
+        r.recompute(&t);
+        assert_eq!(r.path(&t, s[0], s[1], 1), None);
+        assert_eq!(r.distance(s[0], s[1]), None);
+        // Repair restores full reachability.
+        t.set_node_up(crate::ids::NodeId(0), true);
+        r.recompute(&t);
+        assert!(r.path(&t, s[0], s[1], 1).is_some());
+    }
+
+    #[test]
+    fn multipath_set_excludes_down_links() {
+        let mut t = Topology::spine_leaf(&SpineLeafConfig::tiny(2));
+        let mut r = Routes::compute(&t);
+        let s = t.servers().to_vec();
+        let (a, b) = (s[0], s[s.len() - 1]);
+        let before = r.all_shortest_path_links(&t, a, b);
+        // Fail one spine: all its links drop out of the multipath set.
+        let spine = crate::ids::NodeId(0);
+        assert!(t.node(spine).name.starts_with("spine"));
+        t.set_node_up(spine, false);
+        r.recompute(&t);
+        let after = r.all_shortest_path_links(&t, a, b);
+        assert!(!after.is_empty(), "second spine keeps the pair connected");
+        for &l in &after {
+            let link = t.link(l);
+            assert!(link.from != spine && link.to != spine);
+        }
+        assert!(before.len() > after.len());
     }
 
     #[test]

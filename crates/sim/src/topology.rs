@@ -26,6 +26,10 @@ pub struct Node {
     pub kind: NodeKind,
     /// Human-readable name for diagnostics (e.g. `"tor3"`, `"srv17"`).
     pub name: String,
+    /// Whether the node is operational. A failed switch takes every
+    /// incident link down with it (fault injection).
+    #[serde(default = "default_up")]
+    pub up: bool,
 }
 
 /// A directed link (output port).
@@ -41,6 +45,15 @@ pub struct Link {
     /// Nominal (design) capacity in bytes per second; `capacity` can be
     /// throttled below this but never above.
     pub nominal_capacity: f64,
+    /// Whether the link itself is operational (administrative state;
+    /// the *effective* state also requires both endpoints up — see
+    /// [`Topology::link_is_up`]).
+    #[serde(default = "default_up")]
+    pub up: bool,
+}
+
+fn default_up() -> bool {
+    true
 }
 
 /// Parameters for the three-tier spine-leaf fabric of §8.1.
@@ -120,6 +133,7 @@ impl Topology {
         self.nodes.push(Node {
             kind,
             name: name.into(),
+            up: true,
         });
         self.out_links.push(Vec::new());
         if kind == NodeKind::Server {
@@ -151,6 +165,7 @@ impl Topology {
             to,
             capacity,
             nominal_capacity: capacity,
+            up: true,
         });
         self.out_links[from.0 as usize].push(id);
         id
@@ -192,16 +207,65 @@ impl Topology {
         &self.servers
     }
 
-    /// All link capacities, indexed by `LinkId`.
+    /// All link capacities, indexed by `LinkId`. Effectively-down links
+    /// (failed link or failed endpoint) report zero capacity.
     pub fn capacities(&self) -> Vec<f64> {
-        self.links.iter().map(|l| l.capacity).collect()
+        let mut out = Vec::new();
+        self.capacities_into(&mut out);
+        out
     }
 
     /// Writes all link capacities into `out` (cleared and refilled),
     /// indexed by `LinkId`. Allocation-free once `out` has capacity.
+    /// Effectively-down links report zero capacity.
     pub fn capacities_into(&self, out: &mut Vec<f64>) {
         out.clear();
-        out.extend(self.links.iter().map(|l| l.capacity));
+        out.extend(self.links.iter().map(|l| {
+            if l.up && self.nodes[l.from.0 as usize].up && self.nodes[l.to.0 as usize].up {
+                l.capacity
+            } else {
+                0.0
+            }
+        }));
+    }
+
+    /// Whether a link is *effectively* up: administratively up and both
+    /// its endpoints operational.
+    pub fn link_is_up(&self, id: LinkId) -> bool {
+        let l = &self.links[id.0 as usize];
+        l.up && self.nodes[l.from.0 as usize].up && self.nodes[l.to.0 as usize].up
+    }
+
+    /// Whether a node is operational.
+    pub fn node_is_up(&self, id: NodeId) -> bool {
+        self.nodes[id.0 as usize].up
+    }
+
+    /// Sets a link's administrative state (fault injection). Returns the
+    /// previous state.
+    pub fn set_link_up(&mut self, id: LinkId, up: bool) -> bool {
+        std::mem::replace(&mut self.links[id.0 as usize].up, up)
+    }
+
+    /// Sets a node's operational state (switch failure). Returns the
+    /// previous state.
+    pub fn set_node_up(&mut self, id: NodeId, up: bool) -> bool {
+        std::mem::replace(&mut self.nodes[id.0 as usize].up, up)
+    }
+
+    /// Whether any link or node is currently down.
+    pub fn has_failures(&self) -> bool {
+        self.nodes.iter().any(|n| !n.up) || self.links.iter().any(|l| !l.up)
+    }
+
+    /// The reverse direction of `id`'s cable, if one exists: the first
+    /// link running `to → from`.
+    pub fn reverse_of(&self, id: LinkId) -> Option<LinkId> {
+        let l = &self.links[id.0 as usize];
+        self.out_links(l.to)
+            .iter()
+            .copied()
+            .find(|&r| self.links[r.0 as usize].to == l.from)
     }
 
     /// The egress (NIC) link of a server: its unique outgoing link.
@@ -480,6 +544,60 @@ mod tests {
         let mut t = Topology::new();
         let a = t.add_node(NodeKind::Switch, "a");
         t.add_link(a, a, 1.0);
+    }
+
+    #[test]
+    fn link_failure_zeroes_capacity_and_is_reversible() {
+        let mut t = Topology::single_switch(2, 100.0);
+        let nic = t.nic_link(t.servers()[0]);
+        assert!(t.link_is_up(nic));
+        assert!(!t.has_failures());
+        t.set_link_up(nic, false);
+        assert!(!t.link_is_up(nic));
+        assert!(t.has_failures());
+        assert_eq!(t.capacities()[nic.0 as usize], 0.0);
+        // Nominal capacity survives the outage.
+        t.set_link_up(nic, true);
+        assert!(t.link_is_up(nic));
+        assert_eq!(t.capacities()[nic.0 as usize], 100.0);
+    }
+
+    #[test]
+    fn node_failure_downs_incident_links() {
+        let mut t = Topology::single_switch(3, 100.0);
+        let sw = NodeId(0);
+        t.set_node_up(sw, false);
+        for l in 0..t.num_links() {
+            assert!(!t.link_is_up(LinkId(l as u32)), "link {l} should be down");
+        }
+        assert!(t.capacities().iter().all(|&c| c == 0.0));
+        t.set_node_up(sw, true);
+        assert!(t.capacities().iter().all(|&c| c == 100.0));
+    }
+
+    #[test]
+    fn reverse_of_finds_cable_pair() {
+        let mut t = Topology::new();
+        let a = t.add_node(NodeKind::Switch, "a");
+        let b = t.add_node(NodeKind::Switch, "b");
+        let (f, r) = t.add_cable(a, b, 10.0);
+        assert_eq!(t.reverse_of(f), Some(r));
+        assert_eq!(t.reverse_of(r), Some(f));
+        let c = t.add_node(NodeKind::Switch, "c");
+        let one_way = t.add_link(b, c, 10.0);
+        assert_eq!(t.reverse_of(one_way), None);
+    }
+
+    #[test]
+    fn serde_defaults_up_for_legacy_payloads() {
+        // Payloads written before the fault fields existed must load as
+        // fully operational.
+        let json = r#"{"kind":"Switch","name":"sw0"}"#;
+        let n: Node = serde_json::from_str(json).unwrap();
+        assert!(n.up);
+        let json = r#"{"from":0,"to":1,"capacity":5.0,"nominal_capacity":10.0}"#;
+        let l: Link = serde_json::from_str(json).unwrap();
+        assert!(l.up);
     }
 
     #[test]

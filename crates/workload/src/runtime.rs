@@ -415,15 +415,43 @@ impl JobRuntime {
 ///
 /// # Panics
 ///
-/// Panics if two jobs share an [`AppId`] or a timer `key_base`.
+/// Panics if two jobs share an [`AppId`] or a timer `key_base`, or if a
+/// timer fires whose key belongs to no job (use [`run_jobs_with`] to
+/// co-schedule non-job timers such as fault injections).
 pub fn run_jobs<M, F>(
     sim: &mut Simulation<M>,
     jobs: &mut [JobRuntime],
-    mut on_conn: F,
+    on_conn: F,
 ) -> Result<Vec<f64>, RunError>
 where
     M: FabricModel,
     F: FnMut(&mut Simulation<M>, &ConnEvent),
+{
+    run_jobs_with(sim, jobs, on_conn, |_, key, _| {
+        panic!("timer key {key:#x} belongs to no job")
+    })
+}
+
+/// [`run_jobs`] with a handler for timers owned by the *driver* rather
+/// than any job — the hook a fault injector uses to act at scheduled
+/// simulation times (fail a link, crash the controller) from inside the
+/// same event loop.
+///
+/// `on_foreign` receives `(sim, key, at)` for every timer no job owns.
+///
+/// # Panics
+///
+/// Panics if two jobs share an [`AppId`] or a timer `key_base`.
+pub fn run_jobs_with<M, F, G>(
+    sim: &mut Simulation<M>,
+    jobs: &mut [JobRuntime],
+    mut on_conn: F,
+    mut on_foreign: G,
+) -> Result<Vec<f64>, RunError>
+where
+    M: FabricModel,
+    F: FnMut(&mut Simulation<M>, &ConnEvent),
+    G: FnMut(&mut Simulation<M>, u64, f64),
 {
     {
         let mut seen_apps = std::collections::HashSet::new();
@@ -451,7 +479,7 @@ where
 
     loop {
         match sim.next_event() {
-            saba_sim::engine::Event::Timer { key, .. } => {
+            saba_sim::engine::Event::Timer { key, at } => {
                 let mut handled = false;
                 for j in jobs.iter_mut() {
                     if j.owns_key(key) {
@@ -461,7 +489,9 @@ where
                         break;
                     }
                 }
-                assert!(handled, "timer key {key:#x} belongs to no job");
+                if !handled {
+                    on_foreign(sim, key, at);
+                }
             }
             saba_sim::engine::Event::FlowsCompleted { flows, .. } => {
                 // Group completions by owning job, preserving batching.

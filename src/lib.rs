@@ -14,6 +14,7 @@
 //! - [`workload`] — stage-graph workload models and the workload catalog.
 //! - [`core`] — the Saba system proper: profiler, controller, library.
 //! - [`baselines`] — comparator allocation policies.
+//! - [`faults`] — deterministic fault injection & graceful degradation.
 //! - [`cluster`] — the cluster-scale experiment harness.
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
@@ -22,6 +23,7 @@
 pub use saba_baselines as baselines;
 pub use saba_cluster as cluster;
 pub use saba_core as core;
+pub use saba_faults as faults;
 pub use saba_math as math;
 pub use saba_sim as sim;
 pub use saba_workload as workload;
