@@ -1,0 +1,82 @@
+//! Criterion benchmark of the telemetry hooks' cost on the hot path.
+//!
+//! Three flavours of the same 4096-flow allocation trajectory:
+//!
+//! * `null_sink` — `Simulation::new`, the monomorphized-away
+//!   [`NullSink`]. This must track the pre-telemetry baseline (the
+//!   acceptance bound: within 2% of `BENCH_allocation.json`).
+//! * `shared_off` — a detached [`SharedRecorder`]: one branch per hook.
+//! * `recording` — a live recorder with a 64k-event ring, the worst
+//!   case (every epoch, flow start and completion is materialized).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use saba_sim::engine::{FairShareFabric, FlowSpec, Simulation};
+use saba_sim::ids::{AppId, ServiceLevel};
+use saba_sim::topology::Topology;
+use saba_telemetry::{Recorder, SharedRecorder, TelemetrySink};
+
+const FLOWS: usize = 4096;
+
+/// Starts `FLOWS` staggered flows and drains the event loop.
+fn drive<S: TelemetrySink>(mut sim: Simulation<FairShareFabric, S>) -> u64 {
+    let servers = sim.topo().servers().to_vec();
+    let n = servers.len();
+    let mut state = 0x5aba_u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    for i in 0..FLOWS {
+        let src = servers[next() % n];
+        let mut dst = servers[next() % n];
+        if dst == src {
+            dst = servers[(next() + 1) % n];
+        }
+        sim.start_flow(FlowSpec {
+            src,
+            dst,
+            bytes: 1e6 + (i as f64) * 1e3,
+            sl: ServiceLevel(0),
+            app: AppId((i % 32) as u32),
+            tag: i as u64,
+            rate_cap: f64::INFINITY,
+            min_rate: 0.0,
+        });
+    }
+    sim.run_to_idle();
+    sim.stats().flows_completed
+}
+
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let topo = Topology::single_switch(64, 100e9);
+
+    let mut group = c.benchmark_group("allocation_4096_flows");
+    group.sample_size(10);
+    group.bench_function("null_sink", |b| {
+        b.iter(|| drive(Simulation::new(topo.clone(), FairShareFabric::default())))
+    });
+    group.bench_function("shared_off", |b| {
+        b.iter(|| {
+            drive(Simulation::with_telemetry(
+                topo.clone(),
+                FairShareFabric::default(),
+                SharedRecorder::off(),
+            ))
+        })
+    });
+    group.bench_function("recording", |b| {
+        b.iter(|| {
+            drive(Simulation::with_telemetry(
+                topo.clone(),
+                FairShareFabric::default(),
+                SharedRecorder::on(Recorder::default()),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_telemetry_overhead);
+criterion_main!(benches);

@@ -20,7 +20,7 @@ use saba_core::sensitivity::{SensitivityModel, SensitivityTable};
 use saba_math::stats::percentile;
 use saba_sim::ids::AppId;
 use saba_sim::topology::{SpineLeafConfig, Topology};
-use std::time::Instant;
+use saba_telemetry::Histogram;
 
 /// Builds a synthetic sensitivity table of `count` degree-`k` models
 /// with varied steepness.
@@ -50,9 +50,13 @@ fn main() {
     );
 
     let mut rng = StdRng::seed_from_u64(0xF16_12);
-    // Measured calculation times, bucketed by (k, |A| <= 250).
+    // Measured calculation times, bucketed by (k, |A| <= 250): exact
+    // samples for the CSV/percentiles, and the controller's own solve
+    // histograms merged across scenarios for the telemetry view.
     let mut small: Vec<Vec<f64>> = vec![Vec::new(); 3];
     let mut large: Vec<Vec<f64>> = vec![Vec::new(); 3];
+    let mut small_hist: Vec<Histogram> = vec![Histogram::new(); 3];
+    let mut large_hist: Vec<Histogram> = vec![Histogram::new(); 3];
     let mut csv = Vec::new();
 
     for s in 0..scenarios {
@@ -60,6 +64,7 @@ fn main() {
         let k = 1 + s % 3;
         let table = synthetic_table(num_apps, k, &mut rng);
         let mut controller = CentralController::new(ControllerConfig::default(), table, &topo);
+        controller.enable_solve_timing();
         let servers = topo.servers();
         for a in 0..num_apps {
             let app = AppId(a as u32);
@@ -77,25 +82,33 @@ fn main() {
                 }
             }
         }
-        let start = Instant::now();
+        // Timing comes from the controller's own solve instrumentation
+        // (the same source the telemetry registry exposes under
+        // `wall.`-prefixed names), not a caller-side stopwatch.
+        let before = controller.solve_secs_total();
         let updates = controller.recompute_all();
-        let secs = start.elapsed().as_secs_f64();
+        let secs = controller.solve_secs_total() - before;
         std::hint::black_box(updates);
 
-        let bucket = if num_apps <= 250 {
-            &mut small
+        let (bucket, hists) = if num_apps <= 250 {
+            (&mut small, &mut small_hist)
         } else {
-            &mut large
+            (&mut large, &mut large_hist)
         };
         bucket[k - 1].push(secs);
+        hists[k - 1].merge(controller.solve_histogram());
         csv.push(format!("{num_apps},{k},{secs:.6}"));
     }
     write_csv("fig12_overhead.csv", "num_apps,degree,calc_seconds", &csv);
 
     let mut rows = Vec::new();
-    for (name, bucket) in [("|A| <= 250", &small), ("250 < |A| <= 1000", &large)] {
+    for (name, bucket, hists) in [
+        ("|A| <= 250", &small, &small_hist),
+        ("250 < |A| <= 1000", &large, &large_hist),
+    ] {
         for k in 1..=3 {
             let xs = &bucket[k - 1];
+            let h = &hists[k - 1];
             if xs.is_empty() {
                 continue;
             }
@@ -105,12 +118,14 @@ fn main() {
                 format!("{}", xs.len()),
                 format!("{:.3}", percentile(xs, 50.0).expect("samples")),
                 format!("{:.3}", percentile(xs, 99.0).expect("samples")),
+                format!("{:.3}", h.p50().expect("histogram samples")),
+                format!("{:.3}", h.p99().expect("histogram samples")),
             ]);
         }
     }
     print_table(
         "Figure 12: controller calculation time (seconds)",
-        &["apps", "degree", "n", "p50", "p99"],
+        &["apps", "degree", "n", "p50", "p99", "hist p50", "hist p99"],
         &rows,
     );
     println!("paper anchors (p99): |A|<=250: 0.09/0.16/0.31 s; |A|<=1000: 0.43/0.72/1.13 s");

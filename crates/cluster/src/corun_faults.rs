@@ -25,7 +25,8 @@ use saba_faults::InjectorStats;
 use saba_sim::engine::{SimStats, Simulation};
 use saba_sim::ids::{AppId, NodeId, ServiceLevel};
 use saba_sim::topology::Topology;
-use saba_workload::runtime::{run_jobs_with, JobRuntime};
+use saba_telemetry::{EventKind, Recorder, SharedRecorder, TelemetrySink};
+use saba_workload::runtime::{run_jobs_with, ConnEvent, JobRuntime};
 use saba_workload::spec::WorkloadSpec;
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -169,12 +170,225 @@ pub fn execute_with_faults(
             completion,
         })
         .collect();
+    let injector_stats = injector.borrow().stats();
     Ok(FaultRunOutcome {
         results,
         sim_stats: sim.stats(),
-        injector_stats: injector.borrow().stats(),
+        injector_stats,
         resilience: controller.map(|c| c.into_inner().stats()),
     })
+}
+
+/// [`execute_with_faults`] with full telemetry: the same run, plus a
+/// [`Recorder`] holding the trace (sim epochs, flow lifecycle, fault
+/// edges, controller crash/recovery, queue reprogramming, conn churn),
+/// the metrics registry, and any crash-time flight snapshots.
+///
+/// The trace and flight snapshots carry only simulated time, so the
+/// same `(jobs, policy, schedule)` triple yields byte-identical
+/// `to_jsonl()` / flight `to_json()` output on every run. Wall-clock
+/// readings (controller solve latency, recovery latency) land only
+/// under `wall.`-prefixed registry names.
+pub fn execute_with_faults_traced(
+    topo: Topology,
+    jobs: Vec<PlannedJob>,
+    policy: &Policy,
+    table: &SensitivityTable,
+    schedule: &FaultSchedule,
+) -> Result<(FaultRunOutcome, Recorder), String> {
+    let rec = SharedRecorder::on(Recorder::default());
+    let fabric = policy.build_fabric(&topo);
+    let controller: Option<RefCell<ResilientController>> = match policy {
+        Policy::Saba(ctl_cfg) => Some(RefCell::new(ResilientController::central(
+            ctl_cfg.clone(),
+            table.clone(),
+            &topo,
+        ))),
+        Policy::SabaDistributed(ctl_cfg, shards) => {
+            let db = MappingDb::build(table, ctl_cfg.num_pls, ctl_cfg.seed);
+            Some(RefCell::new(ResilientController::distributed(
+                ctl_cfg.clone(),
+                db,
+                &topo,
+                *shards,
+            )))
+        }
+        _ => None,
+    };
+    if let Some(c) = &controller {
+        let mut c = c.borrow_mut();
+        c.set_sink(rec.clone());
+        c.enable_solve_timing();
+    }
+
+    let mut runtimes = Vec::with_capacity(jobs.len());
+    for (i, job) in jobs.iter().enumerate() {
+        let app = AppId(i as u32);
+        let sl = match &controller {
+            Some(c) => c.borrow_mut().register(app, &job.workload)?,
+            None => ServiceLevel(0),
+        };
+        runtimes.push(JobRuntime::new(
+            app,
+            sl,
+            job.nodes.clone(),
+            job.plan.clone(),
+            (i as u64) << 32,
+        ));
+    }
+
+    let mut sim = Simulation::with_telemetry(topo, fabric, rec.clone());
+    let injector = RefCell::new(FaultInjector::new(schedule.clone()));
+    injector.borrow().arm(&mut sim);
+
+    let times = run_jobs_with(
+        &mut sim,
+        &mut runtimes,
+        |sim, ev| {
+            let t = sim.now();
+            sim.sink_mut().record(t, conn_event_kind(ev));
+            if let Some(c) = &controller {
+                let mut ctl = c.borrow_mut();
+                ctl.set_clock(t);
+                let updates = ctl.on_event(ev);
+                drop(ctl);
+                apply_traced(sim, updates);
+            }
+        },
+        |sim, key, _at| {
+            assert!(
+                FaultInjector::owns_key(key),
+                "timer key {key:#x} belongs to no job and no fault"
+            );
+            let action = injector.borrow_mut().on_timer(sim, key);
+            if let (Some(action), Some(c)) = (action, &controller) {
+                let mut ctl = c.borrow_mut();
+                ctl.set_clock(sim.now());
+                let updates = ctl.apply(&action);
+                drop(ctl);
+                apply_traced(sim, updates);
+            }
+        },
+    )
+    .map_err(|e| e.to_string())?;
+
+    let results: Vec<JobResult> = jobs
+        .iter()
+        .zip(times)
+        .map(|(j, completion)| JobResult {
+            workload: j.workload.clone(),
+            dataset_scale: j.dataset_scale,
+            nodes: j.nodes.len(),
+            completion,
+        })
+        .collect();
+    let outcome = FaultRunOutcome {
+        results,
+        sim_stats: sim.stats(),
+        injector_stats: injector.borrow().stats(),
+        resilience: controller
+            .as_ref()
+            .map(|c| c.borrow().stats()),
+    };
+
+    let mut recorder = rec.extract().expect("recorder was attached");
+    sim.export_probes(&mut recorder.registry);
+    export_outcome_metrics(&outcome, &mut recorder);
+    if let Some(c) = &controller {
+        recorder
+            .registry
+            .merge_histogram("wall.controller_solve_secs", &c.borrow().solve_histogram());
+    }
+    Ok((outcome, recorder))
+}
+
+/// The trace event mirroring one Fig. 7 connection-lifecycle callback.
+fn conn_event_kind(ev: &ConnEvent) -> EventKind {
+    match ev {
+        ConnEvent::Created { app, tag, .. } => EventKind::ConnCreated {
+            app: app.0,
+            tag: *tag,
+        },
+        ConnEvent::Destroyed { app, tag, .. } => EventKind::ConnDestroyed {
+            app: app.0,
+            tag: *tag,
+        },
+        ConnEvent::JobCompleted { app, .. } => EventKind::JobCompleted { app: app.0 },
+    }
+}
+
+/// Applies switch updates to the Saba fabric, tracing one
+/// `queue_reprogram` event per reprogrammed port.
+fn apply_traced<S: TelemetrySink>(
+    sim: &mut Simulation<crate::policy::AnyFabric, S>,
+    updates: Vec<saba_core::controller::SwitchUpdate>,
+) {
+    if updates.is_empty() {
+        return;
+    }
+    let t = sim.now();
+    for u in &updates {
+        sim.sink_mut().record(
+            t,
+            EventKind::QueueReprogram {
+                link: u.link.0,
+                queues: u.config.weights.len() as u32,
+            },
+        );
+    }
+    sim.model_mut().saba_mut().apply(updates);
+}
+
+/// Folds a finished run's counters into the recorder's registry, and
+/// derives the stale-weight windows (crash→recovery spans, simulated
+/// seconds) from the trace.
+fn export_outcome_metrics(outcome: &FaultRunOutcome, rec: &mut Recorder) {
+    let reg = &mut rec.registry;
+    let s = outcome.sim_stats;
+    reg.inc("sim.flows_started", s.flows_started);
+    reg.inc("sim.flows_completed", s.flows_completed);
+    reg.inc("sim.allocations", s.allocations);
+    reg.inc("sim.route_recomputes", s.route_recomputes);
+    reg.inc("sim.flows_rerouted", s.flows_rerouted);
+    reg.inc("sim.flows_parked", s.flows_parked);
+    reg.inc("sim.flows_resumed", s.flows_resumed);
+    let i = outcome.injector_stats;
+    reg.inc("injector.network_events", i.network_events);
+    reg.inc("injector.control_events", i.control_events);
+    reg.inc("injector.rerouted", i.rerouted);
+    reg.inc("injector.parked", i.parked);
+    reg.inc("injector.resumed", i.resumed);
+    if let Some(r) = outcome.resilience {
+        reg.inc("controller.crashes", r.crashes);
+        reg.inc("controller.shard_crashes", r.shard_crashes);
+        reg.inc("controller.recoveries", r.recoveries);
+        reg.inc("controller.stale_events", r.stale_events);
+        reg.inc("controller.updates_suppressed", r.updates_suppressed);
+        reg.inc("controller.replayed_registrations", r.replayed_registrations);
+        reg.inc("controller.replayed_connections", r.replayed_connections);
+    }
+    for job in &outcome.results {
+        reg.observe("jobs.completion_secs", job.completion);
+    }
+    // Stale-weight windows: pair each crash edge with its recovery.
+    let mut open: HashMap<i64, f64> = HashMap::new();
+    let mut windows = Vec::new();
+    for ev in rec.trace.events() {
+        match &ev.kind {
+            EventKind::ControllerCrash { shard } => {
+                open.entry(*shard).or_insert(ev.t);
+            }
+            EventKind::ControllerRecover { shard, .. } => {
+                if let Some(start) = open.remove(shard) {
+                    windows.push(ev.t - start);
+                }
+            }
+            _ => {}
+        }
+    }
+    for w in windows {
+        rec.registry.observe("controller.stale_window_secs", w);
+    }
 }
 
 #[cfg(test)]
@@ -316,6 +530,105 @@ mod tests {
         for r in &out.results {
             assert!(r.completion > 0.0, "{r:?}");
         }
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_captures_the_story() {
+        let table = quick_table();
+        let cat = catalog();
+        let topo = Topology::spine_leaf(&SpineLeafConfig::tiny(2));
+        let jobs = cross_rack_jobs(&topo, &cat);
+        let clean = execute(topo.clone(), jobs.clone(), &Policy::saba(), &table).unwrap();
+        let t = max_completion(&clean);
+        let schedule = FaultSchedule {
+            seed: 0,
+            faults: vec![FaultSpec {
+                kind: FaultKind::CrashController,
+                start: 0.2 * t,
+                duration: 0.5 * t,
+            }],
+        };
+        let plain = execute_with_faults(
+            topo.clone(),
+            jobs.clone(),
+            &Policy::saba(),
+            &table,
+            &schedule,
+        )
+        .unwrap();
+        let (out, rec) =
+            execute_with_faults_traced(topo, jobs, &Policy::saba(), &table, &schedule)
+                .unwrap();
+        // Telemetry must not perturb the run.
+        assert_eq!(plain.results, out.results);
+        assert_eq!(plain.sim_stats, out.sim_stats);
+
+        let count = |name: &str| {
+            rec.trace
+                .events()
+                .filter(|e| e.kind.name() == name)
+                .count() as u64
+        };
+        assert_eq!(count("fault_edge"), 2, "crash + repair edges");
+        assert_eq!(count("controller_crash"), 1);
+        assert_eq!(count("controller_recover"), 1);
+        assert!(count("epoch_allocated") > 0);
+        assert!(count("queue_reprogram") > 0);
+        assert!(count("conn_created") > 0);
+        assert_eq!(count("job_completed"), 2);
+        assert_eq!(rec.flight.snapshots().len(), 1, "one crash snapshot");
+
+        // Registry mirrors the outcome counters and derives the
+        // stale-weight window from the trace.
+        assert_eq!(
+            rec.registry.counter("sim.flows_completed"),
+            out.sim_stats.flows_completed
+        );
+        assert_eq!(rec.registry.counter("controller.crashes"), 1);
+        let stale = rec.registry.histogram("controller.stale_window_secs").unwrap();
+        assert_eq!(stale.count(), 1);
+        let w = stale.max().unwrap();
+        assert!((w - 0.5 * t).abs() < 0.35 * t, "window {w} vs duration {}", 0.5 * t);
+        // Wall-clock solve latency lands under a wall.-prefixed name.
+        assert!(rec.registry.histogram("wall.controller_solve_secs").is_some());
+    }
+
+    #[test]
+    fn identically_seeded_traced_runs_are_byte_identical() {
+        let table = quick_table();
+        let cat = catalog();
+        let run = || {
+            let topo = Topology::spine_leaf(&SpineLeafConfig::tiny(2));
+            let jobs = cross_rack_jobs(&topo, &cat);
+            let clean =
+                execute(topo.clone(), jobs.clone(), &Policy::saba(), &table).unwrap();
+            let t = max_completion(&clean);
+            let mut schedule = FaultSchedule::generate(
+                &topo,
+                &ScheduleConfig {
+                    severity: 2,
+                    horizon: t,
+                    num_shards: 0,
+                },
+                7,
+            );
+            schedule.faults.push(FaultSpec {
+                kind: FaultKind::CrashController,
+                start: 0.3 * t,
+                duration: 0.4 * t,
+            });
+            execute_with_faults_traced(topo, jobs, &Policy::saba(), &table, &schedule)
+                .unwrap()
+        };
+        let (_, rec_a) = run();
+        let (_, rec_b) = run();
+        // The full trace and the crash-time flight snapshots round-trip
+        // byte-identically: simulated time only, no wall clock.
+        assert_eq!(rec_a.trace.to_jsonl(), rec_b.trace.to_jsonl());
+        assert!(!rec_a.trace.to_jsonl().is_empty());
+        assert_eq!(rec_a.flight.to_json(), rec_b.flight.to_json());
+        assert!(rec_a.flight.snapshots().len() >= 1);
+        saba_telemetry::validate_jsonl(&rec_a.trace.to_jsonl()).unwrap();
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 use crate::corun::JobResult;
 use saba_math::stats::geometric_mean;
+use saba_telemetry::Registry;
 use std::collections::BTreeMap;
 
 /// Aggregated speedups of one policy against a baseline.
@@ -18,6 +19,21 @@ pub struct SpeedupReport {
     pub average: f64,
     /// Per-job speedups, in job order.
     pub per_job: Vec<f64>,
+}
+
+impl SpeedupReport {
+    /// Folds the report into a metrics registry: gauges
+    /// `speedup.avg` and `speedup.<workload>`, and every per-job
+    /// speedup observed into the `speedup.per_job` histogram.
+    pub fn export_to(&self, registry: &mut Registry) {
+        registry.set_gauge("speedup.avg", self.average);
+        for (w, s) in &self.per_workload {
+            registry.set_gauge(&format!("speedup.{w}"), *s);
+        }
+        for &s in &self.per_job {
+            registry.observe("speedup.per_job", s);
+        }
+    }
 }
 
 /// Computes speedups from paired runs of the *same* jobs (identical
@@ -123,6 +139,20 @@ mod tests {
         let base = vec![job("LR", 100.0)];
         let cand = vec![job("PR", 100.0)];
         let _ = per_workload_speedups(&base, &cand);
+    }
+
+    #[test]
+    fn export_writes_gauges_and_histogram() {
+        let base = vec![job("LR", 200.0), job("PR", 100.0)];
+        let cand = vec![job("LR", 100.0), job("PR", 110.0)];
+        let r = per_workload_speedups(&base, &cand);
+        let mut reg = saba_telemetry::Registry::new();
+        r.export_to(&mut reg);
+        assert_eq!(reg.gauge("speedup.avg"), Some(r.average));
+        assert_eq!(reg.gauge("speedup.LR"), Some(2.0));
+        let h = reg.histogram("speedup.per_job").unwrap();
+        assert_eq!(h.count(), 2);
+        assert!(h.max().unwrap() >= 2.0);
     }
 
     #[test]

@@ -18,6 +18,7 @@ use crate::controller::{ControllerConfig, ControllerError, SwitchUpdate};
 use crate::fabric::PortQueueConfig;
 use crate::sensitivity::{SensitivityModel, SensitivityTable};
 use saba_sim::ids::{AppId, LinkId, NodeId, ServiceLevel};
+use saba_telemetry::Histogram;
 use saba_sim::routing::Routes;
 use saba_sim::topology::Topology;
 use std::collections::{BTreeMap, HashMap};
@@ -71,6 +72,10 @@ pub struct CentralController {
     /// count) profile — many core ports share one profile.
     cluster_cache: HashMap<Vec<(usize, u32)>, Vec<f64>>,
     stats: ControllerStats,
+    solve_timing: bool,
+    last_solve_secs: f64,
+    solve_secs_total: f64,
+    solve_hist: Histogram,
 }
 
 impl CentralController {
@@ -97,7 +102,37 @@ impl CentralController {
             weight_cache: HashMap::new(),
             cluster_cache: HashMap::new(),
             stats: ControllerStats::default(),
+            solve_timing: false,
+            last_solve_secs: 0.0,
+            solve_secs_total: 0.0,
+            solve_hist: Histogram::new(),
         }
+    }
+
+    /// Enables wall-clock timing of every reprogramming batch. Each
+    /// [`Self::reprogram`]-driven solve then lands one sample in
+    /// [`Self::solve_histogram`] — the measurement behind the Fig. 12
+    /// controller-overhead study. Off by default: timing calls the OS
+    /// clock, which the null-telemetry fast path must not.
+    pub fn enable_solve_timing(&mut self) {
+        self.solve_timing = true;
+    }
+
+    /// Wall-clock seconds of the most recent timed reprogramming batch.
+    pub fn last_solve_secs(&self) -> f64 {
+        self.last_solve_secs
+    }
+
+    /// Total wall-clock seconds across all timed batches; diff around a
+    /// call sequence to time it (e.g. one `recompute_all`).
+    pub fn solve_secs_total(&self) -> f64 {
+        self.solve_secs_total
+    }
+
+    /// Distribution of per-batch solve times (empty until
+    /// [`Self::enable_solve_timing`]).
+    pub fn solve_histogram(&self) -> &Histogram {
+        &self.solve_hist
     }
 
     /// The configuration.
@@ -295,6 +330,19 @@ impl CentralController {
     /// with no Saba traffic (they fall back to the default single
     /// queue).
     fn reprogram(&mut self, links: Vec<LinkId>) -> Vec<SwitchUpdate> {
+        if !self.solve_timing {
+            return self.reprogram_batch(links);
+        }
+        let t0 = std::time::Instant::now();
+        let updates = self.reprogram_batch(links);
+        let secs = t0.elapsed().as_secs_f64();
+        self.last_solve_secs = secs;
+        self.solve_secs_total += secs;
+        self.solve_hist.record(secs);
+        updates
+    }
+
+    fn reprogram_batch(&mut self, links: Vec<LinkId>) -> Vec<SwitchUpdate> {
         let mut updates = Vec::with_capacity(links.len());
         for link in links {
             let config = self.port_config(link);
@@ -668,6 +716,24 @@ mod tests {
         assert!(pcfg.num_queues() <= 4, "{} queues", pcfg.num_queues());
         let total: f64 = pcfg.weights.iter().sum();
         assert!((total - 1.0).abs() < 1e-6, "weights sum {total}");
+    }
+
+    #[test]
+    fn solve_timing_is_off_by_default_and_samples_when_enabled() {
+        let (mut c, topo) = controller();
+        c.register(AppId(0), "LR").unwrap();
+        let s = topo.servers();
+        c.conn_create(AppId(0), s[0], s[1], 1).unwrap();
+        assert_eq!(c.solve_histogram().count(), 0, "timing defaults off");
+        assert_eq!(c.solve_secs_total(), 0.0);
+
+        c.enable_solve_timing();
+        c.recompute_all();
+        c.conn_create(AppId(0), s[0], s[2], 2).unwrap();
+        // One sample per reprogram batch: recompute_all + conn_create.
+        assert_eq!(c.solve_histogram().count(), 2);
+        assert!(c.solve_secs_total() > 0.0);
+        assert!(c.last_solve_secs() <= c.solve_secs_total());
     }
 
     #[test]

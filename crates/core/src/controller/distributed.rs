@@ -27,6 +27,7 @@ use saba_math::{kmeans, KMeansConfig};
 use saba_sim::ids::{AppId, LinkId, NodeId, ServiceLevel};
 use saba_sim::routing::Routes;
 use saba_sim::topology::Topology;
+use saba_telemetry::Histogram;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 
@@ -171,6 +172,10 @@ pub struct DistributedController {
     /// the offline database, so the cache never goes stale).
     weight_cache: HashMap<Vec<usize>, Vec<f64>>,
     stats: DistStats,
+    solve_timing: bool,
+    last_solve_secs: f64,
+    solve_secs_total: f64,
+    solve_hist: Histogram,
 }
 
 impl DistributedController {
@@ -201,7 +206,34 @@ impl DistributedController {
             conns: HashMap::new(),
             weight_cache: HashMap::new(),
             stats: DistStats::default(),
+            solve_timing: false,
+            last_solve_secs: 0.0,
+            solve_secs_total: 0.0,
+            solve_hist: Histogram::new(),
         }
+    }
+
+    /// Enables wall-clock timing of every reprogramming batch (one
+    /// sample per shard-local solve) for the Fig. 12 overhead study.
+    pub fn enable_solve_timing(&mut self) {
+        self.solve_timing = true;
+    }
+
+    /// Wall-clock seconds of the most recent timed reprogramming batch.
+    pub fn last_solve_secs(&self) -> f64 {
+        self.last_solve_secs
+    }
+
+    /// Total wall-clock seconds across all timed batches; diff around a
+    /// call sequence to time it (e.g. one `recompute_all`).
+    pub fn solve_secs_total(&self) -> f64 {
+        self.solve_secs_total
+    }
+
+    /// Distribution of per-batch solve times (empty until
+    /// [`Self::enable_solve_timing`]).
+    pub fn solve_histogram(&self) -> &Histogram {
+        &self.solve_hist
     }
 
     /// Counters.
@@ -332,6 +364,19 @@ impl DistributedController {
     }
 
     fn reprogram(&mut self, links: Vec<LinkId>) -> Vec<SwitchUpdate> {
+        if !self.solve_timing {
+            return self.reprogram_batch(links);
+        }
+        let t0 = std::time::Instant::now();
+        let updates = self.reprogram_batch(links);
+        let secs = t0.elapsed().as_secs_f64();
+        self.last_solve_secs = secs;
+        self.solve_secs_total += secs;
+        self.solve_hist.record(secs);
+        updates
+    }
+
+    fn reprogram_batch(&mut self, links: Vec<LinkId>) -> Vec<SwitchUpdate> {
         let mut updates = Vec::with_capacity(links.len());
         for link in links {
             let config = self.port_config(link);
@@ -582,6 +627,24 @@ mod tests {
         seen.dedup();
         assert_eq!(before, seen.len(), "no port recomputed twice");
         assert_eq!(seen.len(), live.len());
+    }
+
+    #[test]
+    fn solve_timing_records_one_sample_per_shard_batch() {
+        let t = table();
+        let db = MappingDb::build(&t, 16, 1);
+        let topo = Topology::single_switch(4, saba_sim::LINK_56G_BPS);
+        let mut c = DistributedController::new(ControllerConfig::default(), db, &topo, 2);
+        c.register(AppId(0), "LR").unwrap();
+        let s = topo.servers();
+        c.conn_create(AppId(0), s[0], s[1], 1).unwrap();
+        assert_eq!(c.solve_histogram().count(), 0, "timing defaults off");
+
+        c.enable_solve_timing();
+        c.recompute_all();
+        // recompute_all reprograms shard by shard: one sample each.
+        assert_eq!(c.solve_histogram().count(), c.num_shards() as u64);
+        assert!(c.solve_secs_total() > 0.0);
     }
 
     #[test]

@@ -14,6 +14,7 @@ use crate::controller::central::CentralController;
 use crate::controller::SwitchUpdate;
 use crate::rpc::{decode_request, encode_request, encode_response, Request, Response};
 use saba_sim::ids::{AppId, NodeId, ServiceLevel};
+use saba_telemetry::{EventKind, SharedRecorder, TelemetrySink};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
@@ -76,6 +77,8 @@ pub struct SabaLib<T: Transport> {
     sl: Option<ServiceLevel>,
     conns: HashMap<u64, Connection>,
     next_tag: u64,
+    sink: SharedRecorder,
+    clock: f64,
 }
 
 impl<T: Transport> SabaLib<T> {
@@ -87,6 +90,36 @@ impl<T: Transport> SabaLib<T> {
             sl: None,
             conns: HashMap::new(),
             next_tag: 0,
+            sink: SharedRecorder::default(),
+            clock: 0.0,
+        }
+    }
+
+    /// Attaches a telemetry recorder: every Fig. 7 verb then emits a
+    /// `lib_call` event stamped with the time set via
+    /// [`Self::set_clock`].
+    pub fn set_sink(&mut self, sink: SharedRecorder) {
+        self.sink = sink;
+    }
+
+    /// Sets the simulated time stamped on subsequent events. The
+    /// library is passive — it has no event loop of its own — so the
+    /// driver advances this alongside the simulator clock.
+    pub fn set_clock(&mut self, t: f64) {
+        self.clock = t;
+    }
+
+    fn note(&mut self, op: &str, ok: bool) {
+        if self.sink.enabled() {
+            let t = self.clock;
+            self.sink.record(
+                t,
+                EventKind::LibCall {
+                    app: self.app.0,
+                    op: op.to_string(),
+                    ok,
+                },
+            );
         }
     }
 
@@ -125,6 +158,7 @@ impl<T: Transport> SabaLib<T> {
     pub fn handle_controller_restart(&mut self) {
         self.sl = None;
         self.conns.clear();
+        self.note("restart_replay", true);
     }
 
     /// Registers the application (Fig. 7 ①–③), returning the Service
@@ -137,14 +171,16 @@ impl<T: Transport> SabaLib<T> {
             app: self.app,
             workload: workload.to_string(),
         });
-        match resp {
+        let out = match resp {
             Response::Registered { sl } => {
                 self.sl = Some(sl);
                 Ok(sl)
             }
             Response::Error { message } => Err(LibError::Rejected(message)),
             Response::Ack => Err(LibError::ProtocolViolation),
-        }
+        };
+        self.note("app_register", out.is_ok());
+        out
     }
 
     /// Creates a connection (Fig. 7 ④–⑦): the connection manager uses
@@ -160,7 +196,7 @@ impl<T: Transport> SabaLib<T> {
             dst,
             tag,
         });
-        match resp {
+        let out = match resp {
             Response::Ack => {
                 let conn = Connection { tag, src, dst, sl };
                 self.conns.insert(tag, conn);
@@ -168,7 +204,9 @@ impl<T: Transport> SabaLib<T> {
             }
             Response::Error { message } => Err(LibError::Rejected(message)),
             Response::Registered { .. } => Err(LibError::ProtocolViolation),
-        }
+        };
+        self.note("conn_create", out.is_ok());
+        out
     }
 
     /// Destroys a connection (Fig. 7 ⑧–⑪).
@@ -183,11 +221,13 @@ impl<T: Transport> SabaLib<T> {
             app: self.app,
             tag: conn.tag,
         });
-        match resp {
+        let out = match resp {
             Response::Ack => Ok(()),
             Response::Error { message } => Err(LibError::Rejected(message)),
             Response::Registered { .. } => Err(LibError::ProtocolViolation),
-        }
+        };
+        self.note("conn_destroy", out.is_ok());
+        out
     }
 
     /// Deregisters the application (Fig. 7 ⑫–⑬). Any remaining
@@ -203,14 +243,16 @@ impl<T: Transport> SabaLib<T> {
         let resp = self
             .transport
             .call(Request::AppDeregister { app: self.app });
-        match resp {
+        let out = match resp {
             Response::Ack => {
                 self.sl = None;
                 Ok(())
             }
             Response::Error { message } => Err(LibError::Rejected(message)),
             Response::Registered { .. } => Err(LibError::ProtocolViolation),
-        }
+        };
+        self.note("app_deregister", out.is_ok());
+        out
     }
 }
 
@@ -410,6 +452,67 @@ mod tests {
         lr.saba_conn_create(s[0], s[1]).unwrap();
         pr.saba_conn_create(s[0], s[1]).unwrap();
         assert_eq!(ctrl.borrow().num_conns(), 2);
+    }
+
+    #[test]
+    fn lib_calls_are_traced_through_the_shared_recorder() {
+        let (_, transport, topo) = setup();
+        let mut lib = SabaLib::new(AppId(7), transport);
+        let shared = SharedRecorder::on(saba_telemetry::Recorder::new(64, 16));
+        lib.set_sink(shared.clone());
+        let s = topo.servers();
+
+        lib.set_clock(1.0);
+        lib.saba_app_register("LR").unwrap();
+        lib.set_clock(2.0);
+        let conn = lib.saba_conn_create(s[0], s[1]).unwrap();
+        lib.set_clock(3.0);
+        lib.saba_conn_destroy(conn).unwrap();
+        lib.set_clock(4.0);
+        lib.saba_app_deregister().unwrap();
+        // Locally-rejected calls never reach the controller and are not
+        // traced (no round trip happened).
+        assert!(lib.saba_app_deregister().is_err());
+        // A controller-side rejection *is* traced, with ok = false.
+        assert!(lib.saba_app_register("Mystery").is_err());
+
+        let rec = shared.extract().unwrap();
+        let ops: Vec<(f64, String, bool)> = rec
+            .trace
+            .events()
+            .map(|e| match &e.kind {
+                EventKind::LibCall { app, op, ok } => {
+                    assert_eq!(*app, 7);
+                    (e.t, op.clone(), *ok)
+                }
+                other => panic!("unexpected event {other:?}"),
+            })
+            .collect();
+        assert_eq!(
+            ops,
+            vec![
+                (1.0, "app_register".into(), true),
+                (2.0, "conn_create".into(), true),
+                (3.0, "conn_destroy".into(), true),
+                (4.0, "app_deregister".into(), true),
+                (4.0, "app_register".into(), false),
+            ]
+        );
+    }
+
+    #[test]
+    fn restart_replay_is_traced() {
+        let (_, transport, _) = setup();
+        let mut lib = SabaLib::new(AppId(0), transport);
+        let shared = SharedRecorder::on(saba_telemetry::Recorder::new(64, 16));
+        lib.set_sink(shared.clone());
+        lib.saba_app_register("LR").unwrap();
+        lib.handle_controller_restart();
+        let rec = shared.extract().unwrap();
+        let last = rec.trace.events().last().unwrap();
+        assert!(
+            matches!(&last.kind, EventKind::LibCall { op, ok: true, .. } if op == "restart_replay")
+        );
     }
 
     #[test]

@@ -28,6 +28,7 @@ use saba_core::controller::{ControllerConfig, SwitchUpdate};
 use saba_core::sensitivity::SensitivityTable;
 use saba_sim::ids::{AppId, NodeId, ServiceLevel};
 use saba_sim::topology::Topology;
+use saba_telemetry::{EventKind, Histogram, JsonValue, SharedRecorder, TelemetrySink};
 use saba_workload::runtime::ConnEvent;
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::Instant;
@@ -80,6 +81,12 @@ pub struct ResilientController {
     live_conns: BTreeMap<(AppId, u64), (NodeId, NodeId)>,
     sls: BTreeMap<AppId, ServiceLevel>,
     stats: ResilienceStats,
+    sink: SharedRecorder,
+    clock: f64,
+    solve_timing: bool,
+    /// Solve samples from controller incarnations that a crash
+    /// replaced; [`Self::solve_histogram`] merges the live one in.
+    solve_hist_archive: Histogram,
 }
 
 impl ResilientController {
@@ -97,6 +104,10 @@ impl ResilientController {
             live_conns: BTreeMap::new(),
             sls: BTreeMap::new(),
             stats: ResilienceStats::default(),
+            sink: SharedRecorder::default(),
+            clock: 0.0,
+            solve_timing: false,
+            solve_hist_archive: Histogram::new(),
         }
     }
 
@@ -119,7 +130,82 @@ impl ResilientController {
             live_conns: BTreeMap::new(),
             sls: BTreeMap::new(),
             stats: ResilienceStats::default(),
+            sink: SharedRecorder::default(),
+            clock: 0.0,
+            solve_timing: false,
+            solve_hist_archive: Histogram::new(),
         }
+    }
+
+    /// Starts wall-clock timing of every inner controller solve batch.
+    /// Survives crash/recovery: the replacement incarnation is timed
+    /// too, and [`Self::solve_histogram`] spans all incarnations.
+    pub fn enable_solve_timing(&mut self) {
+        self.solve_timing = true;
+        match &mut self.inner {
+            Inner::Central(c) => c.enable_solve_timing(),
+            Inner::Distributed(c) => c.enable_solve_timing(),
+        }
+    }
+
+    /// Wall-clock solve durations across all controller incarnations.
+    /// Diagnostics only (`wall.` metrics) — nondeterministic.
+    pub fn solve_histogram(&self) -> Histogram {
+        let mut hist = self.solve_hist_archive.clone();
+        let live = match &self.inner {
+            Inner::Central(c) => c.solve_histogram(),
+            Inner::Distributed(c) => c.solve_histogram(),
+        };
+        hist.merge(live);
+        hist
+    }
+
+    /// Attaches a telemetry recorder: crash/recovery edges then emit
+    /// trace events, and every whole-controller crash snapshots the
+    /// recovery ground truth into the flight recorder. Recovery
+    /// wall-clock goes only to `wall.`-prefixed metrics, never into the
+    /// trace, so traces stay deterministic.
+    pub fn set_sink(&mut self, sink: SharedRecorder) {
+        self.sink = sink;
+    }
+
+    /// Sets the simulated time stamped on subsequent events; the driver
+    /// advances this alongside the simulator clock.
+    pub fn set_clock(&mut self, t: f64) {
+        self.clock = t;
+    }
+
+    /// The recovery state a flight-recorder snapshot captures at a
+    /// crash edge: what a post-mortem needs to judge whether replay
+    /// could have reconstructed the controller.
+    fn snapshot_state(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("down", JsonValue::Bool(self.down)),
+            (
+                "down_shards",
+                JsonValue::Arr(
+                    self.down_shards
+                        .iter()
+                        .map(|&s| JsonValue::Num(s as f64))
+                        .collect(),
+                ),
+            ),
+            (
+                "registrations",
+                JsonValue::Num(self.registrations.len() as f64),
+            ),
+            ("live_conns", JsonValue::Num(self.live_conns.len() as f64)),
+            ("crashes", JsonValue::Num(self.stats.crashes as f64)),
+            (
+                "shard_crashes",
+                JsonValue::Num(self.stats.shard_crashes as f64),
+            ),
+            ("recoveries", JsonValue::Num(self.stats.recoveries as f64)),
+            (
+                "stale_events",
+                JsonValue::Num(self.stats.stale_events as f64),
+            ),
+        ])
     }
 
     /// True while the whole controller is crashed.
@@ -232,6 +318,12 @@ impl ResilientController {
         if !self.down {
             self.down = true;
             self.stats.crashes += 1;
+            if self.sink.enabled() {
+                let t = self.clock;
+                self.sink.record(t, EventKind::ControllerCrash { shard: -1 });
+                let state = self.snapshot_state();
+                self.sink.snapshot(t, "controller-crash", state);
+            }
         }
     }
 
@@ -248,9 +340,17 @@ impl ResilientController {
         }
         let started = Instant::now();
         self.down = false;
+        let apps_before = self.stats.replayed_registrations;
+        let conns_before = self.stats.replayed_connections;
         let updates = if matches!(self.inner, Inner::Central(_)) {
             let table = self.table.clone().expect("central flavour keeps its table");
             let mut fresh = CentralController::new(self.cfg.clone(), table, &self.topo);
+            if self.solve_timing {
+                if let Inner::Central(old) = &self.inner {
+                    self.solve_hist_archive.merge(old.solve_histogram());
+                }
+                fresh.enable_solve_timing();
+            }
             for (app, workload) in &self.registrations {
                 let sl = fresh
                     .register(*app, workload)
@@ -273,6 +373,19 @@ impl ResilientController {
         };
         self.stats.recoveries += 1;
         self.stats.last_recovery_micros = started.elapsed().as_micros() as u64;
+        if self.sink.enabled() {
+            let t = self.clock;
+            self.sink.record(
+                t,
+                EventKind::ControllerRecover {
+                    shard: -1,
+                    replayed_apps: self.stats.replayed_registrations - apps_before,
+                    replayed_conns: self.stats.replayed_connections - conns_before,
+                },
+            );
+            let micros = self.stats.last_recovery_micros;
+            self.sink.observe("wall.recovery_micros", micros as f64);
+        }
         self.filter_updates(updates)
     }
 
@@ -281,6 +394,17 @@ impl ResilientController {
     pub fn crash_shard(&mut self, shard: usize) {
         if matches!(self.inner, Inner::Distributed(_)) && self.down_shards.insert(shard) {
             self.stats.shard_crashes += 1;
+            if self.sink.enabled() {
+                let t = self.clock;
+                self.sink.record(
+                    t,
+                    EventKind::ControllerCrash {
+                        shard: shard as i64,
+                    },
+                );
+                let state = self.snapshot_state();
+                self.sink.snapshot(t, "shard-crash", state);
+            }
         }
     }
 
@@ -296,6 +420,19 @@ impl ResilientController {
         };
         self.stats.recoveries += 1;
         self.stats.last_recovery_micros = started.elapsed().as_micros() as u64;
+        if self.sink.enabled() {
+            let t = self.clock;
+            self.sink.record(
+                t,
+                EventKind::ControllerRecover {
+                    shard: shard as i64,
+                    replayed_apps: 0,
+                    replayed_conns: 0,
+                },
+            );
+            let micros = self.stats.last_recovery_micros;
+            self.sink.observe("wall.recovery_micros", micros as f64);
+        }
         self.filter_updates(updates)
     }
 
@@ -444,6 +581,86 @@ mod tests {
         }
         assert_eq!(c.stats().shard_crashes, 1);
         assert_eq!(c.stats().recoveries, 1);
+    }
+
+    #[test]
+    fn crash_and_recovery_are_traced_with_a_flight_snapshot() {
+        use saba_telemetry::{EventKind, Recorder, SharedRecorder};
+        let topo = Topology::single_switch(4, 100.0);
+        let servers = topo.servers().to_vec();
+        let mut c = ResilientController::central(ControllerConfig::default(), table(), &topo);
+        let rec = SharedRecorder::on(Recorder::default());
+        c.set_sink(rec.clone());
+        c.register(AppId(0), "LR").unwrap();
+        c.on_event(&created(0, servers[0], servers[1], 1));
+
+        c.set_clock(3.5);
+        c.crash();
+        c.crash(); // idempotent: no second event
+        c.set_clock(7.25);
+        c.recover();
+
+        let rec = rec.extract().unwrap();
+        let kinds: Vec<(f64, EventKind)> =
+            rec.trace.events().map(|e| (e.t, e.kind.clone())).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                (3.5, EventKind::ControllerCrash { shard: -1 }),
+                (
+                    7.25,
+                    EventKind::ControllerRecover {
+                        shard: -1,
+                        replayed_apps: 1,
+                        replayed_conns: 1,
+                    }
+                ),
+            ]
+        );
+        // The crash captured one flight snapshot with the recovery
+        // ground truth in its state.
+        assert_eq!(rec.flight.snapshots().len(), 1);
+        let snap = &rec.flight.snapshots()[0];
+        assert_eq!(snap.reason, "controller-crash");
+        assert_eq!(snap.t, 3.5);
+        let json = snap.to_json();
+        assert!(json.contains("\"registrations\":1"), "{json}");
+        assert!(json.contains("\"live_conns\":1"), "{json}");
+        // Recovery wall clock lands only under a wall.-prefixed metric,
+        // never in the trace.
+        assert_eq!(rec.registry.histogram("wall.recovery_micros").map(|h| h.count()), Some(1));
+    }
+
+    #[test]
+    fn shard_crash_and_recovery_are_traced() {
+        use saba_telemetry::{EventKind, Recorder, SharedRecorder};
+        let topo = Topology::single_switch(4, 100.0);
+        let db = MappingDb::build(&table(), ControllerConfig::default().num_pls, 1);
+        let mut c =
+            ResilientController::distributed(ControllerConfig::default(), db, &topo, 2);
+        let rec = SharedRecorder::on(Recorder::default());
+        c.set_sink(rec.clone());
+        c.set_clock(1.0);
+        c.crash_shard(1);
+        c.set_clock(2.0);
+        c.recover_shard(1);
+        c.recover_shard(1); // already up: no event
+
+        let rec = rec.extract().unwrap();
+        let kinds: Vec<EventKind> = rec.trace.events().map(|e| e.kind.clone()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::ControllerCrash { shard: 1 },
+                EventKind::ControllerRecover {
+                    shard: 1,
+                    replayed_apps: 0,
+                    replayed_conns: 0,
+                },
+            ]
+        );
+        assert_eq!(rec.flight.snapshots().len(), 1);
+        assert_eq!(rec.flight.snapshots()[0].reason, "shard-crash");
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use crate::schedule::{FaultKind, FaultSchedule, FaultSpec};
 use saba_sim::engine::{FabricModel, FaultImpact, Simulation};
+use saba_telemetry::{EventKind, TelemetrySink};
 
 /// Timer-key namespace for fault events: the top 32 bits all set.
 ///
@@ -92,7 +93,7 @@ impl FaultInjector {
 
     /// Schedules the injection and repair timers for every fault.
     /// Call once, before the event loop starts.
-    pub fn arm<M: FabricModel>(&self, sim: &mut Simulation<M>) {
+    pub fn arm<M: FabricModel, S: TelemetrySink>(&self, sim: &mut Simulation<M, S>) {
         for (i, f) in self.schedule.faults.iter().enumerate() {
             let key = FAULT_KEY_BASE | ((i as u64) << 1);
             sim.schedule(f.start, key);
@@ -112,15 +113,26 @@ impl FaultInjector {
     /// # Panics
     ///
     /// Panics if `key` is not an armed fault key of this injector.
-    pub fn on_timer<M: FabricModel>(
+    pub fn on_timer<M: FabricModel, S: TelemetrySink>(
         &mut self,
-        sim: &mut Simulation<M>,
+        sim: &mut Simulation<M, S>,
         key: u64,
     ) -> Option<ControlAction> {
         assert!(Self::owns_key(key), "key {key:#x} is not a fault key");
         let idx = ((key & 0xFFFF_FFFF) >> 1) as usize;
         let repairing = key & 1 == 1;
         let FaultSpec { kind, .. } = self.schedule.faults[idx];
+        if sim.sink_mut().enabled() {
+            let t = sim.now();
+            sim.sink_mut().record(
+                t,
+                EventKind::FaultEdge {
+                    index: idx as u32,
+                    fault: kind.name().to_string(),
+                    repair: repairing,
+                },
+            );
+        }
         match kind {
             FaultKind::DegradeLink { link, fraction } => {
                 self.stats.network_events += 1;

@@ -63,6 +63,20 @@ pub enum FaultKind {
     },
 }
 
+impl FaultKind {
+    /// The snake_case tag used in telemetry `fault_edge` events.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::DegradeLink { .. } => "degrade_link",
+            FaultKind::FailCable { .. } => "fail_cable",
+            FaultKind::FailSwitch { .. } => "fail_switch",
+            FaultKind::CrashController => "crash_controller",
+            FaultKind::CrashShard { .. } => "crash_shard",
+            FaultKind::RpcDegrade { .. } => "rpc_degrade",
+        }
+    }
+}
+
 /// One timed fault: `kind` applies at `start` and is repaired at
 /// `start + duration` (simulation seconds).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]

@@ -25,6 +25,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use saba_core::library::Transport;
 use saba_core::rpc::{decode_envelope, encode_envelope, Envelope, Request, Response};
+use saba_telemetry::{EventKind, SharedRecorder, TelemetrySink};
 use std::collections::HashMap;
 
 /// Loss/duplication probabilities for the RPC channel, plus the seed
@@ -178,6 +179,8 @@ pub struct ReliableTransport<T: Transport> {
     next_id: u64,
     stats: RpcStats,
     simulated_delay: f64,
+    sink: SharedRecorder,
+    clock: f64,
 }
 
 impl<T: Transport> ReliableTransport<T> {
@@ -193,6 +196,28 @@ impl<T: Transport> ReliableTransport<T> {
             next_id: 0,
             stats: RpcStats::default(),
             simulated_delay: 0.0,
+            sink: SharedRecorder::default(),
+            clock: 0.0,
+        }
+    }
+
+    /// Attaches a telemetry recorder: every wire-level incident (call,
+    /// retry, drop, duplicate, dedup replay, exhaustion) then emits an
+    /// event stamped with the time set via [`Self::set_clock`].
+    pub fn set_sink(&mut self, sink: SharedRecorder) {
+        self.sink = sink;
+    }
+
+    /// Sets the simulated time stamped on subsequent events; the driver
+    /// advances this alongside the simulator clock.
+    pub fn set_clock(&mut self, t: f64) {
+        self.clock = t;
+    }
+
+    fn note(&mut self, kind: EventKind) {
+        if self.sink.enabled() {
+            let t = self.clock;
+            self.sink.record(t, kind);
         }
     }
 
@@ -239,6 +264,8 @@ impl<T: Transport> Transport for ReliableTransport<T> {
             request: req,
         };
         self.next_id += 1;
+        let id = env.request_id;
+        self.note(EventKind::RpcCall { id });
         let wire = encode_envelope(&env);
         let mut backoff = self.retry.base_delay;
         for attempt in 0..self.retry.max_attempts {
@@ -246,24 +273,36 @@ impl<T: Transport> Transport for ReliableTransport<T> {
                 self.stats.retries += 1;
                 self.simulated_delay += backoff;
                 backoff = (backoff * 2.0).min(self.retry.max_delay);
+                self.note(EventKind::RpcRetry { id, attempt });
             }
             self.stats.attempts += 1;
             if self.rng.gen::<f64>() < self.faults.drop_request {
                 self.stats.requests_dropped += 1;
+                self.note(EventKind::RpcDrop {
+                    id,
+                    response: false,
+                });
                 continue;
             }
+            let hits_before = self.server.dedup_hits();
             let resp = self.server.handle(&wire);
+            if self.server.dedup_hits() > hits_before {
+                self.note(EventKind::RpcDedup { id });
+            }
             if self.rng.gen::<f64>() < self.faults.duplicate {
                 self.stats.duplicates += 1;
+                self.note(EventKind::RpcDuplicate { id });
                 let _ = self.server.handle(&wire);
             }
             if self.rng.gen::<f64>() < self.faults.drop_response {
                 self.stats.responses_dropped += 1;
+                self.note(EventKind::RpcDrop { id, response: true });
                 continue;
             }
             return resp;
         }
         self.stats.exhausted += 1;
+        self.note(EventKind::RpcExhausted { id });
         Response::Error {
             message: format!(
                 "rpc timed out after {} attempts",
@@ -429,6 +468,84 @@ mod tests {
         assert_eq!(stats.attempts, 4);
         // Backoff: retries wait 0.01, then capped 0.02, 0.02.
         assert!((lib.transport().simulated_delay() - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rpc_incidents_are_traced_deterministically() {
+        use saba_telemetry::{Recorder, SharedRecorder};
+        // drop_response = 1.0: every attempt reaches the server, loses
+        // the reply, and the retry is absorbed by the dedup cache.
+        let mut transport = ReliableTransport::new(
+            CountingAck { calls: 0 },
+            RpcFaultConfig {
+                drop_request: 0.0,
+                drop_response: 1.0,
+                duplicate: 0.0,
+            },
+            RetryPolicy {
+                max_attempts: 2,
+                base_delay: 0.01,
+                max_delay: 0.02,
+            },
+            3,
+        );
+        let rec = SharedRecorder::on(Recorder::default());
+        transport.set_sink(rec.clone());
+        transport.set_clock(5.0);
+        let resp = transport.call(Request::AppDeregister { app: AppId(9) });
+        assert!(matches!(resp, Response::Error { .. }));
+        let rec = rec.extract().unwrap();
+        let got: Vec<String> = rec
+            .trace
+            .events()
+            .map(|e| format!("{:?}", e.kind))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                "RpcCall { id: 0 }".to_string(),
+                "RpcDrop { id: 0, response: true }".to_string(),
+                "RpcRetry { id: 0, attempt: 1 }".to_string(),
+                "RpcDedup { id: 0 }".to_string(),
+                "RpcDrop { id: 0, response: true }".to_string(),
+                "RpcExhausted { id: 0 }".to_string(),
+            ]
+        );
+        assert!(rec.trace.events().all(|e| e.t == 5.0));
+    }
+
+    #[test]
+    fn duplicate_delivery_is_traced() {
+        use saba_telemetry::{Recorder, SharedRecorder};
+        let mut transport = ReliableTransport::new(
+            CountingAck { calls: 0 },
+            RpcFaultConfig {
+                drop_request: 0.0,
+                drop_response: 0.0,
+                duplicate: 1.0,
+            },
+            RetryPolicy::default(),
+            4,
+        );
+        let rec = SharedRecorder::on(Recorder::default());
+        transport.set_sink(rec.clone());
+        assert_eq!(
+            transport.call(Request::AppDeregister { app: AppId(0) }),
+            Response::Ack
+        );
+        let rec = rec.extract().unwrap();
+        let got: Vec<String> = rec
+            .trace
+            .events()
+            .map(|e| format!("{:?}", e.kind))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                "RpcCall { id: 0 }".to_string(),
+                "RpcDuplicate { id: 0 }".to_string(),
+            ]
+        );
     }
 
     #[test]

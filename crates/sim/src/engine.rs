@@ -38,6 +38,7 @@ use crate::probe::LinkProbe;
 use crate::routing::Routes;
 use crate::sharing::{compute_rates_into, FlowSource, FlowView, FlowWeights, SharingConfig, SharingScratch};
 use crate::topology::Topology;
+use saba_telemetry::{EventKind, NullSink, Registry, TelemetrySink};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -255,8 +256,12 @@ impl FaultImpact {
 }
 
 /// The discrete-event fluid simulator.
+///
+/// Generic over a [`TelemetrySink`] `S`; the default [`NullSink`]
+/// compiles every telemetry hook to a no-op, so untraced simulations
+/// (`Simulation::new`) pay nothing for the instrumentation.
 #[derive(Debug)]
-pub struct Simulation<M> {
+pub struct Simulation<M, S = NullSink> {
     topo: Topology,
     routes: Routes,
     model: M,
@@ -273,6 +278,7 @@ pub struct Simulation<M> {
     completion_slack: f64,
     probes: Vec<LinkProbe>,
     stats: SimStats,
+    sink: S,
 }
 
 /// Total-order wrapper for finite times in the timer heap.
@@ -296,11 +302,21 @@ impl Ord for TimeKey {
 }
 
 impl<M: FabricModel> Simulation<M> {
-    /// Creates a simulation over `topo` driven by `model`.
+    /// Creates an untraced simulation over `topo` driven by `model`
+    /// (telemetry hooks compile to no-ops via [`NullSink`]).
     ///
     /// Routing tables are computed once here; topology link *capacities*
     /// may change later (throttling), but the graph structure must not.
     pub fn new(topo: Topology, model: M) -> Self {
+        Self::with_telemetry(topo, model, NullSink)
+    }
+}
+
+impl<M: FabricModel, S: TelemetrySink> Simulation<M, S> {
+    /// Creates a simulation whose lifecycle (flow arrivals/completions,
+    /// allocation epochs, fault re-convergences) is recorded into `sink`
+    /// at simulated time.
+    pub fn with_telemetry(topo: Topology, model: M, sink: S) -> Self {
         let routes = Routes::compute(&topo);
         Self {
             topo,
@@ -317,6 +333,33 @@ impl<M: FabricModel> Simulation<M> {
             completion_slack: 1e-4,
             probes: Vec::new(),
             stats: SimStats::default(),
+            sink,
+        }
+    }
+
+    /// The telemetry sink (read-only).
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// Mutable sink access, e.g. for drivers recording [`EventKind::Mark`]
+    /// annotations. Does not mark the epoch dirty.
+    pub fn sink_mut(&mut self) -> &mut S {
+        &mut self.sink
+    }
+
+    /// Consumes the simulation and returns its sink (trace retrieval
+    /// at the end of a run).
+    pub fn into_sink(self) -> S {
+        self.sink
+    }
+
+    /// Exports every installed probe's utilization series and byte
+    /// total into `registry` under `port.l<id>.*` names, normalized by
+    /// each link's nominal capacity.
+    pub fn export_probes(&self, registry: &mut Registry) {
+        for p in &self.probes {
+            p.export_to(registry, self.topo.link(p.link()).nominal_capacity);
         }
     }
 
@@ -427,8 +470,10 @@ impl<M: FabricModel> Simulation<M> {
         let id = FlowId(self.next_flow_id);
         self.next_flow_id += 1;
         self.stats.flows_started += 1;
+        let parked;
         match self.routes.path(&self.topo, spec.src, spec.dst, spec.tag) {
             Some(path) => {
+                parked = false;
                 self.active.push(ActiveFlow {
                     id,
                     remaining: spec.bytes,
@@ -445,6 +490,7 @@ impl<M: FabricModel> Simulation<M> {
                     spec.src,
                     spec.dst
                 );
+                parked = true;
                 self.stats.flows_parked += 1;
                 self.parked.push(ActiveFlow {
                     id,
@@ -454,6 +500,21 @@ impl<M: FabricModel> Simulation<M> {
                     spec,
                 });
             }
+        }
+        if self.sink.enabled() {
+            let pool = if parked { &self.parked } else { &self.active };
+            let f = pool.last().expect("flow was just pushed");
+            self.sink.record(
+                self.now,
+                EventKind::FlowStarted {
+                    flow: id.0,
+                    app: f.spec.app.0,
+                    src: f.spec.src.0,
+                    dst: f.spec.dst.0,
+                    bytes: f.spec.bytes,
+                    parked,
+                },
+            );
         }
         id
     }
@@ -553,6 +614,16 @@ impl<M: FabricModel> Simulation<M> {
         self.rates.clear();
         self.rates.resize(self.active.len(), 0.0);
         self.dirty = true;
+        if self.sink.enabled() {
+            self.sink.record(
+                self.now,
+                EventKind::Reconverged {
+                    rerouted: impact.rerouted.len() as u32,
+                    parked: impact.parked.len() as u32,
+                    resumed: impact.resumed.len() as u32,
+                },
+            );
+        }
         impact
     }
 
@@ -590,6 +661,14 @@ impl<M: FabricModel> Simulation<M> {
         }
         if self.active.is_empty() {
             self.rates.clear();
+        } else if self.sink.enabled() {
+            // Wall-clock epoch duration is a registry metric only — it
+            // never enters the (deterministic) event trace.
+            let t0 = std::time::Instant::now();
+            self.model
+                .allocate(&self.topo, &self.active, &mut self.rates);
+            self.sink
+                .observe("wall.epoch_alloc_secs", t0.elapsed().as_secs_f64());
         } else {
             self.model
                 .allocate(&self.topo, &self.active, &mut self.rates);
@@ -604,6 +683,15 @@ impl<M: FabricModel> Simulation<M> {
             }
         }
         self.stats.allocations += 1;
+        if self.sink.enabled() {
+            let mut paths: Vec<&[LinkId]> = self.active.iter().map(|f| f.path.as_slice()).collect();
+            paths.sort_unstable();
+            paths.dedup();
+            let bundles = paths.len() as u32;
+            let flows = self.active.len() as u32;
+            self.sink
+                .record(self.now, EventKind::EpochAllocated { flows, bundles });
+        }
         self.dirty = false;
     }
 
@@ -686,6 +774,18 @@ impl<M: FabricModel> Simulation<M> {
         self.stats.flows_completed += done.len() as u64;
         self.dirty = true;
         done.sort_by_key(|f| f.id);
+        if self.sink.enabled() {
+            for f in &done {
+                self.sink.record(
+                    tc,
+                    EventKind::FlowCompleted {
+                        flow: f.id.0,
+                        app: f.spec.app.0,
+                        started: f.started,
+                    },
+                );
+            }
+        }
         Event::FlowsCompleted {
             flows: done,
             at: tc,
@@ -996,5 +1096,131 @@ mod tests {
         sim.start_flow(spec(s[0], s[1], 100.0, 1));
         sim.run_to_idle(); // now == 1 s.
         sim.schedule(0.5, 0);
+    }
+
+    #[test]
+    fn traced_run_records_the_flow_lifecycle() {
+        use saba_telemetry::Tracer;
+        let mut sim = Simulation::with_telemetry(
+            Topology::single_switch(2, 100.0),
+            FairShareFabric::default(),
+            Tracer::new(64),
+        );
+        let s = sim.topo().servers().to_vec();
+        sim.start_flow(spec(s[0], s[1], 500.0, 1));
+        sim.run_to_idle();
+        let trace = sim.into_sink();
+        let kinds: Vec<_> = trace.events().map(|e| e.kind.name()).collect();
+        // The final epoch is the empty re-allocation after the last
+        // completion (it counts in `SimStats::allocations` too).
+        assert_eq!(
+            kinds,
+            vec!["flow_started", "epoch_allocated", "flow_completed", "epoch_allocated"]
+        );
+        let completed = trace
+            .events()
+            .find(|e| e.kind.name() == "flow_completed")
+            .unwrap();
+        assert_eq!(completed.t, 5.0);
+        assert!(saba_telemetry::validate_jsonl(&trace.to_jsonl()).is_ok());
+    }
+
+    #[test]
+    fn traced_fault_run_records_reconvergence() {
+        use saba_telemetry::{EventKind, Tracer};
+        let mut sim = Simulation::with_telemetry(
+            Topology::single_switch(2, 100.0),
+            FairShareFabric::default(),
+            Tracer::new(64),
+        );
+        let s = sim.topo().servers().to_vec();
+        sim.start_flow(spec(s[0], s[1], 1000.0, 1));
+        let nic = sim.topo().nic_link(s[0]);
+        sim.fail_link(nic);
+        sim.restore_link(nic);
+        sim.run_to_idle();
+        let trace = sim.into_sink();
+        let reconverged: Vec<_> = trace
+            .events()
+            .filter_map(|e| match &e.kind {
+                EventKind::Reconverged {
+                    parked, resumed, ..
+                } => Some((*parked, *resumed)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(reconverged, vec![(1, 0), (0, 1)]);
+    }
+
+    #[test]
+    fn traced_epochs_report_bundles() {
+        use saba_telemetry::{EventKind, Tracer};
+        let mut sim = Simulation::with_telemetry(
+            Topology::single_switch(3, 100.0),
+            FairShareFabric::default(),
+            Tracer::new(64),
+        );
+        let s = sim.topo().servers().to_vec();
+        // Two flows on the same path (one bundle) plus one distinct.
+        sim.start_flow(spec(s[0], s[1], 100.0, 1));
+        sim.start_flow(spec(s[0], s[1], 100.0, 1));
+        sim.start_flow(spec(s[2], s[1], 100.0, 2));
+        sim.next_event();
+        let trace = sim.into_sink();
+        let epoch = trace
+            .events()
+            .find_map(|e| match e.kind {
+                EventKind::EpochAllocated { flows, bundles } => Some((flows, bundles)),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(epoch, (3, 2));
+    }
+
+    #[test]
+    fn null_and_traced_runs_agree_exactly() {
+        use saba_telemetry::{TelemetrySink, Tracer};
+        // The NullSink and Tracer instantiations must integrate
+        // identical trajectories: telemetry observes, never perturbs.
+        fn drive<S: TelemetrySink>(mut sim: Simulation<FairShareFabric, S>) -> Vec<(FlowId, f64)> {
+            let s = sim.topo().servers().to_vec();
+            sim.start_flow(spec(s[0], s[1], 500.0, 1));
+            sim.start_flow(spec(s[2], s[3], 750.0, 2));
+            sim.run_to_idle()
+                .iter()
+                .map(|d| (d.id, d.finished))
+                .collect()
+        }
+        let plain = drive(Simulation::new(
+            Topology::single_switch(4, 100.0),
+            FairShareFabric::default(),
+        ));
+        let traced = drive(Simulation::with_telemetry(
+            Topology::single_switch(4, 100.0),
+            FairShareFabric::default(),
+            Tracer::new(1024),
+        ));
+        assert_eq!(plain, traced);
+    }
+
+    #[test]
+    fn probes_export_into_the_registry() {
+        use saba_telemetry::Registry;
+        let mut sim = two_server_sim();
+        let s = sim.topo().servers().to_vec();
+        let nic = sim.topo().nic_link(s[0]);
+        sim.add_probe(nic, 1.0);
+        sim.start_flow(spec(s[0], s[1], 300.0, 1));
+        sim.run_to_idle();
+        let mut registry = Registry::new();
+        sim.export_probes(&mut registry);
+        let name = format!("port.l{}.utilization", nic.0);
+        let h = registry.histogram(&name).unwrap();
+        assert_eq!(h.count(), 3); // Three 1-second buckets at 100%.
+        assert_eq!(h.max(), Some(1.0));
+        assert_eq!(
+            registry.gauge(&format!("port.l{}.total_bytes", nic.0)),
+            Some(300.0)
+        );
     }
 }

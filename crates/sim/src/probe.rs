@@ -6,6 +6,7 @@
 //! engine advances, yielding exactly that series.
 
 use crate::ids::LinkId;
+use saba_telemetry::Registry;
 
 /// Accumulates bytes carried by one link into fixed-width time buckets.
 #[derive(Debug, Clone)]
@@ -83,6 +84,24 @@ impl LinkProbe {
     /// Bucket width in seconds.
     pub fn bucket_width(&self) -> f64 {
         self.bucket_width
+    }
+
+    /// Exports the probe into the telemetry `registry`: each bucket's
+    /// utilization (normalized by `capacity`) as a sample of histogram
+    /// `port.l<id>.utilization`, and the byte total as gauge
+    /// `port.l<id>.total_bytes`. This is the registry-backed successor
+    /// of reading [`LinkProbe::utilization_series`] directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not positive.
+    pub fn export_to(&self, registry: &mut Registry, capacity: f64) {
+        assert!(capacity > 0.0, "capacity must be positive");
+        let name = format!("port.l{}.utilization", self.link.0);
+        for &bytes in &self.buckets {
+            registry.observe(&name, bytes / self.bucket_width / capacity);
+        }
+        registry.set_gauge(&format!("port.l{}.total_bytes", self.link.0), self.total_bytes());
     }
 }
 

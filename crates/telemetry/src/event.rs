@@ -1,0 +1,550 @@
+//! The structured trace event taxonomy.
+//!
+//! Every event is keyed by *simulated* time. Wall-clock durations (the
+//! controller-overhead study, Fig. 12) never appear in events — they go
+//! to the metrics registry — so identically-seeded runs export
+//! byte-identical traces. Each event serializes to one flat JSON object
+//! per line: `{"seq":..,"t":..,"kind":"..",<fields>}`.
+
+use crate::json::{self, write_f64, JsonValue};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// What happened. Ids are the raw integers behind the sim's typed ids
+/// (`FlowId.0`, `AppId.0`, `LinkId.0`) so this crate stays dependency-free.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A flow entered the fabric (or parked, if no route survives).
+    FlowStarted {
+        /// Engine-assigned flow id.
+        flow: u64,
+        /// Owning application.
+        app: u32,
+        /// Source node.
+        src: u32,
+        /// Destination node.
+        dst: u32,
+        /// Transfer size in bytes.
+        bytes: f64,
+        /// True when the flow parked instead of starting (outage).
+        parked: bool,
+    },
+    /// A flow finished delivering its bytes.
+    FlowCompleted {
+        /// Engine-assigned flow id.
+        flow: u64,
+        /// Owning application.
+        app: u32,
+        /// Simulated start time.
+        started: f64,
+    },
+    /// The engine recomputed rates (one allocation epoch).
+    EpochAllocated {
+        /// Active flows in the epoch.
+        flows: u32,
+        /// Distinct paths among them (bundling effectiveness).
+        bundles: u32,
+    },
+    /// Routing re-converged after a fault or repair.
+    Reconverged {
+        /// Flows moved to an alternate path.
+        rerouted: u32,
+        /// Flows that lost every route and parked.
+        parked: u32,
+        /// Parked flows that resumed.
+        resumed: u32,
+    },
+    /// A fault-schedule edge fired (injection or repair).
+    FaultEdge {
+        /// Index of the fault in the schedule.
+        index: u32,
+        /// Fault kind name (e.g. `fail_cable`).
+        fault: String,
+        /// False for the injection edge, true for the repair edge.
+        repair: bool,
+    },
+    /// The controller (or one shard) crashed.
+    ControllerCrash {
+        /// Shard index, or -1 for the whole controller.
+        shard: i64,
+    },
+    /// The controller (or one shard) recovered and rebuilt state.
+    ControllerRecover {
+        /// Shard index, or -1 for the whole controller.
+        shard: i64,
+        /// Application registrations replayed during recovery.
+        replayed_apps: u64,
+        /// Live connections replayed during recovery.
+        replayed_conns: u64,
+    },
+    /// A controller RPC was issued (first attempt).
+    RpcCall {
+        /// Transport-assigned request id.
+        id: u64,
+    },
+    /// An RPC attempt was retried after a loss.
+    RpcRetry {
+        /// Request id.
+        id: u64,
+        /// 1-based attempt number being retried.
+        attempt: u32,
+    },
+    /// An RPC message was dropped by the fault model.
+    RpcDrop {
+        /// Request id.
+        id: u64,
+        /// False when the request was lost, true when the response was.
+        response: bool,
+    },
+    /// The fault model duplicated a request on the wire.
+    RpcDuplicate {
+        /// Request id.
+        id: u64,
+    },
+    /// The server answered from its dedup cache (idempotent replay).
+    RpcDedup {
+        /// Request id.
+        id: u64,
+    },
+    /// An RPC exhausted its retry budget.
+    RpcExhausted {
+        /// Request id.
+        id: u64,
+    },
+    /// A switch output port's WFQ queues were reprogrammed.
+    QueueReprogram {
+        /// The port (directed link).
+        link: u32,
+        /// Queues carrying non-default weights after the update.
+        queues: u32,
+    },
+    /// A Saba library verb ran (the Fig. 7 lifecycle transitions).
+    LibCall {
+        /// Calling application.
+        app: u32,
+        /// Verb: `app_register`, `conn_create`, `conn_destroy`,
+        /// `app_deregister`, or `restart_replay`.
+        op: String,
+        /// Whether the controller acknowledged.
+        ok: bool,
+    },
+    /// A connection was admitted by the cluster harness.
+    ConnCreated {
+        /// Owning application.
+        app: u32,
+        /// Connection tag.
+        tag: u64,
+    },
+    /// A connection was torn down by the cluster harness.
+    ConnDestroyed {
+        /// Owning application.
+        app: u32,
+        /// Connection tag.
+        tag: u64,
+    },
+    /// A job finished its last stage.
+    JobCompleted {
+        /// The application backing the job.
+        app: u32,
+    },
+    /// A free-form annotation from a driver or experiment.
+    Mark {
+        /// Annotation label.
+        label: String,
+        /// Attached value (0.0 when unused).
+        value: f64,
+    },
+}
+
+/// One trace record: a sequence number, a simulated timestamp, and the
+/// event itself.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Monotonic sequence number assigned by the tracer.
+    pub seq: u64,
+    /// Simulated time in seconds.
+    pub t: f64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl EventKind {
+    /// The snake-case kind tag used in JSONL and CSV exports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::FlowStarted { .. } => "flow_started",
+            EventKind::FlowCompleted { .. } => "flow_completed",
+            EventKind::EpochAllocated { .. } => "epoch_allocated",
+            EventKind::Reconverged { .. } => "reconverged",
+            EventKind::FaultEdge { .. } => "fault_edge",
+            EventKind::ControllerCrash { .. } => "controller_crash",
+            EventKind::ControllerRecover { .. } => "controller_recover",
+            EventKind::RpcCall { .. } => "rpc_call",
+            EventKind::RpcRetry { .. } => "rpc_retry",
+            EventKind::RpcDrop { .. } => "rpc_drop",
+            EventKind::RpcDuplicate { .. } => "rpc_duplicate",
+            EventKind::RpcDedup { .. } => "rpc_dedup",
+            EventKind::RpcExhausted { .. } => "rpc_exhausted",
+            EventKind::QueueReprogram { .. } => "queue_reprogram",
+            EventKind::LibCall { .. } => "lib_call",
+            EventKind::ConnCreated { .. } => "conn_created",
+            EventKind::ConnDestroyed { .. } => "conn_destroyed",
+            EventKind::JobCompleted { .. } => "job_completed",
+            EventKind::Mark { .. } => "mark",
+        }
+    }
+
+    fn write_fields(&self, out: &mut String) {
+        match self {
+            EventKind::FlowStarted {
+                flow,
+                app,
+                src,
+                dst,
+                bytes,
+                parked,
+            } => {
+                let _ = write!(out, ",\"flow\":{flow},\"app\":{app},\"src\":{src},\"dst\":{dst}");
+                out.push_str(",\"bytes\":");
+                write_f64(*bytes, out);
+                let _ = write!(out, ",\"parked\":{parked}");
+            }
+            EventKind::FlowCompleted { flow, app, started } => {
+                let _ = write!(out, ",\"flow\":{flow},\"app\":{app},\"started\":");
+                write_f64(*started, out);
+            }
+            EventKind::EpochAllocated { flows, bundles } => {
+                let _ = write!(out, ",\"flows\":{flows},\"bundles\":{bundles}");
+            }
+            EventKind::Reconverged {
+                rerouted,
+                parked,
+                resumed,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"rerouted\":{rerouted},\"parked\":{parked},\"resumed\":{resumed}"
+                );
+            }
+            EventKind::FaultEdge {
+                index,
+                fault,
+                repair,
+            } => {
+                let _ = write!(out, ",\"index\":{index},\"fault\":");
+                JsonValue::Str(fault.clone()).write(out);
+                let _ = write!(out, ",\"repair\":{repair}");
+            }
+            EventKind::ControllerCrash { shard } => {
+                let _ = write!(out, ",\"shard\":{shard}");
+            }
+            EventKind::ControllerRecover {
+                shard,
+                replayed_apps,
+                replayed_conns,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"shard\":{shard},\"replayed_apps\":{replayed_apps},\"replayed_conns\":{replayed_conns}"
+                );
+            }
+            EventKind::RpcCall { id }
+            | EventKind::RpcDuplicate { id }
+            | EventKind::RpcDedup { id }
+            | EventKind::RpcExhausted { id } => {
+                let _ = write!(out, ",\"id\":{id}");
+            }
+            EventKind::RpcRetry { id, attempt } => {
+                let _ = write!(out, ",\"id\":{id},\"attempt\":{attempt}");
+            }
+            EventKind::RpcDrop { id, response } => {
+                let _ = write!(out, ",\"id\":{id},\"response\":{response}");
+            }
+            EventKind::QueueReprogram { link, queues } => {
+                let _ = write!(out, ",\"link\":{link},\"queues\":{queues}");
+            }
+            EventKind::LibCall { app, op, ok } => {
+                let _ = write!(out, ",\"app\":{app},\"op\":");
+                JsonValue::Str(op.clone()).write(out);
+                let _ = write!(out, ",\"ok\":{ok}");
+            }
+            EventKind::ConnCreated { app, tag } | EventKind::ConnDestroyed { app, tag } => {
+                let _ = write!(out, ",\"app\":{app},\"tag\":{tag}");
+            }
+            EventKind::JobCompleted { app } => {
+                let _ = write!(out, ",\"app\":{app}");
+            }
+            EventKind::Mark { label, value } => {
+                out.push_str(",\"label\":");
+                JsonValue::Str(label.clone()).write(out);
+                out.push_str(",\"value\":");
+                write_f64(*value, out);
+            }
+        }
+    }
+
+    fn from_obj(kind: &str, obj: &JsonValue) -> Result<Self, String> {
+        let u64f = |k: &str| {
+            obj.get(k)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("missing/invalid field '{k}' for kind '{kind}'"))
+        };
+        let u32f = |k: &str| u64f(k).map(|v| v as u32);
+        let f64f = |k: &str| {
+            obj.get(k)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("missing/invalid field '{k}' for kind '{kind}'"))
+        };
+        let boolf = |k: &str| {
+            obj.get(k)
+                .and_then(JsonValue::as_bool)
+                .ok_or_else(|| format!("missing/invalid field '{k}' for kind '{kind}'"))
+        };
+        let strf = |k: &str| {
+            obj.get(k)
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing/invalid field '{k}' for kind '{kind}'"))
+        };
+        let i64f = |k: &str| {
+            obj.get(k)
+                .and_then(JsonValue::as_f64)
+                .filter(|x| x.fract() == 0.0)
+                .map(|x| x as i64)
+                .ok_or_else(|| format!("missing/invalid field '{k}' for kind '{kind}'"))
+        };
+        Ok(match kind {
+            "flow_started" => EventKind::FlowStarted {
+                flow: u64f("flow")?,
+                app: u32f("app")?,
+                src: u32f("src")?,
+                dst: u32f("dst")?,
+                bytes: f64f("bytes")?,
+                parked: boolf("parked")?,
+            },
+            "flow_completed" => EventKind::FlowCompleted {
+                flow: u64f("flow")?,
+                app: u32f("app")?,
+                started: f64f("started")?,
+            },
+            "epoch_allocated" => EventKind::EpochAllocated {
+                flows: u32f("flows")?,
+                bundles: u32f("bundles")?,
+            },
+            "reconverged" => EventKind::Reconverged {
+                rerouted: u32f("rerouted")?,
+                parked: u32f("parked")?,
+                resumed: u32f("resumed")?,
+            },
+            "fault_edge" => EventKind::FaultEdge {
+                index: u32f("index")?,
+                fault: strf("fault")?,
+                repair: boolf("repair")?,
+            },
+            "controller_crash" => EventKind::ControllerCrash {
+                shard: i64f("shard")?,
+            },
+            "controller_recover" => EventKind::ControllerRecover {
+                shard: i64f("shard")?,
+                replayed_apps: u64f("replayed_apps")?,
+                replayed_conns: u64f("replayed_conns")?,
+            },
+            "rpc_call" => EventKind::RpcCall { id: u64f("id")? },
+            "rpc_retry" => EventKind::RpcRetry {
+                id: u64f("id")?,
+                attempt: u32f("attempt")?,
+            },
+            "rpc_drop" => EventKind::RpcDrop {
+                id: u64f("id")?,
+                response: boolf("response")?,
+            },
+            "rpc_duplicate" => EventKind::RpcDuplicate { id: u64f("id")? },
+            "rpc_dedup" => EventKind::RpcDedup { id: u64f("id")? },
+            "rpc_exhausted" => EventKind::RpcExhausted { id: u64f("id")? },
+            "queue_reprogram" => EventKind::QueueReprogram {
+                link: u32f("link")?,
+                queues: u32f("queues")?,
+            },
+            "lib_call" => EventKind::LibCall {
+                app: u32f("app")?,
+                op: strf("op")?,
+                ok: boolf("ok")?,
+            },
+            "conn_created" => EventKind::ConnCreated {
+                app: u32f("app")?,
+                tag: u64f("tag")?,
+            },
+            "conn_destroyed" => EventKind::ConnDestroyed {
+                app: u32f("app")?,
+                tag: u64f("tag")?,
+            },
+            "job_completed" => EventKind::JobCompleted { app: u32f("app")? },
+            "mark" => EventKind::Mark {
+                label: strf("label")?,
+                value: f64f("value")?,
+            },
+            other => return Err(format!("unknown event kind '{other}'")),
+        })
+    }
+
+    /// A compact `key=value` rendering of the variant fields for CSV.
+    pub fn detail(&self) -> String {
+        let mut line = String::new();
+        self.write_fields(&mut line);
+        // Reuse the JSON field writer: strip the leading comma and the
+        // JSON punctuation so the cell stays quote-free.
+        line.trim_start_matches(',')
+            .replace("\":", "=")
+            .replace(',', ";")
+            .replace('"', "")
+    }
+}
+
+impl Event {
+    /// Appends this event as one JSONL line (no trailing newline).
+    pub fn write_json_line(&self, out: &mut String) {
+        let _ = write!(out, "{{\"seq\":{},\"t\":", self.seq);
+        write_f64(self.t, out);
+        let _ = write!(out, ",\"kind\":\"{}\"", self.kind.name());
+        self.kind.write_fields(out);
+        out.push('}');
+    }
+
+    /// This event as one JSONL line.
+    pub fn to_json_line(&self) -> String {
+        let mut s = String::new();
+        self.write_json_line(&mut s);
+        s
+    }
+
+    /// Parses one JSONL line back into an event.
+    pub fn from_json_line(line: &str) -> Result<Self, String> {
+        let obj = json::parse(line)?;
+        let seq = obj
+            .get("seq")
+            .and_then(JsonValue::as_u64)
+            .ok_or("missing/invalid 'seq'")?;
+        let t = obj
+            .get("t")
+            .and_then(JsonValue::as_f64)
+            .filter(|t| t.is_finite() && *t >= 0.0)
+            .ok_or("missing/invalid 't'")?;
+        let kind_name = obj
+            .get("kind")
+            .and_then(JsonValue::as_str)
+            .ok_or("missing/invalid 'kind'")?;
+        let kind = EventKind::from_obj(kind_name, &obj)?;
+        Ok(Event { seq, t, kind })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<EventKind> {
+        vec![
+            EventKind::FlowStarted {
+                flow: 7,
+                app: 1,
+                src: 0,
+                dst: 3,
+                bytes: 1.5e9,
+                parked: false,
+            },
+            EventKind::FlowCompleted {
+                flow: 7,
+                app: 1,
+                started: 0.125,
+            },
+            EventKind::EpochAllocated {
+                flows: 12,
+                bundles: 4,
+            },
+            EventKind::Reconverged {
+                rerouted: 2,
+                parked: 1,
+                resumed: 0,
+            },
+            EventKind::FaultEdge {
+                index: 0,
+                fault: "fail_cable".to_string(),
+                repair: true,
+            },
+            EventKind::ControllerCrash { shard: -1 },
+            EventKind::ControllerRecover {
+                shard: 2,
+                replayed_apps: 5,
+                replayed_conns: 40,
+            },
+            EventKind::RpcCall { id: 9 },
+            EventKind::RpcRetry { id: 9, attempt: 2 },
+            EventKind::RpcDrop {
+                id: 9,
+                response: true,
+            },
+            EventKind::RpcDuplicate { id: 9 },
+            EventKind::RpcDedup { id: 9 },
+            EventKind::RpcExhausted { id: 9 },
+            EventKind::QueueReprogram { link: 33, queues: 3 },
+            EventKind::LibCall {
+                app: 2,
+                op: "conn_create".to_string(),
+                ok: true,
+            },
+            EventKind::ConnCreated { app: 2, tag: 11 },
+            EventKind::ConnDestroyed { app: 2, tag: 11 },
+            EventKind::JobCompleted { app: 2 },
+            EventKind::Mark {
+                label: "phase \"two\"".to_string(),
+                value: 2.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_kind_round_trips_through_jsonl() {
+        for (i, kind) in samples().into_iter().enumerate() {
+            let ev = Event {
+                seq: i as u64,
+                t: 0.5 * i as f64,
+                kind,
+            };
+            let line = ev.to_json_line();
+            let back = Event::from_json_line(&line).unwrap();
+            assert_eq!(back, ev, "{line}");
+            // Re-serialization is exact: the schema validator depends on it.
+            assert_eq!(back.to_json_line(), line);
+        }
+    }
+
+    #[test]
+    fn kind_names_are_unique() {
+        let mut names: Vec<_> = samples().iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        let n = names.len();
+        names.dedup();
+        assert_eq!(names.len(), n);
+    }
+
+    #[test]
+    fn negative_time_rejected() {
+        let line = "{\"seq\":0,\"t\":-1,\"kind\":\"rpc_call\",\"id\":1}";
+        assert!(Event::from_json_line(line).is_err());
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        let line = "{\"seq\":0,\"t\":0,\"kind\":\"warp_drive\"}";
+        assert!(Event::from_json_line(line).is_err());
+    }
+
+    #[test]
+    fn detail_is_flat_key_value() {
+        let k = EventKind::EpochAllocated {
+            flows: 3,
+            bundles: 2,
+        };
+        assert_eq!(k.detail(), "flows=3;bundles=2");
+    }
+}

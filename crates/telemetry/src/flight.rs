@@ -1,0 +1,148 @@
+//! The flight recorder: crash-time snapshots of the recent past.
+//!
+//! When the controller crashes, an invariant fails, or a driver panics,
+//! the flight recorder captures the last N trace events together with a
+//! caller-supplied JSON view of live state (topology health, allocation
+//! table, registrations). Snapshots contain only simulated time, so a
+//! seeded fault schedule produces byte-identical snapshots on every run
+//! — the property the cluster determinism test asserts.
+
+use crate::event::Event;
+use crate::json::{write_f64, JsonValue};
+use crate::trace::Tracer;
+use std::fmt::Write as _;
+
+/// One captured snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Why the snapshot was taken (e.g. `controller-crash`, `panic`).
+    pub reason: String,
+    /// Simulated time of capture.
+    pub t: f64,
+    /// Events evicted from the ring before capture (context for `events`).
+    pub dropped: u64,
+    /// The last N events, oldest first.
+    pub events: Vec<Event>,
+    /// Caller-supplied live-state description.
+    pub state: JsonValue,
+}
+
+impl Snapshot {
+    /// Deterministic JSON rendering of the snapshot.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"reason\":");
+        JsonValue::Str(self.reason.clone()).write(&mut out);
+        out.push_str(",\"t\":");
+        write_f64(self.t, &mut out);
+        let _ = write!(out, ",\"dropped\":{},\"events\":[", self.dropped);
+        for (i, ev) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            ev.write_json_line(&mut out);
+        }
+        out.push_str("],\"state\":");
+        self.state.write(&mut out);
+        out.push('}');
+        out
+    }
+}
+
+/// Collects snapshots, each carrying the last `last_n` trace events.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightRecorder {
+    last_n: usize,
+    snapshots: Vec<Snapshot>,
+}
+
+impl FlightRecorder {
+    /// A recorder whose snapshots keep the last `last_n` events.
+    pub fn new(last_n: usize) -> Self {
+        Self {
+            last_n,
+            snapshots: Vec::new(),
+        }
+    }
+
+    /// Captures a snapshot of `tracer`'s recent events plus `state`.
+    pub fn capture(&mut self, reason: &str, t: f64, tracer: &Tracer, state: JsonValue) {
+        self.snapshots.push(Snapshot {
+            reason: reason.to_string(),
+            t,
+            dropped: tracer.dropped(),
+            events: tracer.last_n(self.last_n),
+            state,
+        });
+    }
+
+    /// Captured snapshots, in capture order.
+    pub fn snapshots(&self) -> &[Snapshot] {
+        &self.snapshots
+    }
+
+    /// Events per snapshot.
+    pub fn last_n(&self) -> usize {
+        self.last_n
+    }
+
+    /// All snapshots as one JSON array.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, s) in self.snapshots.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&s.to_json());
+        }
+        out.push(']');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use crate::json;
+
+    #[test]
+    fn capture_takes_the_recent_tail() {
+        let mut tracer = Tracer::new(4);
+        for i in 0..10 {
+            tracer.push(i as f64, EventKind::RpcCall { id: i });
+        }
+        let mut fr = FlightRecorder::new(3);
+        fr.capture(
+            "controller-crash",
+            9.5,
+            &tracer,
+            JsonValue::obj(vec![("apps", JsonValue::Num(2.0))]),
+        );
+        let snaps = fr.snapshots();
+        assert_eq!(snaps.len(), 1);
+        assert_eq!(snaps[0].events.len(), 3);
+        assert_eq!(snaps[0].events[0].seq, 7);
+        assert_eq!(snaps[0].dropped, 6);
+    }
+
+    #[test]
+    fn snapshot_json_is_parseable_and_stable() {
+        let mut tracer = Tracer::new(8);
+        tracer.push(1.0, EventKind::ControllerCrash { shard: -1 });
+        let mut fr = FlightRecorder::new(8);
+        fr.capture("invariant: oversubscribed", 1.0, &tracer, JsonValue::Null);
+        let text = fr.to_json();
+        assert_eq!(text, fr.to_json());
+        let v = json::parse(&text).unwrap();
+        match &v {
+            JsonValue::Arr(items) => {
+                assert_eq!(items.len(), 1);
+                assert_eq!(
+                    items[0].get("reason").unwrap().as_str(),
+                    Some("invariant: oversubscribed")
+                );
+            }
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,373 @@
+//! A minimal, deterministic JSON value with writer and parser.
+//!
+//! Trace export must be *byte-identical* across identically-seeded runs
+//! (the flight-recorder determinism contract), so the serialization
+//! format is owned by this crate rather than delegated to an external
+//! serializer whose formatting may drift between versions: objects
+//! preserve insertion order, numbers are written with Rust's shortest
+//! round-trip `f64` formatting, and the parser accepts exactly what the
+//! writer (plus standard JSON) produces. `serde` derives on the public
+//! telemetry types remain available for interop; this module is what
+//! the JSONL/CSV exporters and the schema validator are built on.
+
+use std::fmt::Write as _;
+
+/// A JSON value. Objects keep insertion order (`Vec` of pairs), which
+/// keeps exports deterministic without sorting surprises.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number. Non-finite values serialize as `null`.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Builds an object from key/value pairs.
+    pub fn obj(pairs: Vec<(&str, JsonValue)>) -> Self {
+        JsonValue::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as a non-negative integer, if exactly one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= 2f64.powi(53) => {
+                Some(*x as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Serializes the value into `out`.
+    pub fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Num(x) => write_f64(*x, out),
+            JsonValue::Str(s) => write_str(s, out),
+            JsonValue::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_str(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Serializes the value to a fresh string.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+}
+
+/// Writes `x` using Rust's shortest round-trip formatting; non-finite
+/// values (which valid telemetry never produces) become `null`.
+pub fn write_f64(x: f64, out: &mut String) {
+    if x.is_finite() {
+        let _ = write!(out, "{x}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses a complete JSON document (rejecting trailing garbage).
+pub fn parse(text: &str) -> Result<JsonValue, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+    if *pos < bytes.len() && bytes[*pos] == b {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {pos}", b as char))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'n') => parse_lit(bytes, pos, "null", JsonValue::Null),
+        Some(b't') => parse_lit(bytes, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false", JsonValue::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(JsonValue::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(JsonValue::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(JsonValue::Obj(pairs));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                let val = parse_value(bytes, pos)?;
+                pairs.push((key, val));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Obj(pairs));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos).map(JsonValue::Num),
+    }
+}
+
+fn parse_lit(
+    bytes: &[u8],
+    pos: &mut usize,
+    lit: &str,
+    value: JsonValue,
+) -> Result<JsonValue, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {pos}"))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut s = String::new();
+    let mut chars = std::str::from_utf8(&bytes[*pos..])
+        .map_err(|_| "invalid UTF-8".to_string())?
+        .char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => {
+                *pos += i + 1;
+                return Ok(s);
+            }
+            '\\' => {
+                let (_, esc) = chars.next().ok_or("truncated escape")?;
+                match esc {
+                    '"' => s.push('"'),
+                    '\\' => s.push('\\'),
+                    '/' => s.push('/'),
+                    'n' => s.push('\n'),
+                    'r' => s.push('\r'),
+                    't' => s.push('\t'),
+                    'b' => s.push('\u{8}'),
+                    'f' => s.push('\u{c}'),
+                    'u' => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let (_, h) = chars.next().ok_or("truncated \\u escape")?;
+                            code = code * 16 + h.to_digit(16).ok_or("bad hex in \\u escape")?;
+                        }
+                        s.push(char::from_u32(code).ok_or("surrogate \\u escape unsupported")?);
+                    }
+                    other => return Err(format!("unknown escape '\\{other}'")),
+                }
+            }
+            c => s.push(c),
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<f64, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    if start == *pos {
+        return Err(format!("expected a value at byte {start}"));
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|x| x.is_finite())
+        .ok_or_else(|| format!("invalid number at byte {start}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_shortest_float_repr() {
+        for &x in &[0.0, 1.0, 0.1, 1e-4, 123456.789, 5.0e9, 2.5e-7] {
+            let mut s = String::new();
+            write_f64(x, &mut s);
+            let back = parse(&s).unwrap().as_f64().unwrap();
+            assert_eq!(back, x, "{s}");
+            // And re-serializing the parsed value reproduces the bytes.
+            assert_eq!(JsonValue::Num(back).to_json(), s);
+        }
+    }
+
+    #[test]
+    fn object_round_trip_preserves_order() {
+        let v = JsonValue::obj(vec![
+            ("b", JsonValue::Num(2.0)),
+            ("a", JsonValue::Str("x\"y\\z".to_string())),
+            ("c", JsonValue::Arr(vec![JsonValue::Bool(true), JsonValue::Null])),
+        ]);
+        let text = v.to_json();
+        assert_eq!(text, "{\"b\":2,\"a\":\"x\\\"y\\\\z\",\"c\":[true,null]}");
+        assert_eq!(parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn parser_accepts_whitespace_and_exponents() {
+        let v = parse(" { \"x\" : 1.5e-3 , \"y\" : [ 1 , 2 ] } ").unwrap();
+        assert_eq!(v.get("x").unwrap().as_f64().unwrap(), 1.5e-3);
+        assert_eq!(v.get("y").unwrap(), &JsonValue::Arr(vec![
+            JsonValue::Num(1.0),
+            JsonValue::Num(2.0),
+        ]));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse("{\"a\":}").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{} x").is_err());
+        assert!(parse("nulL").is_err());
+        assert!(parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn non_finite_serializes_as_null() {
+        assert_eq!(JsonValue::Num(f64::INFINITY).to_json(), "null");
+        assert_eq!(JsonValue::Num(f64::NAN).to_json(), "null");
+    }
+
+    #[test]
+    fn u64_extraction_guards_fractions() {
+        assert_eq!(parse("7").unwrap().as_u64(), Some(7));
+        assert_eq!(parse("7.5").unwrap().as_u64(), None);
+        assert_eq!(parse("-1").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn control_chars_escape_and_parse_back() {
+        let v = JsonValue::Str("a\u{1}b\nc".to_string());
+        let text = v.to_json();
+        assert_eq!(text, "\"a\\u0001b\\nc\"");
+        assert_eq!(parse(&text).unwrap(), v);
+    }
+}

@@ -1,0 +1,53 @@
+//! Sim-time tracing, metrics, and a flight recorder for the Saba stack.
+//!
+//! The reproduction's observability layer (std + serde only), threaded
+//! through the sim engine, both controller flavours, the fault
+//! subsystem, and the cluster harness:
+//!
+//! - [`event`] — the structured trace taxonomy, keyed by *simulated*
+//!   time: allocation epochs, controller solves and queue reprograms,
+//!   RPC send/retry/dedup, fault/repair edges, flow arrivals and
+//!   completions, Fig. 7 library transitions.
+//! - [`trace`] — a bounded ring buffer ([`Tracer`]) with deterministic
+//!   JSONL/CSV export and a strict schema validator.
+//! - [`metrics`] — a [`Registry`] of counters, gauges, and log-linear
+//!   [`Histogram`]s (p50/p90/p99/max), unifying what `sim::probe` and
+//!   `cluster::metrics` used to collect ad hoc.
+//! - [`flight`] — the [`FlightRecorder`]: last-N-events snapshots taken
+//!   on controller crash, failed invariant, or panic; byte-identical
+//!   under a seeded fault schedule.
+//! - [`sink`] — the [`TelemetrySink`] trait. Instrumented code is
+//!   generic over it; the [`NullSink`] default compiles every hook to
+//!   nothing (held to the BENCH_allocation.json trajectory by the
+//!   `telemetry_overhead` bench and the `observe --smoke` CI step).
+//! - [`recorder`] — the live [`Recorder`] (trace + registry + flight)
+//!   and the cloneable [`SharedRecorder`] handle for non-generic
+//!   components (resilient controller, RPC transport, Saba library).
+//! - [`json`] — the minimal deterministic JSON writer/parser the
+//!   exporters are built on, so identically-seeded runs export
+//!   byte-identical artifacts regardless of serializer versions.
+//!
+//! Wall-clock durations (controller overhead, Fig. 12) only ever enter
+//! the registry under `wall.`-prefixed names — never trace events — so
+//! traces and snapshots stay deterministic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod flight;
+pub mod histogram;
+pub mod json;
+pub mod metrics;
+pub mod recorder;
+pub mod sink;
+pub mod trace;
+
+pub use event::{Event, EventKind};
+pub use flight::{FlightRecorder, Snapshot};
+pub use histogram::Histogram;
+pub use json::JsonValue;
+pub use metrics::Registry;
+pub use recorder::{Recorder, SharedRecorder};
+pub use sink::{NullSink, TelemetrySink};
+pub use trace::{validate_jsonl, Tracer};

@@ -1,0 +1,208 @@
+//! The bounded ring buffer of trace events and its exporters.
+
+use crate::event::{Event, EventKind};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+/// A bounded trace: the newest `capacity` events, oldest dropped first.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tracer {
+    capacity: usize,
+    events: VecDeque<Event>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+impl Tracer {
+    /// A tracer retaining at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "tracer capacity must be positive");
+        Self {
+            capacity,
+            events: VecDeque::with_capacity(capacity.min(4096)),
+            next_seq: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event at simulated time `t`.
+    pub fn push(&mut self, t: f64, kind: EventKind) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(Event {
+            seq: self.next_seq,
+            t,
+            kind,
+        });
+        self.next_seq += 1;
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no event is retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events evicted from the ring so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total events ever pushed (retained + dropped).
+    pub fn total(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// The last `n` events, oldest first (fewer if the ring holds less).
+    pub fn last_n(&self, n: usize) -> Vec<Event> {
+        let skip = self.events.len().saturating_sub(n);
+        self.events.iter().skip(skip).cloned().collect()
+    }
+
+    /// Exports the retained events as JSONL (one event per line,
+    /// trailing newline after each line).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.events {
+            ev.write_json_line(&mut out);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Exports the retained events as CSV with a header row.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("seq,t,kind,detail\n");
+        for ev in &self.events {
+            let _ = writeln!(out, "{},{},{},{}", ev.seq, ev.t, ev.kind.name(), ev.kind.detail());
+        }
+        out
+    }
+}
+
+impl crate::sink::TelemetrySink for Tracer {
+    /// A bare tracer records events only; metrics and snapshots are
+    /// dropped (use [`crate::Recorder`] for the full pipeline).
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, t: f64, kind: EventKind) {
+        self.push(t, kind);
+    }
+}
+
+/// Validates a JSONL trace: every line must parse into a known event,
+/// re-serialize to exactly the input bytes, carry a finite non-negative
+/// time, and have strictly increasing sequence numbers. Returns the
+/// number of validated events.
+pub fn validate_jsonl(text: &str) -> Result<usize, String> {
+    let mut last_seq: Option<u64> = None;
+    let mut n = 0;
+    for (i, line) in text.lines().enumerate() {
+        let ev = Event::from_json_line(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        if ev.to_json_line() != line {
+            return Err(format!("line {}: not in canonical form", i + 1));
+        }
+        if let Some(prev) = last_seq {
+            if ev.seq <= prev {
+                return Err(format!("line {}: seq {} not increasing", i + 1, ev.seq));
+            }
+        }
+        last_seq = Some(ev.seq);
+        n += 1;
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mark(label: &str) -> EventKind {
+        EventKind::Mark {
+            label: label.to_string(),
+            value: 0.0,
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut t = Tracer::new(3);
+        for i in 0..5 {
+            t.push(i as f64, mark(&format!("e{i}")));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        assert_eq!(t.total(), 5);
+        let seqs: Vec<_> = t.events().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn jsonl_export_validates() {
+        let mut t = Tracer::new(16);
+        t.push(0.0, EventKind::RpcCall { id: 1 });
+        t.push(0.5, EventKind::EpochAllocated { flows: 2, bundles: 1 });
+        let text = t.to_jsonl();
+        assert_eq!(validate_jsonl(&text).unwrap(), 2);
+    }
+
+    #[test]
+    fn validation_rejects_tampering() {
+        let mut t = Tracer::new(4);
+        t.push(0.0, EventKind::RpcCall { id: 1 });
+        let good = t.to_jsonl();
+        assert!(validate_jsonl(&good.replace("rpc_call", "rpc_cal")).is_err());
+        assert!(validate_jsonl(&good.replace("\"id\":1", "\"id\":-1")).is_err());
+        // Duplicated line: seq no longer increases.
+        let dup = format!("{}{}", good, good);
+        assert!(validate_jsonl(&dup).is_err());
+        // Non-canonical whitespace is rejected even though it parses.
+        assert!(validate_jsonl(&good.replace(":", " : ")).is_err());
+    }
+
+    #[test]
+    fn last_n_takes_the_tail() {
+        let mut t = Tracer::new(10);
+        for i in 0..6 {
+            t.push(i as f64, mark("x"));
+        }
+        let tail = t.last_n(2);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].seq, 4);
+        assert_eq!(tail[1].seq, 5);
+        assert_eq!(t.last_n(100).len(), 6);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut t = Tracer::new(4);
+        t.push(1.25, EventKind::QueueReprogram { link: 7, queues: 2 });
+        let csv = t.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("seq,t,kind,detail"));
+        assert_eq!(lines.next(), Some("0,1.25,queue_reprogram,link=7;queues=2"));
+    }
+}

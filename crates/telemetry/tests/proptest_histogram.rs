@@ -1,0 +1,102 @@
+//! Property tests for the log-linear histogram: bucket bounds, merge
+//! equivalence, quantile error, and serde round-trips.
+
+use proptest::prelude::*;
+use saba_telemetry::{Event, EventKind, Histogram, Registry};
+
+fn positive_sample() -> impl Strategy<Value = f64> {
+    // Span nanoseconds to hours — the full latency range telemetry sees.
+    (-9.0f64..4.0).prop_map(|e| 10f64.powf(e))
+}
+
+proptest! {
+    #[test]
+    fn bucket_bounds_bracket_every_sample(v in positive_sample()) {
+        let (lo, hi) = Histogram::bucket_bounds(v);
+        prop_assert!(lo <= v && v < hi, "{v} not in [{lo}, {hi})");
+        // Log-linear: bucket width is at most 1/32 of its octave.
+        prop_assert!(hi / lo <= 1.0 + 1.0 / 16.0 + 1e-12);
+    }
+
+    #[test]
+    fn quantiles_within_bucket_error(mut samples in proptest::collection::vec(positive_sample(), 1..200)) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            let est = h.quantile(q).unwrap();
+            let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+            let exact = samples[rank - 1];
+            // Bucket midpoint vs exact sample: within one bucket width.
+            prop_assert!((est - exact).abs() <= exact * (1.0 / 16.0) + 1e-300,
+                "q={q}: est {est} vs exact {exact}");
+        }
+    }
+
+    #[test]
+    fn merge_equals_combined_stream(
+        a in proptest::collection::vec(positive_sample(), 0..100),
+        b in proptest::collection::vec(positive_sample(), 0..100),
+    ) {
+        let mut ha = Histogram::new();
+        let mut hb = Histogram::new();
+        let mut hc = Histogram::new();
+        for &v in &a {
+            ha.record(v);
+            hc.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            hc.record(v);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), hc.count());
+        prop_assert_eq!(ha.min(), hc.min());
+        prop_assert_eq!(ha.max(), hc.max());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            prop_assert_eq!(ha.quantile(q), hc.quantile(q));
+        }
+    }
+
+    #[test]
+    fn histogram_serde_round_trip(samples in proptest::collection::vec(positive_sample(), 0..64)) {
+        let mut h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let text = serde_json::to_string(&h).unwrap();
+        let back: Histogram = serde_json::from_str(&text).unwrap();
+        prop_assert_eq!(back, h);
+    }
+
+    #[test]
+    fn registry_serde_round_trip(
+        counts in proptest::collection::vec(0u64..1000, 1..8),
+        samples in proptest::collection::vec(positive_sample(), 1..32),
+    ) {
+        let mut r = Registry::new();
+        for (i, &c) in counts.iter().enumerate() {
+            r.inc(&format!("counter{i}"), c);
+        }
+        r.set_gauge("g", samples[0]);
+        for &v in &samples {
+            r.observe("h", v);
+        }
+        let text = serde_json::to_string(&r).unwrap();
+        let back: Registry = serde_json::from_str(&text).unwrap();
+        prop_assert_eq!(back, r);
+    }
+
+    #[test]
+    fn event_serde_and_jsonl_agree(seq in 0u64..1000, t in 0.0f64..1e6, id in 0u64..100) {
+        let ev = Event { seq, t, kind: EventKind::RpcRetry { id, attempt: 3 } };
+        // serde path (external interop).
+        let via_serde: Event = serde_json::from_str(&serde_json::to_string(&ev).unwrap()).unwrap();
+        prop_assert_eq!(&via_serde, &ev);
+        // Native JSONL path (deterministic export).
+        let via_jsonl = Event::from_json_line(&ev.to_json_line()).unwrap();
+        prop_assert_eq!(&via_jsonl, &ev);
+    }
+}

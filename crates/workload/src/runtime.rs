@@ -16,6 +16,7 @@
 use crate::spec::JobPlan;
 use saba_sim::engine::{CompletedFlow, FabricModel, FlowSpec, Simulation};
 use saba_sim::ids::{AppId, NodeId, ServiceLevel};
+use saba_telemetry::TelemetrySink;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -223,7 +224,7 @@ impl JobRuntime {
     /// # Panics
     ///
     /// Panics if called twice.
-    pub fn begin<M: FabricModel>(&mut self, sim: &mut Simulation<M>) {
+    pub fn begin<M: FabricModel, S: TelemetrySink>(&mut self, sim: &mut Simulation<M, S>) {
         assert!(
             self.started_at.is_none(),
             "job {} already started",
@@ -235,7 +236,11 @@ impl JobRuntime {
 
     /// Handles a timer event. Returns `true` if the key belonged to this
     /// job.
-    pub fn on_timer<M: FabricModel>(&mut self, sim: &mut Simulation<M>, key: u64) -> bool {
+    pub fn on_timer<M: FabricModel, S: TelemetrySink>(
+        &mut self,
+        sim: &mut Simulation<M, S>,
+        key: u64,
+    ) -> bool {
         if !self.owns_key(key) {
             return false;
         }
@@ -257,9 +262,9 @@ impl JobRuntime {
 
     /// Handles flows completed by the engine; the driver must only pass
     /// flows whose `spec.app` matches this job.
-    pub fn on_flows_completed<M: FabricModel>(
+    pub fn on_flows_completed<M: FabricModel, S: TelemetrySink>(
         &mut self,
-        sim: &mut Simulation<M>,
+        sim: &mut Simulation<M, S>,
         flows: &[CompletedFlow],
     ) {
         for f in flows {
@@ -283,7 +288,7 @@ impl JobRuntime {
         self.key_base | ((stage as u64) << 1) | kind
     }
 
-    fn start_stage<M: FabricModel>(&mut self, sim: &mut Simulation<M>) {
+    fn start_stage<M: FabricModel, S: TelemetrySink>(&mut self, sim: &mut Simulation<M, S>) {
         loop {
             if self.stage_idx >= self.plan.stages.len() {
                 let at = sim.now();
@@ -333,7 +338,7 @@ impl JobRuntime {
         }
     }
 
-    fn launch_flows<M: FabricModel>(&mut self, sim: &mut Simulation<M>) {
+    fn launch_flows<M: FabricModel, S: TelemetrySink>(&mut self, sim: &mut Simulation<M, S>) {
         let st = self.plan.stages[self.stage_idx].clone();
         let transfers = st.pattern.transfers(self.nodes.len(), st.comm_bytes);
         self.flows_launched = true;
@@ -395,7 +400,7 @@ impl JobRuntime {
         self.check_stage_done(sim);
     }
 
-    fn check_stage_done<M: FabricModel>(&mut self, sim: &mut Simulation<M>) {
+    fn check_stage_done<M: FabricModel, S: TelemetrySink>(&mut self, sim: &mut Simulation<M, S>) {
         if self.finished_at.is_none()
             && self.compute_done
             && self.flows_launched
@@ -418,14 +423,15 @@ impl JobRuntime {
 /// Panics if two jobs share an [`AppId`] or a timer `key_base`, or if a
 /// timer fires whose key belongs to no job (use [`run_jobs_with`] to
 /// co-schedule non-job timers such as fault injections).
-pub fn run_jobs<M, F>(
-    sim: &mut Simulation<M>,
+pub fn run_jobs<M, S, F>(
+    sim: &mut Simulation<M, S>,
     jobs: &mut [JobRuntime],
     on_conn: F,
 ) -> Result<Vec<f64>, RunError>
 where
     M: FabricModel,
-    F: FnMut(&mut Simulation<M>, &ConnEvent),
+    S: TelemetrySink,
+    F: FnMut(&mut Simulation<M, S>, &ConnEvent),
 {
     run_jobs_with(sim, jobs, on_conn, |_, key, _| {
         panic!("timer key {key:#x} belongs to no job")
@@ -442,16 +448,17 @@ where
 /// # Panics
 ///
 /// Panics if two jobs share an [`AppId`] or a timer `key_base`.
-pub fn run_jobs_with<M, F, G>(
-    sim: &mut Simulation<M>,
+pub fn run_jobs_with<M, S, F, G>(
+    sim: &mut Simulation<M, S>,
     jobs: &mut [JobRuntime],
     mut on_conn: F,
     mut on_foreign: G,
 ) -> Result<Vec<f64>, RunError>
 where
     M: FabricModel,
-    F: FnMut(&mut Simulation<M>, &ConnEvent),
-    G: FnMut(&mut Simulation<M>, u64, f64),
+    S: TelemetrySink,
+    F: FnMut(&mut Simulation<M, S>, &ConnEvent),
+    G: FnMut(&mut Simulation<M, S>, u64, f64),
 {
     {
         let mut seen_apps = std::collections::HashSet::new();

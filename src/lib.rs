@@ -16,6 +16,8 @@
 //! - [`baselines`] — comparator allocation policies.
 //! - [`faults`] — deterministic fault injection & graceful degradation.
 //! - [`cluster`] — the cluster-scale experiment harness.
+//! - [`telemetry`] — sim-time tracing, metrics registry, and flight
+//!   recorder threaded through all of the above.
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured results of every figure and table.
@@ -26,4 +28,5 @@ pub use saba_core as core;
 pub use saba_faults as faults;
 pub use saba_math as math;
 pub use saba_sim as sim;
+pub use saba_telemetry as telemetry;
 pub use saba_workload as workload;
