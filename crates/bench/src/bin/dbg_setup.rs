@@ -18,7 +18,7 @@ fn main() {
         ..Default::default()
     };
     let setup_cfg = SetupConfig::default();
-    let mut rng = StdRng::seed_from_u64(0xF16_8 + 3);
+    let mut rng = StdRng::seed_from_u64(0xF168 + 3);
     let setup = generate_setup(&cat, &setup_cfg, &mut rng);
 
     let base = run_setup(&setup, 32, &Policy::baseline(), &table, &cat, &cfg).unwrap();

@@ -19,7 +19,7 @@ use saba_sim::ids::{AppId, LinkId, ServiceLevel};
 use saba_sim::topology::Topology;
 use saba_sim::LINK_56G_BPS;
 use saba_workload::runtime::{run_jobs, JobRuntime};
-use saba_workload::{catalog, workload_by_name};
+use saba_workload::workload_by_name;
 
 /// Isolated completion time at a NIC throttle (with the profiler's
 /// pipelining-floor semantics).

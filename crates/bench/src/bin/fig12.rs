@@ -49,7 +49,7 @@ fn main() {
         topo.servers().len()
     );
 
-    let mut rng = StdRng::seed_from_u64(0xF16_12);
+    let mut rng = StdRng::seed_from_u64(0x000F_1612);
     // Measured calculation times, bucketed by (k, |A| <= 250): exact
     // samples for the CSV/percentiles, and the controller's own solve
     // histograms merged across scenarios for the telemetry view.

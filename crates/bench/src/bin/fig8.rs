@@ -30,7 +30,7 @@ fn main() {
     let setup_cfg = SetupConfig::default();
 
     let runs = parallel_map(setups, default_threads(), |i| {
-        let mut rng = StdRng::seed_from_u64(0xF16_8 + i as u64);
+        let mut rng = StdRng::seed_from_u64(0xF168 + i as u64);
         let setup = generate_setup(&cat, &setup_cfg, &mut rng);
         let cfg = CorunConfig {
             seed: 0x5aba ^ i as u64,

@@ -18,9 +18,7 @@
 //! Usage: `observe [--smoke] [--severity N]`
 
 use saba_bench::{print_table, results_dir, write_csv};
-use saba_cluster::corun_faults::{
-    execute_with_faults, execute_with_faults_traced, plan_jobs,
-};
+use saba_cluster::corun_faults::{execute_with_faults, execute_with_faults_traced, plan_jobs};
 use saba_cluster::metrics::per_workload_speedups;
 use saba_cluster::policy::Policy;
 use saba_core::profiler::{Profiler, ProfilerConfig};
@@ -53,7 +51,11 @@ fn quick_table() -> SensitivityTable {
 fn scenario(
     table: &SensitivityTable,
     severity: u32,
-) -> (Topology, Vec<saba_cluster::corun::PlannedJob>, FaultSchedule) {
+) -> (
+    Topology,
+    Vec<saba_cluster::corun::PlannedJob>,
+    FaultSchedule,
+) {
     let topo = Topology::spine_leaf(&SpineLeafConfig::tiny(2));
     let jobs = plan_jobs(
         &topo,
@@ -67,17 +69,9 @@ fn scenario(
     )
     .expect("plannable jobs");
     // Horizon from a healthy run, so fault windows land inside it.
-    let healthy = saba_cluster::corun::execute(
-        topo.clone(),
-        jobs.clone(),
-        &Policy::saba(),
-        table,
-    )
-    .expect("healthy co-run");
-    let horizon = healthy
-        .iter()
-        .map(|r| r.completion)
-        .fold(0.0, f64::max);
+    let healthy = saba_cluster::corun::execute(topo.clone(), jobs.clone(), &Policy::saba(), table)
+        .expect("healthy co-run");
+    let horizon = healthy.iter().map(|r| r.completion).fold(0.0, f64::max);
     let mut schedule = FaultSchedule::generate(
         &topo,
         &ScheduleConfig {
@@ -97,9 +91,8 @@ fn scenario(
 
 fn run_traced(table: &SensitivityTable, severity: u32) -> Recorder {
     let (topo, jobs, schedule) = scenario(table, severity);
-    let (_, recorder) =
-        execute_with_faults_traced(topo, jobs, &Policy::saba(), table, &schedule)
-            .expect("traced co-run completes");
+    let (_, recorder) = execute_with_faults_traced(topo, jobs, &Policy::saba(), table, &schedule)
+        .expect("traced co-run completes");
     recorder
 }
 
@@ -157,9 +150,8 @@ fn smoke(table: &SensitivityTable, severity: u32) {
         &schedule,
     )
     .expect("plain co-run");
-    let (traced, _) =
-        execute_with_faults_traced(topo, jobs, &Policy::saba(), table, &schedule)
-            .expect("traced co-run");
+    let (traced, _) = execute_with_faults_traced(topo, jobs, &Policy::saba(), table, &schedule)
+        .expect("traced co-run");
     assert_eq!(
         plain.results, traced.results,
         "telemetry must not change job completions"
@@ -193,10 +185,8 @@ fn main() {
     let header = lines.next().expect("csv header").to_string();
     let rows: Vec<String> = lines.map(str::to_string).collect();
     write_csv("observe_trace.csv", &header, &rows);
-    fs::write(dir.join("observe_metrics.json"), rec.registry.to_json())
-        .expect("metrics written");
-    fs::write(dir.join("observe_flight.json"), rec.flight.to_json())
-        .expect("flight written");
+    fs::write(dir.join("observe_metrics.json"), rec.registry.to_json()).expect("metrics written");
+    fs::write(dir.join("observe_flight.json"), rec.flight.to_json()).expect("flight written");
     println!(
         "wrote observe_trace.jsonl, observe_trace.csv, observe_metrics.json, observe_flight.json to {}",
         dir.display()

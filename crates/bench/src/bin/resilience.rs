@@ -104,6 +104,7 @@ impl SeverityRow {
 /// Runs baseline + one Saba flavour under the same schedule, returning
 /// the row (retention is filled in by the caller once severity 0 is
 /// known).
+#[allow(clippy::too_many_arguments)]
 fn run_severity(
     quick: bool,
     severity: u32,
@@ -157,8 +158,14 @@ fn severity_rows(
     let healthy = {
         let topo = topo(quick);
         let jobs = plan_jobs(&topo, &job_specs(quick), catalog, 0.0, 0x5aba).unwrap();
-        execute_with_faults(topo, jobs, &Policy::saba(), table, &FaultSchedule::default())
-            .expect("healthy co-run completes")
+        execute_with_faults(
+            topo,
+            jobs,
+            &Policy::saba(),
+            table,
+            &FaultSchedule::default(),
+        )
+        .expect("healthy co-run completes")
     };
     let horizon = healthy
         .results
@@ -179,7 +186,7 @@ fn severity_rows(
         let mut reference = None;
         for severity in 0..=max_severity {
             let mut row = run_severity(
-                quick, severity, policy, *name, *shards, horizon, table, catalog,
+                quick, severity, policy, name, *shards, horizon, table, catalog,
             );
             let r = *reference.get_or_insert(row.speedup);
             row.retention = row.speedup / r;
@@ -262,8 +269,16 @@ fn main() {
     print_table(
         "Speedup retention under faults (Saba vs FECN)",
         &[
-            "sev", "policy", "faults", "speedup", "retention", "reroutes", "parked", "resumed",
-            "stale", "crashes",
+            "sev",
+            "policy",
+            "faults",
+            "speedup",
+            "retention",
+            "reroutes",
+            "parked",
+            "resumed",
+            "stale",
+            "crashes",
         ],
         &rows
             .iter()

@@ -99,10 +99,12 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
 /// Renders a unicode bar of `value` against `max` (for quick visual
 /// scanning of figure outputs in the terminal).
 pub fn bar(value: f64, max: f64, width: usize) -> String {
-    if !(max > 0.0) || !value.is_finite() {
+    if max.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) || !value.is_finite() {
         return String::new();
     }
-    let filled = ((value / max) * width as f64).round().clamp(0.0, width as f64) as usize;
+    let filled = ((value / max) * width as f64)
+        .round()
+        .clamp(0.0, width as f64) as usize;
     let mut s = String::with_capacity(width);
     for _ in 0..filled {
         s.push('█');

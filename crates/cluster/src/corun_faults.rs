@@ -286,9 +286,7 @@ pub fn execute_with_faults_traced(
         results,
         sim_stats: sim.stats(),
         injector_stats: injector.borrow().stats(),
-        resilience: controller
-            .as_ref()
-            .map(|c| c.borrow().stats()),
+        resilience: controller.as_ref().map(|c| c.borrow().stats()),
     };
 
     let mut recorder = rec.extract().expect("recorder was attached");
@@ -364,7 +362,10 @@ fn export_outcome_metrics(outcome: &FaultRunOutcome, rec: &mut Recorder) {
         reg.inc("controller.recoveries", r.recoveries);
         reg.inc("controller.stale_events", r.stale_events);
         reg.inc("controller.updates_suppressed", r.updates_suppressed);
-        reg.inc("controller.replayed_registrations", r.replayed_registrations);
+        reg.inc(
+            "controller.replayed_registrations",
+            r.replayed_registrations,
+        );
         reg.inc("controller.replayed_connections", r.replayed_connections);
     }
     for job in &outcome.results {
@@ -438,14 +439,9 @@ mod tests {
             let topo = Topology::spine_leaf(&SpineLeafConfig::tiny(2));
             let jobs = cross_rack_jobs(&topo, &cat);
             let plain = execute(topo.clone(), jobs.clone(), &policy, &table).unwrap();
-            let faulted = execute_with_faults(
-                topo,
-                jobs,
-                &policy,
-                &table,
-                &FaultSchedule::default(),
-            )
-            .unwrap();
+            let faulted =
+                execute_with_faults(topo, jobs, &policy, &table, &FaultSchedule::default())
+                    .unwrap();
             assert_eq!(plain, faulted.results, "{}", policy.name());
             assert_eq!(faulted.injector_stats, InjectorStats::default());
         }
@@ -469,8 +465,7 @@ mod tests {
             },
             0xFA17,
         );
-        let out =
-            execute_with_faults(topo, jobs, &Policy::saba(), &table, &schedule).unwrap();
+        let out = execute_with_faults(topo, jobs, &Policy::saba(), &table, &schedule).unwrap();
         assert_eq!(out.results.len(), 2);
         for r in &out.results {
             assert!(r.completion > 0.0, "{r:?}");
@@ -495,8 +490,7 @@ mod tests {
                 duration: 0.5 * t,
             }],
         };
-        let out =
-            execute_with_faults(topo, jobs, &Policy::saba(), &table, &schedule).unwrap();
+        let out = execute_with_faults(topo, jobs, &Policy::saba(), &table, &schedule).unwrap();
         let res = out.resilience.expect("saba policy has a controller");
         assert_eq!(res.crashes, 1);
         assert_eq!(res.recoveries, 1);
@@ -511,8 +505,7 @@ mod tests {
         let cat = catalog();
         let topo = Topology::spine_leaf(&SpineLeafConfig::tiny(2));
         let jobs = cross_rack_jobs(&topo, &cat);
-        let policy =
-            Policy::SabaDistributed(saba_core::controller::ControllerConfig::default(), 3);
+        let policy = Policy::SabaDistributed(saba_core::controller::ControllerConfig::default(), 3);
         let clean = execute(topo.clone(), jobs.clone(), &policy, &table).unwrap();
         let t = max_completion(&clean);
         let schedule = FaultSchedule {
@@ -557,18 +550,13 @@ mod tests {
         )
         .unwrap();
         let (out, rec) =
-            execute_with_faults_traced(topo, jobs, &Policy::saba(), &table, &schedule)
-                .unwrap();
+            execute_with_faults_traced(topo, jobs, &Policy::saba(), &table, &schedule).unwrap();
         // Telemetry must not perturb the run.
         assert_eq!(plain.results, out.results);
         assert_eq!(plain.sim_stats, out.sim_stats);
 
-        let count = |name: &str| {
-            rec.trace
-                .events()
-                .filter(|e| e.kind.name() == name)
-                .count() as u64
-        };
+        let count =
+            |name: &str| rec.trace.events().filter(|e| e.kind.name() == name).count() as u64;
         assert_eq!(count("fault_edge"), 2, "crash + repair edges");
         assert_eq!(count("controller_crash"), 1);
         assert_eq!(count("controller_recover"), 1);
@@ -585,12 +573,22 @@ mod tests {
             out.sim_stats.flows_completed
         );
         assert_eq!(rec.registry.counter("controller.crashes"), 1);
-        let stale = rec.registry.histogram("controller.stale_window_secs").unwrap();
+        let stale = rec
+            .registry
+            .histogram("controller.stale_window_secs")
+            .unwrap();
         assert_eq!(stale.count(), 1);
         let w = stale.max().unwrap();
-        assert!((w - 0.5 * t).abs() < 0.35 * t, "window {w} vs duration {}", 0.5 * t);
+        assert!(
+            (w - 0.5 * t).abs() < 0.35 * t,
+            "window {w} vs duration {}",
+            0.5 * t
+        );
         // Wall-clock solve latency lands under a wall.-prefixed name.
-        assert!(rec.registry.histogram("wall.controller_solve_secs").is_some());
+        assert!(rec
+            .registry
+            .histogram("wall.controller_solve_secs")
+            .is_some());
     }
 
     #[test]
@@ -600,8 +598,7 @@ mod tests {
         let run = || {
             let topo = Topology::spine_leaf(&SpineLeafConfig::tiny(2));
             let jobs = cross_rack_jobs(&topo, &cat);
-            let clean =
-                execute(topo.clone(), jobs.clone(), &Policy::saba(), &table).unwrap();
+            let clean = execute(topo.clone(), jobs.clone(), &Policy::saba(), &table).unwrap();
             let t = max_completion(&clean);
             let mut schedule = FaultSchedule::generate(
                 &topo,
@@ -617,8 +614,7 @@ mod tests {
                 start: 0.3 * t,
                 duration: 0.4 * t,
             });
-            execute_with_faults_traced(topo, jobs, &Policy::saba(), &table, &schedule)
-                .unwrap()
+            execute_with_faults_traced(topo, jobs, &Policy::saba(), &table, &schedule).unwrap()
         };
         let (_, rec_a) = run();
         let (_, rec_b) = run();
@@ -627,7 +623,7 @@ mod tests {
         assert_eq!(rec_a.trace.to_jsonl(), rec_b.trace.to_jsonl());
         assert!(!rec_a.trace.to_jsonl().is_empty());
         assert_eq!(rec_a.flight.to_json(), rec_b.flight.to_json());
-        assert!(rec_a.flight.snapshots().len() >= 1);
+        assert!(!rec_a.flight.snapshots().is_empty());
         saba_telemetry::validate_jsonl(&rec_a.trace.to_jsonl()).unwrap();
     }
 

@@ -134,7 +134,7 @@ mod tests {
     #[test]
     fn non_clone_values_are_returned() {
         // T only needs Send: values are moved, never cloned or locked.
-        let out = parallel_map(10, 4, |i| Box::new(i));
+        let out = parallel_map(10, 4, Box::new);
         for (i, v) in out.iter().enumerate() {
             assert_eq!(**v, i);
         }

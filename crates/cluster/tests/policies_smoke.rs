@@ -50,10 +50,9 @@ fn every_policy_completes_a_random_setup() {
         ..Default::default()
     };
     for policy in all_policies() {
-        let results =
-            run_setup(&setup, 8, &policy, &t, &cat, &cfg).unwrap_or_else(|e| {
-                panic!("{} failed: {e}", policy.name());
-            });
+        let results = run_setup(&setup, 8, &policy, &t, &cat, &cfg).unwrap_or_else(|e| {
+            panic!("{} failed: {e}", policy.name());
+        });
         assert_eq!(results.len(), 5, "{}", policy.name());
         for r in &results {
             assert!(
@@ -78,7 +77,8 @@ fn every_policy_completes_on_spine_leaf_and_fat_tree() {
                 .enumerate()
                 .map(|(i, name)| {
                     let spec = catalog().into_iter().find(|w| w.name == *name).unwrap();
-                    let nodes: Vec<_> = servers.iter().skip(i).step_by(2).take(4).copied().collect();
+                    let nodes: Vec<_> =
+                        servers.iter().skip(i).step_by(2).take(4).copied().collect();
                     PlannedJob {
                         workload: (*name).to_string(),
                         dataset_scale: 0.1,

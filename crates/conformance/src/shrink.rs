@@ -1,0 +1,113 @@
+//! Greedy scenario shrinking.
+//!
+//! The vendored proptest runner deliberately omits shrinking, so the
+//! harness does its own at the scenario level: given a failing scenario
+//! and the predicate that fails on it, repeatedly delete one component
+//! (a flow, a fault) and keep the deletion whenever the failure
+//! persists, iterating to a fixed point. The result is a *minimal*
+//! counterexample in the sense that removing any single remaining
+//! component makes the failure disappear — usually a handful of flows
+//! instead of fifty, which is the difference between a bug report and
+//! an archaeology project.
+
+use crate::scenario::{EngineScenario, FlowSetScenario};
+
+/// Shrinks a failing flow-set scenario: greedily removes flows (and
+/// then unreferenced links) while `fails` keeps returning `true`.
+///
+/// `fails(&sc)` must be `true` for the input scenario.
+pub fn shrink_flow_set(
+    sc: &FlowSetScenario,
+    fails: &mut dyn FnMut(&FlowSetScenario) -> bool,
+) -> FlowSetScenario {
+    debug_assert!(fails(sc), "shrinking a passing scenario");
+    let mut best = sc.clone();
+    let mut progress = true;
+    while progress {
+        progress = false;
+        let mut i = 0;
+        while i < best.flows.len() {
+            if best.flows.len() == 1 {
+                break;
+            }
+            let mut candidate = best.clone();
+            candidate.flows.remove(i);
+            if fails(&candidate) {
+                best = candidate;
+                progress = true;
+            } else {
+                i += 1;
+            }
+        }
+    }
+    best
+}
+
+/// Shrinks a failing engine scenario: faults first (they are usually
+/// incidental), then flows, to a fixed point.
+pub fn shrink_engine(
+    sc: &EngineScenario,
+    fails: &mut dyn FnMut(&EngineScenario) -> bool,
+) -> EngineScenario {
+    debug_assert!(fails(sc), "shrinking a passing scenario");
+    let mut best = sc.clone();
+    let mut progress = true;
+    while progress {
+        progress = false;
+        let mut i = 0;
+        while i < best.faults.len() {
+            let mut candidate = best.clone();
+            candidate.faults.remove(i);
+            if fails(&candidate) {
+                best = candidate;
+                progress = true;
+            } else {
+                i += 1;
+            }
+        }
+        let mut i = 0;
+        while i < best.flows.len() {
+            if best.flows.len() == 1 {
+                break;
+            }
+            let mut candidate = best.clone();
+            candidate.flows.remove(i);
+            if fails(&candidate) {
+                best = candidate;
+                progress = true;
+            } else {
+                i += 1;
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_to_the_guilty_flow() {
+        // Plant a failure that triggers iff a flow with weight 99 is
+        // present; the shrinker must strip everything else.
+        let mut sc = FlowSetScenario::generate(5);
+        let planted = sc.flows.len() / 2;
+        sc.flows[planted].weights = vec![99.0; sc.flows[planted].path.len()];
+        let mut fails = |s: &FlowSetScenario| s.flows.iter().any(|f| f.weights.contains(&99.0));
+        let small = shrink_flow_set(&sc, &mut fails);
+        assert_eq!(small.flows.len(), 1);
+        assert!(small.flows[0].weights.contains(&99.0));
+    }
+
+    #[test]
+    fn engine_shrink_drops_incidental_faults() {
+        let sc = EngineScenario::generate(9);
+        // "Fails" whenever at least two flows exist — faults are all
+        // incidental and must be removed.
+        let mut fails = |s: &EngineScenario| s.flows.len() >= 2;
+        let small = shrink_engine(&sc, &mut fails);
+        assert_eq!(small.flows.len(), 2);
+        assert!(small.faults.is_empty());
+    }
+}

@@ -1,0 +1,52 @@
+//! A miniature conformance sweep wired into `cargo test` so the whole
+//! harness stays exercised even when the `conformance` bin is not run.
+//! The bin's `--smoke`/`--long` profiles cover far larger seed ranges;
+//! these counts are sized for sub-second test runs.
+
+use saba_conformance::differential::{
+    baseline_fixtures, bundled_vs_unbundled, central_vs_distributed,
+};
+use saba_conformance::golden;
+use saba_conformance::oracles::{
+    check_against_reference, check_model_monotonicity, check_replay, check_seeded_queue_map,
+};
+use saba_conformance::scenario::{ControlScenario, EngineScenario, FlowSetScenario};
+
+#[test]
+fn allocator_matches_reference_on_a_seed_slice() {
+    for seed in 0..40 {
+        let sc = FlowSetScenario::generate(seed);
+        check_against_reference(&sc).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
+#[test]
+fn engine_runs_replay_and_bundle_exactly() {
+    for seed in 0..6 {
+        let sc = EngineScenario::generate(seed);
+        check_replay(&sc).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        bundled_vs_unbundled(&sc).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
+#[test]
+fn controllers_and_queue_maps_agree() {
+    for seed in 0..4 {
+        let sc = ControlScenario::generate(seed);
+        let table = sc.table();
+        for wl in 0..sc.napps {
+            let model = table
+                .get(&ControlScenario::workload_name(wl))
+                .expect("generated model");
+            check_model_monotonicity(model).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+        central_vs_distributed(&sc).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        check_seeded_queue_map(seed).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
+#[test]
+fn baselines_and_goldens_hold() {
+    baseline_fixtures().unwrap();
+    golden::check_goldens().unwrap();
+}

@@ -18,9 +18,9 @@ use crate::controller::{ControllerConfig, ControllerError, SwitchUpdate};
 use crate::fabric::PortQueueConfig;
 use crate::sensitivity::{SensitivityModel, SensitivityTable};
 use saba_sim::ids::{AppId, LinkId, NodeId, ServiceLevel};
-use saba_telemetry::Histogram;
 use saba_sim::routing::Routes;
 use saba_sim::topology::Topology;
+use saba_telemetry::Histogram;
 use std::collections::{BTreeMap, HashMap};
 
 /// Running counters, used by the Fig. 12 overhead study and tests.
@@ -423,9 +423,9 @@ impl CentralController {
             qweights.push(1.0 - self.cfg.c_saba);
             let reserved_q = (qweights.len() - 1) as u8;
             let active: Vec<usize> = mapper.pls().to_vec();
-            for sl in 0..ServiceLevel::COUNT {
+            for (sl, q) in sl_to_queue.iter_mut().enumerate().take(ServiceLevel::COUNT) {
                 if !active.contains(&sl) {
-                    sl_to_queue[sl] = reserved_q;
+                    *q = reserved_q;
                 }
             }
         }

@@ -386,6 +386,23 @@ impl DistributedController {
         updates
     }
 
+    /// Applications currently registered, ascending by id.
+    pub fn apps(&self) -> Vec<AppId> {
+        self.apps.keys().copied().collect()
+    }
+
+    /// Live connection keys, sorted (the backing map is unordered).
+    pub fn conn_keys(&self) -> Vec<(AppId, u64)> {
+        let mut keys: Vec<_> = self.conns.keys().copied().collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// Whether `(app, tag)` is a live connection.
+    pub fn has_conn(&self, app: AppId, tag: u64) -> bool {
+        self.conns.contains_key(&(app, tag))
+    }
+
     /// The shard owning `link`.
     pub fn shard_of_link(&self, link: LinkId) -> usize {
         self.link_shard[link.0 as usize]
@@ -480,9 +497,9 @@ impl DistributedController {
             qweights.push(1.0 - self.cfg.c_saba);
             let reserved_q = (qweights.len() - 1) as u8;
             let active: Vec<usize> = self.db.mapper().pls().to_vec();
-            for sl in 0..ServiceLevel::COUNT {
+            for (sl, q) in sl_to_queue.iter_mut().enumerate().take(ServiceLevel::COUNT) {
                 if !active.contains(&sl) {
-                    sl_to_queue[sl] = reserved_q;
+                    *q = reserved_q;
                 }
             }
         }

@@ -73,7 +73,10 @@ fn operations_before_register_are_rejected() {
         lib.saba_conn_create(servers[0], servers[1]).unwrap_err(),
         LibError::NotRegistered
     );
-    assert_eq!(lib.saba_app_deregister().unwrap_err(), LibError::NotRegistered);
+    assert_eq!(
+        lib.saba_app_deregister().unwrap_err(),
+        LibError::NotRegistered
+    );
 }
 
 #[test]
@@ -82,7 +85,10 @@ fn destroying_an_unknown_connection_is_rejected() {
     lib.saba_app_register("LR").unwrap();
     let conn = lib.saba_conn_create(servers[0], servers[1]).unwrap();
     // A handle the library never issued (wrong tag).
-    let forged = saba_core::library::Connection { tag: conn.tag + 99, ..conn };
+    let forged = saba_core::library::Connection {
+        tag: conn.tag + 99,
+        ..conn
+    };
     assert_eq!(
         lib.saba_conn_destroy(forged).unwrap_err(),
         LibError::UnknownConnection(conn.tag + 99)

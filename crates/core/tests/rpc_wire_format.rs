@@ -33,7 +33,7 @@ fn request_wire_bytes_are_stable() {
             },
             &[
                 0, 0, 0, 21, // length
-                2, // type
+                2,  // type
                 0, 0, 0, 1, // app
                 0, 0, 0, 2, // src
                 0, 0, 0, 3, // dst
@@ -48,7 +48,7 @@ fn request_wire_bytes_are_stable() {
             },
             &[
                 0, 0, 0, 13, // length
-                3, // type
+                3,  // type
                 0, 0, 0, 9, // app
                 0, 0, 0, 0, 0, 0, 0, 42, // tag
             ],
@@ -85,7 +85,9 @@ fn response_wire_bytes_are_stable() {
         ("ack", Response::Ack, &[0, 0, 0, 1, 17]),
         (
             "error",
-            Response::Error { message: "no".into() },
+            Response::Error {
+                message: "no".into(),
+            },
             &[0, 0, 0, 5, 18, 0, 2, b'n', b'o'],
         ),
     ];

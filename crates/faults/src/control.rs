@@ -263,7 +263,9 @@ impl ResilientController {
             (Inner::Central(c), ConnEvent::Created { app, src, dst, tag }) => {
                 c.conn_create(*app, *src, *dst, *tag)
             }
-            (Inner::Central(c), ConnEvent::Destroyed { app, tag, .. }) => c.conn_destroy(*app, *tag),
+            (Inner::Central(c), ConnEvent::Destroyed { app, tag, .. }) => {
+                c.conn_destroy(*app, *tag)
+            }
             (Inner::Central(c), ConnEvent::JobCompleted { app, .. }) => c.deregister(*app),
             (Inner::Distributed(c), ConnEvent::Created { app, src, dst, tag }) => {
                 c.conn_create(*app, *src, *dst, *tag)
@@ -320,7 +322,8 @@ impl ResilientController {
             self.stats.crashes += 1;
             if self.sink.enabled() {
                 let t = self.clock;
-                self.sink.record(t, EventKind::ControllerCrash { shard: -1 });
+                self.sink
+                    .record(t, EventKind::ControllerCrash { shard: -1 });
                 let state = self.snapshot_state();
                 self.sink.snapshot(t, "controller-crash", state);
             }
@@ -367,7 +370,45 @@ impl ResilientController {
             updates
         } else {
             match &mut self.inner {
-                Inner::Distributed(c) => c.recompute_all(),
+                Inner::Distributed(c) => {
+                    // The distributed flavour's solver state survives the
+                    // crash (replicated mapping DB + per-shard logs), but
+                    // events that arrived while down were only recorded in
+                    // the ground-truth log, never applied. Reconcile the
+                    // inner controller with the log before re-deriving
+                    // port programs: drop apps whose jobs completed during
+                    // the outage (their connections go with them), drop
+                    // connections destroyed during it, then replay the
+                    // registrations and connections it never saw.
+                    for app in c.apps() {
+                        if !self.registrations.iter().any(|(a, _)| *a == app) {
+                            c.deregister(app).expect("app enumerated from inner");
+                        }
+                    }
+                    for (app, tag) in c.conn_keys() {
+                        if !self.live_conns.contains_key(&(app, tag)) {
+                            c.conn_destroy(app, tag)
+                                .expect("conn enumerated from inner");
+                        }
+                    }
+                    for (app, workload) in &self.registrations {
+                        if !c.apps().contains(app) {
+                            let sl = c
+                                .register(*app, workload)
+                                .expect("replay of a previously accepted registration");
+                            self.sls.insert(*app, sl);
+                            self.stats.replayed_registrations += 1;
+                        }
+                    }
+                    for (&(app, tag), &(src, dst)) in &self.live_conns {
+                        if !c.has_conn(app, tag) {
+                            c.conn_create(app, src, dst, tag)
+                                .expect("replay of a logged connection");
+                            self.stats.replayed_connections += 1;
+                        }
+                    }
+                    c.recompute_all()
+                }
                 Inner::Central(_) => unreachable!(),
             }
         };
@@ -507,7 +548,10 @@ mod tests {
                 tag: (1 << 32) | 1,
             })
             .is_empty());
-        assert!(c.register(AppId(2), "PR").is_err(), "down controller rejects");
+        assert!(
+            c.register(AppId(2), "PR").is_err(),
+            "down controller rejects"
+        );
 
         let updates = c.recover();
         assert!(!updates.is_empty(), "recovery reprograms the fabric");
@@ -538,6 +582,66 @@ mod tests {
         });
     }
 
+    /// Regression: a full crash of the *distributed* flavour used to
+    /// recover by re-deriving port programs only — events that arrived
+    /// during the outage were logged but never applied to the inner
+    /// controller, so the post-recovery destroy of a connection created
+    /// while down panicked with `UnknownConnection` (first seen as a
+    /// `resilience --smoke` severity-2 crash).
+    #[test]
+    fn distributed_crash_recovery_reconciles_outage_events() {
+        let topo = Topology::single_switch(4, 100.0);
+        let servers = topo.servers().to_vec();
+        let db = MappingDb::build(&table(), ControllerConfig::default().num_pls, 1);
+        let mut c = ResilientController::distributed(ControllerConfig::default(), db, &topo, 2);
+        c.register(AppId(0), "LR").unwrap();
+        c.register(AppId(1), "Sort").unwrap();
+        c.on_event(&created(0, servers[0], servers[1], 1));
+        c.on_event(&created(1, servers[2], servers[3], (1 << 32) | 1));
+
+        c.crash();
+        // Outage churn: a new connection, a teardown of a pre-crash
+        // connection, and a whole job completing.
+        assert!(c
+            .on_event(&created(0, servers[1], servers[2], 2))
+            .is_empty());
+        assert!(c
+            .on_event(&ConnEvent::Destroyed {
+                app: AppId(1),
+                src: servers[2],
+                dst: servers[3],
+                tag: (1 << 32) | 1,
+            })
+            .is_empty());
+        assert!(c
+            .on_event(&ConnEvent::JobCompleted {
+                app: AppId(1),
+                at: 1.0,
+            })
+            .is_empty());
+
+        let updates = c.recover();
+        assert!(!updates.is_empty(), "recovery reprograms the fabric");
+        let s = c.stats();
+        assert_eq!(s.replayed_connections, 1, "the conn created while down");
+        // Post-recovery churn on both the pre-crash and the outage-born
+        // connection must be accepted (this is the line that panicked).
+        assert!(!c
+            .on_event(&ConnEvent::Destroyed {
+                app: AppId(0),
+                src: servers[1],
+                dst: servers[2],
+                tag: 2,
+            })
+            .is_empty());
+        c.on_event(&ConnEvent::Destroyed {
+            app: AppId(0),
+            src: servers[0],
+            dst: servers[1],
+            tag: 1,
+        });
+    }
+
     #[test]
     fn crash_while_idle_recovers_to_empty_state() {
         let topo = Topology::single_switch(2, 100.0);
@@ -553,8 +657,7 @@ mod tests {
         let topo = Topology::single_switch(4, 100.0);
         let servers = topo.servers().to_vec();
         let db = MappingDb::build(&table(), ControllerConfig::default().num_pls, 1);
-        let mut c =
-            ResilientController::distributed(ControllerConfig::default(), db, &topo, 2);
+        let mut c = ResilientController::distributed(ControllerConfig::default(), db, &topo, 2);
         c.register(AppId(0), "LR").unwrap();
         c.register(AppId(1), "Sort").unwrap();
         let full = c.on_event(&created(0, servers[0], servers[1], 1));
@@ -628,7 +731,12 @@ mod tests {
         assert!(json.contains("\"live_conns\":1"), "{json}");
         // Recovery wall clock lands only under a wall.-prefixed metric,
         // never in the trace.
-        assert_eq!(rec.registry.histogram("wall.recovery_micros").map(|h| h.count()), Some(1));
+        assert_eq!(
+            rec.registry
+                .histogram("wall.recovery_micros")
+                .map(|h| h.count()),
+            Some(1)
+        );
     }
 
     #[test]
@@ -636,8 +744,7 @@ mod tests {
         use saba_telemetry::{EventKind, Recorder, SharedRecorder};
         let topo = Topology::single_switch(4, 100.0);
         let db = MappingDb::build(&table(), ControllerConfig::default().num_pls, 1);
-        let mut c =
-            ResilientController::distributed(ControllerConfig::default(), db, &topo, 2);
+        let mut c = ResilientController::distributed(ControllerConfig::default(), db, &topo, 2);
         let rec = SharedRecorder::on(Recorder::default());
         c.set_sink(rec.clone());
         c.set_clock(1.0);

@@ -3,10 +3,10 @@
 //! The injector arms two timers per fault (injection and repair) in the
 //! simulation's own event queue, so faults interleave deterministically
 //! with flow completions and job timers. Network faults are applied to
-//! the [`Simulation`] directly (topology mutation + route re-convergence
-//! + flow reroute/park/resume); control-plane and RPC faults are
-//! returned to the caller as [`ControlAction`]s, because the controller
-//! and transport live outside the simulation core.
+//! the [`Simulation`] directly (topology mutation, route re-convergence,
+//! flow reroute/park/resume); control-plane and RPC faults are returned
+//! to the caller as [`ControlAction`]s, because the controller and
+//! transport live outside the simulation core.
 
 use crate::schedule::{FaultKind, FaultSchedule, FaultSpec};
 use saba_sim::engine::{FabricModel, FaultImpact, Simulation};
@@ -279,8 +279,14 @@ mod tests {
     #[test]
     fn cable_failure_reroutes_and_repair_is_observed() {
         // Cross-pod flow; fail the spine on its path mid-transfer so it
-        // must re-converge through the surviving spine.
-        let topo = Topology::spine_leaf(&SpineLeafConfig::tiny(2));
+        // must re-converge through the surviving spine. Links are slowed
+        // to 100 B/s so the 1000 B flow is still in flight when the
+        // fault fires at t = 1 (at the default 56 Gb/s it completes in
+        // microseconds and there is nothing left to reroute).
+        let topo = Topology::spine_leaf(&SpineLeafConfig {
+            link_capacity: 100.0,
+            ..SpineLeafConfig::tiny(2)
+        });
         let servers = topo.servers().to_vec();
         let mut sim = Simulation::new(topo, FairShareFabric::default());
         sim.start_flow(spec(servers[0], servers[7], 1000.0));

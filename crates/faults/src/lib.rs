@@ -28,6 +28,4 @@ pub mod transport;
 pub use control::{ResilienceStats, ResilientController};
 pub use injector::{ControlAction, FaultInjector, InjectorStats, FAULT_KEY_BASE};
 pub use schedule::{FaultKind, FaultSchedule, FaultSpec, ScheduleConfig};
-pub use transport::{
-    DedupServer, ReliableTransport, RetryPolicy, RpcFaultConfig, RpcStats,
-};
+pub use transport::{DedupServer, ReliableTransport, RetryPolicy, RpcFaultConfig, RpcStats};

@@ -235,7 +235,11 @@ impl FaultSchedule {
         if cfg.severity >= 2 {
             if !cables.is_empty() {
                 let link = cables[rng.gen_range(0..cables.len())];
-                push(&mut rng, &mut schedule.faults, FaultKind::FailCable { link });
+                push(
+                    &mut rng,
+                    &mut schedule.faults,
+                    FaultKind::FailCable { link },
+                );
             }
             push(&mut rng, &mut schedule.faults, FaultKind::CrashController);
         }
@@ -245,15 +249,27 @@ impl FaultSchedule {
         if cfg.severity >= 3 {
             if !switches.is_empty() {
                 let node = switches[rng.gen_range(0..switches.len())];
-                push(&mut rng, &mut schedule.faults, FaultKind::FailSwitch { node });
+                push(
+                    &mut rng,
+                    &mut schedule.faults,
+                    FaultKind::FailSwitch { node },
+                );
             }
             if cfg.num_shards > 1 {
                 let shard = rng.gen_range(0..cfg.num_shards);
-                push(&mut rng, &mut schedule.faults, FaultKind::CrashShard { shard });
+                push(
+                    &mut rng,
+                    &mut schedule.faults,
+                    FaultKind::CrashShard { shard },
+                );
             }
             if !cables.is_empty() {
                 let link = cables[rng.gen_range(0..cables.len())];
-                push(&mut rng, &mut schedule.faults, FaultKind::FailCable { link });
+                push(
+                    &mut rng,
+                    &mut schedule.faults,
+                    FaultKind::FailCable { link },
+                );
             }
             let link = LinkId(rng.gen_range(0..num_links) as u32);
             let fraction = rng.gen_range(0.25..0.6);

@@ -221,13 +221,13 @@ fn greedy_waterfill(problem: &WeightProblem, lo: f64, hi: f64, cap: f64) -> Vec<
     while remaining > unit * 0.5 && guard < 4 * UNITS {
         guard += 1;
         let mut best: Option<(usize, usize, f64)> = None; // (app, chunk, rate)
-        for i in 0..n {
-            let headroom = ((hi - w[i]) / unit).floor() as usize;
+        for (i, &wi) in w.iter().enumerate() {
+            let headroom = ((hi - wi) / unit).floor() as usize;
             let max_chunk = headroom.min((remaining / unit).ceil() as usize);
-            let cur = problem.value(i, w[i]);
+            let cur = problem.value(i, wi);
             let mut chunk = 1usize;
             while chunk <= max_chunk {
-                let gain = cur - problem.value(i, w[i] + chunk as f64 * unit);
+                let gain = cur - problem.value(i, wi + chunk as f64 * unit);
                 let rate = gain / chunk as f64;
                 if rate.is_finite() && best.as_ref().is_none_or(|&(_, _, r)| rate > r) {
                     best = Some((i, chunk, rate));
@@ -542,7 +542,7 @@ mod tests {
         project_capped_simplex(&mut v, 1.0, 0.01, 1.0);
         assert!(close(v.iter().sum::<f64>(), 1.0, 1e-9), "{v:?}");
         for &x in &v {
-            assert!(x >= 0.01 - 1e-12 && x <= 1.0 + 1e-12);
+            assert!((0.01 - 1e-12..=1.0 + 1e-12).contains(&x));
         }
     }
 

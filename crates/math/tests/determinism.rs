@@ -1,0 +1,103 @@
+//! Determinism and budget-clamping tests for the two clustering stages
+//! of §5.3: k-means over model coefficients (→ priority levels, §5.3.1)
+//! and the agglomerative dendrogram (→ per-port queues, §5.3.2). The
+//! controllers replay these under fixed seeds, so bit-identical output
+//! is a hard requirement, not a nicety.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use saba_math::{kmeans, Dendrogram, KMeansConfig};
+
+/// A seeded, scattered point cloud of sensitivity-coefficient vectors.
+fn coeff_cloud(n: usize, dim: usize, seed: u64) -> Vec<Vec<f64>> {
+    use rand::Rng;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-3.0..3.0)).collect())
+        .collect()
+}
+
+#[test]
+fn kmeans_is_bit_identical_under_a_fixed_seed() {
+    for seed in [0u64, 1, 0x5ABA] {
+        let points = coeff_cloud(40, 3, seed);
+        let cfg = KMeansConfig {
+            k: 6,
+            ..Default::default()
+        };
+        let run = |s: u64| kmeans(&points, &cfg, &mut ChaCha8Rng::seed_from_u64(s));
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a.assignments, b.assignments, "seed {seed}");
+        assert_eq!(a.centroids, b.centroids, "seed {seed}");
+        assert_eq!(a.iterations, b.iterations, "seed {seed}");
+        assert_eq!(a.inertia.to_bits(), b.inertia.to_bits(), "seed {seed}");
+    }
+}
+
+#[test]
+fn kmeans_respects_the_cluster_budget() {
+    let points = coeff_cloud(25, 3, 9);
+    for k in 1..=8 {
+        let cfg = KMeansConfig {
+            k,
+            ..Default::default()
+        };
+        let r = kmeans(&points, &cfg, &mut ChaCha8Rng::seed_from_u64(0));
+        assert!(
+            r.centroids.len() <= k,
+            "k={k}: {} centroids",
+            r.centroids.len()
+        );
+        assert_eq!(r.assignments.len(), points.len());
+        assert!(r.assignments.iter().all(|&a| a < r.centroids.len()));
+    }
+}
+
+#[test]
+fn dendrogram_build_is_deterministic() {
+    let points = coeff_cloud(12, 3, 4);
+    let a = Dendrogram::build(&points);
+    let b = Dendrogram::build(&points);
+    assert_eq!(a.merges(), b.merges());
+    for level in 1..=a.num_levels() {
+        assert_eq!(a.clusters_at_level(level), b.clusters_at_level(level));
+    }
+}
+
+/// §5.3.2: a port crossed by some subset of PLs must map them into at
+/// most Q queues, with every present PL landing in exactly one group.
+#[test]
+fn group_subset_clamps_to_the_queue_budget() {
+    let points = coeff_cloud(16, 3, 11);
+    let d = Dendrogram::build(&points);
+    let subsets: [&[usize]; 4] = [&[0], &[3, 7], &[0, 1, 2, 3, 4, 5, 6, 7], &[15, 2, 9, 4, 11]];
+    for subset in subsets {
+        for q in 1..=8usize {
+            let groups = d.group_subset(subset, q);
+            assert!(
+                groups.len() <= q.min(subset.len()),
+                "{subset:?} with budget {q}: {} groups",
+                groups.len()
+            );
+            let mut covered: Vec<usize> = groups.iter().flat_map(|g| g.leaves.clone()).collect();
+            covered.sort_unstable();
+            let mut want = subset.to_vec();
+            want.sort_unstable();
+            assert_eq!(covered, want, "groups must partition the present PLs");
+        }
+    }
+}
+
+/// The dendrogram never merges *fewer* clusters than the budget allows
+/// when it doesn't have to: with a generous budget the PLs stay apart
+/// (best level is the finest level satisfying the constraint).
+#[test]
+fn generous_budgets_keep_pls_separate() {
+    let points = coeff_cloud(6, 3, 13);
+    let d = Dendrogram::build(&points);
+    let all: Vec<usize> = (0..6).collect();
+    let groups = d.group_subset(&all, 6);
+    assert_eq!(groups.len(), 6, "budget ≥ |subset| must not merge");
+    assert_eq!(d.best_level(&all, 6), 1);
+}

@@ -97,6 +97,97 @@ proptest! {
         }
     }
 
+    /// KKT stationarity on strictly convex instances: at the optimum
+    /// there is one multiplier λ for the coupling constraint Σw = C —
+    /// every *interior* weight's marginal slowdown equals λ, weights
+    /// pinned at the lower bound have marginals ≥ λ, and weights pinned
+    /// at the upper bound have marginals ≤ λ. This is the textbook
+    /// optimality certificate for Eq. 2, checked from first principles
+    /// rather than by trusting the solver's own convergence flag.
+    #[test]
+    fn kkt_stationarity_on_convex_fits(
+        models in prop::collection::vec(arb_convex_model(), 2..12),
+        reg in 0.01f64..0.5,
+    ) {
+        let n = models.len();
+        let problem = WeightProblem {
+            balance_reg: reg,
+            ..WeightProblem::new(models, 1.0)
+        };
+        let (lo, hi) = (problem.min_weight, problem.max_weight);
+        let sol = minimize_weights(&problem).unwrap();
+        let mean = problem.capacity / n as f64;
+        let grad: Vec<f64> = problem
+            .models
+            .iter()
+            .zip(&sol.weights)
+            .map(|(m, &w)| m.eval_derivative(w) + 2.0 * reg * (w - mean))
+            .collect();
+        let edge = 1e-7;
+        let interior: Vec<f64> = sol
+            .weights
+            .iter()
+            .zip(&grad)
+            .filter(|&(&w, _)| w > lo + edge && w < hi - edge)
+            .map(|(_, &g)| g)
+            .collect();
+        if interior.is_empty() {
+            return Ok(());
+        }
+        let lambda = interior.iter().sum::<f64>() / interior.len() as f64;
+        // The solver polishes to its own gradient tolerance and then
+        // re-projects onto the capped simplex, which perturbs marginals
+        // by O(1e-3) on flat objectives — certify to that resolution.
+        let tol = 5e-3 * (1.0 + lambda.abs());
+        for &g in &interior {
+            prop_assert!((g - lambda).abs() <= tol, "interior marginal {g} vs λ {lambda}");
+        }
+        for (&w, &g) in sol.weights.iter().zip(&grad) {
+            if w <= lo + edge {
+                prop_assert!(g >= lambda - tol, "at lower bound: marginal {g} < λ {lambda}");
+            } else if w >= hi - edge {
+                prop_assert!(g <= lambda + tol, "at upper bound: marginal {g} > λ {lambda}");
+            }
+        }
+    }
+
+    /// Degenerate single-application port: the coupling constraint pins
+    /// the only weight at the full capacity, whatever the model, cap,
+    /// or regularizer.
+    #[test]
+    fn single_app_port_gets_everything(
+        model in arb_convex_model(),
+        cap_pct in 10u32..=100,
+        reg in 0.0f64..10.0,
+    ) {
+        let cap = cap_pct as f64 / 100.0;
+        let problem = WeightProblem {
+            balance_reg: reg,
+            ..WeightProblem::new(vec![model], cap)
+        };
+        let sol = minimize_weights(&problem).unwrap();
+        prop_assert_eq!(sol.weights.len(), 1);
+        prop_assert!((sol.weights[0] - cap).abs() < 1e-9, "{} != {cap}", sol.weights[0]);
+    }
+
+    /// Degenerate bounds: when `n·lo = C` the feasible set is a single
+    /// point and the solver must land on it exactly.
+    #[test]
+    fn pinned_bounds_leave_no_freedom(
+        models in prop::collection::vec(arb_convex_model(), 2..8),
+    ) {
+        let n = models.len();
+        let lo = 1.0 / n as f64;
+        let problem = WeightProblem {
+            min_weight: lo,
+            ..WeightProblem::new(models, 1.0)
+        };
+        let sol = minimize_weights(&problem).unwrap();
+        for &w in &sol.weights {
+            prop_assert!((w - lo).abs() < 1e-9, "{:?}", sol.weights);
+        }
+    }
+
     /// Domain floors never break determinism: same problem, same answer.
     #[test]
     fn solver_is_deterministic(

@@ -36,7 +36,9 @@
 use crate::ids::{AppId, FlowId, LinkId, NodeId, ServiceLevel};
 use crate::probe::LinkProbe;
 use crate::routing::Routes;
-use crate::sharing::{compute_rates_into, FlowSource, FlowView, FlowWeights, SharingConfig, SharingScratch};
+use crate::sharing::{
+    compute_rates_into, FlowSource, FlowView, FlowWeights, SharingConfig, SharingScratch,
+};
 use crate::topology::Topology;
 use saba_telemetry::{EventKind, NullSink, Registry, TelemetrySink};
 use std::cmp::Reverse;
@@ -579,7 +581,10 @@ impl<M: FabricModel, S: TelemetrySink> Simulation<M, S> {
                 continue;
             }
             let f = &self.active[i];
-            match self.routes.path(&self.topo, f.spec.src, f.spec.dst, f.spec.tag) {
+            match self
+                .routes
+                .path(&self.topo, f.spec.src, f.spec.dst, f.spec.tag)
+            {
                 Some(path) => {
                     impact.rerouted.push(f.id);
                     self.stats.flows_rerouted += 1;
@@ -598,7 +603,10 @@ impl<M: FabricModel, S: TelemetrySink> Simulation<M, S> {
         let mut j = 0;
         while j < self.parked.len() {
             let f = &self.parked[j];
-            match self.routes.path(&self.topo, f.spec.src, f.spec.dst, f.spec.tag) {
+            match self
+                .routes
+                .path(&self.topo, f.spec.src, f.spec.dst, f.spec.tag)
+            {
                 Some(path) => {
                     let mut f = self.parked.swap_remove(j);
                     f.path = path;
@@ -998,7 +1006,11 @@ mod tests {
         assert_eq!(impact.resumed, vec![id]);
         let done = sim.run_to_idle();
         assert_eq!(done.len(), 1);
-        assert!((done[0].finished - 15.0).abs() < 1e-6, "{}", done[0].finished);
+        assert!(
+            (done[0].finished - 15.0).abs() < 1e-6,
+            "{}",
+            done[0].finished
+        );
         assert_eq!(sim.stats().flows_parked, 1);
         assert_eq!(sim.stats().flows_resumed, 1);
     }
@@ -1040,7 +1052,11 @@ mod tests {
         let impact = sim.restore_link(nic);
         assert_eq!(impact.resumed, vec![id]);
         let done = sim.run_to_idle();
-        assert!((done[0].finished - 6.0).abs() < 1e-6, "{}", done[0].finished);
+        assert!(
+            (done[0].finished - 6.0).abs() < 1e-6,
+            "{}",
+            done[0].finished
+        );
     }
 
     #[test]
@@ -1115,7 +1131,12 @@ mod tests {
         // completion (it counts in `SimStats::allocations` too).
         assert_eq!(
             kinds,
-            vec!["flow_started", "epoch_allocated", "flow_completed", "epoch_allocated"]
+            vec![
+                "flow_started",
+                "epoch_allocated",
+                "flow_completed",
+                "epoch_allocated"
+            ]
         );
         let completed = trace
             .events()

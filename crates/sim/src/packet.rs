@@ -140,8 +140,9 @@ mod tests {
         let mut finish = vec![0.0; weights.len()];
         let mut now = 0.0;
         loop {
-            let active: Vec<usize> =
-                (0..weights.len()).filter(|&i| remaining[i] > 1e-9).collect();
+            let active: Vec<usize> = (0..weights.len())
+                .filter(|&i| remaining[i] > 1e-9)
+                .collect();
             if active.is_empty() {
                 break;
             }
@@ -180,8 +181,16 @@ mod tests {
             weights: vec![1.0],
         };
         let flows = vec![
-            PacketFlow { bytes: 3e6, queue: 0, arrival: 0.0 },
-            PacketFlow { bytes: 3e6, queue: 0, arrival: 0.0 },
+            PacketFlow {
+                bytes: 3e6,
+                queue: 0,
+                arrival: 0.0,
+            },
+            PacketFlow {
+                bytes: 3e6,
+                queue: 0,
+                arrival: 0.0,
+            },
         ];
         let packet = simulate_port(&port, &flows);
         let fluid = fluid_port(1e6, &[(3e6, 0.5), (3e6, 0.5)]);
@@ -201,8 +210,16 @@ mod tests {
             weights: vec![3.0, 1.0],
         };
         let flows = vec![
-            PacketFlow { bytes: 3e6, queue: 0, arrival: 0.0 },
-            PacketFlow { bytes: 3e6, queue: 1, arrival: 0.0 },
+            PacketFlow {
+                bytes: 3e6,
+                queue: 0,
+                arrival: 0.0,
+            },
+            PacketFlow {
+                bytes: 3e6,
+                queue: 1,
+                arrival: 0.0,
+            },
         ];
         let packet = simulate_port(&port, &flows);
         let fluid = fluid_port(1e6, &[(3e6, 3.0), (3e6, 1.0)]);
@@ -222,9 +239,21 @@ mod tests {
             weights: vec![2.0, 1.0],
         };
         let flows = vec![
-            PacketFlow { bytes: 1.5e6, queue: 0, arrival: 0.0 },
-            PacketFlow { bytes: 1.5e6, queue: 0, arrival: 0.0 },
-            PacketFlow { bytes: 1.5e6, queue: 1, arrival: 0.0 },
+            PacketFlow {
+                bytes: 1.5e6,
+                queue: 0,
+                arrival: 0.0,
+            },
+            PacketFlow {
+                bytes: 1.5e6,
+                queue: 0,
+                arrival: 0.0,
+            },
+            PacketFlow {
+                bytes: 1.5e6,
+                queue: 1,
+                arrival: 0.0,
+            },
         ];
         let packet = simulate_port(&port, &flows);
         let fluid = fluid_port(1e6, &[(1.5e6, 1.0), (1.5e6, 1.0), (1.5e6, 1.0)]);
@@ -244,8 +273,16 @@ mod tests {
             weights: vec![1.0, 1.0],
         };
         let flows = vec![
-            PacketFlow { bytes: 4e6, queue: 0, arrival: 0.0 },
-            PacketFlow { bytes: 1e6, queue: 1, arrival: 0.0 },
+            PacketFlow {
+                bytes: 4e6,
+                queue: 0,
+                arrival: 0.0,
+            },
+            PacketFlow {
+                bytes: 1e6,
+                queue: 1,
+                arrival: 0.0,
+            },
         ];
         let packet = simulate_port(&port, &flows);
         let fluid = fluid_port(1e6, &[(4e6, 1.0), (1e6, 1.0)]);
@@ -266,8 +303,16 @@ mod tests {
             weights: vec![1.0],
         };
         let flows = vec![
-            PacketFlow { bytes: 2e6, queue: 0, arrival: 0.0 },
-            PacketFlow { bytes: 1e6, queue: 0, arrival: 1.0 },
+            PacketFlow {
+                bytes: 2e6,
+                queue: 0,
+                arrival: 0.0,
+            },
+            PacketFlow {
+                bytes: 1e6,
+                queue: 0,
+                arrival: 1.0,
+            },
         ];
         let packet = simulate_port(&port, &flows);
         // Fluid: flow 0 alone for 1 s (1e6 done), then both at 0.5e6/s;
@@ -280,8 +325,16 @@ mod tests {
     #[test]
     fn smaller_packets_converge_to_fluid() {
         let flows = vec![
-            PacketFlow { bytes: 3e6, queue: 0, arrival: 0.0 },
-            PacketFlow { bytes: 1e6, queue: 1, arrival: 0.0 },
+            PacketFlow {
+                bytes: 3e6,
+                queue: 0,
+                arrival: 0.0,
+            },
+            PacketFlow {
+                bytes: 1e6,
+                queue: 1,
+                arrival: 0.0,
+            },
         ];
         let fluid = fluid_port(1e6, &[(3e6, 5.0), (1e6, 1.0)]);
         let err_at = |mtu: f64| -> f64 {
@@ -299,7 +352,10 @@ mod tests {
         };
         let coarse = err_at(64_000.0);
         let fine = err_at(1_500.0);
-        assert!(fine <= coarse + 1e-12, "finer packets must not diverge more");
+        assert!(
+            fine <= coarse + 1e-12,
+            "finer packets must not diverge more"
+        );
         assert!(fine < 0.02, "fine-grained error {fine}");
     }
 }

@@ -44,7 +44,10 @@ impl LinkProbe {
     /// Intervals may arrive in any order; bytes are spread across the
     /// buckets the interval overlaps.
     pub fn record(&mut self, t0: f64, t1: f64, rate: f64) {
-        if !(t1 > t0) || rate <= 0.0 || !rate.is_finite() {
+        if t1.partial_cmp(&t0) != Some(std::cmp::Ordering::Greater)
+            || rate <= 0.0
+            || !rate.is_finite()
+        {
             return;
         }
         let last_bucket = (t1 / self.bucket_width).ceil() as usize;
@@ -101,7 +104,10 @@ impl LinkProbe {
         for &bytes in &self.buckets {
             registry.observe(&name, bytes / self.bucket_width / capacity);
         }
-        registry.set_gauge(&format!("port.l{}.total_bytes", self.link.0), self.total_bytes());
+        registry.set_gauge(
+            &format!("port.l{}.total_bytes", self.link.0),
+            self.total_bytes(),
+        );
     }
 }
 

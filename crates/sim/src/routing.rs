@@ -329,9 +329,7 @@ mod tests {
         let s = t.servers().to_vec();
         // Fail one ToR→leaf uplink cable (both directions); ToRs have
         // two uplinks, so everything stays reachable.
-        let tor0 = t
-            .link(t.nic_link(s[0]))
-            .to;
+        let tor0 = t.link(t.nic_link(s[0])).to;
         let uplink = *t
             .out_links(tor0)
             .iter()

@@ -451,7 +451,10 @@ fn bundle_flows<F: FlowSource + ?Sized>(flows: &F, bundling: bool, scratch: &mut
         a.0.cmp(&b.0)
             .then_with(|| a.1.cmp(&b.1))
             .then_with(|| {
-                cmp_bundle_key(&flows.flow_view(a.2 as usize), &flows.flow_view(b.2 as usize))
+                cmp_bundle_key(
+                    &flows.flow_view(a.2 as usize),
+                    &flows.flow_view(b.2 as usize),
+                )
             })
             .then_with(|| a.2.cmp(&b.2))
     });
@@ -748,7 +751,7 @@ mod tests {
             flows.push(flow(&path, &w));
         }
         let rates = compute_rates(&caps, &flows, &cfg());
-        let mut load = vec![0.0; 10];
+        let mut load = [0.0; 10];
         for (f, &r) in flows.iter().zip(&rates) {
             assert!(r >= 0.0);
             for &l in &f.path {
@@ -833,7 +836,12 @@ mod tests {
 
     // --- scratch / view / bundling tests ---
 
-    fn rand_flows(count: usize, links: usize, distinct_paths: usize, seed: u64) -> Vec<SharingFlow> {
+    fn rand_flows(
+        count: usize,
+        links: usize,
+        distinct_paths: usize,
+        seed: u64,
+    ) -> Vec<SharingFlow> {
         let mut state = seed;
         let mut next = move || {
             state = state
@@ -923,7 +931,13 @@ mod tests {
         let from_owned = compute_rates(&caps, &flows, &cfg());
         let mut scratch = SharingScratch::default();
         let mut from_views = Vec::new();
-        compute_rates_into(&caps, views.as_slice(), &cfg(), &mut scratch, &mut from_views);
+        compute_rates_into(
+            &caps,
+            views.as_slice(),
+            &cfg(),
+            &mut scratch,
+            &mut from_views,
+        );
         assert_eq!(from_owned, from_views);
     }
 

@@ -399,7 +399,10 @@ impl Topology {
     ///
     /// Panics unless `k` is even and at least 2.
     pub fn fat_tree(k: usize, link_capacity: f64) -> Self {
-        assert!(k >= 2 && k % 2 == 0, "fat tree requires an even k >= 2");
+        assert!(
+            k >= 2 && k.is_multiple_of(2),
+            "fat tree requires an even k >= 2"
+        );
         let half = k / 2;
         let mut t = Self::new();
 

@@ -204,7 +204,10 @@ impl EventKind {
                 bytes,
                 parked,
             } => {
-                let _ = write!(out, ",\"flow\":{flow},\"app\":{app},\"src\":{src},\"dst\":{dst}");
+                let _ = write!(
+                    out,
+                    ",\"flow\":{flow},\"app\":{app},\"src\":{src},\"dst\":{dst}"
+                );
                 out.push_str(",\"bytes\":");
                 write_f64(*bytes, out);
                 let _ = write!(out, ",\"parked\":{parked}");
@@ -486,7 +489,10 @@ mod tests {
             EventKind::RpcDuplicate { id: 9 },
             EventKind::RpcDedup { id: 9 },
             EventKind::RpcExhausted { id: 9 },
-            EventKind::QueueReprogram { link: 33, queues: 3 },
+            EventKind::QueueReprogram {
+                link: 33,
+                queues: 3,
+            },
             EventKind::LibCall {
                 app: 2,
                 op: "conn_create".to_string(),

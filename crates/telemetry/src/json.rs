@@ -324,7 +324,10 @@ mod tests {
         let v = JsonValue::obj(vec![
             ("b", JsonValue::Num(2.0)),
             ("a", JsonValue::Str("x\"y\\z".to_string())),
-            ("c", JsonValue::Arr(vec![JsonValue::Bool(true), JsonValue::Null])),
+            (
+                "c",
+                JsonValue::Arr(vec![JsonValue::Bool(true), JsonValue::Null]),
+            ),
         ]);
         let text = v.to_json();
         assert_eq!(text, "{\"b\":2,\"a\":\"x\\\"y\\\\z\",\"c\":[true,null]}");
@@ -335,10 +338,10 @@ mod tests {
     fn parser_accepts_whitespace_and_exponents() {
         let v = parse(" { \"x\" : 1.5e-3 , \"y\" : [ 1 , 2 ] } ").unwrap();
         assert_eq!(v.get("x").unwrap().as_f64().unwrap(), 1.5e-3);
-        assert_eq!(v.get("y").unwrap(), &JsonValue::Arr(vec![
-            JsonValue::Num(1.0),
-            JsonValue::Num(2.0),
-        ]));
+        assert_eq!(
+            v.get("y").unwrap(),
+            &JsonValue::Arr(vec![JsonValue::Num(1.0), JsonValue::Num(2.0),])
+        );
     }
 
     #[test]

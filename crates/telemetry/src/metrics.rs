@@ -39,13 +39,19 @@ impl Registry {
 
     /// Records a sample into the named histogram.
     pub fn observe(&mut self, name: &str, value: f64) {
-        self.histograms.entry(name.to_string()).or_default().record(value);
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
     }
 
     /// Merges a whole histogram into the named slot (used to absorb
     /// histograms kept by components, e.g. controller solve timing).
     pub fn merge_histogram(&mut self, name: &str, hist: &Histogram) {
-        self.histograms.entry(name.to_string()).or_default().merge(hist);
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .merge(hist);
     }
 
     /// Reads a counter (0 when absent).
@@ -166,8 +172,14 @@ mod tests {
         let text = r.to_json();
         assert_eq!(text, r.to_json());
         let v = json::parse(&text).unwrap();
-        assert_eq!(v.get("counters").unwrap().get("a").unwrap().as_u64(), Some(2));
-        assert_eq!(v.get("gauges").unwrap().get("g").unwrap().as_f64(), Some(0.25));
+        assert_eq!(
+            v.get("counters").unwrap().get("a").unwrap().as_u64(),
+            Some(2)
+        );
+        assert_eq!(
+            v.get("gauges").unwrap().get("g").unwrap().as_f64(),
+            Some(0.25)
+        );
         let h = v.get("histograms").unwrap().get("h").unwrap();
         assert_eq!(h.get("count").unwrap().as_u64(), Some(1));
         assert_eq!(h.get("max").unwrap().as_f64(), Some(1.0));

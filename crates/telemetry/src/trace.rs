@@ -95,7 +95,14 @@ impl Tracer {
     pub fn to_csv(&self) -> String {
         let mut out = String::from("seq,t,kind,detail\n");
         for ev in &self.events {
-            let _ = writeln!(out, "{},{},{},{}", ev.seq, ev.t, ev.kind.name(), ev.kind.detail());
+            let _ = writeln!(
+                out,
+                "{},{},{},{}",
+                ev.seq,
+                ev.t,
+                ev.kind.name(),
+                ev.kind.detail()
+            );
         }
         out
     }
@@ -164,7 +171,13 @@ mod tests {
     fn jsonl_export_validates() {
         let mut t = Tracer::new(16);
         t.push(0.0, EventKind::RpcCall { id: 1 });
-        t.push(0.5, EventKind::EpochAllocated { flows: 2, bundles: 1 });
+        t.push(
+            0.5,
+            EventKind::EpochAllocated {
+                flows: 2,
+                bundles: 1,
+            },
+        );
         let text = t.to_jsonl();
         assert_eq!(validate_jsonl(&text).unwrap(), 2);
     }

@@ -23,7 +23,7 @@ pub fn utilization_series(busy: &[(f64, f64)], bucket_width: f64, horizon: f64) 
     let n = (horizon / bucket_width).ceil() as usize;
     let mut out = vec![0.0; n];
     for &(t0, t1) in busy {
-        if !(t1 > t0) {
+        if t1.partial_cmp(&t0) != Some(std::cmp::Ordering::Greater) {
             continue;
         }
         let mut t = t0.max(0.0);

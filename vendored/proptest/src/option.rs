@@ -1,0 +1,25 @@
+//! Option strategies (`of`).
+
+use crate::runner::TestRng;
+use crate::strategy::Strategy;
+use rand::Rng as _;
+
+/// Strategy producing `Option<T>` (`None` with probability 1/4, as a
+/// rough match of upstream's default).
+pub struct OptionStrategy<S>(S);
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.gen_range(0..4usize) == 0 {
+            None
+        } else {
+            Some(self.0.generate(rng))
+        }
+    }
+}
+
+/// Wraps a strategy to sometimes produce `None`.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy(inner)
+}

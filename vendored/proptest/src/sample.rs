@@ -1,0 +1,22 @@
+//! Sampling strategies (`select`).
+
+use crate::runner::TestRng;
+use crate::strategy::Strategy;
+use rand::Rng as _;
+use std::fmt::Debug;
+
+/// Uniform choice from a fixed list.
+pub struct Select<T>(Vec<T>);
+
+impl<T: Clone + Debug> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0[rng.gen_range(0..self.0.len())].clone()
+    }
+}
+
+/// Selects uniformly from `options` (must be non-empty).
+pub fn select<T: Clone + Debug>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select: empty options");
+    Select(options)
+}

@@ -1,0 +1,93 @@
+//! Char-class regex string strategies.
+//!
+//! Supports the pattern subset the workspace tests use: one character
+//! class (`[a-z0-9 _-]`, trailing `-` literal, `[ -~]` ranges) with a
+//! `{min,max}` repetition. Anything else panics with a clear message.
+
+use crate::runner::TestRng;
+use rand::Rng as _;
+
+fn parse_class(pattern: &str) -> (Vec<(char, char)>, &str) {
+    let rest = pattern.strip_prefix('[').unwrap_or_else(|| {
+        panic!("unsupported regex strategy `{pattern}`: expected `[class]{{m,n}}`")
+    });
+    let close = rest
+        .find(']')
+        .unwrap_or_else(|| panic!("unsupported regex strategy `{pattern}`: unterminated class"));
+    let class: Vec<char> = rest[..close].chars().collect();
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            ranges.push((class[i], class[i + 2]));
+            i += 3;
+        } else {
+            // Literal char (including a trailing `-`).
+            ranges.push((class[i], class[i]));
+            i += 1;
+        }
+    }
+    (ranges, &rest[close + 1..])
+}
+
+fn parse_reps(rest: &str, pattern: &str) -> (usize, usize) {
+    let inner = rest
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .unwrap_or_else(|| panic!("unsupported regex strategy `{pattern}`: expected `{{m,n}}`"));
+    let (lo, hi) = inner
+        .split_once(',')
+        .unwrap_or_else(|| panic!("unsupported regex strategy `{pattern}`: expected `{{m,n}}`"));
+    (
+        lo.trim().parse().expect("bad repetition lower bound"),
+        hi.trim().parse().expect("bad repetition upper bound"),
+    )
+}
+
+/// Generates a string matching the supported pattern subset.
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let (ranges, rest) = parse_class(pattern);
+    let (min, max) = parse_reps(rest, pattern);
+    let len = if min == max {
+        min
+    } else {
+        rng.gen_range(min..=max)
+    };
+    let total: u32 = ranges
+        .iter()
+        .map(|(a, b)| (*b as u32).saturating_sub(*a as u32) + 1)
+        .sum();
+    (0..len)
+        .map(|_| {
+            let mut pick = rng.gen_range(0..total);
+            for (a, b) in &ranges {
+                let span = (*b as u32) - (*a as u32) + 1;
+                if pick < span {
+                    return char::from_u32(*a as u32 + pick).expect("valid char");
+                }
+                pick -= span;
+            }
+            unreachable!("pick in range")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generated_strings_match_their_class() {
+        let mut rng = TestRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let s = generate_from_pattern("[a-zA-Z0-9 _-]{0,40}", &mut rng);
+            assert!(s.len() <= 40);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == ' ' || c == '_' || c == '-'));
+            let t = generate_from_pattern("[ -~]{0,60}", &mut rng);
+            assert!(t.len() <= 60 && t.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Standard and uniform-range sampling, algorithm-compatible with
+//! `rand 0.8` so seeded streams reproduce upstream values.
+
+use crate::RngCore;
+use std::ops::{Range, RangeInclusive};
+
+/// Types samplable from the "standard" distribution (`rng.gen()`).
+pub trait StandardDist: Sized {
+    /// Samples one value.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardDist for u8 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as u8
+    }
+}
+impl StandardDist for u16 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as u16
+    }
+}
+impl StandardDist for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+impl StandardDist for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+impl StandardDist for usize {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+impl StandardDist for i32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as i32
+    }
+}
+impl StandardDist for i64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+impl StandardDist for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // rand 0.8: compare one u32 against 2^31.
+        rng.next_u32() < (1 << 31)
+    }
+}
+impl StandardDist for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53-bit mantissa scaling, as in rand 0.8's Standard.
+        let x = rng.next_u64() >> 11;
+        x as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+impl StandardDist for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let x = rng.next_u32() >> 8;
+        x as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Widening multiply returning `(hi, lo)`.
+trait WideningMul: Copy {
+    fn wmul(self, other: Self) -> (Self, Self);
+}
+impl WideningMul for u32 {
+    fn wmul(self, other: Self) -> (Self, Self) {
+        let p = self as u64 * other as u64;
+        ((p >> 32) as u32, p as u32)
+    }
+}
+impl WideningMul for u64 {
+    fn wmul(self, other: Self) -> (Self, Self) {
+        let p = self as u128 * other as u128;
+        ((p >> 64) as u64, p as u64)
+    }
+}
+
+/// Types uniform-samplable from a half-open or inclusive range.
+///
+/// Mirrors rand 0.8's `SampleUniform`; keeping `SampleRange` a single
+/// blanket impl over this trait (rather than one impl per concrete
+/// range type) is what lets unsuffixed float/int literals in
+/// `gen_range(0.1..0.9)` fall back to f64/i32 during inference.
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Samples from `[low, high)`.
+    fn sample_range<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+    /// Samples from `[low, high]`.
+    fn sample_range_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+macro_rules! uniform_int_impl {
+    ($ty:ty, $unsigned:ty, $large:ty, $next:ident) => {
+        impl SampleUniform for $ty {
+            fn sample_range<R: RngCore + ?Sized>(low: $ty, high: $ty, rng: &mut R) -> $ty {
+                assert!(low < high, "gen_range: empty range");
+                let range = high.wrapping_sub(low) as $unsigned as $large;
+                // rand 0.8 UniformInt::sample_single zone.
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v: $large = rng.$next() as $large;
+                    let (hi, lo) = v.wmul(range);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+
+            fn sample_range_inclusive<R: RngCore + ?Sized>(
+                low: $ty,
+                high: $ty,
+                rng: &mut R,
+            ) -> $ty {
+                assert!(low <= high, "gen_range: empty range");
+                let range = high.wrapping_sub(low).wrapping_add(1) as $unsigned as $large;
+                if range == 0 {
+                    // Full integer range.
+                    return rng.$next() as $ty;
+                }
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v: $large = rng.$next() as $large;
+                    let (hi, lo) = v.wmul(range);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    };
+}
+
+uniform_int_impl!(u32, u32, u32, next_u32);
+uniform_int_impl!(i32, u32, u32, next_u32);
+uniform_int_impl!(u64, u64, u64, next_u64);
+uniform_int_impl!(i64, u64, u64, next_u64);
+uniform_int_impl!(usize, usize, u64, next_u64);
+uniform_int_impl!(u16, u16, u32, next_u32);
+uniform_int_impl!(u8, u8, u32, next_u32);
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(low: f64, high: f64, rng: &mut R) -> f64 {
+        assert!(low < high, "gen_range: empty range");
+        assert!(
+            low.is_finite() && high.is_finite(),
+            "gen_range: non-finite bound"
+        );
+        // rand 0.8 UniformFloat::sample_single: value1_2 ∈ [1, 2) from
+        // 52 mantissa bits, result = value1_2 * scale + offset.
+        let scale = high - low;
+        let offset = low - scale;
+        let value1_2 = f64::from_bits(0x3FF0_0000_0000_0000 | (rng.next_u64() >> 12));
+        value1_2 * scale + offset
+    }
+
+    fn sample_range_inclusive<R: RngCore + ?Sized>(low: f64, high: f64, rng: &mut R) -> f64 {
+        assert!(low <= high, "gen_range: empty range");
+        if low == high {
+            return low;
+        }
+        f64::sample_range(low, high, rng)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_range<R: RngCore + ?Sized>(low: f32, high: f32, rng: &mut R) -> f32 {
+        assert!(low < high, "gen_range: empty range");
+        let scale = high - low;
+        let offset = low - scale;
+        let value1_2 = f32::from_bits(0x3F80_0000 | (rng.next_u32() >> 9));
+        value1_2 * scale + offset
+    }
+
+    fn sample_range_inclusive<R: RngCore + ?Sized>(low: f32, high: f32, rng: &mut R) -> f32 {
+        assert!(low <= high, "gen_range: empty range");
+        if low == high {
+            return low;
+        }
+        f32::sample_range(low, high, rng)
+    }
+}
+
+/// A range usable with `Rng::gen_range`.
+pub trait SampleRange<T> {
+    /// Samples one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+/// Fisher–Yates index sampling, as in rand 0.8's `gen_index`.
+pub(crate) fn gen_index<R: RngCore + ?Sized>(rng: &mut R, ubound: usize) -> usize {
+    if ubound <= u32::MAX as usize {
+        (0..ubound as u32).sample_single(rng) as usize
+    } else {
+        (0..ubound).sample_single(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: usize = rng.gen_range(0..17);
+            assert!(x < 17);
+            let y: f64 = rng.gen_range(0.25..0.6);
+            assert!((0.25..0.6).contains(&y));
+            let z: u32 = rng.gen_range(50u32..=100);
+            assert!((50..=100).contains(&z));
+        }
+    }
+
+    #[test]
+    fn standard_f64_is_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build container has no network access and no registry cache, so
+//! the workspace vendors a minimal, stream-compatible subset of
+//! `rand 0.8`: the `Rng`/`RngCore`/`SeedableRng` traits, `StdRng`
+//! (ChaCha12, as in rand 0.8), uniform range sampling with the same
+//! widening-multiply rejection algorithm, the `Standard` float
+//! conversion (53-bit mantissa scaling), `seed_from_u64` seed expansion
+//! (PCG32 stream, same constants), and `SliceRandom::shuffle` /
+//! `choose`. Identical seeds therefore reproduce the streams the
+//! checked-in golden artifacts were generated with.
+
+#![forbid(unsafe_code)]
+// Vendored stand-in: linted to build cleanly, not to satisfy every
+// style lint the real upstream would.
+#![allow(clippy::all)]
+#![allow(dead_code, unused_imports)]
+
+pub mod chacha;
+pub mod distributions;
+pub mod rngs;
+pub mod seq;
+
+/// Low-level random number generation: raw word output.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut i = 0;
+        while i < dest.len() {
+            let word = self.next_u32().to_le_bytes();
+            let n = (dest.len() - i).min(4);
+            dest[i..i + n].copy_from_slice(&word[..n]);
+            i += n;
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A seedable RNG, with the rand_core 0.6 `seed_from_u64` expansion.
+pub trait SeedableRng: Sized {
+    /// The seed type (a byte array).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Creates an RNG from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates an RNG from a `u64`, expanding it with the same PCG32
+    /// stream rand_core 0.6 uses, so seeded streams match upstream.
+    fn seed_from_u64(mut state: u64) -> Self {
+        // rand_core 0.6: PCG32 with fixed increment, one u32 per step.
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// High-level sampling methods, generic over the output type.
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from the standard distribution.
+    fn gen<T: distributions::StandardDist>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Samples uniformly from a range (`low..high` or `low..=high`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+        R: distributions::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        self.gen::<f64>() < p
+    }
+
+    /// Fills a byte slice with random data.
+    fn fill(&mut self, dest: &mut [u8])
+    where
+        Self: Sized,
+    {
+        self.fill_bytes(dest);
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+pub use distributions::{SampleRange, StandardDist};
+pub use seq::SliceRandom;

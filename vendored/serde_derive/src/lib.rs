@@ -1,0 +1,491 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Parses the item with a hand-rolled token walker (the container has
+//! no `syn`/`quote`) and generates `serde::Serialize` /
+//! `serde::Deserialize` impls over the owned value model. Supported
+//! shapes — exactly what the Saba crates derive:
+//!
+//! - structs with named fields (plus `#[serde(default)]` and
+//!   `#[serde(default = "path")]` field attributes),
+//! - tuple structs (one field → transparent newtype, else array),
+//! - enums with unit, newtype, tuple, and struct variants
+//!   (externally tagged, like real serde's default representation).
+//!
+//! Generics are not supported and fail with a clear compile error.
+
+// Vendored stand-in: linted to build cleanly, not to satisfy every
+// style lint the real upstream would.
+#![allow(clippy::all)]
+#![allow(dead_code, unused_imports)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    /// `None` = required; `Some(None)` = `Default::default()`;
+    /// `Some(Some(path))` = call `path()`.
+    default: Option<Option<String>>,
+}
+
+enum VariantFields {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum ItemKind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+// ---------------------------------------------------------------- parsing
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            toks: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == ch {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if let Some(TokenTree::Ident(i)) = self.peek() {
+            if i.to_string() == word {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde derive: expected identifier, got {other:?}"),
+        }
+    }
+
+    /// Skips `#[...]` attributes, returning the field default spec if a
+    /// `#[serde(default)]` / `#[serde(default = "path")]` is present.
+    fn skip_attrs(&mut self) -> Option<Option<String>> {
+        let mut default = None;
+        while self.eat_punct('#') {
+            match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    if let Some(TokenTree::Ident(head)) = inner.first() {
+                        if head.to_string() == "serde" {
+                            if let Some(TokenTree::Group(args)) = inner.get(1) {
+                                default = parse_serde_args(args.stream()).or(default);
+                            }
+                        }
+                    }
+                }
+                other => panic!("serde derive: malformed attribute: {other:?}"),
+            }
+        }
+        default
+    }
+
+    /// Skips a visibility qualifier (`pub`, `pub(crate)`, …).
+    fn skip_vis(&mut self) {
+        if self.eat_ident("pub") {
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    /// Skips a type expression up to a top-level comma (or the end).
+    fn skip_type(&mut self) {
+        let mut angle: i32 = 0;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => return,
+                _ => {}
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+/// Parses the inside of `#[serde(...)]`, returning the default spec.
+fn parse_serde_args(ts: TokenStream) -> Option<Option<String>> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0;
+    while i < toks.len() {
+        if let TokenTree::Ident(id) = &toks[i] {
+            if id.to_string() == "default" {
+                if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                    (toks.get(i + 1), toks.get(i + 2))
+                {
+                    if eq.as_char() == '=' {
+                        let raw = lit.to_string();
+                        let path = raw.trim_matches('"').to_string();
+                        return Some(Some(path));
+                    }
+                }
+                return Some(None);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+fn parse_named_fields(ts: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(ts);
+    let mut out = Vec::new();
+    while c.peek().is_some() {
+        let default = c.skip_attrs();
+        if c.peek().is_none() {
+            break;
+        }
+        c.skip_vis();
+        let name = c.expect_ident();
+        assert!(
+            c.eat_punct(':'),
+            "serde derive: expected `:` after field `{name}`"
+        );
+        c.skip_type();
+        c.eat_punct(',');
+        out.push(Field { name, default });
+    }
+    out
+}
+
+/// Counts top-level comma-separated entries in a tuple field list.
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut angle: i32 = 0;
+    let mut count = 1;
+    let mut saw_trailing_comma = false;
+    for (i, t) in toks.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                if i + 1 == toks.len() {
+                    saw_trailing_comma = true;
+                } else {
+                    count += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    let _ = saw_trailing_comma;
+    count
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(ts);
+    let mut out = Vec::new();
+    while c.peek().is_some() {
+        c.skip_attrs();
+        if c.peek().is_none() {
+            break;
+        }
+        let name = c.expect_ident();
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                c.pos += 1;
+                VariantFields::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                c.pos += 1;
+                VariantFields::Tuple(n)
+            }
+            _ => VariantFields::Unit,
+        };
+        c.eat_punct(',');
+        out.push(Variant { name, fields });
+    }
+    out
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    c.skip_attrs();
+    c.skip_vis();
+    let kind_word = c.expect_ident();
+    let name = c.expect_ident();
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        assert!(
+            p.as_char() != '<',
+            "serde derive (vendored): generic types are not supported; write manual impls for `{name}`"
+        );
+    }
+    let kind = match kind_word.as_str() {
+        "struct" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => ItemKind::Unit,
+            other => panic!("serde derive: unexpected struct body: {other:?}"),
+        },
+        "enum" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde derive: unexpected enum body: {other:?}"),
+        },
+        other => panic!("serde derive: unsupported item kind `{other}`"),
+    };
+    Item { name, kind }
+}
+
+// --------------------------------------------------------------- codegen
+
+fn ser_named_fields(fields: &[Field], access: &str) -> String {
+    let mut pushes = String::new();
+    for f in fields {
+        let n = &f.name;
+        pushes.push_str(&format!(
+            "(\"{n}\".to_string(), serde::Serialize::to_value({access}{n})),"
+        ));
+    }
+    format!("serde::value::Value::Map(vec![{pushes}])")
+}
+
+fn de_named_fields(fields: &[Field], ty: &str, ctor: &str) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        let n = &f.name;
+        let missing = match &f.default {
+            None => format!("return Err(serde::DeError::new(\"{ty}: missing field `{n}`\"))"),
+            Some(None) => "Default::default()".to_string(),
+            Some(Some(path)) => format!("{path}()"),
+        };
+        inits.push_str(&format!(
+            "{n}: match serde::value::get(m, \"{n}\") {{ \
+                Some(x) => serde::Deserialize::from_value(x).map_err(|e| \
+                    serde::DeError::new(format!(\"{ty}.{n}: {{}}\", e)))?, \
+                None => {missing}, \
+            }},"
+        ));
+    }
+    format!(
+        "let m = v.as_map().ok_or_else(|| serde::DeError::new(\
+            format!(\"{ty}: expected object, got {{}}\", v.kind())))?; \
+         Ok({ctor} {{ {inits} }})"
+    )
+}
+
+fn generate_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => ser_named_fields(fields, "&self."),
+        ItemKind::TupleStruct(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+        ItemKind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("serde::value::Value::Seq(vec![{}])", items.join(","))
+        }
+        ItemKind::Unit => "serde::value::Value::Null".to_string(),
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => serde::value::Value::Str(\"{vn}\".to_string()),"
+                    )),
+                    VariantFields::Named(fields) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let inner = ser_named_fields(fields, "");
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => serde::value::Value::Map(vec![(\
+                                \"{vn}\".to_string(), {inner})]),",
+                            binds.join(",")
+                        ));
+                    }
+                    VariantFields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(f0) => serde::value::Value::Map(vec![(\
+                            \"{vn}\".to_string(), serde::Serialize::to_value(f0))]),"
+                    )),
+                    VariantFields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("serde::Serialize::to_value(f{i})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => serde::value::Value::Map(vec![(\
+                                \"{vn}\".to_string(), serde::value::Value::Seq(vec![{}]))]),",
+                            binds.join(","),
+                            items.join(",")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{ \
+            fn to_value(&self) -> serde::value::Value {{ {body} }} \
+        }}"
+    )
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => de_named_fields(fields, name, name),
+        ItemKind::TupleStruct(1) => format!(
+            "Ok({name}(serde::Deserialize::from_value(v).map_err(|e| \
+                serde::DeError::new(format!(\"{name}: {{}}\", e)))?))"
+        ),
+        ItemKind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "match v {{ \
+                    serde::value::Value::Seq(items) if items.len() == {n} => \
+                        Ok({name}({})), \
+                    _ => Err(serde::DeError::new(\"{name}: expected array of {n}\")), \
+                }}",
+                items.join(",")
+            )
+        }
+        ItemKind::Unit => format!("{{ let _ = v; Ok({name}) }}"),
+        ItemKind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),"));
+                    }
+                    VariantFields::Named(fields) => {
+                        let inner = de_named_fields(
+                            fields,
+                            &format!("{name}::{vn}"),
+                            &format!("{name}::{vn}"),
+                        );
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{ let v = inner; {inner_code} }},",
+                            inner_code = inner
+                        ));
+                    }
+                    VariantFields::Tuple(1) => {
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => Ok({name}::{vn}(serde::Deserialize::from_value(inner)\
+                                .map_err(|e| serde::DeError::new(format!(\"{name}::{vn}: {{}}\", e)))?)),"
+                        ));
+                    }
+                    VariantFields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => match inner {{ \
+                                serde::value::Value::Seq(items) if items.len() == {n} => \
+                                    Ok({name}::{vn}({})), \
+                                _ => Err(serde::DeError::new(\"{name}::{vn}: expected array of {n}\")), \
+                            }},",
+                            items.join(",")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{ \
+                    serde::value::Value::Str(s) => match s.as_str() {{ \
+                        {unit_arms} \
+                        other => Err(serde::DeError::new(format!(\
+                            \"{name}: unknown variant `{{}}`\", other))), \
+                    }}, \
+                    serde::value::Value::Map(pairs) if pairs.len() == 1 => {{ \
+                        let (tag, inner) = &pairs[0]; \
+                        match tag.as_str() {{ \
+                            {data_arms} \
+                            other => Err(serde::DeError::new(format!(\
+                                \"{name}: unknown variant `{{}}`\", other))), \
+                        }} \
+                    }}, \
+                    other => Err(serde::DeError::new(format!(\
+                        \"{name}: expected variant string or single-key object, got {{}}\", \
+                        other.kind()))), \
+                }}"
+            )
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{ \
+            fn from_value(v: &serde::value::Value) -> Result<Self, serde::DeError> {{ {body} }} \
+        }}"
+    )
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_serialize(&item)
+        .parse()
+        .expect("serde derive: generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_deserialize(&item)
+        .parse()
+        .expect("serde derive: generated Deserialize impl must parse")
+}
