@@ -1,0 +1,42 @@
+//! Criterion benchmark of epoch latency under connection churn on the
+//! §8.1 spine-leaf fabric (1,944 servers): incremental event handling
+//! at 1 %/10 %/100 % churn versus the from-scratch full recompute.
+//!
+//! The vendored criterion shim has no batched-setup API, so each
+//! iteration pays its controller clone/build inside the timed body —
+//! the same fixed cost on both sides. `src/bin/churn.rs` runs the same
+//! scenarios standalone with setup excluded and an incremental-vs-
+//! scratch cross-check; its minima feed the `BENCH_allocation.json`
+//! churn rows, while this bench keeps the scenarios under criterion
+//! regression tracking wherever `cargo bench` is available.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use saba_bench::churn::{apply_ops, ChurnBench};
+
+const CONNS: usize = 1000;
+
+fn bench_churn_epochs(c: &mut Criterion) {
+    let mut bench = ChurnBench::new(CONNS, 1);
+    let warm = bench.warm_controller();
+
+    let mut group = c.benchmark_group("churn_epoch");
+    for &(label, fraction) in &[("1pct", 0.01), ("10pct", 0.10), ("100pct", 1.00)] {
+        let (ops, post) = bench.plan(fraction, 7);
+        group.bench_with_input(BenchmarkId::new("incremental", label), &ops, |b, ops| {
+            b.iter(|| {
+                let mut ctl = warm.clone();
+                apply_ops(&mut ctl, ops)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("from_scratch", label), &post, |b, post| {
+            b.iter(|| {
+                let mut ctl = bench.cold_controller(post);
+                ctl.recompute_all().len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_churn_epochs);
+criterion_main!(benches);

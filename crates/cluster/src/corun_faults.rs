@@ -296,6 +296,16 @@ pub fn execute_with_faults_traced(
         recorder
             .registry
             .merge_histogram("wall.controller_solve_secs", &c.borrow().solve_histogram());
+        let e = c.borrow().epoch_counters();
+        recorder
+            .registry
+            .inc("controller.ports_dirty", e.ports_dirty);
+        recorder
+            .registry
+            .inc("controller.solves_skipped", e.solves_skipped);
+        recorder
+            .registry
+            .inc("controller.queue_updates_diffed", e.queue_updates_diffed);
     }
     Ok((outcome, recorder))
 }
@@ -562,6 +572,7 @@ mod tests {
         assert_eq!(count("controller_recover"), 1);
         assert!(count("epoch_allocated") > 0);
         assert!(count("queue_reprogram") > 0);
+        assert!(count("epoch_scope") > 0, "controller epochs are scoped");
         assert!(count("conn_created") > 0);
         assert_eq!(count("job_completed"), 2);
         assert_eq!(rec.flight.snapshots().len(), 1, "one crash snapshot");
@@ -589,6 +600,11 @@ mod tests {
             .registry
             .histogram("wall.controller_solve_secs")
             .is_some());
+        // The incremental-epoch counters land in the registry: every
+        // epoch visits at least its dirty ports, and on this churn-free
+        // single-connection-per-port workload the diff suppresses the
+        // occasional no-op reprogram.
+        assert!(rec.registry.counter("controller.ports_dirty") > 0);
     }
 
     #[test]

@@ -22,6 +22,7 @@ use saba_conformance::differential::{
     baseline_fixtures, bundled_vs_unbundled, central_vs_distributed,
 };
 use saba_conformance::golden;
+use saba_conformance::incremental::{incremental_vs_scratch, ChurnScript};
 use saba_conformance::oracles::{
     check_against_reference, check_model_monotonicity, check_replay, check_seeded_queue_map,
 };
@@ -35,18 +36,21 @@ struct Profile {
     flow_sets: u64,
     engines: u64,
     controls: u64,
+    incremental: u64,
 }
 
 const SMOKE: Profile = Profile {
     flow_sets: 500,
     engines: 60,
     controls: 48,
+    incremental: 500,
 };
 
 const LONG: Profile = Profile {
     flow_sets: 5000,
     engines: 600,
     controls: 480,
+    incremental: 5000,
 };
 
 fn main() -> ExitCode {
@@ -155,13 +159,29 @@ fn main() -> ExitCode {
         scenarios += 1;
     }
 
-    // 4. Baselines against hand-solved fixtures.
+    // 4. Incremental vs from-scratch epochs: after every event of a
+    //    seeded churn script, the switch state accumulated from the
+    //    incremental controllers' diffed updates must match a
+    //    from-scratch recompute (both flavours).
+    println!(
+        "incremental vs scratch: {} seeded churn scripts",
+        profile.incremental
+    );
+    for seed in seed_start..seed_start + profile.incremental {
+        let sc = ChurnScript::generate(seed);
+        if let Err(e) = incremental_vs_scratch(&sc) {
+            return fail("incremental-vs-scratch", format!("seed {seed}: {e}"));
+        }
+        scenarios += 1;
+    }
+
+    // 5. Baselines against hand-solved fixtures.
     println!("baseline fixtures");
     if let Err(e) = baseline_fixtures() {
         return fail("baseline-fixtures", e);
     }
 
-    // 5. Golden CSVs of the figure pipelines.
+    // 6. Golden CSVs of the figure pipelines.
     println!("golden CSVs");
     if let Err(e) = golden::check_goldens() {
         return fail("golden", e);

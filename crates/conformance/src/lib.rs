@@ -13,6 +13,7 @@
 
 pub mod differential;
 pub mod golden;
+pub mod incremental;
 pub mod oracles;
 pub mod reference;
 pub mod scenario;

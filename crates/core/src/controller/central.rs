@@ -13,14 +13,15 @@
 
 use crate::controller::plmap::PlAssigner;
 use crate::controller::queuemap::QueueMapper;
-use crate::controller::weights::port_weights_protected;
-use crate::controller::{ControllerConfig, ControllerError, SwitchUpdate};
+use crate::controller::weights::{port_weights_from_surrogates, ModelSurrogate};
+use crate::controller::{ControllerConfig, ControllerError, EpochInfo, SwitchUpdate};
 use crate::fabric::PortQueueConfig;
-use crate::sensitivity::{SensitivityModel, SensitivityTable};
+use crate::sensitivity::SensitivityTable;
+use saba_math::SolveScratch;
 use saba_sim::ids::{AppId, LinkId, NodeId, ServiceLevel};
-use saba_sim::routing::Routes;
+use saba_sim::routing::{LinkMembers, Routes};
 use saba_sim::topology::Topology;
-use saba_telemetry::Histogram;
+use saba_telemetry::{EventKind, Histogram, TelemetrySink};
 use std::collections::{BTreeMap, HashMap};
 
 /// Running counters, used by the Fig. 12 overhead study and tests.
@@ -36,10 +37,20 @@ pub struct ControllerStats {
     pub ports_reconfigured: u64,
     /// Eq. 2 solves performed.
     pub eq2_solves: u64,
+    /// Ports visited across all epochs (dirty-set sizes summed).
+    pub ports_dirty: u64,
+    /// Eq. 2 solves avoided by the memo caches' fast path.
+    pub solves_skipped: u64,
+    /// `SwitchUpdate`s suppressed because the recomputed configuration
+    /// matched what the port already runs.
+    pub queue_updates_diffed: u64,
 }
 
 #[derive(Debug, Clone)]
 struct AppEntry {
+    /// Solves read the cached [`ModelSurrogate`] instead; the name is
+    /// kept for `Debug` dumps of controller state.
+    #[allow(dead_code)]
     workload: String,
     pl: usize,
 }
@@ -61,16 +72,36 @@ pub struct CentralController {
     assigner: PlAssigner,
     mapper: Option<QueueMapper>,
     conns: HashMap<(AppId, u64), ConnInfo>,
-    /// Per-link: app → live connection count.
-    link_apps: Vec<BTreeMap<AppId, u32>>,
+    /// Reference-counted link → application reverse index; the source
+    /// of dirty-port decisions (membership-set transitions only).
+    link_apps: LinkMembers<AppId>,
     /// Eq. 2 solutions memoized by the exact application set: many
     /// ports see the same contender set, and weights depend only on the
-    /// apps' (immutable) models. Cleared on register/deregister, since
-    /// an app id could be rebound to a different workload.
+    /// apps' (immutable) models. Entries naming an application are
+    /// purged when it deregisters (its id could be rebound to a
+    /// different workload); registrations leave the cache intact — a
+    /// fresh id cannot appear in any existing key.
     weight_cache: HashMap<Vec<AppId>, Vec<f64>>,
     /// Clustered-solve memo for large ports, keyed by the (PL, member
-    /// count) profile — many core ports share one profile.
+    /// count) profile — many core ports share one profile. Valid only
+    /// for the centroid set it was computed against, so it is cleared
+    /// whenever the assigner's published-centroid generation moves.
     cluster_cache: HashMap<Vec<(usize, u32)>, Vec<f64>>,
+    /// Per-application solver inputs, precomputed at registration.
+    surrogates: HashMap<AppId, ModelSurrogate>,
+    /// Last configuration emitted per port, for reprogramming diffs.
+    /// Ports absent from the map run the default single-queue config.
+    programmed: HashMap<u32, PortQueueConfig>,
+    /// Previous per-application weights per port — warm seeds.
+    last_weights: HashMap<u32, (Vec<AppId>, Vec<f64>)>,
+    /// Assigner generation the queue mapper was last built against.
+    mapper_generation: u64,
+    /// Set when a registration changed the published centroid set while
+    /// ports were already programmed: `register` cannot emit updates, so
+    /// the next reprogramming-capable event sweeps every active port.
+    sweep_pending: bool,
+    scratch: SolveScratch,
+    last_epoch: EpochInfo,
     stats: ControllerStats,
     solve_timing: bool,
     last_solve_secs: f64,
@@ -98,9 +129,16 @@ impl CentralController {
             apps: BTreeMap::new(),
             mapper: None,
             conns: HashMap::new(),
-            link_apps: vec![BTreeMap::new(); num_links],
+            link_apps: LinkMembers::new(num_links),
             weight_cache: HashMap::new(),
             cluster_cache: HashMap::new(),
+            surrogates: HashMap::new(),
+            programmed: HashMap::new(),
+            last_weights: HashMap::new(),
+            mapper_generation: 0,
+            sweep_pending: false,
+            scratch: SolveScratch::new(),
+            last_epoch: EpochInfo::default(),
             stats: ControllerStats::default(),
             solve_timing: false,
             last_solve_secs: 0.0,
@@ -171,6 +209,7 @@ impl CentralController {
             .get(workload)
             .ok_or_else(|| ControllerError::UnknownWorkload(workload.to_string()))?;
         let coeffs = model.coefficients().to_vec();
+        let surrogate = ModelSurrogate::of(model, self.cfg.c_saba);
         let pl = self.assigner.assign(app, &coeffs);
         self.apps.insert(
             app,
@@ -179,11 +218,31 @@ impl CentralController {
                 pl,
             },
         );
-        self.weight_cache.clear();
-        self.cluster_cache.clear();
-        self.rebuild_mapper();
+        self.surrogates.insert(app, surrogate);
+        // A fresh id cannot invalidate any cached per-app-set solution,
+        // so the weight memo survives. The clustered memo and the queue
+        // mapper depend on the published centroids: refresh them only
+        // when the assigner actually published a change — a duplicate of
+        // an existing workload joining its slot costs nothing.
+        self.refresh_mapper_if_stale();
         self.stats.registrations += 1;
         Ok(ServiceLevel(pl as u8))
+    }
+
+    /// If the published centroid set moved since the mapper was built,
+    /// rebuild the mapper, drop the centroid-dependent memo, and flag
+    /// the deferred full sweep (register cannot emit switch updates, so
+    /// already-programmed ports stay on the old mapping until the next
+    /// reprogramming-capable event).
+    fn refresh_mapper_if_stale(&mut self) {
+        let generation = self.assigner.generation();
+        if generation == self.mapper_generation && self.mapper.is_some() {
+            return;
+        }
+        self.mapper = QueueMapper::build(&self.assigner.centroids());
+        self.mapper_generation = generation;
+        self.cluster_cache.clear();
+        self.sweep_pending = true;
     }
 
     /// Deregisters an application (`app_deregister`, Fig. 7 ⑬),
@@ -207,9 +266,12 @@ impl CentralController {
         }
         self.apps.remove(&app);
         self.assigner.remove(app);
-        self.weight_cache.clear();
-        self.cluster_cache.clear();
-        self.rebuild_mapper();
+        self.surrogates.remove(&app);
+        // The id may be rebound to a different workload later: purge
+        // every memoized solution that involved it. Solutions over
+        // other app sets remain valid — their models are untouched.
+        self.weight_cache.retain(|apps, _| !apps.contains(&app));
+        self.refresh_mapper_if_stale();
         Ok(self.reprogram(dirty))
     }
 
@@ -229,9 +291,7 @@ impl CentralController {
         let links = self.detect_path(src, dst, tag)?;
         let mut dirty = Vec::new();
         for &l in &links {
-            let count = self.link_apps[l.0 as usize].entry(app).or_insert(0);
-            *count += 1;
-            if *count == 1 {
+            if self.link_apps.add(l, app) {
                 dirty.push(l); // App set at this port changed.
             }
         }
@@ -260,11 +320,16 @@ impl CentralController {
     /// traffic — the whole-fabric calculation the Fig. 12 overhead study
     /// times.
     pub fn recompute_all(&mut self) -> Vec<SwitchUpdate> {
-        let all: Vec<LinkId> = (0..self.link_apps.len() as u32)
-            .map(LinkId)
-            .filter(|l| !self.link_apps[l.0 as usize].is_empty())
-            .collect();
-        self.reprogram(all)
+        self.refresh_mapper_if_stale();
+        self.sweep_pending = false;
+        let all: Vec<LinkId> = self.link_apps.occupied_links().collect();
+        if !self.solve_timing {
+            return self.reprogram_batch(all, true);
+        }
+        let t0 = std::time::Instant::now();
+        let updates = self.reprogram_batch(all, true);
+        self.note_batch_secs(t0.elapsed().as_secs_f64());
+        updates
     }
 
     /// Registers a connection *without* reprogramming any switch — bulk
@@ -280,7 +345,7 @@ impl CentralController {
             .detect_path(src, dst, tag)
             .unwrap_or_else(|e| panic!("path detection failed: {e}"));
         for &l in &links {
-            *self.link_apps[l.0 as usize].entry(app).or_insert(0) += 1;
+            self.link_apps.add(l, app);
         }
         self.conns.insert((app, tag), ConnInfo { app, links });
         self.stats.conns_created += 1;
@@ -310,53 +375,118 @@ impl CentralController {
     fn release_links(&mut self, app: AppId, links: &[LinkId]) -> Vec<LinkId> {
         let mut dirty = Vec::new();
         for &l in links {
-            let map = &mut self.link_apps[l.0 as usize];
-            if let Some(count) = map.get_mut(&app) {
-                *count -= 1;
-                if *count == 0 {
-                    map.remove(&app);
-                    dirty.push(l);
-                }
+            if self.link_apps.remove(l, app) {
+                dirty.push(l);
             }
         }
         dirty
     }
 
-    fn rebuild_mapper(&mut self) {
-        self.mapper = QueueMapper::build(&self.assigner.centroids());
-    }
-
-    /// Computes fresh configurations for the given ports, skipping ports
-    /// with no Saba traffic (they fall back to the default single
-    /// queue).
-    fn reprogram(&mut self, links: Vec<LinkId>) -> Vec<SwitchUpdate> {
-        if !self.solve_timing {
-            return self.reprogram_batch(links);
-        }
-        let t0 = std::time::Instant::now();
-        let updates = self.reprogram_batch(links);
-        let secs = t0.elapsed().as_secs_f64();
+    fn note_batch_secs(&mut self, secs: f64) {
         self.last_solve_secs = secs;
         self.solve_secs_total += secs;
         self.solve_hist.record(secs);
+    }
+
+    /// Reprograms the dirty set of one event epoch: computes fresh
+    /// configurations for the given ports and emits updates only for
+    /// ports whose configuration actually changed. When a registration
+    /// left the PL-to-queue mapping stale, the dirty set is widened to
+    /// every active port (the deferred full sweep) — the diff still
+    /// suppresses ports the new mapping happens to leave unchanged.
+    fn reprogram(&mut self, mut links: Vec<LinkId>) -> Vec<SwitchUpdate> {
+        if self.sweep_pending {
+            self.sweep_pending = false;
+            links.extend(self.link_apps.occupied_links());
+        }
+        if !self.solve_timing {
+            return self.reprogram_batch(links, false);
+        }
+        let t0 = std::time::Instant::now();
+        let updates = self.reprogram_batch(links, false);
+        self.note_batch_secs(t0.elapsed().as_secs_f64());
         updates
     }
 
-    fn reprogram_batch(&mut self, links: Vec<LinkId>) -> Vec<SwitchUpdate> {
+    /// Computes configurations for `links` (deduplicated, in id order)
+    /// and returns the updates. With `force` (the recovery-style
+    /// recompute paths) every port's configuration is emitted
+    /// unconditionally; otherwise the diff against the last programmed
+    /// state suppresses no-op updates.
+    fn reprogram_batch(&mut self, mut links: Vec<LinkId>, force: bool) -> Vec<SwitchUpdate> {
+        links.sort_unstable_by_key(|l| l.0);
+        links.dedup();
+        self.last_epoch = EpochInfo {
+            full: force,
+            dirty: links.len() as u32,
+            emitted: 0,
+        };
+        self.stats.ports_dirty += links.len() as u64;
         let mut updates = Vec::with_capacity(links.len());
         for link in links {
             let config = self.port_config(link);
+            // A Saba-occupied port is programmed even when its computed
+            // configuration happens to equal the factory default (one
+            // application at C_saba = 1.0 computes exactly that), so the
+            // diff keys on the (occupancy, config) pair: `programmed`
+            // holds every occupied port's last emitted configuration,
+            // and absence means the switch still runs its default.
+            let occupied = !self.link_apps.is_empty(link);
+            if !force {
+                let unchanged = if occupied {
+                    self.programmed.get(&link.0) == Some(&config)
+                } else {
+                    !self.programmed.contains_key(&link.0)
+                };
+                if unchanged {
+                    self.stats.queue_updates_diffed += 1;
+                    continue;
+                }
+            }
+            if occupied {
+                self.programmed.insert(link.0, config.clone());
+            } else {
+                self.programmed.remove(&link.0);
+            }
             self.stats.ports_reconfigured += 1;
             updates.push(SwitchUpdate { link, config });
         }
+        self.last_epoch.emitted = updates.len() as u32;
         updates
+    }
+
+    /// The scope of the most recent reprogramming epoch.
+    pub fn last_epoch(&self) -> EpochInfo {
+        self.last_epoch
+    }
+
+    /// Records the most recent epoch's scope into a telemetry sink:
+    /// one [`EventKind::EpochScope`] trace event at simulated time `t`.
+    /// Guarded on [`TelemetrySink::enabled`], so a [`NullSink`] caller
+    /// pays nothing.
+    ///
+    /// [`NullSink`]: saba_telemetry::NullSink
+    pub fn record_epoch<S: TelemetrySink>(&self, t: f64, sink: &mut S) {
+        if !sink.enabled() {
+            return;
+        }
+        let e = self.last_epoch;
+        sink.record(
+            t,
+            EventKind::EpochScope {
+                full: e.full,
+                dirty: u64::from(e.dirty),
+                emitted: u64::from(e.emitted),
+            },
+        );
     }
 
     /// Builds the queue configuration for one port from the applications
     /// currently crossing it (§5.1 weight calculation + §5.3 mapping).
     fn port_config(&mut self, link: LinkId) -> PortQueueConfig {
-        let apps: Vec<AppId> = self.link_apps[link.0 as usize].keys().copied().collect();
+        let apps: Vec<AppId> = self.link_apps.members(link).collect();
         if apps.is_empty() {
+            self.last_weights.remove(&link.0);
             return PortQueueConfig::default();
         }
         // Eq. 2 over the applications at this port (memoized by set).
@@ -368,23 +498,32 @@ impl CentralController {
         // grouping in §5.3.1.
         let weights = if apps.len() <= 32 {
             match self.weight_cache.get(&apps) {
-                Some(w) => w.clone(),
+                Some(w) => {
+                    self.stats.solves_skipped += 1;
+                    w.clone()
+                }
                 None => {
                     self.stats.eq2_solves += 1;
-                    let models: Vec<&SensitivityModel> = apps
-                        .iter()
-                        .map(|&a| {
-                            let entry = &self.apps[&a];
-                            self.table
-                                .get(&entry.workload)
-                                .expect("registered app has a model")
-                        })
-                        .collect();
-                    let w = port_weights_protected(
-                        &models,
+                    let surrogate_refs: Vec<&ModelSurrogate> =
+                        apps.iter().map(|a| &self.surrogates[a]).collect();
+                    // Warm seed: the port's previous-epoch weights,
+                    // matched by application id; newcomers start at the
+                    // fair share. `solve_from` certifies the warm result
+                    // against the cold KKT point, so the memoized value
+                    // is identical either way.
+                    let seed: Option<Vec<f64>> = self.last_weights.get(&link.0).map(|(pa, pw)| {
+                        let fair = self.cfg.c_saba / apps.len() as f64;
+                        apps.iter()
+                            .map(|a| pa.iter().position(|x| x == a).map_or(fair, |i| pw[i]))
+                            .collect()
+                    });
+                    let w = port_weights_from_surrogates(
+                        &surrogate_refs,
                         self.cfg.c_saba,
                         self.cfg.min_weight,
                         self.cfg.protect_fraction,
+                        seed.as_deref(),
+                        &mut self.scratch,
                     )
                     .expect("non-empty feasible weight problem");
                     self.weight_cache.insert(apps.clone(), w.clone());
@@ -394,6 +533,8 @@ impl CentralController {
         } else {
             self.clustered_port_weights(&apps)
         };
+        self.last_weights
+            .insert(link.0, (apps.clone(), weights.clone()));
 
         // PLs present at this port and the hierarchy level that fits the
         // queue budget.
@@ -451,7 +592,10 @@ impl CentralController {
             .map(|(&pl, ms)| (pl, ms.len() as u32))
             .collect();
         let cluster_w = match self.cluster_cache.get(&profile) {
-            Some(w) => w.clone(),
+            Some(w) => {
+                self.stats.solves_skipped += 1;
+                w.clone()
+            }
             None => {
                 // Cluster model: m·D_centroid(w/m) — a polynomial again,
                 // with coefficients m^(1-i)·c_i.
@@ -519,7 +663,7 @@ impl CentralController {
 
     /// The applications currently crossing `link`.
     pub fn apps_at(&self, link: LinkId) -> Vec<AppId> {
-        self.link_apps[link.0 as usize].keys().copied().collect()
+        self.link_apps.members(link).collect()
     }
 }
 
@@ -547,6 +691,49 @@ mod tests {
         let topo = Topology::single_switch(8, saba_sim::LINK_56G_BPS);
         let c = CentralController::new(ControllerConfig::default(), table(), &topo);
         (c, topo)
+    }
+
+    /// A sink that claims to be disabled but counts any event that
+    /// reaches it anyway — the probe for the zero-cost guarantee.
+    struct DisabledProbe {
+        records: u32,
+    }
+
+    impl saba_telemetry::TelemetrySink for DisabledProbe {
+        fn enabled(&self) -> bool {
+            false
+        }
+        fn record(&mut self, _t: f64, _kind: EventKind) {
+            self.records += 1;
+        }
+    }
+
+    #[test]
+    fn record_epoch_is_zero_cost_on_a_disabled_sink() {
+        let (mut c, topo) = controller();
+        c.register(AppId(0), "LR").unwrap();
+        let s = topo.servers();
+        c.conn_create(AppId(0), s[0], s[1], 1).unwrap();
+
+        let mut probe = DisabledProbe { records: 0 };
+        c.record_epoch(1.0, &mut probe);
+        assert_eq!(probe.records, 0, "disabled sinks must see no payload");
+        let mut null = saba_telemetry::NullSink;
+        c.record_epoch(1.0, &mut null);
+
+        // An enabled sink receives the last epoch's scope.
+        let mut rec = saba_telemetry::Recorder::default();
+        c.record_epoch(2.0, &mut rec);
+        let events: Vec<_> = rec.trace.events().collect();
+        assert_eq!(events.len(), 1);
+        assert_eq!(
+            events[0].kind,
+            EventKind::EpochScope {
+                full: false,
+                dirty: 2,
+                emitted: 2,
+            }
+        );
     }
 
     #[test]

@@ -17,17 +17,17 @@
 //! count is surfaced in [`DistStats`].
 
 use crate::controller::queuemap::QueueMapper;
-use crate::controller::weights::centroid_weights_protected;
-use crate::controller::{ControllerConfig, ControllerError, SwitchUpdate};
+use crate::controller::weights::centroid_weights_warm;
+use crate::controller::{ControllerConfig, ControllerError, EpochInfo, SwitchUpdate};
 use crate::fabric::PortQueueConfig;
 use crate::sensitivity::{padded_coeffs, SensitivityTable};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use saba_math::{kmeans, KMeansConfig};
+use saba_math::{kmeans, KMeansConfig, SolveScratch};
 use saba_sim::ids::{AppId, LinkId, NodeId, ServiceLevel};
-use saba_sim::routing::Routes;
+use saba_sim::routing::{LinkMembers, Routes};
 use saba_sim::topology::Topology;
-use saba_telemetry::Histogram;
+use saba_telemetry::{EventKind, Histogram, TelemetrySink};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 
@@ -147,12 +147,20 @@ pub struct DistStats {
     pub ports_reconfigured: u64,
     /// Eq. 2 solves performed (over PL centroids).
     pub eq2_solves: u64,
+    /// Ports visited across all epochs (dirty-set sizes summed).
+    pub ports_dirty: u64,
+    /// Eq. 2 solves avoided by the PL-set memo cache's fast path.
+    pub solves_skipped: u64,
+    /// `SwitchUpdate`s suppressed because the recomputed configuration
+    /// matched what the port already runs.
+    pub queue_updates_diffed: u64,
 }
 
-/// Per-shard state: PL connection counts for owned links only.
+/// Per-shard state: a refcounted link → PL-set index for owned links
+/// only (only entries for links the shard owns are ever populated).
 #[derive(Debug, Clone, Default)]
 struct Shard {
-    link_pls: HashMap<u32, BTreeMap<usize, u32>>,
+    links: LinkMembers<usize>,
 }
 
 /// The distributed Saba controller: a set of shards over a shared
@@ -171,6 +179,15 @@ pub struct DistributedController {
     /// Eq. 2 solutions memoized by the PL set (centroids are fixed by
     /// the offline database, so the cache never goes stale).
     weight_cache: HashMap<Vec<usize>, Vec<f64>>,
+    /// Last configuration emitted per occupied port; absence means the
+    /// switch still runs its factory default. Event-path epochs diff
+    /// against this to suppress no-op updates.
+    programmed: HashMap<u32, PortQueueConfig>,
+    /// Previous-epoch (PL set, weights) per port — warm seeds for the
+    /// next solve at that port.
+    last_weights: HashMap<u32, (Vec<usize>, Vec<f64>)>,
+    scratch: SolveScratch,
+    last_epoch: EpochInfo,
     stats: DistStats,
     solve_timing: bool,
     last_solve_secs: f64,
@@ -200,11 +217,20 @@ impl DistributedController {
             db,
             topo: topo.clone(),
             routes,
-            shards: vec![Shard::default(); num_shards],
+            shards: vec![
+                Shard {
+                    links: LinkMembers::new(topo.num_links()),
+                };
+                num_shards
+            ],
             link_shard,
             apps: BTreeMap::new(),
             conns: HashMap::new(),
             weight_cache: HashMap::new(),
+            programmed: HashMap::new(),
+            last_weights: HashMap::new(),
+            scratch: SolveScratch::new(),
+            last_epoch: EpochInfo::default(),
             stats: DistStats::default(),
             solve_timing: false,
             last_solve_secs: 0.0,
@@ -265,6 +291,9 @@ impl DistributedController {
     }
 
     /// Deregisters an application and drops its remaining connections.
+    /// All affected ports are reprogrammed in one epoch, so a port
+    /// crossed by several of the application's connections is visited
+    /// once, not once per connection.
     pub fn deregister(&mut self, app: AppId) -> Result<Vec<SwitchUpdate>, ControllerError> {
         let pl = self
             .apps
@@ -276,12 +305,12 @@ impl DistributedController {
             .filter(|(a, _)| *a == app)
             .copied()
             .collect();
-        let mut updates = Vec::new();
+        let mut dirty = Vec::new();
         for key in leftover {
             let links = self.conns.remove(&key).expect("key just enumerated");
-            updates.extend(self.release(pl, &links));
+            dirty.extend(self.release(pl, &links));
         }
-        Ok(updates)
+        Ok(self.reprogram(dirty))
     }
 
     fn pl_of_app(&self, app: AppId) -> usize {
@@ -317,15 +346,8 @@ impl DistributedController {
                 self.stats.forwards += 1;
             }
             prev_shard = Some(shard_idx);
-            let counts = self.shards[shard_idx]
-                .link_pls
-                .entry(l.0)
-                .or_default()
-                .entry(pl)
-                .or_insert(0);
-            *counts += 1;
-            if *counts == 1 {
-                dirty.push(l);
+            if self.shards[shard_idx].links.add(l, pl) {
+                dirty.push(l); // PL set at this port changed.
             }
         }
         self.conns.insert((app, tag), links);
@@ -343,47 +365,108 @@ impl DistributedController {
             .remove(&(app, tag))
             .ok_or(ControllerError::UnknownConnection(tag))?;
         let pl = self.pl_of_app(app);
-        Ok(self.release(pl, &links))
+        let dirty = self.release(pl, &links);
+        Ok(self.reprogram(dirty))
     }
 
-    fn release(&mut self, pl: usize, links: &[LinkId]) -> Vec<SwitchUpdate> {
+    /// Drops one connection's refcounts and returns the links whose PL
+    /// set changed (the caller batches them into one epoch).
+    fn release(&mut self, pl: usize, links: &[LinkId]) -> Vec<LinkId> {
         let mut dirty = Vec::new();
         for &l in links {
             let shard_idx = self.link_shard[l.0 as usize];
-            if let Some(counts) = self.shards[shard_idx].link_pls.get_mut(&l.0) {
-                if let Some(c) = counts.get_mut(&pl) {
-                    *c -= 1;
-                    if *c == 0 {
-                        counts.remove(&pl);
-                        dirty.push(l);
-                    }
-                }
+            if self.shards[shard_idx].links.remove(l, pl) {
+                dirty.push(l);
             }
         }
-        self.reprogram(dirty)
+        dirty
+    }
+
+    fn note_batch_secs(&mut self, secs: f64) {
+        self.last_solve_secs = secs;
+        self.solve_secs_total += secs;
+        self.solve_hist.record(secs);
     }
 
     fn reprogram(&mut self, links: Vec<LinkId>) -> Vec<SwitchUpdate> {
         if !self.solve_timing {
-            return self.reprogram_batch(links);
+            return self.reprogram_batch(links, false);
         }
         let t0 = std::time::Instant::now();
-        let updates = self.reprogram_batch(links);
-        let secs = t0.elapsed().as_secs_f64();
-        self.last_solve_secs = secs;
-        self.solve_secs_total += secs;
-        self.solve_hist.record(secs);
+        let updates = self.reprogram_batch(links, false);
+        self.note_batch_secs(t0.elapsed().as_secs_f64());
         updates
     }
 
-    fn reprogram_batch(&mut self, links: Vec<LinkId>) -> Vec<SwitchUpdate> {
+    /// Computes configurations for `links` (deduplicated, in id order).
+    /// With `force` (the recovery recompute paths) every configuration
+    /// is emitted unconditionally; otherwise the diff against the last
+    /// programmed state suppresses no-op updates. As in the centralized
+    /// design, the diff keys on the (occupancy, config) pair so that an
+    /// occupied port whose computed configuration equals the factory
+    /// default is still programmed on first touch.
+    fn reprogram_batch(&mut self, mut links: Vec<LinkId>, force: bool) -> Vec<SwitchUpdate> {
+        links.sort_unstable_by_key(|l| l.0);
+        links.dedup();
+        self.last_epoch = EpochInfo {
+            full: force,
+            dirty: links.len() as u32,
+            emitted: 0,
+        };
+        self.stats.ports_dirty += links.len() as u64;
         let mut updates = Vec::with_capacity(links.len());
         for link in links {
             let config = self.port_config(link);
+            let shard_idx = self.link_shard[link.0 as usize];
+            let occupied = !self.shards[shard_idx].links.is_empty(link);
+            if !force {
+                let unchanged = if occupied {
+                    self.programmed.get(&link.0) == Some(&config)
+                } else {
+                    !self.programmed.contains_key(&link.0)
+                };
+                if unchanged {
+                    self.stats.queue_updates_diffed += 1;
+                    continue;
+                }
+            }
+            if occupied {
+                self.programmed.insert(link.0, config.clone());
+            } else {
+                self.programmed.remove(&link.0);
+            }
             self.stats.ports_reconfigured += 1;
             updates.push(SwitchUpdate { link, config });
         }
+        self.last_epoch.emitted = updates.len() as u32;
         updates
+    }
+
+    /// The scope of the most recent reprogramming epoch (for
+    /// [`Self::recompute_all`], the last shard's batch).
+    pub fn last_epoch(&self) -> EpochInfo {
+        self.last_epoch
+    }
+
+    /// Records the most recent epoch's scope into a telemetry sink:
+    /// one [`EventKind::EpochScope`] trace event at simulated time `t`.
+    /// Guarded on [`TelemetrySink::enabled`], so a [`NullSink`] caller
+    /// pays nothing.
+    ///
+    /// [`NullSink`]: saba_telemetry::NullSink
+    pub fn record_epoch<S: TelemetrySink>(&self, t: f64, sink: &mut S) {
+        if !sink.enabled() {
+            return;
+        }
+        let e = self.last_epoch;
+        sink.record(
+            t,
+            EventKind::EpochScope {
+                full: e.full,
+                dirty: u64::from(e.dirty),
+                emitted: u64::from(e.emitted),
+            },
+        );
     }
 
     /// Applications currently registered, ascending by id.
@@ -418,14 +501,14 @@ impl DistributedController {
     /// Panics if `shard` is out of range.
     pub fn recompute_shard(&mut self, shard: usize) -> Vec<SwitchUpdate> {
         assert!(shard < self.shards.len(), "shard {shard} out of range");
-        let mut links: Vec<LinkId> = self.shards[shard]
-            .link_pls
-            .iter()
-            .filter(|(_, pls)| !pls.is_empty())
-            .map(|(&l, _)| LinkId(l))
-            .collect();
-        links.sort_unstable_by_key(|l| l.0);
-        self.reprogram(links)
+        let links: Vec<LinkId> = self.shards[shard].links.occupied_links().collect();
+        if !self.solve_timing {
+            return self.reprogram_batch(links, true);
+        }
+        let t0 = std::time::Instant::now();
+        let updates = self.reprogram_batch(links, true);
+        self.note_batch_secs(t0.elapsed().as_secs_f64());
+        updates
     }
 
     /// Recomputes every Saba-carrying port across all shards (full
@@ -443,16 +526,16 @@ impl DistributedController {
     /// per-application solve).
     fn port_config(&mut self, link: LinkId) -> PortQueueConfig {
         let shard_idx = self.link_shard[link.0 as usize];
-        let present: Vec<usize> = self.shards[shard_idx]
-            .link_pls
-            .get(&link.0)
-            .map(|m| m.keys().copied().collect())
-            .unwrap_or_default();
+        let present: Vec<usize> = self.shards[shard_idx].links.members(link).collect();
         if present.is_empty() {
+            self.last_weights.remove(&link.0);
             return PortQueueConfig::default();
         }
         let pl_weights = match self.weight_cache.get(&present) {
-            Some(w) => w.clone(),
+            Some(w) => {
+                self.stats.solves_skipped += 1;
+                w.clone()
+            }
             None => {
                 let centroid_vecs: Vec<Vec<f64>> = present
                     .iter()
@@ -467,17 +550,33 @@ impl DistributedController {
                     })
                     .collect();
                 self.stats.eq2_solves += 1;
-                let w = centroid_weights_protected(
+                // Warm seed: the port's previous-epoch weights, matched
+                // by PL; newly arrived PLs start at the fair share.
+                // `solve_from` certifies the warm result against the
+                // cold KKT point, so the memoized value is identical
+                // either way.
+                let seed: Option<Vec<f64>> = self.last_weights.get(&link.0).map(|(pp, pw)| {
+                    let fair = self.cfg.c_saba / present.len() as f64;
+                    present
+                        .iter()
+                        .map(|pl| pp.iter().position(|x| x == pl).map_or(fair, |i| pw[i]))
+                        .collect()
+                });
+                let w = centroid_weights_warm(
                     &centroid_vecs,
                     self.cfg.c_saba,
                     self.cfg.min_weight,
                     self.cfg.protect_fraction,
+                    seed.as_deref(),
+                    &mut self.scratch,
                 )
                 .expect("non-empty feasible weight problem");
                 self.weight_cache.insert(present.clone(), w.clone());
                 w
             }
         };
+        self.last_weights
+            .insert(link.0, (present.clone(), pl_weights.clone()));
 
         let pm = self
             .db
@@ -610,6 +709,22 @@ mod tests {
         let cfg = &updates[0].config;
         let (q_lr, q_sort) = (cfg.queue_of(sl_lr), cfg.queue_of(sl_sort));
         assert!(cfg.weights[q_lr] > cfg.weights[q_sort], "{:?}", cfg.weights);
+    }
+
+    #[test]
+    fn second_conn_of_same_app_does_not_reprogram() {
+        let t = table();
+        let db = MappingDb::build(&t, 16, 1);
+        let topo = Topology::single_switch(4, saba_sim::LINK_56G_BPS);
+        let mut c = DistributedController::new(ControllerConfig::default(), db, &topo, 2);
+        c.register(AppId(0), "LR").unwrap();
+        let s = topo.servers();
+        assert!(!c.conn_create(AppId(0), s[0], s[1], 1).unwrap().is_empty());
+        // Same app, same path: the PL set at every port is unchanged, so
+        // the epoch has an empty dirty set and emits nothing.
+        let updates = c.conn_create(AppId(0), s[0], s[1], 2).unwrap();
+        assert!(updates.is_empty());
+        assert_eq!(c.last_epoch(), EpochInfo::default());
     }
 
     #[test]

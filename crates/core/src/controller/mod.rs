@@ -34,6 +34,25 @@ pub struct SwitchUpdate {
     pub config: PortQueueConfig,
 }
 
+/// Scope of the most recent allocation epoch (one reprogramming batch).
+///
+/// `full` marks epochs that had to sweep every Saba-carrying port —
+/// recovery recomputes, and the deferred sweep after a registration
+/// changed the PL-to-queue hierarchy — versus the incremental common
+/// case where only the ports whose application set changed were
+/// visited. `dirty` counts the ports visited, `emitted` the subset
+/// whose queue configuration actually changed (the diff suppressed the
+/// rest).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EpochInfo {
+    /// Whether the epoch swept all active ports rather than a dirty set.
+    pub full: bool,
+    /// Ports visited (solved or cache-served) this epoch.
+    pub dirty: u32,
+    /// `SwitchUpdate`s emitted after diffing against programmed state.
+    pub emitted: u32,
+}
+
 /// Controller configuration shared by both designs.
 #[derive(Debug, Clone)]
 pub struct ControllerConfig {

@@ -22,6 +22,12 @@ use saba_sim::ids::AppId;
 struct PlSlot {
     members: Vec<(AppId, Vec<f64>)>,
     centroid: Vec<f64>,
+    /// The centroid last *published* to consumers (queue mapper, Eq. 2
+    /// cluster solves). Tracks `centroid` lazily: it only catches up —
+    /// bumping the assigner's generation — when the live centroid drifts
+    /// beyond the configured tolerance, so sub-tolerance jitter from
+    /// membership churn never forces downstream HAC/solve reruns.
+    published: Vec<f64>,
 }
 
 impl PlSlot {
@@ -46,6 +52,14 @@ impl PlSlot {
 pub struct PlAssigner {
     slots: Vec<Option<PlSlot>>,
     dim: usize,
+    /// Bumped whenever the *published* centroid set changes: a PL
+    /// activates or frees, or an active centroid drifts beyond
+    /// `centroid_tol`. Consumers (the HAC queue mapper, clustered Eq. 2
+    /// solves) compare generations to decide whether to re-derive.
+    generation: u64,
+    /// Euclidean drift below which a centroid update is *not* published
+    /// (0.0 = publish every change, the exact default).
+    centroid_tol: f64,
 }
 
 impl PlAssigner {
@@ -61,6 +75,33 @@ impl PlAssigner {
         Self {
             slots: vec![None; num_pls],
             dim,
+            generation: 0,
+            centroid_tol: 0.0,
+        }
+    }
+
+    /// Sets the centroid-publication tolerance (Euclidean distance in
+    /// coefficient space). Must be finite and non-negative.
+    pub fn set_centroid_tol(&mut self, tol: f64) {
+        assert!(tol.is_finite() && tol >= 0.0, "tolerance must be >= 0");
+        self.centroid_tol = tol;
+    }
+
+    /// The current published-centroid generation. Unchanged ⇒ every
+    /// published centroid (and the active-PL set) is unchanged, so any
+    /// artifact derived from them is still valid.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Publishes the slot's live centroid if it drifted beyond
+    /// tolerance, bumping the generation.
+    fn maybe_publish(&mut self, pl: usize) {
+        let tol = self.centroid_tol;
+        let slot = self.slots[pl].as_mut().expect("publishing an active PL");
+        if sq_dist(&slot.centroid, &slot.published) > tol * tol {
+            slot.published = slot.centroid.clone();
+            self.generation += 1;
         }
     }
 
@@ -89,6 +130,7 @@ impl PlAssigner {
             self.dim = c.len();
             for slot in self.slots.iter_mut().flatten() {
                 slot.centroid.resize(self.dim, 0.0);
+                slot.published.resize(self.dim, 0.0);
                 for (_, m) in &mut slot.members {
                     m.resize(self.dim, 0.0);
                 }
@@ -98,8 +140,10 @@ impl PlAssigner {
         if let Some(free) = self.slots.iter().position(Option::is_none) {
             self.slots[free] = Some(PlSlot {
                 members: vec![(app, c.clone())],
+                published: c.clone(),
                 centroid: c,
             });
+            self.generation += 1;
             return free;
         }
         // All PLs occupied: join the nearest centroid (MacQueen update).
@@ -116,6 +160,7 @@ impl PlAssigner {
             .expect("chosen slot is occupied");
         slot.members.push((app, c));
         slot.recompute_centroid();
+        self.maybe_publish(nearest);
         nearest
     }
 
@@ -130,8 +175,10 @@ impl PlAssigner {
                     slot.members.remove(pos);
                     if slot.members.is_empty() {
                         *slot_opt = None;
+                        self.generation += 1;
                     } else {
                         slot.recompute_centroid();
+                        self.maybe_publish(pl);
                     }
                     return Some(pl);
                 }
@@ -148,9 +195,11 @@ impl PlAssigner {
         })
     }
 
-    /// Centroid of a PL, if active.
+    /// Published centroid of a PL, if active. With a zero tolerance this
+    /// is the live centroid; with a positive tolerance it lags the live
+    /// value by at most `centroid_tol`.
     pub fn centroid(&self, pl: usize) -> Option<&[f64]> {
-        self.slots.get(pl)?.as_ref().map(|s| s.centroid.as_slice())
+        self.slots.get(pl)?.as_ref().map(|s| s.published.as_slice())
     }
 
     /// Indices of PLs that currently have members, ascending.
@@ -162,12 +211,13 @@ impl PlAssigner {
             .collect()
     }
 
-    /// `(PL, centroid)` pairs for all active PLs, ascending by PL.
+    /// `(PL, published centroid)` pairs for all active PLs, ascending by
+    /// PL.
     pub fn centroids(&self) -> Vec<(usize, Vec<f64>)> {
         self.slots
             .iter()
             .enumerate()
-            .filter_map(|(i, s)| s.as_ref().map(|s| (i, s.centroid.clone())))
+            .filter_map(|(i, s)| s.as_ref().map(|s| (i, s.published.clone())))
             .collect()
     }
 
@@ -254,5 +304,42 @@ mod tests {
         let mut a = PlAssigner::new(2, 1);
         a.assign(AppId(0), &[1.0]);
         a.assign(AppId(0), &[2.0]);
+    }
+
+    #[test]
+    fn generation_tracks_published_centroid_changes() {
+        let mut a = PlAssigner::new(2, 1);
+        let g0 = a.generation();
+        a.assign(AppId(0), &[0.0]);
+        assert!(a.generation() > g0, "new slot bumps the generation");
+        a.assign(AppId(1), &[10.0]);
+        let g2 = a.generation();
+        // A duplicate of app 0's coefficients joins PL 0 without moving
+        // its centroid: no publication, no generation bump.
+        assert_eq!(a.assign(AppId(2), &[0.0]), 0);
+        assert_eq!(a.generation(), g2, "identical coefficients are free");
+        // A distinct newcomer moves the centroid it joins.
+        a.assign(AppId(3), &[2.0]);
+        assert!(a.generation() > g2);
+        let g4 = a.generation();
+        // Freeing a slot changes the active set.
+        a.remove(AppId(1));
+        assert!(a.generation() > g4);
+    }
+
+    #[test]
+    fn centroid_tolerance_suppresses_small_drift() {
+        let mut a = PlAssigner::new(1, 1);
+        a.assign(AppId(0), &[1.0]);
+        a.set_centroid_tol(0.25);
+        let g = a.generation();
+        // Mean of {1.0, 1.2} = 1.1: drift 0.1 < 0.25, not published.
+        a.assign(AppId(1), &[1.2]);
+        assert_eq!(a.generation(), g);
+        assert_eq!(a.centroid(0).unwrap(), &[1.0], "published centroid lags");
+        // Mean of {1.0, 1.2, 2.6} = 1.6: drift 0.6 > 0.25, published.
+        a.assign(AppId(2), &[2.6]);
+        assert!(a.generation() > g);
+        assert!((a.centroid(0).unwrap()[0] - 1.6).abs() < 1e-12);
     }
 }

@@ -9,7 +9,33 @@
 //! [`crate::controller::ControllerConfig::protect_fraction`]).
 
 use crate::sensitivity::SensitivityModel;
-use saba_math::{minimize_weights, polyfit, OptimizeError, Polynomial, WeightProblem};
+use saba_math::{polyfit, solve_from, OptimizeError, Polynomial, SolveScratch, WeightProblem};
+
+/// A model's precomputed solver inputs: the convex quadratic surrogate
+/// and the saturation point it is anchored at. Both depend only on the
+/// fitted model and `C_saba`, which are immutable for the lifetime of a
+/// registration — so the central controller computes this once per
+/// application at register time instead of re-deriving it inside every
+/// per-port solve.
+#[derive(Debug, Clone)]
+pub struct ModelSurrogate {
+    /// Convex quadratic surrogate of the fitted model.
+    pub surrogate: Polynomial,
+    /// Lowest profiled bandwidth where slowdown still responds (the
+    /// solver's domain floor for this model).
+    pub saturation: f64,
+}
+
+impl ModelSurrogate {
+    /// Precomputes the surrogate for one model under `c_saba`.
+    pub fn of(m: &SensitivityModel, c_saba: f64) -> Self {
+        let sat = saturation_point(m);
+        Self {
+            surrogate: convex_surrogate(m, sat, c_saba),
+            saturation: sat,
+        }
+    }
+}
 
 /// Solves Eq. 2 for the given application models at one port.
 ///
@@ -43,7 +69,6 @@ pub fn port_weights_protected(
     if models.len() == 1 {
         return Ok(vec![c_saba]);
     }
-    let floor = protective_floor(models.len(), c_saba, min_weight, protect);
     // The solver operates on *convex quadratic surrogates* of the fitted
     // models, anchored at each model's saturation point (the lowest
     // profiled bandwidth where the measured slowdown still responds to
@@ -54,22 +79,56 @@ pub fn port_weights_protected(
     // winner-take-all corner solutions. The surrogate restores the
     // convex water-filling structure the paper's measurements give its
     // SLSQP solver, while `predict`/R² keep the full-degree model.
-    let mut surrogates = Vec::with_capacity(models.len());
-    let mut domain_floors = Vec::with_capacity(models.len());
-    for m in models {
-        let sat = saturation_point(m);
-        surrogates.push(convex_surrogate(m, sat, c_saba));
-        domain_floors.push(sat);
+    let surrogates: Vec<ModelSurrogate> = models
+        .iter()
+        .map(|m| ModelSurrogate::of(m, c_saba))
+        .collect();
+    let refs: Vec<&ModelSurrogate> = surrogates.iter().collect();
+    port_weights_from_surrogates(
+        &refs,
+        c_saba,
+        min_weight,
+        protect,
+        None,
+        &mut SolveScratch::new(),
+    )
+}
+
+/// [`port_weights_protected`] over precomputed surrogates, with an
+/// optional warm seed (the port's previous-epoch weights) and
+/// caller-owned scratch. This is the entry point the incremental
+/// controllers use: surrogates come from their per-application cache,
+/// and the seed lets `solve_from` skip the cold multi-start when the
+/// port's mix changed only slightly.
+pub fn port_weights_from_surrogates(
+    surrogates: &[&ModelSurrogate],
+    c_saba: f64,
+    min_weight: f64,
+    protect: f64,
+    seed: Option<&[f64]>,
+    scratch: &mut SolveScratch,
+) -> Result<Vec<f64>, OptimizeError> {
+    assert!(c_saba > 0.0 && c_saba <= 1.0, "C_saba must be in (0, 1]");
+    if surrogates.is_empty() {
+        return Err(OptimizeError::Empty);
     }
+    if surrogates.len() == 1 {
+        return Ok(vec![c_saba]);
+    }
+    let floor = protective_floor(surrogates.len(), c_saba, min_weight, protect);
     let problem = WeightProblem {
-        models: surrogates,
-        domain_floors,
+        models: surrogates.iter().map(|s| s.surrogate.clone()).collect(),
+        domain_floors: surrogates.iter().map(|s| s.saturation).collect(),
         capacity: c_saba,
         min_weight: floor,
         max_weight: c_saba,
         balance_reg: 0.1,
     };
-    minimize_weights(&problem).map(|s| s.weights)
+    match seed {
+        Some(seed) => solve_from(&problem, seed, scratch),
+        None => saba_math::minimize_weights_scratch(&problem, scratch),
+    }
+    .map(|s| s.weights)
 }
 
 /// Fits a convex quadratic to the model's predictions over `[sat, hi]`.
@@ -158,6 +217,29 @@ pub fn centroid_weights_protected(
     min_weight: f64,
     protect: f64,
 ) -> Result<Vec<f64>, OptimizeError> {
+    centroid_weights_warm(
+        centroids,
+        c_saba,
+        min_weight,
+        protect,
+        None,
+        &mut SolveScratch::new(),
+    )
+}
+
+/// [`centroid_weights_protected`] with an optional warm seed and
+/// caller-owned scratch. `solve_from` verifies curvature before trusting
+/// the seed — raw centroid polynomials are not always convex — and falls
+/// back to the cold path whenever the warm answer cannot be certified,
+/// so warm and cold callers always observe the same weights.
+pub fn centroid_weights_warm(
+    centroids: &[Vec<f64>],
+    c_saba: f64,
+    min_weight: f64,
+    protect: f64,
+    seed: Option<&[f64]>,
+    scratch: &mut SolveScratch,
+) -> Result<Vec<f64>, OptimizeError> {
     assert!(c_saba > 0.0 && c_saba <= 1.0, "C_saba must be in (0, 1]");
     if centroids.is_empty() {
         return Err(OptimizeError::Empty);
@@ -177,7 +259,11 @@ pub fn centroid_weights_protected(
         max_weight: c_saba,
         balance_reg: 1.5,
     };
-    minimize_weights(&problem).map(|s| s.weights)
+    match seed {
+        Some(seed) => solve_from(&problem, seed, scratch),
+        None => saba_math::minimize_weights_scratch(&problem, scratch),
+    }
+    .map(|s| s.weights)
 }
 
 #[cfg(test)]

@@ -57,6 +57,20 @@ pub struct ResilienceStats {
     pub last_recovery_micros: u64,
 }
 
+/// The incremental-epoch counters shared by both controller flavours,
+/// summed across crash incarnations (a central recovery rebuilds the
+/// controller cold, so the dying incarnation's counts are archived at
+/// that point — same lifecycle as the solve histogram).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EpochCounters {
+    /// Ports visited across all reprogramming epochs.
+    pub ports_dirty: u64,
+    /// Eq. 2 solves avoided by the memo caches' fast path.
+    pub solves_skipped: u64,
+    /// `SwitchUpdate`s suppressed by the programmed-state diff.
+    pub queue_updates_diffed: u64,
+}
+
 enum Inner {
     Central(Box<CentralController>),
     Distributed(Box<DistributedController>),
@@ -87,6 +101,9 @@ pub struct ResilientController {
     /// Solve samples from controller incarnations that a crash
     /// replaced; [`Self::solve_histogram`] merges the live one in.
     solve_hist_archive: Histogram,
+    /// Epoch counters from replaced incarnations;
+    /// [`Self::epoch_counters`] adds the live ones in.
+    epoch_archive: EpochCounters,
 }
 
 impl ResilientController {
@@ -108,6 +125,7 @@ impl ResilientController {
             clock: 0.0,
             solve_timing: false,
             solve_hist_archive: Histogram::new(),
+            epoch_archive: EpochCounters::default(),
         }
     }
 
@@ -134,6 +152,7 @@ impl ResilientController {
             clock: 0.0,
             solve_timing: false,
             solve_hist_archive: Histogram::new(),
+            epoch_archive: EpochCounters::default(),
         }
     }
 
@@ -158,6 +177,27 @@ impl ResilientController {
         };
         hist.merge(live);
         hist
+    }
+
+    /// Incremental-epoch counters (dirty ports visited, Eq. 2 solves
+    /// skipped by the memo caches, updates suppressed by the
+    /// programmed-state diff) across all controller incarnations.
+    pub fn epoch_counters(&self) -> EpochCounters {
+        let mut e = self.epoch_archive;
+        let (dirty, skipped, diffed) = match &self.inner {
+            Inner::Central(c) => {
+                let s = c.stats();
+                (s.ports_dirty, s.solves_skipped, s.queue_updates_diffed)
+            }
+            Inner::Distributed(c) => {
+                let s = c.stats();
+                (s.ports_dirty, s.solves_skipped, s.queue_updates_diffed)
+            }
+        };
+        e.ports_dirty += dirty;
+        e.solves_skipped += skipped;
+        e.queue_updates_diffed += diffed;
+        e
     }
 
     /// Attaches a telemetry recorder: crash/recovery edges then emit
@@ -277,6 +317,13 @@ impl ResilientController {
         };
         let updates = result.expect("controller accepts events for registered jobs");
         self.log_event(ev);
+        if self.sink.enabled() {
+            let t = self.clock;
+            match &self.inner {
+                Inner::Central(c) => c.record_epoch(t, &mut self.sink),
+                Inner::Distributed(c) => c.record_epoch(t, &mut self.sink),
+            }
+        }
         self.filter_updates(updates)
     }
 
@@ -348,6 +395,12 @@ impl ResilientController {
         let updates = if matches!(self.inner, Inner::Central(_)) {
             let table = self.table.clone().expect("central flavour keeps its table");
             let mut fresh = CentralController::new(self.cfg.clone(), table, &self.topo);
+            if let Inner::Central(old) = &self.inner {
+                let s = old.stats();
+                self.epoch_archive.ports_dirty += s.ports_dirty;
+                self.epoch_archive.solves_skipped += s.solves_skipped;
+                self.epoch_archive.queue_updates_diffed += s.queue_updates_diffed;
+            }
             if self.solve_timing {
                 if let Inner::Central(old) = &self.inner {
                     self.solve_hist_archive.merge(old.solve_histogram());
@@ -709,6 +762,16 @@ mod tests {
         assert_eq!(
             kinds,
             vec![
+                // The pre-crash conn_create epoch: both path ports newly
+                // occupied, both programmed.
+                (
+                    0.0,
+                    EventKind::EpochScope {
+                        full: false,
+                        dirty: 2,
+                        emitted: 2,
+                    }
+                ),
                 (3.5, EventKind::ControllerCrash { shard: -1 }),
                 (
                     7.25,

@@ -34,5 +34,8 @@ pub mod stats;
 pub use fit::{polyfit, r_squared, FitError, PolyFit};
 pub use hierarchical::{Dendrogram, Merge};
 pub use kmeans::{kmeans, KMeansConfig, KMeansResult};
-pub use optimize::{minimize_weights, OptimizeError, WeightProblem, WeightSolution};
+pub use optimize::{
+    minimize_weights, minimize_weights_scratch, solve_from, OptimizeError, SolveScratch,
+    WeightProblem, WeightSolution,
+};
 pub use poly::Polynomial;

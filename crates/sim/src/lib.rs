@@ -42,7 +42,7 @@ pub mod topology;
 
 pub use engine::{ActiveFlowViews, Event, FabricModel, FlowSpec, Simulation};
 pub use ids::{AppId, FlowId, LinkId, NodeId, ServiceLevel};
-pub use routing::Routes;
+pub use routing::{LinkMembers, Routes};
 pub use sharing::{
     compute_rates, compute_rates_into, FlowSource, FlowView, FlowWeights, SharingFlow,
     SharingScratch,

@@ -176,6 +176,100 @@ impl Routes {
     }
 }
 
+/// Reverse index from link to the reference-counted set of *members*
+/// whose connections traverse it — applications for the central
+/// controller, priority levels for the distributed shards.
+///
+/// This is where dirty-port tracking is derived from the routing layer:
+/// charging a connection's path marks a link dirty exactly when a member
+/// lands on it for the first time (count 0 → 1), and releasing marks it
+/// dirty when the last reference leaves (1 → 0). Those are the only
+/// transitions that change the link's membership set, and the membership
+/// set — not the connection count — is what the Eq. 2 weight solve and
+/// the PL-to-queue mapping depend on. Everything in between (a second
+/// connection of an already-present member) provably cannot change the
+/// port's configuration and never reaches the solver.
+#[derive(Debug, Clone, Default)]
+pub struct LinkMembers<K: Ord + Copy> {
+    /// `members[link][member]` = number of connections of `member`
+    /// currently charged to `link`. Deterministic iteration order
+    /// (BTreeMap) keeps derived cache keys and solve inputs stable.
+    members: Vec<std::collections::BTreeMap<K, u32>>,
+}
+
+impl<K: Ord + Copy> LinkMembers<K> {
+    /// An empty index over `num_links` links.
+    pub fn new(num_links: usize) -> Self {
+        Self {
+            members: vec![std::collections::BTreeMap::new(); num_links],
+        }
+    }
+
+    /// Charges one connection of `member` to `link`. Returns `true`
+    /// when the link's membership *set* changed (the member was not
+    /// present before) — i.e. the link is now dirty.
+    pub fn add(&mut self, link: LinkId, member: K) -> bool {
+        let count = self.members[link.0 as usize].entry(member).or_insert(0);
+        *count += 1;
+        *count == 1
+    }
+
+    /// Releases one connection of `member` from `link`. Returns `true`
+    /// when the membership set changed (last reference gone — dirty).
+    /// No-op (returning `false`) if the member was not charged.
+    pub fn remove(&mut self, link: LinkId, member: K) -> bool {
+        let map = &mut self.members[link.0 as usize];
+        match map.get_mut(&member) {
+            Some(count) if *count > 1 => {
+                *count -= 1;
+                false
+            }
+            Some(_) => {
+                map.remove(&member);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The link's current members, in sorted order.
+    pub fn members(&self, link: LinkId) -> impl Iterator<Item = K> + '_ {
+        self.members[link.0 as usize].keys().copied()
+    }
+
+    /// Number of distinct members on the link.
+    pub fn num_members(&self, link: LinkId) -> usize {
+        self.members[link.0 as usize].len()
+    }
+
+    /// Reference count of `member` on `link` (0 when absent).
+    pub fn count(&self, link: LinkId, member: K) -> u32 {
+        self.members[link.0 as usize]
+            .get(&member)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Whether the link carries no members.
+    pub fn is_empty(&self, link: LinkId) -> bool {
+        self.members[link.0 as usize].is_empty()
+    }
+
+    /// All links with a non-empty membership set, in id order.
+    pub fn occupied_links(&self) -> impl Iterator<Item = LinkId> + '_ {
+        self.members
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| !m.is_empty())
+            .map(|(i, _)| LinkId(i as u32))
+    }
+
+    /// Number of links the index covers.
+    pub fn num_links(&self) -> usize {
+        self.members.len()
+    }
+}
+
 /// SplitMix64: a tiny, high-quality deterministic mixer for ECMP hashing.
 fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E3779B97F4A7C15);
@@ -308,6 +402,24 @@ mod tests {
         let s = t.servers();
         let all = r.all_shortest_path_links(&t, s[0], s[1]);
         assert_eq!(all.len(), 2);
+    }
+
+    #[test]
+    fn link_members_dirty_only_on_set_transitions() {
+        let mut lm: LinkMembers<u32> = LinkMembers::new(3);
+        let l = LinkId(1);
+        assert!(lm.add(l, 7), "first reference makes the link dirty");
+        assert!(!lm.add(l, 7), "second reference of same member is clean");
+        assert!(lm.add(l, 9), "a new member is dirty again");
+        assert_eq!(lm.count(l, 7), 2);
+        assert_eq!(lm.members(l).collect::<Vec<_>>(), vec![7, 9]);
+        assert!(!lm.remove(l, 7), "refcount 2 -> 1 is clean");
+        assert!(lm.remove(l, 7), "last reference out is dirty");
+        assert!(!lm.remove(l, 7), "removing an absent member is a no-op");
+        assert_eq!(lm.num_members(l), 1);
+        assert!(lm.is_empty(LinkId(0)));
+        assert_eq!(lm.occupied_links().collect::<Vec<_>>(), vec![l]);
+        assert_eq!(lm.num_links(), 3);
     }
 
     #[test]

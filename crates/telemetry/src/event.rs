@@ -45,6 +45,19 @@ pub enum EventKind {
         /// Distinct paths among them (bundling effectiveness).
         bundles: u32,
     },
+    /// A controller allocation epoch finished reprogramming switches.
+    ///
+    /// Distinguishes full sweeps (recovery, deferred PL-hierarchy
+    /// refresh) from the incremental common case, and records how much
+    /// of the visited dirty set the programmed-state diff suppressed.
+    EpochScope {
+        /// Whether the epoch swept all active ports.
+        full: bool,
+        /// Ports visited this epoch.
+        dirty: u64,
+        /// Switch updates emitted after diffing.
+        emitted: u64,
+    },
     /// Routing re-converged after a fault or repair.
     Reconverged {
         /// Flows moved to an alternate path.
@@ -175,6 +188,7 @@ impl EventKind {
             EventKind::FlowStarted { .. } => "flow_started",
             EventKind::FlowCompleted { .. } => "flow_completed",
             EventKind::EpochAllocated { .. } => "epoch_allocated",
+            EventKind::EpochScope { .. } => "epoch_scope",
             EventKind::Reconverged { .. } => "reconverged",
             EventKind::FaultEdge { .. } => "fault_edge",
             EventKind::ControllerCrash { .. } => "controller_crash",
@@ -218,6 +232,16 @@ impl EventKind {
             }
             EventKind::EpochAllocated { flows, bundles } => {
                 let _ = write!(out, ",\"flows\":{flows},\"bundles\":{bundles}");
+            }
+            EventKind::EpochScope {
+                full,
+                dirty,
+                emitted,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"full\":{full},\"dirty\":{dirty},\"emitted\":{emitted}"
+                );
             }
             EventKind::Reconverged {
                 rerouted,
@@ -333,6 +357,11 @@ impl EventKind {
             "epoch_allocated" => EventKind::EpochAllocated {
                 flows: u32f("flows")?,
                 bundles: u32f("bundles")?,
+            },
+            "epoch_scope" => EventKind::EpochScope {
+                full: boolf("full")?,
+                dirty: u64f("dirty")?,
+                emitted: u64f("emitted")?,
             },
             "reconverged" => EventKind::Reconverged {
                 rerouted: u32f("rerouted")?,
@@ -463,6 +492,11 @@ mod tests {
             EventKind::EpochAllocated {
                 flows: 12,
                 bundles: 4,
+            },
+            EventKind::EpochScope {
+                full: false,
+                dirty: 6,
+                emitted: 2,
             },
             EventKind::Reconverged {
                 rerouted: 2,
