@@ -138,7 +138,13 @@ impl ChurnScript {
     }
 }
 
-fn diff_states(
+/// Diffs an incrementally accumulated switch state against the update
+/// set of a from-scratch recompute, at [`INCREMENTAL_RTOL`] on queue
+/// weights. `flavour` and `step` only label the error message. This is
+/// the shared oracle of the churn differential below and of the
+/// service tier's failover drills (a standby's post-takeover state
+/// must match a from-scratch solve of the durable log).
+pub fn diff_switch_states(
     flavour: &str,
     step: usize,
     programmed: &BTreeMap<u32, PortQueueConfig>,
@@ -276,7 +282,7 @@ pub fn incremental_vs_scratch(sc: &ChurnScript) -> Result<(), String> {
                 ));
             }
         }
-        diff_states("central", step, &central_programmed, &scratch)?;
+        diff_switch_states("central", step, &central_programmed, &scratch)?;
 
         // From-scratch distributed: the PL map lives in the shared
         // offline database, so a replayed controller is state-identical.
@@ -292,7 +298,7 @@ pub fn incremental_vs_scratch(sc: &ChurnScript) -> Result<(), String> {
                 .map_err(|e| format!("scratch dist create: {e}"))?;
         }
         let dscratch = dfresh.recompute_all();
-        diff_states("distributed", step, &dist_programmed, &dscratch)?;
+        diff_switch_states("distributed", step, &dist_programmed, &dscratch)?;
     }
     Ok(())
 }

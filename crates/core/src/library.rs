@@ -12,7 +12,7 @@
 
 use crate::controller::central::CentralController;
 use crate::controller::SwitchUpdate;
-use crate::rpc::{decode_request, encode_request, encode_response, Request, Response};
+use crate::rpc::{decode_request, encode_request, encode_response, ErrorCode, Request, Response};
 use saba_sim::ids::{AppId, NodeId, ServiceLevel};
 use saba_telemetry::{EventKind, SharedRecorder, TelemetrySink};
 use std::cell::RefCell;
@@ -36,9 +36,22 @@ pub enum LibError {
     /// The connection handle is unknown.
     UnknownConnection(u64),
     /// The controller rejected the request.
-    Rejected(String),
+    Rejected {
+        /// The typed failure class from the wire (retryable vs fatal).
+        code: ErrorCode,
+        /// Human-readable cause.
+        message: String,
+    },
     /// The controller answered with the wrong response kind.
     ProtocolViolation,
+}
+
+impl LibError {
+    /// True when the failure is transient and the call may be retried
+    /// (a shard mid-failover, an edge rate limit, an RPC timeout).
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, LibError::Rejected { code, .. } if code.is_retryable())
+    }
 }
 
 impl fmt::Display for LibError {
@@ -47,7 +60,9 @@ impl fmt::Display for LibError {
             LibError::NotRegistered => write!(f, "application is not registered"),
             LibError::AlreadyRegistered => write!(f, "application is already registered"),
             LibError::UnknownConnection(t) => write!(f, "unknown connection {t}"),
-            LibError::Rejected(m) => write!(f, "controller rejected the request: {m}"),
+            LibError::Rejected { code, message } => {
+                write!(f, "controller rejected the request ({code}): {message}")
+            }
             LibError::ProtocolViolation => write!(f, "unexpected response kind"),
         }
     }
@@ -176,7 +191,7 @@ impl<T: Transport> SabaLib<T> {
                 self.sl = Some(sl);
                 Ok(sl)
             }
-            Response::Error { message } => Err(LibError::Rejected(message)),
+            Response::Error { code, message } => Err(LibError::Rejected { code, message }),
             Response::Ack => Err(LibError::ProtocolViolation),
         };
         self.note("app_register", out.is_ok());
@@ -202,7 +217,7 @@ impl<T: Transport> SabaLib<T> {
                 self.conns.insert(tag, conn);
                 Ok(conn)
             }
-            Response::Error { message } => Err(LibError::Rejected(message)),
+            Response::Error { code, message } => Err(LibError::Rejected { code, message }),
             Response::Registered { .. } => Err(LibError::ProtocolViolation),
         };
         self.note("conn_create", out.is_ok());
@@ -223,7 +238,7 @@ impl<T: Transport> SabaLib<T> {
         });
         let out = match resp {
             Response::Ack => Ok(()),
-            Response::Error { message } => Err(LibError::Rejected(message)),
+            Response::Error { code, message } => Err(LibError::Rejected { code, message }),
             Response::Registered { .. } => Err(LibError::ProtocolViolation),
         };
         self.note("conn_destroy", out.is_ok());
@@ -248,7 +263,7 @@ impl<T: Transport> SabaLib<T> {
                 self.sl = None;
                 Ok(())
             }
-            Response::Error { message } => Err(LibError::Rejected(message)),
+            Response::Error { code, message } => Err(LibError::Rejected { code, message }),
             Response::Registered { .. } => Err(LibError::ProtocolViolation),
         };
         self.note("app_deregister", out.is_ok());
@@ -295,9 +310,7 @@ impl Transport for InProcTransport {
         let resp = match req {
             Request::AppRegister { app, workload } => match ctrl.register(app, &workload) {
                 Ok(sl) => Response::Registered { sl },
-                Err(e) => Response::Error {
-                    message: e.to_string(),
-                },
+                Err(e) => Response::from_controller_error(&e),
             },
             Request::ConnCreate { app, src, dst, tag } => {
                 match ctrl.conn_create(app, src, dst, tag) {
@@ -305,9 +318,7 @@ impl Transport for InProcTransport {
                         self.updates.borrow_mut().extend(updates);
                         Response::Ack
                     }
-                    Err(e) => Response::Error {
-                        message: e.to_string(),
-                    },
+                    Err(e) => Response::from_controller_error(&e),
                 }
             }
             Request::ConnDestroy { app, tag } => match ctrl.conn_destroy(app, tag) {
@@ -315,18 +326,14 @@ impl Transport for InProcTransport {
                     self.updates.borrow_mut().extend(updates);
                     Response::Ack
                 }
-                Err(e) => Response::Error {
-                    message: e.to_string(),
-                },
+                Err(e) => Response::from_controller_error(&e),
             },
             Request::AppDeregister { app } => match ctrl.deregister(app) {
                 Ok(updates) => {
                     self.updates.borrow_mut().extend(updates);
                     Response::Ack
                 }
-                Err(e) => Response::Error {
-                    message: e.to_string(),
-                },
+                Err(e) => Response::from_controller_error(&e),
             },
         };
         // Wire round trip on the response too.
@@ -411,7 +418,11 @@ mod tests {
         let (_, transport, _) = setup();
         let mut lib = SabaLib::new(AppId(0), transport);
         match lib.saba_app_register("Mystery") {
-            Err(LibError::Rejected(msg)) => assert!(msg.contains("Mystery")),
+            Err(LibError::Rejected { code, message }) => {
+                assert_eq!(code, ErrorCode::UnknownWorkload);
+                assert!(!code.is_retryable());
+                assert!(message.contains("Mystery"));
+            }
             other => panic!("expected rejection, got {other:?}"),
         }
     }

@@ -6,13 +6,28 @@
 //!
 //! ```text
 //! u32  payload length (big-endian, excluding itself)
+//! u8   protocol version (PROTO_VERSION)
 //! u8   message type
 //! ...  fields (big-endian integers; strings are u16 length + UTF-8)
 //! ```
+//!
+//! Error responses carry a typed [`ErrorCode`] so service clients can
+//! distinguish *retryable* conditions (a shard mid-failover, an edge
+//! rate limit) from *fatal* ones (`UnknownConnection`, a malformed
+//! request) without parsing human-readable strings.
 
+use crate::controller::ControllerError;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use saba_sim::ids::{AppId, NodeId, ServiceLevel};
 use std::fmt;
+
+/// The protocol version stamped on (and required of) every frame.
+///
+/// Version 1 was the unversioned pre-service format; version 2 added
+/// this byte plus typed error codes. A decoder that sees any other
+/// version returns [`RpcError::Version`] — a *fatal* condition (the
+/// peer speaks a different protocol; retrying cannot help).
+pub const PROTO_VERSION: u8 = 2;
 
 /// A control-plane request from the Saba library to the controller.
 #[derive(Debug, Clone, PartialEq)]
@@ -75,9 +90,110 @@ pub enum Response {
     Ack,
     /// The operation failed.
     Error {
+        /// Machine-readable failure class (retryable vs fatal).
+        code: ErrorCode,
         /// Human-readable cause.
         message: String,
     },
+}
+
+/// A typed failure class carried in every [`Response::Error`] frame.
+///
+/// Codes below 16 are **retryable**: the request was well-formed and
+/// may succeed if re-sent after a backoff (the shard is busy or
+/// failing over, the edge rate limiter pushed back). Codes 16 and up
+/// are **fatal**: re-sending the identical request can never succeed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// The shard's admission queue is full; retry after a backoff.
+    ShardBusy = 1,
+    /// The shard is mid-failover; a standby is replaying its log.
+    FailingOver = 2,
+    /// The per-tenant edge rate limiter rejected the request.
+    RateLimited = 3,
+    /// The controller (or shard) is down with no standby yet.
+    ControllerDown = 4,
+    /// The client-side transport exhausted its retry budget.
+    Timeout = 5,
+    /// The workload was never profiled (no sensitivity model).
+    UnknownWorkload = 16,
+    /// The application id is not registered.
+    UnknownApp = 17,
+    /// The application id is already registered.
+    AlreadyRegistered = 18,
+    /// No route exists between the connection's endpoints.
+    Unreachable = 19,
+    /// The connection id is unknown.
+    UnknownConnection = 20,
+    /// All priority levels are exhausted.
+    NoPlAvailable = 21,
+    /// The request frame was malformed.
+    Malformed = 22,
+    /// The peer speaks an unsupported protocol version.
+    VersionMismatch = 23,
+    /// An unclassified server-side failure.
+    Internal = 24,
+}
+
+impl ErrorCode {
+    /// True for transient conditions worth retrying after a backoff.
+    pub fn is_retryable(self) -> bool {
+        (self as u8) < 16
+    }
+
+    /// Decodes a wire byte into a code, if it names one.
+    pub fn from_u8(v: u8) -> Option<Self> {
+        Some(match v {
+            1 => Self::ShardBusy,
+            2 => Self::FailingOver,
+            3 => Self::RateLimited,
+            4 => Self::ControllerDown,
+            5 => Self::Timeout,
+            16 => Self::UnknownWorkload,
+            17 => Self::UnknownApp,
+            18 => Self::AlreadyRegistered,
+            19 => Self::Unreachable,
+            20 => Self::UnknownConnection,
+            21 => Self::NoPlAvailable,
+            22 => Self::Malformed,
+            23 => Self::VersionMismatch,
+            24 => Self::Internal,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+impl ControllerError {
+    /// The wire-level error class of this controller failure. All
+    /// controller errors are fatal: the controller rejected the
+    /// operation itself, not the circumstances around it.
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            ControllerError::UnknownWorkload(_) => ErrorCode::UnknownWorkload,
+            ControllerError::UnknownApp(_) => ErrorCode::UnknownApp,
+            ControllerError::AlreadyRegistered(_) => ErrorCode::AlreadyRegistered,
+            ControllerError::Unreachable { .. } => ErrorCode::Unreachable,
+            ControllerError::UnknownConnection(_) => ErrorCode::UnknownConnection,
+            ControllerError::NoPlAvailable => ErrorCode::NoPlAvailable,
+        }
+    }
+}
+
+impl Response {
+    /// Builds an error response from a controller rejection.
+    pub fn from_controller_error(e: &ControllerError) -> Self {
+        Response::Error {
+            code: e.code(),
+            message: e.to_string(),
+        }
+    }
 }
 
 /// Codec errors.
@@ -88,6 +204,9 @@ pub enum RpcError {
     /// The frame is malformed (bad type byte, truncated fields, bad
     /// UTF-8).
     Malformed(&'static str),
+    /// The frame carries a protocol version this decoder does not
+    /// speak. Fatal: the peer is from a different build generation.
+    Version(u8),
 }
 
 impl fmt::Display for RpcError {
@@ -95,6 +214,12 @@ impl fmt::Display for RpcError {
         match self {
             RpcError::Incomplete => write!(f, "incomplete frame"),
             RpcError::Malformed(what) => write!(f, "malformed frame: {what}"),
+            RpcError::Version(got) => {
+                write!(
+                    f,
+                    "unsupported protocol version {got} (want {PROTO_VERSION})"
+                )
+            }
         }
     }
 }
@@ -143,8 +268,10 @@ fn get_string(buf: &mut &[u8]) -> Result<String, RpcError> {
 }
 
 fn frame(body: BytesMut) -> Bytes {
-    let mut out = BytesMut::with_capacity(4 + body.len());
-    out.put_u32(body.len() as u32);
+    // The version byte counts toward the declared payload length.
+    let mut out = BytesMut::with_capacity(5 + body.len());
+    out.put_u32(body.len() as u32 + 1);
+    out.put_u8(PROTO_VERSION);
     out.extend_from_slice(&body);
     out.freeze()
 }
@@ -204,8 +331,9 @@ pub fn encode_response(resp: &Response) -> Bytes {
             b.put_u8(sl.value());
         }
         Response::Ack => b.put_u8(T_ACK),
-        Response::Error { message } => {
+        Response::Error { code, message } => {
             b.put_u8(T_ERROR);
+            b.put_u8(*code as u8);
             put_string(&mut b, message);
         }
     }
@@ -228,7 +356,16 @@ fn take_frame(data: &[u8]) -> Result<(&[u8], &[u8]), RpcError> {
     if data.len() < 4 + len {
         return Err(RpcError::Incomplete);
     }
-    Ok((&data[4..4 + len], &data[4 + len..]))
+    let payload = &data[4..4 + len];
+    let rest = &data[4 + len..];
+    // Every frame leads with its protocol version.
+    let (&version, payload) = payload
+        .split_first()
+        .ok_or(RpcError::Malformed("empty frame"))?;
+    if version != PROTO_VERSION {
+        return Err(RpcError::Version(version));
+    }
+    Ok((payload, rest))
 }
 
 /// Reads a request body (type byte + fields) from `body`, advancing it.
@@ -342,9 +479,17 @@ pub fn decode_response(data: &[u8]) -> Result<(Response, &[u8]), RpcError> {
             }
         }
         T_ACK => Response::Ack,
-        T_ERROR => Response::Error {
-            message: get_string(&mut body)?,
-        },
+        T_ERROR => {
+            if body.remaining() < 1 {
+                return Err(RpcError::Malformed("truncated error code"));
+            }
+            let code = ErrorCode::from_u8(body.get_u8())
+                .ok_or(RpcError::Malformed("unknown error code"))?;
+            Response::Error {
+                code,
+                message: get_string(&mut body)?,
+            }
+        }
         _ => return Err(RpcError::Malformed("unknown response type")),
     };
     if !body.is_empty() {
@@ -397,8 +542,76 @@ mod tests {
         });
         round_trip_response(Response::Ack);
         round_trip_response(Response::Error {
+            code: ErrorCode::UnknownWorkload,
             message: "unknown workload".into(),
         });
+    }
+
+    #[test]
+    fn every_error_code_round_trips() {
+        for v in 0..=u8::MAX {
+            if let Some(code) = ErrorCode::from_u8(v) {
+                assert_eq!(code as u8, v);
+                round_trip_response(Response::Error {
+                    code,
+                    message: format!("code {v}"),
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn retryable_fatal_split_is_stable() {
+        for code in [
+            ErrorCode::ShardBusy,
+            ErrorCode::FailingOver,
+            ErrorCode::RateLimited,
+            ErrorCode::ControllerDown,
+            ErrorCode::Timeout,
+        ] {
+            assert!(code.is_retryable(), "{code} must be retryable");
+        }
+        for code in [
+            ErrorCode::UnknownWorkload,
+            ErrorCode::UnknownApp,
+            ErrorCode::AlreadyRegistered,
+            ErrorCode::Unreachable,
+            ErrorCode::UnknownConnection,
+            ErrorCode::NoPlAvailable,
+            ErrorCode::Malformed,
+            ErrorCode::VersionMismatch,
+            ErrorCode::Internal,
+        ] {
+            assert!(!code.is_retryable(), "{code} must be fatal");
+        }
+    }
+
+    #[test]
+    fn unknown_error_code_byte_is_malformed() {
+        let mut b = BytesMut::new();
+        b.put_u8(T_ERROR);
+        b.put_u8(0); // 0 names no code
+        put_string(&mut b, "x");
+        let wire = frame(b);
+        assert_eq!(
+            decode_response(&wire).unwrap_err(),
+            RpcError::Malformed("unknown error code")
+        );
+    }
+
+    #[test]
+    fn wrong_version_byte_is_a_version_error() {
+        let mut wire = encode_request(&Request::AppDeregister { app: AppId(1) }).to_vec();
+        wire[4] = PROTO_VERSION + 1;
+        assert_eq!(
+            decode_request(&wire).unwrap_err(),
+            RpcError::Version(PROTO_VERSION + 1)
+        );
+        // Version 1 frames (the pre-service format) are rejected too:
+        // their first body byte was the type, which reads as version 1
+        // for requests.
+        wire[4] = 1;
+        assert_eq!(decode_request(&wire).unwrap_err(), RpcError::Version(1));
     }
 
     #[test]

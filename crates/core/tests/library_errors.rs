@@ -53,7 +53,7 @@ fn double_register_is_rejected_locally_and_remotely() {
     // instance claiming the same app id.
     let mut imposter = SabaLib::new(AppId(0), InProcTransport::new(Rc::clone(&ctl)));
     let err = imposter.saba_app_register("LR").unwrap_err();
-    assert!(matches!(err, LibError::Rejected(_)), "{err:?}");
+    assert!(matches!(err, LibError::Rejected { .. }), "{err:?}");
     assert_eq!(ctl.borrow().num_apps(), 1);
 }
 
@@ -61,7 +61,7 @@ fn double_register_is_rejected_locally_and_remotely() {
 fn register_unknown_workload_is_rejected() {
     let (ctl, mut lib, _servers) = setup();
     let err = lib.saba_app_register("Mystery").unwrap_err();
-    assert!(matches!(err, LibError::Rejected(_)), "{err:?}");
+    assert!(matches!(err, LibError::Rejected { .. }), "{err:?}");
     assert_eq!(ctl.borrow().num_apps(), 0);
     assert_eq!(lib.sl(), None, "failed registration must not stick");
 }

@@ -6,7 +6,7 @@
 use proptest::prelude::*;
 use saba_core::rpc::{
     decode_envelope, decode_request, decode_response, encode_envelope, encode_request,
-    encode_response, Envelope, Request, Response, RpcError,
+    encode_response, Envelope, ErrorCode, Request, Response, RpcError, PROTO_VERSION,
 };
 use saba_sim::ids::{AppId, NodeId, ServiceLevel};
 
@@ -34,13 +34,35 @@ fn arb_request() -> impl Strategy<Value = Request> {
     ]
 }
 
+const ALL_ERROR_CODES: [ErrorCode; 14] = [
+    ErrorCode::ShardBusy,
+    ErrorCode::FailingOver,
+    ErrorCode::RateLimited,
+    ErrorCode::ControllerDown,
+    ErrorCode::Timeout,
+    ErrorCode::UnknownWorkload,
+    ErrorCode::UnknownApp,
+    ErrorCode::AlreadyRegistered,
+    ErrorCode::Unreachable,
+    ErrorCode::UnknownConnection,
+    ErrorCode::NoPlAvailable,
+    ErrorCode::Malformed,
+    ErrorCode::VersionMismatch,
+    ErrorCode::Internal,
+];
+
+fn arb_error_code() -> impl Strategy<Value = ErrorCode> {
+    (0..ALL_ERROR_CODES.len()).prop_map(|i| ALL_ERROR_CODES[i])
+}
+
 fn arb_response() -> impl Strategy<Value = Response> {
     prop_oneof![
         (0u8..ServiceLevel::COUNT as u8).prop_map(|sl| Response::Registered {
             sl: ServiceLevel(sl),
         }),
         Just(Response::Ack),
-        "[ -~]{0,60}".prop_map(|message| Response::Error { message }),
+        ("[ -~]{0,60}", arb_error_code())
+            .prop_map(|(message, code)| Response::Error { code, message }),
     ]
 }
 
@@ -121,5 +143,44 @@ proptest! {
         prop_assert_eq!(back, req);
         prop_assert_eq!(rest, &junk[..]);
         let _ = decode_request(rest);
+    }
+
+    /// Every strict prefix of a valid envelope frame is an error, never
+    /// a panic, and complete-frame prefixes specifically report
+    /// `Incomplete` so a streaming reader waits for more bytes.
+    #[test]
+    fn truncated_envelope_is_incomplete(id in any::<u64>(), req in arb_request(), keep in 0.0f64..1.0) {
+        let env = Envelope { request_id: id, request: req };
+        let wire = encode_envelope(&env);
+        let cut = ((wire.len() as f64) * keep) as usize; // always < len
+        prop_assert_eq!(decode_envelope(&wire[..cut]).unwrap_err(), RpcError::Incomplete);
+    }
+
+    /// Overwriting the version byte with anything else yields a
+    /// `Version` error on all three decoders — never a panic, never a
+    /// successful parse of a frame from a different protocol
+    /// generation.
+    #[test]
+    fn foreign_version_byte_is_rejected(req in arb_request(), version in any::<u8>()) {
+        prop_assume!(version != PROTO_VERSION);
+        let mut wire = encode_request(&req).to_vec();
+        wire[4] = version;
+        prop_assert_eq!(decode_request(&wire).unwrap_err(), RpcError::Version(version));
+        prop_assert_eq!(decode_envelope(&wire).unwrap_err(), RpcError::Version(version));
+        prop_assert_eq!(decode_response(&wire).unwrap_err(), RpcError::Version(version));
+    }
+
+    /// Error responses round-trip their typed code exactly, and the
+    /// retryable/fatal split survives the wire.
+    #[test]
+    fn error_code_survives_the_wire(code in arb_error_code(), message in "[ -~]{0,60}") {
+        let resp = Response::Error { code, message };
+        let wire = encode_response(&resp);
+        let (back, _) = decode_response(&wire).unwrap();
+        match &back {
+            Response::Error { code: c, .. } => prop_assert_eq!(c.is_retryable(), code.is_retryable()),
+            other => prop_assert!(false, "expected error, got {:?}", other),
+        }
+        prop_assert_eq!(back, resp);
     }
 }

@@ -3,7 +3,8 @@
 //! library from different builds must interoperate).
 
 use saba_core::rpc::{
-    decode_request, decode_response, encode_request, encode_response, Request, Response,
+    decode_request, decode_response, encode_request, encode_response, ErrorCode, Request, Response,
+    PROTO_VERSION,
 };
 use saba_sim::ids::{AppId, NodeId, ServiceLevel};
 
@@ -17,10 +18,20 @@ fn request_wire_bytes_are_stable() {
                 workload: "LR".into(),
             },
             &[
-                0, 0, 0, 9, // length
-                1, // type
-                0, 0, 0, 7, // app id
-                0, 2, b'L', b'R', // workload
+                0,
+                0,
+                0,
+                10,            // length
+                PROTO_VERSION, // version
+                1,             // type
+                0,
+                0,
+                0,
+                7, // app id
+                0,
+                2,
+                b'L',
+                b'R', // workload
             ],
         ),
         (
@@ -32,12 +43,32 @@ fn request_wire_bytes_are_stable() {
                 tag: 0x0102_0304_0506_0708,
             },
             &[
-                0, 0, 0, 21, // length
-                2,  // type
-                0, 0, 0, 1, // app
-                0, 0, 0, 2, // src
-                0, 0, 0, 3, // dst
-                1, 2, 3, 4, 5, 6, 7, 8, // tag
+                0,
+                0,
+                0,
+                22,            // length
+                PROTO_VERSION, // version
+                2,             // type
+                0,
+                0,
+                0,
+                1, // app
+                0,
+                0,
+                0,
+                2, // src
+                0,
+                0,
+                0,
+                3, // dst
+                1,
+                2,
+                3,
+                4,
+                5,
+                6,
+                7,
+                8, // tag
             ],
         ),
         (
@@ -47,19 +78,40 @@ fn request_wire_bytes_are_stable() {
                 tag: 42,
             },
             &[
-                0, 0, 0, 13, // length
-                3,  // type
-                0, 0, 0, 9, // app
-                0, 0, 0, 0, 0, 0, 0, 42, // tag
+                0,
+                0,
+                0,
+                14,            // length
+                PROTO_VERSION, // version
+                3,             // type
+                0,
+                0,
+                0,
+                9, // app
+                0,
+                0,
+                0,
+                0,
+                0,
+                0,
+                0,
+                42, // tag
             ],
         ),
         (
             "app_deregister",
             Request::AppDeregister { app: AppId(255) },
             &[
-                0, 0, 0, 5, // length
-                4, // type
-                0, 0, 0, 255, // app
+                0,
+                0,
+                0,
+                6,             // length
+                PROTO_VERSION, // version
+                4,             // type
+                0,
+                0,
+                0,
+                255, // app
             ],
         ),
     ];
@@ -80,15 +132,24 @@ fn response_wire_bytes_are_stable() {
             Response::Registered {
                 sl: ServiceLevel(13),
             },
-            &[0, 0, 0, 2, 16, 13],
+            &[0, 0, 0, 3, PROTO_VERSION, 16, 13],
         ),
-        ("ack", Response::Ack, &[0, 0, 0, 1, 17]),
+        ("ack", Response::Ack, &[0, 0, 0, 2, PROTO_VERSION, 17]),
         (
             "error",
             Response::Error {
+                code: ErrorCode::ShardBusy,
                 message: "no".into(),
             },
-            &[0, 0, 0, 5, 18, 0, 2, b'n', b'o'],
+            &[0, 0, 0, 7, PROTO_VERSION, 18, 1, 0, 2, b'n', b'o'],
+        ),
+        (
+            "error_fatal",
+            Response::Error {
+                code: ErrorCode::UnknownConnection,
+                message: "no".into(),
+            },
+            &[0, 0, 0, 7, PROTO_VERSION, 18, 20, 0, 2, b'n', b'o'],
         ),
     ];
     for (name, resp, bytes) in golden {

@@ -24,7 +24,7 @@
 use crate::injector::ControlAction;
 use saba_core::controller::central::CentralController;
 use saba_core::controller::distributed::{DistributedController, MappingDb};
-use saba_core::controller::{ControllerConfig, SwitchUpdate};
+use saba_core::controller::{ControllerConfig, ControllerError, SwitchUpdate};
 use saba_core::sensitivity::SensitivityTable;
 use saba_sim::ids::{AppId, NodeId, ServiceLevel};
 use saba_sim::topology::Topology;
@@ -69,6 +69,21 @@ pub struct EpochCounters {
     pub solves_skipped: u64,
     /// `SwitchUpdate`s suppressed by the programmed-state diff.
     pub queue_updates_diffed: u64,
+}
+
+/// Why [`ResilientController::try_register`] failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TryRegisterError {
+    /// The controller is crashed; retry once a standby takes over.
+    Down,
+    /// The (live) controller rejected the registration.
+    Rejected(ControllerError),
+}
+
+impl From<ControllerError> for TryRegisterError {
+    fn from(e: ControllerError) -> Self {
+        TryRegisterError::Rejected(e)
+    }
 }
 
 enum Inner {
@@ -275,12 +290,26 @@ impl ResilientController {
     /// callers are expected to retry after recovery (register-at-launch
     /// co-runs never hit this; it exists for completeness and tests).
     pub fn register(&mut self, app: AppId, workload: &str) -> Result<ServiceLevel, String> {
+        self.try_register(app, workload).map_err(|e| match e {
+            TryRegisterError::Down => "controller is down".to_string(),
+            TryRegisterError::Rejected(e) => e.to_string(),
+        })
+    }
+
+    /// Typed variant of [`Self::register`] for service callers that
+    /// must tell the down-window (retryable — a standby is coming)
+    /// apart from controller rejections (fatal).
+    pub fn try_register(
+        &mut self,
+        app: AppId,
+        workload: &str,
+    ) -> Result<ServiceLevel, TryRegisterError> {
         if self.down {
-            return Err("controller is down".into());
+            return Err(TryRegisterError::Down);
         }
         let sl = match &mut self.inner {
-            Inner::Central(c) => c.register(app, workload).map_err(|e| e.to_string())?,
-            Inner::Distributed(c) => c.register(app, workload).map_err(|e| e.to_string())?,
+            Inner::Central(c) => c.register(app, workload)?,
+            Inner::Distributed(c) => c.register(app, workload)?,
         };
         self.registrations.push((app, workload.to_string()));
         self.sls.insert(app, sl);

@@ -24,7 +24,7 @@ use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use saba_core::library::Transport;
-use saba_core::rpc::{decode_envelope, encode_envelope, Envelope, Request, Response};
+use saba_core::rpc::{decode_envelope, encode_envelope, Envelope, ErrorCode, Request, Response};
 use saba_telemetry::{EventKind, SharedRecorder, TelemetrySink};
 use std::collections::HashMap;
 
@@ -304,6 +304,7 @@ impl<T: Transport> Transport for ReliableTransport<T> {
         self.stats.exhausted += 1;
         self.note(EventKind::RpcExhausted { id });
         Response::Error {
+            code: ErrorCode::Timeout,
             message: format!("rpc timed out after {} attempts", self.retry.max_attempts),
         }
     }
@@ -460,7 +461,11 @@ mod tests {
         );
         let mut lib = SabaLib::new(AppId(0), transport);
         let err = lib.saba_app_register("LR").unwrap_err();
-        assert!(matches!(err, LibError::Rejected(_)), "{err:?}");
+        assert!(matches!(err, LibError::Rejected { .. }), "{err:?}");
+        assert!(
+            err.is_retryable(),
+            "a transport timeout is retryable: {err:?}"
+        );
         let stats = lib.transport().stats();
         assert_eq!(stats.exhausted, 1);
         assert_eq!(stats.attempts, 4);

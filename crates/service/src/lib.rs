@@ -1,0 +1,55 @@
+//! `saba-service`: the Saba control plane as a long-running,
+//! multi-tenant allocation **service** (ROADMAP item 4).
+//!
+//! The in-sim library/RPC layer of `saba-core` answers one question —
+//! *what should the fabric do right now* — but a datacenter control
+//! plane must also survive its own churn: worker crashes, torn log
+//! tails, tenants that hammer the registration path. This crate wraps
+//! the existing incremental-epoch controllers in the production shape
+//! that SNIPPETS.md's ADR-0010 (dark_tower) sketches:
+//!
+//! * [`wal`] — a durable registration log: append-only, CRC-framed
+//!   records (the wire form of each acked operation), fsync batching
+//!   (group commit), torn-write-tolerant recovery, and compaction to
+//!   minimal snapshots.
+//! * [`shard`] — the sharded service tier: tenants are consistently
+//!   assigned to shards, each shard drives one incremental-epoch
+//!   [`saba_faults::ResilientController`] (either flavour) and speaks
+//!   the hardened `saba_core::rpc` protocol.
+//! * [`heartbeat`] — the failover plane: shards beat on the logical
+//!   clock, a supervisor declares a shard dead after a missed-beat
+//!   window, and a standby takes over by replaying the durable log —
+//!   zero acked registrations lost.
+//! * [`admission`] — edge admission: per-tenant token buckets push
+//!   back with *retryable* error codes before overload reaches a
+//!   shard.
+//! * [`service`] — the deterministic in-process assembly of all four
+//!   (the form the conformance drills and seeded-telemetry smoke
+//!   tests run), plus a [`service::ServiceClient`] implementing
+//!   `saba_core::library::Transport` so an unmodified `SabaLib` runs
+//!   its Fig. 7 lifecycle against the service.
+//! * [`runtime`] — the threaded deployment: one worker thread per
+//!   shard behind bounded mpsc queues (backpressure → `ShardBusy`),
+//!   a wall-clock supervisor thread, and standby takeover that
+//!   re-spawns a worker from the durable log.
+//! * [`net`] — a real `std::net` TCP front door speaking the same
+//!   length-prefixed frames as the in-process paths.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod heartbeat;
+pub mod net;
+pub mod runtime;
+pub mod service;
+pub mod shard;
+pub mod wal;
+
+pub use admission::{Admission, Admit, TokenBucketCfg};
+pub use heartbeat::{HeartbeatConfig, Supervisor};
+pub use net::{TcpServiceServer, TcpTransport};
+pub use runtime::{RuntimeConfig, RuntimeReport, ServiceRuntime};
+pub use service::{AllocationService, FailoverReport, ServiceClient, ServiceConfig};
+pub use shard::{Flavour, Shard, ShardMap, ShardSpec, TakeoverReport};
+pub use wal::{DurableLog, ReplayState, ScanReport};

@@ -1,0 +1,196 @@
+//! A real `std::net` TCP front door for the threaded runtime.
+//!
+//! The wire format is exactly the in-process one: length-prefixed,
+//! version-stamped `saba_core::rpc` frames — an [`Envelope`] per
+//! request, a [`Response`] frame back. One TCP connection carries one
+//! client's request stream, in order; the server spawns a thread per
+//! connection (the shard tier behind it is already bounded, so the
+//! accept path does not need its own limiter).
+//!
+//! Malformed or version-mismatched frames get a best-effort typed
+//! error response before the connection drops: a peer from a
+//! different build generation learns *why* instead of seeing a reset.
+
+use crate::runtime::ServiceRuntime;
+use saba_core::library::Transport;
+use saba_core::rpc::{
+    decode_envelope, encode_envelope, encode_response, Envelope, ErrorCode, Request, Response,
+    RpcError,
+};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// The TCP server wrapping a [`ServiceRuntime`].
+pub struct TcpServiceServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+fn serve_connection(runtime: &ServiceRuntime, mut stream: TcpStream) {
+    let mut buf: Vec<u8> = Vec::with_capacity(4096);
+    let mut chunk = [0u8; 4096];
+    loop {
+        // Drain every complete frame currently buffered.
+        loop {
+            match decode_envelope(&buf) {
+                Ok((env, rest)) => {
+                    let consumed = buf.len() - rest.len();
+                    buf.drain(..consumed);
+                    let resp = runtime.call(env);
+                    if stream.write_all(&encode_response(&resp)).is_err() {
+                        return;
+                    }
+                }
+                Err(RpcError::Incomplete) => break,
+                Err(e) => {
+                    // Tell the peer why before hanging up; the stream
+                    // is desynchronized beyond repair.
+                    let code = match e {
+                        RpcError::Version(_) => ErrorCode::VersionMismatch,
+                        _ => ErrorCode::Malformed,
+                    };
+                    let resp = Response::Error {
+                        code,
+                        message: e.to_string(),
+                    };
+                    let _ = stream.write_all(&encode_response(&resp));
+                    return;
+                }
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // peer closed
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => continue,
+            Err(_) => return,
+        }
+    }
+}
+
+impl TcpServiceServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// accepting connections against `runtime`.
+    pub fn bind(runtime: Arc<ServiceRuntime>, addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_thread = {
+            let stop = stop.clone();
+            // Poll accept so the stop flag is honored promptly.
+            listener.set_nonblocking(true)?;
+            std::thread::Builder::new()
+                .name("saba-tcp-accept".into())
+                .spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        match listener.accept() {
+                            Ok((stream, _peer)) => {
+                                let _ = stream.set_nodelay(true);
+                                let _ = stream.set_nonblocking(false);
+                                let runtime = runtime.clone();
+                                let _ = std::thread::Builder::new()
+                                    .name("saba-tcp-conn".into())
+                                    .spawn(move || serve_connection(&runtime, stream));
+                            }
+                            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                std::thread::sleep(Duration::from_millis(5));
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                })
+                .expect("spawn accept thread")
+        };
+        Ok(Self {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (with the resolved ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting. Existing connection threads drain naturally
+    /// when their peers hang up.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// A blocking TCP [`Transport`]: one stream, one in-flight request.
+pub struct TcpTransport {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    next_id: u64,
+}
+
+impl TcpTransport {
+    /// Connects to a [`TcpServiceServer`], issuing request ids from
+    /// `base_id` (give each client a disjoint range).
+    pub fn connect(addr: impl ToSocketAddrs, base_id: u64) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        Ok(Self {
+            stream,
+            buf: Vec::with_capacity(4096),
+            next_id: base_id,
+        })
+    }
+
+    fn round_trip(&mut self, env: &Envelope) -> std::io::Result<Response> {
+        self.stream.write_all(&encode_envelope(env))?;
+        let mut chunk = [0u8; 4096];
+        loop {
+            match saba_core::rpc::decode_response(&self.buf) {
+                Ok((resp, rest)) => {
+                    let consumed = self.buf.len() - rest.len();
+                    self.buf.drain(..consumed);
+                    return Ok(resp);
+                }
+                Err(RpcError::Incomplete) => {}
+                Err(e) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        e.to_string(),
+                    ))
+                }
+            }
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn call(&mut self, req: Request) -> Response {
+        let env = Envelope {
+            request_id: self.next_id,
+            request: req,
+        };
+        self.next_id += 1;
+        match self.round_trip(&env) {
+            Ok(resp) => resp,
+            Err(e) => Response::Error {
+                code: ErrorCode::Timeout,
+                message: format!("transport failure: {e}"),
+            },
+        }
+    }
+}

@@ -1,0 +1,703 @@
+//! The threaded (wall-clock) service runtime.
+//!
+//! One OS thread per shard, each owning its [`Shard`] outright (the
+//! shard is built *inside* the worker thread — nothing crosses the
+//! boundary but messages). Requests arrive over bounded channels, so
+//! a saturated worker pushes back with [`ErrorCode::ShardBusy`]
+//! instead of queueing unboundedly; the worker drains its queue into
+//! batches, so one fsync covers every request that arrived while the
+//! previous batch was being applied (group commit under load).
+//!
+//! A wall-clock supervisor thread probes every worker each interval.
+//! A *crashed* worker is detected instantly — its channel receiver
+//! dies with the thread, so the probe sees a disconnect. A worker
+//! that merely fails to answer within the window may just be busy
+//! (probes are FIFO behind queued requests, so under sustained load
+//! the probe reply waits out a full queue drain): the supervisor
+//! consults a per-shard progress counter the worker bumps each batch,
+//! and only declares death after several consecutive silent probes
+//! with **zero progress** — a genuinely wedged worker. Either way a
+//! dead shard gets a **standby worker** spawned from the same durable
+//! log — the service keeps answering for that shard's tenants with
+//! zero acked registrations lost.
+//!
+//! Wall-clock latency measurements stay inside the worker and are
+//! reported under `wall.*` metric names only, per the repo's
+//! determinism convention: traces stay deterministic, wall time never
+//! enters them.
+
+use crate::shard::{Shard, ShardMap, ShardSpec, ShardStats, TakeoverReport};
+use saba_core::library::Transport;
+use saba_core::rpc::{Envelope, ErrorCode, Request, Response};
+use saba_sim::ids::AppId;
+use saba_telemetry::Histogram;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Deployment knobs of the threaded runtime.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Number of shard workers.
+    pub shards: usize,
+    /// Seed of the tenant→shard map.
+    pub map_seed: u64,
+    /// Fsync batching bound (see [`crate::wal::DurableLog`]).
+    pub sync_every: usize,
+    /// Compaction trigger in records; `0` disables.
+    pub compact_threshold: u64,
+    /// Bounded queue depth per worker; a full queue is `ShardBusy`.
+    pub queue_depth: usize,
+    /// Largest batch a worker drains before syncing and replying.
+    pub batch_max: usize,
+    /// Supervisor probe interval.
+    pub probe_interval: Duration,
+    /// How long one probe waits for its echo before counting a strike.
+    pub probe_window: Duration,
+    /// Consecutive silent probes with zero batch progress before a
+    /// worker is declared wedged. (A crashed worker is detected
+    /// immediately via its disconnected channel, regardless.)
+    pub probe_strikes: u32,
+    /// Directory holding the per-shard durable logs.
+    pub log_dir: PathBuf,
+}
+
+impl RuntimeConfig {
+    /// Defaults sized for tests: small queues, fast failover.
+    pub fn new(log_dir: impl Into<PathBuf>) -> Self {
+        Self {
+            shards: 4,
+            map_seed: 0x5aba,
+            sync_every: 32,
+            compact_threshold: 4096,
+            queue_depth: 256,
+            batch_max: 64,
+            probe_interval: Duration::from_millis(20),
+            probe_window: Duration::from_millis(250),
+            probe_strikes: 5,
+            log_dir: log_dir.into(),
+        }
+    }
+}
+
+/// Verdict of a single supervisor probe.
+enum Probe {
+    /// Echoed promptly, or its queue is full (busy, not dead).
+    Alive,
+    /// No echo within the window — busy or wedged; the supervisor
+    /// decides using the shard's progress counter.
+    Silent,
+    /// Channel disconnected: the worker thread is gone.
+    Dead,
+}
+
+enum WorkerMsg {
+    /// A request; the worker replies on the provided channel once the
+    /// operation is durable.
+    Call(Envelope, Sender<Response>),
+    /// Health probe; a live worker echoes promptly.
+    Beat(Sender<()>),
+    /// Fault injection: die without cleanup, exactly like a crash —
+    /// queued requests and the dedup cache are lost with the thread.
+    Kill,
+    /// Clean shutdown; the worker replies with its final report.
+    Shutdown(Sender<WorkerReport>),
+}
+
+/// A worker's lifetime summary.
+#[derive(Debug, Clone)]
+pub struct WorkerReport {
+    /// The shard this worker served.
+    pub shard: usize,
+    /// Shard counters at exit.
+    pub stats: ShardStats,
+    /// What this worker's opening replay found (empty log → zeros).
+    pub takeover: TakeoverReport,
+    /// Wall-clock per-request latency inside the worker (seconds),
+    /// request arrival at the shard to durable ack.
+    pub wall_latency: Histogram,
+    /// Batches applied (each is one group commit).
+    pub batches: u64,
+}
+
+struct Router {
+    senders: Mutex<Vec<SyncSender<WorkerMsg>>>,
+    /// Batches applied per shard, bumped by the owning worker. Lets
+    /// the supervisor tell *busy* (progressing, probe echo stuck in
+    /// the queue) from *wedged* (silent and frozen).
+    progress: Vec<Arc<AtomicU64>>,
+    map: ShardMap,
+    failovers: AtomicU64,
+}
+
+fn worker_loop(
+    shard_id: usize,
+    spec: ShardSpec,
+    cfg: RuntimeConfig,
+    rx: Receiver<WorkerMsg>,
+    progress: Arc<AtomicU64>,
+) {
+    let (mut shard, scan) = match Shard::open(shard_id, spec, &cfg.log_dir, cfg.sync_every) {
+        Ok(ok) => ok,
+        Err(_) => return, // unreachable log dir: the supervisor will respawn
+    };
+    let takeover = scan;
+    let mut wall_latency = Histogram::new();
+    let mut batches = 0u64;
+    let mut pending_ctrl: Vec<WorkerMsg> = Vec::new();
+    'main: loop {
+        let first = if let Some(msg) = pending_ctrl.pop() {
+            msg
+        } else {
+            match rx.recv() {
+                Ok(msg) => msg,
+                Err(_) => break 'main, // runtime dropped: exit quietly
+            }
+        };
+        match first {
+            WorkerMsg::Kill => return,
+            WorkerMsg::Shutdown(tx) => {
+                // Every batch already group-committed; nothing to sync.
+                let _ = tx.send(WorkerReport {
+                    shard: shard_id,
+                    stats: shard.stats(),
+                    takeover,
+                    wall_latency,
+                    batches,
+                });
+                return;
+            }
+            WorkerMsg::Beat(tx) => {
+                let _ = tx.send(());
+            }
+            WorkerMsg::Call(env, tx) => {
+                // Drain whatever arrived behind this call into one
+                // batch (one fsync); control messages wait their turn.
+                let mut batch = vec![(env, tx)];
+                while batch.len() < cfg.batch_max {
+                    match rx.try_recv() {
+                        Ok(WorkerMsg::Call(e, t)) => batch.push((e, t)),
+                        Ok(ctrl) => {
+                            pending_ctrl.push(ctrl);
+                            break;
+                        }
+                        Err(_) => break,
+                    }
+                }
+                let envs: Vec<Envelope> = batch.iter().map(|(e, _)| e.clone()).collect();
+                let t0 = Instant::now();
+                let resps = shard.handle_batch(&envs);
+                let per_op = t0.elapsed().as_secs_f64() / envs.len() as f64;
+                for _ in 0..envs.len() {
+                    wall_latency.record(per_op);
+                }
+                batches += 1;
+                progress.fetch_add(1, Ordering::Relaxed);
+                for ((_, tx), resp) in batch.into_iter().zip(resps) {
+                    let _ = tx.send(resp); // caller may have timed out
+                }
+                if cfg.compact_threshold > 0 {
+                    let _ = shard.maybe_compact(cfg.compact_threshold);
+                }
+            }
+        }
+    }
+}
+
+/// The running threaded service.
+pub struct ServiceRuntime {
+    cfg: RuntimeConfig,
+    spec: ShardSpec,
+    router: Arc<Router>,
+    supervisor: Mutex<Option<JoinHandle<()>>>,
+    stop: Arc<AtomicBool>,
+    /// Reports from workers replaced by failover (killed workers
+    /// report nothing — they died).
+    replaced: Arc<Mutex<Vec<usize>>>,
+}
+
+/// Final runtime summary returned by [`ServiceRuntime::shutdown`].
+#[derive(Debug)]
+pub struct RuntimeReport {
+    /// Per-worker reports from the final (surviving) workers.
+    pub workers: Vec<WorkerReport>,
+    /// Standby takeovers the supervisor performed.
+    pub failovers: u64,
+}
+
+fn spawn_worker(
+    shard_id: usize,
+    spec: ShardSpec,
+    cfg: RuntimeConfig,
+    progress: Arc<AtomicU64>,
+) -> SyncSender<WorkerMsg> {
+    let (tx, rx) = mpsc::sync_channel(cfg.queue_depth);
+    std::thread::Builder::new()
+        .name(format!("saba-shard-{shard_id}"))
+        .spawn(move || worker_loop(shard_id, spec, cfg, rx, progress))
+        .expect("spawn shard worker");
+    tx
+}
+
+impl ServiceRuntime {
+    /// Starts the workers and the supervisor.
+    pub fn start(spec: ShardSpec, cfg: RuntimeConfig) -> std::io::Result<Self> {
+        std::fs::create_dir_all(&cfg.log_dir)?;
+        let progress: Vec<Arc<AtomicU64>> = (0..cfg.shards)
+            .map(|_| Arc::new(AtomicU64::new(0)))
+            .collect();
+        let senders: Vec<SyncSender<WorkerMsg>> = (0..cfg.shards)
+            .map(|id| spawn_worker(id, spec.clone(), cfg.clone(), progress[id].clone()))
+            .collect();
+        let router = Arc::new(Router {
+            senders: Mutex::new(senders),
+            progress,
+            map: ShardMap::new(cfg.shards, cfg.map_seed),
+            failovers: AtomicU64::new(0),
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+        let replaced = Arc::new(Mutex::new(Vec::new()));
+        let supervisor = {
+            let router = router.clone();
+            let stop = stop.clone();
+            let replaced = replaced.clone();
+            let spec = spec.clone();
+            let cfg = cfg.clone();
+            std::thread::Builder::new()
+                .name("saba-supervisor".into())
+                .spawn(move || {
+                    // Per shard: progress at the last verdict, and
+                    // consecutive silent probes without progress.
+                    let mut seen: Vec<(u64, u32)> = router
+                        .progress
+                        .iter()
+                        .map(|p| (p.load(Ordering::Relaxed), 0))
+                        .collect();
+                    while !stop.load(Ordering::Relaxed) {
+                        std::thread::sleep(cfg.probe_interval);
+                        for (shard, verdict) in seen.iter_mut().enumerate() {
+                            if stop.load(Ordering::Relaxed) {
+                                return;
+                            }
+                            let progress = &router.progress[shard];
+                            match Self::probe(&router, shard, cfg.probe_window) {
+                                Probe::Alive => {
+                                    *verdict = (progress.load(Ordering::Relaxed), 0);
+                                    continue;
+                                }
+                                Probe::Silent => {
+                                    // Busy or wedged? Progress since
+                                    // the last verdict means busy.
+                                    let now = progress.load(Ordering::Relaxed);
+                                    if now != verdict.0 {
+                                        *verdict = (now, 0);
+                                        continue;
+                                    }
+                                    verdict.1 += 1;
+                                    if verdict.1 < cfg.probe_strikes {
+                                        continue;
+                                    }
+                                }
+                                Probe::Dead => {}
+                            }
+                            // Dead: spawn a standby from the durable
+                            // log and route new traffic to it.
+                            let tx =
+                                spawn_worker(shard, spec.clone(), cfg.clone(), progress.clone());
+                            router.senders.lock().unwrap()[shard] = tx;
+                            router.failovers.fetch_add(1, Ordering::Relaxed);
+                            replaced.lock().unwrap().push(shard);
+                            *verdict = (progress.load(Ordering::Relaxed), 0);
+                        }
+                    }
+                })
+                .expect("spawn supervisor")
+        };
+        Ok(Self {
+            cfg,
+            spec,
+            router,
+            supervisor: Mutex::new(Some(supervisor)),
+            stop,
+            replaced,
+        })
+    }
+
+    /// One liveness probe of `shard`'s worker.
+    fn probe(router: &Router, shard: usize, window: Duration) -> Probe {
+        let sender = router.senders.lock().unwrap()[shard].clone();
+        let (tx, rx) = mpsc::channel();
+        match sender.try_send(WorkerMsg::Beat(tx)) {
+            Ok(()) => match rx.recv_timeout(window) {
+                Ok(()) => Probe::Alive,
+                // The echo is FIFO behind queued requests; silence
+                // within one window is not death on its own.
+                Err(_) => Probe::Silent,
+            },
+            // A full queue is a *busy* worker, not a dead one.
+            Err(TrySendError::Full(_)) => Probe::Alive,
+            // The receiver died with the worker thread: a crash.
+            Err(TrySendError::Disconnected(_)) => Probe::Dead,
+        }
+    }
+
+    /// The tenant→shard map.
+    pub fn shard_map(&self) -> ShardMap {
+        self.router.map
+    }
+
+    /// Standby takeovers so far.
+    pub fn failovers(&self) -> u64 {
+        self.router.failovers.load(Ordering::Relaxed)
+    }
+
+    /// Kills shard `s`'s worker thread, crash-style. The supervisor
+    /// will notice within the probe window and spawn a standby.
+    pub fn kill_shard(&self, s: usize) {
+        let sender = self.router.senders.lock().unwrap()[s].clone();
+        let _ = sender.send(WorkerMsg::Kill);
+    }
+
+    /// One request/response round trip. Backpressure and failover
+    /// surface as retryable errors; the caller owns backoff policy
+    /// (or uses [`Self::call_with_retries`]).
+    pub fn call(&self, env: Envelope) -> Response {
+        Self::route(
+            &self.router,
+            env,
+            self.cfg.probe_window.max(Duration::from_secs(2)),
+        )
+    }
+
+    fn route(router: &Router, env: Envelope, reply_timeout: Duration) -> Response {
+        let tenant = match &env.request {
+            Request::AppRegister { app, .. }
+            | Request::ConnCreate { app, .. }
+            | Request::ConnDestroy { app, .. }
+            | Request::AppDeregister { app } => *app,
+        };
+        let shard = router.map.shard_of(AppId(tenant.0));
+        let sender = router.senders.lock().unwrap()[shard].clone();
+        let (tx, rx) = mpsc::channel();
+        match sender.try_send(WorkerMsg::Call(env, tx)) {
+            Ok(()) => match rx.recv_timeout(reply_timeout) {
+                Ok(resp) => resp,
+                Err(RecvTimeoutError::Timeout) => Response::Error {
+                    code: ErrorCode::Timeout,
+                    message: format!("shard {shard} did not reply in time"),
+                },
+                Err(RecvTimeoutError::Disconnected) => Response::Error {
+                    code: ErrorCode::FailingOver,
+                    message: format!("shard {shard} died mid-request"),
+                },
+            },
+            Err(TrySendError::Full(_)) => Response::Error {
+                code: ErrorCode::ShardBusy,
+                message: format!("shard {shard} admission queue is full"),
+            },
+            Err(TrySendError::Disconnected(_)) => Response::Error {
+                code: ErrorCode::FailingOver,
+                message: format!("shard {shard} is down, standby coming up"),
+            },
+        }
+    }
+
+    /// [`Self::call`] with client-side retry: retryable errors back
+    /// off (doubling from `backoff`) up to `attempts` tries. Fatal
+    /// errors and successes return immediately.
+    pub fn call_with_retries(&self, env: Envelope, attempts: usize, backoff: Duration) -> Response {
+        let mut wait = backoff;
+        let mut last = Response::Error {
+            code: ErrorCode::Timeout,
+            message: "no attempts made".into(),
+        };
+        for attempt in 0..attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(wait);
+                wait *= 2;
+            }
+            last = self.call(env.clone());
+            match &last {
+                Response::Error { code, .. } if code.is_retryable() => continue,
+                _ => return last,
+            }
+        }
+        last
+    }
+
+    /// A [`Transport`] handle for one application client.
+    pub fn client(self: &Arc<Self>, base_id: u64) -> RuntimeClient {
+        RuntimeClient {
+            runtime: self.clone(),
+            next_id: base_id,
+        }
+    }
+
+    /// Stops the supervisor, shuts every worker down cleanly, and
+    /// returns their reports. Idempotent: a second call finds the
+    /// workers already gone and returns an empty report.
+    pub fn shutdown(&self) -> RuntimeReport {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.supervisor.lock().unwrap().take() {
+            let _ = h.join();
+        }
+        let senders = self.router.senders.lock().unwrap().clone();
+        let mut workers = Vec::new();
+        for sender in senders {
+            let (tx, rx) = mpsc::channel();
+            if sender.send(WorkerMsg::Shutdown(tx)).is_ok() {
+                if let Ok(report) = rx.recv_timeout(Duration::from_secs(10)) {
+                    workers.push(report);
+                }
+            }
+        }
+        RuntimeReport {
+            workers,
+            failovers: self.router.failovers.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The runtime's config (tests size their traffic from it).
+    pub fn cfg(&self) -> &RuntimeConfig {
+        &self.cfg
+    }
+
+    /// The shard build spec.
+    pub fn spec(&self) -> &ShardSpec {
+        &self.spec
+    }
+
+    /// Shards replaced by the supervisor so far, in replacement order.
+    pub fn replaced_shards(&self) -> Vec<usize> {
+        self.replaced.lock().unwrap().clone()
+    }
+}
+
+/// A per-application [`Transport`] over the threaded runtime, with
+/// monotonic request ids and built-in retry (the runtime is wall
+/// clock, so sleeping between retries is meaningful here).
+pub struct RuntimeClient {
+    runtime: Arc<ServiceRuntime>,
+    next_id: u64,
+}
+
+impl Transport for RuntimeClient {
+    fn call(&mut self, req: Request) -> Response {
+        let env = Envelope {
+            request_id: self.next_id,
+            request: req,
+        };
+        self.next_id += 1;
+        self.runtime
+            .call_with_retries(env, 8, Duration::from_millis(25))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::Flavour;
+    use saba_core::controller::ControllerConfig;
+    use saba_core::profiler::{Profiler, ProfilerConfig};
+    use saba_core::sensitivity::SensitivityTable;
+    use saba_sim::topology::Topology;
+    use saba_workload::catalog;
+
+    fn table() -> SensitivityTable {
+        Profiler::new(ProfilerConfig {
+            noise_sigma: 0.0,
+            bw_points: vec![0.25, 0.5, 0.75, 1.0],
+            degree: 2,
+            ..Default::default()
+        })
+        .profile_all(&catalog())
+        .unwrap()
+    }
+
+    fn spec() -> ShardSpec {
+        ShardSpec {
+            cfg: ControllerConfig::default(),
+            table: table(),
+            topo: Topology::single_switch(8, 100.0),
+            flavour: Flavour::Central,
+        }
+    }
+
+    fn fresh_cfg(name: &str) -> RuntimeConfig {
+        let dir = std::env::temp_dir().join(format!("saba-rt-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        RuntimeConfig::new(dir)
+    }
+
+    fn env(id: u64, request: Request) -> Envelope {
+        Envelope {
+            request_id: id,
+            request,
+        }
+    }
+
+    #[test]
+    fn concurrent_clients_register_and_create_connections() {
+        let rt = Arc::new(ServiceRuntime::start(spec(), fresh_cfg("conc")).unwrap());
+        let servers = rt.spec().topo.servers().to_vec();
+        let mut handles = Vec::new();
+        for app in 0..8u32 {
+            let rt = rt.clone();
+            let servers = servers.clone();
+            handles.push(std::thread::spawn(move || {
+                let base = (app as u64) << 32;
+                let r = rt.call_with_retries(
+                    env(
+                        base,
+                        Request::AppRegister {
+                            app: AppId(app),
+                            workload: "LR".into(),
+                        },
+                    ),
+                    8,
+                    Duration::from_millis(10),
+                );
+                assert!(matches!(r, Response::Registered { .. }), "{r:?}");
+                for i in 0..16u64 {
+                    let r = rt.call_with_retries(
+                        env(
+                            base + 1 + i,
+                            Request::ConnCreate {
+                                app: AppId(app),
+                                src: servers[(app as usize) % servers.len()],
+                                dst: servers[(app as usize + 1) % servers.len()],
+                                tag: i,
+                            },
+                        ),
+                        8,
+                        Duration::from_millis(10),
+                    );
+                    assert_eq!(r, Response::Ack, "app {app} conn {i}");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let report = rt.shutdown();
+        let total_regs: u64 = report
+            .workers
+            .iter()
+            .map(|w| w.stats.registrations_acked)
+            .sum();
+        let total_conns: u64 = report
+            .workers
+            .iter()
+            .map(|w| w.stats.conn_creates_acked)
+            .sum();
+        assert_eq!(total_regs, 8);
+        assert_eq!(total_conns, 8 * 16);
+        assert!(report.workers.iter().all(|w| w.wall_latency.count() > 0));
+    }
+
+    #[test]
+    fn killed_worker_is_replaced_and_acked_state_survives() {
+        let rt = Arc::new(ServiceRuntime::start(spec(), fresh_cfg("failover")).unwrap());
+        let servers = rt.spec().topo.servers().to_vec();
+        let app = AppId(0);
+        let shard = rt.shard_map().shard_of(app);
+        let r = rt.call(env(
+            1,
+            Request::AppRegister {
+                app,
+                workload: "LR".into(),
+            },
+        ));
+        assert!(matches!(r, Response::Registered { .. }));
+        let r = rt.call(env(
+            2,
+            Request::ConnCreate {
+                app,
+                src: servers[0],
+                dst: servers[1],
+                tag: 7,
+            },
+        ));
+        assert_eq!(r, Response::Ack);
+
+        rt.kill_shard(shard);
+        // The retrying path rides through the failover window: the
+        // standby replays the log, so the destroy of the *pre-crash*
+        // connection must succeed.
+        let r = rt.call_with_retries(
+            env(3, Request::ConnDestroy { app, tag: 7 }),
+            40,
+            Duration::from_millis(25),
+        );
+        assert_eq!(r, Response::Ack);
+        assert!(rt.failovers() >= 1);
+        assert!(rt.replaced_shards().contains(&shard));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn full_queue_pushes_back_with_shard_busy() {
+        // One shard, tiny queue, and we never start a consumer fast
+        // enough: saturate from many threads and require at least one
+        // ShardBusy *or* all acks (the worker may drain fast) — but a
+        // queue_depth of 1 with a blocked worker must reject.
+        let mut cfg = fresh_cfg("busy");
+        cfg.shards = 1;
+        cfg.queue_depth = 1;
+        cfg.batch_max = 1;
+        let rt = Arc::new(ServiceRuntime::start(spec(), cfg).unwrap());
+        rt.call(env(
+            1,
+            Request::AppRegister {
+                app: AppId(0),
+                workload: "LR".into(),
+            },
+        ));
+        let servers = rt.spec().topo.servers().to_vec();
+        let mut handles = Vec::new();
+        for i in 0..16u64 {
+            let rt = rt.clone();
+            let servers = servers.clone();
+            handles.push(std::thread::spawn(move || {
+                rt.call(env(
+                    10 + i,
+                    Request::ConnCreate {
+                        app: AppId(0),
+                        src: servers[0],
+                        dst: servers[1],
+                        tag: i,
+                    },
+                ))
+            }));
+        }
+        let resps: Vec<Response> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let busy = resps
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r,
+                    Response::Error {
+                        code: ErrorCode::ShardBusy,
+                        ..
+                    }
+                )
+            })
+            .count();
+        let acked = resps.iter().filter(|r| matches!(r, Response::Ack)).count();
+        // Everything either lands or pushes back retryably — never a
+        // fatal rejection (a slow worker may also time a reply out).
+        for r in &resps {
+            if let Response::Error { code, .. } = r {
+                assert!(code.is_retryable(), "{r:?}");
+            }
+        }
+        assert!(
+            acked >= 1,
+            "some requests must land: {busy} busy / {acked} acked"
+        );
+        rt.shutdown();
+    }
+}

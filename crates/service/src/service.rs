@@ -1,0 +1,598 @@
+//! The deterministic in-process allocation service.
+//!
+//! [`AllocationService`] assembles the four planes — edge admission,
+//! the sharded controller tier, the durable logs, and the heartbeat
+//! supervisor — on a single logical clock. Everything is
+//! deterministic: the same envelope sequence and the same `tick`
+//! schedule produce byte-identical telemetry exports, which is what
+//! the smoke gate asserts. The threaded/TCP deployment in
+//! [`crate::runtime`] and [`crate::net`] wraps the same shards; this
+//! type is the form the drills and differential tests drive.
+
+use crate::admission::{Admission, Admit, TokenBucketCfg};
+use crate::heartbeat::{HeartbeatConfig, Supervisor};
+use crate::shard::{Shard, ShardMap, ShardSpec, TakeoverReport};
+use saba_core::controller::SwitchUpdate;
+use saba_core::library::Transport;
+use saba_core::rpc::{Envelope, ErrorCode, Request, Response};
+use saba_faults::injector::ControlAction;
+use saba_telemetry::{EventKind, SharedRecorder, TelemetrySink};
+use std::cell::RefCell;
+use std::path::PathBuf;
+use std::rc::Rc;
+
+/// Deployment shape of an [`AllocationService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Number of shards (service workers).
+    pub shards: usize,
+    /// Seed of the tenant→shard map.
+    pub map_seed: u64,
+    /// Fsync batching: appends per forced sync (group commit bound).
+    pub sync_every: usize,
+    /// Compact a shard's log once it grows this many records past the
+    /// last compaction; `0` disables compaction.
+    pub compact_threshold: u64,
+    /// Heartbeat cadence and declare-dead window.
+    pub heartbeat: HeartbeatConfig,
+    /// Per-tenant edge admission policy; `None` admits everything.
+    pub admission: Option<TokenBucketCfg>,
+    /// Directory holding the per-shard durable logs.
+    pub log_dir: PathBuf,
+}
+
+impl ServiceConfig {
+    /// A config with service defaults, logging under `log_dir`.
+    pub fn new(log_dir: impl Into<PathBuf>) -> Self {
+        Self {
+            shards: 4,
+            map_seed: 0x5aba,
+            sync_every: 32,
+            compact_threshold: 4096,
+            heartbeat: HeartbeatConfig::default(),
+            admission: Some(TokenBucketCfg::default()),
+            log_dir: log_dir.into(),
+        }
+    }
+}
+
+/// What one standby takeover did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailoverReport {
+    /// The shard that failed over.
+    pub shard: usize,
+    /// Logical time the supervisor declared it dead.
+    pub detected_at: f64,
+    /// What the standby's log replay found.
+    pub takeover: TakeoverReport,
+}
+
+/// Aggregated service counters (admission + all shards).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests admitted past the edge.
+    pub admitted: u64,
+    /// Requests rejected by the edge rate limiter.
+    pub rate_limited: u64,
+    /// Registrations durably acked.
+    pub registrations_acked: u64,
+    /// Connection creates durably acked.
+    pub conn_creates_acked: u64,
+    /// Retries absorbed by shard dedup caches.
+    pub dedup_hits: u64,
+    /// Standby takeovers completed.
+    pub failovers: u64,
+    /// Log compactions across all shards.
+    pub compactions: u64,
+}
+
+/// The in-process, logically-clocked allocation service.
+pub struct AllocationService {
+    cfg: ServiceConfig,
+    map: ShardMap,
+    shards: Vec<Shard>,
+    supervisor: Supervisor,
+    admission: Admission,
+    sink: SharedRecorder,
+    clock: f64,
+    failovers: u64,
+}
+
+impl AllocationService {
+    /// Opens (or re-opens) the service: one shard per configured slot,
+    /// each replaying whatever its durable log already holds.
+    pub fn open(spec: ShardSpec, cfg: ServiceConfig) -> std::io::Result<Self> {
+        std::fs::create_dir_all(&cfg.log_dir)?;
+        let mut shards = Vec::with_capacity(cfg.shards);
+        for id in 0..cfg.shards {
+            let (shard, _) = Shard::open(id, spec.clone(), &cfg.log_dir, cfg.sync_every)?;
+            shards.push(shard);
+        }
+        Ok(Self {
+            map: ShardMap::new(cfg.shards, cfg.map_seed),
+            supervisor: Supervisor::new(cfg.shards, cfg.heartbeat, 0.0),
+            admission: Admission::new(cfg.admission),
+            shards,
+            cfg,
+            sink: SharedRecorder::off(),
+            clock: 0.0,
+            failovers: 0,
+        })
+    }
+
+    /// Attaches a telemetry recorder (propagated into every shard's
+    /// controller for crash/epoch events).
+    pub fn set_sink(&mut self, sink: SharedRecorder) {
+        for shard in &mut self.shards {
+            shard.set_sink(sink.clone());
+        }
+        self.sink = sink;
+    }
+
+    /// The tenant→shard map.
+    pub fn shard_map(&self) -> ShardMap {
+        self.map
+    }
+
+    /// The shard owning tenant `app` (by the consistent map).
+    pub fn shard_of(&self, app: u32) -> usize {
+        self.map.shard_of(saba_sim::ids::AppId(app))
+    }
+
+    /// Direct access to a shard (differential tests diff its
+    /// programmed switch state against a from-scratch solve).
+    pub fn shard(&self, id: usize) -> &Shard {
+        &self.shards[id]
+    }
+
+    /// Current logical time.
+    pub fn now(&self) -> f64 {
+        self.clock
+    }
+
+    fn tenant_of(req: &Request) -> u32 {
+        match req {
+            Request::AppRegister { app, .. }
+            | Request::ConnCreate { app, .. }
+            | Request::ConnDestroy { app, .. }
+            | Request::AppDeregister { app } => app.0,
+        }
+    }
+
+    /// Submits one envelope at the current logical time.
+    pub fn submit(&mut self, env: &Envelope) -> Response {
+        self.submit_batch(std::slice::from_ref(env)).pop().unwrap()
+    }
+
+    /// Submits a batch: the edge admits or rejects each envelope, the
+    /// admitted ones are grouped per shard and handled under one group
+    /// commit each, and responses come back in submission order.
+    pub fn submit_batch(&mut self, envs: &[Envelope]) -> Vec<Response> {
+        let mut out: Vec<Option<Response>> = vec![None; envs.len()];
+        let mut per_shard: Vec<Vec<(usize, Envelope)>> = vec![Vec::new(); self.shards.len()];
+        for (i, env) in envs.iter().enumerate() {
+            let tenant = Self::tenant_of(&env.request);
+            match self.admission.try_admit(tenant, self.clock) {
+                Admit::Ok => {
+                    let shard = self.map.shard_of(saba_sim::ids::AppId(tenant));
+                    per_shard[shard].push((i, env.clone()));
+                }
+                Admit::RateLimited { retry_after } => {
+                    self.sink.inc("service.rate_limited", 1);
+                    out[i] = Some(Response::Error {
+                        code: ErrorCode::RateLimited,
+                        message: format!(
+                            "tenant {tenant} over rate; retry after {retry_after:.6}s"
+                        ),
+                    });
+                }
+            }
+        }
+        for (shard_id, work) in per_shard.into_iter().enumerate() {
+            if work.is_empty() {
+                continue;
+            }
+            let batch: Vec<Envelope> = work.iter().map(|(_, e)| e.clone()).collect();
+            let before = self.shards[shard_id].stats();
+            let resps = self.shards[shard_id].handle_batch(&batch);
+            let after = self.shards[shard_id].stats();
+            self.sink.inc(
+                "service.registrations_acked",
+                after.registrations_acked - before.registrations_acked,
+            );
+            self.sink.inc(
+                "service.conn_creates_acked",
+                after.conn_creates_acked - before.conn_creates_acked,
+            );
+            for ((i, _), resp) in work.into_iter().zip(resps) {
+                out[i] = Some(resp);
+            }
+        }
+        self.sink.inc("service.requests", envs.len() as u64);
+        out.into_iter()
+            .map(|r| r.expect("every slot filled"))
+            .collect()
+    }
+
+    /// Kills a shard: its controller and unacked in-flight state are
+    /// gone; only the durable log survives. The supervisor finds out
+    /// the same way a real one would — the shard stops beating.
+    pub fn kill_shard(&mut self, shard: usize) {
+        self.shards[shard].kill();
+        self.sink.record(
+            self.clock,
+            EventKind::ControllerCrash {
+                shard: shard as i64,
+            },
+        );
+    }
+
+    /// Applies a fault-schedule action to the service tier.
+    ///
+    /// Whole-controller actions hit every shard; shard actions hit one
+    /// (modulo the shard count, so schedules written for other tier
+    /// sizes still land). Recover actions are standby takeovers.
+    /// RPC-degradation actions are a no-op here: lossy transport is
+    /// exercised by `saba-faults`' own harness.
+    pub fn apply(&mut self, action: &ControlAction) -> std::io::Result<Vec<FailoverReport>> {
+        match action {
+            ControlAction::CrashController => {
+                for s in 0..self.shards.len() {
+                    self.kill_shard(s);
+                }
+                Ok(Vec::new())
+            }
+            ControlAction::CrashShard(s) => {
+                self.kill_shard(s % self.shards.len());
+                Ok(Vec::new())
+            }
+            ControlAction::RecoverController => {
+                let dead: Vec<usize> = (0..self.shards.len())
+                    .filter(|&s| self.shards[s].is_dead())
+                    .collect();
+                dead.into_iter().map(|s| self.fail_over(s)).collect()
+            }
+            ControlAction::RecoverShard(s) => {
+                let s = s % self.shards.len();
+                if self.shards[s].is_dead() {
+                    Ok(vec![self.fail_over(s)?])
+                } else {
+                    Ok(Vec::new())
+                }
+            }
+            ControlAction::RpcDegradeStart { .. } | ControlAction::RpcDegradeEnd => Ok(Vec::new()),
+        }
+    }
+
+    fn fail_over(&mut self, shard: usize) -> std::io::Result<FailoverReport> {
+        let takeover = self.shards[shard].take_over()?;
+        self.shards[shard].set_sink(self.sink.clone());
+        self.shards[shard].set_clock(self.clock);
+        self.supervisor.revive(shard, self.clock);
+        self.failovers += 1;
+        self.sink.inc("service.failovers", 1);
+        self.sink.record(
+            self.clock,
+            EventKind::ControllerRecover {
+                shard: shard as i64,
+                replayed_apps: takeover.registrations as u64,
+                replayed_conns: takeover.live_conns as u64,
+            },
+        );
+        Ok(FailoverReport {
+            shard,
+            detected_at: self.clock,
+            takeover,
+        })
+    }
+
+    /// Advances the logical clock: live shards beat, the supervisor
+    /// sweeps for missed windows, and every shard it newly declares
+    /// dead gets an immediate standby takeover from its durable log.
+    /// Compaction triggers also run here. Returns completed failovers.
+    pub fn tick(&mut self, now: f64) -> std::io::Result<Vec<FailoverReport>> {
+        self.clock = now;
+        for shard in &mut self.shards {
+            shard.set_clock(now);
+            if !shard.is_dead() {
+                self.supervisor.beat(shard.id, now);
+            }
+        }
+        let mut reports = Vec::new();
+        for shard in self.supervisor.scan(now) {
+            reports.push(self.fail_over(shard)?);
+        }
+        if self.cfg.compact_threshold > 0 {
+            for s in 0..self.shards.len() {
+                if !self.shards[s].is_dead()
+                    && self.shards[s].maybe_compact(self.cfg.compact_threshold)?
+                {
+                    self.sink.inc("service.compactions", 1);
+                }
+            }
+        }
+        Ok(reports)
+    }
+
+    /// Drains switch updates from every shard, in shard order.
+    pub fn drain_updates(&mut self) -> Vec<SwitchUpdate> {
+        let mut out = Vec::new();
+        for shard in &mut self.shards {
+            out.extend(shard.drain_updates());
+        }
+        out
+    }
+
+    /// Aggregated counters.
+    pub fn stats(&self) -> ServiceStats {
+        let mut s = ServiceStats {
+            admitted: self.admission.admitted(),
+            rate_limited: self.admission.rejected(),
+            failovers: self.failovers,
+            ..ServiceStats::default()
+        };
+        for shard in &self.shards {
+            let st = shard.stats();
+            s.registrations_acked += st.registrations_acked;
+            s.conn_creates_acked += st.conn_creates_acked;
+            s.dedup_hits += st.dedup_hits;
+            s.compactions += st.compactions;
+        }
+        s
+    }
+}
+
+/// A [`Transport`] over a shared in-process service, so an unmodified
+/// [`saba_core::library::SabaLib`] runs its Fig. 7 lifecycle against
+/// the full service stack (admission, sharding, durable log).
+///
+/// Each call gets a fresh monotonic request id; retryable rejections
+/// surface to the library as `LibError::Rejected` with a retryable
+/// code — backoff policy belongs to the caller, who owns the clock.
+#[derive(Clone)]
+pub struct ServiceClient {
+    svc: Rc<RefCell<AllocationService>>,
+    next_id: u64,
+}
+
+impl ServiceClient {
+    /// A client over `svc`, issuing request ids starting at `base_id`.
+    /// Give each client a disjoint id range (e.g. `app << 32`).
+    pub fn new(svc: Rc<RefCell<AllocationService>>, base_id: u64) -> Self {
+        Self {
+            svc,
+            next_id: base_id,
+        }
+    }
+}
+
+impl Transport for ServiceClient {
+    fn call(&mut self, req: Request) -> Response {
+        let env = Envelope {
+            request_id: self.next_id,
+            request: req,
+        };
+        self.next_id += 1;
+        self.svc.borrow_mut().submit(&env)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::Flavour;
+    use saba_core::controller::ControllerConfig;
+    use saba_core::library::SabaLib;
+    use saba_core::profiler::{Profiler, ProfilerConfig};
+    use saba_core::sensitivity::SensitivityTable;
+    use saba_sim::ids::AppId;
+    use saba_sim::topology::Topology;
+    use saba_workload::catalog;
+
+    fn table() -> SensitivityTable {
+        Profiler::new(ProfilerConfig {
+            noise_sigma: 0.0,
+            bw_points: vec![0.25, 0.5, 0.75, 1.0],
+            degree: 2,
+            ..Default::default()
+        })
+        .profile_all(&catalog())
+        .unwrap()
+    }
+
+    fn spec() -> ShardSpec {
+        ShardSpec {
+            cfg: ControllerConfig::default(),
+            table: table(),
+            topo: Topology::single_switch(8, 100.0),
+            flavour: Flavour::Central,
+        }
+    }
+
+    fn fresh_cfg(name: &str) -> ServiceConfig {
+        let dir = std::env::temp_dir().join(format!("saba-svc-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ServiceConfig {
+            admission: None,
+            ..ServiceConfig::new(dir)
+        }
+    }
+
+    fn env(id: u64, request: Request) -> Envelope {
+        Envelope {
+            request_id: id,
+            request,
+        }
+    }
+
+    #[test]
+    fn batch_responses_come_back_in_submission_order() {
+        let mut svc = AllocationService::open(spec(), fresh_cfg("order")).unwrap();
+        let servers = svc.shard(0).spec().topo.servers().to_vec();
+        // Tenants chosen to land on different shards; interleaved.
+        let envs: Vec<Envelope> = (0..16u32)
+            .map(|i| {
+                env(
+                    i as u64,
+                    Request::AppRegister {
+                        app: AppId(i),
+                        workload: "LR".into(),
+                    },
+                )
+            })
+            .collect();
+        let resps = svc.submit_batch(&envs);
+        assert_eq!(resps.len(), 16);
+        assert!(resps
+            .iter()
+            .all(|r| matches!(r, Response::Registered { .. })));
+        let create = svc.submit(&env(
+            100,
+            Request::ConnCreate {
+                app: AppId(3),
+                src: servers[0],
+                dst: servers[1],
+                tag: 1,
+            },
+        ));
+        assert_eq!(create, Response::Ack);
+        assert_eq!(svc.stats().registrations_acked, 16);
+    }
+
+    #[test]
+    fn rate_limit_rejects_with_retryable_code() {
+        let cfg = ServiceConfig {
+            admission: Some(TokenBucketCfg {
+                rate: 10.0,
+                burst: 2.0,
+            }),
+            ..fresh_cfg("ratelimit")
+        };
+        let mut svc = AllocationService::open(spec(), cfg).unwrap();
+        let envs: Vec<Envelope> = (0..4u64)
+            .map(|i| {
+                env(
+                    i,
+                    Request::ConnCreate {
+                        app: AppId(1),
+                        src: saba_sim::ids::NodeId(0),
+                        dst: saba_sim::ids::NodeId(1),
+                        tag: i,
+                    },
+                )
+            })
+            .collect();
+        let resps = svc.submit_batch(&envs);
+        let limited: Vec<_> = resps
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r,
+                    Response::Error {
+                        code: ErrorCode::RateLimited,
+                        ..
+                    }
+                )
+            })
+            .collect();
+        assert_eq!(limited.len(), 2, "{resps:?}");
+        assert_eq!(svc.stats().rate_limited, 2);
+    }
+
+    #[test]
+    fn killed_shard_fails_over_within_the_window_and_loses_nothing() {
+        let mut svc = AllocationService::open(spec(), fresh_cfg("failover")).unwrap();
+        let servers = svc.shard(0).spec().topo.servers().to_vec();
+        svc.submit_batch(&[
+            env(
+                1,
+                Request::AppRegister {
+                    app: AppId(0),
+                    workload: "LR".into(),
+                },
+            ),
+            env(
+                2,
+                Request::ConnCreate {
+                    app: AppId(0),
+                    src: servers[0],
+                    dst: servers[1],
+                    tag: 7,
+                },
+            ),
+        ]);
+        let victim = svc.shard_of(0);
+        // Heartbeats run a while, then the shard dies at t=5.
+        for i in 0..10 {
+            assert!(svc.tick(i as f64 * 0.5).unwrap().is_empty());
+        }
+        svc.kill_shard(victim);
+        // While dead, requests bounce retryably.
+        let r = svc.submit(&env(
+            3,
+            Request::ConnDestroy {
+                app: AppId(0),
+                tag: 7,
+            },
+        ));
+        assert!(
+            matches!(
+                r,
+                Response::Error {
+                    code: ErrorCode::FailingOver,
+                    ..
+                }
+            ),
+            "{r:?}"
+        );
+        // The supervisor detects the death within the window (+ one
+        // beat of scan granularity) and the standby replays the log.
+        let window = svc.supervisor_window();
+        let mut reports = Vec::new();
+        let mut t = 5.0;
+        while reports.is_empty() && t < 20.0 {
+            t += 0.5;
+            reports = svc.tick(t).unwrap();
+        }
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].shard, victim);
+        assert!(
+            reports[0].detected_at - 5.0 <= window + 0.5 + 1e-9,
+            "detected at {} for a t=5 death, window {window}",
+            reports[0].detected_at
+        );
+        assert_eq!(reports[0].takeover.registrations, 1);
+        assert_eq!(reports[0].takeover.live_conns, 1);
+        // The acked state survived: the retried destroy now lands.
+        let r = svc.submit(&env(
+            3,
+            Request::ConnDestroy {
+                app: AppId(0),
+                tag: 7,
+            },
+        ));
+        assert_eq!(r, Response::Ack);
+        assert_eq!(svc.stats().failovers, 1);
+    }
+
+    #[test]
+    fn saba_lib_runs_fig7_against_the_service() {
+        let svc = Rc::new(RefCell::new(
+            AllocationService::open(spec(), fresh_cfg("lib")).unwrap(),
+        ));
+        let servers = svc.borrow().shard(0).spec().topo.servers().to_vec();
+        let mut lib = SabaLib::new(AppId(4), ServiceClient::new(svc.clone(), 4 << 32));
+        let sl = lib.saba_app_register("LR").unwrap();
+        let conn = lib.saba_conn_create(servers[0], servers[1]).unwrap();
+        assert_eq!(lib.sl(), Some(sl));
+        lib.saba_conn_destroy(conn).unwrap();
+        lib.saba_app_deregister().unwrap();
+        assert_eq!(svc.borrow().stats().registrations_acked, 1);
+    }
+
+    impl AllocationService {
+        fn supervisor_window(&self) -> f64 {
+            self.cfg.heartbeat.window
+        }
+    }
+}

@@ -1,0 +1,908 @@
+//! The sharded service tier.
+//!
+//! Tenants (applications) are consistently assigned to shards by a
+//! seeded hash ([`ShardMap`]); each [`Shard`] owns one
+//! incremental-epoch [`ResilientController`] (either flavour), its own
+//! durable registration log, and a request-id dedup cache. A shard is
+//! the unit of failure: killing one loses its in-memory controller,
+//! and a standby rebuilds it by replaying the durable log.
+
+use crate::wal::{DurableLog, ReplayState, ScanReport};
+use saba_core::controller::central::CentralController;
+use saba_core::controller::distributed::MappingDb;
+use saba_core::controller::{ControllerConfig, SwitchUpdate};
+use saba_core::fabric::PortQueueConfig;
+use saba_core::rpc::{Envelope, ErrorCode, Request, Response};
+use saba_core::sensitivity::SensitivityTable;
+use saba_faults::control::{ResilientController, TryRegisterError};
+use saba_sim::ids::{AppId, ServiceLevel};
+use saba_sim::topology::Topology;
+use saba_telemetry::SharedRecorder;
+use saba_workload::runtime::ConnEvent;
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+/// Which controller flavour each shard drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flavour {
+    /// One centralized controller per shard.
+    Central,
+    /// One distributed controller per shard, itself split into this
+    /// many link-partitioned inner shards.
+    Distributed(usize),
+}
+
+/// Everything needed to (re)build a shard's controller from scratch:
+/// the profile table, the fabric, the allocation config, the flavour.
+#[derive(Clone)]
+pub struct ShardSpec {
+    /// Allocation configuration shared by all shards.
+    pub cfg: ControllerConfig,
+    /// The offline sensitivity table.
+    pub table: SensitivityTable,
+    /// The fabric every shard programs (its tenant-partition slice).
+    pub topo: Topology,
+    /// Controller flavour.
+    pub flavour: Flavour,
+}
+
+impl ShardSpec {
+    fn build_controller(&self) -> ResilientController {
+        match self.flavour {
+            Flavour::Central => {
+                ResilientController::central(self.cfg.clone(), self.table.clone(), &self.topo)
+            }
+            Flavour::Distributed(inner) => {
+                let db = MappingDb::build(&self.table, self.cfg.num_pls, self.cfg.seed);
+                ResilientController::distributed(self.cfg.clone(), db, &self.topo, inner)
+            }
+        }
+    }
+
+    /// A from-scratch solve over a logged history: a fresh controller
+    /// replays `records` — registers, connection churn, *and*
+    /// deregisters — in log order, then performs one full recompute.
+    /// This is the differential oracle the failover drill compares a
+    /// shard's accumulated switch state against.
+    ///
+    /// The full sequence matters: the central flavour's PL assigner is
+    /// an *online* clusterer, so its assignments depend on the whole
+    /// register/deregister history, not just the live set. Replaying
+    /// only live registrations would diverge from any controller that
+    /// lived through tenant departures.
+    pub fn scratch_solve(&self, records: &[Request]) -> Vec<SwitchUpdate> {
+        macro_rules! replay_history {
+            ($fresh:expr) => {
+                for req in records {
+                    match req {
+                        Request::AppRegister { app, workload } => {
+                            $fresh
+                                .register(*app, workload)
+                                .expect("replay of an acked registration");
+                        }
+                        Request::ConnCreate { app, src, dst, tag } => {
+                            $fresh
+                                .conn_create(*app, *src, *dst, *tag)
+                                .expect("replay of an acked connection");
+                        }
+                        Request::ConnDestroy { app, tag } => {
+                            $fresh
+                                .conn_destroy(*app, *tag)
+                                .expect("replay of an acked destroy");
+                        }
+                        Request::AppDeregister { app } => {
+                            $fresh
+                                .deregister(*app)
+                                .expect("replay of an acked deregister");
+                        }
+                    }
+                }
+            };
+        }
+        match self.flavour {
+            Flavour::Central => {
+                let mut fresh =
+                    CentralController::new(self.cfg.clone(), self.table.clone(), &self.topo);
+                replay_history!(fresh);
+                fresh.recompute_all()
+            }
+            Flavour::Distributed(inner) => {
+                let db = MappingDb::build(&self.table, self.cfg.num_pls, self.cfg.seed);
+                let mut fresh = saba_core::controller::distributed::DistributedController::new(
+                    self.cfg.clone(),
+                    db,
+                    &self.topo,
+                    inner,
+                );
+                replay_history!(fresh);
+                fresh.recompute_all()
+            }
+        }
+    }
+}
+
+/// Consistent tenant→shard assignment.
+///
+/// A seeded splitmix64 of the tenant id: stable across restarts (the
+/// standby must own exactly the tenants whose log it replays),
+/// uniform, and independent of registration order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardMap {
+    shards: usize,
+    seed: u64,
+}
+
+impl ShardMap {
+    /// A map over `shards` shards (`>= 1`).
+    pub fn new(shards: usize, seed: u64) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        Self { shards, seed }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard that owns tenant `app`.
+    pub fn shard_of(&self, app: AppId) -> usize {
+        let mut z = (app.0 as u64) ^ self.seed;
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z = z ^ (z >> 31);
+        (z % self.shards as u64) as usize
+    }
+}
+
+/// Per-shard counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Registrations acked (made durable) by this shard incarnation.
+    pub registrations_acked: u64,
+    /// Connection creates acked.
+    pub conn_creates_acked: u64,
+    /// Requests absorbed by the request-id dedup cache.
+    pub dedup_hits: u64,
+    /// Requests rejected with a fatal error code.
+    pub fatal_rejections: u64,
+    /// Requests rejected retryably (dead shard).
+    pub retryable_rejections: u64,
+    /// Log compactions performed.
+    pub compactions: u64,
+}
+
+/// One shard: a controller, its durable log, and its dedup cache.
+pub struct Shard {
+    /// The shard index.
+    pub id: usize,
+    spec: ShardSpec,
+    /// `None` while dead (killed, awaiting standby takeover).
+    ctrl: Option<ResilientController>,
+    log: DurableLog,
+    /// Mirror of the logged state (validation + compaction source).
+    state: ReplayState,
+    /// Request-id → cached response (idempotent retry absorption).
+    seen: HashMap<u64, Response>,
+    /// The PL each live tenant was acked with (idempotent register
+    /// retries must repeat the original promise after the dedup cache
+    /// dies with a worker).
+    sls: HashMap<AppId, ServiceLevel>,
+    /// Switch state accumulated from every update this shard emitted
+    /// (the failover differential diffs this against a scratch solve).
+    programmed: BTreeMap<u32, PortQueueConfig>,
+    /// Updates emitted but not yet drained by the fabric programmer.
+    pending_updates: Vec<SwitchUpdate>,
+    /// Log records at the last compaction (compaction trigger).
+    appended_at_compaction: u64,
+    sync_every: usize,
+    stats: ShardStats,
+    clock: f64,
+}
+
+/// What a standby found when it took over from the durable log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TakeoverReport {
+    /// Intact records replayed.
+    pub records: usize,
+    /// Torn/corrupt tail bytes discarded.
+    pub torn_bytes: usize,
+    /// Registrations live after replay.
+    pub registrations: usize,
+    /// Connections live after replay.
+    pub live_conns: usize,
+}
+
+impl Shard {
+    /// Opens shard `id`, replaying whatever its durable log holds (an
+    /// empty log is a fresh shard; a populated one is a takeover).
+    pub fn open(
+        id: usize,
+        spec: ShardSpec,
+        log_dir: &Path,
+        sync_every: usize,
+    ) -> std::io::Result<(Self, TakeoverReport)> {
+        let path = Self::log_path(log_dir, id);
+        let (log, scan) = DurableLog::open(&path, sync_every)?;
+        let mut shard = Self {
+            id,
+            ctrl: Some(spec.build_controller()),
+            spec,
+            log,
+            state: ReplayState::default(),
+            seen: HashMap::new(),
+            sls: HashMap::new(),
+            programmed: BTreeMap::new(),
+            pending_updates: Vec::new(),
+            appended_at_compaction: 0,
+            sync_every,
+            stats: ShardStats::default(),
+            clock: 0.0,
+        };
+        let report = shard.replay(&scan);
+        Ok((shard, report))
+    }
+
+    /// The log file a shard id maps to inside `log_dir`.
+    pub fn log_path(log_dir: &Path, id: usize) -> PathBuf {
+        log_dir.join(format!("shard-{id}.log"))
+    }
+
+    /// Replays the raw logged sequence — registers, churn, *and*
+    /// deregisters — through the fresh controller. History order
+    /// matters twice over: the central flavour's online PL assigner
+    /// is history-dependent, so a standby fed only the collapsed live
+    /// state would hand recovered tenants different service levels
+    /// than they were acked with.
+    fn replay(&mut self, scan: &ScanReport) -> TakeoverReport {
+        let mut state = ReplayState::default();
+        let ctrl = self.ctrl.as_mut().expect("fresh controller");
+        for req in &scan.records {
+            let updates = match req {
+                Request::AppRegister { app, workload } => {
+                    let sl = ctrl
+                        .try_register(*app, workload)
+                        .expect("replay of an accepted registration");
+                    self.sls.insert(*app, sl);
+                    Vec::new()
+                }
+                Request::ConnCreate { app, src, dst, tag } => ctrl.on_event(&ConnEvent::Created {
+                    app: *app,
+                    src: *src,
+                    dst: *dst,
+                    tag: *tag,
+                }),
+                Request::ConnDestroy { app, tag } => {
+                    let &(src, dst) = state
+                        .live_conns
+                        .get(&(*app, *tag))
+                        .expect("destroy of a logged connection");
+                    ctrl.on_event(&ConnEvent::Destroyed {
+                        app: *app,
+                        src,
+                        dst,
+                        tag: *tag,
+                    })
+                }
+                Request::AppDeregister { app } => {
+                    self.sls.remove(app);
+                    ctrl.on_event(&ConnEvent::JobCompleted {
+                        app: *app,
+                        at: self.clock,
+                    })
+                }
+            };
+            self.pending_updates.extend(updates.iter().cloned());
+            for u in updates {
+                self.programmed.insert(u.link.0, u.config);
+            }
+            state.apply(req);
+        }
+        let report = TakeoverReport {
+            records: scan.records.len(),
+            torn_bytes: scan.torn_bytes,
+            registrations: state.registrations.len(),
+            live_conns: state.live_conns.len(),
+        };
+        self.state = state;
+        report
+    }
+
+    /// Attaches a telemetry recorder to the inner controller (crash
+    /// edges, epoch scopes).
+    pub fn set_sink(&mut self, sink: SharedRecorder) {
+        if let Some(c) = self.ctrl.as_mut() {
+            c.set_sink(sink);
+        }
+    }
+
+    /// Advances the logical clock stamped on controller trace events.
+    pub fn set_clock(&mut self, t: f64) {
+        self.clock = t;
+        if let Some(c) = self.ctrl.as_mut() {
+            c.set_clock(t);
+        }
+    }
+
+    /// True while the shard has no live controller.
+    pub fn is_dead(&self) -> bool {
+        self.ctrl.is_none()
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> ShardStats {
+        self.stats
+    }
+
+    /// The logged ground truth (registrations + live connections).
+    pub fn state(&self) -> &ReplayState {
+        &self.state
+    }
+
+    /// The switch state accumulated from this shard's emitted updates.
+    pub fn programmed(&self) -> &BTreeMap<u32, PortQueueConfig> {
+        &self.programmed
+    }
+
+    /// The shard's durable log.
+    pub fn log(&self) -> &DurableLog {
+        &self.log
+    }
+
+    /// The build spec (standby construction needs it).
+    pub fn spec(&self) -> &ShardSpec {
+        &self.spec
+    }
+
+    /// Kills the shard: the controller and every in-memory structure
+    /// except the durable log are lost, mid-flight unacked operations
+    /// with them. The dedup cache dies too — by design, replayed
+    /// requests after takeover re-apply against the replayed state.
+    pub fn kill(&mut self) {
+        self.ctrl = None;
+        self.seen.clear();
+        self.pending_updates.clear();
+    }
+
+    /// Standby takeover: rebuild the controller by replaying the
+    /// durable log. Returns what the replay found; the re-derived
+    /// switch programs land in the pending update queue.
+    pub fn take_over(&mut self) -> std::io::Result<TakeoverReport> {
+        let path = self.log.path().to_path_buf();
+        // Reopen the log (truncating any torn tail) and replay it.
+        let (log, scan) = DurableLog::open(&path, self.sync_every)?;
+        self.log = log;
+        self.ctrl = Some(self.spec.build_controller());
+        if let Some(c) = self.ctrl.as_mut() {
+            c.set_clock(self.clock);
+        }
+        self.programmed.clear();
+        self.seen.clear();
+        self.sls.clear();
+        self.pending_updates.clear();
+        self.appended_at_compaction = 0;
+        Ok(self.replay(&scan))
+    }
+
+    /// Handles a batch of envelopes with **group commit**: every
+    /// accepted operation is appended to the log, one `sync` makes the
+    /// whole batch durable, and only then are the responses returned.
+    /// A response in the returned vector is therefore a durable ack.
+    pub fn handle_batch(&mut self, batch: &[Envelope]) -> Vec<Response> {
+        let mut out = Vec::with_capacity(batch.len());
+        for env in batch {
+            out.push(self.apply(env));
+        }
+        // One fsync covers the whole batch; if it fails, nothing in
+        // the batch may be acked as durable.
+        if self.log.sync().is_err() {
+            for resp in out.iter_mut() {
+                *resp = Response::Error {
+                    code: ErrorCode::Internal,
+                    message: "durable log sync failed".into(),
+                };
+            }
+        }
+        out
+    }
+
+    /// Applies one envelope (no sync — callers batch-sync).
+    fn apply(&mut self, env: &Envelope) -> Response {
+        if let Some(cached) = self.seen.get(&env.request_id) {
+            self.stats.dedup_hits += 1;
+            return cached.clone();
+        }
+        let resp = self.apply_fresh(&env.request);
+        // Cache only definitive outcomes: a retryable rejection must
+        // re-evaluate on retry, not replay from the cache.
+        let cache = match &resp {
+            Response::Error { code, .. } => !code.is_retryable(),
+            _ => true,
+        };
+        if cache {
+            self.seen.insert(env.request_id, resp.clone());
+        }
+        match &resp {
+            Response::Error { code, .. } if code.is_retryable() => {
+                self.stats.retryable_rejections += 1
+            }
+            Response::Error { .. } => self.stats.fatal_rejections += 1,
+            _ => {}
+        }
+        resp
+    }
+
+    fn apply_fresh(&mut self, req: &Request) -> Response {
+        let Some(ctrl) = self.ctrl.as_mut() else {
+            return Response::Error {
+                code: ErrorCode::FailingOver,
+                message: format!("shard {} is down, standby taking over", self.id),
+            };
+        };
+        match req {
+            Request::AppRegister { app, workload } => {
+                // Idempotent retry: the dedup cache dies with a worker,
+                // so a re-sent register whose original was applied and
+                // logged must repeat the original ack, not reject. A
+                // conflicting workload is a real duplicate.
+                if let Some((_, wl)) = self.state.registrations.iter().find(|(a, _)| a == app) {
+                    return if wl == workload {
+                        Response::Registered { sl: self.sls[app] }
+                    } else {
+                        Response::Error {
+                            code: ErrorCode::AlreadyRegistered,
+                            message: format!(
+                                "application {} is already registered as {wl:?}",
+                                app.0
+                            ),
+                        }
+                    };
+                }
+                match ctrl.try_register(*app, workload) {
+                    Ok(sl) => {
+                        if let Err(e) = self.log.append(req) {
+                            return Response::Error {
+                                code: ErrorCode::Internal,
+                                message: format!("log append failed: {e}"),
+                            };
+                        }
+                        self.state.apply(req);
+                        self.sls.insert(*app, sl);
+                        self.stats.registrations_acked += 1;
+                        Response::Registered { sl }
+                    }
+                    Err(TryRegisterError::Down) => Response::Error {
+                        code: ErrorCode::ControllerDown,
+                        message: "controller is down".into(),
+                    },
+                    Err(TryRegisterError::Rejected(e)) => Response::from_controller_error(&e),
+                }
+            }
+            Request::ConnCreate { app, src, dst, tag } => {
+                if !self.state.registrations.iter().any(|(a, _)| a == app) {
+                    return Response::Error {
+                        code: ErrorCode::UnknownApp,
+                        message: format!("application {} is not registered here", app.0),
+                    };
+                }
+                if let Some(&(src0, dst0)) = self.state.live_conns.get(&(*app, *tag)) {
+                    // Same endpoints → a lost-ack retry of an applied
+                    // create; repeat the ack. Different endpoints → a
+                    // genuine tag collision.
+                    return if (src0, dst0) == (*src, *dst) {
+                        Response::Ack
+                    } else {
+                        Response::Error {
+                            code: ErrorCode::Malformed,
+                            message: format!("connection tag {tag} is already live"),
+                        }
+                    };
+                }
+                let updates = ctrl.on_event(&ConnEvent::Created {
+                    app: *app,
+                    src: *src,
+                    dst: *dst,
+                    tag: *tag,
+                });
+                if let Err(e) = self.log.append(req) {
+                    return Response::Error {
+                        code: ErrorCode::Internal,
+                        message: format!("log append failed: {e}"),
+                    };
+                }
+                self.absorb_updates(updates);
+                self.state.apply(req);
+                self.stats.conn_creates_acked += 1;
+                Response::Ack
+            }
+            Request::ConnDestroy { app, tag } => {
+                let Some(&(src, dst)) = self.state.live_conns.get(&(*app, *tag)) else {
+                    // Destroy is an idempotent delete for a registered
+                    // tenant (per-tenant submission order means a
+                    // missing connection was already destroyed — e.g.
+                    // a lost-ack retry). An unregistered tenant has no
+                    // connections to be idempotent about.
+                    return if self.state.registrations.iter().any(|(a, _)| a == app) {
+                        Response::Ack
+                    } else {
+                        Response::Error {
+                            code: ErrorCode::UnknownConnection,
+                            message: format!("unknown connection {tag}"),
+                        }
+                    };
+                };
+                let updates = ctrl.on_event(&ConnEvent::Destroyed {
+                    app: *app,
+                    src,
+                    dst,
+                    tag: *tag,
+                });
+                if let Err(e) = self.log.append(req) {
+                    return Response::Error {
+                        code: ErrorCode::Internal,
+                        message: format!("log append failed: {e}"),
+                    };
+                }
+                self.absorb_updates(updates);
+                self.state.apply(req);
+                Response::Ack
+            }
+            Request::AppDeregister { app } => {
+                if !self.state.registrations.iter().any(|(a, _)| a == app) {
+                    return Response::Error {
+                        code: ErrorCode::UnknownApp,
+                        message: format!("application {} is not registered here", app.0),
+                    };
+                }
+                let updates = ctrl.on_event(&ConnEvent::JobCompleted {
+                    app: *app,
+                    at: self.clock,
+                });
+                if let Err(e) = self.log.append(req) {
+                    return Response::Error {
+                        code: ErrorCode::Internal,
+                        message: format!("log append failed: {e}"),
+                    };
+                }
+                self.absorb_updates(updates);
+                self.state.apply(req);
+                self.sls.remove(app);
+                Response::Ack
+            }
+        }
+    }
+
+    fn absorb_updates(&mut self, updates: Vec<SwitchUpdate>) {
+        for u in &updates {
+            self.programmed.insert(u.link.0, u.config.clone());
+        }
+        self.pending_updates.extend(updates);
+    }
+
+    /// Drains switch updates emitted since the last drain.
+    pub fn drain_updates(&mut self) -> Vec<SwitchUpdate> {
+        std::mem::take(&mut self.pending_updates)
+    }
+
+    /// Compacts the log to a snapshot once the history is
+    /// `threshold` records longer than the last compaction point.
+    /// Returns true when a compaction ran.
+    pub fn maybe_compact(&mut self, threshold: u64) -> std::io::Result<bool> {
+        if self.log.appended() < self.appended_at_compaction + threshold {
+            return Ok(false);
+        }
+        let state = self.state.clone();
+        self.log.compact(&state)?;
+        self.appended_at_compaction = self.log.appended();
+        self.stats.compactions += 1;
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saba_core::profiler::{Profiler, ProfilerConfig};
+    use saba_workload::catalog;
+
+    fn spec(flavour: Flavour) -> ShardSpec {
+        let table = Profiler::new(ProfilerConfig {
+            noise_sigma: 0.0,
+            bw_points: vec![0.25, 0.5, 0.75, 1.0],
+            degree: 2,
+            ..Default::default()
+        })
+        .profile_all(&catalog())
+        .unwrap();
+        ShardSpec {
+            cfg: ControllerConfig::default(),
+            table,
+            topo: Topology::single_switch(4, 100.0),
+            flavour,
+        }
+    }
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("saba-shard-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn env(id: u64, req: Request) -> Envelope {
+        Envelope {
+            request_id: id,
+            request: req,
+        }
+    }
+
+    #[test]
+    fn shard_map_is_stable_and_covers_all_shards() {
+        let map = ShardMap::new(4, 42);
+        let mut hit = [false; 4];
+        for app in 0..256u32 {
+            let s = map.shard_of(AppId(app));
+            assert_eq!(s, map.shard_of(AppId(app)), "assignment must be stable");
+            hit[s] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "256 tenants must cover 4 shards");
+    }
+
+    #[test]
+    fn lifecycle_acks_are_durable_and_dedup_absorbs_retries() {
+        let dir = tmpdir("lifecycle");
+        let _ = std::fs::remove_file(Shard::log_path(&dir, 0));
+        let (mut shard, _) = Shard::open(0, spec(Flavour::Central), &dir, 8).unwrap();
+        let servers = shard.spec().topo.servers().to_vec();
+
+        let r = shard.handle_batch(&[
+            env(
+                1,
+                Request::AppRegister {
+                    app: AppId(0),
+                    workload: "LR".into(),
+                },
+            ),
+            env(
+                2,
+                Request::ConnCreate {
+                    app: AppId(0),
+                    src: servers[0],
+                    dst: servers[1],
+                    tag: 7,
+                },
+            ),
+        ]);
+        assert!(matches!(r[0], Response::Registered { .. }));
+        assert_eq!(r[1], Response::Ack);
+        assert!(!shard.drain_updates().is_empty());
+
+        // A retried envelope replays the cached ack without
+        // re-applying (no duplicate link refs, no new log record).
+        let appended = shard.log().appended();
+        let r2 = shard.handle_batch(&[env(
+            2,
+            Request::ConnCreate {
+                app: AppId(0),
+                src: servers[0],
+                dst: servers[1],
+                tag: 7,
+            },
+        )]);
+        assert_eq!(r2[0], Response::Ack);
+        assert_eq!(shard.stats().dedup_hits, 1);
+        assert_eq!(shard.log().appended(), appended);
+    }
+
+    #[test]
+    fn fatal_rejections_carry_fatal_codes_and_skip_the_log() {
+        let dir = tmpdir("fatal");
+        let _ = std::fs::remove_file(Shard::log_path(&dir, 0));
+        let (mut shard, _) = Shard::open(0, spec(Flavour::Central), &dir, 8).unwrap();
+        let servers = shard.spec().topo.servers().to_vec();
+        let r = shard.handle_batch(&[
+            env(
+                1,
+                Request::AppRegister {
+                    app: AppId(0),
+                    workload: "Mystery".into(),
+                },
+            ),
+            env(
+                2,
+                Request::ConnCreate {
+                    app: AppId(9),
+                    src: servers[0],
+                    dst: servers[1],
+                    tag: 1,
+                },
+            ),
+            env(
+                3,
+                Request::ConnDestroy {
+                    app: AppId(0),
+                    tag: 99,
+                },
+            ),
+            env(4, Request::AppDeregister { app: AppId(5) }),
+        ]);
+        for resp in &r {
+            match resp {
+                Response::Error { code, .. } => assert!(!code.is_retryable(), "{resp:?}"),
+                other => panic!("expected fatal error, got {other:?}"),
+            }
+        }
+        assert_eq!(shard.log().appended(), 0, "rejections must not be logged");
+        assert_eq!(shard.stats().fatal_rejections, 4);
+    }
+
+    #[test]
+    fn dead_shard_rejects_retryably_and_takeover_restores_state() {
+        for flavour in [Flavour::Central, Flavour::Distributed(2)] {
+            let dir = tmpdir(&format!("takeover-{flavour:?}"));
+            let _ = std::fs::remove_file(Shard::log_path(&dir, 0));
+            let (mut shard, _) = Shard::open(0, spec(flavour), &dir, 1).unwrap();
+            let servers = shard.spec().topo.servers().to_vec();
+            shard.handle_batch(&[
+                env(
+                    1,
+                    Request::AppRegister {
+                        app: AppId(0),
+                        workload: "LR".into(),
+                    },
+                ),
+                env(
+                    2,
+                    Request::ConnCreate {
+                        app: AppId(0),
+                        src: servers[0],
+                        dst: servers[1],
+                        tag: 7,
+                    },
+                ),
+            ]);
+
+            shard.kill();
+            assert!(shard.is_dead());
+            let r = shard.handle_batch(&[env(
+                3,
+                Request::ConnDestroy {
+                    app: AppId(0),
+                    tag: 7,
+                },
+            )]);
+            match &r[0] {
+                Response::Error { code, .. } => {
+                    assert_eq!(*code, ErrorCode::FailingOver);
+                    assert!(code.is_retryable());
+                }
+                other => panic!("expected retryable error, got {other:?}"),
+            }
+
+            let report = shard.take_over().unwrap();
+            assert_eq!(report.registrations, 1);
+            assert_eq!(report.live_conns, 1);
+            assert_eq!(report.torn_bytes, 0);
+            // The retried destroy now succeeds against replayed state.
+            let r = shard.handle_batch(&[env(
+                3,
+                Request::ConnDestroy {
+                    app: AppId(0),
+                    tag: 7,
+                },
+            )]);
+            assert_eq!(r[0], Response::Ack, "{flavour:?}");
+        }
+    }
+
+    /// The lost-ack window: an operation is applied and logged, the
+    /// worker dies before replying, and the client retries against the
+    /// standby — whose dedup cache died with the worker. Register and
+    /// create retries with identical parameters must repeat the
+    /// original ack (same PL!) without duplicating state; destroys of
+    /// an absent connection under a registered tenant are idempotent.
+    #[test]
+    fn lost_ack_retries_are_idempotent_after_takeover() {
+        let dir = tmpdir("lost-ack");
+        let _ = std::fs::remove_file(Shard::log_path(&dir, 0));
+        let (mut shard, _) = Shard::open(0, spec(Flavour::Central), &dir, 1).unwrap();
+        let servers = shard.spec().topo.servers().to_vec();
+        let reg = Request::AppRegister {
+            app: AppId(0),
+            workload: "LR".into(),
+        };
+        let create = Request::ConnCreate {
+            app: AppId(0),
+            src: servers[0],
+            dst: servers[1],
+            tag: 7,
+        };
+        let r = shard.handle_batch(&[env(1, reg.clone()), env(2, create.clone())]);
+        let Response::Registered { sl } = r[0] else {
+            panic!("registration must ack, got {:?}", r[0]);
+        };
+
+        shard.kill();
+        shard.take_over().unwrap();
+        let appended = shard.log().appended();
+        // Retries arrive with FRESH ids (the dedup cache is gone and
+        // cannot absorb them) — semantic idempotency must.
+        let r = shard.handle_batch(&[env(10, reg), env(11, create)]);
+        assert_eq!(r[0], Response::Registered { sl }, "same PL re-promised");
+        assert_eq!(r[1], Response::Ack);
+        assert_eq!(
+            shard.log().appended(),
+            appended,
+            "idempotent retries must not re-log"
+        );
+        assert_eq!(shard.state().live_conns.len(), 1, "no duplicate state");
+
+        // Destroy applied, ack lost, retried: second attempt is Ack.
+        let destroy = Request::ConnDestroy {
+            app: AppId(0),
+            tag: 7,
+        };
+        assert_eq!(
+            shard.handle_batch(&[env(12, destroy.clone())])[0],
+            Response::Ack
+        );
+        assert_eq!(shard.handle_batch(&[env(13, destroy)])[0], Response::Ack);
+        // But conflicting parameters are genuine duplicates, not retries.
+        let r = shard.handle_batch(&[env(
+            14,
+            Request::AppRegister {
+                app: AppId(0),
+                workload: "RF".into(),
+            },
+        )]);
+        match &r[0] {
+            Response::Error { code, .. } => assert_eq!(*code, ErrorCode::AlreadyRegistered),
+            other => panic!("conflicting re-register must reject, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compaction_trigger_fires_and_preserves_state() {
+        let dir = tmpdir("compact");
+        let _ = std::fs::remove_file(Shard::log_path(&dir, 0));
+        let (mut shard, _) = Shard::open(0, spec(Flavour::Central), &dir, 64).unwrap();
+        let servers = shard.spec().topo.servers().to_vec();
+        shard.handle_batch(&[env(
+            0,
+            Request::AppRegister {
+                app: AppId(0),
+                workload: "LR".into(),
+            },
+        )]);
+        // 50 create/destroy pairs: history 101 records, live state 1.
+        for i in 0..50u64 {
+            shard.handle_batch(&[
+                env(
+                    1 + 2 * i,
+                    Request::ConnCreate {
+                        app: AppId(0),
+                        src: servers[0],
+                        dst: servers[1],
+                        tag: i,
+                    },
+                ),
+                env(
+                    2 + 2 * i,
+                    Request::ConnDestroy {
+                        app: AppId(0),
+                        tag: i,
+                    },
+                ),
+            ]);
+        }
+        assert!(!shard.maybe_compact(1000).unwrap());
+        assert!(shard.maybe_compact(100).unwrap());
+        assert_eq!(shard.stats().compactions, 1);
+        // A takeover from the compacted log sees the same state.
+        let before = shard.state().clone();
+        shard.kill();
+        let report = shard.take_over().unwrap();
+        assert_eq!(report.records, 1, "compacted to the single registration");
+        assert_eq!(shard.state(), &before);
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests of the durable registration log.
+//!
+//! The two durability contracts the service tier leans on:
+//!
+//! 1. **Torn-tail recovery is prefix-exact.** Whatever happens to the
+//!    file past the last intact record — truncation mid-record, bit
+//!    flips, arbitrary garbage — a scan recovers exactly the records
+//!    that were fully written, in order, and nothing else.
+//! 2. **Compaction is invisible.** Compacting at any point and then
+//!    appending more history replays to the same state as the full
+//!    uncompacted history.
+
+use proptest::prelude::*;
+use saba_core::rpc::Request;
+use saba_service::wal::{append_record, scan, DurableLog, ReplayState};
+use saba_sim::ids::{AppId, NodeId};
+use std::path::PathBuf;
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        (0u32..64, "[a-zA-Z0-9_-]{0,24}").prop_map(|(app, workload)| Request::AppRegister {
+            app: AppId(app),
+            workload,
+        }),
+        (0u32..64, any::<u32>(), any::<u32>(), any::<u64>()).prop_map(|(app, src, dst, tag)| {
+            Request::ConnCreate {
+                app: AppId(app),
+                src: NodeId(src),
+                dst: NodeId(dst),
+                tag,
+            }
+        }),
+        (0u32..64, any::<u64>()).prop_map(|(app, tag)| Request::ConnDestroy {
+            app: AppId(app),
+            tag,
+        }),
+        (0u32..64).prop_map(|app| Request::AppDeregister { app: AppId(app) }),
+    ]
+}
+
+fn encode_log(reqs: &[Request]) -> (Vec<u8>, Vec<usize>) {
+    let mut bytes = Vec::new();
+    let mut ends = Vec::with_capacity(reqs.len());
+    for req in reqs {
+        append_record(&mut bytes, req);
+        ends.push(bytes.len());
+    }
+    (bytes, ends)
+}
+
+fn tmpfile(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("saba-walprop-{}-{tag}.log", std::process::id()))
+}
+
+proptest! {
+    /// Cutting the log at ANY byte position recovers exactly the
+    /// records that end at or before the cut.
+    #[test]
+    fn truncation_recovers_the_exact_intact_prefix(
+        reqs in proptest::collection::vec(arb_request(), 1..24),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let (bytes, ends) = encode_log(&reqs);
+        let cut = (bytes.len() as f64 * cut_frac) as usize;
+        let report = scan(&bytes[..cut]);
+        let expect = ends.iter().filter(|&&e| e <= cut).count();
+        prop_assert_eq!(report.records.len(), expect);
+        prop_assert_eq!(&report.records[..], &reqs[..expect]);
+        prop_assert_eq!(report.valid_bytes, if expect == 0 { 0 } else { ends[expect - 1] });
+    }
+
+    /// Arbitrary garbage appended after intact records never yields
+    /// extra records, and never loses the intact prefix.
+    #[test]
+    fn garbage_tail_never_fabricates_or_loses_records(
+        reqs in proptest::collection::vec(arb_request(), 0..16),
+        garbage in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let (mut bytes, _) = encode_log(&reqs);
+        let valid_len = bytes.len();
+        bytes.extend_from_slice(&garbage);
+        let report = scan(&bytes);
+        // The prefix always survives. The garbage can only extend the
+        // record set in the astronomically unlikely event it forms a
+        // CRC-valid frame — treat any extension beyond the prefix as
+        // a failure; CRC32 over proptest-sized inputs won't collide.
+        prop_assert!(report.records.len() >= reqs.len());
+        prop_assert_eq!(&report.records[..reqs.len()], &reqs[..]);
+        prop_assert_eq!(report.records.len(), reqs.len());
+        prop_assert_eq!(report.valid_bytes, valid_len);
+        prop_assert_eq!(report.torn_bytes, garbage.len());
+    }
+
+    /// Flipping any single bit inside the record area loses only
+    /// records at or after the flipped one — never earlier ones, and
+    /// never yields a record that was not appended.
+    #[test]
+    fn bit_flip_loses_only_the_suffix(
+        reqs in proptest::collection::vec(arb_request(), 1..16),
+        flip_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let (mut bytes, ends) = encode_log(&reqs);
+        let pos = ((bytes.len() - 1) as f64 * flip_frac) as usize;
+        bytes[pos] ^= 1 << bit;
+        let report = scan(&bytes);
+        // The scan stops at the record containing the flip (its CRC
+        // cannot match): every record before it survives intact,
+        // every record from it on is gone.
+        let intact = ends.iter().filter(|&&e| e <= pos).count();
+        prop_assert_eq!(report.records.len(), intact);
+        prop_assert_eq!(&report.records[..], &reqs[..intact]);
+    }
+
+    /// Compacting after an arbitrary prefix, then appending the rest,
+    /// replays to exactly the state of the full uncompacted history —
+    /// through a real on-disk log, reopen included.
+    #[test]
+    fn compaction_plus_suffix_replays_like_the_full_history(
+        reqs in proptest::collection::vec(arb_request(), 1..32),
+        split_frac in 0.0f64..1.0,
+        case in 0u64..u64::MAX,
+    ) {
+        let split = ((reqs.len() as f64) * split_frac) as usize;
+        let path = tmpfile(&format!("compact-{case:x}"));
+        let _ = std::fs::remove_file(&path);
+
+        let (mut log, _) = DurableLog::open(&path, 4).unwrap();
+        let mut state = ReplayState::default();
+        for req in &reqs[..split] {
+            log.append(req).unwrap();
+            state.apply(req);
+        }
+        log.compact(&state).unwrap();
+        for req in &reqs[split..] {
+            log.append(req).unwrap();
+        }
+        log.sync().unwrap();
+        drop(log);
+
+        let (_, scan_report) = DurableLog::open(&path, 4).unwrap();
+        let replayed = ReplayState::replay(&scan_report.records);
+        let full = ReplayState::replay(reqs.iter());
+        prop_assert_eq!(replayed, full);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,212 @@
+//! End-to-end: the full paper-facing stack over real sockets.
+//!
+//! `SabaLib` (Fig. 7 software interface) → length-prefixed RPC over a
+//! real `TcpStream` → accept loop → sharded worker threads → durable
+//! log → controller. Three scenarios:
+//!
+//! 1. concurrent tenants each run the Fig. 7 lifecycle over their own
+//!    TCP connection and every operation lands durably;
+//! 2. a shard worker is killed mid-session; the supervisor promotes a
+//!    standby that replays the log, and the tenant's next call — over
+//!    the same TCP connection — succeeds against the replayed state;
+//! 3. wire hygiene: a version-mismatched frame is answered with a
+//!    typed `VersionMismatch` error, not a hang or a crash.
+
+use saba_core::controller::ControllerConfig;
+use saba_core::library::SabaLib;
+use saba_core::profiler::{Profiler, ProfilerConfig};
+use saba_core::rpc::{decode_response, encode_envelope, Envelope, ErrorCode, Request, Response};
+use saba_core::sensitivity::SensitivityTable;
+use saba_service::runtime::{RuntimeConfig, ServiceRuntime};
+use saba_service::shard::{Flavour, ShardSpec};
+use saba_service::{TcpServiceServer, TcpTransport};
+use saba_sim::ids::AppId;
+use saba_sim::topology::Topology;
+use saba_workload::catalog;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const SERVERS: usize = 8;
+
+fn table() -> SensitivityTable {
+    Profiler::new(ProfilerConfig {
+        noise_sigma: 0.0,
+        bw_points: vec![0.25, 0.5, 0.75, 1.0],
+        degree: 2,
+        ..Default::default()
+    })
+    .profile_all(&catalog())
+    .unwrap()
+}
+
+fn spec() -> ShardSpec {
+    ShardSpec {
+        cfg: ControllerConfig::default(),
+        table: table(),
+        topo: Topology::single_switch(SERVERS, 100.0),
+        flavour: Flavour::Central,
+    }
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("saba-e2e-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn start(name: &str) -> (Arc<ServiceRuntime>, TcpServiceServer, PathBuf) {
+    let dir = tmpdir(name);
+    let cfg = RuntimeConfig {
+        shards: 2,
+        ..RuntimeConfig::new(&dir)
+    };
+    let rt = Arc::new(ServiceRuntime::start(spec(), cfg).unwrap());
+    let server = TcpServiceServer::bind(rt.clone(), "127.0.0.1:0").unwrap();
+    (rt, server, dir)
+}
+
+/// Retries a library call while the shard is busy or failing over.
+fn with_retries<T>(
+    mut call: impl FnMut() -> Result<T, saba_core::library::LibError>,
+) -> Result<T, saba_core::library::LibError> {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match call() {
+            Err(e) if e.is_retryable() && Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            other => return other,
+        }
+    }
+}
+
+#[test]
+fn concurrent_tenants_run_fig7_over_tcp() {
+    let (rt, server, dir) = start("fig7");
+    let addr = server.addr();
+    let servers = rt.spec().topo.servers().to_vec();
+
+    let handles: Vec<_> = (0u32..6)
+        .map(|app| {
+            let servers = servers.clone();
+            std::thread::spawn(move || {
+                let transport = TcpTransport::connect(addr, u64::from(app) << 32).unwrap();
+                let mut lib = SabaLib::new(AppId(app), transport);
+                let workload = ["LR", "RF", "GBT"][app as usize % 3];
+                let sl = with_retries(|| lib.saba_app_register(workload)).unwrap();
+                assert!((sl.0 as usize) < 16, "PL out of InfiniBand SL range");
+                let mut conns = Vec::new();
+                for i in 0..4 {
+                    let src = servers[(app as usize + i) % SERVERS];
+                    let dst = servers[(app as usize + i + 1) % SERVERS];
+                    conns.push(with_retries(|| lib.saba_conn_create(src, dst)).unwrap());
+                }
+                assert!(conns.iter().all(|c| c.sl == sl));
+                for conn in conns {
+                    with_retries(|| lib.saba_conn_destroy(conn)).unwrap();
+                }
+                with_retries(|| lib.saba_app_deregister()).unwrap();
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    server.stop();
+    let report = rt.shutdown();
+    assert_eq!(report.failovers, 0);
+    let acked: u64 = report
+        .workers
+        .iter()
+        .map(|w| w.stats.registrations_acked)
+        .sum();
+    assert_eq!(acked, 6, "every tenant registration must be durably acked");
+    let creates: u64 = report
+        .workers
+        .iter()
+        .map(|w| w.stats.conn_creates_acked)
+        .sum();
+    assert_eq!(creates, 6 * 4);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn killed_worker_fails_over_under_a_live_tcp_session() {
+    let (rt, server, dir) = start("failover");
+    let addr = server.addr();
+    let servers = rt.spec().topo.servers().to_vec();
+
+    // A tenant builds up state on its shard...
+    let app = 7u32;
+    let victim = rt.shard_map().shard_of(AppId(app));
+    let transport = TcpTransport::connect(addr, 1).unwrap();
+    let mut lib = SabaLib::new(AppId(app), transport);
+    let sl = with_retries(|| lib.saba_app_register("LR")).unwrap();
+    let first = with_retries(|| lib.saba_conn_create(servers[0], servers[1])).unwrap();
+
+    // ...the worker thread serving that shard dies...
+    rt.kill_shard(victim);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while rt.failovers() == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "supervisor never promoted a standby"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // ...and the tenant's next calls, over the SAME TCP session,
+    // succeed against the standby's replayed state: the registration
+    // and the first connection both survived the crash.
+    let second = with_retries(|| lib.saba_conn_create(servers[2], servers[3])).unwrap();
+    assert_eq!(second.sl, sl, "replayed registration must keep its PL");
+    with_retries(|| lib.saba_conn_destroy(first)).unwrap();
+    with_retries(|| lib.saba_conn_destroy(second)).unwrap();
+    with_retries(|| lib.saba_app_deregister()).unwrap();
+
+    server.stop();
+    let report = rt.shutdown();
+    assert_eq!(report.failovers, 1);
+    assert_eq!(rt.replaced_shards(), vec![victim]);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn version_mismatched_frames_get_a_typed_error() {
+    let (rt, server, dir) = start("version");
+
+    let mut raw = TcpStream::connect(server.addr()).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut frame = encode_envelope(&Envelope {
+        request_id: 1,
+        request: Request::AppDeregister { app: AppId(1) },
+    })
+    .to_vec();
+    frame[4] = 0x7f; // clobber the protocol version byte
+    raw.write_all(&frame).unwrap();
+
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 1024];
+    let resp = loop {
+        match decode_response(&buf) {
+            Ok((resp, _)) => break resp,
+            Err(saba_core::rpc::RpcError::Incomplete) => {}
+            Err(e) => panic!("undecodable reply: {e}"),
+        }
+        let n = raw.read(&mut chunk).unwrap();
+        assert!(n > 0, "server hung up without answering");
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    match resp {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::VersionMismatch),
+        other => panic!("expected a version error, got {other:?}"),
+    }
+
+    server.stop();
+    rt.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,326 @@
+//! Synthetic multi-tenant *control-plane* churn traces.
+//!
+//! The data-plane modules of this crate model what applications do
+//! with bandwidth; this module models what they do to the **control
+//! plane**: a seeded, unbounded stream of registration / connection /
+//! deregistration operations across many tenants, shaped like a
+//! datacenter's steady-state churn (tenants arrive, build up a
+//! connection working set, churn it, and eventually leave). The
+//! service tier's load and soak drives — up to millions of connection
+//! events — consume this stream; generation is O(1) memory in the
+//! trace length and deterministic from the seed.
+//!
+//! The stream is always *valid*: a connection is only created for a
+//! registered tenant, only live connections are destroyed, and a
+//! departing tenant's connections are destroyed before it
+//! deregisters. Invalid-op injection belongs to the conformance
+//! harness, not here.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::VecDeque;
+
+/// One control-plane operation in a churn trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChurnOp {
+    /// A tenant arrives and registers under a profiled workload name.
+    Register {
+        /// Tenant (application) id — unique across the whole trace.
+        app: u32,
+        /// The workload name to register with.
+        workload: String,
+    },
+    /// A registered tenant opens a connection.
+    ConnCreate {
+        /// Owning tenant.
+        app: u32,
+        /// Source server index in `[0, servers)`.
+        src: u32,
+        /// Destination server index, distinct from `src`.
+        dst: u32,
+        /// Tag, unique per tenant.
+        tag: u64,
+    },
+    /// A live connection closes.
+    ConnDestroy {
+        /// Owning tenant.
+        app: u32,
+        /// The connection's tag.
+        tag: u64,
+    },
+    /// A tenant departs (its connections were already destroyed).
+    Deregister {
+        /// The departing tenant.
+        app: u32,
+    },
+}
+
+impl ChurnOp {
+    /// The tenant this operation belongs to.
+    pub fn app(&self) -> u32 {
+        match self {
+            ChurnOp::Register { app, .. }
+            | ChurnOp::ConnCreate { app, .. }
+            | ChurnOp::ConnDestroy { app, .. }
+            | ChurnOp::Deregister { app } => *app,
+        }
+    }
+}
+
+/// Shape of the generated churn.
+#[derive(Debug, Clone)]
+pub struct ChurnTraceConfig {
+    /// Tenants live at any instant (the steady-state population).
+    pub tenants: usize,
+    /// Servers to draw connection endpoints from (must be ≥ 2).
+    pub servers: u32,
+    /// Workload names to register tenants under (round-robin with
+    /// seeded jitter); must be non-empty.
+    pub workloads: Vec<String>,
+    /// Target live connections per tenant: creates dominate below it,
+    /// destroys above it.
+    pub conns_per_tenant: usize,
+    /// Probability a step retires the oldest tenant (connection
+    /// teardown + deregister + a fresh arrival) instead of churning a
+    /// connection. Tenant lifetime ≈ `1 / tenant_churn` steps.
+    pub tenant_churn: f64,
+}
+
+impl Default for ChurnTraceConfig {
+    fn default() -> Self {
+        Self {
+            tenants: 32,
+            servers: 64,
+            workloads: vec!["LR".into(), "RF".into(), "GBT".into()],
+            conns_per_tenant: 16,
+            tenant_churn: 1e-4,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Tenant {
+    app: u32,
+    /// Live tags in creation order (destroys pick seeded-uniformly).
+    live: Vec<u64>,
+    next_tag: u64,
+}
+
+/// The seeded, unbounded churn stream ([`Iterator`] of [`ChurnOp`]).
+///
+/// Memory is O(live connections), not O(ops generated): a
+/// million-event soak with the default config holds ~512 live
+/// connections at a time.
+#[derive(Debug)]
+pub struct ChurnTrace {
+    cfg: ChurnTraceConfig,
+    rng: ChaCha8Rng,
+    /// Steady-state population, oldest first (churn retires the head).
+    tenants: VecDeque<Tenant>,
+    next_app: u32,
+    /// Ops queued by a multi-op transition (arrival, retirement).
+    queued: VecDeque<ChurnOp>,
+    generated: u64,
+}
+
+impl ChurnTrace {
+    /// A trace from `cfg`, deterministic in `seed`.
+    pub fn new(cfg: ChurnTraceConfig, seed: u64) -> Self {
+        assert!(cfg.tenants >= 1, "need at least one tenant");
+        assert!(cfg.servers >= 2, "need two servers for a connection");
+        assert!(!cfg.workloads.is_empty(), "need a workload to register");
+        assert!(cfg.conns_per_tenant >= 1, "need a connection target");
+        let mut trace = Self {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            tenants: VecDeque::with_capacity(cfg.tenants),
+            next_app: 0,
+            queued: VecDeque::new(),
+            generated: 0,
+            cfg,
+        };
+        for _ in 0..trace.cfg.tenants {
+            trace.arrive();
+        }
+        trace
+    }
+
+    /// Ops generated so far.
+    pub fn generated(&self) -> u64 {
+        self.generated
+    }
+
+    /// Live connections across all tenants right now.
+    pub fn live_conns(&self) -> usize {
+        self.tenants.iter().map(|t| t.live.len()).sum()
+    }
+
+    fn arrive(&mut self) {
+        let app = self.next_app;
+        self.next_app += 1;
+        let workload = self.cfg.workloads[self.rng.gen_range(0..self.cfg.workloads.len())].clone();
+        self.queued.push_back(ChurnOp::Register { app, workload });
+        self.tenants.push_back(Tenant {
+            app,
+            live: Vec::with_capacity(self.cfg.conns_per_tenant * 2),
+            next_tag: 0,
+        });
+    }
+
+    fn retire_oldest(&mut self) {
+        let Some(t) = self.tenants.pop_front() else {
+            return;
+        };
+        for &tag in &t.live {
+            self.queued
+                .push_back(ChurnOp::ConnDestroy { app: t.app, tag });
+        }
+        self.queued.push_back(ChurnOp::Deregister { app: t.app });
+        self.arrive();
+    }
+
+    fn churn_connection(&mut self) -> ChurnOp {
+        let idx = self.rng.gen_range(0..self.tenants.len());
+        let servers = self.cfg.servers;
+        let target = self.cfg.conns_per_tenant;
+        let t = &mut self.tenants[idx];
+        // Below target: always grow. At/above: coin-flip with a bias
+        // to shrink, so the working set hovers around the target.
+        let create = if t.live.is_empty() {
+            true
+        } else if t.live.len() < target {
+            self.rng.gen_range(0..4) != 0 // 3:1 grow
+        } else {
+            self.rng.gen_range(0..4) == 0 // 3:1 shrink
+        };
+        if create {
+            let src = self.rng.gen_range(0..servers);
+            let mut dst = self.rng.gen_range(0..servers - 1);
+            if dst >= src {
+                dst += 1;
+            }
+            let tag = t.next_tag;
+            t.next_tag += 1;
+            t.live.push(tag);
+            ChurnOp::ConnCreate {
+                app: t.app,
+                src,
+                dst,
+                tag,
+            }
+        } else {
+            let pick = self.rng.gen_range(0..t.live.len());
+            let tag = t.live.swap_remove(pick);
+            ChurnOp::ConnDestroy { app: t.app, tag }
+        }
+    }
+}
+
+impl Iterator for ChurnTrace {
+    type Item = ChurnOp;
+
+    fn next(&mut self) -> Option<ChurnOp> {
+        let op = if let Some(queued) = self.queued.pop_front() {
+            queued
+        } else if self.rng.gen::<f64>() < self.cfg.tenant_churn {
+            self.retire_oldest();
+            self.queued.pop_front().expect("retirement queues ops")
+        } else {
+            self.churn_connection()
+        };
+        self.generated += 1;
+        Some(op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{BTreeMap, BTreeSet};
+
+    fn cfg() -> ChurnTraceConfig {
+        ChurnTraceConfig {
+            tenants: 8,
+            servers: 16,
+            conns_per_tenant: 4,
+            tenant_churn: 2e-3,
+            ..ChurnTraceConfig::default()
+        }
+    }
+
+    #[test]
+    fn trace_is_deterministic_in_the_seed() {
+        let a: Vec<ChurnOp> = ChurnTrace::new(cfg(), 7).take(5_000).collect();
+        let b: Vec<ChurnOp> = ChurnTrace::new(cfg(), 7).take(5_000).collect();
+        let c: Vec<ChurnOp> = ChurnTrace::new(cfg(), 8).take(5_000).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn stream_is_always_valid() {
+        let mut registered: BTreeSet<u32> = BTreeSet::new();
+        let mut live: BTreeMap<u32, BTreeSet<u64>> = BTreeMap::new();
+        let mut retired: BTreeSet<u32> = BTreeSet::new();
+        for op in ChurnTrace::new(cfg(), 42).take(100_000) {
+            match op {
+                ChurnOp::Register { app, workload } => {
+                    assert!(registered.insert(app), "double register of {app}");
+                    assert!(!retired.contains(&app), "app id {app} reused");
+                    assert!(!workload.is_empty());
+                }
+                ChurnOp::ConnCreate { app, src, dst, tag } => {
+                    assert!(registered.contains(&app), "create for unregistered {app}");
+                    assert_ne!(src, dst);
+                    assert!(src < 16 && dst < 16);
+                    assert!(live.entry(app).or_default().insert(tag), "tag reuse");
+                }
+                ChurnOp::ConnDestroy { app, tag } => {
+                    assert!(
+                        live.get_mut(&app).is_some_and(|s| s.remove(&tag)),
+                        "destroy of a dead connection {app}/{tag}"
+                    );
+                }
+                ChurnOp::Deregister { app } => {
+                    assert!(registered.remove(&app), "deregister of unknown {app}");
+                    assert!(
+                        live.get(&app).is_none_or(|s| s.is_empty()),
+                        "deregister with live connections"
+                    );
+                    live.remove(&app);
+                    retired.insert(app);
+                }
+            }
+        }
+        assert!(!retired.is_empty(), "churn must retire some tenants");
+    }
+
+    #[test]
+    fn working_set_hovers_near_the_target() {
+        let mut trace = ChurnTrace::new(cfg(), 3);
+        for _ in 0..50_000 {
+            trace.next();
+        }
+        let live = trace.live_conns();
+        // 8 tenants × 4 target = 32; allow wide slack for churn noise.
+        assert!((16..=64).contains(&live), "live connections: {live}");
+    }
+
+    #[test]
+    fn memory_stays_bounded_over_a_long_stream() {
+        let mut trace = ChurnTrace::new(
+            ChurnTraceConfig {
+                tenants: 4,
+                conns_per_tenant: 2,
+                tenant_churn: 0.01,
+                ..ChurnTraceConfig::default()
+            },
+            9,
+        );
+        for _ in 0..200_000 {
+            trace.next();
+        }
+        assert!(trace.live_conns() <= 4 * 2 * 4);
+        assert_eq!(trace.generated(), 200_000);
+    }
+}

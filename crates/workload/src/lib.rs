@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod catalog;
+pub mod churn;
 pub mod noise;
 pub mod pattern;
 pub mod runtime;
@@ -36,6 +37,7 @@ pub mod synthetic;
 pub mod trace;
 
 pub use catalog::{catalog, workload_by_name};
+pub use churn::{ChurnOp, ChurnTrace, ChurnTraceConfig};
 pub use pattern::ShufflePattern;
 pub use runtime::{run_jobs, ConnEvent, JobRuntime, RunError};
 pub use spec::{JobPlan, ScalingLaw, StageSpec, WorkloadClass, WorkloadSpec};
