@@ -1,142 +1,29 @@
 //! Thread-parallel experiment execution.
 //!
 //! The §8.2 experiment runs 500 independent cluster setups twice each;
-//! setups share nothing, so they parallelize trivially across cores
-//! with scoped threads. Each worker collects its `(index, value)` pairs
-//! locally and the results are merged once at join — no per-task
-//! mutexes, no per-item lock traffic.
+//! setups share nothing, so they parallelize trivially across cores.
+//! The implementation lives in [`saba_math::parallel`] (the bottom of
+//! the crate graph) so the controllers can shard per-port Eq. 2 solves
+//! with the same primitive; this module re-exports it for the
+//! experiment-harness callers.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-/// Runs `f(i)` for every `i` in `0..n` across up to `threads` worker
-/// threads, returning results in index order.
-///
-/// `f` must be `Sync` (it is shared by reference across workers).
-///
-/// # Panics
-///
-/// Propagates panics from worker closures.
-pub fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    assert!(threads >= 1, "need at least one thread");
-    let workers = threads.min(n.max(1));
-    let next = AtomicUsize::new(0);
-
-    let mut collected: Vec<Vec<(usize, T)>> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                s.spawn(|| {
-                    // Work-stealing over a shared counter: workers pull the
-                    // next index until the range is drained, accumulating
-                    // results locally.
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            return local;
-                        }
-                        local.push((i, f(i)));
-                    }
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker threads must not panic"))
-            .collect()
-    });
-
-    // Merge: move every value into its slot, in index order.
-    let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
-    slots.resize_with(n, || None);
-    for (i, value) in collected.drain(..).flatten() {
-        slots[i] = Some(value);
-    }
-    slots
-        .into_iter()
-        .map(|v| v.expect("every index was processed"))
-        .collect()
-}
-
-/// A sensible worker count: the available parallelism, capped.
-pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(32)
-}
+pub use saba_math::parallel::{default_threads, parallel_map, parallel_map_with};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn results_are_in_order() {
-        let out = parallel_map(100, 8, |i| i * i);
+    fn reexported_parallel_map_is_in_order() {
+        let out = parallel_map(100, default_threads(), |i| i * 3);
         for (i, v) in out.iter().enumerate() {
-            assert_eq!(*v, i * i);
+            assert_eq!(*v, i * 3);
         }
     }
 
     #[test]
-    fn single_thread_works() {
-        assert_eq!(parallel_map(5, 1, |i| i), vec![0, 1, 2, 3, 4]);
-    }
-
-    #[test]
-    fn zero_tasks_is_empty() {
-        let out: Vec<usize> = parallel_map(0, 4, |i| i);
-        assert!(out.is_empty());
-    }
-
-    #[test]
-    fn more_threads_than_tasks() {
-        assert_eq!(parallel_map(2, 16, |i| i + 1), vec![1, 2]);
-    }
-
-    #[test]
-    fn heavy_closure_parallelizes_correctly() {
-        let out = parallel_map(50, default_threads(), |i| {
-            let mut acc = 0u64;
-            for k in 0..10_000 {
-                acc = acc.wrapping_add((i as u64).wrapping_mul(k));
-            }
-            acc
-        });
-        let serial: Vec<u64> = (0..50)
-            .map(|i| {
-                let mut acc = 0u64;
-                for k in 0..10_000 {
-                    acc = acc.wrapping_add((i as u64).wrapping_mul(k));
-                }
-                acc
-            })
-            .collect();
-        assert_eq!(out, serial);
-    }
-
-    #[test]
-    fn worker_panic_propagates() {
-        let caught = std::panic::catch_unwind(|| {
-            parallel_map(8, 4, |i| {
-                if i == 3 {
-                    panic!("boom");
-                }
-                i
-            })
-        });
-        assert!(caught.is_err());
-    }
-
-    #[test]
-    fn non_clone_values_are_returned() {
-        // T only needs Send: values are moved, never cloned or locked.
-        let out = parallel_map(10, 4, Box::new);
-        for (i, v) in out.iter().enumerate() {
-            assert_eq!(**v, i);
-        }
+    fn reexported_parallel_map_with_threads_state() {
+        let out = parallel_map_with(16, 4, || 0usize, |_s, i| i + 1);
+        assert_eq!(out, (1..=16).collect::<Vec<_>>());
     }
 }

@@ -26,6 +26,7 @@ use saba_conformance::incremental::{incremental_vs_scratch, ChurnScript};
 use saba_conformance::oracles::{
     check_against_reference, check_model_monotonicity, check_replay, check_seeded_queue_map,
 };
+use saba_conformance::parallel::parallel_vs_serial;
 use saba_conformance::scenario::{ControlScenario, EngineScenario, FlowSetScenario};
 use saba_conformance::shrink::{shrink_engine, shrink_flow_set};
 use saba_telemetry::JsonValue;
@@ -37,6 +38,7 @@ struct Profile {
     engines: u64,
     controls: u64,
     incremental: u64,
+    parallel: u64,
 }
 
 const SMOKE: Profile = Profile {
@@ -44,6 +46,7 @@ const SMOKE: Profile = Profile {
     engines: 60,
     controls: 48,
     incremental: 500,
+    parallel: 500,
 };
 
 const LONG: Profile = Profile {
@@ -51,6 +54,7 @@ const LONG: Profile = Profile {
     engines: 600,
     controls: 480,
     incremental: 5000,
+    parallel: 5000,
 };
 
 fn main() -> ExitCode {
@@ -175,13 +179,29 @@ fn main() -> ExitCode {
         scenarios += 1;
     }
 
-    // 5. Baselines against hand-solved fixtures.
+    // 5. Parallel vs serial epochs: the same churn script driven at
+    //    several solver-thread counts must emit bit-identical updates,
+    //    epoch scopes, and stats (both flavours) — the determinism pin
+    //    for the sharded per-port solve path.
+    println!(
+        "parallel vs serial: {} seeded churn scripts",
+        profile.parallel
+    );
+    for seed in seed_start..seed_start + profile.parallel {
+        let sc = ChurnScript::generate(seed);
+        if let Err(e) = parallel_vs_serial(&sc) {
+            return fail("parallel-vs-serial", format!("seed {seed}: {e}"));
+        }
+        scenarios += 1;
+    }
+
+    // 6. Baselines against hand-solved fixtures.
     println!("baseline fixtures");
     if let Err(e) = baseline_fixtures() {
         return fail("baseline-fixtures", e);
     }
 
-    // 6. Golden CSVs of the figure pipelines.
+    // 7. Golden CSVs of the figure pipelines.
     println!("golden CSVs");
     if let Err(e) = golden::check_goldens() {
         return fail("golden", e);

@@ -15,6 +15,7 @@ pub mod differential;
 pub mod golden;
 pub mod incremental;
 pub mod oracles;
+pub mod parallel;
 pub mod reference;
 pub mod scenario;
 pub mod shrink;

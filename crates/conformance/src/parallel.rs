@@ -1,0 +1,173 @@
+//! Parallel-vs-serial controller differential.
+//!
+//! The scale-out work parallelizes the independent per-port Eq. 2
+//! solves of a reprogramming batch across worker threads. That is a
+//! pure implementation detail: the emitted `SwitchUpdate` stream, the
+//! accumulated switch state, the epoch scopes, and every stats counter
+//! must be **bit-identical** — not merely tolerance-close — to the
+//! single-threaded path, at any thread count. This suite drives the
+//! same seeded churn script through both controller flavours at
+//! several thread counts in lockstep and compares each epoch's output
+//! with exact (`==`) equality; a single reordered floating-point
+//! reduction anywhere in the parallel merge shows up as a failure
+//! here.
+
+use crate::incremental::{ChurnEvent, ChurnScript};
+use saba_core::controller::central::CentralController;
+use saba_core::controller::distributed::{DistributedController, MappingDb};
+use saba_core::controller::{ControllerConfig, SwitchUpdate};
+use saba_sim::ids::AppId;
+
+/// Thread counts exercised by the differential: the serial baseline,
+/// the smallest parallel configuration, and an oversubscribed one
+/// (more workers than ports on the small testbed switch).
+pub const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn diff_exact(
+    flavour: &str,
+    threads: usize,
+    step: usize,
+    serial: &[SwitchUpdate],
+    parallel: &[SwitchUpdate],
+) -> Result<(), String> {
+    if serial != parallel {
+        let mismatch = serial
+            .iter()
+            .zip(parallel)
+            .position(|(a, b)| a != b)
+            .map_or_else(
+                || format!("lengths {} vs {}", serial.len(), parallel.len()),
+                |i| format!("first divergence at update {i}"),
+            );
+        return Err(format!(
+            "[{flavour}] step {step}: {threads}-thread updates diverge from serial ({mismatch})"
+        ));
+    }
+    Ok(())
+}
+
+/// Drives the churn script through both controller flavours at every
+/// thread count of [`THREAD_COUNTS`] in lockstep, requiring exact
+/// equality of every epoch's updates, the epoch scopes, and the final
+/// stats counters against the single-threaded baseline. Ends with a
+/// forced full recompute, which exercises the parallel prewarm on the
+/// widest dirty set.
+pub fn parallel_vs_serial(sc: &ChurnScript) -> Result<(), String> {
+    let table = sc.table();
+    let topo = sc.topology();
+    let cfg = ControllerConfig::default();
+    let servers = topo.servers().to_vec();
+    let db = MappingDb::build(&table, cfg.num_pls, cfg.seed);
+
+    let mut centrals: Vec<CentralController> = THREAD_COUNTS
+        .iter()
+        .map(|&t| {
+            let mut c = CentralController::new(cfg.clone(), table.clone(), &topo);
+            c.set_solver_threads(t);
+            c
+        })
+        .collect();
+    let mut dists: Vec<DistributedController> = THREAD_COUNTS
+        .iter()
+        .map(|&t| {
+            let mut d = DistributedController::new(cfg.clone(), db.clone(), &topo, 2);
+            d.set_solver_threads(t);
+            d
+        })
+        .collect();
+    for app in 0..sc.napps as u32 {
+        let wl = ChurnScript::workload_name(app as usize);
+        for c in &mut centrals {
+            c.register(AppId(app), &wl)
+                .map_err(|e| format!("central register {app}: {e}"))?;
+        }
+        for d in &mut dists {
+            d.register(AppId(app), &wl)
+                .map_err(|e| format!("distributed register {app}: {e}"))?;
+        }
+    }
+
+    for (step, ev) in sc.events.iter().enumerate() {
+        let mut cu: Vec<Vec<SwitchUpdate>> = Vec::with_capacity(centrals.len());
+        let mut du: Vec<Vec<SwitchUpdate>> = Vec::with_capacity(dists.len());
+        for (c, d) in centrals.iter_mut().zip(&mut dists) {
+            match *ev {
+                ChurnEvent::Create { app, src, dst, tag } => {
+                    cu.push(
+                        c.conn_create(AppId(app), servers[src], servers[dst], tag)
+                            .map_err(|e| format!("central create step {step}: {e}"))?,
+                    );
+                    du.push(
+                        d.conn_create(AppId(app), servers[src], servers[dst], tag)
+                            .map_err(|e| format!("distributed create step {step}: {e}"))?,
+                    );
+                }
+                ChurnEvent::Destroy { app, tag } => {
+                    cu.push(
+                        c.conn_destroy(AppId(app), tag)
+                            .map_err(|e| format!("central destroy step {step}: {e}"))?,
+                    );
+                    du.push(
+                        d.conn_destroy(AppId(app), tag)
+                            .map_err(|e| format!("distributed destroy step {step}: {e}"))?,
+                    );
+                }
+            }
+        }
+        for (k, &t) in THREAD_COUNTS.iter().enumerate().skip(1) {
+            diff_exact("central", t, step, &cu[0], &cu[k])?;
+            diff_exact("distributed", t, step, &du[0], &du[k])?;
+            if centrals[k].last_epoch() != centrals[0].last_epoch() {
+                return Err(format!(
+                    "[central] step {step}: {t}-thread epoch scope {:?} vs serial {:?}",
+                    centrals[k].last_epoch(),
+                    centrals[0].last_epoch()
+                ));
+            }
+            if dists[k].last_epoch() != dists[0].last_epoch() {
+                return Err(format!(
+                    "[distributed] step {step}: {t}-thread epoch scope {:?} vs serial {:?}",
+                    dists[k].last_epoch(),
+                    dists[0].last_epoch()
+                ));
+            }
+        }
+    }
+
+    // Forced full recompute: the widest prewarm batch of the run.
+    let cr: Vec<Vec<SwitchUpdate>> = centrals.iter_mut().map(|c| c.recompute_all()).collect();
+    let dr: Vec<Vec<SwitchUpdate>> = dists.iter_mut().map(|d| d.recompute_all()).collect();
+    let last = sc.events.len();
+    for (k, &t) in THREAD_COUNTS.iter().enumerate().skip(1) {
+        diff_exact("central recompute", t, last, &cr[0], &cr[k])?;
+        diff_exact("distributed recompute", t, last, &dr[0], &dr[k])?;
+        if centrals[k].stats() != centrals[0].stats() {
+            return Err(format!(
+                "[central] {t}-thread stats {:?} vs serial {:?}",
+                centrals[k].stats(),
+                centrals[0].stats()
+            ));
+        }
+        if dists[k].stats() != dists[0].stats() {
+            return Err(format!(
+                "[distributed] {t}-thread stats {:?} vs serial {:?}",
+                dists[k].stats(),
+                dists[0].stats()
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_matches_serial_on_small_seeds() {
+        for seed in 0..8 {
+            parallel_vs_serial(&ChurnScript::generate(seed))
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+}

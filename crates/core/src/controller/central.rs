@@ -100,6 +100,8 @@ pub struct CentralController {
     /// ports were already programmed: `register` cannot emit updates, so
     /// the next reprogramming-capable event sweeps every active port.
     sweep_pending: bool,
+    /// Worker threads for independent per-port Eq. 2 solves (1 = serial).
+    solver_threads: usize,
     scratch: SolveScratch,
     last_epoch: EpochInfo,
     stats: ControllerStats,
@@ -137,6 +139,7 @@ impl CentralController {
             last_weights: HashMap::new(),
             mapper_generation: 0,
             sweep_pending: false,
+            solver_threads: 1,
             scratch: SolveScratch::new(),
             last_epoch: EpochInfo::default(),
             stats: ControllerStats::default(),
@@ -171,6 +174,21 @@ impl CentralController {
     /// [`Self::enable_solve_timing`]).
     pub fn solve_histogram(&self) -> &Histogram {
         &self.solve_hist
+    }
+
+    /// Sets the number of worker threads used for the independent
+    /// per-port Eq. 2 solves of a reprogramming batch (clamped to at
+    /// least 1; 1 — the default — keeps the fully serial path).
+    ///
+    /// The parallel path is *bit-identical* to the serial one: each
+    /// missing memo-cache entry is an independent solve (weights depend
+    /// only on the port's application set and its warm seed, both fixed
+    /// before the batch starts), workers fill a per-thread
+    /// [`SolveScratch`], and results are merged into the caches in the
+    /// deterministic first-occurrence order the serial sweep would have
+    /// produced. Stats counters also match exactly.
+    pub fn set_solver_threads(&mut self, threads: usize) {
+        self.solver_threads = threads.max(1);
     }
 
     /// The configuration.
@@ -422,6 +440,17 @@ impl CentralController {
             emitted: 0,
         };
         self.stats.ports_dirty += links.len() as u64;
+        // Parallel phase: solve every missing memo-cache entry up front,
+        // so the serial per-port sweep below runs on pure cache hits.
+        // Each prewarmed key is hit at least once in the sweep (by the
+        // port that requested it), where the serial path would have
+        // counted a solve instead of a skip — the compensation below
+        // keeps the counters bit-identical to a single-threaded run.
+        let prewarmed = if self.solver_threads > 1 {
+            self.prewarm_weight_caches(&links)
+        } else {
+            0
+        };
         let mut updates = Vec::with_capacity(links.len());
         for link in links {
             let config = self.port_config(link);
@@ -451,8 +480,122 @@ impl CentralController {
             self.stats.ports_reconfigured += 1;
             updates.push(SwitchUpdate { link, config });
         }
+        if prewarmed > 0 {
+            debug_assert!(self.stats.solves_skipped >= prewarmed);
+            self.stats.solves_skipped -= prewarmed;
+            self.stats.eq2_solves += prewarmed;
+        }
         self.last_epoch.emitted = updates.len() as u32;
         updates
+    }
+
+    /// Gathers the memo-cache misses of one reprogramming batch and
+    /// solves them concurrently (the tentpole of the scale-out work):
+    /// the member set and warm seed of every dirty port are collected
+    /// serially, the solves for keys not yet cached run on
+    /// [`saba_math::parallel_map_with`] workers with per-thread
+    /// [`SolveScratch`] pools, and results land in the caches in
+    /// first-occurrence order. Returns the number of solves performed so
+    /// the caller can reconcile the hit/solve counters.
+    ///
+    /// Determinism argument: within a batch, `last_weights` (the seed
+    /// source) is only mutated by the per-port sweep *after* this phase,
+    /// and each port's entry is keyed by its own link id — so every seed
+    /// read here equals what the serial sweep would have read. `solve_from`
+    /// certifies warm results against the cold KKT point, so values are
+    /// independent of scratch state and scheduling.
+    fn prewarm_weight_caches(&mut self, links: &[LinkId]) -> u64 {
+        enum PrewarmJob {
+            Exact {
+                apps: Vec<AppId>,
+                seed: Option<Vec<f64>>,
+            },
+            Clustered {
+                profile: Vec<(usize, u32)>,
+                problem: saba_math::WeightProblem,
+            },
+        }
+        let mut jobs: Vec<PrewarmJob> = Vec::new();
+        let mut queued_sets: std::collections::HashSet<Vec<AppId>> =
+            std::collections::HashSet::new();
+        let mut queued_profiles: std::collections::HashSet<Vec<(usize, u32)>> =
+            std::collections::HashSet::new();
+        for &link in links {
+            let apps: Vec<AppId> = self.link_apps.members(link).collect();
+            if apps.is_empty() {
+                continue;
+            }
+            if apps.len() <= 32 {
+                if self.weight_cache.contains_key(&apps) || queued_sets.contains(&apps) {
+                    continue;
+                }
+                // Same warm seed the serial path would build for the
+                // first port carrying this application set.
+                let seed: Option<Vec<f64>> = self.last_weights.get(&link.0).map(|(pa, pw)| {
+                    let fair = self.cfg.c_saba / apps.len() as f64;
+                    apps.iter()
+                        .map(|a| pa.iter().position(|x| x == a).map_or(fair, |i| pw[i]))
+                        .collect()
+                });
+                queued_sets.insert(apps.clone());
+                jobs.push(PrewarmJob::Exact { apps, seed });
+            } else {
+                let groups = self.cluster_groups(&apps);
+                let profile = cluster_profile(&groups);
+                if self.cluster_cache.contains_key(&profile) || queued_profiles.contains(&profile) {
+                    continue;
+                }
+                let problem = self.cluster_problem(&groups);
+                queued_profiles.insert(profile.clone());
+                jobs.push(PrewarmJob::Clustered { profile, problem });
+            }
+        }
+        if jobs.is_empty() {
+            return 0;
+        }
+        let surrogates = &self.surrogates;
+        let (c_saba, min_weight, protect) = (
+            self.cfg.c_saba,
+            self.cfg.min_weight,
+            self.cfg.protect_fraction,
+        );
+        let solved: Vec<Vec<f64>> = saba_math::parallel_map_with(
+            jobs.len(),
+            self.solver_threads,
+            SolveScratch::new,
+            |scratch, j| match &jobs[j] {
+                PrewarmJob::Exact { apps, seed } => {
+                    let surrogate_refs: Vec<&ModelSurrogate> =
+                        apps.iter().map(|a| &surrogates[a]).collect();
+                    port_weights_from_surrogates(
+                        &surrogate_refs,
+                        c_saba,
+                        min_weight,
+                        protect,
+                        seed.as_deref(),
+                        scratch,
+                    )
+                    .expect("non-empty feasible weight problem")
+                }
+                PrewarmJob::Clustered { problem, .. } => {
+                    saba_math::minimize_weights(problem)
+                        .expect("feasible clustered weight problem")
+                        .weights
+                }
+            },
+        );
+        let n = jobs.len() as u64;
+        for (job, w) in jobs.into_iter().zip(solved) {
+            match job {
+                PrewarmJob::Exact { apps, .. } => {
+                    self.weight_cache.insert(apps, w);
+                }
+                PrewarmJob::Clustered { profile, .. } => {
+                    self.cluster_cache.insert(profile, w);
+                }
+            }
+        }
+        n
     }
 
     /// The scope of the most recent reprogramming epoch.
@@ -581,63 +724,15 @@ impl CentralController {
     /// equally among its members (the queue weight is the sum again, so
     /// enforcement is unchanged).
     fn clustered_port_weights(&mut self, apps: &[AppId]) -> Vec<f64> {
-        use saba_math::Polynomial;
-        // Group member indices by PL.
-        let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
-        for (i, &a) in apps.iter().enumerate() {
-            groups.entry(self.apps[&a].pl).or_default().push(i);
-        }
-        let profile: Vec<(usize, u32)> = groups
-            .iter()
-            .map(|(&pl, ms)| (pl, ms.len() as u32))
-            .collect();
+        let groups = self.cluster_groups(apps);
+        let profile = cluster_profile(&groups);
         let cluster_w = match self.cluster_cache.get(&profile) {
             Some(w) => {
                 self.stats.solves_skipped += 1;
                 w.clone()
             }
             None => {
-                // Cluster model: m·D_centroid(w/m) — a polynomial again,
-                // with coefficients m^(1-i)·c_i.
-                let cluster_models: Vec<Polynomial> = groups
-                    .iter()
-                    .map(|(&pl, members)| {
-                        let m = members.len() as f64;
-                        let centroid = self
-                            .assigner
-                            .centroid(pl)
-                            .expect("registered apps have active PLs");
-                        Polynomial::new(
-                            centroid
-                                .iter()
-                                .enumerate()
-                                .map(|(i, &c)| m.powi(1 - i as i32) * c)
-                                .collect(),
-                        )
-                    })
-                    .collect();
-                // Protective floor at app granularity: a cluster of m
-                // members is entitled to m floors.
-                let total_apps: usize = groups.values().map(Vec::len).sum();
-                let per_app_floor = {
-                    let fair = self.cfg.c_saba / total_apps as f64;
-                    (fair * self.cfg.protect_fraction).max(self.cfg.min_weight.min(0.9 * fair))
-                };
-                let smallest = groups.values().map(Vec::len).min().unwrap_or(1) as f64;
-                let floor = (per_app_floor * smallest)
-                    .min(self.cfg.c_saba / (2.0 * cluster_models.len() as f64));
-                let domain_floors = groups
-                    .values()
-                    .map(|ms| (0.05 * ms.len() as f64).min(self.cfg.c_saba))
-                    .collect();
-                let problem = saba_math::WeightProblem {
-                    models: cluster_models,
-                    domain_floors,
-                    capacity: self.cfg.c_saba,
-                    min_weight: floor,
-                    max_weight: self.cfg.c_saba,
-                    balance_reg: 1.5,
-                };
+                let problem = self.cluster_problem(&groups);
                 self.stats.eq2_solves += 1;
                 let w = saba_math::minimize_weights(&problem)
                     .expect("feasible clustered weight problem")
@@ -656,6 +751,64 @@ impl CentralController {
         out
     }
 
+    /// Member indices of `apps` grouped by assigned PL (the clustered
+    /// solve's variables).
+    fn cluster_groups(&self, apps: &[AppId]) -> BTreeMap<usize, Vec<usize>> {
+        let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (i, &a) in apps.iter().enumerate() {
+            groups.entry(self.apps[&a].pl).or_default().push(i);
+        }
+        groups
+    }
+
+    /// The clustered Eq. 2 problem for one PL grouping. Shared by the
+    /// serial memoized path and the parallel prewarm phase, so both
+    /// solve the exact same inputs.
+    fn cluster_problem(&self, groups: &BTreeMap<usize, Vec<usize>>) -> saba_math::WeightProblem {
+        use saba_math::Polynomial;
+        // Cluster model: m·D_centroid(w/m) — a polynomial again,
+        // with coefficients m^(1-i)·c_i.
+        let cluster_models: Vec<Polynomial> = groups
+            .iter()
+            .map(|(&pl, members)| {
+                let m = members.len() as f64;
+                let centroid = self
+                    .assigner
+                    .centroid(pl)
+                    .expect("registered apps have active PLs");
+                Polynomial::new(
+                    centroid
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &c)| m.powi(1 - i as i32) * c)
+                        .collect(),
+                )
+            })
+            .collect();
+        // Protective floor at app granularity: a cluster of m
+        // members is entitled to m floors.
+        let total_apps: usize = groups.values().map(Vec::len).sum();
+        let per_app_floor = {
+            let fair = self.cfg.c_saba / total_apps as f64;
+            (fair * self.cfg.protect_fraction).max(self.cfg.min_weight.min(0.9 * fair))
+        };
+        let smallest = groups.values().map(Vec::len).min().unwrap_or(1) as f64;
+        let floor =
+            (per_app_floor * smallest).min(self.cfg.c_saba / (2.0 * cluster_models.len() as f64));
+        let domain_floors = groups
+            .values()
+            .map(|ms| (0.05 * ms.len() as f64).min(self.cfg.c_saba))
+            .collect();
+        saba_math::WeightProblem {
+            models: cluster_models,
+            domain_floors,
+            capacity: self.cfg.c_saba,
+            min_weight: floor,
+            max_weight: self.cfg.c_saba,
+            balance_reg: 1.5,
+        }
+    }
+
     /// The PL / Service Level currently assigned to `app`.
     pub fn sl_of(&self, app: AppId) -> Option<ServiceLevel> {
         self.apps.get(&app).map(|e| ServiceLevel(e.pl as u8))
@@ -665,6 +818,14 @@ impl CentralController {
     pub fn apps_at(&self, link: LinkId) -> Vec<AppId> {
         self.link_apps.members(link).collect()
     }
+}
+
+/// The (PL, member count) memo key of a clustered solve.
+fn cluster_profile(groups: &BTreeMap<usize, Vec<usize>>) -> Vec<(usize, u32)> {
+    groups
+        .iter()
+        .map(|(&pl, ms)| (pl, ms.len() as u32))
+        .collect()
 }
 
 #[cfg(test)]
@@ -933,5 +1094,64 @@ mod tests {
         // Only ports with Saba traffic are recomputed: the two on the
         // connection's path.
         assert_eq!(updates.len(), 2);
+    }
+
+    #[test]
+    fn parallel_solver_matches_serial_bit_for_bit() {
+        let topo = Topology::single_switch(8, saba_sim::LINK_56G_BPS);
+        let t = table();
+        let mut serial = CentralController::new(ControllerConfig::default(), t.clone(), &topo);
+        let mut par = CentralController::new(ControllerConfig::default(), t, &topo);
+        par.set_solver_threads(8);
+        let s = topo.servers();
+        let names = ["LR", "PR", "Sort", "SQL"];
+        // Spread connections across ports, then funnel every app through
+        // one server pair so its ports exceed 32 members — the clustered
+        // solve path must be bit-identical too.
+        for i in 0..40u32 {
+            let w = names[i as usize % names.len()];
+            assert_eq!(
+                serial.register(AppId(i), w).unwrap(),
+                par.register(AppId(i), w).unwrap()
+            );
+            let (a, b) = (s[i as usize % s.len()], s[(i as usize + 1) % s.len()]);
+            let tag = u64::from(i) + 1;
+            assert_eq!(
+                serial.conn_create(AppId(i), a, b, tag).unwrap(),
+                par.conn_create(AppId(i), a, b, tag).unwrap(),
+                "spread conn {i}"
+            );
+        }
+        for i in 0..40u32 {
+            let tag = u64::from(i) + 100;
+            assert_eq!(
+                serial.conn_create(AppId(i), s[0], s[1], tag).unwrap(),
+                par.conn_create(AppId(i), s[0], s[1], tag).unwrap(),
+                "funnel conn {i}"
+            );
+        }
+        let widest = (0..topo.num_links() as u32)
+            .map(|l| serial.apps_at(LinkId(l)).len())
+            .max()
+            .unwrap();
+        assert!(widest > 32, "funnel port should trigger the clustered path");
+        // Churn back down, including full deregistrations.
+        for i in (0..40u32).step_by(3) {
+            assert_eq!(
+                serial.conn_destroy(AppId(i), u64::from(i) + 1).unwrap(),
+                par.conn_destroy(AppId(i), u64::from(i) + 1).unwrap()
+            );
+        }
+        for i in (0..40u32).step_by(5) {
+            assert_eq!(
+                serial.deregister(AppId(i)).unwrap(),
+                par.deregister(AppId(i)).unwrap()
+            );
+        }
+        // A forced full recompute exercises the prewarm under `force`.
+        assert_eq!(serial.recompute_all(), par.recompute_all());
+        let (ss, ps) = (serial.stats(), par.stats());
+        assert_eq!(ss, ps, "stats must match the serial path exactly");
+        assert!(ss.eq2_solves > 0 && ss.solves_skipped > 0);
     }
 }

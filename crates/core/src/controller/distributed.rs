@@ -186,6 +186,8 @@ pub struct DistributedController {
     /// Previous-epoch (PL set, weights) per port — warm seeds for the
     /// next solve at that port.
     last_weights: HashMap<u32, (Vec<usize>, Vec<f64>)>,
+    /// Worker threads for independent per-port Eq. 2 solves (1 = serial).
+    solver_threads: usize,
     scratch: SolveScratch,
     last_epoch: EpochInfo,
     stats: DistStats,
@@ -229,6 +231,7 @@ impl DistributedController {
             weight_cache: HashMap::new(),
             programmed: HashMap::new(),
             last_weights: HashMap::new(),
+            solver_threads: 1,
             scratch: SolveScratch::new(),
             last_epoch: EpochInfo::default(),
             stats: DistStats::default(),
@@ -243,6 +246,16 @@ impl DistributedController {
     /// sample per shard-local solve) for the Fig. 12 overhead study.
     pub fn enable_solve_timing(&mut self) {
         self.solve_timing = true;
+    }
+
+    /// Sets the number of worker threads used for the independent
+    /// per-port centroid solves of a reprogramming batch (clamped to at
+    /// least 1; 1 — the default — keeps the fully serial path). As in
+    /// the centralized design, the parallel path is bit-identical to the
+    /// serial one: missing PL-set cache entries are independent solves,
+    /// merged in first-occurrence order, with matching stats counters.
+    pub fn set_solver_threads(&mut self, threads: usize) {
+        self.solver_threads = threads.max(1);
     }
 
     /// Wall-clock seconds of the most recent timed reprogramming batch.
@@ -414,6 +427,15 @@ impl DistributedController {
             emitted: 0,
         };
         self.stats.ports_dirty += links.len() as u64;
+        // Parallel phase: solve missing PL-set cache entries up front so
+        // the serial sweep below runs on pure cache hits; the counter
+        // compensation at the end keeps stats bit-identical to a
+        // single-threaded run (see the centralized controller).
+        let prewarmed = if self.solver_threads > 1 {
+            self.prewarm_weight_cache(&links)
+        } else {
+            0
+        };
         let mut updates = Vec::with_capacity(links.len());
         for link in links {
             let config = self.port_config(link);
@@ -438,8 +460,95 @@ impl DistributedController {
             self.stats.ports_reconfigured += 1;
             updates.push(SwitchUpdate { link, config });
         }
+        if prewarmed > 0 {
+            debug_assert!(self.stats.solves_skipped >= prewarmed);
+            self.stats.solves_skipped -= prewarmed;
+            self.stats.eq2_solves += prewarmed;
+        }
         self.last_epoch.emitted = updates.len() as u32;
         updates
+    }
+
+    /// Collects the PL-set cache misses of one batch and solves them
+    /// concurrently on [`saba_math::parallel_map_with`] workers with
+    /// per-thread [`SolveScratch`] pools, inserting results in
+    /// first-occurrence order. Returns the number of solves performed.
+    /// Seeds read here equal what the serial sweep would read: within a
+    /// batch `last_weights` is only mutated by the sweep after this
+    /// phase, keyed by each port's own link id.
+    fn prewarm_weight_cache(&mut self, links: &[LinkId]) -> u64 {
+        struct Job {
+            present: Vec<usize>,
+            centroids: Vec<Vec<f64>>,
+            seed: Option<Vec<f64>>,
+        }
+        let mut jobs: Vec<Job> = Vec::new();
+        let mut queued: std::collections::HashSet<Vec<usize>> = std::collections::HashSet::new();
+        for &link in links {
+            let shard_idx = self.link_shard[link.0 as usize];
+            let present: Vec<usize> = self.shards[shard_idx].links.members(link).collect();
+            if present.is_empty()
+                || self.weight_cache.contains_key(&present)
+                || queued.contains(&present)
+            {
+                continue;
+            }
+            let centroids: Vec<Vec<f64>> = present
+                .iter()
+                .map(|&pl| {
+                    self.db
+                        .centroids()
+                        .iter()
+                        .find(|(p, _)| *p == pl)
+                        .expect("present PL exists in the DB")
+                        .1
+                        .clone()
+                })
+                .collect();
+            let seed: Option<Vec<f64>> = self.last_weights.get(&link.0).map(|(pp, pw)| {
+                let fair = self.cfg.c_saba / present.len() as f64;
+                present
+                    .iter()
+                    .map(|pl| pp.iter().position(|x| x == pl).map_or(fair, |i| pw[i]))
+                    .collect()
+            });
+            queued.insert(present.clone());
+            jobs.push(Job {
+                present,
+                centroids,
+                seed,
+            });
+        }
+        if jobs.is_empty() {
+            return 0;
+        }
+        let (c_saba, min_weight, protect) = (
+            self.cfg.c_saba,
+            self.cfg.min_weight,
+            self.cfg.protect_fraction,
+        );
+        let solved: Vec<Vec<f64>> = saba_math::parallel_map_with(
+            jobs.len(),
+            self.solver_threads,
+            SolveScratch::new,
+            |scratch, j| {
+                let job = &jobs[j];
+                centroid_weights_warm(
+                    &job.centroids,
+                    c_saba,
+                    min_weight,
+                    protect,
+                    job.seed.as_deref(),
+                    scratch,
+                )
+                .expect("non-empty feasible weight problem")
+            },
+        );
+        let n = jobs.len() as u64;
+        for (job, w) in jobs.into_iter().zip(solved) {
+            self.weight_cache.insert(job.present, w);
+        }
+        n
     }
 
     /// The scope of the most recent reprogramming epoch (for
@@ -795,5 +904,50 @@ mod tests {
         let u2 = c.deregister(AppId(0)).unwrap();
         assert!(!u2.is_empty());
         assert!(c.conn_destroy(AppId(0), 2).is_err(), "already cleaned up");
+    }
+
+    #[test]
+    fn parallel_solver_matches_serial_bit_for_bit() {
+        let t = table();
+        let db = MappingDb::build(&t, 16, 1);
+        let topo = Topology::spine_leaf(&SpineLeafConfig::tiny(2));
+        let mut serial =
+            DistributedController::new(ControllerConfig::default(), db.clone(), &topo, 4);
+        let mut par = DistributedController::new(ControllerConfig::default(), db, &topo, 4);
+        par.set_solver_threads(8);
+        let servers = topo.servers();
+        let workloads = catalog();
+        for (i, w) in workloads.iter().enumerate() {
+            let i = i as u32;
+            assert_eq!(
+                serial.register(AppId(i), &w.name).unwrap(),
+                par.register(AppId(i), &w.name).unwrap()
+            );
+            // Cross-pod paths touch several shards per batch.
+            let (a, b) = (
+                servers[i as usize % servers.len()],
+                servers[servers.len() - 1 - (i as usize % (servers.len() / 2))],
+            );
+            let tag = u64::from(i) + 1;
+            assert_eq!(
+                serial.conn_create(AppId(i), a, b, tag).unwrap(),
+                par.conn_create(AppId(i), a, b, tag).unwrap(),
+                "conn {i}"
+            );
+        }
+        for i in (0..workloads.len() as u32).step_by(2) {
+            assert_eq!(
+                serial.conn_destroy(AppId(i), u64::from(i) + 1).unwrap(),
+                par.conn_destroy(AppId(i), u64::from(i) + 1).unwrap()
+            );
+        }
+        // Per-shard recovery recomputes exercise the prewarm under `force`.
+        for s in 0..serial.num_shards() {
+            assert_eq!(serial.recompute_shard(s), par.recompute_shard(s));
+        }
+        assert_eq!(serial.recompute_all(), par.recompute_all());
+        let (ss, ps) = (serial.stats(), par.stats());
+        assert_eq!(ss, ps, "stats must match the serial path exactly");
+        assert!(ss.eq2_solves > 0 && ss.solves_skipped > 0);
     }
 }

@@ -28,6 +28,7 @@ pub mod hierarchical;
 pub mod kmeans;
 pub mod linalg;
 pub mod optimize;
+pub mod parallel;
 pub mod poly;
 pub mod stats;
 
@@ -38,4 +39,5 @@ pub use optimize::{
     minimize_weights, minimize_weights_scratch, solve_from, OptimizeError, SolveScratch,
     WeightProblem, WeightSolution,
 };
+pub use parallel::{default_threads, parallel_map, parallel_map_with};
 pub use poly::Polynomial;

@@ -28,6 +28,49 @@ impl Default for TokenBucketCfg {
     }
 }
 
+/// Why a [`TokenBucketCfg`] was rejected at construction.
+///
+/// Both shapes used to be accepted silently and misbehave at runtime:
+/// a burst under one token can never hold a whole token, so every
+/// request — even the first at zero load — is rejected; a non-positive
+/// (or non-finite) rate never refills, and the `retry_after` hint
+/// degenerated to a division by `f64::MIN_POSITIVE` (≈ 4.5e307 logical
+/// seconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionCfgError {
+    /// `rate` was NaN, infinite, zero, or negative.
+    InvalidRate,
+    /// `burst` was NaN or below 1.0 (the bucket could never admit).
+    InvalidBurst,
+}
+
+impl std::fmt::Display for AdmissionCfgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::InvalidRate => write!(f, "token-bucket rate must be finite and positive"),
+            Self::InvalidBurst => write!(
+                f,
+                "token-bucket burst must be at least 1.0 (a smaller bucket never admits)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionCfgError {}
+
+impl TokenBucketCfg {
+    /// Checks the config is usable: finite positive `rate`, `burst ≥ 1`.
+    pub fn validate(&self) -> Result<(), AdmissionCfgError> {
+        if !self.rate.is_finite() || self.rate <= 0.0 {
+            return Err(AdmissionCfgError::InvalidRate);
+        }
+        if !self.burst.is_finite() || self.burst < 1.0 {
+            return Err(AdmissionCfgError::InvalidBurst);
+        }
+        Ok(())
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct Bucket {
     tokens: f64,
@@ -58,11 +101,17 @@ pub struct Admission {
 impl Admission {
     /// An admission gate with the given per-tenant policy; `None`
     /// disables rate limiting (everything admits).
-    pub fn new(cfg: Option<TokenBucketCfg>) -> Self {
-        Self {
+    ///
+    /// Degenerate configs are rejected here rather than misbehaving
+    /// silently at admit time (see [`AdmissionCfgError`]).
+    pub fn new(cfg: Option<TokenBucketCfg>) -> Result<Self, AdmissionCfgError> {
+        if let Some(c) = &cfg {
+            c.validate()?;
+        }
+        Ok(Self {
             cfg,
             ..Self::default()
-        }
+        })
     }
 
     /// Charges one token to `tenant` at logical time `now`.
@@ -87,8 +136,10 @@ impl Admission {
             Admit::Ok
         } else {
             self.rejected += 1;
+            // `rate` is validated finite-positive at construction, so
+            // the hint is always a meaningful backoff.
             Admit::RateLimited {
-                retry_after: (1.0 - b.tokens) / cfg.rate.max(f64::MIN_POSITIVE),
+                retry_after: (1.0 - b.tokens) / cfg.rate,
             }
         }
     }
@@ -110,7 +161,7 @@ mod tests {
 
     #[test]
     fn no_policy_admits_everything() {
-        let mut a = Admission::new(None);
+        let mut a = Admission::new(None).unwrap();
         for i in 0..10_000 {
             assert_eq!(a.try_admit(0, i as f64 * 1e-9), Admit::Ok);
         }
@@ -122,7 +173,8 @@ mod tests {
         let mut a = Admission::new(Some(TokenBucketCfg {
             rate: 10.0,
             burst: 5.0,
-        }));
+        }))
+        .unwrap();
         // The burst admits 5 back-to-back...
         for _ in 0..5 {
             assert_eq!(a.try_admit(7, 0.0), Admit::Ok);
@@ -146,7 +198,8 @@ mod tests {
         let mut a = Admission::new(Some(TokenBucketCfg {
             rate: 1.0,
             burst: 1.0,
-        }));
+        }))
+        .unwrap();
         assert_eq!(a.try_admit(1, 0.0), Admit::Ok);
         assert!(matches!(a.try_admit(1, 0.0), Admit::RateLimited { .. }));
         // Tenant 2's bucket is untouched by tenant 1's burn.
@@ -158,7 +211,8 @@ mod tests {
         let mut a = Admission::new(Some(TokenBucketCfg {
             rate: 100.0,
             burst: 10.0,
-        }));
+        }))
+        .unwrap();
         let mut ok = 0u64;
         // Offer 10× the sustained rate for 10 logical seconds.
         for i in 0..10_000 {
@@ -168,5 +222,36 @@ mod tests {
         }
         // Admitted ≈ burst + rate × 10 s.
         assert!((1000..=1100).contains(&ok), "admitted {ok}");
+    }
+
+    #[test]
+    fn sub_token_burst_rejected_at_construction() {
+        // Regression: `burst < 1.0` used to be accepted silently, and the
+        // bucket then rejected every request forever — even the very
+        // first at zero load, since `tokens >= 1.0` could never hold.
+        let err = Admission::new(Some(TokenBucketCfg {
+            rate: 100.0,
+            burst: 0.5,
+        }))
+        .expect_err("burst below one token must be rejected");
+        assert_eq!(err, AdmissionCfgError::InvalidBurst);
+        assert!(TokenBucketCfg {
+            rate: 100.0,
+            burst: f64::NAN,
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn non_positive_rate_rejected_at_construction() {
+        // Regression: `rate <= 0.0` used to be accepted silently; the
+        // bucket never refilled and the retry hint degenerated into a
+        // `f64::MIN_POSITIVE` division (≈ 4.5e307 logical seconds).
+        for rate in [0.0, -5.0, f64::NAN, f64::INFINITY] {
+            let err = Admission::new(Some(TokenBucketCfg { rate, burst: 10.0 }))
+                .expect_err("degenerate rate must be rejected");
+            assert_eq!(err, AdmissionCfgError::InvalidRate, "rate {rate}");
+        }
     }
 }

@@ -46,7 +46,7 @@ pub mod service;
 pub mod shard;
 pub mod wal;
 
-pub use admission::{Admission, Admit, TokenBucketCfg};
+pub use admission::{Admission, AdmissionCfgError, Admit, TokenBucketCfg};
 pub use heartbeat::{HeartbeatConfig, Supervisor};
 pub use net::{TcpServiceServer, TcpTransport};
 pub use runtime::{RuntimeConfig, RuntimeReport, ServiceRuntime};

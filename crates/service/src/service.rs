@@ -111,7 +111,8 @@ impl AllocationService {
         Ok(Self {
             map: ShardMap::new(cfg.shards, cfg.map_seed),
             supervisor: Supervisor::new(cfg.shards, cfg.heartbeat, 0.0),
-            admission: Admission::new(cfg.admission),
+            admission: Admission::new(cfg.admission)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?,
             shards,
             cfg,
             sink: SharedRecorder::off(),

@@ -10,79 +10,205 @@
 
 use crate::ids::{LinkId, NodeId};
 use crate::topology::Topology;
+use std::sync::{Mutex, OnceLock};
 
-/// Precomputed routing state: all-destinations BFS distance fields.
-#[derive(Debug, Clone)]
+/// Routing state with lazily materialized BFS distance fields.
+///
+/// A dense all-pairs table costs `n² × 4` bytes and `n` BFS passes up
+/// front — ~600 MB and seconds of work at a 10k-server tier, almost all
+/// of it for destinations nothing ever routes to. Instead we keep the
+/// live adjacency (forward and reversed) and compute each per-destination
+/// (and, for multipath detection, per-source) distance field on first
+/// use, caching it in a [`OnceLock`]. Memory scales with destinations
+/// actually routed; [`Routes::recompute`] invalidates every cached field
+/// so the next query re-derives it against the post-fault topology.
+#[derive(Debug)]
 pub struct Routes {
-    /// `dist[dst][node]` = hop count from `node` to `dst` (`u32::MAX` if
-    /// unreachable).
-    dist: Vec<Vec<u32>>,
+    /// Reverse adjacency scratch: `in_edges[node]` = nodes with a *live*
+    /// link into `node`. Hoisted into the struct (and rebuilt in place)
+    /// so the per-fault re-convergence path allocates nothing.
+    in_edges: Vec<Vec<u32>>,
+    /// Forward adjacency: `out_edges[node]` = nodes `node` has a live
+    /// link to. Drives the per-source fields used by multipath detection.
+    out_edges: Vec<Vec<u32>>,
+    /// `dist_to[dst][node]` = hop count from `node` to `dst`
+    /// (`u32::MAX` if unreachable). Computed lazily, BFS on the
+    /// reversed graph from `dst`.
+    dist_to: Vec<OnceLock<Box<[u32]>>>,
+    /// `dist_from[src][node]` = hop count from `src` to `node`.
+    /// Computed lazily, BFS on the forward graph from `src`.
+    dist_from: Vec<OnceLock<Box<[u32]>>>,
+    /// Field allocations recycled by `recompute` for reuse by later
+    /// lazy computes — keeps the fault/repair path allocation-free in
+    /// steady state. Interior mutability because fields are consumed
+    /// from `&self` query paths.
+    spare: Mutex<Vec<Box<[u32]>>>,
     num_nodes: usize,
 }
 
+impl Clone for Routes {
+    fn clone(&self) -> Self {
+        Self {
+            in_edges: self.in_edges.clone(),
+            out_edges: self.out_edges.clone(),
+            // OnceLock<T: Clone> clones its cached value, so a clone
+            // keeps already-materialized fields.
+            dist_to: self.dist_to.clone(),
+            dist_from: self.dist_from.clone(),
+            spare: Mutex::new(Vec::new()),
+            num_nodes: self.num_nodes,
+        }
+    }
+}
+
 impl Routes {
-    /// Computes routing tables for the topology (BFS per destination on
-    /// the reversed graph). Links that are effectively down (failed
-    /// link or failed endpoint) are excluded, so routes never traverse
-    /// them.
+    /// Builds routing state for the topology. No distance field is
+    /// computed yet — each is derived on first use. Links that are
+    /// effectively down (failed link or failed endpoint) are excluded,
+    /// so routes never traverse them.
     pub fn compute(topo: &Topology) -> Self {
         let mut routes = Self {
-            dist: Vec::new(),
+            in_edges: Vec::new(),
+            out_edges: Vec::new(),
+            dist_to: Vec::new(),
+            dist_from: Vec::new(),
+            spare: Mutex::new(Vec::new()),
             num_nodes: 0,
         };
         routes.recompute(topo);
         routes
     }
 
-    /// Recomputes routing tables in place — the subnet manager's
-    /// re-convergence sweep after a fault or repair. Reuses the existing
-    /// distance-field allocations; after this call every route provably
+    /// Recomputes routing state in place — the subnet manager's
+    /// re-convergence sweep after a fault or repair. The adjacency
+    /// scratch is rebuilt inside its existing allocations and every
+    /// cached distance field is invalidated (its buffer recycled for
+    /// the lazy re-derivation); after this call every route provably
     /// avoids links that are down in `topo`.
     pub fn recompute(&mut self, topo: &Topology) {
         let n = topo.num_nodes();
+        let resized = n != self.num_nodes;
         self.num_nodes = n;
-        // Reverse adjacency: in_edges[node] = nodes with a *live* link
-        // into `node`.
-        let mut in_edges: Vec<Vec<u32>> = vec![Vec::new(); n];
+
+        // Rebuild adjacency in place: clear the inner vectors (keeping
+        // their capacity) rather than allocating fresh ones.
+        self.in_edges.truncate(n);
+        self.in_edges.resize_with(n, Vec::new);
+        self.out_edges.truncate(n);
+        self.out_edges.resize_with(n, Vec::new);
+        for e in &mut self.in_edges {
+            e.clear();
+        }
+        for e in &mut self.out_edges {
+            e.clear();
+        }
         for l in 0..topo.num_links() {
             let id = LinkId(l as u32);
             if !topo.link_is_up(id) {
                 continue;
             }
             let link = topo.link(id);
-            in_edges[link.to.0 as usize].push(link.from.0);
+            self.in_edges[link.to.0 as usize].push(link.from.0);
+            self.out_edges[link.from.0 as usize].push(link.to.0);
         }
-        self.dist.truncate(n);
-        self.dist.resize_with(n, Vec::new);
-        let mut queue = std::collections::VecDeque::new();
-        for dst in 0..n {
-            let d = &mut self.dist[dst];
-            d.clear();
-            d.resize(n, u32::MAX);
-            d[dst] = 0;
-            queue.clear();
-            queue.push_back(dst as u32);
-            while let Some(u) = queue.pop_front() {
-                let du = d[u as usize];
-                for &v in &in_edges[u as usize] {
-                    if d[v as usize] == u32::MAX {
-                        d[v as usize] = du + 1;
-                        queue.push_back(v);
-                    }
+
+        // Invalidate every cached field, recycling right-sized buffers
+        // through the spare pool for later lazy computes.
+        let mut recycled = Vec::new();
+        for slot in self.dist_to.iter_mut().chain(self.dist_from.iter_mut()) {
+            if let Some(field) = slot.take() {
+                if field.len() == n {
+                    recycled.push(field);
                 }
             }
         }
+        let spare = self.spare.get_mut().expect("spare pool lock poisoned");
+        if resized {
+            spare.clear();
+        }
+        spare.append(&mut recycled);
+        self.dist_to.truncate(n);
+        self.dist_to.resize_with(n, OnceLock::new);
+        self.dist_from.truncate(n);
+        self.dist_from.resize_with(n, OnceLock::new);
+    }
+
+    /// BFS distance field from `root` over `edges` (reversed adjacency
+    /// for destination fields, forward adjacency for source fields).
+    fn bfs_field(&self, edges: &[Vec<u32>], root: usize) -> Box<[u32]> {
+        let n = self.num_nodes;
+        let mut d = self
+            .spare
+            .lock()
+            .expect("spare pool lock poisoned")
+            .pop()
+            .unwrap_or_else(|| vec![0u32; n].into_boxed_slice());
+        d.fill(u32::MAX);
+        d[root] = 0;
+        let mut queue = std::collections::VecDeque::with_capacity(64);
+        queue.push_back(root as u32);
+        while let Some(u) = queue.pop_front() {
+            let du = d[u as usize];
+            for &v in &edges[u as usize] {
+                if d[v as usize] == u32::MAX {
+                    d[v as usize] = du + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        d
+    }
+
+    /// The destination field for `dst`, materializing it on first use.
+    fn dist_to_field(&self, dst: usize) -> &[u32] {
+        self.dist_to[dst].get_or_init(|| self.bfs_field(&self.in_edges, dst))
+    }
+
+    /// The source field for `src`, materializing it on first use.
+    fn dist_from_field(&self, src: usize) -> &[u32] {
+        self.dist_from[src].get_or_init(|| self.bfs_field(&self.out_edges, src))
     }
 
     /// Hop distance from `from` to `to`, or `None` if unreachable.
     pub fn distance(&self, from: NodeId, to: NodeId) -> Option<u32> {
-        let d = self.dist[to.0 as usize][from.0 as usize];
+        let d = self.dist_to_field(to.0 as usize)[from.0 as usize];
         (d != u32::MAX).then_some(d)
+    }
+
+    /// Number of distance fields currently materialized:
+    /// `(destination_fields, source_fields)`.
+    pub fn cached_fields(&self) -> (usize, usize) {
+        let to = self.dist_to.iter().filter(|l| l.get().is_some()).count();
+        let from = self.dist_from.iter().filter(|l| l.get().is_some()).count();
+        (to, from)
+    }
+
+    /// Approximate heap bytes held by the routing state: materialized
+    /// distance fields, the recycled-field pool, and the adjacency
+    /// scratch.
+    pub fn memory_bytes(&self) -> usize {
+        let field_bytes = self.num_nodes * std::mem::size_of::<u32>();
+        let (to, from) = self.cached_fields();
+        let spare = self.spare.lock().expect("spare pool lock poisoned").len();
+        let adjacency: usize = self
+            .in_edges
+            .iter()
+            .chain(self.out_edges.iter())
+            .map(|e| e.capacity() * std::mem::size_of::<u32>())
+            .sum();
+        (to + from + spare) * field_bytes + adjacency
+    }
+
+    /// Bytes a dense all-pairs distance matrix would cost for this
+    /// topology (`n² × 4`), independent of how many destinations are
+    /// actually routed. The yardstick for the lazy cache's footprint.
+    pub fn dense_memory_bytes(&self) -> usize {
+        self.num_nodes * self.num_nodes * std::mem::size_of::<u32>()
     }
 
     /// All equal-cost next-hop links from `node` toward `dst`.
     pub fn next_hops(&self, topo: &Topology, node: NodeId, dst: NodeId) -> Vec<LinkId> {
-        let d = &self.dist[dst.0 as usize];
+        let d = self.dist_to_field(dst.0 as usize);
         let here = d[node.0 as usize];
         if here == u32::MAX || here == 0 {
             return Vec::new();
@@ -145,12 +271,16 @@ impl Routes {
         src: NodeId,
         dst: NodeId,
     ) -> Vec<LinkId> {
-        let Some(total) = self.distance(src, dst) else {
-            return Vec::new();
-        };
-        if total == 0 {
+        // One forward field from `src` and one destination field for
+        // `dst` answer every per-link distance query below. (Probing
+        // `distance(src, link.from)` per link would lazily materialize a
+        // destination field for nearly every node — an accidental n².)
+        let df = self.dist_from_field(src.0 as usize);
+        let total = df[dst.0 as usize];
+        if total == u32::MAX || total == 0 {
             return Vec::new();
         }
+        let dt = self.dist_to_field(dst.0 as usize);
         let mut out = Vec::new();
         for l in 0..topo.num_links() {
             let id = LinkId(l as u32);
@@ -158,11 +288,10 @@ impl Routes {
                 continue;
             }
             let link = topo.link(id);
-            let (Some(to_u), Some(from_v)) =
-                (self.distance(src, link.from), self.distance(link.to, dst))
-            else {
+            let (to_u, from_v) = (df[link.from.0 as usize], dt[link.to.0 as usize]);
+            if to_u == u32::MAX || from_v == u32::MAX {
                 continue;
-            };
+            }
             if to_u + 1 + from_v == total {
                 out.push(id);
             }
@@ -510,6 +639,84 @@ mod tests {
             assert!(link.from != spine && link.to != spine);
         }
         assert!(before.len() > after.len());
+    }
+
+    #[test]
+    fn consecutive_recomputes_identical_on_paper_fabric() {
+        // Regression: `recompute` used to allocate a fresh reverse
+        // adjacency on every call despite its doc promising reuse. The
+        // scratch is now hoisted into `Routes`; two consecutive
+        // recomputes on the full 1,944-server fabric must produce
+        // identical tables (distances, ECMP paths, multipath sets).
+        let t = Topology::spine_leaf(&SpineLeafConfig::paper());
+        let mut r = Routes::compute(&t);
+        let s = t.servers().to_vec();
+        let pairs: Vec<_> = (0..24)
+            .map(|i| (s[i * 71 % s.len()], s[(i * 137 + 5) % s.len()]))
+            .collect();
+        let snapshot = |r: &Routes| {
+            pairs
+                .iter()
+                .map(|&(a, b)| {
+                    (
+                        r.distance(a, b),
+                        r.path(&t, a, b, 9),
+                        r.all_shortest_path_links(&t, a, b),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        let before = snapshot(&r);
+        r.recompute(&t);
+        let after_one = snapshot(&r);
+        r.recompute(&t);
+        let after_two = snapshot(&r);
+        assert_eq!(before, after_one);
+        assert_eq!(after_one, after_two);
+    }
+
+    #[test]
+    fn distance_fields_are_lazy_and_recycled() {
+        let t = Topology::spine_leaf(&SpineLeafConfig::paper());
+        let mut r = Routes::compute(&t);
+        assert_eq!(r.cached_fields(), (0, 0), "nothing materialized up front");
+        let s = t.servers();
+        let (a, b) = (s[0], s[s.len() - 1]);
+        r.path(&t, a, b, 3).unwrap();
+        let (to, from) = r.cached_fields();
+        assert_eq!((to, from), (1, 0), "one destination field for path()");
+        r.all_shortest_path_links(&t, a, b);
+        assert_eq!(r.cached_fields(), (1, 1), "multipath adds one source field");
+        // The O(links) adjacency scratch dominates the two cached
+        // fields here; even so the total sits an order of magnitude
+        // under the dense all-pairs matrix.
+        assert!(
+            r.memory_bytes() < r.dense_memory_bytes() / 10,
+            "lazy cache ({} B) should be far under the dense matrix ({} B)",
+            r.memory_bytes(),
+            r.dense_memory_bytes()
+        );
+        // Recompute invalidates the cache; queries re-derive on demand.
+        r.recompute(&t);
+        assert_eq!(r.cached_fields(), (0, 0));
+        assert!(r.path(&t, a, b, 3).is_some());
+        assert_eq!(r.cached_fields(), (1, 0));
+    }
+
+    #[test]
+    fn cloned_routes_answer_identically() {
+        let t = Topology::spine_leaf(&SpineLeafConfig::tiny(2));
+        let r = Routes::compute(&t);
+        let s = t.servers();
+        let (a, b) = (s[0], s[s.len() - 1]);
+        r.path(&t, a, b, 1).unwrap(); // materialize a field pre-clone
+        let c = r.clone();
+        assert_eq!(r.distance(a, b), c.distance(a, b));
+        assert_eq!(r.path(&t, a, b, 7), c.path(&t, a, b, 7));
+        assert_eq!(
+            r.all_shortest_path_links(&t, a, b),
+            c.all_shortest_path_links(&t, a, b)
+        );
     }
 
     #[test]
