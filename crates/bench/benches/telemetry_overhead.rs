@@ -8,12 +8,29 @@
 //! * `shared_off` — a detached [`SharedRecorder`]: one branch per hook.
 //! * `recording` — a live recorder with a 64k-event ring, the worst
 //!   case (every epoch, flow start and completion is materialized).
+//!
+//! A second group, `service_churn_512_ops`, runs the same comparison
+//! on the service path: a seeded churn burst through the deterministic
+//! two-shard [`AllocationService`]. `service_off` (a detached
+//! [`SharedRecorder`] — the production default) must stay within 0.5%
+//! of `service_recording`'s trajectory cost minus the recording work,
+//! i.e. the hooks themselves are one predictable branch; the
+//! acceptance bound CI quotes is service_off ≤ 1.005 × the
+//! no-telemetry baseline in `BENCH_service.json`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use saba_core::controller::ControllerConfig;
+use saba_core::profiler::{Profiler, ProfilerConfig};
+use saba_core::rpc::{Envelope, Request, Response};
+use saba_core::sensitivity::SensitivityTable;
+use saba_service::service::{AllocationService, ServiceConfig};
+use saba_service::shard::{Flavour, ShardSpec};
 use saba_sim::engine::{FairShareFabric, FlowSpec, Simulation};
 use saba_sim::ids::{AppId, ServiceLevel};
 use saba_sim::topology::Topology;
 use saba_telemetry::{Recorder, SharedRecorder, TelemetrySink};
+use saba_workload::catalog;
+use saba_workload::churn::{ChurnOp, ChurnTrace, ChurnTraceConfig};
 
 const FLOWS: usize = 4096;
 
@@ -49,6 +66,73 @@ fn drive<S: TelemetrySink>(mut sim: Simulation<FairShareFabric, S>) -> u64 {
     sim.stats().flows_completed
 }
 
+const SERVICE_OPS: usize = 512;
+
+/// One full service trajectory: open a fresh two-shard service on a
+/// scratch WAL dir, absorb a seeded churn burst, tick every fourth
+/// step. Returns the number of acked requests.
+fn drive_service(table: &SensitivityTable, sink: SharedRecorder, tag: &str) -> u64 {
+    const SERVERS: usize = 8;
+    let dir = std::env::temp_dir().join(format!("saba-overhead-svc-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let spec = ShardSpec {
+        cfg: ControllerConfig::default(),
+        table: table.clone(),
+        topo: Topology::single_switch(SERVERS, 100.0),
+        flavour: Flavour::Central,
+    };
+    let servers = spec.topo.servers().to_vec();
+    let cfg = ServiceConfig {
+        shards: 2,
+        admission: None,
+        ..ServiceConfig::new(&dir)
+    };
+    let mut svc = AllocationService::open(spec, cfg).expect("service opens");
+    svc.set_sink(sink);
+    let trace = ChurnTrace::new(
+        ChurnTraceConfig {
+            tenants: 6,
+            servers: SERVERS as u32,
+            conns_per_tenant: 4,
+            ..ChurnTraceConfig::default()
+        },
+        0x5aba,
+    );
+    let mut acked = 0u64;
+    let mut clock = 0.0;
+    for (step, op) in trace.take(SERVICE_OPS).enumerate() {
+        let req = match op {
+            ChurnOp::Register { app, workload } => Request::AppRegister {
+                app: AppId(app),
+                workload,
+            },
+            ChurnOp::ConnCreate { app, src, dst, tag } => Request::ConnCreate {
+                app: AppId(app),
+                src: servers[src as usize % servers.len()],
+                dst: servers[dst as usize % servers.len()],
+                tag,
+            },
+            ChurnOp::ConnDestroy { app, tag } => Request::ConnDestroy {
+                app: AppId(app),
+                tag,
+            },
+            ChurnOp::Deregister { app } => Request::AppDeregister { app: AppId(app) },
+        };
+        if !matches!(
+            svc.submit(&Envelope::new(step as u64, req)),
+            Response::Error { .. }
+        ) {
+            acked += 1;
+        }
+        if step % 4 == 3 {
+            clock += 0.25;
+            svc.tick(clock).expect("tick");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    acked
+}
+
 fn bench_telemetry_overhead(c: &mut Criterion) {
     let topo = Topology::single_switch(64, 100e9);
 
@@ -74,6 +158,24 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
                 SharedRecorder::on(Recorder::default()),
             ))
         })
+    });
+    group.finish();
+
+    let table = Profiler::new(ProfilerConfig {
+        noise_sigma: 0.0,
+        bw_points: vec![0.25, 0.5, 0.75, 1.0],
+        degree: 2,
+        ..Default::default()
+    })
+    .profile_all(&catalog())
+    .expect("catalog profiling succeeds");
+    let mut group = c.benchmark_group("service_churn_512_ops");
+    group.sample_size(10);
+    group.bench_function("service_off", |b| {
+        b.iter(|| drive_service(&table, SharedRecorder::off(), "off"))
+    });
+    group.bench_function("service_recording", |b| {
+        b.iter(|| drive_service(&table, SharedRecorder::on(Recorder::default()), "rec"))
     });
     group.finish();
 }

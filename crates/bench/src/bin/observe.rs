@@ -15,18 +15,32 @@
 //! across identically-seeded runs, a schema-valid JSONL export, and a
 //! null-sink run whose results the recorder did not perturb.
 //!
-//! Usage: `observe [--smoke] [--severity N]`
+//! `--service` runs the same contract against the service tier: a
+//! seeded churn stream into the deterministic two-shard
+//! [`AllocationService`], asserting a byte-identical span-tree export
+//! across identically-seeded runs, a schema-valid trace with per-RPC
+//! spans, a scrapeable `MetricsDump` page with monotone counters, and
+//! an untraced twin whose programmed switch state and counters match
+//! the traced run exactly.
+//!
+//! Usage: `observe [--smoke] [--service] [--severity N]`
 
 use saba_bench::{print_table, results_dir, write_csv};
 use saba_cluster::corun_faults::{execute_with_faults, execute_with_faults_traced, plan_jobs};
 use saba_cluster::metrics::per_workload_speedups;
 use saba_cluster::policy::Policy;
+use saba_core::controller::ControllerConfig;
 use saba_core::profiler::{Profiler, ProfilerConfig};
+use saba_core::rpc::{Envelope, Request, Response};
 use saba_core::sensitivity::SensitivityTable;
 use saba_faults::schedule::{FaultKind, FaultSchedule, FaultSpec, ScheduleConfig};
+use saba_service::service::{AllocationService, ServiceConfig, ServiceStats};
+use saba_service::shard::{Flavour, ShardSpec};
+use saba_sim::ids::AppId;
 use saba_sim::topology::{SpineLeafConfig, Topology};
-use saba_telemetry::{validate_jsonl, Recorder};
+use saba_telemetry::{validate_jsonl, Recorder, SharedRecorder};
 use saba_workload::catalog;
+use saba_workload::churn::{ChurnOp, ChurnTrace, ChurnTraceConfig};
 use std::collections::BTreeMap;
 use std::fs;
 
@@ -165,11 +179,175 @@ fn smoke(table: &SensitivityTable, severity: u32) {
     println!("observe --smoke: determinism, schema, and null-sink checks passed");
 }
 
+/// One deterministic service-tier drill: a seeded churn stream into a
+/// two-shard logical-clock [`AllocationService`], scraped twice.
+/// Returns the span-tree JSONL (empty when untraced), the two
+/// exposition pages, the per-shard programmed state, and the counters.
+fn service_drill(
+    table: &SensitivityTable,
+    traced: bool,
+    tag: &str,
+) -> (String, (String, String), Vec<String>, ServiceStats) {
+    const SERVERS: usize = 8;
+    const OPS: usize = 400;
+    let dir = std::env::temp_dir().join(format!("saba-observe-svc-{}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    let spec = ShardSpec {
+        cfg: ControllerConfig::default(),
+        table: table.clone(),
+        topo: Topology::single_switch(SERVERS, 100.0),
+        flavour: Flavour::Central,
+    };
+    let servers = spec.topo.servers().to_vec();
+    let cfg = ServiceConfig {
+        shards: 2,
+        admission: None,
+        ..ServiceConfig::new(&dir)
+    };
+    let mut svc = AllocationService::open(spec, cfg).expect("service opens");
+    let sink = if traced {
+        SharedRecorder::on(Recorder::default())
+    } else {
+        SharedRecorder::off()
+    };
+    svc.set_sink(sink.clone());
+
+    let scrape = |svc: &mut AllocationService, id: u64| -> String {
+        match svc.submit(&Envelope::new(id, Request::MetricsDump)) {
+            Response::Metrics { text } => text,
+            other => panic!("scrape: unexpected reply {other:?}"),
+        }
+    };
+
+    let trace = ChurnTrace::new(
+        ChurnTraceConfig {
+            tenants: 6,
+            servers: SERVERS as u32,
+            conns_per_tenant: 4,
+            ..ChurnTraceConfig::default()
+        },
+        0x0B5E_5ABA,
+    );
+    let mut page1 = String::new();
+    let mut clock = 0.0;
+    for (step, op) in trace.take(OPS).enumerate() {
+        let req = match op {
+            ChurnOp::Register { app, workload } => Request::AppRegister {
+                app: AppId(app),
+                workload,
+            },
+            ChurnOp::ConnCreate { app, src, dst, tag } => Request::ConnCreate {
+                app: AppId(app),
+                src: servers[src as usize % servers.len()],
+                dst: servers[dst as usize % servers.len()],
+                tag,
+            },
+            ChurnOp::ConnDestroy { app, tag } => Request::ConnDestroy {
+                app: AppId(app),
+                tag,
+            },
+            ChurnOp::Deregister { app } => Request::AppDeregister { app: AppId(app) },
+        };
+        let resp = svc.submit(&Envelope::new(step as u64, req));
+        assert!(
+            !matches!(resp, Response::Error { .. }),
+            "step {step}: unexpected rejection {resp:?}"
+        );
+        if step % 4 == 3 {
+            clock += 0.25;
+            svc.tick(clock).expect("tick");
+        }
+        if step == OPS / 2 {
+            page1 = scrape(&mut svc, 1_000_000);
+        }
+    }
+    svc.tick(clock + 1.0).expect("final tick");
+    let page2 = scrape(&mut svc, 1_000_001);
+
+    let jsonl = sink
+        .extract()
+        .map(|r| r.trace.to_jsonl())
+        .unwrap_or_default();
+    let programmed = (0..2)
+        .map(|s| format!("{:?}", svc.shard(s).programmed()))
+        .collect();
+    let stats = svc.stats();
+    let _ = fs::remove_dir_all(&dir);
+    (jsonl, (page1, page2), programmed, stats)
+}
+
+/// Pulls the value of a label-free `name value` sample line from an
+/// exposition page.
+fn sample_value(page: &str, family: &str) -> Option<f64> {
+    page.lines()
+        .find(|l| l.starts_with(family) && l[family.len()..].starts_with(' '))
+        .and_then(|l| l[family.len() + 1..].parse().ok())
+}
+
+/// The service-path telemetry contract, in smoke form.
+fn service_smoke(table: &SensitivityTable) {
+    // 1. Determinism: identically-seeded service runs export
+    //    byte-identical span trees and exposition pages.
+    let (jsonl_a, pages_a, programmed_a, stats_a) = service_drill(table, true, "svc-a");
+    let (jsonl_b, pages_b, _, _) = service_drill(table, true, "svc-b");
+    assert_eq!(
+        jsonl_a, jsonl_b,
+        "identically-seeded service traces must be byte-identical"
+    );
+    assert_eq!(
+        pages_a, pages_b,
+        "identically-seeded exposition pages must be byte-identical"
+    );
+    assert!(!jsonl_a.is_empty(), "service smoke must record spans");
+
+    // 2. Schema: the export round-trips the validator, and every RPC
+    //    minted a root span.
+    validate_jsonl(&jsonl_a).expect("schema-valid service trace");
+    let roots = jsonl_a
+        .lines()
+        .filter(|l| l.contains("\"op\":\"rpc.request\""))
+        .count();
+    assert!(roots > 0, "service trace carries rpc.request root spans");
+
+    // 3. Exposition: required families present, counters monotone
+    //    across the two scrapes.
+    let (p1, p2) = &pages_a;
+    for family in [
+        "# TYPE service_requests_total counter",
+        "# TYPE wal_group_commit_size summary",
+        "# TYPE wal_bytes_appended gauge",
+    ] {
+        assert!(p2.contains(family), "final scrape is missing '{family}'");
+    }
+    for counter in ["service_requests_total", "service_metrics_dumps_total"] {
+        let a = sample_value(p1, counter).expect("counter in first scrape");
+        let b = sample_value(p2, counter).expect("counter in final scrape");
+        assert!(b > a, "'{counter}' must be strictly monotone: {a} then {b}");
+    }
+
+    // 4. Null-sink no-regression: the untraced twin ends in the exact
+    //    same programmed state with the same counters.
+    let (_, _, programmed_off, stats_off) = service_drill(table, false, "svc-off");
+    assert_eq!(
+        programmed_a, programmed_off,
+        "tracing must not change the programmed switch state"
+    );
+    assert_eq!(
+        stats_a, stats_off,
+        "tracing must not change the service counters"
+    );
+    println!("observe --service: determinism, schema, exposition, and null-sink checks passed");
+}
+
 fn main() {
     let severity = saba_bench::arg_usize("--severity", 2) as u32;
     let table = quick_table();
     if flag("--smoke") {
         smoke(&table, severity);
+        return;
+    }
+    if flag("--service") {
+        service_smoke(&table);
         return;
     }
 

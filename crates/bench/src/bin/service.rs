@@ -18,17 +18,26 @@
 //!    this to the million-connection-event soak (`BENCH_service.json`
 //!    holds reference numbers).
 //!
+//! The drill repeats across Eq. 2 solver-thread counts (1/2/8) and
+//! asserts a byte-identical telemetry export at every count, then
+//! writes the span-tree JSONL artifact to `results/service_spans.jsonl`
+//! (the nightly workflow uploads it). `--scrape` runs only the
+//! exposition check: a TCP server is stood up, churned, and scraped
+//! twice via the `MetricsDump` RPC — required metric families must be
+//! present and counters monotone between the scrapes.
+//!
 //! Wall-clock figures go to stdout and `BENCH_service.json` only; the
 //! CSV under `results/` carries exclusively deterministic counters.
 //!
-//! Usage: `service [--smoke|--quick] [--long] [--ops N] [--shards N] [--clients N]`
+//! Usage: `service [--smoke|--quick] [--long] [--scrape] [--ops N] [--shards N] [--clients N]`
 
-use saba_bench::{arg_usize, catalog_table, print_table, write_csv};
+use saba_bench::{arg_usize, catalog_table, print_table, results_dir, write_csv};
 use saba_core::controller::ControllerConfig;
 use saba_core::rpc::{Envelope, ErrorCode, Request, Response};
 use saba_core::sensitivity::SensitivityTable;
 use saba_faults::injector::ControlAction;
 use saba_service::heartbeat::HeartbeatConfig;
+use saba_service::net::{TcpServiceServer, TcpTransport};
 use saba_service::runtime::{RuntimeConfig, ServiceRuntime};
 use saba_service::service::{AllocationService, ServiceConfig};
 use saba_service::shard::{Flavour, ShardSpec};
@@ -84,7 +93,12 @@ fn to_request(op: &ChurnOp, servers: &[NodeId]) -> Request {
 /// One deterministic drill pass: seeded churn, a mid-stream shard
 /// crash, standby takeover, loss accounting. Returns the telemetry
 /// export (trace JSONL + metrics JSON) and the final service stats.
-fn drill_once(table: &SensitivityTable, ops: usize, tag: &str) -> (String, String, u64, u64) {
+fn drill_once(
+    table: &SensitivityTable,
+    ops: usize,
+    threads: usize,
+    tag: &str,
+) -> (String, String, u64, u64) {
     const SERVERS: usize = 8;
     let dir = tmpdir(tag);
     let cfg = ServiceConfig {
@@ -102,6 +116,7 @@ fn drill_once(table: &SensitivityTable, ops: usize, tag: &str) -> (String, Strin
     let mut svc = AllocationService::open(spec, cfg).expect("service opens");
     let sink = SharedRecorder::on(Recorder::default());
     svc.set_sink(sink.clone());
+    svc.set_solver_threads(threads);
 
     let trace = ChurnTrace::new(
         ChurnTraceConfig {
@@ -138,10 +153,7 @@ fn drill_once(table: &SensitivityTable, ops: usize, tag: &str) -> (String, Strin
             let victim = svc.shard_of(op.app());
             svc.apply(&ControlAction::CrashShard(victim)).expect("kill");
         }
-        let env = Envelope {
-            request_id: step as u64,
-            request: to_request(&op, &servers),
-        };
+        let env = Envelope::new(step as u64, to_request(&op, &servers));
         match svc.submit(&env) {
             Response::Error { code, message } => {
                 assert_eq!(
@@ -201,6 +213,7 @@ fn absorb(req: &Request, regs: &mut BTreeSet<u32>, live: &mut BTreeMap<(u32, u64
             regs.remove(&app.0);
             live.retain(|(a, _), _| a != &app.0);
         }
+        Request::MetricsDump => {}
     }
 }
 
@@ -263,10 +276,8 @@ fn soak(table: &SensitivityTable, ops: usize, shards: usize, clients: usize) -> 
             let ambiguous = ambiguous.clone();
             std::thread::spawn(move || {
                 for (i, op) in ops.iter().enumerate() {
-                    let env = Envelope {
-                        request_id: ((c as u64) << 40) | i as u64,
-                        request: to_request(op, &servers),
-                    };
+                    let env =
+                        Envelope::new(((c as u64) << 40) | i as u64, to_request(op, &servers));
                     // At-least-once submission with client-side
                     // backoff. Register/create/destroy retries are
                     // idempotent server-side; a deregister whose ack
@@ -303,6 +314,9 @@ fn soak(table: &SensitivityTable, ops: usize, shards: usize, clients: usize) -> 
                             } else {
                                 panic!("client {c} op {i} failed fatally ({code}): {message}")
                             }
+                        }
+                        Response::Metrics { .. } => {
+                            panic!("client {c} op {i}: unexpected metrics page")
                         }
                     }
                     done.fetch_add(1, Ordering::Relaxed);
@@ -352,17 +366,92 @@ fn soak(table: &SensitivityTable, ops: usize, shards: usize, clients: usize) -> 
     }
 }
 
+/// Pulls the value of a label-free `family value` sample line.
+fn sample_value(page: &str, family: &str) -> Option<f64> {
+    page.lines()
+        .find(|l| l.starts_with(family) && l[family.len()..].starts_with(' '))
+        .and_then(|l| l[family.len() + 1..].parse().ok())
+}
+
+/// The exposition check CI's scrape step runs: a real TCP server over
+/// the threaded runtime, a burst of churn, then two `MetricsDump`
+/// scrapes over the wire. Required families must be present and the
+/// request/dump counters strictly monotone between the scrapes.
+fn scrape_check(table: &SensitivityTable) {
+    const SERVERS: usize = 8;
+    let dir = tmpdir("scrape");
+    let spec = spec(table, SERVERS);
+    let servers = spec.topo.servers().to_vec();
+    let rt =
+        Arc::new(ServiceRuntime::start(spec, RuntimeConfig::new(&dir)).expect("runtime starts"));
+    let server = TcpServiceServer::bind(rt.clone(), "127.0.0.1:0").expect("server binds");
+    let mut client = TcpTransport::connect(server.addr(), 1).expect("client connects");
+
+    let churn = |client: &mut TcpTransport, base: u64, n: u64| {
+        use saba_core::library::Transport;
+        let r = client.call(Request::AppRegister {
+            app: AppId(base as u32),
+            workload: "LR".into(),
+        });
+        assert!(matches!(r, Response::Registered { .. }), "{r:?}");
+        for i in 0..n {
+            let r = client.call(Request::ConnCreate {
+                app: AppId(base as u32),
+                src: servers[0],
+                dst: servers[1],
+                tag: i,
+            });
+            assert_eq!(r, Response::Ack);
+        }
+    };
+
+    churn(&mut client, 0, 8);
+    let page1 = client.dump_metrics().expect("first scrape");
+    for family in [
+        "# TYPE service_requests_total counter",
+        "# TYPE service_metrics_dumps_total counter",
+        "# TYPE wall_op_latency summary",
+        "# TYPE wal_group_commit_size summary",
+        "# TYPE wal_bytes_appended gauge",
+    ] {
+        assert!(
+            page1.contains(family),
+            "scrape missing '{family}':\n{page1}"
+        );
+    }
+    churn(&mut client, 1, 8);
+    let page2 = client.dump_metrics().expect("second scrape");
+    for counter in ["service_requests_total", "service_metrics_dumps_total"] {
+        let a = sample_value(&page1, counter).expect("counter in first scrape");
+        let b = sample_value(&page2, counter).expect("counter in second scrape");
+        assert!(
+            b > a,
+            "'{counter}' must be strictly monotone across scrapes: {a} then {b}"
+        );
+    }
+    server.stop();
+    rt.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("scrape: exposition families present, counters monotone across two scrapes");
+}
+
 fn main() {
     let smoke = flag("--smoke") || flag("--quick");
     let long = flag("--long");
     let table = catalog_table();
 
-    // Stage 1: deterministic failover drill + telemetry determinism.
+    if flag("--scrape") {
+        scrape_check(&table);
+        return;
+    }
+
+    // Stage 1: deterministic failover drill + telemetry determinism,
+    // repeated across solver-thread counts: same bytes at every count.
     let drill_ops = arg_usize("--drill-ops", 1_200);
-    let (trace_a, reg_a, failovers, regs_acked) = drill_once(&table, drill_ops, "drill-a");
+    let (trace_a, reg_a, failovers, regs_acked) = drill_once(&table, drill_ops, 1, "drill-a");
     println!("drill: {drill_ops} ops, {failovers} failover(s), {regs_acked} registrations acked");
     assert_eq!(failovers, 1, "the drill must fail over exactly once");
-    let (trace_b, reg_b, _, _) = drill_once(&table, drill_ops, "drill-b");
+    let (trace_b, reg_b, _, _) = drill_once(&table, drill_ops, 1, "drill-b");
     assert_eq!(
         trace_a, trace_b,
         "identically-seeded telemetry traces must be byte-identical"
@@ -371,7 +460,24 @@ fn main() {
         reg_a, reg_b,
         "identically-seeded metric exports must be byte-identical"
     );
-    println!("drill: telemetry export replayed bit-identically");
+    for threads in [2usize, 8] {
+        let (trace_t, reg_t, _, _) = drill_once(&table, drill_ops, threads, "drill-t");
+        assert_eq!(
+            trace_t, trace_a,
+            "solver_threads={threads} changed the telemetry trace"
+        );
+        assert_eq!(
+            reg_t, reg_a,
+            "solver_threads={threads} changed the metric export"
+        );
+    }
+    println!("drill: telemetry export replayed bit-identically (solver threads 1/2/8)");
+
+    // The span-tree JSONL artifact (validated + uploaded by nightly CI).
+    saba_telemetry::validate_jsonl(&trace_a).expect("drill trace validates");
+    let spans_path = results_dir().join("service_spans.jsonl");
+    std::fs::write(&spans_path, &trace_a).expect("write span artifact");
+    println!("wrote {}", spans_path.display());
 
     // Stage 2: threaded soak. A million connection events in --long.
     let ops = arg_usize(

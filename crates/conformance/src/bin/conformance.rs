@@ -23,6 +23,7 @@ use saba_conformance::differential::{
 };
 use saba_conformance::golden;
 use saba_conformance::incremental::{incremental_vs_scratch, ChurnScript};
+use saba_conformance::obs::service_observability;
 use saba_conformance::oracles::{
     check_against_reference, check_model_monotonicity, check_replay, check_seeded_queue_map,
 };
@@ -39,6 +40,7 @@ struct Profile {
     controls: u64,
     incremental: u64,
     parallel: u64,
+    obs: u64,
 }
 
 const SMOKE: Profile = Profile {
@@ -47,6 +49,7 @@ const SMOKE: Profile = Profile {
     controls: 48,
     incremental: 500,
     parallel: 500,
+    obs: 500,
 };
 
 const LONG: Profile = Profile {
@@ -55,6 +58,7 @@ const LONG: Profile = Profile {
     controls: 480,
     incremental: 5000,
     parallel: 5000,
+    obs: 5000,
 };
 
 fn main() -> ExitCode {
@@ -195,13 +199,29 @@ fn main() -> ExitCode {
         scenarios += 1;
     }
 
-    // 6. Baselines against hand-solved fixtures.
+    // 6. Service-plane observability: byte-identical span-tree JSONL
+    //    across runs and solver-thread counts, RPC→epoch span linkage,
+    //    scrapeable exposition with monotone counters, and an exact
+    //    traced-vs-untraced state match (no observer effect).
+    println!(
+        "service observability: {} seeded churn scripts",
+        profile.obs
+    );
+    for seed in seed_start..seed_start + profile.obs {
+        let sc = ChurnScript::generate(seed);
+        if let Err(e) = service_observability(&sc) {
+            return fail("service-observability", format!("seed {seed}: {e}"));
+        }
+        scenarios += 1;
+    }
+
+    // 7. Baselines against hand-solved fixtures.
     println!("baseline fixtures");
     if let Err(e) = baseline_fixtures() {
         return fail("baseline-fixtures", e);
     }
 
-    // 7. Golden CSVs of the figure pipelines.
+    // 8. Golden CSVs of the figure pipelines.
     println!("golden CSVs");
     if let Err(e) = golden::check_goldens() {
         return fail("golden", e);

@@ -14,6 +14,7 @@
 pub mod differential;
 pub mod golden;
 pub mod incremental;
+pub mod obs;
 pub mod oracles;
 pub mod parallel;
 pub mod reference;

@@ -1,0 +1,319 @@
+//! Service-plane observability conformance.
+//!
+//! The service tier's telemetry makes three promises (DESIGN.md §15):
+//!
+//! 1. **Determinism** — an identically-seeded drill exports a
+//!    byte-identical span-tree JSONL, across repeated runs *and*
+//!    across Eq. 2 solver-thread counts (1/2/8): observability rides
+//!    the logical clock, never the wall clock.
+//! 2. **Well-formedness and linkage** — the exported trace passes
+//!    `validate_jsonl` (unique span ids, no orphan parents), and every
+//!    churn RPC the shard tier acked is linked downward to the
+//!    controller epoch it caused: a `controller.epoch` span whose
+//!    parent is that RPC's shard span, one per `epoch_scope` event.
+//! 3. **Zero observer effect** — running the same drill with no sink
+//!    attached leaves the programmed switch state and the service
+//!    counters exactly equal to the traced run's: tracing never
+//!    steers allocation.
+//!
+//! The drill also scrapes the `MetricsDump` exposition page twice and
+//! checks the expected families are present with monotone counters.
+
+use crate::incremental::{ChurnEvent, ChurnScript};
+use saba_core::controller::ControllerConfig;
+use saba_core::rpc::{Envelope, Request, Response};
+use saba_service::service::{AllocationService, ServiceConfig, ServiceStats};
+use saba_service::shard::{Flavour, ShardSpec};
+use saba_sim::ids::AppId;
+use saba_telemetry::{validate_jsonl, Recorder, SharedRecorder};
+use std::path::PathBuf;
+
+/// Solver-thread counts every drill is repeated at; the exports must
+/// be byte-identical across all of them.
+pub const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// What one drill run leaves behind for the differential checks.
+struct DrillOutcome {
+    /// Deterministic JSONL export of the trace (empty when untraced).
+    trace_jsonl: String,
+    /// Per-shard programmed switch state, rendered for exact diffing.
+    programmed: Vec<String>,
+    /// Aggregated service counters.
+    stats: ServiceStats,
+    /// Two `MetricsDump` pages, scraped mid-drill and at the end
+    /// (empty when untraced — the registry only fills behind a sink).
+    pages: (String, String),
+}
+
+fn drill_dir(seed: u64, tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("saba-obs-{}-{seed}-{tag}", std::process::id()))
+}
+
+/// Runs the seeded churn script against a fresh two-shard
+/// [`AllocationService`] on the logical clock: register every app,
+/// replay the events one envelope per step (ticking every fourth
+/// step), scrape twice, and export.
+fn run_drill(
+    sc: &ChurnScript,
+    threads: usize,
+    traced: bool,
+    tag: &str,
+) -> Result<DrillOutcome, String> {
+    let dir = drill_dir(sc.seed, tag);
+    let _ = std::fs::remove_dir_all(&dir);
+    let spec = ShardSpec {
+        cfg: ControllerConfig::default(),
+        table: sc.table(),
+        topo: sc.topology(),
+        flavour: Flavour::Central,
+    };
+    let cfg = ServiceConfig {
+        shards: 2,
+        admission: None,
+        ..ServiceConfig::new(&dir)
+    };
+    let mut svc = AllocationService::open(spec, cfg).map_err(|e| format!("open service: {e}"))?;
+    let sink = if traced {
+        SharedRecorder::on(Recorder::default())
+    } else {
+        SharedRecorder::off()
+    };
+    svc.set_sink(sink.clone());
+    svc.set_solver_threads(threads);
+
+    let servers = sc.topology().servers().to_vec();
+    for app in 0..sc.napps as u32 {
+        let env = Envelope::new(
+            10_000 + app as u64,
+            Request::AppRegister {
+                app: AppId(app),
+                workload: ChurnScript::workload_name(app as usize),
+            },
+        );
+        match svc.submit(&env) {
+            Response::Registered { .. } => {}
+            other => return Err(format!("register app {app}: {other:?}")),
+        }
+    }
+    let scrape = |svc: &mut AllocationService, id: u64| -> Result<String, String> {
+        match svc.submit(&Envelope::new(id, Request::MetricsDump)) {
+            Response::Metrics { text } => Ok(text),
+            other => Err(format!("scrape: {other:?}")),
+        }
+    };
+    let page1 = if traced {
+        scrape(&mut svc, 20_000)?
+    } else {
+        String::new()
+    };
+
+    for (step, ev) in sc.events.iter().enumerate() {
+        let req = match *ev {
+            ChurnEvent::Create { app, src, dst, tag } => Request::ConnCreate {
+                app: AppId(app),
+                src: servers[src],
+                dst: servers[dst],
+                tag,
+            },
+            ChurnEvent::Destroy { app, tag } => Request::ConnDestroy {
+                app: AppId(app),
+                tag,
+            },
+        };
+        match svc.submit(&Envelope::new(step as u64, req)) {
+            Response::Ack => {}
+            other => return Err(format!("step {step}: {other:?}")),
+        }
+        if step % 4 == 3 {
+            svc.tick((step + 1) as f64 * 0.25)
+                .map_err(|e| format!("tick at step {step}: {e}"))?;
+        }
+    }
+    svc.tick(sc.events.len() as f64 * 0.25 + 1.0)
+        .map_err(|e| format!("final tick: {e}"))?;
+    let page2 = if traced {
+        scrape(&mut svc, 20_001)?
+    } else {
+        String::new()
+    };
+
+    let trace_jsonl = sink
+        .extract()
+        .map(|r| r.trace.to_jsonl())
+        .unwrap_or_default();
+    let programmed = (0..2)
+        .map(|s| format!("{:?}", svc.shard(s).programmed()))
+        .collect();
+    let stats = svc.stats();
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(DrillOutcome {
+        trace_jsonl,
+        programmed,
+        stats,
+        pages: (page1, page2),
+    })
+}
+
+/// Pulls the value of a `name value` sample line from an exposition
+/// page (first series of the family, label-free form).
+fn sample_value(page: &str, family: &str) -> Option<f64> {
+    page.lines()
+        .find(|l| l.starts_with(family) && l[family.len()..].starts_with(' '))
+        .and_then(|l| l[family.len() + 1..].parse().ok())
+}
+
+/// Families every post-churn scrape must expose.
+const REQUIRED_FAMILIES: [&str; 4] = [
+    "# TYPE service_requests_total counter",
+    "# TYPE service_registrations_acked_total counter",
+    "# TYPE wal_group_commit_size summary",
+    "# TYPE wal_bytes_appended gauge",
+];
+
+/// Checks the span tree of one traced export: shape (via
+/// `validate_jsonl`), per-RPC coverage, and RPC→epoch linkage.
+fn check_spans(sc: &ChurnScript, jsonl: &str) -> Result<(), String> {
+    validate_jsonl(jsonl).map_err(|e| format!("trace validation: {e}"))?;
+    // Re-read the spans out of the canonical export.
+    let mut spans: Vec<(u64, u64, u64, String, bool)> = Vec::new();
+    let mut epoch_scopes = 0u64;
+    for line in jsonl.lines() {
+        let v = saba_telemetry::json::parse(line).map_err(|e| format!("reparse: {e}"))?;
+        match v.get("kind").and_then(|k| k.as_str()) {
+            Some("span") => {
+                let hex = |k: &str| {
+                    v.get(k)
+                        .and_then(|x| x.as_str())
+                        .ok_or_else(|| format!("span line missing '{k}'"))
+                        .and_then(saba_telemetry::span::parse_id)
+                };
+                spans.push((
+                    hex("trace")?,
+                    hex("span")?,
+                    hex("parent")?,
+                    v.get("op")
+                        .and_then(|x| x.as_str())
+                        .ok_or("span line missing 'op'")?
+                        .to_string(),
+                    v.get("ok").and_then(|x| x.as_bool()).unwrap_or(false),
+                ));
+            }
+            Some("epoch_scope") => epoch_scopes += 1,
+            _ => {}
+        }
+    }
+    // Every registration and churn event contributes a root span plus
+    // a shard span; nothing else mints rpc.* roots.
+    let roots = spans.iter().filter(|s| s.3 == "rpc.request").count();
+    let expected_roots = sc.napps + sc.events.len();
+    if roots != expected_roots {
+        return Err(format!(
+            "expected {expected_roots} rpc.request root spans, found {roots}"
+        ));
+    }
+    // Linkage: one controller.epoch span per acked churn RPC, parented
+    // at that RPC's shard span, and exactly one per epoch_scope event.
+    let epoch_parents: Vec<u64> = spans
+        .iter()
+        .filter(|s| s.3 == "controller.epoch")
+        .map(|s| s.2)
+        .collect();
+    let churn_span_ids: Vec<u64> = spans
+        .iter()
+        .filter(|s| {
+            matches!(
+                s.3.as_str(),
+                "rpc.conn_create" | "rpc.conn_destroy" | "rpc.deregister"
+            ) && s.4
+        })
+        .map(|s| s.1)
+        .collect();
+    if epoch_parents.len() != sc.events.len() {
+        return Err(format!(
+            "expected one controller.epoch span per churn event ({}), found {}",
+            sc.events.len(),
+            epoch_parents.len()
+        ));
+    }
+    if epoch_parents.len() != epoch_scopes as usize {
+        return Err(format!(
+            "{} controller.epoch spans but {epoch_scopes} epoch_scope events",
+            epoch_parents.len()
+        ));
+    }
+    for parent in &epoch_parents {
+        if !churn_span_ids.contains(parent) {
+            return Err(format!(
+                "controller.epoch span parented at {parent:016x}, which is not an \
+                 acked churn RPC span"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The full observability differential for one seeded churn script.
+pub fn service_observability(sc: &ChurnScript) -> Result<(), String> {
+    // Two identically-seeded traced runs: byte-identical exports.
+    let base = run_drill(sc, 1, true, "t1a")?;
+    let again = run_drill(sc, 1, true, "t1b")?;
+    if base.trace_jsonl != again.trace_jsonl {
+        return Err("identically-seeded runs exported different span-tree JSONL".into());
+    }
+    check_spans(sc, &base.trace_jsonl)?;
+
+    // Solver-thread invariance: same bytes at every thread count.
+    for &threads in &THREAD_COUNTS[1..] {
+        let run = run_drill(sc, threads, true, &format!("t{threads}"))?;
+        if run.trace_jsonl != base.trace_jsonl {
+            return Err(format!(
+                "solver_threads={threads} exported different span-tree JSONL than 1 thread"
+            ));
+        }
+    }
+
+    // Exposition: required families present, counters monotone.
+    let (p1, p2) = &base.pages;
+    for family in REQUIRED_FAMILIES {
+        if !p2.contains(family) {
+            return Err(format!("final scrape is missing '{family}'"));
+        }
+    }
+    for counter in ["service_requests_total", "service_metrics_dumps_total"] {
+        let a = sample_value(p1, counter)
+            .ok_or_else(|| format!("first scrape has no '{counter}' sample"))?;
+        let b = sample_value(p2, counter)
+            .ok_or_else(|| format!("final scrape has no '{counter}' sample"))?;
+        if b <= a {
+            return Err(format!(
+                "'{counter}' is not strictly monotone across scrapes: {a} then {b}"
+            ));
+        }
+    }
+
+    // Observer effect: the untraced twin ends in the exact same state.
+    let untraced = run_drill(sc, 1, false, "off")?;
+    if untraced.programmed != base.programmed {
+        return Err("tracing changed the programmed switch state".into());
+    }
+    if untraced.stats != base.stats {
+        return Err(format!(
+            "tracing changed the service counters: {:?} traced vs {:?} untraced",
+            base.stats, untraced.stats
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observability_drill_passes_on_small_seeds() {
+        for seed in 0..4 {
+            service_observability(&ChurnScript::generate(seed))
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+}

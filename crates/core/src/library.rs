@@ -192,7 +192,7 @@ impl<T: Transport> SabaLib<T> {
                 Ok(sl)
             }
             Response::Error { code, message } => Err(LibError::Rejected { code, message }),
-            Response::Ack => Err(LibError::ProtocolViolation),
+            Response::Ack | Response::Metrics { .. } => Err(LibError::ProtocolViolation),
         };
         self.note("app_register", out.is_ok());
         out
@@ -218,7 +218,9 @@ impl<T: Transport> SabaLib<T> {
                 Ok(conn)
             }
             Response::Error { code, message } => Err(LibError::Rejected { code, message }),
-            Response::Registered { .. } => Err(LibError::ProtocolViolation),
+            Response::Registered { .. } | Response::Metrics { .. } => {
+                Err(LibError::ProtocolViolation)
+            }
         };
         self.note("conn_create", out.is_ok());
         out
@@ -239,7 +241,9 @@ impl<T: Transport> SabaLib<T> {
         let out = match resp {
             Response::Ack => Ok(()),
             Response::Error { code, message } => Err(LibError::Rejected { code, message }),
-            Response::Registered { .. } => Err(LibError::ProtocolViolation),
+            Response::Registered { .. } | Response::Metrics { .. } => {
+                Err(LibError::ProtocolViolation)
+            }
         };
         self.note("conn_destroy", out.is_ok());
         out
@@ -264,7 +268,9 @@ impl<T: Transport> SabaLib<T> {
                 Ok(())
             }
             Response::Error { code, message } => Err(LibError::Rejected { code, message }),
-            Response::Registered { .. } => Err(LibError::ProtocolViolation),
+            Response::Registered { .. } | Response::Metrics { .. } => {
+                Err(LibError::ProtocolViolation)
+            }
         };
         self.note("app_deregister", out.is_ok());
         out
@@ -334,6 +340,11 @@ impl Transport for InProcTransport {
                     Response::Ack
                 }
                 Err(e) => Response::from_controller_error(&e),
+            },
+            // The in-process controller keeps no registry; the service
+            // tier answers this from its metrics hub.
+            Request::MetricsDump => Response::Metrics {
+                text: String::new(),
             },
         };
         // Wire round trip on the response too.

@@ -19,6 +19,7 @@
 use crate::controller::ControllerError;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use saba_sim::ids::{AppId, NodeId, ServiceLevel};
+use saba_telemetry::span::TraceContext;
 use std::fmt;
 
 /// The protocol version stamped on (and required of) every frame.
@@ -62,6 +63,9 @@ pub enum Request {
         /// The departing application.
         app: AppId,
     },
+    /// Scrape the service's metrics registry as a Prometheus-style
+    /// text page. Read-only: never logged, never routed to a shard.
+    MetricsDump,
 }
 
 /// A request wrapped with a client-chosen idempotency id.
@@ -74,8 +78,40 @@ pub enum Request {
 pub struct Envelope {
     /// Client-unique request id (monotonic per client).
     pub request_id: u64,
+    /// Trace id shared by every span this request causes. Deterministic
+    /// (derived from `request_id`, never wall-clock) so seeded drills
+    /// export byte-identical span trees.
+    pub trace_id: u64,
+    /// The caller's span id (parent of server-side spans).
+    pub span_id: u64,
+    /// The caller's parent span id; 0 when the client is the root.
+    pub parent_id: u64,
     /// The wrapped request.
     pub request: Request,
+}
+
+impl Envelope {
+    /// Wraps a request with its deterministic root trace context (a
+    /// pure function of `request_id`; see `saba_telemetry::span`).
+    pub fn new(request_id: u64, request: Request) -> Self {
+        let ctx = TraceContext::root(request_id);
+        Self {
+            request_id,
+            trace_id: ctx.trace_id,
+            span_id: ctx.span_id,
+            parent_id: ctx.parent_id,
+            request,
+        }
+    }
+
+    /// This envelope's propagated trace context.
+    pub fn ctx(&self) -> TraceContext {
+        TraceContext {
+            trace_id: self.trace_id,
+            span_id: self.span_id,
+            parent_id: self.parent_id,
+        }
+    }
 }
 
 /// A controller response.
@@ -88,6 +124,11 @@ pub enum Response {
     },
     /// The operation succeeded.
     Ack,
+    /// The metrics page answering a [`Request::MetricsDump`].
+    Metrics {
+        /// Prometheus-style text exposition of the service registry.
+        text: String,
+    },
     /// The operation failed.
     Error {
         /// Machine-readable failure class (retryable vs fatal).
@@ -231,16 +272,20 @@ const T_CONN_CREATE: u8 = 2;
 const T_CONN_DESTROY: u8 = 3;
 const T_APP_DEREGISTER: u8 = 4;
 const T_ENVELOPE: u8 = 5;
+const T_METRICS_DUMP: u8 = 6;
 const T_REGISTERED: u8 = 16;
 const T_ACK: u8 = 17;
 const T_ERROR: u8 = 18;
+const T_METRICS: u8 = 19;
 
-/// Upper bound on a frame's payload length. The largest legitimate
-/// message is a few dozen bytes (an `AppRegister` with a 64 KiB
-/// workload name is the worst case), so anything bigger is garbage —
-/// rejecting it here keeps a malformed length prefix from asking the
-/// decoder to wait for gigabytes that will never arrive.
-pub const MAX_FRAME_LEN: usize = 1 << 17;
+/// Upper bound on a frame's payload length. Requests are a few dozen
+/// bytes (an `AppRegister` with a 64 KiB workload name is the worst
+/// case); the largest legitimate frame is a [`Response::Metrics`] page,
+/// which under a long soak with many tenants runs to hundreds of KiB.
+/// Anything bigger is garbage — rejecting it here keeps a malformed
+/// length prefix from asking the decoder to wait for gigabytes that
+/// will never arrive.
+pub const MAX_FRAME_LEN: usize = 1 << 20;
 
 fn put_string(buf: &mut BytesMut, s: &str) {
     assert!(
@@ -300,6 +345,9 @@ fn encode_request_body(req: &Request, b: &mut BytesMut) {
             b.put_u8(T_APP_DEREGISTER);
             b.put_u32(app.0);
         }
+        Request::MetricsDump => {
+            b.put_u8(T_METRICS_DUMP);
+        }
     }
 }
 
@@ -312,12 +360,16 @@ pub fn encode_request(req: &Request) -> Bytes {
 
 /// Encodes an id-wrapped request into a wire frame.
 ///
-/// Layout: `u8 type (5) · u64 request id · request body` — the inner
-/// request is embedded without its own length prefix.
+/// Layout: `u8 type (5) · u64 request id · u64 trace id · u64 span id
+/// · u64 parent id · request body` — the inner request is embedded
+/// without its own length prefix.
 pub fn encode_envelope(env: &Envelope) -> Bytes {
     let mut b = BytesMut::new();
     b.put_u8(T_ENVELOPE);
     b.put_u64(env.request_id);
+    b.put_u64(env.trace_id);
+    b.put_u64(env.span_id);
+    b.put_u64(env.parent_id);
     encode_request_body(&env.request, &mut b);
     frame(b)
 }
@@ -331,6 +383,13 @@ pub fn encode_response(resp: &Response) -> Bytes {
             b.put_u8(sl.value());
         }
         Response::Ack => b.put_u8(T_ACK),
+        Response::Metrics { text } => {
+            b.put_u8(T_METRICS);
+            // A metrics page can exceed the u16 string limit, so it
+            // carries its own u32 length.
+            b.put_u32(text.len() as u32);
+            b.put_slice(text.as_bytes());
+        }
         Response::Error { code, message } => {
             b.put_u8(T_ERROR);
             b.put_u8(*code as u8);
@@ -411,6 +470,7 @@ fn decode_request_body(body: &mut &[u8]) -> Result<Request, RpcError> {
                 app: AppId(body.get_u32()),
             })
         }
+        T_METRICS_DUMP => Ok(Request::MetricsDump),
         _ => Err(RpcError::Malformed("unknown request type")),
     }
 }
@@ -439,10 +499,13 @@ pub fn decode_envelope(data: &[u8]) -> Result<(Envelope, &[u8]), RpcError> {
     if body.get_u8() != T_ENVELOPE {
         return Err(RpcError::Malformed("not an envelope"));
     }
-    if body.remaining() < 8 {
-        return Err(RpcError::Malformed("truncated envelope id"));
+    if body.remaining() < 8 * 4 {
+        return Err(RpcError::Malformed("truncated envelope header"));
     }
     let request_id = body.get_u64();
+    let trace_id = body.get_u64();
+    let span_id = body.get_u64();
+    let parent_id = body.get_u64();
     let request = decode_request_body(&mut body)?;
     if !body.is_empty() {
         return Err(RpcError::Malformed("trailing bytes in frame"));
@@ -450,6 +513,9 @@ pub fn decode_envelope(data: &[u8]) -> Result<(Envelope, &[u8]), RpcError> {
     Ok((
         Envelope {
             request_id,
+            trace_id,
+            span_id,
+            parent_id,
             request,
         },
         rest,
@@ -479,6 +545,21 @@ pub fn decode_response(data: &[u8]) -> Result<(Response, &[u8]), RpcError> {
             }
         }
         T_ACK => Response::Ack,
+        T_METRICS => {
+            if body.remaining() < 4 {
+                return Err(RpcError::Malformed("truncated metrics length"));
+            }
+            let len = body.get_u32() as usize;
+            if body.remaining() < len {
+                return Err(RpcError::Malformed("truncated metrics body"));
+            }
+            let (head, rest_body) = body.split_at(len);
+            let text = std::str::from_utf8(head)
+                .map_err(|_| RpcError::Malformed("invalid UTF-8"))?
+                .to_string();
+            body = rest_body;
+            Response::Metrics { text }
+        }
         T_ERROR => {
             if body.remaining() < 1 {
                 return Err(RpcError::Malformed("truncated error code"));
@@ -533,6 +614,7 @@ mod tests {
             tag: 42,
         });
         round_trip_request(Request::AppDeregister { app: AppId(9) });
+        round_trip_request(Request::MetricsDump);
     }
 
     #[test]
@@ -544,6 +626,13 @@ mod tests {
         round_trip_response(Response::Error {
             code: ErrorCode::UnknownWorkload,
             message: "unknown workload".into(),
+        });
+        round_trip_response(Response::Metrics {
+            text: String::new(),
+        });
+        // A metrics page larger than the u16 string limit still fits.
+        round_trip_response(Response::Metrics {
+            text: "# TYPE x counter\nx 1\n".repeat(5000),
         });
     }
 
@@ -671,15 +760,15 @@ mod tests {
 
     #[test]
     fn envelope_round_trips() {
-        let env = Envelope {
-            request_id: 0x0123_4567_89AB_CDEF,
-            request: Request::ConnCreate {
+        let env = Envelope::new(
+            0x0123_4567_89AB_CDEF,
+            Request::ConnCreate {
                 app: AppId(3),
                 src: NodeId(1),
                 dst: NodeId(2),
                 tag: 99,
             },
-        };
+        );
         let wire = encode_envelope(&env);
         let (back, rest) = decode_envelope(&wire).unwrap();
         assert_eq!(back, env);
@@ -687,11 +776,25 @@ mod tests {
     }
 
     #[test]
+    fn envelope_trace_context_is_deterministic_and_propagated() {
+        let a = Envelope::new(7, Request::MetricsDump);
+        let b = Envelope::new(7, Request::MetricsDump);
+        assert_eq!(a, b, "the root context is a pure function of the id");
+        assert_ne!(a.trace_id, 0);
+        assert_ne!(a.span_id, 0);
+        assert_eq!(a.parent_id, 0);
+        // A hand-tweaked (propagated, non-root) context survives the wire.
+        let mut env = Envelope::new(8, Request::AppDeregister { app: AppId(1) });
+        env.parent_id = a.span_id;
+        env.trace_id = a.trace_id;
+        let (back, _) = decode_envelope(&encode_envelope(&env)).unwrap();
+        assert_eq!(back, env);
+        assert_eq!(back.ctx().parent_id, a.span_id);
+    }
+
+    #[test]
     fn envelope_is_not_a_plain_request() {
-        let wire = encode_envelope(&Envelope {
-            request_id: 1,
-            request: Request::AppDeregister { app: AppId(1) },
-        });
+        let wire = encode_envelope(&Envelope::new(1, Request::AppDeregister { app: AppId(1) }));
         assert!(matches!(
             decode_request(&wire).unwrap_err(),
             RpcError::Malformed(_)
@@ -709,13 +812,13 @@ mod tests {
 
     #[test]
     fn truncated_envelope_is_rejected_not_panicking() {
-        let wire = encode_envelope(&Envelope {
-            request_id: 7,
-            request: Request::ConnDestroy {
+        let wire = encode_envelope(&Envelope::new(
+            7,
+            Request::ConnDestroy {
                 app: AppId(1),
                 tag: 2,
             },
-        });
+        ));
         for cut in 0..wire.len() {
             assert!(decode_envelope(&wire[..cut]).is_err());
         }

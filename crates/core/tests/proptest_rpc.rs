@@ -96,10 +96,24 @@ proptest! {
         prop_assert!(rest.is_empty());
     }
 
-    /// Envelopes round-trip exactly, preserving the request id.
+    /// Envelopes round-trip exactly, preserving the request id and the
+    /// full trace context (including non-canonical ids a foreign peer
+    /// might stamp).
     #[test]
-    fn envelope_round_trip_is_exact(id in any::<u64>(), req in arb_request()) {
-        let env = Envelope { request_id: id, request: req };
+    fn envelope_round_trip_is_exact(
+        id in any::<u64>(),
+        req in arb_request(),
+        trace in any::<u64>(),
+        span in any::<u64>(),
+        parent in any::<u64>(),
+    ) {
+        let env = Envelope {
+            request_id: id,
+            trace_id: trace,
+            span_id: span,
+            parent_id: parent,
+            request: req,
+        };
         let wire = encode_envelope(&env);
         let (back, rest) = decode_envelope(&wire).unwrap();
         prop_assert_eq!(back, env);
@@ -150,7 +164,7 @@ proptest! {
     /// `Incomplete` so a streaming reader waits for more bytes.
     #[test]
     fn truncated_envelope_is_incomplete(id in any::<u64>(), req in arb_request(), keep in 0.0f64..1.0) {
-        let env = Envelope { request_id: id, request: req };
+        let env = Envelope::new(id, req);
         let wire = encode_envelope(&env);
         let cut = ((wire.len() as f64) * keep) as usize; // always < len
         prop_assert_eq!(decode_envelope(&wire[..cut]).unwrap_err(), RpcError::Incomplete);

@@ -65,10 +65,22 @@ pub struct ResilienceStats {
 pub struct EpochCounters {
     /// Ports visited across all reprogramming epochs.
     pub ports_dirty: u64,
+    /// Eq. 2 solves performed (cache misses plus parallel prewarms).
+    pub eq2_solves: u64,
     /// Eq. 2 solves avoided by the memo caches' fast path.
     pub solves_skipped: u64,
     /// `SwitchUpdate`s suppressed by the programmed-state diff.
     pub queue_updates_diffed: u64,
+}
+
+impl EpochCounters {
+    /// Fraction of Eq. 2 lookups answered from the memo caches
+    /// (`skipped / (skipped + solved)`), the service tier's
+    /// `controller.prewarm_hit_rate` gauge. `None` before any lookup.
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let total = self.solves_skipped + self.eq2_solves;
+        (total > 0).then(|| self.solves_skipped as f64 / total as f64)
+    }
 }
 
 /// Why [`ResilientController::try_register`] failed.
@@ -113,6 +125,9 @@ pub struct ResilientController {
     sink: SharedRecorder,
     clock: f64,
     solve_timing: bool,
+    /// Eq. 2 solver threads, re-applied to the replacement incarnation
+    /// a central recovery rebuilds cold.
+    solver_threads: usize,
     /// Solve samples from controller incarnations that a crash
     /// replaced; [`Self::solve_histogram`] merges the live one in.
     solve_hist_archive: Histogram,
@@ -139,6 +154,7 @@ impl ResilientController {
             sink: SharedRecorder::default(),
             clock: 0.0,
             solve_timing: false,
+            solver_threads: 1,
             solve_hist_archive: Histogram::new(),
             epoch_archive: EpochCounters::default(),
         }
@@ -166,6 +182,7 @@ impl ResilientController {
             sink: SharedRecorder::default(),
             clock: 0.0,
             solve_timing: false,
+            solver_threads: 1,
             solve_hist_archive: Histogram::new(),
             epoch_archive: EpochCounters::default(),
         }
@@ -180,6 +197,23 @@ impl ResilientController {
             Inner::Central(c) => c.enable_solve_timing(),
             Inner::Distributed(c) => c.enable_solve_timing(),
         }
+    }
+
+    /// Sets the Eq. 2 solver thread count on the inner controller.
+    /// Survives crash/recovery: a central rebuild re-applies it to the
+    /// fresh incarnation, so a failover never silently drops back to a
+    /// single solver thread.
+    pub fn set_solver_threads(&mut self, threads: usize) {
+        self.solver_threads = threads.max(1);
+        match &mut self.inner {
+            Inner::Central(c) => c.set_solver_threads(threads),
+            Inner::Distributed(c) => c.set_solver_threads(threads),
+        }
+    }
+
+    /// The configured Eq. 2 solver thread count.
+    pub fn solver_threads(&self) -> usize {
+        self.solver_threads
     }
 
     /// Wall-clock solve durations across all controller incarnations.
@@ -199,17 +233,28 @@ impl ResilientController {
     /// programmed-state diff) across all controller incarnations.
     pub fn epoch_counters(&self) -> EpochCounters {
         let mut e = self.epoch_archive;
-        let (dirty, skipped, diffed) = match &self.inner {
+        let (dirty, solved, skipped, diffed) = match &self.inner {
             Inner::Central(c) => {
                 let s = c.stats();
-                (s.ports_dirty, s.solves_skipped, s.queue_updates_diffed)
+                (
+                    s.ports_dirty,
+                    s.eq2_solves,
+                    s.solves_skipped,
+                    s.queue_updates_diffed,
+                )
             }
             Inner::Distributed(c) => {
                 let s = c.stats();
-                (s.ports_dirty, s.solves_skipped, s.queue_updates_diffed)
+                (
+                    s.ports_dirty,
+                    s.eq2_solves,
+                    s.solves_skipped,
+                    s.queue_updates_diffed,
+                )
             }
         };
         e.ports_dirty += dirty;
+        e.eq2_solves += solved;
         e.solves_skipped += skipped;
         e.queue_updates_diffed += diffed;
         e
@@ -427,8 +472,12 @@ impl ResilientController {
             if let Inner::Central(old) = &self.inner {
                 let s = old.stats();
                 self.epoch_archive.ports_dirty += s.ports_dirty;
+                self.epoch_archive.eq2_solves += s.eq2_solves;
                 self.epoch_archive.solves_skipped += s.solves_skipped;
                 self.epoch_archive.queue_updates_diffed += s.queue_updates_diffed;
+            }
+            if self.solver_threads > 1 {
+                fresh.set_solver_threads(self.solver_threads);
             }
             if self.solve_timing {
                 if let Inner::Central(old) = &self.inner {

@@ -259,10 +259,7 @@ impl<T: Transport> ReliableTransport<T> {
 impl<T: Transport> Transport for ReliableTransport<T> {
     fn call(&mut self, req: Request) -> Response {
         self.stats.calls += 1;
-        let env = Envelope {
-            request_id: self.next_id,
-            request: req,
-        };
+        let env = Envelope::new(self.next_id, req);
         self.next_id += 1;
         let id = env.request_id;
         self.note(EventKind::RpcCall { id });
@@ -362,19 +359,13 @@ mod tests {
     #[test]
     fn dedup_server_applies_each_request_id_once() {
         let mut srv = DedupServer::new(CountingAck { calls: 0 });
-        let env = Envelope {
-            request_id: 7,
-            request: Request::AppDeregister { app: AppId(0) },
-        };
+        let env = Envelope::new(7, Request::AppDeregister { app: AppId(0) });
         let wire = encode_envelope(&env);
         assert_eq!(srv.handle(&wire), Response::Ack);
         assert_eq!(srv.handle(&wire), Response::Ack);
         assert_eq!(srv.inner().calls, 1, "replay must not re-apply");
         assert_eq!(srv.dedup_hits(), 1);
-        let other = encode_envelope(&Envelope {
-            request_id: 8,
-            request: Request::AppDeregister { app: AppId(0) },
-        });
+        let other = encode_envelope(&Envelope::new(8, Request::AppDeregister { app: AppId(0) }));
         srv.handle(&other);
         assert_eq!(srv.inner().calls, 2, "fresh id must apply");
     }
@@ -584,10 +575,7 @@ mod tests {
 
         // A delayed network copy of the original frame arrives long
         // after the client gave up.
-        let stale = encode_envelope(&Envelope {
-            request_id: 0,
-            request: Request::AppDeregister { app: AppId(0) },
-        });
+        let stale = encode_envelope(&Envelope::new(0, Request::AppDeregister { app: AppId(0) }));
         assert_eq!(transport.server_mut().handle(&stale), Response::Ack);
         assert_eq!(transport.server().dedup_hits(), hits_before + 1);
         assert_eq!(

@@ -148,6 +148,18 @@ impl TcpTransport {
         })
     }
 
+    /// Scrapes the server's metrics exposition page. Returns the
+    /// Prometheus text page, or an error string for any other reply.
+    pub fn dump_metrics(&mut self) -> Result<String, String> {
+        let env = Envelope::new(self.next_id, Request::MetricsDump);
+        self.next_id += 1;
+        match self.round_trip(&env) {
+            Ok(Response::Metrics { text }) => Ok(text),
+            Ok(other) => Err(format!("unexpected reply to a scrape: {other:?}")),
+            Err(e) => Err(format!("transport failure: {e}")),
+        }
+    }
+
     fn round_trip(&mut self, env: &Envelope) -> std::io::Result<Response> {
         self.stream.write_all(&encode_envelope(env))?;
         let mut chunk = [0u8; 4096];
@@ -180,10 +192,7 @@ impl TcpTransport {
 
 impl Transport for TcpTransport {
     fn call(&mut self, req: Request) -> Response {
-        let env = Envelope {
-            request_id: self.next_id,
-            request: req,
-        };
+        let env = Envelope::new(self.next_id, req);
         self.next_id += 1;
         match self.round_trip(&env) {
             Ok(resp) => resp,

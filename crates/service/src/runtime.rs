@@ -30,7 +30,7 @@ use crate::shard::{Shard, ShardMap, ShardSpec, ShardStats, TakeoverReport};
 use saba_core::library::Transport;
 use saba_core::rpc::{Envelope, ErrorCode, Request, Response};
 use saba_sim::ids::AppId;
-use saba_telemetry::Histogram;
+use saba_telemetry::{expose, Histogram, Registry};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
@@ -131,6 +131,11 @@ struct Router {
     progress: Vec<Arc<AtomicU64>>,
     map: ShardMap,
     failovers: AtomicU64,
+    /// Wall-clock metrics hub shared by workers and the supervisor.
+    /// Everything wall-derived lands under `wall.*` names, per the
+    /// repo's determinism convention; the deterministic twin keeps an
+    /// entirely separate registry inside its telemetry sink.
+    hub: Arc<Mutex<Registry>>,
 }
 
 fn worker_loop(
@@ -139,6 +144,7 @@ fn worker_loop(
     cfg: RuntimeConfig,
     rx: Receiver<WorkerMsg>,
     progress: Arc<AtomicU64>,
+    hub: Arc<Mutex<Registry>>,
 ) {
     let (mut shard, scan) = match Shard::open(shard_id, spec, &cfg.log_dir, cfg.sync_every) {
         Ok(ok) => ok,
@@ -199,6 +205,36 @@ fn worker_loop(
                 for ((_, tx), resp) in batch.into_iter().zip(resps) {
                     let _ = tx.send(resp); // caller may have timed out
                 }
+                // Publish this batch into the shared hub (after the
+                // acks — a scrape must never delay a caller):
+                // wall-clock latency under `wall.*`, WAL progress
+                // (counts, not durations) under the same names the
+                // deterministic twin uses.
+                let groups = shard.take_wal_group_sizes();
+                {
+                    let mut hub = hub.lock().unwrap();
+                    for _ in 0..envs.len() {
+                        hub.observe(&format!("wall.op_latency/shard={shard_id}"), per_op);
+                    }
+                    if groups.count() > 0 {
+                        hub.merge_histogram(
+                            &format!("wal.group_commit_size/shard={shard_id}"),
+                            &groups,
+                        );
+                    }
+                    hub.set_gauge(
+                        &format!("wal.bytes_appended/shard={shard_id}"),
+                        shard.log().bytes_appended() as f64,
+                    );
+                    hub.set_gauge(
+                        &format!("wal.records_appended/shard={shard_id}"),
+                        shard.log().appended() as f64,
+                    );
+                    hub.set_gauge(
+                        &format!("wal.fsyncs/shard={shard_id}"),
+                        shard.log().syncs() as f64,
+                    );
+                }
                 if cfg.compact_threshold > 0 {
                     let _ = shard.maybe_compact(cfg.compact_threshold);
                 }
@@ -233,11 +269,12 @@ fn spawn_worker(
     spec: ShardSpec,
     cfg: RuntimeConfig,
     progress: Arc<AtomicU64>,
+    hub: Arc<Mutex<Registry>>,
 ) -> SyncSender<WorkerMsg> {
     let (tx, rx) = mpsc::sync_channel(cfg.queue_depth);
     std::thread::Builder::new()
         .name(format!("saba-shard-{shard_id}"))
-        .spawn(move || worker_loop(shard_id, spec, cfg, rx, progress))
+        .spawn(move || worker_loop(shard_id, spec, cfg, rx, progress, hub))
         .expect("spawn shard worker");
     tx
 }
@@ -249,14 +286,24 @@ impl ServiceRuntime {
         let progress: Vec<Arc<AtomicU64>> = (0..cfg.shards)
             .map(|_| Arc::new(AtomicU64::new(0)))
             .collect();
+        let hub = Arc::new(Mutex::new(Registry::new()));
         let senders: Vec<SyncSender<WorkerMsg>> = (0..cfg.shards)
-            .map(|id| spawn_worker(id, spec.clone(), cfg.clone(), progress[id].clone()))
+            .map(|id| {
+                spawn_worker(
+                    id,
+                    spec.clone(),
+                    cfg.clone(),
+                    progress[id].clone(),
+                    hub.clone(),
+                )
+            })
             .collect();
         let router = Arc::new(Router {
             senders: Mutex::new(senders),
             progress,
             map: ShardMap::new(cfg.shards, cfg.map_seed),
             failovers: AtomicU64::new(0),
+            hub,
         });
         let stop = Arc::new(AtomicBool::new(false));
         let replaced = Arc::new(Mutex::new(Vec::new()));
@@ -283,8 +330,13 @@ impl ServiceRuntime {
                                 return;
                             }
                             let progress = &router.progress[shard];
+                            let t0 = Instant::now();
                             match Self::probe(&router, shard, cfg.probe_window) {
                                 Probe::Alive => {
+                                    router.hub.lock().unwrap().observe(
+                                        &format!("wall.probe_rtt/shard={shard}"),
+                                        t0.elapsed().as_secs_f64(),
+                                    );
                                     *verdict = (progress.load(Ordering::Relaxed), 0);
                                     continue;
                                 }
@@ -305,11 +357,25 @@ impl ServiceRuntime {
                             }
                             // Dead: spawn a standby from the durable
                             // log and route new traffic to it.
-                            let tx =
-                                spawn_worker(shard, spec.clone(), cfg.clone(), progress.clone());
+                            let tx = spawn_worker(
+                                shard,
+                                spec.clone(),
+                                cfg.clone(),
+                                progress.clone(),
+                                router.hub.clone(),
+                            );
                             router.senders.lock().unwrap()[shard] = tx;
                             router.failovers.fetch_add(1, Ordering::Relaxed);
                             replaced.lock().unwrap().push(shard);
+                            {
+                                // MTTR as this loop sees it: from the
+                                // probe that returned the fatal
+                                // verdict to new traffic being routed
+                                // at the standby.
+                                let mut hub = router.hub.lock().unwrap();
+                                hub.inc("service.failovers", 1);
+                                hub.observe("wall.failover_mttr", t0.elapsed().as_secs_f64());
+                            }
                             *verdict = (progress.load(Ordering::Relaxed), 0);
                         }
                     }
@@ -365,11 +431,31 @@ impl ServiceRuntime {
     /// surface as retryable errors; the caller owns backoff policy
     /// (or uses [`Self::call_with_retries`]).
     pub fn call(&self, env: Envelope) -> Response {
+        // Scrapes never enter a shard queue: the hub is answered
+        // here, so a wedged worker cannot block observability.
+        if matches!(env.request, Request::MetricsDump) {
+            return self.dump_metrics();
+        }
         Self::route(
             &self.router,
             env,
             self.cfg.probe_window.max(Duration::from_secs(2)),
         )
+    }
+
+    /// Renders the wall-clock metrics hub as a Prometheus text page.
+    /// The dump counter is bumped before rendering, so the page that
+    /// comes back already includes this scrape — two consecutive
+    /// scrapes always show a strictly increasing count.
+    pub fn dump_metrics(&self) -> Response {
+        let mut hub = self.router.hub.lock().unwrap();
+        hub.inc("service.metrics_dumps", 1);
+        Response::Metrics { text: expose(&hub) }
+    }
+
+    /// A point-in-time snapshot of the wall-clock metrics hub.
+    pub fn metrics_registry(&self) -> Registry {
+        self.router.hub.lock().unwrap().clone()
     }
 
     fn route(router: &Router, env: Envelope, reply_timeout: Duration) -> Response {
@@ -378,26 +464,40 @@ impl ServiceRuntime {
             | Request::ConnCreate { app, .. }
             | Request::ConnDestroy { app, .. }
             | Request::AppDeregister { app } => *app,
+            // Intercepted in `call`; a raw route of a dump is a
+            // protocol error, same as the shard's own verdict.
+            Request::MetricsDump => {
+                return Response::Error {
+                    code: ErrorCode::Malformed,
+                    message: "metrics dump is not a shard operation".into(),
+                }
+            }
         };
         let shard = router.map.shard_of(AppId(tenant.0));
         let sender = router.senders.lock().unwrap()[shard].clone();
         let (tx, rx) = mpsc::channel();
         match sender.try_send(WorkerMsg::Call(env, tx)) {
-            Ok(()) => match rx.recv_timeout(reply_timeout) {
-                Ok(resp) => resp,
-                Err(RecvTimeoutError::Timeout) => Response::Error {
-                    code: ErrorCode::Timeout,
-                    message: format!("shard {shard} did not reply in time"),
-                },
-                Err(RecvTimeoutError::Disconnected) => Response::Error {
-                    code: ErrorCode::FailingOver,
-                    message: format!("shard {shard} died mid-request"),
-                },
-            },
-            Err(TrySendError::Full(_)) => Response::Error {
-                code: ErrorCode::ShardBusy,
-                message: format!("shard {shard} admission queue is full"),
-            },
+            Ok(()) => {
+                router.hub.lock().unwrap().inc("service.requests", 1);
+                match rx.recv_timeout(reply_timeout) {
+                    Ok(resp) => resp,
+                    Err(RecvTimeoutError::Timeout) => Response::Error {
+                        code: ErrorCode::Timeout,
+                        message: format!("shard {shard} did not reply in time"),
+                    },
+                    Err(RecvTimeoutError::Disconnected) => Response::Error {
+                        code: ErrorCode::FailingOver,
+                        message: format!("shard {shard} died mid-request"),
+                    },
+                }
+            }
+            Err(TrySendError::Full(_)) => {
+                router.hub.lock().unwrap().inc("service.shard_busy", 1);
+                Response::Error {
+                    code: ErrorCode::ShardBusy,
+                    message: format!("shard {shard} admission queue is full"),
+                }
+            }
             Err(TrySendError::Disconnected(_)) => Response::Error {
                 code: ErrorCode::FailingOver,
                 message: format!("shard {shard} is down, standby coming up"),
@@ -486,10 +586,7 @@ pub struct RuntimeClient {
 
 impl Transport for RuntimeClient {
     fn call(&mut self, req: Request) -> Response {
-        let env = Envelope {
-            request_id: self.next_id,
-            request: req,
-        };
+        let env = Envelope::new(self.next_id, req);
         self.next_id += 1;
         self.runtime
             .call_with_retries(env, 8, Duration::from_millis(25))
@@ -533,10 +630,7 @@ mod tests {
     }
 
     fn env(id: u64, request: Request) -> Envelope {
-        Envelope {
-            request_id: id,
-            request,
-        }
+        Envelope::new(id, request)
     }
 
     #[test]
@@ -635,6 +729,61 @@ mod tests {
         assert_eq!(r, Response::Ack);
         assert!(rt.failovers() >= 1);
         assert!(rt.replaced_shards().contains(&shard));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn metrics_dump_scrapes_wall_metrics_monotonically() {
+        let rt = Arc::new(ServiceRuntime::start(spec(), fresh_cfg("scrape")).unwrap());
+        let servers = rt.spec().topo.servers().to_vec();
+        let r = rt.call_with_retries(
+            env(
+                1,
+                Request::AppRegister {
+                    app: AppId(0),
+                    workload: "LR".into(),
+                },
+            ),
+            8,
+            Duration::from_millis(10),
+        );
+        assert!(matches!(r, Response::Registered { .. }));
+        for i in 0..8u64 {
+            let r = rt.call_with_retries(
+                env(
+                    2 + i,
+                    Request::ConnCreate {
+                        app: AppId(0),
+                        src: servers[0],
+                        dst: servers[1],
+                        tag: i,
+                    },
+                ),
+                8,
+                Duration::from_millis(10),
+            );
+            assert_eq!(r, Response::Ack);
+        }
+        let page = match rt.call(env(100, Request::MetricsDump)) {
+            Response::Metrics { text } => text,
+            other => panic!("expected a metrics page, got {other:?}"),
+        };
+        // The worker publishes per-batch, so the families must be
+        // present by the time the last ack came back.
+        assert!(page.contains("# TYPE wall_op_latency summary"), "{page}");
+        assert!(page.contains("# TYPE wal_group_commit_size summary"));
+        assert!(page.contains("# TYPE wal_bytes_appended gauge"));
+        assert!(page.contains("service_requests_total"));
+        assert!(page.contains("service_metrics_dumps_total 1\n"));
+        let page2 = match rt.call(env(101, Request::MetricsDump)) {
+            Response::Metrics { text } => text,
+            other => panic!("expected a metrics page, got {other:?}"),
+        };
+        assert!(page2.contains("service_metrics_dumps_total 2\n"));
+        // The registry snapshot agrees with the rendered page.
+        let reg = rt.metrics_registry();
+        assert_eq!(reg.counter("service.metrics_dumps"), 2);
+        assert!(reg.counter("service.requests") >= 9);
         rt.shutdown();
     }
 

@@ -16,8 +16,9 @@ use saba_core::controller::SwitchUpdate;
 use saba_core::library::Transport;
 use saba_core::rpc::{Envelope, ErrorCode, Request, Response};
 use saba_faults::injector::ControlAction;
-use saba_telemetry::{EventKind, SharedRecorder, TelemetrySink};
+use saba_telemetry::{expose, EventKind, JsonValue, Registry, SharedRecorder, TelemetrySink};
 use std::cell::RefCell;
+use std::collections::HashMap;
 use std::path::PathBuf;
 use std::rc::Rc;
 
@@ -96,6 +97,24 @@ pub struct AllocationService {
     sink: SharedRecorder,
     clock: f64,
     failovers: u64,
+    /// Logical time each in-flight request id was first submitted —
+    /// the SLO latency of an operation runs from here to its durable
+    /// (definitive) response, spanning retries. Only maintained while
+    /// a sink is attached.
+    first_seen: HashMap<u64, f64>,
+    requests_submitted: u64,
+    snap_seq: u64,
+    ticks: u64,
+}
+
+fn op_label(req: &Request) -> &'static str {
+    match req {
+        Request::AppRegister { .. } => "register",
+        Request::ConnCreate { .. } => "conn_create",
+        Request::ConnDestroy { .. } => "conn_destroy",
+        Request::AppDeregister { .. } => "deregister",
+        Request::MetricsDump => "metrics_dump",
+    }
 }
 
 impl AllocationService {
@@ -118,6 +137,10 @@ impl AllocationService {
             sink: SharedRecorder::off(),
             clock: 0.0,
             failovers: 0,
+            first_seen: HashMap::new(),
+            requests_submitted: 0,
+            snap_seq: 0,
+            ticks: 0,
         })
     }
 
@@ -128,6 +151,22 @@ impl AllocationService {
             shard.set_sink(sink.clone());
         }
         self.sink = sink;
+    }
+
+    /// Sets the Eq. 2 solver thread count on every shard's controller.
+    /// Survives failover: each shard re-applies it to the controller a
+    /// standby takeover rebuilds.
+    pub fn set_solver_threads(&mut self, threads: usize) {
+        for shard in &mut self.shards {
+            shard.set_solver_threads(threads);
+        }
+    }
+
+    /// A snapshot of the deterministic twin's metric registry (empty
+    /// when no sink is attached). The `MetricsDump` RPC's exposition
+    /// page is rendered from exactly this.
+    pub fn metrics_registry(&self) -> Registry {
+        self.sink.extract().map(|r| r.registry).unwrap_or_default()
     }
 
     /// The tenant→shard map.
@@ -157,6 +196,7 @@ impl AllocationService {
             | Request::ConnCreate { app, .. }
             | Request::ConnDestroy { app, .. }
             | Request::AppDeregister { app } => app.0,
+            Request::MetricsDump => 0,
         }
     }
 
@@ -171,10 +211,26 @@ impl AllocationService {
     pub fn submit_batch(&mut self, envs: &[Envelope]) -> Vec<Response> {
         let mut out: Vec<Option<Response>> = vec![None; envs.len()];
         let mut per_shard: Vec<Vec<(usize, Envelope)>> = vec![Vec::new(); self.shards.len()];
+        let traced = self.sink.enabled();
+        let mut newly_seen: Vec<bool> = vec![false; envs.len()];
         for (i, env) in envs.iter().enumerate() {
+            // Metrics dumps are read-only: answered from the registry
+            // before admission, never logged, routed, or spanned.
+            if matches!(env.request, Request::MetricsDump) {
+                self.sink.inc("service.metrics_dumps", 1);
+                out[i] = Some(Response::Metrics {
+                    text: expose(&self.metrics_registry()),
+                });
+                continue;
+            }
+            if traced {
+                newly_seen[i] = !self.first_seen.contains_key(&env.request_id);
+                self.first_seen.entry(env.request_id).or_insert(self.clock);
+            }
             let tenant = Self::tenant_of(&env.request);
             match self.admission.try_admit(tenant, self.clock) {
                 Admit::Ok => {
+                    self.sink.inc("service.admitted", 1);
                     let shard = self.map.shard_of(saba_sim::ids::AppId(tenant));
                     per_shard[shard].push((i, env.clone()));
                 }
@@ -205,14 +261,117 @@ impl AllocationService {
                 "service.conn_creates_acked",
                 after.conn_creates_acked - before.conn_creates_acked,
             );
+            if traced {
+                if let Some(rate) = self.shards[shard_id].epoch_counters().cache_hit_rate() {
+                    self.sink.gauge(
+                        &format!("controller.prewarm_hit_rate/shard={shard_id}"),
+                        rate,
+                    );
+                }
+            }
             for ((i, _), resp) in work.into_iter().zip(resps) {
                 out[i] = Some(resp);
             }
         }
+        if traced {
+            self.record_request_spans(envs, &out, &newly_seen);
+        }
         self.sink.inc("service.requests", envs.len() as u64);
+        self.requests_submitted += envs.len() as u64;
         out.into_iter()
             .map(|r| r.expect("every slot filled"))
             .collect()
+    }
+
+    /// The post-batch trace pass: one root `rpc.request` span per
+    /// *first* submission of a request id (retries reuse the id and
+    /// must not mint a duplicate span), and one SLO latency sample per
+    /// *definitive* response — measured on the logical clock from the
+    /// id's first submission, so a retried operation's latency covers
+    /// the whole retry window.
+    fn record_request_spans(
+        &mut self,
+        envs: &[Envelope],
+        out: &[Option<Response>],
+        newly_seen: &[bool],
+    ) {
+        for (i, env) in envs.iter().enumerate() {
+            if matches!(env.request, Request::MetricsDump) {
+                continue;
+            }
+            let resp = out[i].as_ref().expect("every slot filled");
+            let tenant = Self::tenant_of(&env.request);
+            let shard = self.map.shard_of(saba_sim::ids::AppId(tenant));
+            if newly_seen[i] {
+                let ctx = env.ctx();
+                let t = self.clock;
+                self.sink.record(
+                    t,
+                    EventKind::Span {
+                        trace: ctx.trace_id,
+                        span: ctx.span_id,
+                        parent: ctx.parent_id,
+                        op: "rpc.request".to_string(),
+                        tenant,
+                        shard: shard as i64,
+                        ok: !matches!(resp, Response::Error { .. }),
+                        dur: 0.0,
+                    },
+                );
+            }
+            let definitive = match resp {
+                Response::Error { code, .. } => !code.is_retryable(),
+                _ => true,
+            };
+            if definitive {
+                if let Some(t0) = self.first_seen.remove(&env.request_id) {
+                    let dur = self.clock - t0;
+                    self.sink.observe(
+                        &format!(
+                            "service.op_latency/op={},shard={shard},tenant={tenant}",
+                            op_label(&env.request)
+                        ),
+                        dur,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Emits one periodic operational snapshot: an `ops_snapshot`
+    /// trace event plus a flight-recorder capture of the aggregated
+    /// counters. Deterministic — keyed by snapshot sequence number and
+    /// the logical request count, never wall clock.
+    fn ops_snapshot(&mut self, reason: &str) {
+        if !self.sink.enabled() {
+            return;
+        }
+        self.snap_seq += 1;
+        let t = self.clock;
+        self.sink.record(
+            t,
+            EventKind::OpsSnapshot {
+                seq: self.snap_seq,
+                requests: self.requests_submitted,
+            },
+        );
+        let stats = self.stats();
+        let state = JsonValue::obj(vec![
+            ("admitted", JsonValue::Num(stats.admitted as f64)),
+            ("rate_limited", JsonValue::Num(stats.rate_limited as f64)),
+            (
+                "registrations_acked",
+                JsonValue::Num(stats.registrations_acked as f64),
+            ),
+            (
+                "conn_creates_acked",
+                JsonValue::Num(stats.conn_creates_acked as f64),
+            ),
+            ("dedup_hits", JsonValue::Num(stats.dedup_hits as f64)),
+            ("failovers", JsonValue::Num(stats.failovers as f64)),
+            ("compactions", JsonValue::Num(stats.compactions as f64)),
+        ]);
+        self.sink.snapshot(t, reason, state);
     }
 
     /// Kills a shard: its controller and unacked in-flight state are
@@ -280,6 +439,7 @@ impl AllocationService {
                 replayed_conns: takeover.live_conns as u64,
             },
         );
+        self.ops_snapshot("failover");
         Ok(FailoverReport {
             shard,
             detected_at: self.clock,
@@ -293,6 +453,10 @@ impl AllocationService {
     /// Compaction triggers also run here. Returns completed failovers.
     pub fn tick(&mut self, now: f64) -> std::io::Result<Vec<FailoverReport>> {
         self.clock = now;
+        self.ticks += 1;
+        if self.ticks.is_multiple_of(16) {
+            self.ops_snapshot("ops");
+        }
         for shard in &mut self.shards {
             shard.set_clock(now);
             if !shard.is_dead() {
@@ -369,10 +533,7 @@ impl ServiceClient {
 
 impl Transport for ServiceClient {
     fn call(&mut self, req: Request) -> Response {
-        let env = Envelope {
-            request_id: self.next_id,
-            request: req,
-        };
+        let env = Envelope::new(self.next_id, req);
         self.next_id += 1;
         self.svc.borrow_mut().submit(&env)
     }
@@ -420,10 +581,7 @@ mod tests {
     }
 
     fn env(id: u64, request: Request) -> Envelope {
-        Envelope {
-            request_id: id,
-            request,
-        }
+        Envelope::new(id, request)
     }
 
     #[test]

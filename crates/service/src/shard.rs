@@ -17,7 +17,8 @@ use saba_core::sensitivity::SensitivityTable;
 use saba_faults::control::{ResilientController, TryRegisterError};
 use saba_sim::ids::{AppId, ServiceLevel};
 use saba_sim::topology::Topology;
-use saba_telemetry::SharedRecorder;
+use saba_telemetry::span::TraceContext;
+use saba_telemetry::{EventKind, SharedRecorder, TelemetrySink};
 use saba_workload::runtime::ConnEvent;
 use std::collections::BTreeMap;
 use std::collections::HashMap;
@@ -96,6 +97,8 @@ impl ShardSpec {
                                 .deregister(*app)
                                 .expect("replay of an acked deregister");
                         }
+                        // Read-only; never enters the log.
+                        Request::MetricsDump => {}
                     }
                 }
             };
@@ -199,6 +202,37 @@ pub struct Shard {
     sync_every: usize,
     stats: ShardStats,
     clock: f64,
+    sink: SharedRecorder,
+    /// Monotonic salt deriving per-envelope child span ids — a pure
+    /// function of the applied-envelope sequence, so identically-seeded
+    /// runs mint identical span ids.
+    span_salt: u64,
+    /// Eq. 2 solver threads, re-applied to the controller a standby
+    /// takeover rebuilds.
+    solver_threads: usize,
+}
+
+/// Salt deriving the `controller.epoch` span under a shard span.
+const EPOCH_SPAN_SALT: u64 = 0xE90C;
+
+fn op_name(req: &Request) -> &'static str {
+    match req {
+        Request::AppRegister { .. } => "rpc.register",
+        Request::ConnCreate { .. } => "rpc.conn_create",
+        Request::ConnDestroy { .. } => "rpc.conn_destroy",
+        Request::AppDeregister { .. } => "rpc.deregister",
+        Request::MetricsDump => "rpc.metrics_dump",
+    }
+}
+
+fn tenant_id(req: &Request) -> u32 {
+    match req {
+        Request::AppRegister { app, .. }
+        | Request::ConnCreate { app, .. }
+        | Request::ConnDestroy { app, .. }
+        | Request::AppDeregister { app } => app.0,
+        Request::MetricsDump => 0,
+    }
 }
 
 /// What a standby found when it took over from the durable log.
@@ -239,6 +273,9 @@ impl Shard {
             sync_every,
             stats: ShardStats::default(),
             clock: 0.0,
+            sink: SharedRecorder::default(),
+            span_salt: 0,
+            solver_threads: 1,
         };
         let report = shard.replay(&scan);
         Ok((shard, report))
@@ -292,6 +329,9 @@ impl Shard {
                         at: self.clock,
                     })
                 }
+                // Scrapes are never logged (the shard rejects them
+                // pre-append), but an old log must not wedge replay.
+                Request::MetricsDump => Vec::new(),
             };
             self.pending_updates.extend(updates.iter().cloned());
             for u in updates {
@@ -309,12 +349,38 @@ impl Shard {
         report
     }
 
-    /// Attaches a telemetry recorder to the inner controller (crash
-    /// edges, epoch scopes).
+    /// Attaches a telemetry recorder: the inner controller emits crash
+    /// edges and epoch scopes through it, the shard emits per-envelope
+    /// spans and WAL group-commit metrics, and a standby takeover
+    /// re-attaches it to the rebuilt controller.
     pub fn set_sink(&mut self, sink: SharedRecorder) {
+        self.sink = sink.clone();
         if let Some(c) = self.ctrl.as_mut() {
             c.set_sink(sink);
         }
+    }
+
+    /// Sets the Eq. 2 solver thread count on the inner controller;
+    /// survives takeover (the rebuilt controller gets it re-applied).
+    pub fn set_solver_threads(&mut self, threads: usize) {
+        self.solver_threads = threads.max(1);
+        if let Some(c) = self.ctrl.as_mut() {
+            c.set_solver_threads(threads);
+        }
+    }
+
+    /// The configured Eq. 2 solver thread count.
+    pub fn solver_threads(&self) -> usize {
+        self.solver_threads
+    }
+
+    /// Incremental-epoch counters of the live controller (all zero
+    /// while the shard is dead — a takeover rebuilds them from replay).
+    pub fn epoch_counters(&self) -> saba_faults::control::EpochCounters {
+        self.ctrl
+            .as_ref()
+            .map(|c| c.epoch_counters())
+            .unwrap_or_default()
     }
 
     /// Advances the logical clock stamped on controller trace events.
@@ -376,6 +442,10 @@ impl Shard {
         self.ctrl = Some(self.spec.build_controller());
         if let Some(c) = self.ctrl.as_mut() {
             c.set_clock(self.clock);
+            c.set_sink(self.sink.clone());
+            if self.solver_threads > 1 {
+                c.set_solver_threads(self.solver_threads);
+            }
         }
         self.programmed.clear();
         self.seen.clear();
@@ -404,7 +474,36 @@ impl Shard {
                 };
             }
         }
+        if self.sink.enabled() {
+            let groups = self.log.take_group_sizes();
+            let (bytes, records, fsyncs) = (
+                self.log.bytes_appended() as f64,
+                self.log.appended() as f64,
+                self.log.syncs() as f64,
+            );
+            let id = self.id;
+            self.sink.with(|r| {
+                if groups.count() > 0 {
+                    r.registry
+                        .merge_histogram(&format!("wal.group_commit_size/shard={id}"), &groups);
+                }
+                r.registry
+                    .set_gauge(&format!("wal.bytes_appended/shard={id}"), bytes);
+                r.registry
+                    .set_gauge(&format!("wal.records_appended/shard={id}"), records);
+                r.registry
+                    .set_gauge(&format!("wal.fsyncs/shard={id}"), fsyncs);
+            });
+        }
         out
+    }
+
+    /// Drains the WAL's group-commit size histogram. The threaded
+    /// runtime's workers pull this into the wall-clock metrics hub;
+    /// the deterministic twin drains it through the sink inside
+    /// [`Self::handle_batch`] instead.
+    pub fn take_wal_group_sizes(&mut self) -> saba_telemetry::Histogram {
+        self.log.take_group_sizes()
     }
 
     /// Applies one envelope (no sync — callers batch-sync).
@@ -413,7 +512,17 @@ impl Shard {
             self.stats.dedup_hits += 1;
             return cached.clone();
         }
-        let resp = self.apply_fresh(&env.request);
+        // Dedup replays above never mint a span: the original apply
+        // already did, and a replayed ack does no new work.
+        let ctx = env.ctx().child(self.span_salt);
+        self.span_salt += 1;
+        let resp = self.apply_fresh(ctx, &env.request);
+        self.span_event(
+            ctx,
+            op_name(&env.request),
+            tenant_id(&env.request),
+            !matches!(&resp, Response::Error { .. }),
+        );
         // Cache only definitive outcomes: a retryable rejection must
         // re-evaluate on retry, not replay from the cache.
         let cache = match &resp {
@@ -433,7 +542,29 @@ impl Shard {
         resp
     }
 
-    fn apply_fresh(&mut self, req: &Request) -> Response {
+    /// Emits one `span` event at the logical clock (deterministic; the
+    /// threaded runtime's wall-clock latencies live under `wall.*`
+    /// metric names instead).
+    fn span_event(&mut self, ctx: TraceContext, op: &str, tenant: u32, ok: bool) {
+        if self.sink.enabled() {
+            let t = self.clock;
+            self.sink.record(
+                t,
+                EventKind::Span {
+                    trace: ctx.trace_id,
+                    span: ctx.span_id,
+                    parent: ctx.parent_id,
+                    op: op.to_string(),
+                    tenant,
+                    shard: self.id as i64,
+                    ok,
+                    dur: 0.0,
+                },
+            );
+        }
+    }
+
+    fn apply_fresh(&mut self, ctx: TraceContext, req: &Request) -> Response {
         let Some(ctrl) = self.ctrl.as_mut() else {
             return Response::Error {
                 code: ErrorCode::FailingOver,
@@ -505,6 +636,7 @@ impl Shard {
                     dst: *dst,
                     tag: *tag,
                 });
+                self.span_event(ctx.child(EPOCH_SPAN_SALT), "controller.epoch", app.0, true);
                 if let Err(e) = self.log.append(req) {
                     return Response::Error {
                         code: ErrorCode::Internal,
@@ -538,6 +670,7 @@ impl Shard {
                     dst,
                     tag: *tag,
                 });
+                self.span_event(ctx.child(EPOCH_SPAN_SALT), "controller.epoch", app.0, true);
                 if let Err(e) = self.log.append(req) {
                     return Response::Error {
                         code: ErrorCode::Internal,
@@ -559,6 +692,7 @@ impl Shard {
                     app: *app,
                     at: self.clock,
                 });
+                self.span_event(ctx.child(EPOCH_SPAN_SALT), "controller.epoch", app.0, true);
                 if let Err(e) = self.log.append(req) {
                     return Response::Error {
                         code: ErrorCode::Internal,
@@ -570,6 +704,12 @@ impl Shard {
                 self.sls.remove(app);
                 Response::Ack
             }
+            // The service tier answers this from its registry before
+            // shard routing; a shard receiving one is a protocol bug.
+            Request::MetricsDump => Response::Error {
+                code: ErrorCode::Malformed,
+                message: "metrics dump is not a shard operation".into(),
+            },
         }
     }
 
@@ -630,10 +770,7 @@ mod tests {
     }
 
     fn env(id: u64, req: Request) -> Envelope {
-        Envelope {
-            request_id: id,
-            request: req,
-        }
+        Envelope::new(id, req)
     }
 
     #[test]

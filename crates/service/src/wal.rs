@@ -39,6 +39,7 @@
 
 use saba_core::rpc::{self, Request, RpcError};
 use saba_sim::ids::{AppId, NodeId};
+use saba_telemetry::Histogram;
 use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
@@ -140,6 +141,8 @@ impl ReplayState {
             Request::ConnDestroy { app, tag } => {
                 self.live_conns.remove(&(*app, *tag));
             }
+            // Read-only; never logged, but replay tolerates it.
+            Request::MetricsDump => {}
         }
     }
 
@@ -184,6 +187,11 @@ pub struct DurableLog {
     appended: u64,
     /// Total fsyncs issued.
     syncs: u64,
+    /// Total record bytes appended (post-recovery).
+    bytes_appended: u64,
+    /// Records per group commit — one sample per fsync, drained by the
+    /// shard worker into the `wal.group_commit_size` metric.
+    group_sizes: Histogram,
 }
 
 impl DurableLog {
@@ -220,6 +228,8 @@ impl DurableLog {
                 sync_every,
                 appended: 0,
                 syncs: 0,
+                bytes_appended: 0,
+                group_sizes: Histogram::new(),
             },
             report,
         ))
@@ -237,6 +247,7 @@ impl DurableLog {
         append_record(&mut buf, req);
         self.file.write_all(&buf)?;
         self.appended += 1;
+        self.bytes_appended += buf.len() as u64;
         self.unsynced += 1;
         if self.unsynced >= self.sync_every {
             self.sync()?;
@@ -252,6 +263,7 @@ impl DurableLog {
         }
         self.file.flush()?;
         self.file.get_ref().sync_data()?;
+        self.group_sizes.record(self.unsynced as f64);
         self.unsynced = 0;
         self.syncs += 1;
         Ok(())
@@ -265,6 +277,18 @@ impl DurableLog {
     /// Fsyncs issued (group commits).
     pub fn syncs(&self) -> u64 {
         self.syncs
+    }
+
+    /// Record bytes appended through this handle (since open).
+    pub fn bytes_appended(&self) -> u64 {
+        self.bytes_appended
+    }
+
+    /// Drains the per-fsync group-size samples accumulated since the
+    /// last drain (one sample per group commit, value = records that
+    /// rode on that fsync, never exceeding `sync_every`).
+    pub fn take_group_sizes(&mut self) -> Histogram {
+        std::mem::take(&mut self.group_sizes)
     }
 
     /// Rewrites the log as the minimal snapshot of `state`:
@@ -417,6 +441,29 @@ mod tests {
         st.apply(&Request::AppDeregister { app: AppId(2) });
         assert_eq!(st.registrations, vec![(AppId(1), "LR".to_string())]);
         assert!(st.live_conns.is_empty(), "deregister drops app 2's conn");
+    }
+
+    #[test]
+    fn group_commit_sizes_are_bounded_by_sync_every() {
+        let path = tmp("group.log");
+        let _ = std::fs::remove_file(&path);
+        let (mut log, _) = DurableLog::open(&path, 8).unwrap();
+        for i in 0..20 {
+            log.append(&create(1, 0, 1, i)).unwrap();
+        }
+        log.sync().unwrap(); // the 4-record remainder
+        let h = log.take_group_sizes();
+        assert_eq!(h.count(), 3, "20 appends at sync_every=8 → 3 commits");
+        assert_eq!(h.sum(), 20.0, "every append rides exactly one commit");
+        assert!(h.max().unwrap() <= 8.0, "no group exceeds the bound");
+        assert_eq!(h.min(), Some(4.0));
+        // Drained: a second take sees only what happened since.
+        assert_eq!(log.take_group_sizes().count(), 0);
+        log.append(&create(1, 0, 1, 99)).unwrap();
+        log.sync().unwrap();
+        let h = log.take_group_sizes();
+        assert_eq!((h.count(), h.sum()), (1, 1.0));
+        assert!(log.bytes_appended() > 0);
     }
 
     #[test]

@@ -97,6 +97,7 @@ impl Mirror {
                 self.registrations.remove(&app.0);
                 self.live.retain(|(a, _)| a != &app.0);
             }
+            Request::MetricsDump => {}
         }
     }
 }
@@ -164,10 +165,7 @@ fn drill(flavour: Flavour, name: &str) {
             svc.apply(&ControlAction::CrashShard(victim)).unwrap();
         }
 
-        let env = Envelope {
-            request_id: step as u64,
-            request: to_request(&op, &servers),
-        };
+        let env = Envelope::new(step as u64, to_request(&op, &servers));
         match svc.submit(&env) {
             Response::Registered { .. } | Response::Ack => mirror.absorb(&env.request),
             Response::Error { code, message } => {
@@ -178,6 +176,7 @@ fn drill(flavour: Flavour, name: &str) {
                 assert_eq!(code, ErrorCode::FailingOver);
                 pending.push(env);
             }
+            Response::Metrics { .. } => panic!("[{name}] unexpected metrics page"),
         }
     }
 

@@ -181,11 +181,8 @@ fn version_mismatched_frames_get_a_typed_error() {
 
     let mut raw = TcpStream::connect(server.addr()).unwrap();
     raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
-    let mut frame = encode_envelope(&Envelope {
-        request_id: 1,
-        request: Request::AppDeregister { app: AppId(1) },
-    })
-    .to_vec();
+    let mut frame =
+        encode_envelope(&Envelope::new(1, Request::AppDeregister { app: AppId(1) })).to_vec();
     frame[4] = 0x7f; // clobber the protocol version byte
     raw.write_all(&frame).unwrap();
 

@@ -167,6 +167,37 @@ pub enum EventKind {
         /// Attached value (0.0 when unused).
         value: f64,
     },
+    /// One completed span of a service-plane request's trace tree.
+    ///
+    /// Ids are deterministic (see `telemetry::span`) and serialize as
+    /// fixed-width 16-digit lowercase hex strings — the JSON number
+    /// type is `f64`-backed and would corrupt ids above 2^53.
+    Span {
+        /// Trace id shared by every span of the originating request.
+        trace: u64,
+        /// This span's id.
+        span: u64,
+        /// Parent span id; 0 marks a root span.
+        parent: u64,
+        /// Operation name (e.g. `rpc.request`, `controller.epoch`).
+        op: String,
+        /// Tenant (application id) the request belongs to.
+        tenant: u32,
+        /// Shard that served the span, or -1 outside the shard tier.
+        shard: i64,
+        /// Whether the operation succeeded (non-error response).
+        ok: bool,
+        /// Logical-clock duration of the span in seconds.
+        dur: f64,
+    },
+    /// A periodic service operations snapshot (paired with a
+    /// flight-recorder capture of the recent spans).
+    OpsSnapshot {
+        /// Snapshot sequence number (per service instance).
+        seq: u64,
+        /// Requests submitted to the service so far.
+        requests: u64,
+    },
 }
 
 /// One trace record: a sequence number, a simulated timestamp, and the
@@ -205,6 +236,8 @@ impl EventKind {
             EventKind::ConnDestroyed { .. } => "conn_destroyed",
             EventKind::JobCompleted { .. } => "job_completed",
             EventKind::Mark { .. } => "mark",
+            EventKind::Span { .. } => "span",
+            EventKind::OpsSnapshot { .. } => "ops_snapshot",
         }
     }
 
@@ -306,6 +339,30 @@ impl EventKind {
                 JsonValue::Str(label.clone()).write(out);
                 out.push_str(",\"value\":");
                 write_f64(*value, out);
+            }
+            EventKind::Span {
+                trace,
+                span,
+                parent,
+                op,
+                tenant,
+                shard,
+                ok,
+                dur,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"trace\":\"{trace:016x}\",\"span\":\"{span:016x}\",\"parent\":\"{parent:016x}\",\"op\":"
+                );
+                JsonValue::Str(op.clone()).write(out);
+                let _ = write!(
+                    out,
+                    ",\"tenant\":{tenant},\"shard\":{shard},\"ok\":{ok},\"dur\":"
+                );
+                write_f64(*dur, out);
+            }
+            EventKind::OpsSnapshot { seq, requests } => {
+                let _ = write!(out, ",\"snap\":{seq},\"requests\":{requests}");
             }
         }
     }
@@ -414,6 +471,28 @@ impl EventKind {
             "mark" => EventKind::Mark {
                 label: strf("label")?,
                 value: f64f("value")?,
+            },
+            "span" => {
+                let hexf = |k: &str| {
+                    obj.get(k)
+                        .and_then(JsonValue::as_str)
+                        .ok_or_else(|| format!("missing/invalid field '{k}' for kind '{kind}'"))
+                        .and_then(|s| crate::span::parse_id(s).map_err(|e| format!("'{k}': {e}")))
+                };
+                EventKind::Span {
+                    trace: hexf("trace")?,
+                    span: hexf("span")?,
+                    parent: hexf("parent")?,
+                    op: strf("op")?,
+                    tenant: u32f("tenant")?,
+                    shard: i64f("shard")?,
+                    ok: boolf("ok")?,
+                    dur: f64f("dur")?,
+                }
+            }
+            "ops_snapshot" => EventKind::OpsSnapshot {
+                seq: u64f("snap")?,
+                requests: u64f("requests")?,
             },
             other => return Err(format!("unknown event kind '{other}'")),
         })
@@ -538,6 +617,20 @@ mod tests {
             EventKind::Mark {
                 label: "phase \"two\"".to_string(),
                 value: 2.0,
+            },
+            EventKind::Span {
+                trace: u64::MAX,
+                span: 0x5aba,
+                parent: 0,
+                op: "rpc.request".to_string(),
+                tenant: 3,
+                shard: -1,
+                ok: true,
+                dur: 0.25,
+            },
+            EventKind::OpsSnapshot {
+                seq: 4,
+                requests: 1024,
             },
         ]
     }

@@ -249,4 +249,62 @@ mod tests {
         assert_eq!(h.mean(), Some(2.5));
         assert_eq!(h.sum(), 10.0);
     }
+
+    #[test]
+    fn single_sample_quantiles_are_the_sample() {
+        // One sample: min == max, so every quantile must clamp to it
+        // exactly, not to a bucket midpoint.
+        let mut h = Histogram::new();
+        h.record(3.7e-3);
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(3.7e-3), "q={q}");
+        }
+        assert_eq!(h.mean(), Some(3.7e-3));
+    }
+
+    #[test]
+    fn merge_of_disjoint_bucket_ranges() {
+        // Nanoseconds into one histogram, hours into the other: no
+        // shared bucket. The merge must keep both populations intact
+        // and place quantiles across the gap correctly.
+        let mut lo = Histogram::new();
+        let mut hi = Histogram::new();
+        for i in 0..100 {
+            lo.record(1e-9 * (1.0 + i as f64 * 0.01));
+            hi.record(3.6e3 * (1.0 + i as f64 * 0.01));
+        }
+        lo.merge(&hi);
+        assert_eq!(lo.count(), 200);
+        assert!(lo.min().unwrap() < 1e-8);
+        assert!(lo.max().unwrap() > 3.6e3);
+        // Median rank 100 lands on the last low-range sample; p90 is
+        // deep in the high range.
+        assert!(lo.p50().unwrap() < 1e-8, "p50={:?}", lo.p50());
+        assert!(lo.p90().unwrap() > 3.6e3, "p90={:?}", lo.p90());
+    }
+
+    #[test]
+    fn p99_under_overflow_bucket_saturation() {
+        // Saturate the histogram's topmost octaves: huge samples near
+        // f64::MAX land in the final buckets, where the midpoint of
+        // bucket bounds can overflow to infinity if computed naively.
+        // The clamp to [min, max] must keep every quantile finite.
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record(1e308);
+        }
+        h.record(1.0);
+        assert_eq!(h.count(), 100);
+        let p99 = h.p99().unwrap();
+        assert!(p99.is_finite(), "p99={p99}");
+        assert!(p99 <= h.max().unwrap());
+        assert!(p99 >= 1e307, "p99={p99}");
+        assert_eq!(h.quantile(1.0), Some(1e308));
+        // And merging a saturated histogram stays finite too.
+        let mut other = Histogram::new();
+        other.record(0.5);
+        other.merge(&h);
+        assert!(other.p99().unwrap().is_finite());
+        assert_eq!(other.count(), 101);
+    }
 }

@@ -26,6 +26,11 @@
 //! - [`json`] — the minimal deterministic JSON writer/parser the
 //!   exporters are built on, so identically-seeded runs export
 //!   byte-identical artifacts regardless of serializer versions.
+//! - [`span`] — deterministic trace contexts for the service plane
+//!   (seeded trace/span/parent ids propagated over the RPC wire) and
+//!   the span-tree well-formedness validator `validate_jsonl` applies.
+//! - [`expose`] — Prometheus-style text exposition of a [`Registry`],
+//!   served by the service tier's `MetricsDump` RPC.
 //!
 //! Wall-clock durations (controller overhead, Fig. 12) only ever enter
 //! the registry under `wall.`-prefixed names — never trace events — so
@@ -35,19 +40,23 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod expose;
 pub mod flight;
 pub mod histogram;
 pub mod json;
 pub mod metrics;
 pub mod recorder;
 pub mod sink;
+pub mod span;
 pub mod trace;
 
 pub use event::{Event, EventKind};
+pub use expose::expose;
 pub use flight::{FlightRecorder, Snapshot};
 pub use histogram::Histogram;
 pub use json::JsonValue;
 pub use metrics::Registry;
 pub use recorder::{Recorder, SharedRecorder};
 pub use sink::{NullSink, TelemetrySink};
+pub use span::{validate_span_tree, TraceContext};
 pub use trace::{validate_jsonl, Tracer};

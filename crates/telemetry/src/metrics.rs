@@ -74,6 +74,11 @@ impl Registry {
         self.counters.keys().map(String::as_str)
     }
 
+    /// All gauge names (sorted).
+    pub fn gauge_names(&self) -> impl Iterator<Item = &str> {
+        self.gauges.keys().map(String::as_str)
+    }
+
     /// All histogram names (sorted).
     pub fn histogram_names(&self) -> impl Iterator<Item = &str> {
         self.histograms.keys().map(String::as_str)

@@ -1,0 +1,235 @@
+//! Deterministic trace spans for the service plane.
+//!
+//! Every RPC entering the service carries a [`TraceContext`]: a trace
+//! id shared by everything the request caused, a span id naming this
+//! hop, and the parent span's id (0 at the root). Ids are **seeded,
+//! never wall-clock**: the root context is a pure function of the
+//! client's request id (splitmix64 over a fixed salt) and children are
+//! pure functions of their parent plus a caller-supplied salt, so
+//! identically-seeded drills export byte-identical span trees — the
+//! same contract the rest of the telemetry stack already holds.
+//!
+//! In JSON exports span ids render as fixed-width 16-digit lowercase
+//! hex *strings*, never numbers: the JSON value type is `f64`-backed
+//! and would silently lose precision above 2^53.
+
+/// The mixing salt folded into every root trace id. Changing it
+/// renames every exported span, so it is part of the export format.
+pub const TRACE_SALT: u64 = 0x5ABA_5EED_0BAD_CAFE;
+
+/// Salt folded into the root span id (distinct from the trace id
+/// derivation so `trace_id != span_id` even for pathological inputs).
+const ROOT_SPAN_SALT: u64 = 0x0F1E_2D3C_4B5A_6978;
+
+/// splitmix64: the same finalizer the shard map uses. Full-period,
+/// well-mixed, and cheap — exactly what deterministic id derivation
+/// needs.
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// 0 is reserved to mean "no parent", so derived ids avoid it.
+fn nonzero(x: u64) -> u64 {
+    if x == 0 {
+        TRACE_SALT
+    } else {
+        x
+    }
+}
+
+/// A propagated trace context: one hop of a request's span tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceContext {
+    /// Shared by every span the originating request caused.
+    pub trace_id: u64,
+    /// This hop's span id.
+    pub span_id: u64,
+    /// The parent span's id; 0 marks the root.
+    pub parent_id: u64,
+}
+
+impl TraceContext {
+    /// The root context of a request: a pure function of the
+    /// transport-assigned request id.
+    pub fn root(request_id: u64) -> Self {
+        let trace_id = nonzero(splitmix64(request_id ^ TRACE_SALT));
+        let span_id = nonzero(splitmix64(trace_id ^ ROOT_SPAN_SALT));
+        Self {
+            trace_id,
+            span_id,
+            parent_id: 0,
+        }
+    }
+
+    /// A child context under this span. `salt` distinguishes siblings;
+    /// equal salts yield equal children (the derivation is pure).
+    pub fn child(&self, salt: u64) -> Self {
+        Self {
+            trace_id: self.trace_id,
+            span_id: nonzero(splitmix64(self.span_id ^ splitmix64(salt))),
+            parent_id: self.span_id,
+        }
+    }
+}
+
+/// Renders an id as the canonical fixed-width 16-digit lowercase hex
+/// string used in JSON exports.
+pub fn format_id(id: u64) -> String {
+    format!("{id:016x}")
+}
+
+/// Parses a canonical 16-digit lowercase hex id. Rejects anything the
+/// writer would not produce (wrong width, uppercase, sign, prefixes).
+pub fn parse_id(s: &str) -> Result<u64, String> {
+    if s.len() != 16 || !s.bytes().all(|b| matches!(b, b'0'..=b'9' | b'a'..=b'f')) {
+        return Err(format!("span id '{s}' is not 16 lowercase hex digits"));
+    }
+    u64::from_str_radix(s, 16).map_err(|e| format!("span id '{s}': {e}"))
+}
+
+/// Checks well-formedness of a set of `(trace_id, span_id, parent_id)`
+/// triples as a forest of span trees:
+///
+/// * span ids are globally unique (across traces too — they are all
+///   drawn from the same 64-bit derivation space);
+/// * a span with `parent_id == 0` is a root; any other parent must
+///   exist **in the same trace**;
+/// * parent chains terminate at a root (no cycles).
+pub fn validate_span_tree(spans: &[(u64, u64, u64)]) -> Result<(), String> {
+    use std::collections::HashMap;
+    // span_id -> (trace_id, parent_id)
+    let mut by_id: HashMap<u64, (u64, u64)> = HashMap::with_capacity(spans.len());
+    for &(trace, span, parent) in spans {
+        if span == 0 {
+            return Err(format!("trace {trace:016x}: span id 0 is reserved"));
+        }
+        if by_id.insert(span, (trace, parent)).is_some() {
+            return Err(format!("duplicate span id {span:016x}"));
+        }
+    }
+    for &(trace, span, parent) in spans {
+        if parent == 0 {
+            continue;
+        }
+        match by_id.get(&parent) {
+            None => return Err(format!("span {span:016x} has orphan parent {parent:016x}")),
+            Some(&(ptrace, _)) if ptrace != trace => {
+                return Err(format!(
+                    "span {span:016x} (trace {trace:016x}) is parented across traces to \
+                     {parent:016x} (trace {ptrace:016x})"
+                ))
+            }
+            Some(_) => {}
+        }
+    }
+    // Cycle check: walk each parent chain; it must reach a root within
+    // |spans| steps.
+    for &(_, span, _) in spans {
+        let mut cur = span;
+        for _ in 0..=spans.len() {
+            let (_, parent) = by_id[&cur];
+            if parent == 0 {
+                cur = 0;
+                break;
+            }
+            cur = parent;
+        }
+        if cur != 0 {
+            return Err(format!("span {span:016x}: parent chain does not terminate"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_derivation_is_pure_and_nonzero() {
+        for id in [0u64, 1, 42, u64::MAX] {
+            let a = TraceContext::root(id);
+            let b = TraceContext::root(id);
+            assert_eq!(a, b);
+            assert_ne!(a.trace_id, 0);
+            assert_ne!(a.span_id, 0);
+            assert_eq!(a.parent_id, 0);
+            assert_ne!(a.trace_id, a.span_id);
+        }
+        assert_ne!(TraceContext::root(1), TraceContext::root(2));
+    }
+
+    #[test]
+    fn children_share_the_trace_and_parent_correctly() {
+        let root = TraceContext::root(7);
+        let c1 = root.child(0);
+        let c2 = root.child(1);
+        assert_eq!(c1.trace_id, root.trace_id);
+        assert_eq!(c1.parent_id, root.span_id);
+        assert_ne!(c1.span_id, c2.span_id);
+        assert_eq!(root.child(0), c1, "derivation is pure");
+        let g = c1.child(0);
+        assert_eq!(g.parent_id, c1.span_id);
+        assert_eq!(g.trace_id, root.trace_id);
+    }
+
+    #[test]
+    fn id_format_round_trips_and_rejects_noncanonical() {
+        for id in [0u64, 1, 0x5aba, u64::MAX] {
+            let s = format_id(id);
+            assert_eq!(s.len(), 16);
+            assert_eq!(parse_id(&s).unwrap(), id);
+        }
+        assert!(parse_id("00ff").is_err(), "too short");
+        assert!(parse_id("00000000000000FF").is_err(), "uppercase");
+        assert!(parse_id("000000000000000g").is_err(), "non-hex");
+        assert!(parse_id("-000000000000001").is_err(), "sign");
+    }
+
+    #[test]
+    fn valid_forest_passes() {
+        let root = TraceContext::root(1);
+        let c1 = root.child(0);
+        let c2 = root.child(1);
+        let g = c1.child(0);
+        let other = TraceContext::root(2);
+        let spans: Vec<(u64, u64, u64)> = [root, c1, c2, g, other]
+            .iter()
+            .map(|s| (s.trace_id, s.span_id, s.parent_id))
+            .collect();
+        validate_span_tree(&spans).unwrap();
+    }
+
+    #[test]
+    fn duplicates_orphans_and_cycles_are_rejected() {
+        let root = TraceContext::root(1);
+        let c = root.child(0);
+        let as_triple = |s: &TraceContext| (s.trace_id, s.span_id, s.parent_id);
+
+        let dup = vec![as_triple(&root), as_triple(&root)];
+        assert!(validate_span_tree(&dup).unwrap_err().contains("duplicate"));
+
+        let orphan = vec![as_triple(&c)];
+        assert!(validate_span_tree(&orphan).unwrap_err().contains("orphan"));
+
+        // Two spans parented at each other: no chain reaches a root.
+        let cyc = vec![(root.trace_id, 10, 11), (root.trace_id, 11, 10)];
+        assert!(validate_span_tree(&cyc)
+            .unwrap_err()
+            .contains("does not terminate"));
+
+        // Cross-trace parenting.
+        let other = TraceContext::root(2);
+        let cross = vec![
+            as_triple(&root),
+            (other.trace_id, c.span_id, root.span_id),
+            as_triple(&other),
+        ];
+        assert!(validate_span_tree(&cross)
+            .unwrap_err()
+            .contains("across traces"));
+    }
+}

@@ -122,11 +122,16 @@ impl crate::sink::TelemetrySink for Tracer {
 
 /// Validates a JSONL trace: every line must parse into a known event,
 /// re-serialize to exactly the input bytes, carry a finite non-negative
-/// time, and have strictly increasing sequence numbers. Returns the
-/// number of validated events.
+/// time, and have strictly increasing sequence numbers. The `span`
+/// events collected across the trace must additionally form a
+/// well-formed forest (globally unique span ids, every non-root parent
+/// present in the same trace, no cycles — see
+/// [`crate::span::validate_span_tree`]). Returns the number of
+/// validated events.
 pub fn validate_jsonl(text: &str) -> Result<usize, String> {
     let mut last_seq: Option<u64> = None;
     let mut n = 0;
+    let mut spans: Vec<(u64, u64, u64)> = Vec::new();
     for (i, line) in text.lines().enumerate() {
         let ev = Event::from_json_line(line).map_err(|e| format!("line {}: {e}", i + 1))?;
         if ev.to_json_line() != line {
@@ -137,9 +142,19 @@ pub fn validate_jsonl(text: &str) -> Result<usize, String> {
                 return Err(format!("line {}: seq {} not increasing", i + 1, ev.seq));
             }
         }
+        if let EventKind::Span {
+            trace,
+            span,
+            parent,
+            ..
+        } = ev.kind
+        {
+            spans.push((trace, span, parent));
+        }
         last_seq = Some(ev.seq);
         n += 1;
     }
+    crate::span::validate_span_tree(&spans).map_err(|e| format!("span tree: {e}"))?;
     Ok(n)
 }
 
@@ -194,6 +209,41 @@ mod tests {
         assert!(validate_jsonl(&dup).is_err());
         // Non-canonical whitespace is rejected even though it parses.
         assert!(validate_jsonl(&good.replace(":", " : ")).is_err());
+    }
+
+    #[test]
+    fn validation_covers_span_trees() {
+        use crate::span::TraceContext;
+        let root = TraceContext::root(1);
+        let child = root.child(0);
+        let span = |ctx: TraceContext, op: &str| EventKind::Span {
+            trace: ctx.trace_id,
+            span: ctx.span_id,
+            parent: ctx.parent_id,
+            op: op.to_string(),
+            tenant: 0,
+            shard: 0,
+            ok: true,
+            dur: 0.0,
+        };
+        let mut t = Tracer::new(8);
+        t.push(0.0, span(root, "rpc.request"));
+        t.push(0.5, span(child, "rpc.register"));
+        let good = t.to_jsonl();
+        assert_eq!(validate_jsonl(&good).unwrap(), 2);
+
+        // Orphan parent: the child alone has no parent span.
+        let mut t = Tracer::new(8);
+        t.push(0.5, span(child, "rpc.register"));
+        let orphan = t.to_jsonl();
+        assert!(validate_jsonl(&orphan).unwrap_err().contains("orphan"));
+
+        // Duplicate span ids.
+        let mut t = Tracer::new(8);
+        t.push(0.0, span(root, "rpc.request"));
+        t.push(0.5, span(root, "rpc.request"));
+        let dup = t.to_jsonl();
+        assert!(validate_jsonl(&dup).unwrap_err().contains("duplicate"));
     }
 
     #[test]
