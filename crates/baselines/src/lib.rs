@@ -19,6 +19,10 @@
 //! - [`sincronia::SincroniaFabric`] — the **Sincronia** clairvoyant
 //!   coflow scheduler (§8.4 study 6): BSSI bottleneck ordering of
 //!   coflows, order-derived priorities, strict-priority enforcement.
+//! - [`coflow::CoflowSincroniaFabric`] — Sincronia at true **coflow
+//!   granularity**: BSSI keyed by `(app, tag-high coflow id)` instead
+//!   of per-app, so one application's concurrent coflows are
+//!   scheduled independently (Agarwal et al. [SIGCOMM'18]).
 //!
 //! None of these consult application-level sensitivity — that is the
 //! point of the comparison.
@@ -26,11 +30,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod coflow;
 pub mod fecn;
 pub mod homa;
 pub mod ideal;
 pub mod sincronia;
 
+pub use coflow::CoflowSincroniaFabric;
 pub use fecn::{FecnBaseline, FecnConfig};
 pub use homa::{HomaConfig, HomaFabric};
 pub use ideal::IdealMaxMin;

@@ -18,6 +18,73 @@ use saba_sim::ids::AppId;
 use saba_sim::sharing::{compute_rates_into, SharingConfig, SharingScratch};
 use saba_sim::topology::Topology;
 use std::collections::HashMap;
+use std::hash::Hash;
+
+/// BSSI ordering over active coflows, where a flow's coflow is
+/// whatever `coflow_of` extracts from it: repeatedly pick the
+/// most-bottlenecked port and place the coflow with the largest
+/// remaining bytes on it *last*. Returns each coflow's rank, 0 =
+/// scheduled first (highest priority).
+///
+/// [`SincroniaFabric`] keys by application (one coflow per app);
+/// [`crate::coflow::CoflowSincroniaFabric`] keys by `(app, coflow
+/// id)`, recovering the paper's per-coflow granularity when one app
+/// runs several coflows concurrently.
+pub(crate) fn bssi_order_by<K, F>(flows: &[ActiveFlow], coflow_of: F) -> HashMap<K, usize>
+where
+    K: Copy + Eq + Hash,
+    F: Fn(&ActiveFlow) -> K,
+{
+    // Per-port remaining load per coflow.
+    let mut load: HashMap<u32, HashMap<K, f64>> = HashMap::new();
+    let mut coflows: Vec<K> = Vec::new();
+    for f in flows {
+        let c = coflow_of(f);
+        if !coflows.contains(&c) {
+            coflows.push(c);
+        }
+        for &l in &f.path {
+            *load.entry(l.0).or_default().entry(c).or_insert(0.0) += f.remaining;
+        }
+    }
+    let n = coflows.len();
+    let mut rank: HashMap<K, usize> = HashMap::new();
+    let mut unplaced = coflows;
+    // Place from last to first.
+    for place in (0..n).rev() {
+        // The most-bottlenecked port w.r.t. unplaced coflows.
+        let bottleneck = load
+            .iter()
+            .map(|(l, per)| {
+                let total: f64 = per
+                    .iter()
+                    .filter(|(c, _)| unplaced.contains(c))
+                    .map(|(_, b)| b)
+                    .sum();
+                (*l, total)
+            })
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite loads"))
+            .map(|(l, _)| l);
+        let chosen = match bottleneck {
+            Some(l) => {
+                let per = &load[&l];
+                unplaced
+                    .iter()
+                    .copied()
+                    .max_by(|a, b| {
+                        let la = per.get(a).copied().unwrap_or(0.0);
+                        let lb = per.get(b).copied().unwrap_or(0.0);
+                        la.partial_cmp(&lb).expect("finite loads")
+                    })
+                    .expect("unplaced is non-empty")
+            }
+            None => *unplaced.last().expect("unplaced is non-empty"),
+        };
+        rank.insert(chosen, place);
+        unplaced.retain(|c| *c != chosen);
+    }
+    rank
+}
 
 /// The Sincronia comparator fabric.
 #[derive(Debug, Clone, Default)]
@@ -42,61 +109,11 @@ impl SincroniaFabric {
         }
     }
 
-    /// BSSI ordering over the active coflows. Returns each coflow's
-    /// rank, 0 = scheduled first (highest priority).
+    /// BSSI ordering over the active coflows (one per application).
+    /// Returns each coflow's rank, 0 = scheduled first (highest
+    /// priority).
     fn bssi_order(_topo: &Topology, flows: &[ActiveFlow]) -> HashMap<AppId, usize> {
-        // Per-port remaining load per coflow.
-        let mut load: HashMap<u32, HashMap<AppId, f64>> = HashMap::new();
-        let mut coflows: Vec<AppId> = Vec::new();
-        for f in flows {
-            if !coflows.contains(&f.spec.app) {
-                coflows.push(f.spec.app);
-            }
-            for &l in &f.path {
-                *load
-                    .entry(l.0)
-                    .or_default()
-                    .entry(f.spec.app)
-                    .or_insert(0.0) += f.remaining;
-            }
-        }
-        let n = coflows.len();
-        let mut rank: HashMap<AppId, usize> = HashMap::new();
-        let mut unplaced = coflows;
-        // Place from last to first.
-        for place in (0..n).rev() {
-            // The most-bottlenecked port w.r.t. unplaced coflows.
-            let bottleneck = load
-                .iter()
-                .map(|(l, per)| {
-                    let total: f64 = per
-                        .iter()
-                        .filter(|(c, _)| unplaced.contains(c))
-                        .map(|(_, b)| b)
-                        .sum();
-                    (*l, total)
-                })
-                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite loads"))
-                .map(|(l, _)| l);
-            let chosen = match bottleneck {
-                Some(l) => {
-                    let per = &load[&l];
-                    unplaced
-                        .iter()
-                        .copied()
-                        .max_by(|a, b| {
-                            let la = per.get(a).copied().unwrap_or(0.0);
-                            let lb = per.get(b).copied().unwrap_or(0.0);
-                            la.partial_cmp(&lb).expect("finite loads")
-                        })
-                        .expect("unplaced is non-empty")
-                }
-                None => *unplaced.last().expect("unplaced is non-empty"),
-            };
-            rank.insert(chosen, place);
-            unplaced.retain(|c| *c != chosen);
-        }
-        rank
+        bssi_order_by(flows, |f| f.spec.app)
     }
 }
 

@@ -117,6 +117,9 @@ fn drive_service(table: &SensitivityTable, sink: SharedRecorder, tag: &str) -> u
                 tag,
             },
             ChurnOp::Deregister { app } => Request::AppDeregister { app: AppId(app) },
+            ChurnOp::DemandShift { .. } => {
+                unreachable!("demand_shift disabled in telemetry benches")
+            }
         };
         if !matches!(
             svc.submit(&Envelope::new(step as u64, req)),

@@ -247,6 +247,9 @@ fn service_drill(
                 tag,
             },
             ChurnOp::Deregister { app } => Request::AppDeregister { app: AppId(app) },
+            ChurnOp::DemandShift { .. } => {
+                unreachable!("demand_shift disabled in observe drives")
+            }
         };
         let resp = svc.submit(&Envelope::new(step as u64, req));
         assert!(

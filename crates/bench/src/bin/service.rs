@@ -87,6 +87,7 @@ fn to_request(op: &ChurnOp, servers: &[NodeId]) -> Request {
             tag: *tag,
         },
         ChurnOp::Deregister { app } => Request::AppDeregister { app: AppId(*app) },
+        ChurnOp::DemandShift { .. } => unreachable!("demand_shift disabled in service drives"),
     }
 }
 

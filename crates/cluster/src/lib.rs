@@ -19,6 +19,10 @@
 //!   controller crashes degrade to stale weights and recover by replay.
 //! - [`datacenter`] — the 1,944-server spine-leaf experiment of §8.4.
 //! - [`metrics`] — per-workload speedups, geometric means, CDFs.
+//! - [`reprofile`] — the online re-profiler: watches live slowdown
+//!   samples for sensitivity-model drift (§4.2) and re-fits past
+//!   tolerance, feeding both controller flavours' incremental
+//!   `update_model` paths.
 //! - [`runner`] — a thread-parallel map over independent setups.
 
 #![forbid(unsafe_code)]
@@ -29,6 +33,7 @@ pub mod corun_faults;
 pub mod datacenter;
 pub mod metrics;
 pub mod policy;
+pub mod reprofile;
 pub mod runner;
 pub mod setup;
 
@@ -37,4 +42,5 @@ pub use corun_faults::{execute_with_faults, plan_jobs, FaultRunOutcome};
 pub use datacenter::{run_datacenter, DatacenterConfig};
 pub use metrics::{per_workload_speedups, SpeedupReport};
 pub use policy::Policy;
+pub use reprofile::{record_refits, Refit, Reprofiler, ReprofilerConfig};
 pub use setup::{generate_setup, ClusterSetup, JobSpec, SetupConfig};

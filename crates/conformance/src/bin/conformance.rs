@@ -17,9 +17,10 @@
 //! the telemetry trace and a flight-recorder snapshot of the failing
 //! run — under `results/conformance_failures/`, then exits non-zero.
 
+use saba_baselines::CoflowSincroniaFabric;
 use saba_bench::results_dir;
 use saba_conformance::differential::{
-    baseline_fixtures, bundled_vs_unbundled, central_vs_distributed,
+    baseline_fixtures, bundled_vs_unbundled, central_vs_distributed, coflow_fixtures,
 };
 use saba_conformance::golden;
 use saba_conformance::incremental::{incremental_vs_scratch, ChurnScript};
@@ -29,7 +30,10 @@ use saba_conformance::oracles::{
 };
 use saba_conformance::parallel::parallel_vs_serial;
 use saba_conformance::scenario::{ControlScenario, EngineScenario, FlowSetScenario};
-use saba_conformance::shrink::{shrink_engine, shrink_flow_set};
+use saba_conformance::scenarios::{
+    check_coflow_cct, check_reprofile, reprofile_demo, CoflowScenario, ReprofileScript,
+};
+use saba_conformance::shrink::{shrink_coflow, shrink_engine, shrink_flow_set};
 use saba_telemetry::JsonValue;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -41,6 +45,7 @@ struct Profile {
     incremental: u64,
     parallel: u64,
     obs: u64,
+    diversity: u64,
 }
 
 const SMOKE: Profile = Profile {
@@ -50,6 +55,7 @@ const SMOKE: Profile = Profile {
     incremental: 500,
     parallel: 500,
     obs: 500,
+    diversity: 500,
 };
 
 const LONG: Profile = Profile {
@@ -59,6 +65,7 @@ const LONG: Profile = Profile {
     incremental: 5000,
     parallel: 5000,
     obs: 5000,
+    diversity: 5000,
 };
 
 fn main() -> ExitCode {
@@ -215,13 +222,59 @@ fn main() -> ExitCode {
         scenarios += 1;
     }
 
-    // 7. Baselines against hand-solved fixtures.
+    // 7. Workload-diversity scenarios: coflow CCT semantics (plus the
+    //    collapse differential) under random fault schedules, and the
+    //    streaming-drift re-profiling invariants (no-op epochs, monotone
+    //    improving refits, incremental == scratch on both flavours).
+    println!(
+        "workload diversity: {} coflow + {} re-profiling scenarios",
+        profile.diversity,
+        profile.diversity / 5
+    );
+    for seed in seed_start..seed_start + profile.diversity {
+        let sc = CoflowScenario::generate(seed);
+        if let Err(e) = check_coflow_cct(&sc) {
+            let small = shrink_coflow(&sc, &mut |s| check_coflow_cct(s).is_err());
+            let err = check_coflow_cct(&small).expect_err("shrunk scenario still fails");
+            let path = dump_coflow(&small, &err);
+            return fail(
+                "coflow-cct",
+                format!(
+                    "seed {seed}: {e}\nshrunk to {} coflows / {} faults; artifact: {}",
+                    small.coflows.len(),
+                    small.faults.len(),
+                    path.display()
+                ),
+            );
+        }
+        scenarios += 1;
+    }
+    for seed in seed_start..seed_start + profile.diversity / 5 {
+        let sc = ReprofileScript::generate(seed);
+        if let Err(e) = check_reprofile(&sc) {
+            let path = dump_reprofile(&sc, &e);
+            return fail(
+                "reprofile",
+                format!("seed {seed}: {e}\nartifact: {}", path.display()),
+            );
+        }
+        scenarios += 1;
+    }
+    match reprofile_demo() {
+        Ok(summary) => println!("{summary}"),
+        Err(e) => return fail("reprofile-demo", e),
+    }
+
+    // 8. Baselines against hand-solved fixtures.
     println!("baseline fixtures");
     if let Err(e) = baseline_fixtures() {
         return fail("baseline-fixtures", e);
     }
+    if let Err(e) = coflow_fixtures() {
+        return fail("coflow-fixtures", e);
+    }
 
-    // 8. Golden CSVs of the figure pipelines.
+    // 9. Golden CSVs of the figure pipelines.
     println!("golden CSVs");
     if let Err(e) = golden::check_goldens() {
         return fail("golden", e);
@@ -267,6 +320,50 @@ struct EngineArtifact {
     scenario: EngineScenario,
     flight_json: String,
     trace_jsonl: String,
+}
+
+/// A replay artifact for a failing coflow scenario: the shrunk
+/// scenario plus the full telemetry trace of the failing run.
+#[derive(serde::Serialize)]
+struct CoflowArtifact {
+    suite: String,
+    error: String,
+    scenario: CoflowScenario,
+    trace_jsonl: String,
+}
+
+fn dump_coflow(sc: &CoflowScenario, err: &str) -> PathBuf {
+    let path = failure_dir().join(format!("coflow_seed_{}.json", sc.seed));
+    let (_, recorder) = sc.run_recorded(CoflowSincroniaFabric::new());
+    let artifact = CoflowArtifact {
+        suite: "coflow-cct".into(),
+        error: err.into(),
+        scenario: sc.clone(),
+        trace_jsonl: recorder.trace.to_jsonl(),
+    };
+    let json = serde_json::to_string_pretty(&artifact).expect("serialize artifact");
+    std::fs::write(&path, json).expect("write artifact");
+    path
+}
+
+/// A replay artifact for a failing re-profiling script.
+#[derive(serde::Serialize)]
+struct ReprofileArtifact {
+    suite: String,
+    error: String,
+    scenario: ReprofileScript,
+}
+
+fn dump_reprofile(sc: &ReprofileScript, err: &str) -> PathBuf {
+    let path = failure_dir().join(format!("reprofile_seed_{}.json", sc.seed));
+    let artifact = ReprofileArtifact {
+        suite: "reprofile".into(),
+        error: err.into(),
+        scenario: sc.clone(),
+    };
+    let json = serde_json::to_string_pretty(&artifact).expect("serialize artifact");
+    std::fs::write(&path, json).expect("write artifact");
+    path
 }
 
 fn dump_engine(sc: &EngineScenario, err: &str) -> PathBuf {

@@ -13,7 +13,8 @@
 use crate::oracles::check_weight_budget;
 use crate::scenario::{ControlScenario, EngineScenario};
 use saba_baselines::{
-    FecnBaseline, FecnConfig, HomaConfig, HomaFabric, IdealMaxMin, SincroniaFabric,
+    CoflowSincroniaFabric, FecnBaseline, FecnConfig, HomaConfig, HomaFabric, IdealMaxMin,
+    SincroniaFabric,
 };
 use saba_core::controller::central::CentralController;
 use saba_core::controller::distributed::{DistributedController, MappingDb};
@@ -279,6 +280,57 @@ pub fn baseline_fixtures() -> Result<(), String> {
     Ok(())
 }
 
+/// The coflow-aware Sincronia extension against hand-solved two-coflow
+/// fixtures on the single-switch testbed (100 B/s links), plus the
+/// collapse differential against the per-app approximation.
+pub fn coflow_fixtures() -> Result<(), String> {
+    let topo = Topology::single_switch(4, 100.0);
+    let s = topo.servers().to_vec();
+    let tag = |id: u64| id << saba_workload::coflow::COFLOW_TAG_SHIFT;
+
+    // One application, two single-constituent coflows sharing one
+    // source NIC. Coflow-granular BSSI drains the 100 B coflow first
+    // (CCT exactly 1 s), then the 10 000 B one (101 s)...
+    let flows = [
+        fixture_spec(s[0], s[1], 100.0, 0, tag(0)),
+        fixture_spec(s[0], s[2], 10_000.0, 0, tag(1)),
+    ];
+    let done = run_fixture(CoflowSincroniaFabric::new(), &flows);
+    expect(&done, tag(0), 1.0, "coflow-granular small-first")?;
+    expect(&done, tag(1), 101.0, "coflow-granular large-second")?;
+    // ...while the per-app approximation folds both into one app-0
+    // coflow whose constituents fair-share the NIC: the small flow
+    // stretches to 2 s; the large one still takes 101 s (the NIC moves
+    // 10 100 bytes either way).
+    let done = run_fixture(SincroniaFabric::new(), &flows);
+    expect(&done, tag(0), 2.0, "per-app fair-share small")?;
+    expect(&done, tag(1), 101.0, "per-app large")?;
+
+    // Collapse: one coflow per application makes the (app, coflow)
+    // refinement the identity, so the two fabrics must agree flow for
+    // flow — here on the classic small-before-large BSSI order.
+    let flows = [
+        fixture_spec(s[0], s[1], 1000.0, 0, tag(0)),
+        fixture_spec(s[0], s[2], 4000.0, 1, tag(5)),
+    ];
+    let fine = run_fixture(CoflowSincroniaFabric::new(), &flows);
+    let coarse = run_fixture(SincroniaFabric::new(), &flows);
+    expect(&fine, tag(0), 10.0, "collapse small-first")?;
+    expect(&fine, tag(5), 50.0, "collapse large-second")?;
+    if fine.keys().ne(coarse.keys()) {
+        return Err("collapse: completed flow sets diverge".into());
+    }
+    for (t, &ta) in &fine {
+        let tb = coarse[t];
+        if (ta - tb).abs() > 1e-9 + 1e-9 * ta.abs().max(tb.abs()) {
+            return Err(format!(
+                "collapse: flow {t} at {ta} coflow-granular vs {tb} per-app"
+            ));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -286,6 +338,11 @@ mod tests {
     #[test]
     fn baselines_match_hand_solved_fixtures() {
         baseline_fixtures().unwrap();
+    }
+
+    #[test]
+    fn coflow_baselines_match_hand_solved_fixtures() {
+        coflow_fixtures().unwrap();
     }
 
     #[test]

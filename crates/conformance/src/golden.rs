@@ -34,6 +34,8 @@ use std::path::PathBuf;
 pub const FIG12_SHAPE_GOLDEN: &str = include_str!("../golden/fig12_shape.csv");
 /// The checked-in speedup golden.
 pub const SPEEDUP_GOLDEN: &str = include_str!("../golden/speedup.csv");
+/// The checked-in coflow CCT golden.
+pub const COFLOW_GOLDEN: &str = include_str!("../golden/coflow.csv");
 
 /// The Fig. 12 synthetic-table generator (same shape as the bench bin).
 fn synthetic_table(count: usize, rng: &mut StdRng) -> SensitivityTable {
@@ -125,6 +127,54 @@ pub fn speedup_csv() -> String {
     out
 }
 
+/// Computes the coflow CCT CSV: the hand-solved two-coflow fixture of
+/// `differential::coflow_fixtures` (one application, a 100 B and a
+/// 10 000 B coflow sharing a 100 B/s source NIC) run under the
+/// coflow-granular scheduler and under the per-app Sincronia
+/// approximation, reported as per-coflow completion times.
+pub fn coflow_cct_csv() -> String {
+    use saba_baselines::{CoflowSincroniaFabric, SincroniaFabric};
+    use saba_sim::engine::{FabricModel, FlowSpec, Simulation};
+    use saba_sim::ids::ServiceLevel;
+    use saba_workload::coflow::COFLOW_TAG_SHIFT;
+
+    fn ccts<M: FabricModel>(model: M) -> std::collections::BTreeMap<u64, f64> {
+        let topo = Topology::single_switch(4, 100.0);
+        let s = topo.servers().to_vec();
+        let mut sim = Simulation::new(topo, model);
+        for (coflow, dst, bytes) in [(0u64, 1usize, 100.0), (1, 2, 10_000.0)] {
+            sim.start_flow(FlowSpec {
+                src: s[0],
+                dst: s[dst],
+                bytes,
+                sl: ServiceLevel(0),
+                app: AppId(0),
+                tag: coflow << COFLOW_TAG_SHIFT,
+                rate_cap: f64::INFINITY,
+                min_rate: 0.0,
+            });
+        }
+        let mut out = std::collections::BTreeMap::new();
+        for c in sim.run_to_idle() {
+            let id = c.spec.tag >> COFLOW_TAG_SHIFT;
+            let t = out.entry(id).or_insert(f64::NEG_INFINITY);
+            *t = t.max(c.finished);
+        }
+        out
+    }
+
+    let mut out = String::from("fabric,coflow,cct\n");
+    for (name, done) in [
+        ("coflow_sincronia", ccts(CoflowSincroniaFabric::new())),
+        ("sincronia", ccts(SincroniaFabric::new())),
+    ] {
+        for (id, t) in done {
+            out.push_str(&format!("{name},{id},{t:.6}\n"));
+        }
+    }
+    out
+}
+
 /// First differing line of two CSVs, for failure messages.
 fn first_diff(got: &str, want: &str) -> String {
     for (i, (g, w)) in got.lines().zip(want.lines()).enumerate() {
@@ -155,6 +205,13 @@ pub fn check_goldens() -> Result<(), String> {
             first_diff(&got, SPEEDUP_GOLDEN)
         ));
     }
+    let got = coflow_cct_csv();
+    if got != COFLOW_GOLDEN {
+        return Err(format!(
+            "coflow.csv drifted from golden ({}); run `conformance --bless` if intentional",
+            first_diff(&got, COFLOW_GOLDEN)
+        ));
+    }
     Ok(())
 }
 
@@ -167,7 +224,9 @@ pub fn bless() -> std::io::Result<Vec<PathBuf>> {
     std::fs::write(&fig12, fig12_shape_csv())?;
     let speedup = dir.join("speedup.csv");
     std::fs::write(&speedup, speedup_csv())?;
-    Ok(vec![fig12, speedup])
+    let coflow = dir.join("coflow.csv");
+    std::fs::write(&coflow, coflow_cct_csv())?;
+    Ok(vec![fig12, speedup, coflow])
 }
 
 #[cfg(test)]
@@ -186,5 +245,14 @@ mod tests {
     #[test]
     fn fig12_shape_is_deterministic() {
         assert_eq!(fig12_shape_csv(), fig12_shape_csv());
+    }
+
+    #[test]
+    fn coflow_cct_matches_golden() {
+        assert_eq!(
+            coflow_cct_csv(),
+            COFLOW_GOLDEN,
+            "run `conformance --bless` if this change is intentional"
+        );
     }
 }

@@ -19,4 +19,5 @@ pub mod oracles;
 pub mod parallel;
 pub mod reference;
 pub mod scenario;
+pub mod scenarios;
 pub mod shrink;

@@ -11,6 +11,7 @@
 //! an archaeology project.
 
 use crate::scenario::{EngineScenario, FlowSetScenario};
+use crate::scenarios::CoflowScenario;
 
 /// Shrinks a failing flow-set scenario: greedily removes flows (and
 /// then unreferenced links) while `fails` keeps returning `true`.
@@ -83,6 +84,63 @@ pub fn shrink_engine(
     best
 }
 
+/// Shrinks a failing coflow scenario: faults first, then whole coflows
+/// (keeping at least one), then constituent flows (keeping at least one
+/// per coflow), to a fixed point.
+pub fn shrink_coflow(
+    sc: &CoflowScenario,
+    fails: &mut dyn FnMut(&CoflowScenario) -> bool,
+) -> CoflowScenario {
+    debug_assert!(fails(sc), "shrinking a passing scenario");
+    let mut best = sc.clone();
+    let mut progress = true;
+    while progress {
+        progress = false;
+        let mut i = 0;
+        while i < best.faults.len() {
+            let mut candidate = best.clone();
+            candidate.faults.remove(i);
+            if fails(&candidate) {
+                best = candidate;
+                progress = true;
+            } else {
+                i += 1;
+            }
+        }
+        let mut i = 0;
+        while i < best.coflows.len() {
+            if best.coflows.len() == 1 {
+                break;
+            }
+            let mut candidate = best.clone();
+            candidate.coflows.remove(i);
+            if fails(&candidate) {
+                best = candidate;
+                progress = true;
+            } else {
+                i += 1;
+            }
+        }
+        for c in 0..best.coflows.len() {
+            let mut i = 0;
+            while i < best.coflows[c].flows.len() {
+                if best.coflows[c].flows.len() == 1 {
+                    break;
+                }
+                let mut candidate = best.clone();
+                candidate.coflows[c].flows.remove(i);
+                if fails(&candidate) {
+                    best = candidate;
+                    progress = true;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    best
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -98,6 +156,25 @@ mod tests {
         let small = shrink_flow_set(&sc, &mut fails);
         assert_eq!(small.flows.len(), 1);
         assert!(small.flows[0].weights.contains(&99.0));
+    }
+
+    #[test]
+    fn coflow_shrink_isolates_the_guilty_constituent() {
+        // Plant a failure that triggers iff a constituent moving 99 999
+        // bytes is present; everything else must be stripped down to one
+        // coflow with that single flow (faults included).
+        let mut sc = CoflowScenario::generate(4);
+        let c = sc.coflows.len() / 2;
+        sc.coflows[c].flows.push((0, 1, 99_999.0));
+        let mut fails = |s: &CoflowScenario| {
+            s.coflows
+                .iter()
+                .any(|c| c.flows.iter().any(|&(_, _, b)| b == 99_999.0))
+        };
+        let small = shrink_coflow(&sc, &mut fails);
+        assert_eq!(small.coflows.len(), 1);
+        assert_eq!(small.coflows[0].flows, vec![(0, 1, 99_999.0)]);
+        assert!(small.faults.is_empty());
     }
 
     #[test]

@@ -1,0 +1,72 @@
+//! Property-based checks over the workload-diversity scenario corpus.
+//!
+//! The seeded generators in `saba_conformance::scenarios` double as
+//! proptest strategies: a random seed *is* a random scenario, so the
+//! oracles run here over arbitrary seeds (and therefore arbitrary
+//! coflow shapes and fault schedules) on top of the driver's
+//! sequential sweep.
+
+use proptest::prelude::*;
+use saba_cluster::{Reprofiler, ReprofilerConfig};
+use saba_conformance::scenarios::{
+    check_coflow_cct, check_reprofile, CoflowScenario, ReprofileScript,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A coflow never completes before its slowest constituent, under
+    /// arbitrary seeds — i.e. arbitrary coflow shapes and recoverable
+    /// fault schedules — and the one-coflow-per-app collapse holds.
+    #[test]
+    fn coflow_completion_never_precedes_slowest(seed in 0u64..1_000_000) {
+        let r = check_coflow_cct(&CoflowScenario::generate(seed));
+        prop_assert!(r.is_ok(), "seed {}: {}", seed, r.unwrap_err());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Under drift tolerance the re-profiler is a no-op (bit-identical
+    /// epochs: zero refits and zero switch updates), and past tolerance
+    /// every refit improves the live error, stays monotone, and keeps
+    /// incremental == scratch on both controller flavours.
+    #[test]
+    fn reprofiler_invariants_hold(seed in 0u64..1_000_000) {
+        let r = check_reprofile(&ReprofileScript::generate(seed));
+        prop_assert!(r.is_ok(), "seed {}: {}", seed, r.unwrap_err());
+    }
+
+    /// Feeding a model its own fitted samples never trips a refit, for
+    /// arbitrary window sizes above the sample count.
+    #[test]
+    fn reprofiler_noop_on_own_samples(seed in 0u64..1_000_000, window in 8usize..64) {
+        let sc = ReprofileScript::generate(seed);
+        let streams = sc.streams();
+        let profiler = saba_core::Profiler::new(saba_core::ProfilerConfig {
+            noise_sigma: 0.0,
+            bw_points: vec![0.25, 0.5, 0.75, 1.0],
+            degree: 2,
+            ..Default::default()
+        });
+        let bases: Vec<_> = streams.iter().map(|s| s.base.clone()).collect();
+        let table = profiler.profile_all(&bases).expect("profiling");
+        let mut rp = Reprofiler::new(ReprofilerConfig {
+            tolerance: 0.05,
+            min_samples: 4,
+            degree: 2,
+            window,
+        });
+        for s in &streams {
+            rp.observe_series(s.name(), &table.get(s.name()).expect("profiled").samples);
+        }
+        let refits = rp.poll(&table);
+        prop_assert!(
+            refits.is_empty(),
+            "seed {}: {} spurious refit(s) from a model's own samples",
+            seed,
+            refits.len()
+        );
+    }
+}

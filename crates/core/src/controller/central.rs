@@ -16,7 +16,7 @@ use crate::controller::queuemap::QueueMapper;
 use crate::controller::weights::{port_weights_from_surrogates, ModelSurrogate};
 use crate::controller::{ControllerConfig, ControllerError, EpochInfo, SwitchUpdate};
 use crate::fabric::PortQueueConfig;
-use crate::sensitivity::SensitivityTable;
+use crate::sensitivity::{SensitivityModel, SensitivityTable};
 use saba_math::SolveScratch;
 use saba_sim::ids::{AppId, LinkId, NodeId, ServiceLevel};
 use saba_sim::routing::{LinkMembers, Routes};
@@ -291,6 +291,57 @@ impl CentralController {
         self.weight_cache.retain(|apps, _| !apps.contains(&app));
         self.refresh_mapper_if_stale();
         Ok(self.reprogram(dirty))
+    }
+
+    /// Replaces a workload's sensitivity model at runtime — the online
+    /// re-profiler's push path (§4.2 drift). The table entry is swapped,
+    /// every registered application of that workload gets a fresh
+    /// [`ModelSurrogate`] and updated clustering coefficients (keeping
+    /// its PL — the §6 sticky-SL invariant), memoized solutions naming
+    /// an affected application are purged, and only the ports those
+    /// applications currently cross are reprogrammed (the incremental
+    /// epoch path; a published-centroid move widens the sweep exactly
+    /// like any other mapper-staleness event).
+    ///
+    /// With no registered application of that workload the table is
+    /// updated and no port is touched. A model identical to the current
+    /// table entry is a structural no-op (no caches purged, no solves,
+    /// no updates) — warm-started Eq. 2 re-solves can wobble in the
+    /// last ULP, so without this guard an unchanged refit could emit
+    /// spurious one-ULP reprogramming diffs.
+    pub fn update_model(&mut self, model: &SensitivityModel) -> Vec<SwitchUpdate> {
+        if self.table.get(&model.workload) == Some(model) {
+            return Vec::new();
+        }
+        let affected: Vec<AppId> = self
+            .apps
+            .iter()
+            .filter(|(_, e)| e.workload == model.workload)
+            .map(|(&a, _)| a)
+            .collect();
+        let surrogate = ModelSurrogate::of(model, self.cfg.c_saba);
+        let coeffs = model.coefficients().to_vec();
+        self.table.insert(model.clone());
+        if affected.is_empty() {
+            return Vec::new();
+        }
+        for &app in &affected {
+            self.surrogates.insert(app, surrogate.clone());
+            self.assigner
+                .update_coeffs(app, &coeffs)
+                .expect("registered apps have PLs");
+        }
+        // Memoized solutions naming an affected application were solved
+        // against the old model; sets of untouched apps remain valid.
+        self.weight_cache
+            .retain(|apps, _| !apps.iter().any(|a| affected.contains(a)));
+        self.refresh_mapper_if_stale();
+        let dirty: Vec<LinkId> = self
+            .link_apps
+            .occupied_links()
+            .filter(|&l| self.link_apps.members(l).any(|a| affected.contains(&a)))
+            .collect();
+        self.reprogram(dirty)
     }
 
     /// Registers a new connection (`conn_create`, Fig. 7 ⑤): detects its
@@ -1094,6 +1145,74 @@ mod tests {
         // Only ports with Saba traffic are recomputed: the two on the
         // connection's path.
         assert_eq!(updates.len(), 2);
+    }
+
+    #[test]
+    fn update_model_reprograms_only_affected_ports() {
+        let (mut c, topo) = controller();
+        c.register(AppId(0), "LR").unwrap();
+        c.register(AppId(1), "PR").unwrap();
+        let s = topo.servers();
+        // LR and PR contend on s0→s1; PR alone runs on s2→s3.
+        c.conn_create(AppId(0), s[0], s[1], 1).unwrap();
+        c.conn_create(AppId(1), s[0], s[1], 2).unwrap();
+        c.conn_create(AppId(1), s[2], s[3], 3).unwrap();
+        let before: Vec<f64> = c.recompute_all()[0].config.weights.clone();
+
+        // A much flatter re-profiled LR: its weight claim should drop.
+        let flat: Vec<(f64, f64)> = [0.25, 0.5, 0.75, 1.0]
+            .iter()
+            .map(|&b| (b, 1.0 + 0.1 * (1.0 - b)))
+            .collect();
+        let refit = SensitivityModel::fit("LR", &flat, 2).unwrap();
+        let updates = c.update_model(&refit);
+        // Only the two ports on LR's path are touched — PR's private
+        // path keeps its programming.
+        assert_eq!(updates.len(), 2, "{updates:?}");
+        let pl_lr = c.sl_of(AppId(0)).unwrap();
+        let cfg = &updates[0].config;
+        let total: f64 = cfg.weights.iter().sum();
+        let share = cfg.weights[cfg.queue_of(pl_lr)] / total;
+        let before_share = before[cfg.queue_of(pl_lr)] / before.iter().sum::<f64>();
+        assert!(
+            share < before_share - 0.1,
+            "flattened LR should cede bandwidth: {before_share} -> {share}"
+        );
+        // The PL itself is sticky (§6): packets already carry the SL.
+        assert_eq!(c.sl_of(AppId(0)).unwrap(), pl_lr);
+    }
+
+    #[test]
+    fn update_model_without_registered_apps_touches_nothing() {
+        let (mut c, topo) = controller();
+        c.register(AppId(0), "LR").unwrap();
+        let s = topo.servers();
+        c.conn_create(AppId(0), s[0], s[1], 1).unwrap();
+        let refit = SensitivityModel::fit(
+            "Sort",
+            &[(0.25, 2.0), (0.5, 1.5), (0.75, 1.2), (1.0, 1.0)],
+            2,
+        )
+        .unwrap();
+        let stats_before = c.stats();
+        assert!(c.update_model(&refit).is_empty());
+        assert_eq!(c.stats(), stats_before, "no epoch ran");
+        // A later registration sees the refreshed table entry.
+        c.register(AppId(1), "Sort").unwrap();
+    }
+
+    #[test]
+    fn update_model_with_identical_model_emits_no_updates() {
+        let (mut c, topo) = controller();
+        c.register(AppId(0), "LR").unwrap();
+        let s = topo.servers();
+        c.conn_create(AppId(0), s[0], s[1], 1).unwrap();
+        let same = table().get("LR").unwrap().clone();
+        let updates = c.update_model(&same);
+        assert!(
+            updates.is_empty(),
+            "identical refit must diff away: {updates:?}"
+        );
     }
 
     #[test]

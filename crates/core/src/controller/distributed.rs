@@ -38,6 +38,9 @@ use std::collections::{BTreeMap, HashMap};
 #[derive(Debug, Clone)]
 pub struct MappingDb {
     pl_of_workload: BTreeMap<String, usize>,
+    /// Per-workload clustering points, kept so a re-profiled model can
+    /// recompute its PL's centroid without re-running K-means.
+    coeffs_of_workload: BTreeMap<String, Vec<f64>>,
     centroids: Vec<(usize, Vec<f64>)>,
     mapper: QueueMapper,
 }
@@ -72,6 +75,8 @@ impl MappingDb {
             },
             &mut rng,
         );
+        let coeffs_of_workload: BTreeMap<String, Vec<f64>> =
+            names.iter().cloned().zip(points.iter().cloned()).collect();
         let pl_of_workload: BTreeMap<String, usize> = names
             .into_iter()
             .zip(res.assignments.iter().copied())
@@ -80,6 +85,7 @@ impl MappingDb {
         let mapper = QueueMapper::build(&centroids).expect("non-empty centroids");
         Self {
             pl_of_workload,
+            coeffs_of_workload,
             centroids,
             mapper,
         }
@@ -88,6 +94,72 @@ impl MappingDb {
     /// The PL of a profiled workload.
     pub fn pl_of(&self, workload: &str) -> Option<usize> {
         self.pl_of_workload.get(workload).copied()
+    }
+
+    /// Replaces one workload's clustering point — the online
+    /// re-profiler's path into the offline database (§5.4: "the
+    /// profiler updates the database … whenever a new application is
+    /// profiled"). The workload **keeps its PL** (the §6 sticky-SL
+    /// invariant); its PL's centroid is recomputed as the mean of its
+    /// members' padded points and the PL hierarchy is rebuilt when the
+    /// centroid actually moved.
+    ///
+    /// Returns `None` for a workload the database has never clustered
+    /// (adding one needs an offline re-clustering pass) or when a
+    /// member's point is missing (a replica serialized before
+    /// coefficient points were stored cannot refit); otherwise whether
+    /// the centroid moved.
+    pub fn update_coeffs(&mut self, workload: &str, coeffs: &[f64]) -> Option<bool> {
+        let pl = self.pl_of(workload)?;
+        let members: Vec<String> = self
+            .pl_of_workload
+            .iter()
+            .filter(|&(_, &p)| p == pl)
+            .map(|(w, _)| w.clone())
+            .collect();
+        if members
+            .iter()
+            .any(|w| w != workload && !self.coeffs_of_workload.contains_key(w))
+        {
+            return None;
+        }
+        self.coeffs_of_workload
+            .insert(workload.to_string(), coeffs.to_vec());
+        let dim = self
+            .centroids
+            .iter()
+            .map(|(_, c)| c.len())
+            .chain(members.iter().map(|w| self.coeffs_of_workload[w].len()))
+            .max()
+            .expect("an assigned PL has a centroid");
+        let mut centroid = vec![0.0; dim];
+        for w in &members {
+            let point = padded_coeffs(&self.coeffs_of_workload[w], dim);
+            for (acc, x) in centroid.iter_mut().zip(point) {
+                *acc += x;
+            }
+        }
+        for x in &mut centroid {
+            *x /= members.len() as f64;
+        }
+        let slot = self
+            .centroids
+            .iter_mut()
+            .find(|(p, _)| *p == pl)
+            .expect("an assigned PL has a centroid");
+        if padded_coeffs(&slot.1, dim) == centroid {
+            return Some(false);
+        }
+        slot.1 = centroid;
+        // Keep every centroid at the common dimension for the HAC
+        // rebuild (a refit can raise the model degree).
+        for (_, c) in &mut self.centroids {
+            if c.len() < dim {
+                c.resize(dim, 0.0);
+            }
+        }
+        self.mapper = QueueMapper::build(&self.centroids).expect("non-empty centroids");
+        Some(true)
     }
 
     /// PL centroid coefficient vectors.
@@ -112,6 +184,7 @@ impl MappingDb {
     pub fn to_json(&self) -> String {
         let wire = MappingDbWire {
             pl_of_workload: self.pl_of_workload.clone(),
+            coeffs_of_workload: self.coeffs_of_workload.clone(),
             centroids: self.centroids.clone(),
         };
         serde_json::to_string_pretty(&wire).expect("database serialization cannot fail")
@@ -124,6 +197,7 @@ impl MappingDb {
             .expect("a replicated database has at least one centroid");
         Ok(Self {
             pl_of_workload: wire.pl_of_workload,
+            coeffs_of_workload: wire.coeffs_of_workload,
             centroids: wire.centroids,
             mapper,
         })
@@ -134,6 +208,10 @@ impl MappingDb {
 #[derive(Serialize, Deserialize)]
 struct MappingDbWire {
     pl_of_workload: BTreeMap<String, usize>,
+    /// Absent in databases serialized before re-profiling support; such
+    /// replicas load fine but refuse [`MappingDb::update_coeffs`].
+    #[serde(default)]
+    coeffs_of_workload: BTreeMap<String, Vec<f64>>,
     centroids: Vec<(usize, Vec<f64>)>,
 }
 
@@ -176,8 +254,10 @@ pub struct DistributedController {
     link_shard: Vec<usize>,
     apps: BTreeMap<AppId, usize>,
     conns: HashMap<(AppId, u64), Vec<LinkId>>,
-    /// Eq. 2 solutions memoized by the PL set (centroids are fixed by
-    /// the offline database, so the cache never goes stale).
+    /// Eq. 2 solutions memoized by the PL set. Centroids are fixed by
+    /// the offline database except when a re-profiled model moves one
+    /// ([`Self::update_model`]), which purges every entry naming the
+    /// moved PL.
     weight_cache: HashMap<Vec<usize>, Vec<f64>>,
     /// Last configuration emitted per occupied port; absence means the
     /// switch still runs its factory default. Event-path epochs diff
@@ -324,6 +404,35 @@ impl DistributedController {
             dirty.extend(self.release(pl, &links));
         }
         Ok(self.reprogram(dirty))
+    }
+
+    /// Pushes a re-fitted sensitivity model through the distributed
+    /// design: the shared database replaces the workload's clustering
+    /// point and recomputes its PL centroid (the PL itself is sticky,
+    /// §6). When the centroid moved, memoized Eq. 2 solutions naming
+    /// that PL are purged — the one event that can invalidate the PL-set
+    /// cache — and every Saba-carrying port is revisited in one
+    /// incremental epoch; because the PL hierarchy was rebuilt, even
+    /// ports without the refit PL can map queues differently, and the
+    /// configuration diff suppresses the ones that did not. Unknown
+    /// workloads and refits that leave the centroid in place touch
+    /// nothing.
+    pub fn update_model(
+        &mut self,
+        model: &crate::sensitivity::SensitivityModel,
+    ) -> Vec<SwitchUpdate> {
+        let Some(pl) = self.db.pl_of(&model.workload) else {
+            return Vec::new();
+        };
+        if self.db.update_coeffs(&model.workload, model.coefficients()) != Some(true) {
+            return Vec::new();
+        }
+        self.weight_cache.retain(|pls, _| !pls.contains(&pl));
+        let mut dirty: Vec<LinkId> = Vec::new();
+        for shard in &self.shards {
+            dirty.extend(shard.links.occupied_links());
+        }
+        self.reprogram(dirty)
     }
 
     fn pl_of_app(&self, app: AppId) -> usize {
@@ -904,6 +1013,78 @@ mod tests {
         let u2 = c.deregister(AppId(0)).unwrap();
         assert!(!u2.is_empty());
         assert!(c.conn_destroy(AppId(0), 2).is_err(), "already cleaned up");
+    }
+
+    #[test]
+    fn update_model_moves_the_centroid_and_reprograms() {
+        let t = table();
+        let db = MappingDb::build(&t, 16, 1);
+        let topo = Topology::single_switch(4, saba_sim::LINK_56G_BPS);
+        let mut c = DistributedController::new(ControllerConfig::default(), db, &topo, 2);
+        let sl_lr = c.register(AppId(0), "LR").unwrap();
+        c.register(AppId(1), "Sort").unwrap();
+        let s = topo.servers();
+        c.conn_create(AppId(0), s[0], s[1], 1).unwrap();
+        let before = c.conn_create(AppId(1), s[0], s[1], 2).unwrap();
+        let cfg_before = &before[0].config;
+        let share_before =
+            cfg_before.weights[cfg_before.queue_of(sl_lr)] / cfg_before.weights.iter().sum::<f64>();
+
+        // A flat re-profiled LR cedes bandwidth without changing SL.
+        let flat: Vec<(f64, f64)> = [0.25, 0.5, 0.75, 1.0]
+            .iter()
+            .map(|&b| (b, 1.0 + 0.05 * (1.0 - b)))
+            .collect();
+        let refit = crate::sensitivity::SensitivityModel::fit("LR", &flat, 2).unwrap();
+        let updates = c.update_model(&refit);
+        assert!(!updates.is_empty());
+        assert_eq!(c.register(AppId(2), "LR").unwrap(), sl_lr, "PL sticky");
+        let cfg = updates
+            .iter()
+            .find(|u| u.link == before[0].link)
+            .map(|u| &u.config)
+            .expect("the contended port reprograms");
+        let share = cfg.weights[cfg.queue_of(sl_lr)] / cfg.weights.iter().sum::<f64>();
+        assert!(
+            share < share_before - 0.1,
+            "flattened LR should cede bandwidth: {share_before} -> {share}"
+        );
+        // A second identical push finds the centroid already in place.
+        assert!(c.update_model(&refit).is_empty());
+    }
+
+    #[test]
+    fn update_model_unknown_workload_is_a_no_op() {
+        let t = table();
+        let db = MappingDb::build(&t, 16, 1);
+        let topo = Topology::single_switch(4, saba_sim::LINK_56G_BPS);
+        let mut c = DistributedController::new(ControllerConfig::default(), db, &topo, 1);
+        c.register(AppId(0), "LR").unwrap();
+        let s = topo.servers();
+        c.conn_create(AppId(0), s[0], s[1], 1).unwrap();
+        let novel = crate::sensitivity::SensitivityModel::fit(
+            "BrandNew",
+            &[(0.25, 2.0), (0.5, 1.5), (0.75, 1.2), (1.0, 1.0)],
+            2,
+        )
+        .unwrap();
+        assert!(c.update_model(&novel).is_empty());
+        assert!(c.register(AppId(1), "BrandNew").is_err(), "still offline");
+    }
+
+    #[test]
+    fn legacy_replica_without_points_refuses_refit() {
+        // A database serialized before coefficient points were stored:
+        // it loads (serde default), but a shared PL cannot recompute its
+        // centroid without every member's point.
+        let legacy = r#"{"pl_of_workload":{"A":0,"B":0},"centroids":[[0,[1.0,2.0]]]}"#;
+        let mut replica = MappingDb::from_json(legacy).expect("legacy replica loads");
+        assert_eq!(replica.pl_of("A"), Some(0));
+        assert_eq!(replica.update_coeffs("A", &[1.0, 2.0]), None);
+        // A full modern replica refits fine.
+        let db = MappingDb::build(&table(), 16, 7);
+        let mut full = MappingDb::from_json(&db.to_json()).unwrap();
+        assert!(full.update_coeffs("LR", &[9.0, -2.0, 0.5]).is_some());
     }
 
     #[test]

@@ -164,6 +164,39 @@ impl PlAssigner {
         nearest
     }
 
+    /// Replaces an assigned application's sensitivity coefficients in
+    /// place — the re-profiling path. The app **keeps its PL** (the §6
+    /// invariant: its packets already carry that SL); only the slot's
+    /// centroid moves, publishing (and bumping the generation) when the
+    /// drift exceeds the tolerance.
+    ///
+    /// Returns the app's PL, or `None` if it is not assigned.
+    pub fn update_coeffs(&mut self, app: AppId, coeffs: &[f64]) -> Option<usize> {
+        let pl = self.pl_of(app)?;
+        let mut c = coeffs.to_vec();
+        c.resize(self.dim.max(coeffs.len()), 0.0);
+        if c.len() > self.dim {
+            self.dim = c.len();
+            for slot in self.slots.iter_mut().flatten() {
+                slot.centroid.resize(self.dim, 0.0);
+                slot.published.resize(self.dim, 0.0);
+                for (_, m) in &mut slot.members {
+                    m.resize(self.dim, 0.0);
+                }
+            }
+        }
+        let slot = self.slots[pl].as_mut().expect("pl_of returned this slot");
+        let member = slot
+            .members
+            .iter_mut()
+            .find(|(a, _)| *a == app)
+            .expect("pl_of found the app in this slot");
+        member.1 = c;
+        slot.recompute_centroid();
+        self.maybe_publish(pl);
+        Some(pl)
+    }
+
     /// Removes a deregistered application, freeing its PL if it was the
     /// last member.
     ///
@@ -325,6 +358,42 @@ mod tests {
         // Freeing a slot changes the active set.
         a.remove(AppId(1));
         assert!(a.generation() > g4);
+    }
+
+    #[test]
+    fn update_coeffs_keeps_the_pl_and_moves_the_centroid() {
+        let mut a = PlAssigner::new(2, 1);
+        let pl = a.assign(AppId(0), &[1.0]);
+        a.assign(AppId(1), &[1.0]);
+        let g = a.generation();
+        // Re-profiled coefficients: the app stays put (§6 sticky-PL
+        // invariant), but its slot's centroid follows.
+        assert_eq!(
+            a.update_coeffs(AppId(1), &[3.0]),
+            Some(a.pl_of(AppId(1)).unwrap())
+        );
+        assert_eq!(a.pl_of(AppId(0)), Some(pl), "PL sticky under refit");
+        assert!(a.generation() > g, "moved centroid publishes");
+        // Unknown app: no-op.
+        assert_eq!(a.update_coeffs(AppId(9), &[1.0]), None);
+    }
+
+    #[test]
+    fn update_coeffs_with_identical_values_is_silent() {
+        let mut a = PlAssigner::new(2, 1);
+        a.assign(AppId(0), &[2.0]);
+        let g = a.generation();
+        assert_eq!(a.update_coeffs(AppId(0), &[2.0]), Some(0));
+        assert_eq!(a.generation(), g, "no drift, no publication");
+    }
+
+    #[test]
+    fn update_coeffs_grows_dimension_like_assign() {
+        let mut a = PlAssigner::new(2, 2);
+        a.assign(AppId(0), &[1.0, 1.0]);
+        assert_eq!(a.update_coeffs(AppId(0), &[1.0, 1.0, 4.0]), Some(0));
+        assert_eq!(a.dim(), 3);
+        assert_eq!(a.centroid(0).unwrap(), &[1.0, 1.0, 4.0]);
     }
 
     #[test]

@@ -71,6 +71,9 @@ fn to_request(op: &ChurnOp, servers: &[NodeId]) -> Request {
             tag: *tag,
         },
         ChurnOp::Deregister { app } => Request::AppDeregister { app: AppId(*app) },
+        // Demand shifts are a workload-plane signal; the churn drives
+        // here run with the feature off.
+        ChurnOp::DemandShift { .. } => unreachable!("demand_shift disabled in failover drills"),
     }
 }
 

@@ -79,6 +79,28 @@ impl LinkProbe {
             .collect()
     }
 
+    /// `(bucket midpoint time, utilization)` pairs — the timestamped
+    /// bandwidth-fraction series the online re-profiler pairs with
+    /// observed slowdowns when watching a live application for
+    /// sensitivity-model drift (§4.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not positive.
+    pub fn utilization_samples(&self, capacity: f64) -> Vec<(f64, f64)> {
+        assert!(capacity > 0.0, "capacity must be positive");
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(|(i, &bytes)| {
+                (
+                    (i as f64 + 0.5) * self.bucket_width,
+                    bytes / self.bucket_width / capacity,
+                )
+            })
+            .collect()
+    }
+
     /// Total bytes recorded.
     pub fn total_bytes(&self) -> f64 {
         self.buckets.iter().sum()
@@ -142,6 +164,19 @@ mod tests {
         let u = p.utilization_series(100.0);
         assert!((u[0] - 0.5).abs() < 1e-9);
         assert!((u[1] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_samples_stamp_bucket_midpoints() {
+        let mut p = LinkProbe::new(LinkId(1), 2.0);
+        p.record(0.0, 4.0, 25.0);
+        let samples = p.utilization_samples(100.0);
+        assert_eq!(samples.len(), 2);
+        assert!((samples[0].0 - 1.0).abs() < 1e-12);
+        assert!((samples[1].0 - 3.0).abs() < 1e-12);
+        for &(_, u) in &samples {
+            assert!((u - 0.25).abs() < 1e-9);
+        }
     }
 
     #[test]

@@ -198,6 +198,17 @@ pub enum EventKind {
         /// Requests submitted to the service so far.
         requests: u64,
     },
+    /// The online re-profiler re-fitted a workload's sensitivity model
+    /// after its prediction error drifted past tolerance (§4.2).
+    ModelRefit {
+        /// Workload whose model was replaced.
+        workload: String,
+        /// Prediction error (1 − R² against live samples) that
+        /// triggered the refit.
+        error: f64,
+        /// Residual error of the re-fitted model on the same samples.
+        refit_error: f64,
+    },
 }
 
 /// One trace record: a sequence number, a simulated timestamp, and the
@@ -238,6 +249,7 @@ impl EventKind {
             EventKind::Mark { .. } => "mark",
             EventKind::Span { .. } => "span",
             EventKind::OpsSnapshot { .. } => "ops_snapshot",
+            EventKind::ModelRefit { .. } => "model_refit",
         }
     }
 
@@ -363,6 +375,18 @@ impl EventKind {
             }
             EventKind::OpsSnapshot { seq, requests } => {
                 let _ = write!(out, ",\"snap\":{seq},\"requests\":{requests}");
+            }
+            EventKind::ModelRefit {
+                workload,
+                error,
+                refit_error,
+            } => {
+                out.push_str(",\"workload\":");
+                JsonValue::Str(workload.clone()).write(out);
+                out.push_str(",\"error\":");
+                write_f64(*error, out);
+                out.push_str(",\"refit_error\":");
+                write_f64(*refit_error, out);
             }
         }
     }
@@ -493,6 +517,11 @@ impl EventKind {
             "ops_snapshot" => EventKind::OpsSnapshot {
                 seq: u64f("snap")?,
                 requests: u64f("requests")?,
+            },
+            "model_refit" => EventKind::ModelRefit {
+                workload: strf("workload")?,
+                error: f64f("error")?,
+                refit_error: f64f("refit_error")?,
             },
             other => return Err(format!("unknown event kind '{other}'")),
         })
@@ -631,6 +660,11 @@ mod tests {
             EventKind::OpsSnapshot {
                 seq: 4,
                 requests: 1024,
+            },
+            EventKind::ModelRefit {
+                workload: "STR03".to_string(),
+                error: 0.42,
+                refit_error: 0.015,
             },
         ]
     }

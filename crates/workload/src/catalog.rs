@@ -24,8 +24,10 @@
 //! configuration: `comm_bytes = X · nic_rate · nodes` (all-to-all/ring
 //! per-node egress is `comm_bytes / nodes`).
 
+use crate::coflow::CoflowSpec;
 use crate::pattern::ShufflePattern;
 use crate::spec::{ScalingLaw, StageSpec, WorkloadClass, WorkloadSpec};
+use saba_sim::ids::{AppId, NodeId};
 use saba_sim::LINK_56G_BPS;
 
 /// Nodes used by the paper's profiler (§4.2).
@@ -209,6 +211,26 @@ pub fn workload_by_name(name: &str) -> Option<WorkloadSpec> {
     catalog().into_iter().find(|w| w.name == name)
 }
 
+/// Expands a workload's profile-scale plan into its per-stage coflows
+/// on `nodes` (one [`CoflowSpec`] per stage that communicates, coflow
+/// id = stage index). Each bulk-synchronous stage barrier is a coflow:
+/// the CCT of stage `i` — the finish of its slowest constituent — is
+/// what gates the job, so per-workload CCTs are read straight off this
+/// decomposition plus the runtime's
+/// [`crate::runtime::CoflowRecord`]s.
+///
+/// # Panics
+///
+/// Panics if `nodes.len()` differs from the workload's profiled node
+/// count.
+pub fn profile_coflows(spec: &WorkloadSpec, nodes: &[NodeId], app: AppId) -> Vec<CoflowSpec> {
+    let plan = spec.profile_plan();
+    (0..plan.stages.len())
+        .map(|i| CoflowSpec::from_stage(&plan, i, nodes, app, i as u64))
+        .filter(|c| !c.flows.is_empty())
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -308,6 +330,20 @@ mod tests {
     #[test]
     fn unknown_name_is_none() {
         assert!(workload_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn profile_coflows_cover_every_communicating_stage() {
+        let w = workload_by_name("LR").unwrap();
+        let nodes: Vec<NodeId> = (0..PROFILE_NODES as u32).map(NodeId).collect();
+        let cfs = profile_coflows(&w, &nodes, AppId(3));
+        assert_eq!(cfs.len(), w.stages.len(), "every LR stage communicates");
+        let plan = w.profile_plan();
+        for (i, c) in cfs.iter().enumerate() {
+            assert_eq!(c.id, i as u64);
+            assert_eq!(c.app, AppId(3));
+            assert!((c.total_bytes() - plan.stages[i].comm_bytes).abs() < 1e-3);
+        }
     }
 
     #[test]

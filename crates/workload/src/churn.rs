@@ -54,6 +54,17 @@ pub enum ChurnOp {
         /// The departing tenant.
         app: u32,
     },
+    /// A registered tenant's bandwidth demand shifts by a
+    /// multiplicative factor — the control-plane face of streaming
+    /// drift (a step in the tenant's offered load that a demand-aware
+    /// consumer may react to, e.g. by re-profiling).
+    DemandShift {
+        /// Owning tenant.
+        app: u32,
+        /// Multiplicative demand factor in milli-units (1000 = 1.0×),
+        /// kept fixed-point so the op stays `Eq`/hashable.
+        factor_milli: u32,
+    },
 }
 
 impl ChurnOp {
@@ -63,7 +74,17 @@ impl ChurnOp {
             ChurnOp::Register { app, .. }
             | ChurnOp::ConnCreate { app, .. }
             | ChurnOp::ConnDestroy { app, .. }
-            | ChurnOp::Deregister { app } => *app,
+            | ChurnOp::Deregister { app }
+            | ChurnOp::DemandShift { app, .. } => *app,
+        }
+    }
+
+    /// The demand factor of a [`ChurnOp::DemandShift`] as a float
+    /// (`None` for every other variant).
+    pub fn demand_factor(&self) -> Option<f64> {
+        match self {
+            ChurnOp::DemandShift { factor_milli, .. } => Some(*factor_milli as f64 / 1000.0),
+            _ => None,
         }
     }
 }
@@ -85,6 +106,11 @@ pub struct ChurnTraceConfig {
     /// teardown + deregister + a fresh arrival) instead of churning a
     /// connection. Tenant lifetime ≈ `1 / tenant_churn` steps.
     pub tenant_churn: f64,
+    /// Probability a step emits a [`ChurnOp::DemandShift`] for a
+    /// random tenant instead of churning a connection. Defaults to
+    /// `0.0`, in which case the generator draws *no* extra randomness
+    /// and legacy scripts replay bit-identically.
+    pub demand_shift: f64,
 }
 
 impl Default for ChurnTraceConfig {
@@ -95,6 +121,7 @@ impl Default for ChurnTraceConfig {
             workloads: vec!["LR".into(), "RF".into(), "GBT".into()],
             conns_per_tenant: 16,
             tenant_churn: 1e-4,
+            demand_shift: 0.0,
         }
     }
 }
@@ -214,6 +241,16 @@ impl ChurnTrace {
             ChurnOp::ConnDestroy { app: t.app, tag }
         }
     }
+
+    fn demand_shift_op(&mut self) -> ChurnOp {
+        let idx = self.rng.gen_range(0..self.tenants.len());
+        // 0.25×–4.0× in milli-units, spanning shrink and surge.
+        let factor_milli = self.rng.gen_range(250..4000);
+        ChurnOp::DemandShift {
+            app: self.tenants[idx].app,
+            factor_milli,
+        }
+    }
 }
 
 impl Iterator for ChurnTrace {
@@ -225,6 +262,10 @@ impl Iterator for ChurnTrace {
         } else if self.rng.gen::<f64>() < self.cfg.tenant_churn {
             self.retire_oldest();
             self.queued.pop_front().expect("retirement queues ops")
+        } else if self.cfg.demand_shift > 0.0 && self.rng.gen::<f64>() < self.cfg.demand_shift {
+            // Short-circuit keeps the RNG stream untouched when the
+            // feature is off, so legacy scripts replay bit-identically.
+            self.demand_shift_op()
         } else {
             self.churn_connection()
         };
@@ -290,9 +331,82 @@ mod tests {
                     live.remove(&app);
                     retired.insert(app);
                 }
+                ChurnOp::DemandShift { app, factor_milli } => {
+                    assert!(registered.contains(&app), "shift for unregistered {app}");
+                    assert!(factor_milli > 0, "zero demand factor");
+                }
             }
         }
         assert!(!retired.is_empty(), "churn must retire some tenants");
+    }
+
+    fn fnv(bytes: &[u8]) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+
+    /// Regression pin for the `DemandShift` addition: with the feature
+    /// at its default-off setting the generator must draw no extra
+    /// randomness, so the pre-`DemandShift` script corpus replays
+    /// bit-identically. The hashes below were captured from the
+    /// generator *before* the variant existed (FNV-1a over the `Debug`
+    /// rendering of the first 5,000 ops, default config).
+    #[test]
+    fn demand_shift_off_replays_legacy_corpus_bit_identically() {
+        let expected = [
+            (7u64, 0x248c98ac6b4e070au64),
+            (42, 0x4cc6d1752818833d),
+            (0x5aba, 0x117c7ffe845eec08),
+        ];
+        for (seed, want) in expected {
+            let ops: Vec<ChurnOp> = ChurnTrace::new(ChurnTraceConfig::default(), seed)
+                .take(5_000)
+                .collect();
+            let got = fnv(format!("{ops:?}").as_bytes());
+            assert_eq!(
+                got, want,
+                "seed {seed}: legacy corpus diverged ({got:#018x} != {want:#018x})"
+            );
+        }
+    }
+
+    #[test]
+    fn demand_shift_emits_shifts_for_registered_tenants_only() {
+        let trace = ChurnTrace::new(
+            ChurnTraceConfig {
+                demand_shift: 0.05,
+                ..cfg()
+            },
+            11,
+        );
+        let mut shifts = 0usize;
+        let mut registered: BTreeSet<u32> = BTreeSet::new();
+        for op in trace.take(20_000) {
+            match op {
+                ChurnOp::Register { app, .. } => {
+                    registered.insert(app);
+                }
+                ChurnOp::Deregister { app } => {
+                    registered.remove(&app);
+                }
+                ChurnOp::DemandShift { app, factor_milli } => {
+                    shifts += 1;
+                    assert!(registered.contains(&app));
+                    assert!((250..4000).contains(&factor_milli));
+                    let f = ChurnOp::DemandShift { app, factor_milli }
+                        .demand_factor()
+                        .unwrap();
+                    assert!((0.25..4.0).contains(&f));
+                }
+                _ => {}
+            }
+        }
+        // 5 % of 20k steps, minus queued multi-op transitions.
+        assert!(shifts > 400, "expected ~1k shifts, got {shifts}");
     }
 
     #[test]

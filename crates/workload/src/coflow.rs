@@ -1,0 +1,172 @@
+//! Coflow specifications: flow groups with all-or-nothing completion.
+//!
+//! A *coflow* (Chowdhury & Stoica; scheduled near-optimally by
+//! Sincronia, arXiv 1812.06898) is a set of parallel flows between the
+//! machines of one application stage that shares a collective
+//! semantic: the stage makes progress only once **every** constituent
+//! flow has finished. Its figure of merit is therefore the
+//! coflow-completion time (CCT) — the finish time of the *slowest*
+//! constituent — not any individual flow-completion time.
+//!
+//! Saba's bulk-synchronous stage model already produces exactly this
+//! structure (a [`crate::runtime::JobRuntime`] stage barrier waits for
+//! all shuffle flows); this module names it as a first-class spec so
+//! coflow-aware baselines and the conformance oracles can reason about
+//! it directly. [`crate::runtime::JobRuntime`] records a
+//! [`crate::runtime::CoflowRecord`] per stage with the constituent
+//! FCTs and the CCT, which the `CCT == max FCT` oracle checks.
+
+use crate::spec::JobPlan;
+use saba_sim::ids::{AppId, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Number of low tag bits reserved for the constituent index; the
+/// coflow id lives in the bits above. Matches the `(app << 32) | seq`
+/// convention of [`crate::runtime::JobRuntime`] flow tags, so a
+/// tag-high grouping at this shift recovers the emitting entity.
+pub const COFLOW_TAG_SHIFT: u32 = 32;
+
+/// One constituent transfer of a coflow.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoflowFlow {
+    /// Sending server.
+    pub src: NodeId,
+    /// Receiving server.
+    pub dst: NodeId,
+    /// Transfer size in bytes.
+    pub bytes: f64,
+    /// Constituent index, unique within the coflow.
+    pub index: u64,
+}
+
+/// A group of flows that completes all-or-nothing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoflowSpec {
+    /// Coflow identifier, unique per owning application.
+    pub id: u64,
+    /// Owning application.
+    pub app: AppId,
+    /// Constituent flows (non-empty for a meaningful coflow).
+    pub flows: Vec<CoflowFlow>,
+}
+
+impl CoflowSpec {
+    /// Expands stage `stage` of `plan`, placed on `nodes`, into a
+    /// coflow (same-host transfers are dropped, as the runtime does).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage` is out of range or `nodes.len() != plan.nodes`.
+    pub fn from_stage(plan: &JobPlan, stage: usize, nodes: &[NodeId], app: AppId, id: u64) -> Self {
+        assert_eq!(nodes.len(), plan.nodes, "node list must match the plan");
+        let st = &plan.stages[stage];
+        let flows = st
+            .pattern
+            .transfers(nodes.len(), st.comm_bytes)
+            .into_iter()
+            .filter(|&(si, di, _)| nodes[si] != nodes[di])
+            .enumerate()
+            .map(|(k, (si, di, bytes))| CoflowFlow {
+                src: nodes[si],
+                dst: nodes[di],
+                bytes,
+                index: k as u64,
+            })
+            .collect();
+        Self { id, app, flows }
+    }
+
+    /// The wire tag of constituent `index`: coflow id in the high bits
+    /// (above [`COFLOW_TAG_SHIFT`]), constituent index in the low bits
+    /// — the encoding a coflow-granular scheduler groups by.
+    pub fn tag_for(&self, index: u64) -> u64 {
+        (self.id << COFLOW_TAG_SHIFT) | (index & ((1u64 << COFLOW_TAG_SHIFT) - 1))
+    }
+
+    /// Aggregate bytes across all constituents.
+    pub fn total_bytes(&self) -> f64 {
+        self.flows.iter().map(|f| f.bytes).sum()
+    }
+
+    /// The all-or-nothing completion time: `Some(max FCT)` only once
+    /// **every** constituent has a finish time in `fcts` (keyed by
+    /// constituent index); `None` while any is missing. This is the
+    /// CCT semantic — a coflow never completes before its slowest
+    /// flow.
+    pub fn completion_time(&self, fcts: &BTreeMap<u64, f64>) -> Option<f64> {
+        let mut cct = f64::NEG_INFINITY;
+        for f in &self.flows {
+            cct = cct.max(*fcts.get(&f.index)?);
+        }
+        if self.flows.is_empty() {
+            None
+        } else {
+            Some(cct)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::ShufflePattern;
+    use crate::spec::{JobPlan, PlannedStage};
+
+    fn plan() -> JobPlan {
+        JobPlan {
+            workload: "co".into(),
+            stages: vec![PlannedStage {
+                compute_secs: 1.0,
+                comm_bytes: 300.0,
+                pattern: ShufflePattern::Gather,
+                overlap: 0.0,
+                min_node_rate: 0.0,
+            }],
+            nodes: 4,
+        }
+    }
+
+    fn nodes() -> Vec<NodeId> {
+        (0..4).map(NodeId).collect()
+    }
+
+    #[test]
+    fn from_stage_expands_the_pattern() {
+        let c = CoflowSpec::from_stage(&plan(), 0, &nodes(), AppId(1), 5);
+        assert_eq!(c.flows.len(), 3, "gather over 4 nodes");
+        assert!((c.total_bytes() - 300.0).abs() < 1e-9);
+        for f in &c.flows {
+            assert_eq!(f.dst, NodeId(0));
+        }
+    }
+
+    #[test]
+    fn tags_carry_the_coflow_id_in_high_bits() {
+        let c = CoflowSpec::from_stage(&plan(), 0, &nodes(), AppId(1), 5);
+        for f in &c.flows {
+            let tag = c.tag_for(f.index);
+            assert_eq!(tag >> COFLOW_TAG_SHIFT, 5);
+            assert_eq!(tag & 0xFFFF_FFFF, f.index);
+        }
+    }
+
+    #[test]
+    fn completion_is_all_or_nothing() {
+        let c = CoflowSpec::from_stage(&plan(), 0, &nodes(), AppId(0), 0);
+        let mut fcts = BTreeMap::new();
+        fcts.insert(0u64, 4.0);
+        fcts.insert(1u64, 9.0);
+        assert_eq!(c.completion_time(&fcts), None, "one constituent missing");
+        fcts.insert(2u64, 6.5);
+        assert_eq!(c.completion_time(&fcts), Some(9.0), "CCT = slowest FCT");
+    }
+
+    #[test]
+    fn serde_round_trips() {
+        let c = CoflowSpec::from_stage(&plan(), 0, &nodes(), AppId(2), 7);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: CoflowSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

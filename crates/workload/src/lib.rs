@@ -21,14 +21,18 @@
 //! - [`runtime`] — [`runtime::JobRuntime`], a per-job state machine
 //!   driving the simulator, and [`runtime::run_jobs`], the multi-job
 //!   event loop used by the profiler and the cluster harness.
+//! - [`coflow`] — coflow specifications: flow groups with
+//!   all-or-nothing completion semantics and the CCT metric.
 //! - [`noise`] — deterministic lognormal measurement noise.
-//! - [`trace`] — CPU-utilization traces (Fig. 2).
+//! - [`trace`] — CPU-utilization traces (Fig. 2) and streaming demand
+//!   series.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod catalog;
 pub mod churn;
+pub mod coflow;
 pub mod noise;
 pub mod pattern;
 pub mod runtime;
@@ -38,6 +42,8 @@ pub mod trace;
 
 pub use catalog::{catalog, workload_by_name};
 pub use churn::{ChurnOp, ChurnTrace, ChurnTraceConfig};
+pub use coflow::{CoflowFlow, CoflowSpec};
 pub use pattern::ShufflePattern;
-pub use runtime::{run_jobs, ConnEvent, JobRuntime, RunError};
+pub use runtime::{run_jobs, CoflowRecord, ConnEvent, JobRuntime, RunError};
 pub use spec::{JobPlan, ScalingLaw, StageSpec, WorkloadClass, WorkloadSpec};
+pub use synthetic::{streaming_workloads, DriftProcess, StreamingSpec};

@@ -87,6 +87,39 @@ impl std::error::Error for RunError {}
 const KIND_COMPUTE_DONE: u64 = 0;
 const KIND_START_FLOWS: u64 = 1;
 
+/// The completion record of one stage's shuffle, viewed as a coflow
+/// (see [`crate::coflow`]): a bulk-synchronous stage barrier waits for
+/// *all* of its flows, so the stage's communication is an
+/// all-or-nothing flow group and its metric is the CCT — the finish
+/// time of the slowest constituent, never any earlier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoflowRecord {
+    /// Stage index within the job.
+    pub stage: usize,
+    /// Absolute time the stage's flows were launched.
+    pub started_at: f64,
+    /// Constituent flow completions `(tag, absolute finish time)`.
+    pub fcts: Vec<(u64, f64)>,
+    /// Absolute time the last constituent finished (the coflow's
+    /// completion), `None` while any flow is still in flight.
+    pub completed_at: Option<f64>,
+}
+
+impl CoflowRecord {
+    /// The coflow-completion time (duration from launch), if complete.
+    pub fn cct(&self) -> Option<f64> {
+        self.completed_at.map(|t| t - self.started_at)
+    }
+
+    /// The slowest constituent's absolute finish time seen so far.
+    pub fn max_fct(&self) -> Option<f64> {
+        self.fcts
+            .iter()
+            .map(|&(_, t)| t)
+            .fold(None, |m, t| Some(m.map_or(t, |m: f64| m.max(t))))
+    }
+}
+
 /// A job executing on the simulated cluster.
 #[derive(Debug, Clone)]
 pub struct JobRuntime {
@@ -105,6 +138,7 @@ pub struct JobRuntime {
     events: Vec<ConnEvent>,
     cpu_busy: Option<Vec<(f64, f64)>>,
     pipeline_floor: bool,
+    coflows: Vec<CoflowRecord>,
 }
 
 impl JobRuntime {
@@ -146,6 +180,7 @@ impl JobRuntime {
             events: Vec::new(),
             cpu_busy: None,
             pipeline_floor: true,
+            coflows: Vec::new(),
         }
     }
 
@@ -209,6 +244,12 @@ impl JobRuntime {
         self.cpu_busy.as_deref()
     }
 
+    /// Per-stage coflow records (one per stage that launched flows),
+    /// carrying constituent FCTs and the CCT.
+    pub fn coflow_records(&self) -> &[CoflowRecord] {
+        &self.coflows
+    }
+
     /// Drains pending connection-lifecycle events.
     pub fn drain_events(&mut self) -> Vec<ConnEvent> {
         std::mem::take(&mut self.events)
@@ -267,6 +308,7 @@ impl JobRuntime {
         sim: &mut Simulation<M, S>,
         flows: &[CompletedFlow],
     ) {
+        let now = sim.now();
         for f in flows {
             debug_assert_eq!(f.spec.app, self.app);
             self.events.push(ConnEvent::Destroyed {
@@ -275,12 +317,24 @@ impl JobRuntime {
                 dst: f.spec.dst,
                 tag: f.spec.tag,
             });
+            if let Some(rec) = self.coflows.last_mut() {
+                if rec.stage == self.stage_idx {
+                    rec.fcts.push((f.spec.tag, now));
+                }
+            }
         }
         assert!(
             self.outstanding >= flows.len(),
             "more completions than outstanding flows"
         );
         self.outstanding -= flows.len();
+        if self.outstanding == 0 && self.flows_launched {
+            if let Some(rec) = self.coflows.last_mut() {
+                if rec.stage == self.stage_idx && rec.completed_at.is_none() {
+                    rec.completed_at = Some(now);
+                }
+            }
+        }
         self.check_stage_done(sim);
     }
 
@@ -395,6 +449,14 @@ impl JobRuntime {
                 src,
                 dst,
                 tag,
+            });
+        }
+        if self.outstanding > 0 {
+            self.coflows.push(CoflowRecord {
+                stage: self.stage_idx,
+                started_at: sim.now(),
+                fcts: Vec::new(),
+                completed_at: None,
             });
         }
         self.check_stage_done(sim);
@@ -735,6 +797,33 @@ mod tests {
         let mut jobs = vec![JobRuntime::new(AppId(0), ServiceLevel(0), nodes, plan, 0)];
         let times = run_jobs(&mut sim, &mut jobs, |_, _| {}).unwrap();
         assert!((times[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coflow_records_track_stage_barriers() {
+        let spec = two_stage_spec();
+        let mut sim = sim4();
+        let nodes = sim.topo().servers().to_vec();
+        let mut jobs = vec![JobRuntime::new(
+            AppId(0),
+            ServiceLevel(0),
+            nodes,
+            spec.profile_plan(),
+            0,
+        )];
+        run_jobs(&mut sim, &mut jobs, |_, _| {}).unwrap();
+        // Only stage 0 communicates (stage 1 has 0 bytes).
+        let recs = jobs[0].coflow_records();
+        assert_eq!(recs.len(), 1);
+        let r = &recs[0];
+        assert_eq!(r.stage, 0);
+        assert_eq!(r.fcts.len(), 4, "fanout-1 all-to-all over 4 nodes");
+        // CCT semantics: the coflow completes exactly when its slowest
+        // constituent does, never earlier.
+        assert_eq!(r.completed_at, r.max_fct());
+        // Stage 0: 2 s compute then 1 s comm at 100 B/s.
+        assert!((r.started_at - 2.0).abs() < 1e-6);
+        assert!((r.cct().unwrap() - 1.0).abs() < 1e-3);
     }
 
     #[test]

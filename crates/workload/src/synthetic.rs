@@ -13,6 +13,7 @@ use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use saba_sim::LINK_56G_BPS;
+use serde::{Deserialize, Serialize};
 
 /// Parameters of the synthetic workload family.
 #[derive(Debug, Clone)]
@@ -115,6 +116,155 @@ pub fn synthetic_workloads(cfg: &SyntheticConfig, seed: u64) -> Vec<WorkloadSpec
         .collect()
 }
 
+/// A deterministic demand-drift process for long-running streaming
+/// jobs (ROADMAP item 5; cf. the stream-analytics allocation literature
+/// in PAPERS.md). All processes are pure functions of time, so a drift
+/// schedule serializes losslessly and replays bit-identically.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DriftProcess {
+    /// Demand jumps to `factor` at time `at` (e.g. a key-space
+    /// repartition or an upstream source turning on).
+    Step {
+        /// Time of the jump, seconds.
+        at: f64,
+        /// Demand multiplier after the jump.
+        factor: f64,
+    },
+    /// Demand ramps linearly from 1.0 at `start` to `factor` at `end`,
+    /// holding `factor` afterwards (gradual audience growth).
+    Ramp {
+        /// Ramp start, seconds.
+        start: f64,
+        /// Ramp end, seconds (must be > `start`).
+        end: f64,
+        /// Demand multiplier reached at `end`.
+        factor: f64,
+    },
+    /// Sinusoidal daily cycle: `1 + amplitude · sin(2π(t/period +
+    /// phase))`, floored at 0.05 so demand never vanishes.
+    Diurnal {
+        /// Cycle length, seconds.
+        period: f64,
+        /// Peak deviation from the 1.0 baseline.
+        amplitude: f64,
+        /// Phase offset in cycles (`0.25` peaks at `t = 0`).
+        phase: f64,
+    },
+}
+
+impl DriftProcess {
+    /// The demand multiplier at time `t` (always > 0).
+    pub fn factor(&self, t: f64) -> f64 {
+        let f = match *self {
+            DriftProcess::Step { at, factor } => {
+                if t < at {
+                    1.0
+                } else {
+                    factor
+                }
+            }
+            DriftProcess::Ramp { start, end, factor } => {
+                if t <= start {
+                    1.0
+                } else if t >= end {
+                    factor
+                } else {
+                    1.0 + (factor - 1.0) * (t - start) / (end - start)
+                }
+            }
+            DriftProcess::Diurnal {
+                period,
+                amplitude,
+                phase,
+            } => 1.0 + amplitude * (std::f64::consts::TAU * (t / period + phase)).sin(),
+        };
+        f.max(0.05)
+    }
+
+    /// A seeded drift process: variant and parameters drawn
+    /// deterministically from `seed`.
+    pub fn generate(seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5ABA_D81F);
+        match rng.gen_range(0..3u32) {
+            0 => DriftProcess::Step {
+                at: rng.gen_range(100.0..2000.0),
+                factor: rng.gen_range(0.25..3.5),
+            },
+            1 => {
+                let start = rng.gen_range(50.0..1000.0);
+                DriftProcess::Ramp {
+                    start,
+                    end: start + rng.gen_range(200.0..2000.0),
+                    factor: rng.gen_range(0.25..3.5),
+                }
+            }
+            _ => DriftProcess::Diurnal {
+                period: rng.gen_range(1000.0..10_000.0),
+                amplitude: rng.gen_range(0.1..0.8),
+                phase: rng.gen_range(0.0..1.0),
+            },
+        }
+    }
+}
+
+/// A long-running streaming job: a base workload whose communication
+/// demand drifts over wall-clock time as the product of its drift
+/// processes. Unlike the batch specs, a streaming job's sensitivity
+/// model goes stale as demand drifts — the trigger for the online
+/// re-profiler in `saba-cluster`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamingSpec {
+    /// The workload at its profiled (t = 0) demand.
+    pub base: WorkloadSpec,
+    /// Drift processes; their factors multiply.
+    pub drift: Vec<DriftProcess>,
+}
+
+impl StreamingSpec {
+    /// The combined demand multiplier at time `t`.
+    pub fn demand_factor(&self, t: f64) -> f64 {
+        self.drift.iter().map(|d| d.factor(t)).product::<f64>()
+    }
+
+    /// The workload as it behaves at time `t`: every stage's shuffle
+    /// volume scaled by the demand factor. Feeding this to the profiler
+    /// yields the *current* sensitivity curve, while a model fitted at
+    /// t = 0 keeps predicting the stale one.
+    pub fn spec_at(&self, t: f64) -> WorkloadSpec {
+        let f = self.demand_factor(t);
+        let mut spec = self.base.clone();
+        for st in &mut spec.stages {
+            st.comm_bytes *= f;
+        }
+        spec
+    }
+
+    /// Short name (the base workload's).
+    pub fn name(&self) -> &str {
+        &self.base.name
+    }
+}
+
+/// Generates a family of streaming workloads, deterministically from
+/// `seed`: synthetic bases renamed `STR00`, `STR01`, … with one or two
+/// seeded drift processes each.
+pub fn streaming_workloads(cfg: &SyntheticConfig, seed: u64) -> Vec<StreamingSpec> {
+    let bases = synthetic_workloads(cfg, seed);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5ABA_57E0);
+    bases
+        .into_iter()
+        .enumerate()
+        .map(|(i, mut base)| {
+            base.name = format!("STR{i:02}");
+            let n = rng.gen_range(1..=2usize);
+            let drift = (0..n)
+                .map(|j| DriftProcess::generate(rng.gen::<u64>() ^ j as u64))
+                .collect();
+            StreamingSpec { base, drift }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,6 +315,64 @@ mod tests {
     fn profile_nodes_is_rack_scale() {
         for w in synthetic_workloads(&SyntheticConfig::default(), 3) {
             assert_eq!(w.profile_nodes, 18);
+        }
+    }
+
+    #[test]
+    fn drift_factors_are_positive_and_start_near_baseline() {
+        for seed in 0..50u64 {
+            let d = DriftProcess::generate(seed);
+            assert!((d.factor(0.0) - 1.0).abs() < 1.0, "{d:?} starts far off");
+            for t in [0.0, 10.0, 500.0, 5_000.0, 50_000.0] {
+                assert!(d.factor(t) > 0.0, "{d:?} at t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn step_and_ramp_reach_their_target() {
+        let s = DriftProcess::Step {
+            at: 10.0,
+            factor: 2.5,
+        };
+        assert_eq!(s.factor(9.9), 1.0);
+        assert_eq!(s.factor(10.0), 2.5);
+        let r = DriftProcess::Ramp {
+            start: 0.0,
+            end: 10.0,
+            factor: 3.0,
+        };
+        assert!((r.factor(5.0) - 2.0).abs() < 1e-12);
+        assert_eq!(r.factor(100.0), 3.0);
+    }
+
+    #[test]
+    fn streaming_family_is_deterministic_and_drifts() {
+        let cfg = SyntheticConfig::default();
+        let a = streaming_workloads(&cfg, 9);
+        let b = streaming_workloads(&cfg, 9);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 20);
+        assert!(a.iter().all(|s| s.name().starts_with("STR")));
+        // At least one member's demand has visibly moved by t = 5000 s.
+        assert!(a
+            .iter()
+            .any(|s| (s.demand_factor(5_000.0) - 1.0).abs() > 0.2));
+    }
+
+    #[test]
+    fn spec_at_scales_comm_only() {
+        let s = StreamingSpec {
+            base: synthetic_workloads(&SyntheticConfig::default(), 1)[0].clone(),
+            drift: vec![DriftProcess::Step {
+                at: 0.0,
+                factor: 2.0,
+            }],
+        };
+        let now = s.spec_at(1.0);
+        for (a, b) in now.stages.iter().zip(&s.base.stages) {
+            assert!((a.comm_bytes - 2.0 * b.comm_bytes).abs() < 1e-6);
+            assert_eq!(a.compute_secs, b.compute_secs);
         }
     }
 }

@@ -56,6 +56,32 @@ pub struct TracePoint {
     pub net_pct: f64,
 }
 
+/// Samples a streaming job's demand multiplier into the same
+/// fixed-width buckets as [`utilization_series`]: bucket `i` holds the
+/// job's [`crate::synthetic::StreamingSpec::demand_factor`] at the
+/// bucket midpoint. The resulting series is what the online
+/// re-profiler compares against a frozen sensitivity model's
+/// assumptions (Fig.-2-style timelines, but of *offered* demand).
+///
+/// # Panics
+///
+/// Panics if `bucket_width` is not positive or `horizon` is negative.
+pub fn demand_series(
+    spec: &crate::synthetic::StreamingSpec,
+    bucket_width: f64,
+    horizon: f64,
+) -> Vec<f64> {
+    assert!(
+        bucket_width > 0.0 && bucket_width.is_finite(),
+        "bucket width must be positive"
+    );
+    assert!(horizon >= 0.0, "horizon must be non-negative");
+    let n = (horizon / bucket_width).ceil() as usize;
+    (0..n)
+        .map(|i| spec.demand_factor((i as f64 + 0.5) * bucket_width))
+        .collect()
+}
+
 /// Zips CPU and network utilization series into trace points.
 ///
 /// The shorter series is padded with zeros.
@@ -103,6 +129,24 @@ mod tests {
     fn degenerate_intervals_ignored() {
         let u = utilization_series(&[(2.0, 2.0), (3.0, 1.0)], 1.0, 4.0);
         assert!(u.iter().all(|v| v.abs() < 1e-9));
+    }
+
+    #[test]
+    fn demand_series_samples_bucket_midpoints() {
+        use crate::synthetic::{DriftProcess, StreamingSpec, SyntheticConfig};
+        let spec = StreamingSpec {
+            base: crate::synthetic::synthetic_workloads(&SyntheticConfig::default(), 1)[0].clone(),
+            drift: vec![DriftProcess::Step {
+                at: 2.0,
+                factor: 3.0,
+            }],
+        };
+        let s = demand_series(&spec, 1.0, 4.0);
+        assert_eq!(s.len(), 4);
+        assert!((s[0] - 1.0).abs() < 1e-12); // midpoint 0.5 < 2.0
+        assert!((s[1] - 1.0).abs() < 1e-12); // midpoint 1.5 < 2.0
+        assert!((s[2] - 3.0).abs() < 1e-12); // midpoint 2.5 >= 2.0
+        assert!((s[3] - 3.0).abs() < 1e-12);
     }
 
     #[test]

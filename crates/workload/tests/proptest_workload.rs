@@ -113,3 +113,47 @@ fn catalog_profiles_are_calibration_stable() {
     let d25 = lr.analytic_completion(0.25 * full) / lr.analytic_completion(full);
     assert!((d25 - 3.4).abs() < 0.15, "LR D(0.25) drifted to {d25}");
 }
+
+proptest! {
+    /// Drift processes are deterministic in the seed, serialize
+    /// losslessly through JSON, and never let demand vanish.
+    #[test]
+    fn drift_processes_round_trip_and_replay(seed in 0u64..5_000, t in 0.0f64..1e6) {
+        use saba_workload::DriftProcess;
+        let a = DriftProcess::generate(seed);
+        let b = DriftProcess::generate(seed);
+        prop_assert_eq!(a, b, "same seed, different drift process");
+        let json = serde_json::to_string(&a).unwrap();
+        let back: DriftProcess = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(a, back, "drift process mangled by serde");
+        let f = a.factor(t);
+        prop_assert!(f >= 0.05, "demand factor {} under the 0.05 floor", f);
+        prop_assert!(back.factor(t) == f, "replayed factor diverges");
+    }
+
+    /// Streaming workload families are bit-deterministic in the seed —
+    /// bases, names, and drift schedules — and their time-`t` specs
+    /// scale every stage's shuffle volume by the combined drift factor.
+    #[test]
+    fn streaming_workloads_replay_bit_identically(seed in 0u64..500, t in 0.0f64..1e5) {
+        use saba_workload::{streaming_workloads, synthetic::SyntheticConfig};
+        let cfg = SyntheticConfig { count: 3, ..Default::default() };
+        let a = streaming_workloads(&cfg, seed);
+        let b = streaming_workloads(&cfg, seed);
+        prop_assert_eq!(&a, &b, "same seed, different streaming family");
+        prop_assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "serialized families diverge"
+        );
+        for s in &a {
+            let f = s.demand_factor(t);
+            prop_assert!(f > 0.0);
+            let spec = s.spec_at(t);
+            for (st, base) in spec.stages.iter().zip(&s.base.stages) {
+                prop_assert!((st.comm_bytes - base.comm_bytes * f).abs()
+                    <= 1e-9 * base.comm_bytes.max(1.0));
+            }
+        }
+    }
+}
